@@ -1,0 +1,125 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * `mw_overhead` — the same loop lowered through the master/worker scheme
+//!   (stand-alone `parallel for` in a `target`) vs. the combined construct
+//!   (§3.1 vs §3.2). The paper recommends combined constructs for loops;
+//!   this quantifies why in simulated time.
+//! * `jit_vs_cubin` — kernel loading cost in PTX-JIT mode (cold and warm
+//!   cache) vs. cubin mode (§3.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompi_core::{Ompicc, Runner, RunnerConfig};
+use vmcommon::Value;
+
+fn compile_and_run(src: &str, tag: &str, mode: nvccsim::BinMode) -> (Runner, f64) {
+    let dir = std::env::temp_dir().join(format!("ompi-ablate-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let app = Ompicc::new(&dir).with_mode(mode).compile(src).expect("compile");
+    let cfg = RunnerConfig {
+        jit_cache_dir: dir.join("jit"),
+        ..RunnerConfig::default()
+    };
+    let runner = Runner::new(&app, &cfg).expect("runner");
+    runner.run_main().expect("run");
+    let t = runner.dev_clock().total_s();
+    (runner, t)
+}
+
+const COMBINED: &str = r#"
+int main() {
+    int n = 4096;
+    float v[4096];
+    for (int i = 0; i < n; i++) v[i] = 1.0f;
+    #pragma omp target teams distribute parallel for map(tofrom: v[0:n]) num_threads(128)
+    for (int i = 0; i < n; i++)
+        v[i] = v[i] * 2.0f + 1.0f;
+    return 0;
+}
+"#;
+
+const MASTER_WORKER: &str = r#"
+int main() {
+    int n = 4096;
+    float v[4096];
+    for (int i = 0; i < n; i++) v[i] = 1.0f;
+    #pragma omp target map(tofrom: v[0:n]) map(to: n)
+    {
+        int i;
+        #pragma omp parallel for
+        for (i = 0; i < n; i++)
+            v[i] = v[i] * 2.0f + 1.0f;
+    }
+    return 0;
+}
+"#;
+
+fn mw_overhead(c: &mut Criterion) {
+    let (r_comb, t_comb) = compile_and_run(COMBINED, "combined", nvccsim::BinMode::Cubin);
+    let (r_mw, t_mw) = compile_and_run(MASTER_WORKER, "mw", nvccsim::BinMode::Cubin);
+    println!(
+        "# ablation mw_overhead: combined {t_comb:.6}s vs master/worker {t_mw:.6}s (x{:.2})",
+        t_mw / t_comb.max(1e-12)
+    );
+    let mut g = c.benchmark_group("ablation/mw_overhead");
+    g.sample_size(10);
+    g.bench_function("combined", |b| {
+        b.iter(|| {
+            r_comb.reset_dev_clock();
+            r_comb.run_main().unwrap()
+        })
+    });
+    g.bench_function("master_worker", |b| {
+        b.iter(|| {
+            r_mw.reset_dev_clock();
+            r_mw.run_main().unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn jit_vs_cubin(c: &mut Criterion) {
+    let src = "__global__ void k(float *a) { a[threadIdx.x] = 2.0f; }";
+    let dir = std::env::temp_dir().join("ompi-ablate-jit");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("kernels")).unwrap();
+    // Produce both artifact kinds.
+    nvccsim::Nvcc::new(nvccsim::BinMode::Cubin, dir.join("kernels"), cudadev::exports())
+        .compile_kernel_source("mod_cubin", src)
+        .unwrap();
+    nvccsim::Nvcc::new(nvccsim::BinMode::Ptx, dir.join("kernels"), vec![])
+        .compile_kernel_source("mod_ptx", src)
+        .unwrap();
+
+    let fresh_dev = || {
+        cudadev::CudaDev::new(cudadev::CudaDevConfig {
+            global_mem: 8 << 20,
+            kernel_dir: dir.join("kernels"),
+            jit_cache_dir: dir.join("jitcache"),
+            exec_mode: gpusim::ExecMode::Functional,
+            ..Default::default()
+        })
+    };
+
+    let mut g = c.benchmark_group("ablation/jit_vs_cubin");
+    g.sample_size(20);
+    g.bench_function("cubin_load", |b| {
+        b.iter(|| fresh_dev().load_module("mod_cubin").unwrap())
+    });
+    g.bench_function("ptx_jit_cold", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(dir.join("jitcache"));
+            fresh_dev().load_module("mod_ptx").unwrap()
+        })
+    });
+    // Warm the cache once, then measure hits.
+    fresh_dev().load_module("mod_ptx").unwrap();
+    g.bench_function("ptx_jit_cached", |b| {
+        b.iter(|| fresh_dev().load_module("mod_ptx").unwrap())
+    });
+    g.finish();
+
+    let _ = Value::I32(0);
+}
+
+criterion_group!(benches, mw_overhead, jit_vs_cubin);
+criterion_main!(benches);

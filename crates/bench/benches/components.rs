@@ -1,0 +1,89 @@
+//! Component microbenches: frontend, kernel compiler, SIMT simulator and
+//! scheduling primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpusim::{launch, Device, ExecMode, LaunchConfig, NoLib};
+
+const SAXPY_CU: &str = r#"
+__global__ void saxpy(float a, int n, float *x, float *y) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n)
+        y[i] = a * x[i] + y[i];
+}
+"#;
+
+fn bench_frontend(c: &mut Criterion) {
+    let omp_src = unibench::app_by_name("gemm").unwrap().omp_src;
+    c.bench_function("frontend/parse_gemm", |b| {
+        b.iter(|| minic::parse(std::hint::black_box(omp_src)).unwrap())
+    });
+    c.bench_function("frontend/parse_analyze_gemm", |b| {
+        b.iter(|| {
+            let mut p = minic::parse(std::hint::black_box(omp_src)).unwrap();
+            minic::analyze(&mut p).unwrap()
+        })
+    });
+}
+
+fn bench_nvcc(c: &mut Criterion) {
+    c.bench_function("nvcc/compile_saxpy", |b| {
+        b.iter(|| nvccsim::compile_source(std::hint::black_box(SAXPY_CU), "saxpy").unwrap())
+    });
+    let m = nvccsim::compile_source(SAXPY_CU, "saxpy").unwrap();
+    let text = sptx::text::print_module(&m);
+    c.bench_function("sptx/assemble_saxpy", |b| {
+        b.iter(|| sptx::text::parse_module(std::hint::black_box(&text)).unwrap())
+    });
+    let bin = sptx::cubin::encode(&m);
+    c.bench_function("sptx/cubin_decode_saxpy", |b| {
+        b.iter(|| sptx::cubin::decode(std::hint::black_box(&bin)).unwrap())
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut m = nvccsim::compile_source(SAXPY_CU, "saxpy").unwrap();
+    nvccsim::link_module(&mut m, &[]).unwrap();
+    let d = Device::new(8 << 20);
+    let n = 32 * 1024u32;
+    let x = d.mem_alloc(4 * n as u64).unwrap();
+    let y = d.mem_alloc(4 * n as u64).unwrap();
+    let cfg = LaunchConfig {
+        grid: [n.div_ceil(256), 1, 1],
+        block: [256, 1, 1],
+        params: vec![2.0f32.to_bits() as u64, n as u64, x, y],
+    };
+    c.bench_function("gpusim/saxpy_32k_functional", |b| {
+        b.iter(|| launch(&d, &m, "saxpy", &cfg, &NoLib, ExecMode::Functional).unwrap())
+    });
+    c.bench_function("gpusim/saxpy_32k_sampled8", |b| {
+        b.iter(|| {
+            launch(&d, &m, "saxpy", &cfg, &NoLib, ExecMode::Sampled { max_blocks: 8 }).unwrap()
+        })
+    });
+}
+
+fn bench_sched(c: &mut Criterion) {
+    c.bench_function("sched/static_block_1M", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for tid in 0..128u64 {
+                let (s, e) = vmcommon::sched::static_block(std::hint::black_box(1 << 20), 128, tid);
+                acc += e - s;
+            }
+            acc
+        })
+    });
+    c.bench_function("sched/dynamic_drain_10k", |b| {
+        b.iter(|| {
+            let st = vmcommon::sched::DynamicState::new();
+            let mut n = 0u64;
+            while let Some((s, e)) = st.next_chunk(10_000, 64) {
+                n += e - s;
+            }
+            n
+        })
+    });
+}
+
+criterion_group!(benches, bench_frontend, bench_nvcc, bench_simulator, bench_sched);
+criterion_main!(benches);

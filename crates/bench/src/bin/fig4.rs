@@ -1,0 +1,90 @@
+//! Regenerate the paper's Fig. 4 (a)–(f): execution time vs problem size
+//! for the pure CUDA version and the OMPi/cudadev version of each
+//! application.
+//!
+//! Usage:
+//!   fig4 [--app NAME] [--sizes a,b,c] [--full] [--max-blocks N]
+//!
+//! By default every app runs over its paper sizes in sampled-simulation
+//! mode (see DESIGN.md for the sampling substitution). `--full` forces
+//! functional simulation (slow; use small sizes).
+
+use gpusim::ExecMode;
+use unibench::{all_apps, app_by_name, build_variant, measure, Variant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut app_filter: Option<String> = None;
+    let mut sizes_override: Option<Vec<u32>> = None;
+    let mut full = false;
+    let mut max_blocks = 4u32;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--app" => {
+                app_filter = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--sizes" => {
+                sizes_override = Some(
+                    args[i + 1]
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("size"))
+                        .collect(),
+                );
+                i += 2;
+            }
+            "--full" => {
+                full = true;
+                i += 1;
+            }
+            "--max-blocks" => {
+                max_blocks = args[i + 1].parse().expect("max-blocks");
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mode = if full {
+        ExecMode::Functional
+    } else {
+        ExecMode::Sampled { max_blocks }
+    };
+    let work = std::env::temp_dir().join("ompi-fig4");
+
+    let apps = match &app_filter {
+        Some(name) => vec![app_by_name(name).unwrap_or_else(|| {
+            eprintln!("unknown app `{name}`; available: 3dconv bicg atax mvt gemm gramschmidt");
+            std::process::exit(2);
+        })],
+        None => all_apps(),
+    };
+
+    println!("# Fig. 4 reproduction — simulated Jetson Nano 2GB (sm_53, 128-core Maxwell)");
+    println!("# mode: {:?}; times are simulated seconds (kernel + memory operations)\n", mode);
+    for app in apps {
+        let sizes: Vec<u32> = sizes_override.clone().unwrap_or_else(|| app.paper_sizes.to_vec());
+        println!("## {}", app.name);
+        println!("{:>8}  {:>14}  {:>14}  {:>8}", "size", "CUDA [s]", "OMPi [s]", "OMPi/CUDA");
+        for &n in &sizes {
+            let mut row = Vec::new();
+            for variant in [Variant::Cuda, Variant::OmpiCudadev] {
+                let built = build_variant(&app, variant, n, mode, true, &work);
+                let m = measure(&app, &built, n);
+                row.push(m.time_s);
+            }
+            println!(
+                "{:>8}  {:>14.6}  {:>14.6}  {:>8.3}",
+                n,
+                row[0],
+                row[1],
+                row[1] / row[0].max(1e-12)
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,12 @@
+//! `ompi-bench` — the evaluation harness: regenerates every figure of the
+//! paper (Fig. 4a–f) and hosts the Criterion component/ablation benches.
+//!
+//! * `cargo run -p ompi-bench --release --bin fig4` prints the Fig. 4
+//!   series (per app: problem size vs simulated execution time for the
+//!   pure-CUDA and the OMPi-cudadev versions).
+//! * `cargo bench -p ompi-bench` runs the Criterion benches: one bench per
+//!   Fig. 4 subplot (small/medium sizes) plus component microbenches and
+//!   the ablations called out in DESIGN.md (master/worker overhead,
+//!   PTX-JIT vs cubin loading).
+
+pub use unibench;

@@ -1,0 +1,515 @@
+//! Region analysis for outlining: free variables of a target/parallel
+//! region, canonical loop nests, and the call-graph closure of a kernel
+//! (§3: "the compiler then derives the call graph of the subtree, by
+//! discovering all called functions inside the kernel").
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use minic::ast::*;
+use minic::interp::{visit_child_exprs, visit_child_stmts, visit_stmt_exprs};
+use minic::omp::DirKind;
+use minic::token::Pos;
+use minic::types::Ty;
+
+/// Translation error.
+#[derive(Clone, Debug)]
+pub struct TransError {
+    pub pos: Pos,
+    pub msg: String,
+}
+
+impl std::fmt::Display for TransError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "translation error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for TransError {}
+
+pub type TResult<T> = Result<T, TransError>;
+
+/// A free variable of a region, with its declared type.
+#[derive(Clone, Debug)]
+pub struct FreeVar {
+    pub name: String,
+    pub ty: Ty,
+    pub slot: u32,
+}
+
+/// Collect the free variables of `body`: locals of the *enclosing* function
+/// that are referenced inside but declared outside the region. Returned in
+/// slot order (deterministic).
+pub fn free_vars(body: &Stmt, frame: &minic::sema::FrameInfo) -> Vec<FreeVar> {
+    let mut used: BTreeSet<u32> = BTreeSet::new();
+    let mut declared: BTreeSet<u32> = BTreeSet::new();
+
+    fn scan_expr(e: &Expr, used: &mut BTreeSet<u32>) {
+        if let ExprKind::Ident(_, Resolved::Local(slot)) = &e.kind {
+            used.insert(*slot);
+        }
+        visit_child_exprs(e, &mut |c| scan_expr(c, used));
+    }
+    fn scan_stmt(s: &Stmt, used: &mut BTreeSet<u32>, declared: &mut BTreeSet<u32>) {
+        if let Stmt::Decl(d) = s {
+            declared.insert(d.slot);
+        }
+        visit_stmt_exprs(s, &mut |e| scan_expr(e, used));
+        // Clause expressions of nested directives also count as uses.
+        if let Stmt::Omp(o) = s {
+            for_each_clause_expr(&o.dir, &mut |e| scan_expr(e, used));
+        }
+        visit_child_stmts(s, &mut |c| scan_stmt(c, used, declared));
+    }
+    scan_stmt(body, &mut used, &mut declared);
+
+    used.difference(&declared)
+        .map(|&slot| {
+            let info = &frame.slots[slot as usize];
+            FreeVar { name: info.name.clone(), ty: info.ty.clone(), slot }
+        })
+        .collect()
+}
+
+/// Visit every expression in a directive's clauses.
+pub fn for_each_clause_expr(dir: &minic::omp::Directive, f: &mut dyn FnMut(&Expr)) {
+    use minic::omp::Clause;
+    for c in &dir.clauses {
+        match c {
+            Clause::NumTeams(e)
+            | Clause::NumThreads(e)
+            | Clause::ThreadLimit(e)
+            | Clause::If(e)
+            | Clause::Device(e) => f(e),
+            Clause::Schedule { chunk: Some(e), .. } => f(e),
+            Clause::Map { items, .. } | Clause::UpdateTo(items) | Clause::UpdateFrom(items) => {
+                for it in items {
+                    for s in &it.sections {
+                        if let Some(l) = &s.lower {
+                            f(l);
+                        }
+                        if let Some(l) = &s.length {
+                            f(l);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One canonical loop of an associated nest.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    /// Loop variable name.
+    pub var: String,
+    /// Loop variable type (int or long).
+    pub var_ty: Ty,
+    /// Whether the variable was declared in the for-init.
+    pub var_declared: bool,
+    pub lb: Expr,
+    pub ub: Expr,
+    /// `true` for `<=` / `>=`.
+    pub inclusive: bool,
+    /// Literal step (positive for `<`/`<=` loops, negative for `>`/`>=`).
+    pub step: i64,
+    pub pos: Pos,
+}
+
+/// Extract `depth` perfectly-nested canonical loops from a statement.
+/// Returns the loops (outermost first) and the innermost body.
+pub fn canonical_nest(s: &Stmt, depth: u32) -> TResult<(Vec<LoopInfo>, Stmt)> {
+    let mut loops = Vec::new();
+    let mut cur = s.clone();
+    for level in 0..depth {
+        let (info, body) = canonical_loop(&cur)?;
+        loops.push(info);
+        if level + 1 < depth {
+            // The body must be exactly one nested for (possibly in a block).
+            cur = unwrap_single(body).ok_or_else(|| TransError {
+                pos: loops.last().unwrap().pos,
+                msg: format!("collapse({depth}) requires perfectly nested loops"),
+            })?;
+        } else {
+            return Ok((loops, body));
+        }
+    }
+    unreachable!("depth >= 1")
+}
+
+fn unwrap_single(s: Stmt) -> Option<Stmt> {
+    match s {
+        Stmt::For { .. } => Some(s),
+        Stmt::Block(b) => {
+            let mut inner: Vec<Stmt> =
+                b.stmts.into_iter().filter(|s| !matches!(s, Stmt::Empty)).collect();
+            if inner.len() == 1 {
+                unwrap_single(inner.remove(0))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Parse one canonical `for` loop.
+pub fn canonical_loop(s: &Stmt) -> TResult<(LoopInfo, Stmt)> {
+    let (init, cond, step, body) = match s {
+        Stmt::For { init, cond, step, body } => (init, cond, step, body),
+        other => {
+            return Err(TransError {
+                pos: Pos::default(),
+                msg: format!("expected a for loop, found {other:?}"),
+            })
+        }
+    };
+    // Init: `int i = lb` or `i = lb`.
+    let (var, var_ty, var_declared, lb, pos) = match init.as_deref() {
+        Some(Stmt::Decl(d)) => {
+            let lb = match &d.init {
+                Some(Init::Expr(e)) => e.clone(),
+                _ => {
+                    return Err(TransError {
+                        pos: d.pos,
+                        msg: "canonical loop needs an initializer".into(),
+                    })
+                }
+            };
+            (d.name.clone(), d.ty.clone(), true, lb, d.pos)
+        }
+        Some(Stmt::Expr(e)) => match &e.kind {
+            ExprKind::Assign { op: None, lhs, rhs } => match &lhs.kind {
+                ExprKind::Ident(name, _) => {
+                    (name.clone(), lhs.ty.clone(), false, (**rhs).clone(), e.pos)
+                }
+                _ => {
+                    return Err(TransError {
+                        pos: e.pos,
+                        msg: "canonical loop must initialize a simple variable".into(),
+                    })
+                }
+            },
+            _ => {
+                return Err(TransError {
+                    pos: e.pos,
+                    msg: "canonical loop needs `var = lb` initialization".into(),
+                })
+            }
+        },
+        _ => {
+            return Err(TransError {
+                pos: Pos::default(),
+                msg: "canonical loop needs an init expression".into(),
+            })
+        }
+    };
+    // Condition: `i < ub`, `i <= ub`, `i > ub`, `i >= ub`.
+    let (ub, inclusive, downward) = match cond {
+        Some(c) => match &c.kind {
+            ExprKind::Binary { op, lhs, rhs } => {
+                let lhs_is_var = matches!(&lhs.kind, ExprKind::Ident(n, _) if *n == var);
+                if !lhs_is_var {
+                    return Err(TransError {
+                        pos: c.pos,
+                        msg: "canonical loop condition must compare the loop variable".into(),
+                    });
+                }
+                match op {
+                    BinOp::Lt => ((**rhs).clone(), false, false),
+                    BinOp::Le => ((**rhs).clone(), true, false),
+                    BinOp::Gt => ((**rhs).clone(), false, true),
+                    BinOp::Ge => ((**rhs).clone(), true, true),
+                    other => {
+                        return Err(TransError {
+                            pos: c.pos,
+                            msg: format!("unsupported loop comparison {other:?}"),
+                        })
+                    }
+                }
+            }
+            _ => {
+                return Err(TransError {
+                    pos: c.pos,
+                    msg: "canonical loop needs a comparison condition".into(),
+                })
+            }
+        },
+        None => {
+            return Err(TransError { pos, msg: "canonical loop needs a condition".into() })
+        }
+    };
+    // Step: i++, ++i, i--, --i, i += c, i -= c, i = i + c, i = i - c.
+    let step_val: i64 = match step {
+        Some(e) => match &e.kind {
+            ExprKind::IncDec { inc, expr, .. }
+                if matches!(&expr.kind, ExprKind::Ident(n, _) if *n == var) =>
+            {
+                if *inc {
+                    1
+                } else {
+                    -1
+                }
+            }
+            ExprKind::Assign { op: Some(BinOp::Add), lhs, rhs }
+                if matches!(&lhs.kind, ExprKind::Ident(n, _) if *n == var) =>
+            {
+                rhs.const_int().ok_or_else(|| TransError {
+                    pos: e.pos,
+                    msg: "loop step must be a constant".into(),
+                })?
+            }
+            ExprKind::Assign { op: Some(BinOp::Sub), lhs, rhs }
+                if matches!(&lhs.kind, ExprKind::Ident(n, _) if *n == var) =>
+            {
+                -rhs.const_int().ok_or_else(|| TransError {
+                    pos: e.pos,
+                    msg: "loop step must be a constant".into(),
+                })?
+            }
+            ExprKind::Assign { op: None, lhs, rhs }
+                if matches!(&lhs.kind, ExprKind::Ident(n, _) if *n == var) =>
+            {
+                match &rhs.kind {
+                    ExprKind::Binary { op: BinOp::Add, lhs: a, rhs: b }
+                        if matches!(&a.kind, ExprKind::Ident(n, _) if *n == var) =>
+                    {
+                        b.const_int().ok_or_else(|| TransError {
+                            pos: e.pos,
+                            msg: "loop step must be a constant".into(),
+                        })?
+                    }
+                    ExprKind::Binary { op: BinOp::Sub, lhs: a, rhs: b }
+                        if matches!(&a.kind, ExprKind::Ident(n, _) if *n == var) =>
+                    {
+                        -b.const_int().ok_or_else(|| TransError {
+                            pos: e.pos,
+                            msg: "loop step must be a constant".into(),
+                        })?
+                    }
+                    _ => {
+                        return Err(TransError {
+                            pos: e.pos,
+                            msg: "unsupported loop step form".into(),
+                        })
+                    }
+                }
+            }
+            _ => {
+                return Err(TransError { pos: e.pos, msg: "unsupported loop step form".into() })
+            }
+        },
+        None => {
+            return Err(TransError { pos, msg: "canonical loop needs a step".into() })
+        }
+    };
+    if step_val == 0 || (step_val > 0) == downward {
+        return Err(TransError {
+            pos,
+            msg: "loop step direction contradicts the condition".into(),
+        });
+    }
+    Ok((
+        LoopInfo { var, var_ty, var_declared, lb, ub, inclusive, step: step_val, pos },
+        (**body).clone(),
+    ))
+}
+
+/// Collect the names of program-defined functions called (transitively)
+/// inside a statement — the kernel call-graph closure.
+pub fn call_closure(body: &Stmt, prog: &Program) -> Vec<String> {
+    let defs: BTreeMap<&str, &FuncDef> = prog
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            Item::Func(f) => Some((f.sig.name.as_str(), f)),
+            _ => None,
+        })
+        .collect();
+
+    fn scan_expr(e: &Expr, out: &mut BTreeSet<String>) {
+        if let ExprKind::Call { callee, .. } = &e.kind {
+            out.insert(callee.clone());
+        }
+        if let ExprKind::Ident(name, Resolved::Func) = &e.kind {
+            out.insert(name.clone());
+        }
+        visit_child_exprs(e, &mut |c| scan_expr(c, out));
+    }
+    fn scan_stmt(s: &Stmt, out: &mut BTreeSet<String>) {
+        visit_stmt_exprs(s, &mut |e| scan_expr(e, out));
+        visit_child_stmts(s, &mut |c| scan_stmt(c, out));
+    }
+
+    let mut result: Vec<String> = Vec::new();
+    let mut pending: Vec<String> = {
+        let mut s = BTreeSet::new();
+        scan_stmt(body, &mut s);
+        s.into_iter().collect()
+    };
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    while let Some(name) = pending.pop() {
+        if !seen.insert(name.clone()) {
+            continue;
+        }
+        if let Some(f) = defs.get(name.as_str()) {
+            result.push(name.clone());
+            let mut inner = BTreeSet::new();
+            for s in &f.body.stmts {
+                scan_stmt(s, &mut inner);
+            }
+            pending.extend(inner);
+        }
+    }
+    result.sort();
+    result
+}
+
+/// Does this statement (without descending into nested `target` regions)
+/// contain a stand-alone parallel-family directive? Decides combined-vs-
+/// master/worker lowering.
+pub fn contains_standalone_parallel(s: &Stmt) -> bool {
+    let mut found = false;
+    fn walk(s: &Stmt, found: &mut bool) {
+        if let Stmt::Omp(o) = s {
+            if matches!(
+                o.dir.kind,
+                DirKind::Parallel
+                    | DirKind::ParallelFor
+                    | DirKind::For
+                    | DirKind::Sections
+                    | DirKind::Single
+                    | DirKind::Master
+                    | DirKind::Critical
+                    | DirKind::Barrier
+            ) {
+                *found = true;
+            }
+            if o.dir.kind.is_target() {
+                return; // nested target: its own lowering
+            }
+        }
+        visit_child_stmts(s, &mut |c| walk(c, found));
+    }
+    walk(s, &mut found);
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::parser::parse;
+    use minic::sema::analyze;
+
+    fn func(src: &str) -> (Program, usize) {
+        let mut p = parse(src).unwrap();
+        analyze(&mut p).unwrap();
+        let idx = p
+            .items
+            .iter()
+            .position(|i| matches!(i, Item::Func(f) if f.sig.name == "f"))
+            .unwrap();
+        (p, idx)
+    }
+
+    #[test]
+    fn free_vars_excludes_region_locals() {
+        let (p, i) = func("void f(float *x, int n) { int outer = 1; { int inner = 2; x[outer] = inner + n; } }");
+        let f = match &p.items[i] {
+            Item::Func(f) => f,
+            _ => panic!(),
+        };
+        // The inner block: x, outer, n free; inner declared.
+        let body = f.body.stmts[1].clone();
+        let fv = free_vars(&body, &f.frame);
+        let names: Vec<_> = fv.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, ["x", "n", "outer"]);
+    }
+
+    #[test]
+    fn canonical_loop_forms() {
+        let (p, i) = func("void f(int n) { for (int i = 0; i < n; i++) ; }");
+        let f = match &p.items[i] {
+            Item::Func(f) => f,
+            _ => panic!(),
+        };
+        let (info, _) = canonical_loop(&f.body.stmts[0]).unwrap();
+        assert_eq!(info.var, "i");
+        assert!(info.var_declared);
+        assert_eq!(info.step, 1);
+        assert!(!info.inclusive);
+    }
+
+    #[test]
+    fn canonical_loop_downward_and_compound() {
+        let (p, i) = func("void f(int n) { for (int i = n - 1; i >= 0; i -= 2) ; }");
+        let f = match &p.items[i] {
+            Item::Func(f) => f,
+            _ => panic!(),
+        };
+        let (info, _) = canonical_loop(&f.body.stmts[0]).unwrap();
+        assert_eq!(info.step, -2);
+        assert!(info.inclusive);
+    }
+
+    #[test]
+    fn collapse_nest_extraction() {
+        let (p, i) =
+            func("void f(int n, float *a) { for (int i = 0; i < n; i++) for (int j = 0; j < n; j++) a[i*n+j] = 0; }");
+        let f = match &p.items[i] {
+            Item::Func(f) => f,
+            _ => panic!(),
+        };
+        let (loops, body) = canonical_nest(&f.body.stmts[0], 2).unwrap();
+        assert_eq!(loops.len(), 2);
+        assert_eq!(loops[0].var, "i");
+        assert_eq!(loops[1].var, "j");
+        assert!(matches!(body, Stmt::Expr(_)));
+    }
+
+    #[test]
+    fn imperfect_nest_rejected() {
+        let (p, i) = func(
+            "void f(int n, float *a) { for (int i = 0; i < n; i++) { a[i] = 0; for (int j = 0; j < n; j++) a[j] = 1; } }",
+        );
+        let f = match &p.items[i] {
+            Item::Func(f) => f,
+            _ => panic!(),
+        };
+        assert!(canonical_nest(&f.body.stmts[0], 2).is_err());
+    }
+
+    #[test]
+    fn call_closure_transitive() {
+        let src = r#"
+int leaf(int x) { return x + 1; }
+int mid(int x) { return leaf(x) * 2; }
+int unused(int x) { return x; }
+void f(int *out) { out[0] = mid(3); }
+"#;
+        let (p, i) = func(src);
+        let f = match &p.items[i] {
+            Item::Func(f) => f,
+            _ => panic!(),
+        };
+        let body = Stmt::Block(f.body.clone());
+        let names = call_closure(&body, &p);
+        assert_eq!(names, ["leaf", "mid"]);
+    }
+
+    #[test]
+    fn standalone_parallel_detection() {
+        let (p, i) = func(
+            "void f(int n, float *y) {\n#pragma omp target\n{\nint i;\n#pragma omp parallel for\nfor (i=0;i<n;i++) y[i]=0;\n}\n}",
+        );
+        let f = match &p.items[i] {
+            Item::Func(f) => f,
+            _ => panic!(),
+        };
+        if let Stmt::Omp(o) = &f.body.stmts[0] {
+            assert!(contains_standalone_parallel(o.body.as_ref().unwrap()));
+        } else {
+            panic!();
+        }
+    }
+}

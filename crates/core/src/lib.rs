@@ -1,0 +1,26 @@
+//! `ompi-core` — the OMPi compiler of the reproduction: the paper's primary
+//! contribution (§3, §4).
+//!
+//! * [`transform`] — the transformation & analysis phase: two
+//!   transformation sets (host + GPU) lower every OpenMP construct;
+//!   `target` regions are outlined into CUDA C kernel files, with combined
+//!   constructs mapped to grid launches and stand-alone parallel regions to
+//!   the master/worker scheme of Fig. 3.
+//! * [`driver`] — the `ompicc` compilation chain of Fig. 2 (and `CudaCc`,
+//!   the plain-CUDA baseline compiler used by the evaluation).
+//! * [`runner`] — executes compiled applications against the `hostomp` and
+//!   `cudadev` runtimes on the simulated Jetson Nano.
+
+pub mod analyze;
+pub mod driver;
+pub mod runner;
+pub mod transform;
+
+pub use analyze::TransError;
+pub use driver::{CompiledApp, CompiledCudaApp, CudaCc, Ompicc, OmpiccError};
+pub use runner::{OmpiHooks, Runner, RunnerConfig};
+pub use transform::{translate, KernelFile, Translation};
+
+/// Worker threads available to master/worker parallel regions (3 warps of
+/// the 128-core SMM).
+pub use cudadev::MW_WORKERS;

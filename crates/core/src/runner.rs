@@ -1,0 +1,523 @@
+//! Execution of compiled applications: wires the host interpreter's hooks
+//! to the OMPi runtimes — `hostomp` for `ort_*` calls and `cudadev` for
+//! `__dev_*` offloading — exactly where OMPi's generated C would call its
+//! runtime libraries.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use cudadev::{CudaDev, CudaDevConfig, DevClock, MapKind};
+use gpusim::ExecMode;
+use hostomp::{HostRt, WsState};
+use minic::interp::{HookCtx, Hooks, IResult, Interp, InterpError, Machine};
+use parking_lot::Mutex;
+use vmcommon::Value;
+
+use crate::driver::{CompiledApp, CompiledCudaApp};
+
+thread_local! {
+    /// Current worksharing loop of this host thread.
+    static LOOP_WS: RefCell<Option<Arc<WsState>>> = const { RefCell::new(None) };
+    /// Current sections region (state, total).
+    static SECT_WS: RefCell<Option<(Arc<WsState>, u64)>> = const { RefCell::new(None) };
+}
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct RunnerConfig {
+    /// Host guest-memory size.
+    pub host_mem: usize,
+    /// Device DRAM size.
+    pub device_mem: usize,
+    /// Grid simulation mode.
+    pub exec_mode: ExecMode,
+    /// JIT cache directory (PTX mode).
+    pub jit_cache_dir: std::path::PathBuf,
+    /// Estimate repeated launches from earlier ones (see cudadev docs).
+    pub launch_sampling: bool,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            host_mem: 256 << 20,
+            device_mem: 512 << 20,
+            exec_mode: ExecMode::Functional,
+            jit_cache_dir: std::env::temp_dir().join("ompi-jitcache"),
+            launch_sampling: false,
+        }
+    }
+}
+
+/// The runtime hook implementation.
+pub struct OmpiHooks {
+    pub rt: HostRt,
+    pub dev: CudaDev,
+    /// `omp_set_num_threads` ICV (0 = unset).
+    nthreads_icv: AtomicUsize,
+    /// For pure CUDA applications: the module kernels live in.
+    cuda_module: Option<String>,
+    /// First error raised inside a parallel region.
+    parallel_error: Mutex<Option<String>>,
+}
+
+impl OmpiHooks {
+    fn new(dev: CudaDev, cuda_module: Option<String>) -> OmpiHooks {
+        OmpiHooks {
+            rt: HostRt::new(),
+            dev,
+            nthreads_icv: AtomicUsize::new(0),
+            cuda_module,
+            parallel_error: Mutex::new(None),
+        }
+    }
+
+    fn map_kind(code: i64) -> MapKind {
+        match code {
+            0 => MapKind::To,
+            1 => MapKind::From,
+            3 => MapKind::Alloc,
+            4 => MapKind::Release,
+            5 => MapKind::Delete,
+            _ => MapKind::ToFrom,
+        }
+    }
+
+    /// Convert interpreter values to raw kernel-parameter bits according to
+    /// the kernel's parameter types — the "parameter preparation" phase:
+    /// host pointers are looked up in the map table.
+    fn prepare_params(
+        &self,
+        kernel: &sptx::Function,
+        args: &[Value],
+    ) -> IResult<Vec<u64>> {
+        if args.len() != kernel.params.len() {
+            return Err(InterpError::Trap(format!(
+                "kernel `{}` takes {} parameters, offload provided {}",
+                kernel.name,
+                kernel.params.len(),
+                args.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(args.len());
+        for (v, p) in args.iter().zip(&kernel.params) {
+            let bits = match (v, p.ty) {
+                (Value::Ptr(host), _) => self.dev.dev_addr(*host).ok_or_else(|| {
+                    InterpError::Trap(format!(
+                        "kernel argument {host:#x} is not mapped to the device (missing map clause?)"
+                    ))
+                })?,
+                (_, sptx::ScalarTy::F32) => v.as_f32().to_bits() as u64,
+                (_, sptx::ScalarTy::F64) => v.as_f64().to_bits(),
+                (_, sptx::ScalarTy::I32) => v.as_i32() as u32 as u64,
+                (_, sptx::ScalarTy::I64) => v.as_i64() as u64,
+            };
+            out.push(bits);
+        }
+        Ok(out)
+    }
+
+    /// Grid/block geometry for an offload (§5: scalar num_teams /
+    /// num_threads are mapped to multi-dimensional shapes matching the
+    /// hand-written CUDA versions; dimensionality comes from the collapsed
+    /// nest depth).
+    fn geometry(
+        mw: bool,
+        ndims: i64,
+        tcs: [i64; 3],
+        teams: i64,
+        threads: i64,
+    ) -> ([u32; 3], [u32; 3]) {
+        if mw {
+            return ([1, 1, 1], [cudadev::MW_BLOCK_THREADS, 1, 1]);
+        }
+        let threads = if threads > 0 { threads as u32 } else { 128 }.clamp(1, 1024);
+        let ceil = |a: i64, b: u32| -> u32 { ((a.max(1) as u64).div_ceil(b as u64)).min(65535) as u32 };
+        match ndims {
+            2 => {
+                let block = [32u32, (threads / 32).max(1), 1];
+                let grid = [ceil(tcs[1], block[0]), ceil(tcs[0], block[1]), 1];
+                (grid, block)
+            }
+            3 => {
+                let block = [32u32, 4, (threads / 128).max(1)];
+                let grid = [
+                    ceil(tcs[2], block[0]),
+                    ceil(tcs[1], block[1]),
+                    ceil(tcs[0], block[2]),
+                ];
+                (grid, block)
+            }
+            _ => {
+                let block = [threads, 1, 1];
+                let mut gx = ceil(tcs[0], block[0]);
+                if teams > 0 {
+                    gx = teams.clamp(1, 65535) as u32;
+                }
+                (([gx, 1, 1]), block)
+            }
+        }
+    }
+}
+
+impl Hooks for OmpiHooks {
+    fn call(&self, name: &str, args: &[Value], ctx: &HookCtx<'_>) -> IResult<Option<Value>> {
+        let a = |i: usize| args.get(i).copied().unwrap_or(Value::I32(0));
+        let mem = ctx.mem();
+        let read_str = |i: usize| -> IResult<String> {
+            Ok(mem.read_cstr(vmcommon::addr::offset(a(i).as_ptr()))?)
+        };
+        let write_i64 = |addr: Value, v: i64| -> IResult<()> {
+            mem.store_u64(vmcommon::addr::offset(addr.as_ptr()), v as u64)?;
+            Ok(())
+        };
+
+        match name {
+            // ------------------------------------------------- offloading
+            "__dev_map" => {
+                let kind = Self::map_kind(a(2).as_i64());
+                self.dev
+                    .map(mem, a(0).as_ptr(), a(1).as_i64().max(0) as u64, kind)
+                    .map_err(|e| InterpError::Trap(e.to_string()))?;
+                Ok(Some(Value::I32(0)))
+            }
+            "__dev_unmap" => {
+                let kind = Self::map_kind(a(1).as_i64());
+                self.dev
+                    .unmap(mem, a(0).as_ptr(), kind)
+                    .map_err(|e| InterpError::Trap(e.to_string()))?;
+                Ok(Some(Value::I32(0)))
+            }
+            "__dev_update" => {
+                self.dev
+                    .update(mem, a(0).as_ptr(), a(1).as_i64().max(0) as u64, a(2).is_truthy())
+                    .map_err(|e| InterpError::Trap(e.to_string()))?;
+                Ok(Some(Value::I32(0)))
+            }
+            "__dev_offload" => {
+                // (module, kernel, mw, ndims, tc0, tc1, tc2, teams,
+                // threads, kernel args…)
+                let module = read_str(0)?;
+                let kernel = read_str(1)?;
+                let mw = a(2).is_truthy();
+                let ndims = a(3).as_i64();
+                let tcs = [a(4).as_i64(), a(5).as_i64(), a(6).as_i64()];
+                let teams = a(7).as_i64();
+                let threads = a(8).as_i64();
+                let m = self
+                    .dev
+                    .load_module(&module)
+                    .map_err(|e| InterpError::Trap(e.to_string()))?;
+                let kf = m
+                    .function(&kernel)
+                    .ok_or_else(|| InterpError::Trap(format!("kernel `{kernel}` not in `{module}`")))?;
+                let params = self.prepare_params(kf, &args[9..])?;
+                let (grid, block) = Self::geometry(mw, ndims, tcs, teams, threads);
+                self.dev
+                    .launch(&module, &kernel, grid, block, params)
+                    .map_err(|e| InterpError::Trap(e.to_string()))?;
+                Ok(Some(Value::I32(0)))
+            }
+
+            // --------------------------------------------- host parallelism
+            "ort_execute_parallel" => {
+                let fname = read_str(0)?;
+                let env = a(1);
+                let nthr_req = a(2).as_i64();
+                let icv = self.nthreads_icv.load(Ordering::Relaxed);
+                let nthr = if nthr_req > 0 {
+                    Some(nthr_req as usize)
+                } else if icv > 0 {
+                    Some(icv)
+                } else {
+                    None
+                };
+                let machine = ctx.machine.clone();
+                let hooks = ctx.hooks.clone();
+                self.rt.parallel(nthr, |_tid| {
+                    let r = Interp::new(machine.clone(), hooks.clone())
+                        .and_then(|mut i| i.call(&fname, &[Value::I64(env.as_i64())]));
+                    if let Err(e) = r {
+                        let mut slot = self.parallel_error.lock();
+                        if slot.is_none() {
+                            *slot = Some(e.to_string());
+                        }
+                    }
+                });
+                if let Some(e) = self.parallel_error.lock().take() {
+                    return Err(InterpError::Trap(format!("in parallel region: {e}")));
+                }
+                Ok(Some(Value::I32(0)))
+            }
+            "ort_barrier" => {
+                self.rt.barrier();
+                Ok(Some(Value::I32(0)))
+            }
+            "ort_critical_enter" => {
+                self.rt.critical_enter(&read_str(0)?);
+                Ok(Some(Value::I32(0)))
+            }
+            "ort_critical_exit" => {
+                self.rt.critical_exit(&read_str(0)?);
+                Ok(Some(Value::I32(0)))
+            }
+            "ort_single" => Ok(Some(Value::I32(self.rt.single_enter() as i32))),
+            "ort_sections_begin" => {
+                let n = a(0).as_i64().max(0) as u64;
+                let ws = self.rt.sections_begin();
+                SECT_WS.with(|s| *s.borrow_mut() = Some((ws, n)));
+                Ok(Some(Value::I32(0)))
+            }
+            "ort_sections_next" => {
+                let r = SECT_WS.with(|s| {
+                    let b = s.borrow();
+                    b.as_ref().and_then(|(ws, n)| ws.sections_next(*n))
+                });
+                Ok(Some(Value::I64(r.map(|v| v as i64).unwrap_or(-1))))
+            }
+            "ort_loop_begin" => {
+                let ws = self.rt.loop_begin(a(0).as_i64().max(0) as u64);
+                LOOP_WS.with(|s| *s.borrow_mut() = Some(ws));
+                Ok(Some(Value::I32(0)))
+            }
+            "ort_static_chunk" => {
+                // (chunk, &lb, &ub) over the current loop.
+                let ws = LOOP_WS
+                    .with(|s| s.borrow().clone())
+                    .ok_or_else(|| InterpError::Trap("ort_static_chunk without a loop".into()))?;
+                let nthr = self.rt.num_threads() as u64;
+                let tid = self.rt.thread_num() as u64;
+                // `schedule(static, chunk)` degenerates to the blocked
+                // partition (any exact partition is a legal static
+                // schedule for correctness purposes; documented in
+                // DESIGN.md).
+                let (lo, hi) = vmcommon::sched::static_block(ws.total, nthr, tid);
+                write_i64(a(1), lo as i64)?;
+                write_i64(a(2), hi as i64)?;
+                Ok(Some(Value::I32(0)))
+            }
+            "ort_dynamic_next" => {
+                let ws = LOOP_WS
+                    .with(|s| s.borrow().clone())
+                    .ok_or_else(|| InterpError::Trap("ort_dynamic_next without a loop".into()))?;
+                match ws.dynamic.next_chunk(ws.total, a(0).as_i64().max(1) as u64) {
+                    Some((lo, hi)) => {
+                        write_i64(a(1), lo as i64)?;
+                        write_i64(a(2), hi as i64)?;
+                        Ok(Some(Value::I32(1)))
+                    }
+                    None => Ok(Some(Value::I32(0))),
+                }
+            }
+            "ort_guided_next" => {
+                let ws = LOOP_WS
+                    .with(|s| s.borrow().clone())
+                    .ok_or_else(|| InterpError::Trap("ort_guided_next without a loop".into()))?;
+                let nthr = self.rt.num_threads() as u64;
+                match ws.guided.next_chunk(ws.total, nthr, a(0).as_i64().max(1) as u64) {
+                    Some((lo, hi)) => {
+                        write_i64(a(1), lo as i64)?;
+                        write_i64(a(2), hi as i64)?;
+                        Ok(Some(Value::I32(1)))
+                    }
+                    None => Ok(Some(Value::I32(0))),
+                }
+            }
+
+            // ------------------------------------------------- omp_* API
+            "omp_get_thread_num" => Ok(Some(Value::I32(self.rt.thread_num() as i32))),
+            "omp_get_num_threads" => Ok(Some(Value::I32(self.rt.num_threads() as i32))),
+            "omp_get_max_threads" => {
+                let icv = self.nthreads_icv.load(Ordering::Relaxed);
+                Ok(Some(Value::I32(if icv > 0 { icv } else { self.rt.default_threads } as i32)))
+            }
+            "omp_in_parallel" => Ok(Some(Value::I32(self.rt.in_parallel() as i32))),
+            "omp_set_num_threads" => {
+                self.nthreads_icv.store(a(0).as_i64().max(1) as usize, Ordering::Relaxed);
+                Ok(Some(Value::I32(0)))
+            }
+            "omp_get_wtime" => Ok(Some(Value::F64(self.rt.wtime()))),
+            "omp_get_num_procs" => Ok(Some(Value::I32(4))), // quad-core A57
+            "omp_get_num_devices" => Ok(Some(Value::I32(1))),
+            "omp_get_default_device" => Ok(Some(Value::I32(0))),
+            "omp_is_initial_device" => Ok(Some(Value::I32(1))),
+            "omp_get_team_num" => Ok(Some(Value::I32(0))),
+            "omp_get_num_teams" => Ok(Some(Value::I32(1))),
+
+            // ----------------------------------- CUDA runtime (baselines)
+            "cudaMalloc" => {
+                // cudaMalloc(&ptr, size)
+                let size = a(1).as_i64().max(0) as u64;
+                let dp = self
+                    .dev
+                    .device()
+                    .mem_alloc(size)
+                    .map_err(|e| InterpError::Trap(e.to_string()))?;
+                mem.store_u64(vmcommon::addr::offset(a(0).as_ptr()), dp)?;
+                Ok(Some(Value::I32(0)))
+            }
+            "cudaFree" => {
+                self.dev
+                    .device()
+                    .mem_free(a(0).as_ptr())
+                    .map_err(|e| InterpError::Trap(e.to_string()))?;
+                Ok(Some(Value::I32(0)))
+            }
+            "cudaMemcpy" => {
+                // cudaMemcpy(dst, src, bytes, kind): 1 = HtoD, 2 = DtoH.
+                let bytes = a(2).as_i64().max(0) as usize;
+                let kind = a(3).as_i64();
+                let device = self.dev.device();
+                let t = match kind {
+                    1 => {
+                        let mut buf = vec![0u8; bytes];
+                        mem.read_bytes(vmcommon::addr::offset(a(1).as_ptr()), &mut buf)?;
+                        device
+                            .memcpy_h2d(a(0).as_ptr(), &buf)
+                            .map_err(|e| InterpError::Trap(e.to_string()))?
+                    }
+                    2 => {
+                        let mut buf = vec![0u8; bytes];
+                        let t = device
+                            .memcpy_d2h(&mut buf, a(1).as_ptr())
+                            .map_err(|e| InterpError::Trap(e.to_string()))?;
+                        mem.write_bytes(vmcommon::addr::offset(a(0).as_ptr()), &buf)?;
+                        t
+                    }
+                    other => {
+                        return Err(InterpError::Trap(format!("cudaMemcpy kind {other} unsupported")))
+                    }
+                };
+                let mut clk = self.dev.clock.lock();
+                clk.memcpy_s += t;
+                if kind == 1 {
+                    clk.h2d_bytes += bytes as u64;
+                } else {
+                    clk.d2h_bytes += bytes as u64;
+                }
+                Ok(Some(Value::I32(0)))
+            }
+            "cudaDeviceSynchronize" | "cudaThreadSynchronize" => Ok(Some(Value::I32(0))),
+            "cudaMemset" => {
+                self.dev
+                    .device()
+                    .memset_d8(a(0).as_ptr(), a(1).as_i64() as u8, a(2).as_i64().max(0) as u64)
+                    .map_err(|e| InterpError::Trap(e.to_string()))?;
+                Ok(Some(Value::I32(0)))
+            }
+
+            _ => Ok(None),
+        }
+    }
+
+    fn kernel_launch(
+        &self,
+        name: &str,
+        grid: [u32; 3],
+        block: [u32; 3],
+        args: &[Value],
+        _ctx: &HookCtx<'_>,
+    ) -> IResult<()> {
+        let module = self
+            .cuda_module
+            .clone()
+            .ok_or_else(|| InterpError::Trap("no CUDA module registered for launches".into()))?;
+        let m = self.dev.load_module(&module).map_err(|e| InterpError::Trap(e.to_string()))?;
+        let kf = m
+            .function(name)
+            .ok_or_else(|| InterpError::Trap(format!("kernel `{name}` not in `{module}`")))?;
+        // CUDA host code passes raw device pointers — no map translation.
+        let mut params = Vec::with_capacity(args.len());
+        for (v, p) in args.iter().zip(&kf.params) {
+            params.push(match (v, p.ty) {
+                (Value::Ptr(dp), _) => *dp,
+                (_, sptx::ScalarTy::F32) => v.as_f32().to_bits() as u64,
+                (_, sptx::ScalarTy::F64) => v.as_f64().to_bits(),
+                (_, sptx::ScalarTy::I32) => v.as_i32() as u32 as u64,
+                (_, sptx::ScalarTy::I64) => v.as_i64() as u64,
+            });
+        }
+        if args.len() != kf.params.len() {
+            return Err(InterpError::Trap(format!(
+                "kernel `{name}` takes {} parameters, launch provided {}",
+                kf.params.len(),
+                args.len()
+            )));
+        }
+        self.dev
+            .launch(&module, name, grid, block, params)
+            .map_err(|e| InterpError::Trap(e.to_string()))?;
+        Ok(())
+    }
+}
+
+/// A runnable application instance.
+pub struct Runner {
+    pub machine: Arc<Machine>,
+    pub hooks: Arc<OmpiHooks>,
+    hooks_dyn: Arc<dyn Hooks>,
+}
+
+impl Runner {
+    /// Instantiate a compiled OpenMP application.
+    pub fn new(app: &CompiledApp, cfg: &RunnerConfig) -> IResult<Runner> {
+        let machine = Machine::new(app.host.clone(), app.host_info.clone(), cfg.host_mem)?;
+        let dev = CudaDev::new(CudaDevConfig {
+            global_mem: cfg.device_mem,
+            kernel_dir: app.kernel_dir.clone(),
+            jit_cache_dir: cfg.jit_cache_dir.clone(),
+            exec_mode: cfg.exec_mode,
+            launch_sampling: cfg.launch_sampling,
+        });
+        let hooks = Arc::new(OmpiHooks::new(dev, None));
+        let hooks_dyn: Arc<dyn Hooks> = hooks.clone();
+        Ok(Runner { machine, hooks, hooks_dyn })
+    }
+
+    /// Instantiate a compiled pure-CUDA application.
+    pub fn new_cuda(app: &CompiledCudaApp, cfg: &RunnerConfig) -> IResult<Runner> {
+        let machine = Machine::new(app.host.clone(), app.host_info.clone(), cfg.host_mem)?;
+        let dev = CudaDev::new(CudaDevConfig {
+            global_mem: cfg.device_mem,
+            kernel_dir: app.kernel_dir.clone(),
+            jit_cache_dir: cfg.jit_cache_dir.clone(),
+            exec_mode: cfg.exec_mode,
+            launch_sampling: cfg.launch_sampling,
+        });
+        let hooks = Arc::new(OmpiHooks::new(dev, Some(app.module_name.clone())));
+        let hooks_dyn: Arc<dyn Hooks> = hooks.clone();
+        Ok(Runner { machine, hooks, hooks_dyn })
+    }
+
+    /// Call a guest function.
+    pub fn call(&self, name: &str, args: &[Value]) -> IResult<Value> {
+        let mut i = Interp::new(self.machine.clone(), self.hooks_dyn.clone())?;
+        i.call(name, args)
+    }
+
+    /// Run `main()`.
+    pub fn run_main(&self) -> IResult<Value> {
+        self.call("main", &[])
+    }
+
+    /// The accumulated virtual device time (the paper's reported metric).
+    pub fn dev_clock(&self) -> DevClock {
+        *self.hooks.dev.clock.lock()
+    }
+
+    /// Reset the virtual device clock (before a measured run).
+    pub fn reset_dev_clock(&self) {
+        self.hooks.dev.reset_clock();
+    }
+
+    /// Captured guest stdout.
+    pub fn take_output(&self) -> String {
+        self.machine.take_output()
+    }
+
+    /// Captured device printf output.
+    pub fn take_device_output(&self) -> String {
+        self.hooks.dev.device().take_printf_output()
+    }
+}

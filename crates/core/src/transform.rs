@@ -1,0 +1,2293 @@
+//! The OMPi transformation phase (§3): AST→AST rewriting of OpenMP
+//! constructs, with two transformation sets:
+//!
+//! * the **GPU set** — `target`-family constructs are outlined into CUDA C
+//!   kernel functions. Combined `target teams distribute parallel for`
+//!   constructs become grid launches with the two-phase
+//!   `get_distribute_chunk` / `get_*_chunk` iteration distribution (§3.1);
+//!   regions with stand-alone `parallel` constructs get the master/worker
+//!   scheme of §3.2 (Fig. 3).
+//! * the **host set** — host-side `parallel`/worksharing constructs are
+//!   outlined into host thread functions driven by the `hostomp` runtime;
+//!   data-environment directives become cudadev runtime calls.
+//!
+//! The rewritten host program calls runtime entry points by name
+//! (`__dev_*`, `ort_*`), which the [`crate::runner`] wires to the real
+//! runtimes through interpreter hooks.
+
+use std::collections::HashMap;
+
+use minic::ast::build as b;
+use minic::ast::*;
+use minic::omp::{Clause, DirKind, Directive, MapKind as OmpMapKind, RedOp, SchedKind};
+use minic::pretty;
+use minic::sema::FrameInfo;
+use minic::token::Pos;
+use minic::types::{ArrayLen, Ty};
+
+use crate::analyze::*;
+
+/// A generated kernel file.
+#[derive(Clone, Debug)]
+pub struct KernelFile {
+    pub id: u32,
+    /// Module name (= file stem of the emitted `.cu`).
+    pub module_name: String,
+    /// Entry kernel function.
+    pub kernel_fn: String,
+    /// CUDA C source text (the paper's separate kernel file, §3.3).
+    pub c_text: String,
+    /// Whether it uses the master/worker scheme.
+    pub master_worker: bool,
+}
+
+/// The result of translating one program.
+#[derive(Clone, Debug)]
+pub struct Translation {
+    /// The lowered host program (pragma-free; calls runtime functions).
+    pub host: Program,
+    pub kernels: Vec<KernelFile>,
+}
+
+/// Translate an analyzed program.
+pub fn translate(prog: &Program) -> TResult<Translation> {
+    let mut tr = Translator {
+        prog,
+        kernels: Vec::new(),
+        host_fns: Vec::new(),
+        next_kernel: 0,
+        next_hostfn: 0,
+        next_tmp: 0,
+        critical_ids: HashMap::new(),
+    };
+    let mut items = Vec::new();
+    for item in &prog.items {
+        match item {
+            Item::Func(f) => {
+                let mut body_stmts = Vec::new();
+                let ctx = HostCtx { fname: f.sig.name.clone(), frame: &f.frame, in_parallel: false };
+                for s in &f.body.stmts {
+                    body_stmts.push(tr.host_stmt(s, &ctx)?);
+                }
+                let mut nf = f.clone();
+                nf.body = Block { stmts: body_stmts };
+                nf.frame = FrameInfo::default(); // re-sema will rebuild
+                items.push(Item::Func(nf));
+            }
+            Item::DeclareTarget(_) => {} // consumed (functions already marked)
+            other => items.push(other.clone()),
+        }
+    }
+    // Outlined host thread functions go at the end.
+    items.extend(tr.host_fns.drain(..).map(Item::Func));
+    Ok(Translation { host: Program { items }, kernels: tr.kernels })
+}
+
+struct HostCtx<'f> {
+    fname: String,
+    frame: &'f FrameInfo,
+    /// Inside an outlined host parallel region (worksharing context).
+    #[allow(dead_code)]
+    in_parallel: bool,
+}
+
+/// How a free variable enters a kernel / thread function.
+#[derive(Clone, Debug)]
+enum VarRole {
+    /// Mapped pointer: kernel parameter of decayed pointer type; launch arg
+    /// is the host section base address.
+    Mapped {
+        #[allow(dead_code)]
+        kind: OmpMapKind,
+        base: Expr,
+        #[allow(dead_code)]
+        bytes: Expr,
+        param_ty: Ty,
+    },
+    /// Scalar passed by value.
+    FirstPrivate,
+    /// Reduction accumulator.
+    Reduction(RedOp),
+}
+
+struct Translator<'p> {
+    prog: &'p Program,
+    kernels: Vec<KernelFile>,
+    host_fns: Vec<FuncDef>,
+    next_kernel: u32,
+    next_hostfn: u32,
+    next_tmp: u32,
+    critical_ids: HashMap<String, i64>,
+}
+
+fn err(pos: Pos, msg: impl Into<String>) -> TransError {
+    TransError { pos, msg: msg.into() }
+}
+
+fn sizeof_expr(ty: &Ty) -> Expr {
+    b::e(ExprKind::SizeofTy(ty.clone()))
+}
+
+fn long_cast(e: Expr) -> Expr {
+    b::cast(Ty::Long, e)
+}
+
+impl<'p> Translator<'p> {
+    fn tmp(&mut self, base: &str) -> String {
+        let n = self.next_tmp;
+        self.next_tmp += 1;
+        format!("__{base}{n}")
+    }
+
+    fn critical_id(&mut self, name: &str) -> i64 {
+        let next = self.critical_ids.len() as i64;
+        *self.critical_ids.entry(name.to_string()).or_insert(next)
+    }
+
+    // ================================================= host transformation
+
+    fn host_stmt(&mut self, s: &Stmt, ctx: &HostCtx<'_>) -> TResult<Stmt> {
+        match s {
+            Stmt::Omp(o) => self.host_directive(o, ctx),
+            Stmt::Block(bl) => {
+                let mut out = Vec::new();
+                for st in &bl.stmts {
+                    out.push(self.host_stmt(st, ctx)?);
+                }
+                Ok(Stmt::Block(Block { stmts: out }))
+            }
+            Stmt::If { cond, then_s, else_s } => Ok(Stmt::If {
+                cond: cond.clone(),
+                then_s: Box::new(self.host_stmt(then_s, ctx)?),
+                else_s: match else_s {
+                    Some(e) => Some(Box::new(self.host_stmt(e, ctx)?)),
+                    None => None,
+                },
+            }),
+            Stmt::For { init, cond, step, body } => Ok(Stmt::For {
+                init: init.clone(),
+                cond: cond.clone(),
+                step: step.clone(),
+                body: Box::new(self.host_stmt(body, ctx)?),
+            }),
+            Stmt::While { cond, body } => Ok(Stmt::While {
+                cond: cond.clone(),
+                body: Box::new(self.host_stmt(body, ctx)?),
+            }),
+            Stmt::DoWhile { body, cond } => Ok(Stmt::DoWhile {
+                body: Box::new(self.host_stmt(body, ctx)?),
+                cond: cond.clone(),
+            }),
+            other => Ok(other.clone()),
+        }
+    }
+
+    fn host_directive(&mut self, o: &OmpStmt, ctx: &HostCtx<'_>) -> TResult<Stmt> {
+        let dir = &o.dir;
+        match dir.kind {
+            k if k.is_target() => self.lower_target(o, ctx),
+            DirKind::TargetData => self.lower_target_data(o, ctx),
+            DirKind::TargetEnterData => Ok(self.map_calls(dir, ctx, /*enter*/ true)?),
+            DirKind::TargetExitData => Ok(self.map_calls(dir, ctx, false)?),
+            DirKind::TargetUpdate => self.lower_target_update(dir, ctx),
+            DirKind::Parallel | DirKind::ParallelFor => self.lower_host_parallel(o, ctx),
+            DirKind::For => self.lower_host_for(o, ctx),
+            DirKind::Sections => self.lower_host_sections(o, ctx),
+            DirKind::Single => {
+                let body = self.host_stmt(o.body.as_deref().unwrap_or(&Stmt::Empty), ctx)?;
+                let mut stmts = vec![Stmt::If {
+                    cond: b::call("ort_single", vec![]),
+                    then_s: Box::new(body),
+                    else_s: None,
+                }];
+                if !dir.clause_nowait() {
+                    stmts.push(b::expr_stmt(b::call("ort_barrier", vec![])));
+                }
+                Ok(b::block(stmts))
+            }
+            DirKind::Master => {
+                let body = self.host_stmt(o.body.as_deref().unwrap_or(&Stmt::Empty), ctx)?;
+                Ok(Stmt::If {
+                    cond: b::bin(
+                        BinOp::Eq,
+                        b::call("omp_get_thread_num", vec![]),
+                        b::int(0),
+                    ),
+                    then_s: Box::new(body),
+                    else_s: None,
+                })
+            }
+            DirKind::Critical => {
+                let name = dir
+                    .clauses
+                    .iter()
+                    .find_map(|c| match c {
+                        Clause::Name(n) => Some(n.clone()),
+                        _ => None,
+                    })
+                    .unwrap_or_default();
+                let body = self.host_stmt(o.body.as_deref().unwrap_or(&Stmt::Empty), ctx)?;
+                Ok(b::block(vec![
+                    b::expr_stmt(b::call(
+                        "ort_critical_enter",
+                        vec![b::e(ExprKind::StrLit(name.clone()))],
+                    )),
+                    body,
+                    b::expr_stmt(b::call(
+                        "ort_critical_exit",
+                        vec![b::e(ExprKind::StrLit(name))],
+                    )),
+                ]))
+            }
+            DirKind::Barrier => Ok(b::expr_stmt(b::call("ort_barrier", vec![]))),
+            DirKind::Teams
+            | DirKind::TeamsDistribute
+            | DirKind::TeamsDistributeParallelFor
+            | DirKind::Distribute
+            | DirKind::DistributeParallelFor => {
+                // Host-side teams degenerate to a single team.
+                let body = self.host_stmt(o.body.as_deref().unwrap_or(&Stmt::Empty), ctx)?;
+                Ok(body)
+            }
+            DirKind::Section => {
+                // Handled by lower_host_sections; a stray section runs inline.
+                self.host_stmt(o.body.as_deref().unwrap_or(&Stmt::Empty), ctx)
+            }
+            DirKind::DeclareTarget | DirKind::EndDeclareTarget => Ok(Stmt::Empty),
+            // All target-family kinds were consumed by the is_target guard.
+            _ => unreachable!("target-family directive fell through"),
+        }
+    }
+
+    /// Map-clause items of a directive → (base address expr, byte-size expr,
+    /// kind), resolved against the enclosing frame.
+    fn map_items(
+        &mut self,
+        dir: &Directive,
+        ctx: &HostCtx<'_>,
+        pos: Pos,
+    ) -> TResult<Vec<(String, OmpMapKind, Expr, Expr, Ty)>> {
+        let mut out = Vec::new();
+        for (kind, item) in dir.maps() {
+            let slot = ctx
+                .frame
+                .slots
+                .iter()
+                .find(|sl| sl.name == item.name)
+                .ok_or_else(|| err(pos, format!("map of unknown variable `{}`", item.name)))?;
+            let ty = slot.ty.clone();
+            let decayed = ty.decayed();
+            let (base, bytes, param_ty) = if let Ty::Ptr(pointee) = &decayed {
+                let sec = item.sections.first();
+                let lower = sec
+                    .and_then(|s| s.lower.clone())
+                    .unwrap_or_else(|| b::int(0));
+                let length = match sec.and_then(|s| s.length.clone()) {
+                    Some(l) => l,
+                    None => match &ty {
+                        // Whole array object.
+                        Ty::Array(_, ArrayLen::Const(n)) => b::int(*n as i64),
+                        Ty::Array(_, ArrayLen::Expr(e)) => (**e).clone(),
+                        _ => {
+                            return Err(err(
+                                pos,
+                                format!(
+                                    "map of pointer `{}` needs an array section (e.g. {}[0:n])",
+                                    item.name, item.name
+                                ),
+                            ))
+                        }
+                    },
+                };
+                let base = b::bin(BinOp::Add, b::ident(&item.name), lower);
+                let bytes = b::bin(
+                    BinOp::Mul,
+                    long_cast(length),
+                    sizeof_expr(pointee),
+                );
+                (base, bytes, decayed.clone())
+            } else {
+                // Scalar mapped by address.
+                let base = b::addr_of(b::ident(&item.name));
+                let bytes = sizeof_expr(&ty);
+                (base, bytes, Ty::Ptr(Box::new(ty.clone())))
+            };
+            out.push((item.name.clone(), kind, base, bytes, param_ty));
+        }
+        Ok(out)
+    }
+
+    fn map_kind_code(kind: OmpMapKind) -> i64 {
+        match kind {
+            OmpMapKind::To => 0,
+            OmpMapKind::From => 1,
+            OmpMapKind::ToFrom => 2,
+            OmpMapKind::Alloc => 3,
+            OmpMapKind::Release => 4,
+            OmpMapKind::Delete => 5,
+        }
+    }
+
+    /// Stand-alone enter/exit data.
+    fn map_calls(&mut self, dir: &Directive, ctx: &HostCtx<'_>, enter: bool) -> TResult<Stmt> {
+        let items = self.map_items(dir, ctx, Pos::default())?;
+        let mut stmts = Vec::new();
+        for (_, kind, base, bytes, _) in items {
+            let code = b::int(Self::map_kind_code(kind));
+            if enter {
+                stmts.push(b::expr_stmt(b::call("__dev_map", vec![base, bytes, code])));
+            } else {
+                stmts.push(b::expr_stmt(b::call("__dev_unmap", vec![base, code])));
+            }
+        }
+        Ok(b::block(stmts))
+    }
+
+    fn lower_target_update(&mut self, dir: &Directive, ctx: &HostCtx<'_>) -> TResult<Stmt> {
+        let mut stmts = Vec::new();
+        for c in &dir.clauses {
+            let (items, to_device) = match c {
+                Clause::UpdateTo(items) => (items, true),
+                Clause::UpdateFrom(items) => (items, false),
+                _ => continue,
+            };
+            for item in items {
+                let slot = ctx
+                    .frame
+                    .slots
+                    .iter()
+                    .find(|sl| sl.name == item.name)
+                    .ok_or_else(|| {
+                        err(Pos::default(), format!("update of unknown variable `{}`", item.name))
+                    })?;
+                let ty = slot.ty.clone();
+                let decayed = ty.decayed();
+                let (base, bytes) = if let Ty::Ptr(pointee) = &decayed {
+                    let sec = item.sections.first();
+                    let lower =
+                        sec.and_then(|s| s.lower.clone()).unwrap_or_else(|| b::int(0));
+                    let length = sec
+                        .and_then(|s| s.length.clone())
+                        .or_else(|| match &ty {
+                            Ty::Array(_, ArrayLen::Const(n)) => Some(b::int(*n as i64)),
+                            Ty::Array(_, ArrayLen::Expr(e)) => Some((**e).clone()),
+                            _ => None,
+                        })
+                        .ok_or_else(|| {
+                            err(
+                                Pos::default(),
+                                format!("update of `{}` needs an array section", item.name),
+                            )
+                        })?;
+                    (
+                        b::bin(BinOp::Add, b::ident(&item.name), lower),
+                        b::bin(BinOp::Mul, long_cast(length), sizeof_expr(pointee)),
+                    )
+                } else {
+                    (b::addr_of(b::ident(&item.name)), sizeof_expr(&ty))
+                };
+                stmts.push(b::expr_stmt(b::call(
+                    "__dev_update",
+                    vec![base, bytes, b::int(to_device as i64)],
+                )));
+            }
+        }
+        Ok(b::block(stmts))
+    }
+
+    fn lower_target_data(&mut self, o: &OmpStmt, ctx: &HostCtx<'_>) -> TResult<Stmt> {
+        let items = self.map_items(&o.dir, ctx, o.pos)?;
+        let mut stmts = Vec::new();
+        for (_, kind, base, bytes, _) in &items {
+            stmts.push(b::expr_stmt(b::call(
+                "__dev_map",
+                vec![base.clone(), bytes.clone(), b::int(Self::map_kind_code(*kind))],
+            )));
+        }
+        stmts.push(self.host_stmt(o.body.as_deref().unwrap_or(&Stmt::Empty), ctx)?);
+        for (_, kind, base, _, _) in items.iter().rev() {
+            stmts.push(b::expr_stmt(b::call(
+                "__dev_unmap",
+                vec![base.clone(), b::int(Self::map_kind_code(*kind))],
+            )));
+        }
+        Ok(b::block(stmts))
+    }
+
+    // ================================================== target offloading
+
+    fn lower_target(&mut self, o: &OmpStmt, ctx: &HostCtx<'_>) -> TResult<Stmt> {
+        let dir = &o.dir;
+        let body = o.body.as_deref().ok_or_else(|| err(o.pos, "target without a body"))?;
+
+        let kid = self.next_kernel;
+        self.next_kernel += 1;
+        let module_name = format!("k{}_{}", kid, ctx.fname);
+        let kernel_fn = format!("_kernelFunc{}_{}", kid, ctx.fname);
+
+        // Which lowering does this region need?
+        let combined = matches!(
+            dir.kind,
+            DirKind::TargetTeamsDistributeParallelFor | DirKind::TargetTeamsDistribute
+        );
+        let dist_only = dir.kind == DirKind::TargetTeamsDistribute;
+
+        // Canonical nest for combined constructs.
+        let collapse = dir.clause_collapse();
+        let (loops, inner_body) = if combined {
+            let (l, bdy) = canonical_nest(body, collapse)?;
+            (l, bdy)
+        } else {
+            (Vec::new(), Stmt::Empty)
+        };
+
+        // Classify free variables.
+        let fvs = free_vars(body, ctx.frame);
+        let maps = self.map_items(dir, ctx, o.pos)?;
+        let privates: Vec<String> = dir.privates().into_iter().cloned().collect();
+        let firstprivates_clause: Vec<String> =
+            dir.firstprivates().into_iter().cloned().collect();
+        let reductions: Vec<(RedOp, String)> =
+            dir.reductions().map(|(op, v)| (op, v.clone())).collect();
+        let loop_vars: Vec<&str> = loops.iter().map(|l| l.var.as_str()).collect();
+
+        let mut roles: Vec<(String, Ty, VarRole)> = Vec::new();
+        for fv in &fvs {
+            if loop_vars.contains(&fv.name.as_str()) || privates.contains(&fv.name) {
+                continue; // loop vars / privates: fresh locals
+            }
+            if let Some((op, _)) = reductions.iter().find(|(_, v)| *v == fv.name) {
+                roles.push((fv.name.clone(), fv.ty.clone(), VarRole::Reduction(*op)));
+                continue;
+            }
+            if let Some((_, kind, base, bytes, pty)) =
+                maps.iter().find(|(n, ..)| *n == fv.name)
+            {
+                // Mapped *scalars* are passed by value (a copy travels with
+                // the launch, like OMPi's firstprivate default for scalars);
+                // only pointers/arrays become device-buffer parameters.
+                if fv.ty.decayed().is_ptr() {
+                    roles.push((
+                        fv.name.clone(),
+                        fv.ty.clone(),
+                        VarRole::Mapped {
+                            kind: *kind,
+                            base: base.clone(),
+                            bytes: bytes.clone(),
+                            param_ty: pty.clone(),
+                        },
+                    ));
+                } else {
+                    roles.push((fv.name.clone(), fv.ty.clone(), VarRole::FirstPrivate));
+                }
+                continue;
+            }
+            let decayed = fv.ty.decayed();
+            if decayed.is_ptr() && !firstprivates_clause.contains(&fv.name) {
+                return Err(err(
+                    o.pos,
+                    format!(
+                        "`{}` is referenced in the target region but has no map clause",
+                        fv.name
+                    ),
+                ));
+            }
+            roles.push((fv.name.clone(), fv.ty.clone(), VarRole::FirstPrivate));
+        }
+        // Mapped-but-unreferenced variables still need their data motion:
+        // they participate in map/unmap but are not kernel parameters.
+
+        // ---- build the kernel program ----
+        let mut kprog = Program { items: Vec::new() };
+        // Call-graph closure → __device__ copies.
+        for name in call_closure(body, self.prog) {
+            let f = self.prog.items.iter().find_map(|i| match i {
+                Item::Func(f) if f.sig.name == name => Some(f),
+                _ => None,
+            });
+            if let Some(f) = f {
+                if contains_standalone_parallel(&Stmt::Block(f.body.clone())) {
+                    return Err(err(
+                        o.pos,
+                        format!("function `{name}` called from a kernel contains OpenMP directives"),
+                    ));
+                }
+                let mut df = f.clone();
+                df.sig.quals = FnQuals { global: false, device: true };
+                df.frame = FrameInfo::default();
+                kprog.items.push(Item::Func(df));
+            }
+        }
+
+        // Kernel parameters.
+        let mut params: Vec<Param> = Vec::new();
+        let mut launch_args: Vec<Expr> = Vec::new();
+        for (name, _ty, role) in &roles {
+            match role {
+                VarRole::Mapped { base, param_ty, .. } => {
+                    params.push(Param { name: name.clone(), ty: param_ty.clone(), slot: u32::MAX });
+                    launch_args.push(base.clone());
+                }
+                VarRole::FirstPrivate => {
+                    params.push(Param { name: name.clone(), ty: _ty.clone(), slot: u32::MAX });
+                    launch_args.push(b::ident(name));
+                }
+                VarRole::Reduction(_) => {
+                    params.push(Param {
+                        name: format!("__red_{name}"),
+                        ty: Ty::Ptr(Box::new(_ty.clone())),
+                        slot: u32::MAX,
+                    });
+                    launch_args.push(b::addr_of(b::ident(name)));
+                }
+            }
+        }
+
+        let master_worker = !combined;
+        let mut scalar_writebacks: Vec<String> = Vec::new();
+        let mut kbody: Vec<Stmt> = Vec::new();
+        // Private-clause locals.
+        for pv in &privates {
+            let ty = ctx
+                .frame
+                .slots
+                .iter()
+                .find(|sl| sl.name == *pv)
+                .map(|sl| sl.ty.clone())
+                .unwrap_or(Ty::Int);
+            kbody.push(b::decl(pv, ty, None));
+        }
+
+        if combined {
+            kbody.extend(self.combined_kernel_body(
+                &loops,
+                &inner_body,
+                dir,
+                &roles,
+                dist_only,
+                o.pos,
+            )?);
+        } else {
+            // Mapped scalars with write-back (map(from/tofrom: scalar)):
+            // pass an output pointer and have the master store the final
+            // value before exiting the target region.
+            for (name, kind, _, _, _) in &maps {
+                let is_scalar_wb = matches!(kind, OmpMapKind::From | OmpMapKind::ToFrom)
+                    && roles.iter().any(|(n, _, r)| n == name && matches!(r, VarRole::FirstPrivate));
+                if is_scalar_wb {
+                    let ty = ctx
+                        .frame
+                        .slots
+                        .iter()
+                        .find(|sl| sl.name == *name)
+                        .map(|sl| sl.ty.clone())
+                        .unwrap_or(Ty::Int);
+                    params.push(Param {
+                        name: format!("__out_{name}"),
+                        ty: Ty::Ptr(Box::new(ty)),
+                        slot: u32::MAX,
+                    });
+                    launch_args.push(b::addr_of(b::ident(name)));
+                    scalar_writebacks.push(name.clone());
+                }
+            }
+            // `target parallel [for]`: the parallel part becomes an inner
+            // stand-alone region so the master/worker scheme handles it.
+            let mw_body = match dir.kind {
+                DirKind::TargetParallel | DirKind::TargetParallelFor => {
+                    let inner_kind = if dir.kind == DirKind::TargetParallel {
+                        DirKind::Parallel
+                    } else {
+                        DirKind::ParallelFor
+                    };
+                    let forwarded: Vec<Clause> = dir
+                        .clauses
+                        .iter()
+                        .filter(|c| {
+                            matches!(
+                                c,
+                                Clause::NumThreads(_)
+                                    | Clause::Schedule { .. }
+                                    | Clause::Collapse(_)
+                                    | Clause::Private(_)
+                                    | Clause::Reduction { .. }
+                            )
+                        })
+                        .cloned()
+                        .collect();
+                    Stmt::Omp(OmpStmt {
+                        dir: Directive { kind: inner_kind, clauses: forwarded },
+                        body: Some(Box::new(body.clone())),
+                        pos: o.pos,
+                    })
+                }
+                _ => body.clone(),
+            };
+            kbody.extend(self.master_worker_kernel_body(
+                &mw_body,
+                &roles,
+                &scalar_writebacks,
+                o.pos,
+                &mut kprog,
+            )?);
+        }
+
+        let kfun = FuncDef {
+            sig: FuncSig {
+                name: kernel_fn.clone(),
+                ret: Ty::Void,
+                params,
+                quals: FnQuals { global: true, device: false },
+                pos: o.pos,
+            },
+            body: Block { stmts: kbody },
+            frame: FrameInfo::default(),
+            declare_target: false,
+        };
+        kprog.items.push(Item::Func(kfun));
+        let c_text = pretty::program(&kprog);
+        self.kernels.push(KernelFile {
+            id: kid,
+            module_name: module_name.clone(),
+            kernel_fn: kernel_fn.clone(),
+            c_text,
+            master_worker,
+        });
+
+        // ---- host-side replacement ----
+        // Scalars in map clauses were demoted to by-value parameters; only
+        // pointer/array items need device buffers.
+        let buffer_maps: Vec<_> = maps
+            .iter()
+            .filter(|(n, ..)| {
+                ctx.frame
+                    .slots
+                    .iter()
+                    .find(|sl| sl.name == *n)
+                    .map(|sl| sl.ty.decayed().is_ptr())
+                    .unwrap_or(false)
+            })
+            .cloned()
+            .collect();
+        let mut stmts: Vec<Stmt> = Vec::new();
+        // map entries (region lifetime) — includes mapped-but-unreferenced.
+        for (_, kind, base, bytes, _) in &buffer_maps {
+            stmts.push(b::expr_stmt(b::call(
+                "__dev_map",
+                vec![base.clone(), bytes.clone(), b::int(Self::map_kind_code(*kind))],
+            )));
+        }
+        // Written-back mapped scalars need a device buffer.
+        for name in &scalar_writebacks {
+            stmts.push(b::expr_stmt(b::call(
+                "__dev_map",
+                vec![
+                    b::addr_of(b::ident(name)),
+                    sizeof_expr(
+                        &ctx.frame
+                            .slots
+                            .iter()
+                            .find(|sl| sl.name == *name)
+                            .map(|sl| sl.ty.clone())
+                            .unwrap_or(Ty::Int),
+                    ),
+                    b::int(Self::map_kind_code(OmpMapKind::ToFrom)),
+                ],
+            )));
+        }
+        // Reduction scalars: initialize + map tofrom.
+        for (name, _, role) in &roles {
+            if matches!(role, VarRole::Reduction(_)) {
+                stmts.push(b::expr_stmt(b::call(
+                    "__dev_map",
+                    vec![
+                        b::addr_of(b::ident(name)),
+                        sizeof_expr(
+                            &ctx.frame
+                                .slots
+                                .iter()
+                                .find(|sl| sl.name == *name)
+                                .map(|sl| sl.ty.clone())
+                                .unwrap_or(Ty::Int),
+                        ),
+                        b::int(Self::map_kind_code(OmpMapKind::ToFrom)),
+                    ],
+                )));
+            }
+        }
+
+        // Launch: __dev_offload("module", "kernel", mw, ndims, tc0, tc1,
+        // tc2, teams, threads, args…).
+        let ndims = if combined { loops.len() as i64 } else { 0 };
+        let mut offload_args: Vec<Expr> = vec![
+            b::e(ExprKind::StrLit(module_name.clone())),
+            b::e(ExprKind::StrLit(kernel_fn.clone())),
+            b::int(master_worker as i64),
+            b::int(ndims),
+        ];
+        for d in 0..3usize {
+            if combined && d < loops.len() {
+                offload_args.push(long_cast(trip_count_expr(&loops[d])));
+            } else {
+                offload_args.push(b::int(1));
+            }
+        }
+        offload_args.push(match dir.clause_num_teams() {
+            Some(e) => long_cast(e.clone()),
+            None => b::int(0),
+        });
+        offload_args.push(match dir.clause_num_threads() {
+            Some(e) => long_cast(e.clone()),
+            None => match dir.clause_thread_limit() {
+                Some(e) => long_cast(e.clone()),
+                None => b::int(0),
+            },
+        });
+        offload_args.extend(launch_args);
+        stmts.push(b::expr_stmt(b::call("__dev_offload", offload_args)));
+
+        // Unmap (reverse order), reductions and written-back scalars last.
+        for name in scalar_writebacks.iter().rev() {
+            stmts.push(b::expr_stmt(b::call(
+                "__dev_unmap",
+                vec![
+                    b::addr_of(b::ident(name)),
+                    b::int(Self::map_kind_code(OmpMapKind::ToFrom)),
+                ],
+            )));
+        }
+        for (name, _, role) in roles.iter().rev() {
+            if matches!(role, VarRole::Reduction(_)) {
+                stmts.push(b::expr_stmt(b::call(
+                    "__dev_unmap",
+                    vec![
+                        b::addr_of(b::ident(name)),
+                        b::int(Self::map_kind_code(OmpMapKind::ToFrom)),
+                    ],
+                )));
+            }
+        }
+        for (_, kind, base, _, _) in buffer_maps.iter().rev() {
+            stmts.push(b::expr_stmt(b::call(
+                "__dev_unmap",
+                vec![base.clone(), b::int(Self::map_kind_code(*kind))],
+            )));
+        }
+        let offload_block = b::block(stmts);
+
+        // if(...) clause: false → run on the host instead.
+        if let Some(cond) = dir.clause_if() {
+            let host_body = self.host_stmt(body, ctx)?;
+            return Ok(Stmt::If {
+                cond: cond.clone(),
+                then_s: Box::new(offload_block),
+                else_s: Some(Box::new(host_body)),
+            });
+        }
+        Ok(offload_block)
+    }
+
+    /// Kernel body for combined constructs (§3.1).
+    fn combined_kernel_body(
+        &mut self,
+        loops: &[LoopInfo],
+        inner_body: &Stmt,
+        dir: &Directive,
+        roles: &[(String, Ty, VarRole)],
+        dist_only: bool,
+        pos: Pos,
+    ) -> TResult<Vec<Stmt>> {
+        let mut out = Vec::new();
+        if contains_standalone_parallel(inner_body) {
+            return Err(err(
+                pos,
+                "nested OpenMP constructs inside a combined target loop are not supported",
+            ));
+        }
+        // Reduction locals.
+        for (name, ty, role) in roles {
+            if let VarRole::Reduction(op) = role {
+                out.push(b::decl(name, ty.clone(), Some(red_identity(*op, ty))));
+            }
+        }
+        // Trip counts.
+        let mut tc_names = Vec::new();
+        for (i, l) in loops.iter().enumerate() {
+            let n = format!("__tc{i}");
+            out.push(b::decl(&n, Ty::Long, Some(long_cast(trip_count_expr(l)))));
+            tc_names.push(n);
+        }
+        // total = tc0 * tc1 * …
+        let mut total = b::ident(&tc_names[0]);
+        for n in &tc_names[1..] {
+            total = b::bin(BinOp::Mul, total, b::ident(n));
+        }
+        out.push(b::decl("__total", Ty::Long, Some(total)));
+        out.push(b::decl("__lb", Ty::Long, None));
+        out.push(b::decl("__ub", Ty::Long, None));
+        out.push(b::decl("__mylb", Ty::Long, None));
+        out.push(b::decl("__myub", Ty::Long, None));
+        out.push(b::expr_stmt(b::call(
+            "cudadev_get_distribute_chunk",
+            vec![
+                b::ident("__total"),
+                b::addr_of(b::ident("__lb")),
+                b::addr_of(b::ident("__ub")),
+            ],
+        )));
+
+        // The per-iteration loop body: reconstruct the loop indices.
+        let mut iter_body: Vec<Stmt> = Vec::new();
+        for (i, l) in loops.iter().enumerate() {
+            // idx_i = (__it / (tc_{i+1} * …)) [% tc_i]
+            let mut div: Option<Expr> = None;
+            for n in &tc_names[i + 1..] {
+                div = Some(match div {
+                    None => b::ident(n),
+                    Some(d) => b::bin(BinOp::Mul, d, b::ident(n)),
+                });
+            }
+            let mut idx = b::ident("__it");
+            if let Some(d) = div {
+                idx = b::bin(BinOp::Div, idx, d);
+            }
+            if i > 0 {
+                idx = b::bin(BinOp::Rem, idx, b::ident(&tc_names[i]));
+            }
+            let scaled = if l.step == 1 {
+                idx
+            } else {
+                b::bin(BinOp::Mul, idx, b::int(l.step))
+            };
+            let val = b::bin(BinOp::Add, l.lb.clone(), b::cast(l.var_ty.clone(), scaled));
+            iter_body.push(b::decl(&l.var, l.var_ty.clone(), Some(val)));
+        }
+        iter_body.push(inner_body.clone());
+
+        let make_for = |lo: Expr, hi: Expr, body: Vec<Stmt>| Stmt::For {
+            init: Some(Box::new(b::decl("__it", Ty::Long, Some(lo)))),
+            cond: Some(b::bin(BinOp::Lt, b::ident("__it"), hi)),
+            step: Some(b::e(ExprKind::IncDec {
+                pre: false,
+                inc: true,
+                expr: Box::new(b::ident("__it")),
+            })),
+            body: Box::new(b::block(body)),
+        };
+
+        let sched = dir.clause_schedule();
+        match sched {
+            Some((SchedKind::Dynamic, chunk)) | Some((SchedKind::Guided, chunk)) if !dist_only => {
+                let f = match sched.unwrap().0 {
+                    SchedKind::Dynamic => "cudadev_get_dynamic_chunk",
+                    _ => "cudadev_get_guided_chunk",
+                };
+                let chunk_e = chunk.cloned().unwrap_or_else(|| b::int(1));
+                out.push(Stmt::If {
+                    cond: b::bin(BinOp::Eq, b::call("omp_get_thread_num", vec![]), b::int(0)),
+                    then_s: Box::new(b::expr_stmt(b::call("cudadev_sched_reset", vec![]))),
+                    else_s: None,
+                });
+                out.push(b::expr_stmt(b::call("cudadev_barrier", vec![])));
+                out.push(Stmt::While {
+                    cond: b::call(
+                        f,
+                        vec![
+                            b::ident("__lb"),
+                            b::ident("__ub"),
+                            long_cast(chunk_e),
+                            b::addr_of(b::ident("__mylb")),
+                            b::addr_of(b::ident("__myub")),
+                        ],
+                    ),
+                    body: Box::new(make_for(
+                        b::ident("__mylb"),
+                        b::ident("__myub"),
+                        iter_body.clone(),
+                    )),
+                });
+            }
+            _ => {
+                // Static (default). In distribute-only kernels the team's
+                // single thread runs the whole distribute chunk.
+                if dist_only {
+                    out.push(b::expr_stmt(b::assign(b::ident("__mylb"), b::ident("__lb"))));
+                    out.push(b::expr_stmt(b::assign(b::ident("__myub"), b::ident("__ub"))));
+                } else {
+                    let chunk_e = match sched {
+                        Some((SchedKind::Static, Some(c))) => long_cast(c.clone()),
+                        _ => b::int(0),
+                    };
+                    out.push(b::expr_stmt(b::call(
+                        "cudadev_get_static_chunk",
+                        vec![
+                            b::ident("__lb"),
+                            b::ident("__ub"),
+                            chunk_e,
+                            b::addr_of(b::ident("__mylb")),
+                            b::addr_of(b::ident("__myub")),
+                        ],
+                    )));
+                }
+                out.push(make_for(b::ident("__mylb"), b::ident("__myub"), iter_body));
+            }
+        }
+
+        // Fold reductions into the global accumulators.
+        for (name, ty, role) in roles {
+            if let VarRole::Reduction(op) = role {
+                out.push(red_combine(name, ty, *op));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Kernel body for the master/worker scheme (§3.2, Fig. 3).
+    fn master_worker_kernel_body(
+        &mut self,
+        body: &Stmt,
+        roles: &[(String, Ty, VarRole)],
+        scalar_writebacks: &[String],
+        pos: Pos,
+        kprog: &mut Program,
+    ) -> TResult<Vec<Stmt>> {
+        // Lower the target body in "device master" context, tracking the
+        // master's local declarations so inner parallel regions can share
+        // them through the shared-memory stack.
+        let dctx = DeviceCtx { roles: roles.to_vec(), pos };
+        let mut decls: Vec<(String, Ty)> = Vec::new();
+        let lowered = self.device_stmt(body, &dctx, kprog, &mut decls)?;
+
+        let mut master = vec![
+            Stmt::If {
+                cond: b::e(ExprKind::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(b::call("cudadev_is_masterthr", vec![b::ident("_mw_thrid")])),
+                }),
+                then_s: Box::new(Stmt::Return(None)),
+                else_s: None,
+            },
+            lowered,
+        ];
+        // Final values of written-back mapped scalars go to their device
+        // buffers before the region ends.
+        for name in scalar_writebacks {
+            master.push(b::expr_stmt(b::assign(
+                b::deref(b::ident(&format!("__out_{name}"))),
+                b::ident(name),
+            )));
+        }
+        master.push(b::expr_stmt(b::call("cudadev_exit_target", vec![])));
+        Ok(vec![
+            b::decl("_mw_thrid", Ty::Int, Some(b::member(b::ident("threadIdx"), "x"))),
+            Stmt::If {
+                cond: b::call("cudadev_in_masterwarp", vec![b::ident("_mw_thrid")]),
+                then_s: Box::new(b::block(master)),
+                else_s: Some(Box::new(b::expr_stmt(b::call(
+                    "cudadev_workerfunc",
+                    vec![b::ident("_mw_thrid")],
+                )))),
+            },
+        ])
+    }
+
+    /// Lower a statement inside a master/worker target region (the master
+    /// thread executes it sequentially; parallel constructs spawn regions).
+    fn device_stmt(
+        &mut self,
+        s: &Stmt,
+        ctx: &DeviceCtx,
+        kprog: &mut Program,
+        decls: &mut Vec<(String, Ty)>,
+    ) -> TResult<Stmt> {
+        if let Stmt::Decl(d) = s {
+            decls.push((d.name.clone(), d.ty.clone()));
+        }
+        match s {
+            Stmt::Omp(o) => match o.dir.kind {
+                DirKind::Parallel | DirKind::ParallelFor => {
+                    self.device_parallel(o, ctx, kprog, decls)
+                }
+                DirKind::For => {
+                    // Orphaned worksharing loop outside a parallel region:
+                    // the master runs it sequentially.
+                    Ok(o.body.as_deref().cloned().unwrap_or(Stmt::Empty))
+                }
+                DirKind::Single | DirKind::Master => {
+                    Ok(o.body.as_deref().cloned().unwrap_or(Stmt::Empty))
+                }
+                DirKind::Barrier => Ok(Stmt::Empty), // master-only code
+                DirKind::Critical => Ok(o.body.as_deref().cloned().unwrap_or(Stmt::Empty)),
+                other => Err(err(
+                    o.pos,
+                    format!("directive `{}` is not supported inside a target region", other.spelling()),
+                )),
+            },
+            Stmt::Block(bl) => {
+                let mut out = Vec::new();
+                for st in &bl.stmts {
+                    out.push(self.device_stmt(st, ctx, kprog, decls)?);
+                }
+                Ok(Stmt::Block(Block { stmts: out }))
+            }
+            Stmt::If { cond, then_s, else_s } => Ok(Stmt::If {
+                cond: cond.clone(),
+                then_s: Box::new(self.device_stmt(then_s, ctx, kprog, decls)?),
+                else_s: match else_s {
+                    Some(e) => Some(Box::new(self.device_stmt(e, ctx, kprog, decls)?)),
+                    None => None,
+                },
+            }),
+            Stmt::For { init, cond, step, body } => Ok(Stmt::For {
+                init: init.clone(),
+                cond: cond.clone(),
+                step: step.clone(),
+                body: Box::new(self.device_stmt(body, ctx, kprog, decls)?),
+            }),
+            Stmt::While { cond, body } => Ok(Stmt::While {
+                cond: cond.clone(),
+                body: Box::new(self.device_stmt(body, ctx, kprog, decls)?),
+            }),
+            other => Ok(other.clone()),
+        }
+    }
+
+    /// Lower a stand-alone `parallel` / `parallel for` inside a target
+    /// region: outline a thrFunc, push shared variables to the
+    /// shared-memory stack, register with the worker warps (Fig. 3b).
+    fn device_parallel(
+        &mut self,
+        o: &OmpStmt,
+        ctx: &DeviceCtx,
+        kprog: &mut Program,
+        master_decls: &[(String, Ty)],
+    ) -> TResult<Stmt> {
+        let dir = &o.dir;
+        let body = o.body.as_deref().ok_or_else(|| err(o.pos, "parallel without a body"))?;
+        let fn_id = self.tmp("thrFunc");
+        let thr_name = format!("_{}", fn_id.trim_start_matches("__"));
+
+        // Free variables of the parallel region, seen from the kernel body:
+        // kernel parameters (roles) and master locals. We re-scan by name.
+        let mut used: Vec<String> = Vec::new();
+        collect_used_names(body, &mut used);
+        for_each_clause_expr(dir, &mut |e| collect_expr_names(e, &mut used));
+        used.sort();
+        used.dedup();
+
+        let privates: Vec<String> = dir.privates().into_iter().cloned().collect();
+        let firstprivates: Vec<String> = dir.firstprivates().into_iter().cloned().collect();
+        let reductions: Vec<(RedOp, String)> =
+            dir.reductions().map(|(op, v)| (op, v.clone())).collect();
+
+        // Loop var (parallel for) is private.
+        let (loops, inner) = if dir.kind == DirKind::ParallelFor {
+            let collapse = dir.clause_collapse();
+            let (l, bdy) = canonical_nest(body, collapse)?;
+            (l, bdy)
+        } else {
+            (Vec::new(), Stmt::Empty)
+        };
+        let loop_vars: Vec<&str> = loops.iter().map(|l| l.var.as_str()).collect();
+
+        // Declared names inside the region are not free.
+        let mut declared: Vec<String> = Vec::new();
+        collect_declared_names(body, &mut declared);
+
+        // Partition the used names into env entries.
+        #[derive(Debug)]
+        enum EnvKind {
+            /// Kernel pointer param or pointer local: pass the pointer value.
+            PtrValue(Ty),
+            /// Shared scalar: push its address, rewrite to deref.
+            SharedScalar(Ty),
+            /// Value scalar copy (kernel firstprivate params).
+            ValueScalar(Ty),
+        }
+        let mut env: Vec<(String, EnvKind)> = Vec::new();
+        for name in &used {
+            if loop_vars.contains(&name.as_str())
+                || privates.contains(name)
+                || declared.contains(name)
+                || name == "threadIdx"
+                || name == "blockIdx"
+                || name == "blockDim"
+                || name == "gridDim"
+            {
+                continue;
+            }
+            // Reduction accumulators are always shared (the region folds
+            // into them atomically).
+            if reductions.iter().any(|(_, r)| r == name) {
+                let ty = ctx
+                    .roles
+                    .iter()
+                    .find(|(n, ..)| n == name)
+                    .map(|(_, t, _)| t.clone())
+                    .or_else(|| find_decl_ty(master_decls, name))
+                    .unwrap_or(Ty::Float);
+                env.push((name.clone(), EnvKind::SharedScalar(ty)));
+                continue;
+            }
+            // Explicit firstprivate: per-thread copy of the master's value.
+            if firstprivates.contains(name) {
+                let ty = ctx
+                    .roles
+                    .iter()
+                    .find(|(n, ..)| n == name)
+                    .map(|(_, t, _)| t.clone())
+                    .or_else(|| find_decl_ty(master_decls, name))
+                    .unwrap_or(Ty::Int);
+                env.push((name.clone(), EnvKind::ValueScalar(ty)));
+                continue;
+            }
+            // Kernel parameter?
+            if let Some((_, ty, role)) = ctx.roles.iter().find(|(n, ..)| n == name) {
+                match role {
+                    VarRole::Mapped { param_ty, .. } => {
+                        env.push((name.clone(), EnvKind::PtrValue(param_ty.clone())));
+                    }
+                    // Scalars are *shared* in a parallel region (OpenMP
+                    // default): the region writes through to the master's
+                    // copy via the shared-memory stack.
+                    VarRole::FirstPrivate => {
+                        env.push((name.clone(), EnvKind::SharedScalar(ty.clone())));
+                    }
+                    VarRole::Reduction(_) => {
+                        env.push((name.clone(), EnvKind::SharedScalar(ty.clone())));
+                    }
+                }
+                continue;
+            }
+            // Master local (declared in the target body, outside this
+            // region): shared through the shared-memory stack.
+            if let Some(ty) = find_decl_ty(master_decls, name) {
+                if ty.decayed().is_ptr() {
+                    env.push((name.clone(), EnvKind::PtrValue(ty.decayed())));
+                } else {
+                    env.push((name.clone(), EnvKind::SharedScalar(ty)));
+                }
+                continue;
+            }
+            // Unknown name: probably a function — ignore.
+        }
+
+        // Reduction vars already covered as SharedScalar via roles; for
+        // master-local reductions add them.
+        for (_, rname) in &reductions {
+            if !env.iter().any(|(n, _)| n == rname) {
+                if let Some(ty) = find_decl_ty(master_decls, rname) {
+                    env.push((rname.clone(), EnvKind::SharedScalar(ty)));
+                }
+            }
+        }
+
+        // ---- registration block (master side) ----
+        let vars_name = self.tmp("vars");
+        let vp_name = self.tmp("vp");
+        let nslots = env.len().max(1);
+        let mut reg: Vec<Stmt> = Vec::new();
+        reg.push(b::decl(
+            &vars_name,
+            Ty::Array(Box::new(Ty::Long), ArrayLen::Const(nslots as u64)),
+            None,
+        ));
+        let mut pushes: Vec<(String, Expr, Expr)> = Vec::new(); // (kind, addr, size) for pops
+        let mut copies: Vec<Stmt> = Vec::new();
+        for (i, (name, kind)) in env.iter().enumerate() {
+            let slot_lhs = b::index(b::ident(&vars_name), b::int(i as i64));
+            match kind {
+                EnvKind::PtrValue(_) => {
+                    reg.push(b::expr_stmt(b::assign(
+                        slot_lhs,
+                        long_cast(b::call("cudadev_getaddr", vec![b::ident(name)])),
+                    )));
+                }
+                EnvKind::SharedScalar(ty) => {
+                    reg.push(b::expr_stmt(b::assign(
+                        slot_lhs,
+                        long_cast(b::call(
+                            "cudadev_push_shmem",
+                            vec![b::addr_of(b::ident(name)), sizeof_expr(ty)],
+                        )),
+                    )));
+                    pushes.push((name.clone(), b::addr_of(b::ident(name)), sizeof_expr(ty)));
+                }
+                EnvKind::ValueScalar(ty) => {
+                    // Copy the value so its address can be pushed.
+                    let cp = self.tmp("cp");
+                    copies.push(b::decl(&cp, ty.clone(), Some(b::ident(name))));
+                    reg.push(b::expr_stmt(b::assign(
+                        slot_lhs,
+                        long_cast(b::call(
+                            "cudadev_push_shmem",
+                            vec![b::addr_of(b::ident(&cp)), sizeof_expr(ty)],
+                        )),
+                    )));
+                    pushes.push((cp.clone(), b::addr_of(b::ident(&cp)), sizeof_expr(ty)));
+                }
+            }
+        }
+        let mut block: Vec<Stmt> = copies;
+        block.extend(reg);
+        // Push the vars array itself so the workers can reach it.
+        block.push(b::decl(
+            &vp_name,
+            Ty::Long,
+            Some(long_cast(b::call(
+                "cudadev_push_shmem",
+                vec![
+                    b::addr_of(b::index(b::ident(&vars_name), b::int(0))),
+                    b::int(8 * nslots as i64),
+                ],
+            ))),
+        ));
+        let nthr = match dir.clause_num_threads() {
+            Some(e) => e.clone(),
+            None => b::int(crate::MW_WORKERS as i64),
+        };
+        block.push(b::expr_stmt(b::call(
+            "cudadev_register_parallel",
+            vec![b::ident(&thr_name), b::ident(&vp_name), nthr],
+        )));
+        block.push(b::expr_stmt(b::call(
+            "cudadev_pop_shmem",
+            vec![
+                b::addr_of(b::index(b::ident(&vars_name), b::int(0))),
+                b::int(8 * nslots as i64),
+            ],
+        )));
+        for (_, addr, size) in pushes.iter().rev() {
+            block.push(b::expr_stmt(b::call(
+                "cudadev_pop_shmem",
+                vec![addr.clone(), size.clone()],
+            )));
+        }
+
+        // ---- thrFunc (worker side) ----
+        let mut tbody: Vec<Stmt> = Vec::new();
+        let mut rename: HashMap<String, Expr> = HashMap::new();
+        for (i, (name, kind)) in env.iter().enumerate() {
+            let load = b::deref(b::cast(
+                Ty::Ptr(Box::new(Ty::Long)),
+                b::bin(BinOp::Add, b::ident("__envp"), b::int(8 * i as i64)),
+            ));
+            match kind {
+                EnvKind::PtrValue(pty) => {
+                    tbody.push(b::decl(name, pty.clone(), Some(b::cast(pty.clone(), load))));
+                }
+                EnvKind::SharedScalar(ty) => {
+                    let pname = format!("__shp_{name}");
+                    let pty = Ty::Ptr(Box::new(ty.clone()));
+                    tbody.push(b::decl(&pname, pty.clone(), Some(b::cast(pty, load))));
+                    rename.insert(name.clone(), b::deref(b::ident(&pname)));
+                }
+                EnvKind::ValueScalar(ty) => {
+                    let pty = Ty::Ptr(Box::new(ty.clone()));
+                    tbody.push(b::decl(
+                        name,
+                        ty.clone(),
+                        Some(b::deref(b::cast(pty, load))),
+                    ));
+                }
+            }
+        }
+        // Privates.
+        for pv in &privates {
+            let ty = find_decl_ty(master_decls, pv).unwrap_or(Ty::Int);
+            tbody.push(b::decl(pv, ty, None));
+        }
+        // Reduction locals (shadow the shared name inside the loop body).
+        let mut red_renames: HashMap<String, Expr> = HashMap::new();
+        for (op, rname) in &reductions {
+            let local = format!("__redl_{rname}");
+            let ty = ctx
+                .roles
+                .iter()
+                .find(|(n, ..)| n == rname)
+                .map(|(_, t, _)| t.clone())
+                .or_else(|| find_decl_ty(master_decls, rname))
+                .unwrap_or(Ty::Float);
+            tbody.push(b::decl(&local, ty.clone(), Some(red_identity(*op, &ty))));
+            red_renames.insert(rname.clone(), b::ident(&local));
+        }
+
+        if dir.kind == DirKind::ParallelFor {
+            tbody.extend(self.region_worksharing_loop(&loops, &inner, dir, &red_renames, &rename)?);
+        } else {
+            let mut body2 = body.clone();
+            rename_idents(&mut body2, &red_renames);
+            rename_idents(&mut body2, &rename);
+            let lowered = self.region_stmt(&body2)?;
+            tbody.push(lowered);
+        }
+
+        // Fold reductions into shared accumulators.
+        for (op, rname) in &reductions {
+            let ty = ctx
+                .roles
+                .iter()
+                .find(|(n, ..)| n == rname)
+                .map(|(_, t, _)| t.clone())
+                .or_else(|| find_decl_ty(master_decls, rname))
+                .unwrap_or(Ty::Float);
+            let target_addr = if let Some(r) = rename.get(rname) {
+                // (*__shp_r) → &(*__shp_r)
+                b::addr_of(r.clone())
+            } else {
+                b::addr_of(b::ident(rname))
+            };
+            tbody.push(red_fold_stmt(target_addr, b::ident(&format!("__redl_{rname}")), &ty, *op));
+        }
+
+        kprog.items.push(Item::Func(FuncDef {
+            sig: FuncSig {
+                name: thr_name.clone(),
+                ret: Ty::Void,
+                params: vec![Param { name: "__envp".into(), ty: Ty::Long, slot: u32::MAX }],
+                quals: FnQuals { global: false, device: true },
+                pos: o.pos,
+            },
+            body: Block { stmts: tbody },
+            frame: FrameInfo::default(),
+            declare_target: false,
+        }));
+
+        Ok(b::block(block))
+    }
+
+    /// Worksharing loop inside a device parallel region.
+    fn region_worksharing_loop(
+        &mut self,
+        loops: &[LoopInfo],
+        inner: &Stmt,
+        dir: &Directive,
+        red_renames: &HashMap<String, Expr>,
+        rename: &HashMap<String, Expr>,
+    ) -> TResult<Vec<Stmt>> {
+        let mut out = Vec::new();
+        let mut tc_names = Vec::new();
+        for (i, l) in loops.iter().enumerate() {
+            let n = format!("__rtc{i}");
+            let mut tc = trip_count_expr(l);
+            // Bounds may reference shared/renamed vars.
+            rename_expr(&mut tc, red_renames);
+            rename_expr(&mut tc, rename);
+            out.push(b::decl(&n, Ty::Long, Some(long_cast(tc))));
+            tc_names.push(n);
+        }
+        let mut total = b::ident(&tc_names[0]);
+        for n in &tc_names[1..] {
+            total = b::bin(BinOp::Mul, total, b::ident(n));
+        }
+        out.push(b::decl("__rtotal", Ty::Long, Some(total)));
+        out.push(b::decl("__rmylb", Ty::Long, None));
+        out.push(b::decl("__rmyub", Ty::Long, None));
+
+        let mut iter_body: Vec<Stmt> = Vec::new();
+        for (i, l) in loops.iter().enumerate() {
+            let mut div: Option<Expr> = None;
+            for n in &tc_names[i + 1..] {
+                div = Some(match div {
+                    None => b::ident(n),
+                    Some(d) => b::bin(BinOp::Mul, d, b::ident(n)),
+                });
+            }
+            let mut idx = b::ident("__rit");
+            if let Some(d) = div {
+                idx = b::bin(BinOp::Div, idx, d);
+            }
+            if i > 0 {
+                idx = b::bin(BinOp::Rem, idx, b::ident(&tc_names[i]));
+            }
+            let scaled =
+                if l.step == 1 { idx } else { b::bin(BinOp::Mul, idx, b::int(l.step)) };
+            let mut lb = l.lb.clone();
+            rename_expr(&mut lb, red_renames);
+            rename_expr(&mut lb, rename);
+            let val = b::bin(BinOp::Add, lb, b::cast(l.var_ty.clone(), scaled));
+            iter_body.push(b::decl(&l.var, l.var_ty.clone(), Some(val)));
+        }
+        let mut inner2 = inner.clone();
+        rename_idents(&mut inner2, red_renames);
+        rename_idents(&mut inner2, rename);
+        iter_body.push(self.region_stmt(&inner2)?);
+
+        let make_for = |lo: Expr, hi: Expr, body: Vec<Stmt>| Stmt::For {
+            init: Some(Box::new(b::decl("__rit", Ty::Long, Some(lo)))),
+            cond: Some(b::bin(BinOp::Lt, b::ident("__rit"), hi)),
+            step: Some(b::e(ExprKind::IncDec {
+                pre: false,
+                inc: true,
+                expr: Box::new(b::ident("__rit")),
+            })),
+            body: Box::new(b::block(body)),
+        };
+
+        match dir.clause_schedule() {
+            Some((SchedKind::Dynamic, chunk)) => {
+                let chunk_e = chunk.cloned().unwrap_or_else(|| b::int(1));
+                out.push(Stmt::If {
+                    cond: b::bin(BinOp::Eq, b::call("omp_get_thread_num", vec![]), b::int(0)),
+                    then_s: Box::new(b::expr_stmt(b::call("cudadev_sched_reset", vec![]))),
+                    else_s: None,
+                });
+                out.push(b::expr_stmt(b::call("cudadev_barrier", vec![])));
+                out.push(Stmt::While {
+                    cond: b::call(
+                        "cudadev_get_dynamic_chunk",
+                        vec![
+                            b::int(0),
+                            b::ident("__rtotal"),
+                            long_cast(chunk_e),
+                            b::addr_of(b::ident("__rmylb")),
+                            b::addr_of(b::ident("__rmyub")),
+                        ],
+                    ),
+                    body: Box::new(make_for(b::ident("__rmylb"), b::ident("__rmyub"), iter_body)),
+                });
+            }
+            Some((SchedKind::Guided, chunk)) => {
+                let chunk_e = chunk.cloned().unwrap_or_else(|| b::int(1));
+                out.push(Stmt::If {
+                    cond: b::bin(BinOp::Eq, b::call("omp_get_thread_num", vec![]), b::int(0)),
+                    then_s: Box::new(b::expr_stmt(b::call("cudadev_sched_reset", vec![]))),
+                    else_s: None,
+                });
+                out.push(b::expr_stmt(b::call("cudadev_barrier", vec![])));
+                out.push(Stmt::While {
+                    cond: b::call(
+                        "cudadev_get_guided_chunk",
+                        vec![
+                            b::int(0),
+                            b::ident("__rtotal"),
+                            long_cast(chunk_e),
+                            b::addr_of(b::ident("__rmylb")),
+                            b::addr_of(b::ident("__rmyub")),
+                        ],
+                    ),
+                    body: Box::new(make_for(b::ident("__rmylb"), b::ident("__rmyub"), iter_body)),
+                });
+            }
+            sched => {
+                let chunk_e = match sched {
+                    Some((SchedKind::Static, Some(c))) => long_cast(c.clone()),
+                    _ => b::int(0),
+                };
+                out.push(b::expr_stmt(b::call(
+                    "cudadev_get_static_chunk",
+                    vec![
+                        b::int(0),
+                        b::ident("__rtotal"),
+                        chunk_e,
+                        b::addr_of(b::ident("__rmylb")),
+                        b::addr_of(b::ident("__rmyub")),
+                    ],
+                )));
+                out.push(make_for(b::ident("__rmylb"), b::ident("__rmyub"), iter_body));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Lower OpenMP constructs inside a device parallel region (workers).
+    fn region_stmt(&mut self, s: &Stmt) -> TResult<Stmt> {
+        match s {
+            Stmt::Omp(o) => match o.dir.kind {
+                DirKind::Barrier => Ok(b::expr_stmt(b::call("cudadev_barrier", vec![]))),
+                DirKind::Critical => {
+                    let name = o
+                        .dir
+                        .clauses
+                        .iter()
+                        .find_map(|c| match c {
+                            Clause::Name(n) => Some(n.clone()),
+                            _ => None,
+                        })
+                        .unwrap_or_default();
+                    let id = self.critical_id(&name);
+                    let body = self.region_stmt(o.body.as_deref().unwrap_or(&Stmt::Empty))?;
+                    // Per-thread mutual exclusion on a SIMT machine: lanes of
+                    // a warp run in lockstep, so the critical section is
+                    // serialized across lanes by divergence (§4.2.2: "warp
+                    // divergence takes place when threads belonging to the
+                    // same warp take different execution paths") — one lane
+                    // per iteration holds the CAS lock.
+                    let lc = self.tmp("lane");
+                    let guarded = b::block(vec![
+                        b::expr_stmt(b::call("cudadev_critical_enter", vec![b::int(id)])),
+                        body,
+                        b::expr_stmt(b::call("cudadev_critical_exit", vec![b::int(id)])),
+                    ]);
+                    Ok(Stmt::For {
+                        init: Some(Box::new(b::decl(&lc, Ty::Int, Some(b::int(0))))),
+                        cond: Some(b::bin(BinOp::Lt, b::ident(&lc), b::int(32))),
+                        step: Some(b::e(ExprKind::IncDec {
+                            pre: false,
+                            inc: true,
+                            expr: Box::new(b::ident(&lc)),
+                        })),
+                        body: Box::new(Stmt::If {
+                            cond: b::bin(
+                                BinOp::Eq,
+                                b::bin(
+                                    BinOp::Rem,
+                                    b::call("omp_get_thread_num", vec![]),
+                                    b::int(32),
+                                ),
+                                b::ident(&lc),
+                            ),
+                            then_s: Box::new(guarded),
+                            else_s: None,
+                        }),
+                    })
+                }
+                DirKind::Single => {
+                    let body = self.region_stmt(o.body.as_deref().unwrap_or(&Stmt::Empty))?;
+                    let mut stmts = vec![
+                        Stmt::If {
+                            cond: b::bin(
+                                BinOp::Eq,
+                                b::call("omp_get_thread_num", vec![]),
+                                b::int(0),
+                            ),
+                            then_s: Box::new(b::expr_stmt(b::call(
+                                "cudadev_single_reset",
+                                vec![],
+                            ))),
+                            else_s: None,
+                        },
+                        Stmt::If {
+                            cond: b::call("cudadev_single_enter", vec![]),
+                            then_s: Box::new(body),
+                            else_s: None,
+                        },
+                    ];
+                    if !o.dir.clause_nowait() {
+                        stmts.push(b::expr_stmt(b::call("cudadev_barrier", vec![])));
+                    }
+                    Ok(b::block(stmts))
+                }
+                DirKind::Master => {
+                    let body = self.region_stmt(o.body.as_deref().unwrap_or(&Stmt::Empty))?;
+                    Ok(Stmt::If {
+                        cond: b::bin(BinOp::Eq, b::call("omp_get_thread_num", vec![]), b::int(0)),
+                        then_s: Box::new(body),
+                        else_s: None,
+                    })
+                }
+                DirKind::Sections => {
+                    let sections = collect_sections(o.body.as_deref().unwrap_or(&Stmt::Empty));
+                    let n = sections.len() as i64;
+                    let sname = self.tmp("s");
+                    let mut dispatch: Option<Stmt> = None;
+                    for (i, sec) in sections.into_iter().enumerate().rev() {
+                        let sec = self.region_stmt(&sec)?;
+                        dispatch = Some(Stmt::If {
+                            cond: b::bin(BinOp::Eq, b::ident(&sname), b::int(i as i64)),
+                            then_s: Box::new(sec),
+                            else_s: dispatch.map(Box::new),
+                        });
+                    }
+                    let mut stmts = vec![
+                        Stmt::If {
+                            cond: b::bin(
+                                BinOp::Eq,
+                                b::call("omp_get_thread_num", vec![]),
+                                b::int(0),
+                            ),
+                            then_s: Box::new(b::expr_stmt(b::call(
+                                "cudadev_sections_reset",
+                                vec![],
+                            ))),
+                            else_s: None,
+                        },
+                        b::expr_stmt(b::call("cudadev_barrier", vec![])),
+                        b::decl(&sname, Ty::Int, None),
+                        Stmt::While {
+                            cond: b::bin(
+                                BinOp::Ge,
+                                b::assign(
+                                    b::ident(&sname),
+                                    b::call("cudadev_sections_next", vec![b::int(n)]),
+                                ),
+                                b::int(0),
+                            ),
+                            body: Box::new(dispatch.unwrap_or(Stmt::Empty)),
+                        },
+                    ];
+                    if !o.dir.clause_nowait() {
+                        stmts.push(b::expr_stmt(b::call("cudadev_barrier", vec![])));
+                    }
+                    Ok(b::block(stmts))
+                }
+                DirKind::For => {
+                    // Worksharing loop using the region's threads.
+                    let collapse = o.dir.clause_collapse();
+                    let (loops, inner) =
+                        canonical_nest(o.body.as_deref().unwrap_or(&Stmt::Empty), collapse)?;
+                    let ws = self.region_worksharing_loop(
+                        &loops,
+                        &inner,
+                        &o.dir,
+                        &HashMap::new(),
+                        &HashMap::new(),
+                    )?;
+                    let mut out = vec![b::block(ws)];
+                    if !o.dir.clause_nowait() {
+                        out.push(b::expr_stmt(b::call("cudadev_barrier", vec![])));
+                    }
+                    Ok(b::block(out))
+                }
+                other => Err(err(
+                    o.pos,
+                    format!(
+                        "directive `{}` is not supported inside a device parallel region",
+                        other.spelling()
+                    ),
+                )),
+            },
+            Stmt::Block(bl) => {
+                let mut out = Vec::new();
+                for st in &bl.stmts {
+                    out.push(self.region_stmt(st)?);
+                }
+                Ok(Stmt::Block(Block { stmts: out }))
+            }
+            Stmt::If { cond, then_s, else_s } => Ok(Stmt::If {
+                cond: cond.clone(),
+                then_s: Box::new(self.region_stmt(then_s)?),
+                else_s: match else_s {
+                    Some(e) => Some(Box::new(self.region_stmt(e)?)),
+                    None => None,
+                },
+            }),
+            Stmt::For { init, cond, step, body } => Ok(Stmt::For {
+                init: init.clone(),
+                cond: cond.clone(),
+                step: step.clone(),
+                body: Box::new(self.region_stmt(body)?),
+            }),
+            Stmt::While { cond, body } => Ok(Stmt::While {
+                cond: cond.clone(),
+                body: Box::new(self.region_stmt(body)?),
+            }),
+            other => Ok(other.clone()),
+        }
+    }
+
+    // ======================================== host parallel transformation
+
+    fn lower_host_parallel(&mut self, o: &OmpStmt, ctx: &HostCtx<'_>) -> TResult<Stmt> {
+        let dir = &o.dir;
+        let body = o.body.as_deref().ok_or_else(|| err(o.pos, "parallel without a body"))?;
+        let hid = self.next_hostfn;
+        self.next_hostfn += 1;
+        let fn_name = format!("_hostFunc{}_{}", hid, ctx.fname);
+
+        let fvs = free_vars(body, ctx.frame);
+        let privates: Vec<String> = dir.privates().into_iter().cloned().collect();
+        let firstprivates: Vec<String> = dir.firstprivates().into_iter().cloned().collect();
+        let reductions: Vec<(RedOp, String)> =
+            dir.reductions().map(|(op, v)| (op, v.clone())).collect();
+
+        let (loops, inner) = if dir.kind == DirKind::ParallelFor {
+            let (l, bdy) = canonical_nest(body, dir.clause_collapse())?;
+            (l, bdy)
+        } else {
+            (Vec::new(), Stmt::Empty)
+        };
+        let loop_vars: Vec<&str> = loops.iter().map(|l| l.var.as_str()).collect();
+
+        #[derive(Debug)]
+        enum HKind {
+            Shared(Ty),
+            FirstPrivate(Ty),
+        }
+        let mut env: Vec<(String, HKind)> = Vec::new();
+        for fv in &fvs {
+            if loop_vars.contains(&fv.name.as_str()) || privates.contains(&fv.name) {
+                continue;
+            }
+            if firstprivates.contains(&fv.name) {
+                env.push((fv.name.clone(), HKind::FirstPrivate(fv.ty.clone())));
+            } else {
+                env.push((fv.name.clone(), HKind::Shared(fv.ty.clone())));
+            }
+        }
+
+        // Call site: build env array of addresses.
+        let env_name = self.tmp("henv");
+        let mut call_blk: Vec<Stmt> = Vec::new();
+        let nslots = env.len().max(1);
+        call_blk.push(b::decl(
+            &env_name,
+            Ty::Array(Box::new(Ty::Long), ArrayLen::Const(nslots as u64)),
+            None,
+        ));
+        let mut fp_copies: Vec<Stmt> = Vec::new();
+        for (i, (name, kind)) in env.iter().enumerate() {
+            let slot = b::index(b::ident(&env_name), b::int(i as i64));
+            match kind {
+                HKind::Shared(ty) => {
+                    // Arrays decay: store the pointer value; scalars: store
+                    // the address.
+                    let val = if ty.is_array() || ty.is_ptr() {
+                        long_cast(b::ident(name))
+                    } else {
+                        long_cast(b::addr_of(b::ident(name)))
+                    };
+                    call_blk.push(b::expr_stmt(b::assign(slot, val)));
+                }
+                HKind::FirstPrivate(ty) => {
+                    let cp = self.tmp("hfp");
+                    fp_copies.push(b::decl(&cp, ty.clone(), Some(b::ident(name))));
+                    call_blk.push(b::expr_stmt(b::assign(
+                        slot,
+                        long_cast(b::addr_of(b::ident(&cp))),
+                    )));
+                }
+            }
+        }
+        let mut blk = fp_copies;
+        blk.extend(call_blk);
+        let nthr = match dir.clause_num_threads() {
+            Some(e) => e.clone(),
+            None => b::int(0),
+        };
+        blk.push(b::expr_stmt(b::call(
+            "ort_execute_parallel",
+            vec![
+                b::e(ExprKind::StrLit(fn_name.clone())),
+                b::cast(Ty::Long, b::ident(&env_name)),
+                nthr,
+            ],
+        )));
+
+        // Outlined function body.
+        let mut tbody: Vec<Stmt> = Vec::new();
+        let mut rename: HashMap<String, Expr> = HashMap::new();
+        for (i, (name, kind)) in env.iter().enumerate() {
+            let load = b::deref(b::cast(
+                Ty::Ptr(Box::new(Ty::Long)),
+                b::bin(BinOp::Add, b::ident("__envp"), b::int(8 * i as i64)),
+            ));
+            match kind {
+                HKind::Shared(ty) => {
+                    let d = ty.decayed();
+                    if d.is_ptr() {
+                        tbody.push(b::decl(name, d.clone(), Some(b::cast(d.clone(), load))));
+                    } else {
+                        let pname = format!("__shp_{name}");
+                        let pty = Ty::Ptr(Box::new(ty.clone()));
+                        tbody.push(b::decl(&pname, pty.clone(), Some(b::cast(pty, load))));
+                        rename.insert(name.clone(), b::deref(b::ident(&pname)));
+                    }
+                }
+                HKind::FirstPrivate(ty) => {
+                    let pty = Ty::Ptr(Box::new(ty.clone()));
+                    tbody.push(b::decl(name, ty.clone(), Some(b::deref(b::cast(pty, load)))));
+                }
+            }
+        }
+        for pv in &privates {
+            let ty = ctx
+                .frame
+                .slots
+                .iter()
+                .find(|sl| sl.name == *pv)
+                .map(|sl| sl.ty.clone())
+                .unwrap_or(Ty::Int);
+            tbody.push(b::decl(pv, ty, None));
+        }
+        let mut red_renames: HashMap<String, Expr> = HashMap::new();
+        for (op, rname) in &reductions {
+            let local = format!("__redl_{rname}");
+            let ty = ctx
+                .frame
+                .slots
+                .iter()
+                .find(|sl| sl.name == *rname)
+                .map(|sl| sl.ty.clone())
+                .unwrap_or(Ty::Float);
+            tbody.push(b::decl(&local, ty.clone(), Some(red_identity(*op, &ty))));
+            red_renames.insert(rname.clone(), b::ident(&local));
+        }
+
+        let pctx = HostCtx { fname: ctx.fname.clone(), frame: ctx.frame, in_parallel: true };
+        if dir.kind == DirKind::ParallelFor {
+            tbody.extend(self.host_ws_loop(&loops, &inner, dir, &red_renames, &rename, &pctx)?);
+        } else {
+            let mut body2 = body.clone();
+            rename_idents(&mut body2, &red_renames);
+            rename_idents(&mut body2, &rename);
+            tbody.push(self.host_stmt(&body2, &pctx)?);
+        }
+
+        // Reductions: fold under a critical.
+        if !reductions.is_empty() {
+            tbody.push(b::expr_stmt(b::call(
+                "ort_critical_enter",
+                vec![b::e(ExprKind::StrLit("__omp_reduction".into()))],
+            )));
+            for (op, rname) in &reductions {
+                let target = rename
+                    .get(rname)
+                    .cloned()
+                    .unwrap_or_else(|| b::ident(rname));
+                let local = b::ident(&format!("__redl_{rname}"));
+                tbody.push(host_red_fold(target, local, *op));
+            }
+            tbody.push(b::expr_stmt(b::call(
+                "ort_critical_exit",
+                vec![b::e(ExprKind::StrLit("__omp_reduction".into()))],
+            )));
+        }
+
+        self.host_fns.push(FuncDef {
+            sig: FuncSig {
+                name: fn_name,
+                ret: Ty::Void,
+                params: vec![Param { name: "__envp".into(), ty: Ty::Long, slot: u32::MAX }],
+                quals: FnQuals::default(),
+                pos: o.pos,
+            },
+            body: Block { stmts: tbody },
+            frame: FrameInfo::default(),
+            declare_target: false,
+        });
+        Ok(b::block(blk))
+    }
+
+    /// Worksharing loop on the host (inside a parallel region).
+    fn host_ws_loop(
+        &mut self,
+        loops: &[LoopInfo],
+        inner: &Stmt,
+        dir: &Directive,
+        red_renames: &HashMap<String, Expr>,
+        rename: &HashMap<String, Expr>,
+        ctx: &HostCtx<'_>,
+    ) -> TResult<Vec<Stmt>> {
+        let mut out = Vec::new();
+        let mut tc_names = Vec::new();
+        for (i, l) in loops.iter().enumerate() {
+            let n = format!("__htc{i}");
+            let mut tc = trip_count_expr(l);
+            rename_expr(&mut tc, red_renames);
+            rename_expr(&mut tc, rename);
+            out.push(b::decl(&n, Ty::Long, Some(long_cast(tc))));
+            tc_names.push(n);
+        }
+        let mut total = b::ident(&tc_names[0]);
+        for n in &tc_names[1..] {
+            total = b::bin(BinOp::Mul, total, b::ident(n));
+        }
+        out.push(b::decl("__htotal", Ty::Long, Some(total)));
+        out.push(b::decl("__hmylb", Ty::Long, None));
+        out.push(b::decl("__hmyub", Ty::Long, None));
+
+        let mut iter_body: Vec<Stmt> = Vec::new();
+        for (i, l) in loops.iter().enumerate() {
+            let mut div: Option<Expr> = None;
+            for n in &tc_names[i + 1..] {
+                div = Some(match div {
+                    None => b::ident(n),
+                    Some(d) => b::bin(BinOp::Mul, d, b::ident(n)),
+                });
+            }
+            let mut idx = b::ident("__hit");
+            if let Some(d) = div {
+                idx = b::bin(BinOp::Div, idx, d);
+            }
+            if i > 0 {
+                idx = b::bin(BinOp::Rem, idx, b::ident(&tc_names[i]));
+            }
+            let scaled =
+                if l.step == 1 { idx } else { b::bin(BinOp::Mul, idx, b::int(l.step)) };
+            let mut lb = l.lb.clone();
+            rename_expr(&mut lb, red_renames);
+            rename_expr(&mut lb, rename);
+            iter_body.push(b::decl(
+                &l.var,
+                l.var_ty.clone(),
+                Some(b::bin(BinOp::Add, lb, b::cast(l.var_ty.clone(), scaled))),
+            ));
+        }
+        let mut inner2 = inner.clone();
+        rename_idents(&mut inner2, red_renames);
+        rename_idents(&mut inner2, rename);
+        iter_body.push(self.host_stmt(&inner2, ctx)?);
+
+        let make_for = |lo: Expr, hi: Expr, body: Vec<Stmt>| Stmt::For {
+            init: Some(Box::new(b::decl("__hit", Ty::Long, Some(lo)))),
+            cond: Some(b::bin(BinOp::Lt, b::ident("__hit"), hi)),
+            step: Some(b::e(ExprKind::IncDec {
+                pre: false,
+                inc: true,
+                expr: Box::new(b::ident("__hit")),
+            })),
+            body: Box::new(b::block(body)),
+        };
+
+        out.push(b::expr_stmt(b::call("ort_loop_begin", vec![b::ident("__htotal")])));
+        match dir.clause_schedule() {
+            Some((SchedKind::Dynamic, chunk)) => {
+                let chunk_e = chunk.cloned().unwrap_or_else(|| b::int(1));
+                out.push(Stmt::While {
+                    cond: b::call(
+                        "ort_dynamic_next",
+                        vec![
+                            long_cast(chunk_e),
+                            b::addr_of(b::ident("__hmylb")),
+                            b::addr_of(b::ident("__hmyub")),
+                        ],
+                    ),
+                    body: Box::new(make_for(b::ident("__hmylb"), b::ident("__hmyub"), iter_body)),
+                });
+            }
+            Some((SchedKind::Guided, chunk)) => {
+                let chunk_e = chunk.cloned().unwrap_or_else(|| b::int(1));
+                out.push(Stmt::While {
+                    cond: b::call(
+                        "ort_guided_next",
+                        vec![
+                            long_cast(chunk_e),
+                            b::addr_of(b::ident("__hmylb")),
+                            b::addr_of(b::ident("__hmyub")),
+                        ],
+                    ),
+                    body: Box::new(make_for(b::ident("__hmylb"), b::ident("__hmyub"), iter_body)),
+                });
+            }
+            sched => {
+                let chunk_e = match sched {
+                    Some((SchedKind::Static, Some(c))) => long_cast(c.clone()),
+                    _ => b::int(0),
+                };
+                out.push(b::expr_stmt(b::call(
+                    "ort_static_chunk",
+                    vec![
+                        chunk_e,
+                        b::addr_of(b::ident("__hmylb")),
+                        b::addr_of(b::ident("__hmyub")),
+                    ],
+                )));
+                out.push(make_for(b::ident("__hmylb"), b::ident("__hmyub"), iter_body));
+            }
+        }
+        if !dir.clause_nowait() {
+            out.push(b::expr_stmt(b::call("ort_barrier", vec![])));
+        }
+        Ok(out)
+    }
+
+    /// Orphaned / in-parallel `for` on the host.
+    fn lower_host_for(&mut self, o: &OmpStmt, ctx: &HostCtx<'_>) -> TResult<Stmt> {
+        let (loops, inner) =
+            canonical_nest(o.body.as_deref().unwrap_or(&Stmt::Empty), o.dir.clause_collapse())?;
+        let ws = self.host_ws_loop(&loops, &inner, &o.dir, &HashMap::new(), &HashMap::new(), ctx)?;
+        Ok(b::block(ws))
+    }
+
+    fn lower_host_sections(&mut self, o: &OmpStmt, ctx: &HostCtx<'_>) -> TResult<Stmt> {
+        let sections = collect_sections(o.body.as_deref().unwrap_or(&Stmt::Empty));
+        let n = sections.len() as i64;
+        let sname = self.tmp("hs");
+        let mut dispatch: Option<Stmt> = None;
+        for (i, sec) in sections.into_iter().enumerate().rev() {
+            let sec = self.host_stmt(&sec, ctx)?;
+            dispatch = Some(Stmt::If {
+                cond: b::bin(BinOp::Eq, b::ident(&sname), b::int(i as i64)),
+                then_s: Box::new(sec),
+                else_s: dispatch.map(Box::new),
+            });
+        }
+        let mut stmts = vec![
+            b::expr_stmt(b::call("ort_sections_begin", vec![b::int(n)])),
+            b::decl(&sname, Ty::Long, None),
+            Stmt::While {
+                cond: b::bin(
+                    BinOp::Ge,
+                    b::assign(b::ident(&sname), b::call("ort_sections_next", vec![])),
+                    b::int(0),
+                ),
+                body: Box::new(dispatch.unwrap_or(Stmt::Empty)),
+            },
+        ];
+        if !o.dir.clause_nowait() {
+            stmts.push(b::expr_stmt(b::call("ort_barrier", vec![])));
+        }
+        Ok(b::block(stmts))
+    }
+}
+
+struct DeviceCtx {
+    roles: Vec<(String, Ty, VarRole)>,
+    #[allow(dead_code)]
+    pos: Pos,
+}
+
+fn find_decl_ty(decls: &[(String, Ty)], name: &str) -> Option<Ty> {
+    decls.iter().find(|(n, _)| n == name).map(|(_, t)| t.clone())
+}
+
+// ------------------------------------------------------------- utilities
+
+/// Trip count expression of a canonical loop (evaluates host- or
+/// device-side depending on where it is spliced).
+pub fn trip_count_expr(l: &LoopInfo) -> Expr {
+    let s = l.step.abs();
+    let (hi, lo) = if l.step > 0 {
+        (l.ub.clone(), l.lb.clone())
+    } else {
+        (l.lb.clone(), l.ub.clone())
+    };
+    let span = b::bin(BinOp::Sub, long_cast(hi), long_cast(lo));
+    let adj = if l.inclusive { s } else { s - 1 };
+    let num = b::bin(BinOp::Add, span, b::int(adj));
+    let q = b::bin(BinOp::Div, num, b::int(s));
+    // Negative spans (empty loops) clamp to 0: (q > 0 ? q : 0).
+    b::e(ExprKind::Ternary {
+        cond: Box::new(b::bin(BinOp::Gt, q.clone(), b::int(0))),
+        then_e: Box::new(q),
+        else_e: Box::new(b::int(0)),
+    })
+}
+
+fn red_identity(op: RedOp, ty: &Ty) -> Expr {
+    let is32 = *ty == Ty::Float;
+    match op {
+        RedOp::Add => match ty {
+            Ty::Float => b::e(ExprKind::FloatLit(0.0, true)),
+            Ty::Double => b::e(ExprKind::FloatLit(0.0, false)),
+            _ => b::int(0),
+        },
+        RedOp::Mul => match ty {
+            Ty::Float => b::e(ExprKind::FloatLit(1.0, true)),
+            Ty::Double => b::e(ExprKind::FloatLit(1.0, false)),
+            _ => b::int(1),
+        },
+        RedOp::Max => match ty {
+            Ty::Float | Ty::Double => b::e(ExprKind::FloatLit(-3.0e38, is32)),
+            _ => b::int(i32::MIN as i64),
+        },
+        RedOp::Min => match ty {
+            Ty::Float | Ty::Double => b::e(ExprKind::FloatLit(3.0e38, is32)),
+            _ => b::int(i32::MAX as i64),
+        },
+    }
+}
+
+fn red_opcode(op: RedOp) -> i64 {
+    match op {
+        RedOp::Add => 0,
+        RedOp::Mul => 1,
+        RedOp::Max => 2,
+        RedOp::Min => 3,
+    }
+}
+
+/// Device-side fold of a local accumulator into `__red_<name>` (combined
+/// kernels).
+fn red_combine(name: &str, ty: &Ty, op: RedOp) -> Stmt {
+    let ptr = b::ident(&format!("__red_{name}"));
+    red_fold_stmt(ptr, b::ident(name), ty, op)
+}
+
+fn red_fold_stmt(ptr: Expr, val: Expr, ty: &Ty, op: RedOp) -> Stmt {
+    if op == RedOp::Add {
+        return b::expr_stmt(b::call("atomicAdd", vec![ptr, val]));
+    }
+    let f = match ty {
+        Ty::Float => "cudadev_red_f32",
+        Ty::Double => "cudadev_red_f64",
+        _ => "cudadev_red_i32",
+    };
+    b::expr_stmt(b::call(f, vec![ptr, val, b::int(red_opcode(op))]))
+}
+
+/// Host-side reduction fold: `target = target <op> local`.
+fn host_red_fold(target: Expr, local: Expr, op: RedOp) -> Stmt {
+    let combined = match op {
+        RedOp::Add => b::bin(BinOp::Add, target.clone(), local),
+        RedOp::Mul => b::bin(BinOp::Mul, target.clone(), local),
+        RedOp::Max => b::e(ExprKind::Ternary {
+            cond: Box::new(b::bin(BinOp::Gt, target.clone(), local.clone())),
+            then_e: Box::new(target.clone()),
+            else_e: Box::new(local),
+        }),
+        RedOp::Min => b::e(ExprKind::Ternary {
+            cond: Box::new(b::bin(BinOp::Lt, target.clone(), local.clone())),
+            then_e: Box::new(target.clone()),
+            else_e: Box::new(local),
+        }),
+    };
+    b::expr_stmt(b::assign(target, combined))
+}
+
+/// All `section` bodies of a sections region (non-section statements are
+/// treated as a leading section, per OpenMP).
+fn collect_sections(body: &Stmt) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    match body {
+        Stmt::Block(bl) => {
+            for s in &bl.stmts {
+                match s {
+                    Stmt::Omp(o) if o.dir.kind == DirKind::Section => {
+                        out.push(o.body.as_deref().cloned().unwrap_or(Stmt::Empty));
+                    }
+                    Stmt::Empty => {}
+                    other => out.push(other.clone()),
+                }
+            }
+        }
+        other => out.push(other.clone()),
+    }
+    out
+}
+
+/// Collect identifier names used in a statement (by name, pre-re-sema).
+fn collect_used_names(s: &Stmt, out: &mut Vec<String>) {
+    fn in_expr(e: &Expr, out: &mut Vec<String>) {
+        if let ExprKind::Ident(n, _) = &e.kind {
+            out.push(n.clone());
+        }
+        minic::interp::visit_child_exprs(e, &mut |c| in_expr(c, out));
+    }
+    minic::interp::visit_stmt_exprs(s, &mut |e| in_expr(e, out));
+    if let Stmt::Omp(o) = s {
+        for_each_clause_expr(&o.dir, &mut |e| in_expr(e, out));
+    }
+    minic::interp::visit_child_stmts(s, &mut |c| collect_used_names(c, out));
+}
+
+fn collect_expr_names(e: &Expr, out: &mut Vec<String>) {
+    if let ExprKind::Ident(n, _) = &e.kind {
+        out.push(n.clone());
+    }
+    minic::interp::visit_child_exprs(e, &mut |c| collect_expr_names(c, out));
+}
+
+fn collect_declared_names(s: &Stmt, out: &mut Vec<String>) {
+    if let Stmt::Decl(d) = s {
+        out.push(d.name.clone());
+    }
+    minic::interp::visit_child_stmts(s, &mut |c| collect_declared_names(c, out));
+}
+
+/// Replace identifier uses by name with replacement expressions (used for
+/// shared-variable and reduction rewrites). Declarations shadowing the
+/// name stop the replacement in their block… conservatively we replace all
+/// uses; the translator avoids emitting shadowing declarations for renamed
+/// variables.
+pub fn rename_idents(s: &mut Stmt, map: &HashMap<String, Expr>) {
+    if map.is_empty() {
+        return;
+    }
+    match s {
+        Stmt::Expr(e) => rename_expr(e, map),
+        Stmt::Decl(d) => {
+            if let Some(Init::Expr(e)) = &mut d.init {
+                rename_expr(e, map);
+            }
+        }
+        Stmt::Block(bl) => {
+            for st in &mut bl.stmts {
+                rename_idents(st, map);
+            }
+        }
+        Stmt::If { cond, then_s, else_s } => {
+            rename_expr(cond, map);
+            rename_idents(then_s, map);
+            if let Some(e) = else_s {
+                rename_idents(e, map);
+            }
+        }
+        Stmt::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                rename_idents(i, map);
+            }
+            if let Some(c) = cond {
+                rename_expr(c, map);
+            }
+            if let Some(st) = step {
+                rename_expr(st, map);
+            }
+            rename_idents(body, map);
+        }
+        Stmt::While { cond, body } => {
+            rename_expr(cond, map);
+            rename_idents(body, map);
+        }
+        Stmt::DoWhile { body, cond } => {
+            rename_idents(body, map);
+            rename_expr(cond, map);
+        }
+        Stmt::Return(Some(e)) => rename_expr(e, map),
+        Stmt::Omp(o) => {
+            for c in &mut o.dir.clauses {
+                use minic::omp::Clause as Cl;
+                match c {
+                    Cl::NumTeams(e) | Cl::NumThreads(e) | Cl::ThreadLimit(e) | Cl::If(e)
+                    | Cl::Device(e) => rename_expr(e, map),
+                    Cl::Schedule { chunk: Some(e), .. } => rename_expr(e, map),
+                    _ => {}
+                }
+            }
+            if let Some(bd) = &mut o.body {
+                rename_idents(bd, map);
+            }
+        }
+        _ => {}
+    }
+}
+
+pub fn rename_expr(e: &mut Expr, map: &HashMap<String, Expr>) {
+    if let ExprKind::Ident(n, _) = &e.kind {
+        if let Some(repl) = map.get(n) {
+            *e = repl.clone();
+            return;
+        }
+    }
+    match &mut e.kind {
+        ExprKind::Call { args, .. } => args.iter_mut().for_each(|a| rename_expr(a, map)),
+        ExprKind::KernelLaunch { grid, block, args, .. } => {
+            rename_expr(grid, map);
+            rename_expr(block, map);
+            args.iter_mut().for_each(|a| rename_expr(a, map));
+        }
+        ExprKind::Dim3 { x, y, z } => {
+            rename_expr(x, map);
+            if let Some(y) = y {
+                rename_expr(y, map);
+            }
+            if let Some(z) = z {
+                rename_expr(z, map);
+            }
+        }
+        ExprKind::Member { base, .. } => rename_expr(base, map),
+        ExprKind::Index { base, index } => {
+            rename_expr(base, map);
+            rename_expr(index, map);
+        }
+        ExprKind::Unary { expr, .. }
+        | ExprKind::IncDec { expr, .. }
+        | ExprKind::Cast { expr, .. }
+        | ExprKind::SizeofExpr(expr) => rename_expr(expr, map),
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+            rename_expr(lhs, map);
+            rename_expr(rhs, map);
+        }
+        ExprKind::Ternary { cond, then_e, else_e } => {
+            rename_expr(cond, map);
+            rename_expr(then_e, map);
+            rename_expr(else_e, map);
+        }
+        ExprKind::Comma(a, bx) => {
+            rename_expr(a, map);
+            rename_expr(bx, map);
+        }
+        _ => {}
+    }
+}

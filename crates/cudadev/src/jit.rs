@@ -1,0 +1,89 @@
+//! JIT compilation of PTX-mode kernels, with disk caching (§3.3).
+//!
+//! In PTX mode the final compilation step happens at run time "just before
+//! the actual offloading". The CUDA driver caches JIT results on disk to
+//! eliminate repeated compilations of the same kernels; we reproduce that:
+//! the cache key is the FNV-1a hash of the `.sptx` text, the cached value
+//! is the linked `.cubin`.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use vmcommon::hash::fnv1a_hex;
+
+/// Assemble + link a `.sptx` text, using/filling the disk cache.
+/// Returns `(module, cache_hit)`.
+pub fn jit_load(
+    text: &str,
+    cache_dir: &Path,
+    lib_symbols: &[String],
+) -> Result<(Arc<sptx::Module>, bool), String> {
+    let key = fnv1a_hex(text.as_bytes());
+    let cached = cache_dir.join(format!("{key}.cubin"));
+    if let Ok(bytes) = std::fs::read(&cached) {
+        if let Ok(m) = sptx::cubin::decode(&bytes) {
+            return Ok((Arc::new(m), true));
+        }
+        // Corrupt cache entry: fall through and recompile.
+        let _ = std::fs::remove_file(&cached);
+    }
+    // "Compile": assemble the text and link the device library.
+    let mut module = sptx::text::parse_module(text).map_err(|e| e.to_string())?;
+    nvccsim::link_module(&mut module, lib_symbols).map_err(|e| e.to_string())?;
+    sptx::verify_module(&module).map_err(|e| e.to_string())?;
+    if std::fs::create_dir_all(cache_dir).is_ok() {
+        // A failed cache write is not fatal (e.g. read-only disk).
+        let tmp = cache_dir.join(format!(".{key}.tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, sptx::cubin::encode(&module)).is_ok() {
+            let _ = std::fs::rename(&tmp, &cached);
+        }
+    }
+    Ok((Arc::new(module), false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_text() -> String {
+        let src = "__global__ void k(float *a) { a[threadIdx.x] = 3.0f; }";
+        let m = nvccsim::compile_source(src, "jit_sample").unwrap();
+        sptx::text::print_module(&m)
+    }
+
+    #[test]
+    fn jit_compiles_then_hits_cache() {
+        let dir = std::env::temp_dir().join(format!("cudadev-jit-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let text = sample_text();
+        let (m1, hit1) = jit_load(&text, &dir, &[]).unwrap();
+        assert!(!hit1, "first load must compile");
+        assert!(m1.device_lib_linked);
+        let (m2, hit2) = jit_load(&text, &dir, &[]).unwrap();
+        assert!(hit2, "second load must hit the disk cache");
+        assert_eq!(*m1, *m2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_entry_recompiles() {
+        let dir = std::env::temp_dir().join(format!("cudadev-jit-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let text = sample_text();
+        jit_load(&text, &dir, &[]).unwrap();
+        // Corrupt the cached file.
+        let key = fnv1a_hex(text.as_bytes());
+        let path = dir.join(format!("{key}.cubin"));
+        std::fs::write(&path, b"garbage").unwrap();
+        let (_, hit) = jit_load(&text, &dir, &[]).unwrap();
+        assert!(!hit, "corrupt entry must be recompiled");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn different_kernels_different_keys() {
+        let a = sample_text();
+        let b = a.replace("3.0", "4.0");
+        assert_ne!(fnv1a_hex(a.as_bytes()), fnv1a_hex(b.as_bytes()));
+    }
+}

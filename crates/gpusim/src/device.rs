@@ -1,0 +1,267 @@
+//! The simulated device: one Jetson Nano Maxwell GPU.
+
+use parking_lot::Mutex;
+use vmcommon::addr::{self, Space};
+use vmcommon::{BlockAllocator, MemArena};
+
+use crate::barrier::BarrierTimeout;
+use crate::timing;
+
+/// Hardware properties, as the cudadev host module would query them via
+/// `cuDeviceGetAttribute`.
+#[derive(Clone, Debug)]
+pub struct DeviceProps {
+    pub name: String,
+    /// CUDA compute capability.
+    pub compute_capability: (u32, u32),
+    pub multiprocessors: u32,
+    pub cores_per_mp: u32,
+    pub warp_size: u32,
+    pub clock_hz: f64,
+    pub max_threads_per_block: u32,
+    pub max_threads_per_sm: u32,
+    pub shared_mem_per_block: u64,
+    pub total_global_mem: u64,
+    pub max_grid_dim: [u32; 3],
+    pub max_block_dim: [u32; 3],
+}
+
+impl DeviceProps {
+    /// The Jetson Nano 2GB: 128-core Maxwell at sm_53.
+    pub fn jetson_nano_2gb(global_mem: u64) -> DeviceProps {
+        DeviceProps {
+            name: "NVIDIA Tegra X1 (Jetson Nano 2GB, simulated)".into(),
+            compute_capability: (5, 3),
+            multiprocessors: 1,
+            cores_per_mp: 128,
+            warp_size: timing::WARP_SIZE,
+            clock_hz: timing::CLOCK_HZ,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: timing::MAX_THREADS_PER_SM,
+            shared_mem_per_block: timing::SHARED_MEM_PER_BLOCK,
+            total_global_mem: global_mem,
+            max_grid_dim: [2147483647, 65535, 65535],
+            max_block_dim: [1024, 1024, 64],
+        }
+    }
+}
+
+/// Errors from device execution.
+#[derive(Clone, Debug)]
+pub enum ExecError {
+    Mem(vmcommon::MemError),
+    Alloc(vmcommon::alloc::AllocError),
+    Trap(String),
+    BarrierDeadlock(BarrierTimeout),
+    UnknownKernel(String),
+    UnknownIntrinsic(String),
+    BadLaunch(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Mem(e) => write!(f, "device memory fault: {e}"),
+            ExecError::Alloc(e) => write!(f, "device allocation failure: {e}"),
+            ExecError::Trap(m) => write!(f, "device trap: {m}"),
+            ExecError::BarrierDeadlock(b) => write!(
+                f,
+                "barrier {} deadlock: {} of {} threads arrived",
+                b.barrier, b.arrived_threads, b.expected_threads
+            ),
+            ExecError::UnknownKernel(n) => write!(f, "unknown kernel `{n}`"),
+            ExecError::UnknownIntrinsic(n) => write!(
+                f,
+                "unresolved device intrinsic `{n}` (kernel not linked against the device library?)"
+            ),
+            ExecError::BadLaunch(m) => write!(f, "invalid launch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<vmcommon::MemError> for ExecError {
+    fn from(e: vmcommon::MemError) -> Self {
+        ExecError::Mem(e)
+    }
+}
+
+impl From<vmcommon::alloc::AllocError> for ExecError {
+    fn from(e: vmcommon::alloc::AllocError) -> Self {
+        ExecError::Alloc(e)
+    }
+}
+
+impl From<BarrierTimeout> for ExecError {
+    fn from(e: BarrierTimeout) -> Self {
+        ExecError::BarrierDeadlock(e)
+    }
+}
+
+/// Cumulative device counters (since creation).
+#[derive(Clone, Debug, Default)]
+pub struct DeviceStats {
+    pub kernels_launched: u64,
+    pub blocks_simulated: u64,
+    pub blocks_total: u64,
+    pub lane_insts: u64,
+    pub mem_transactions: u64,
+    pub bytes_h2d: u64,
+    pub bytes_d2h: u64,
+    /// Total simulated busy time (seconds) across launches and copies.
+    pub busy_time_s: f64,
+}
+
+/// The simulated GPU.
+pub struct Device {
+    pub props: DeviceProps,
+    /// Device global memory ("DRAM").
+    pub global: MemArena,
+    alloc: Mutex<BlockAllocator>,
+    pub stats: Mutex<DeviceStats>,
+    /// Captured device-side printf output.
+    pub printf_output: Mutex<String>,
+}
+
+impl Device {
+    /// Create a device with `global_mem` bytes of DRAM.
+    pub fn new(global_mem: usize) -> Device {
+        let global = MemArena::new(global_mem);
+        // Offset 0 is reserved so that a null device pointer faults.
+        let alloc = BlockAllocator::new(256, global.size() as u64 - 256);
+        Device {
+            props: DeviceProps::jetson_nano_2gb(global_mem as u64),
+            global,
+            alloc: Mutex::new(alloc),
+            stats: Mutex::new(DeviceStats::default()),
+            printf_output: Mutex::new(String::new()),
+        }
+    }
+
+    /// `cuMemAlloc`: allocate device memory, returning a tagged device
+    /// pointer.
+    pub fn mem_alloc(&self, size: u64) -> Result<u64, ExecError> {
+        let off = self.alloc.lock().alloc(size)?;
+        Ok(addr::make(Space::Global, off))
+    }
+
+    /// `cuMemFree`.
+    pub fn mem_free(&self, ptr: u64) -> Result<(), ExecError> {
+        if addr::space(ptr) != Some(Space::Global) {
+            return Err(ExecError::Trap(format!("cuMemFree of non-device pointer {ptr:#x}")));
+        }
+        self.alloc.lock().free(addr::offset(ptr))?;
+        Ok(())
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn mem_in_use(&self) -> u64 {
+        self.alloc.lock().bytes_in_use()
+    }
+
+    /// `cuMemcpyHtoD`: copy from a host buffer into device memory.
+    /// Returns the simulated copy time in seconds.
+    pub fn memcpy_h2d(&self, dst: u64, src: &[u8]) -> Result<f64, ExecError> {
+        if addr::space(dst) != Some(Space::Global) {
+            return Err(ExecError::Trap(format!("HtoD destination {dst:#x} is not device memory")));
+        }
+        self.global.write_bytes(addr::offset(dst), src)?;
+        let t = timing::MEMCPY_OVERHEAD_S + src.len() as f64 / timing::MEMCPY_BYTES_PER_S;
+        let mut st = self.stats.lock();
+        st.bytes_h2d += src.len() as u64;
+        st.busy_time_s += t;
+        Ok(t)
+    }
+
+    /// `cuMemcpyDtoH`. Returns the simulated copy time in seconds.
+    pub fn memcpy_d2h(&self, dst: &mut [u8], src: u64) -> Result<f64, ExecError> {
+        if addr::space(src) != Some(Space::Global) {
+            return Err(ExecError::Trap(format!("DtoH source {src:#x} is not device memory")));
+        }
+        self.global.read_bytes(addr::offset(src), dst)?;
+        let t = timing::MEMCPY_OVERHEAD_S + dst.len() as f64 / timing::MEMCPY_BYTES_PER_S;
+        let mut st = self.stats.lock();
+        st.bytes_d2h += dst.len() as u64;
+        st.busy_time_s += t;
+        Ok(t)
+    }
+
+    /// Device-to-device copy (used by `omp target update` on unified
+    /// buffers). Returns the simulated time.
+    pub fn memcpy_d2d(&self, dst: u64, src: u64, len: u64) -> Result<f64, ExecError> {
+        let mut buf = vec![0u8; len as usize];
+        self.global.read_bytes(addr::offset(src), &mut buf)?;
+        self.global.write_bytes(addr::offset(dst), &buf)?;
+        Ok(timing::MEMCPY_OVERHEAD_S + 2.0 * len as f64 / timing::MEMCPY_BYTES_PER_S)
+    }
+
+    /// Fill a device range with a byte value (`cuMemsetD8`).
+    pub fn memset_d8(&self, dst: u64, byte: u8, len: u64) -> Result<(), ExecError> {
+        if addr::space(dst) != Some(Space::Global) {
+            return Err(ExecError::Trap(format!("memset target {dst:#x} is not device memory")));
+        }
+        let off = addr::offset(dst);
+        if byte == 0 {
+            self.global.zero(off, len)?;
+        } else {
+            for i in 0..len {
+                self.global.store_u8(off + i, byte)?;
+            }
+        }
+        Ok(())
+    }
+
+    pub fn take_printf_output(&self) -> String {
+        std::mem::take(&mut *self.printf_output.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_copy_roundtrip() {
+        let d = Device::new(1 << 20);
+        let p = d.mem_alloc(1024).unwrap();
+        assert_eq!(addr::space(p), Some(Space::Global));
+        let data: Vec<u8> = (0..=255).collect();
+        d.memcpy_h2d(p, &data).unwrap();
+        let mut back = vec![0u8; 256];
+        d.memcpy_d2h(&mut back, p).unwrap();
+        assert_eq!(back, data);
+        d.mem_free(p).unwrap();
+        assert_eq!(d.mem_in_use(), 0);
+    }
+
+    #[test]
+    fn copy_times_scale_with_size() {
+        let d = Device::new(1 << 22);
+        let p = d.mem_alloc(1 << 21).unwrap();
+        let small = d.memcpy_h2d(p, &vec![0u8; 1024]).unwrap();
+        let large = d.memcpy_h2d(p, &vec![0u8; 1 << 21]).unwrap();
+        assert!(large > small * 10.0);
+    }
+
+    #[test]
+    fn host_pointer_rejected() {
+        let d = Device::new(1 << 20);
+        assert!(d.memcpy_h2d(addr::make(Space::Host, 64), &[1, 2, 3]).is_err());
+        assert!(d.mem_free(addr::make(Space::Shared, 0)).is_err());
+    }
+
+    #[test]
+    fn oom_reported() {
+        let d = Device::new(1 << 16);
+        assert!(d.mem_alloc(1 << 20).is_err());
+    }
+
+    #[test]
+    fn props_match_nano() {
+        let d = Device::new(1 << 20);
+        assert_eq!(d.props.compute_capability, (5, 3));
+        assert_eq!(d.props.multiprocessors, 1);
+        assert_eq!(d.props.cores_per_mp, 128);
+    }
+}

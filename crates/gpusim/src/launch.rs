@@ -1,0 +1,280 @@
+//! Kernel launches: grid iteration, block execution (one OS thread per
+//! warp), sampled simulation and the kernel time model.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::device::{Device, ExecError};
+use crate::timing;
+use crate::warp::{BlockCtx, BlockEnv, DeviceLib, Warp};
+
+/// Launch configuration (grid/block shapes + kernel parameters as raw bit
+/// patterns, exactly like `cuLaunchKernel`'s param buffer).
+#[derive(Clone, Debug)]
+pub struct LaunchConfig {
+    pub grid: [u32; 3],
+    pub block: [u32; 3],
+    pub params: Vec<u64>,
+}
+
+/// How much of the grid to actually simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Execute every block — full output correctness.
+    Functional,
+    /// Execute at most `max_blocks` evenly-spaced blocks and extrapolate
+    /// the timing; output is only partially computed. (Documented
+    /// substitution for full-scale runs; see DESIGN.md.)
+    Sampled { max_blocks: u32 },
+}
+
+/// Per-launch results.
+#[derive(Clone, Debug, Default)]
+pub struct LaunchStats {
+    pub blocks_total: u64,
+    pub blocks_executed: u64,
+    /// Extrapolated totals.
+    pub issue_cycles: u64,
+    pub mem_transactions: u64,
+    pub lane_insts: u64,
+    /// Slowest simulated block (latency cycles).
+    pub max_block_cycles: u64,
+    /// Modeled kernel duration in core cycles.
+    pub kernel_cycles: u64,
+    /// Modeled kernel duration in seconds (incl. launch overhead).
+    pub time_s: f64,
+    pub divergent_branches: u64,
+}
+
+#[derive(Default)]
+struct BlockAccum {
+    issue: u64,
+    transactions: u64,
+    lane_insts: u64,
+    divergent: u64,
+    max_block_cycles: u64,
+    executed: u64,
+}
+
+/// Launch a kernel on the device.
+pub fn launch(
+    device: &Device,
+    module: &sptx::Module,
+    kernel: &str,
+    cfg: &LaunchConfig,
+    lib: &dyn DeviceLib,
+    mode: ExecMode,
+) -> Result<LaunchStats, ExecError> {
+    let kidx = module
+        .function_index(kernel)
+        .ok_or_else(|| ExecError::UnknownKernel(kernel.to_string()))?;
+    let kfun = &module.functions[kidx as usize];
+    if !kfun.is_kernel {
+        return Err(ExecError::BadLaunch(format!("`{kernel}` is not a kernel entry point")));
+    }
+    if !module.device_lib_linked {
+        return Err(ExecError::BadLaunch(format!(
+            "module `{}` was not linked against the device library",
+            module.name
+        )));
+    }
+    if cfg.params.len() != kfun.params.len() {
+        return Err(ExecError::BadLaunch(format!(
+            "kernel `{kernel}` takes {} parameters, launch provided {}",
+            kfun.params.len(),
+            cfg.params.len()
+        )));
+    }
+    let threads_per_block = cfg.block[0] as u64 * cfg.block[1] as u64 * cfg.block[2] as u64;
+    if threads_per_block == 0 || threads_per_block > device.props.max_threads_per_block as u64 {
+        return Err(ExecError::BadLaunch(format!(
+            "block of {threads_per_block} threads (max {})",
+            device.props.max_threads_per_block
+        )));
+    }
+    if kfun.shared_size > device.props.shared_mem_per_block {
+        return Err(ExecError::BadLaunch(format!(
+            "kernel needs {} bytes of shared memory (max {})",
+            kfun.shared_size, device.props.shared_mem_per_block
+        )));
+    }
+    let blocks_total = cfg.grid[0] as u64 * cfg.grid[1] as u64 * cfg.grid[2] as u64;
+    if blocks_total == 0 {
+        return Err(ExecError::BadLaunch("empty grid".into()));
+    }
+
+    // Choose the blocks to simulate.
+    let chosen: Vec<u64> = match mode {
+        ExecMode::Functional => (0..blocks_total).collect(),
+        ExecMode::Sampled { max_blocks } => {
+            let max = max_blocks.max(1) as u64;
+            if blocks_total <= max {
+                (0..blocks_total).collect()
+            } else {
+                // Evenly spaced sample, always including the first and last
+                // blocks (edge blocks often do boundary work).
+                let mut v: Vec<u64> =
+                    (0..max).map(|i| i * blocks_total / max).collect();
+                v.push(blocks_total - 1);
+                v.dedup();
+                v
+            }
+        }
+    };
+
+    let accum = Mutex::new(BlockAccum::default());
+    let error: Mutex<Option<ExecError>> = Mutex::new(None);
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8).min(chosen.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= chosen.len() || error.lock().is_some() {
+                    return;
+                }
+                let lin = chosen[i];
+                match run_block(device, module, kidx, cfg, lib, lin, threads_per_block as u32, kfun.shared_size) {
+                    Ok(b) => {
+                        let mut a = accum.lock();
+                        a.issue += b.issue;
+                        a.transactions += b.transactions;
+                        a.lane_insts += b.lane_insts;
+                        a.divergent += b.divergent;
+                        a.max_block_cycles = a.max_block_cycles.max(b.max_block_cycles);
+                        a.executed += 1;
+                    }
+                    Err(e) => {
+                        let mut slot = error.lock();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = error.into_inner() {
+        return Err(e);
+    }
+    let a = accum.into_inner();
+    let executed = a.executed.max(1);
+    let scale = blocks_total as f64 / executed as f64;
+
+    let issue_total = (a.issue as f64 * scale) as u64;
+    let transactions_total = (a.transactions as f64 * scale) as u64;
+    let lane_insts_total = (a.lane_insts as f64 * scale) as u64;
+
+    // Kernel time model (see `timing` module docs): the max of the issue
+    // throughput bound, the DRAM bandwidth bound, and the wave-pipelined
+    // critical path.
+    let resident = timing::resident_blocks(threads_per_block as u32, kfun.shared_size) as u64;
+    let waves = blocks_total.div_ceil(resident);
+    let issue_bound = issue_total / timing::WARP_SCHEDULERS;
+    let mem_bound = (transactions_total as f64 * timing::CYCLES_PER_TRANSACTION) as u64;
+    let path_bound = a.max_block_cycles * waves;
+    let kernel_cycles = issue_bound.max(mem_bound).max(path_bound).max(1);
+    let time_s = timing::LAUNCH_OVERHEAD_S + kernel_cycles as f64 / device.props.clock_hz;
+
+    {
+        let mut st = device.stats.lock();
+        st.kernels_launched += 1;
+        st.blocks_total += blocks_total;
+        st.blocks_simulated += a.executed;
+        st.lane_insts += a.lane_insts;
+        st.mem_transactions += a.transactions;
+        st.busy_time_s += time_s;
+    }
+
+    Ok(LaunchStats {
+        blocks_total,
+        blocks_executed: a.executed,
+        issue_cycles: issue_total,
+        mem_transactions: transactions_total,
+        lane_insts: lane_insts_total,
+        max_block_cycles: a.max_block_cycles,
+        kernel_cycles,
+        time_s,
+        divergent_branches: a.divergent,
+    })
+}
+
+struct BlockResult {
+    issue: u64,
+    transactions: u64,
+    lane_insts: u64,
+    divergent: u64,
+    max_block_cycles: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_block(
+    device: &Device,
+    module: &sptx::Module,
+    kidx: u32,
+    cfg: &LaunchConfig,
+    lib: &dyn DeviceLib,
+    lin_block: u64,
+    nthreads: u32,
+    shared_static: u64,
+) -> Result<BlockResult, ExecError> {
+    let gx = cfg.grid[0] as u64;
+    let gy = cfg.grid[1] as u64;
+    let ctaid = [
+        (lin_block % gx) as u32,
+        ((lin_block / gx) % gy) as u32,
+        (lin_block / (gx * gy)) as u32,
+    ];
+    let env = BlockEnv {
+        device,
+        module,
+        lib,
+        ctx: BlockCtx::new(timing::SHARED_MEM_PER_BLOCK as usize),
+        grid_dim: cfg.grid,
+        block_dim: cfg.block,
+        ctaid,
+        nthreads,
+        shared_static,
+    };
+    // The device library's dynamic shared-memory stack starts above the
+    // kernel's static allocation (slot convention shared with cudadev).
+    env.ctx.ext[crate::SHMEM_SP_SLOT].store(shared_static, Ordering::Relaxed);
+
+    let nwarps = nthreads.div_ceil(timing::WARP_SIZE);
+    let results: Mutex<Vec<Result<(u64, u64, crate::warp::WarpStats), ExecError>>> =
+        Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for w in 0..nwarps {
+            let env = &env;
+            let results = &results;
+            scope.spawn(move || {
+                let mut warp = Warp::new(env, w);
+                let mask = warp.initial_mask();
+                let r = warp.run_kernel(kidx, &cfg.params, mask);
+                results
+                    .lock()
+                    .push(r.map(|_| (warp.issue, warp.clock, warp.stats)));
+            });
+        }
+    });
+
+    let mut out = BlockResult {
+        issue: 0,
+        transactions: 0,
+        lane_insts: 0,
+        divergent: 0,
+        max_block_cycles: 0,
+    };
+    for r in results.into_inner() {
+        let (issue, clock, stats) = r?;
+        out.issue += issue;
+        out.transactions += stats.mem_transactions;
+        out.lane_insts += stats.lane_insts;
+        out.divergent += stats.divergent_branches;
+        out.max_block_cycles = out.max_block_cycles.max(clock);
+    }
+    Ok(out)
+}

@@ -1,0 +1,174 @@
+//! The calibrated cost model for the simulated Jetson Nano Maxwell SMM.
+//!
+//! The Nano's GPU is a single Maxwell SMM: 128 CUDA cores organized as 4
+//! scheduler partitions of 32 lanes, 921.6 MHz boost clock, sharing 25.6
+//! GB/s of LPDDR4 bandwidth with the CPU. The model tracks three quantities
+//! per kernel and takes their max as the kernel time:
+//!
+//! 1. **Issue throughput** — each instruction has an issue cost in
+//!    scheduler-cycles; 4 schedulers issue in parallel, so the bound is
+//!    `total_issue / 4`.
+//! 2. **Memory throughput** — every global access is coalesced into 32-byte
+//!    transactions; LPDDR4 sustains roughly one transaction per core cycle
+//!    (25.6 GB/s ÷ 921.6 MHz ≈ 27.8 B/cycle), derated for the CPU sharing
+//!    the bus.
+//! 3. **Critical path** — each warp keeps a latency clock (ALU + average
+//!    memory latency + barrier waits, where a barrier jumps every
+//!    participant to the latest arrival). A block's wall time is its
+//!    slowest warp; with `R` blocks resident the grid needs
+//!    `ceil(blocks/R)` waves. This term is what makes the master/worker
+//!    scheme's serialized master sections cost time even though they issue
+//!    almost nothing.
+//!
+//! All constants live here so that calibration is one diff.
+
+use sptx::{BinOp, Inst, ScalarTy, UnOp};
+
+/// Core clock (Hz). Jetson Nano Maxwell boost clock.
+pub const CLOCK_HZ: f64 = 921.6e6;
+
+/// Warp schedulers per SMM.
+pub const WARP_SCHEDULERS: u64 = 4;
+
+/// Warp size.
+pub const WARP_SIZE: u32 = 32;
+
+/// Bytes per coalesced memory transaction.
+pub const TRANSACTION_BYTES: u64 = 32;
+
+/// Core cycles per 32-byte transaction (bandwidth term). 32 B ÷ 27.8 B/cyc,
+/// derated ~35% for CPU sharing the LPDDR4 bus.
+pub const CYCLES_PER_TRANSACTION: f64 = 1.55;
+
+/// Average exposed latency of a global access (cycles). Far below the raw
+/// DRAM latency because resident warps hide most of it; this is the
+/// *residual* a dependent instruction chain observes.
+pub const GLOBAL_MEM_LAT: u64 = 28;
+
+/// Latency of a shared-memory access (cycles).
+pub const SHARED_MEM_LAT: u64 = 6;
+
+/// Latency of a local-memory access (register spill space; L1-resident).
+pub const LOCAL_MEM_LAT: u64 = 6;
+
+/// Cost (issue, latency) added when a warp executes a named barrier.
+pub const BARRIER_ISSUE: u64 = 2;
+pub const BARRIER_LAT: u64 = 24;
+
+/// Extra latency when both sides of a branch are non-empty (divergence).
+pub const DIVERGENCE_LAT: u64 = 8;
+
+/// Overhead of an intrinsic (device-library) call.
+pub const INTRINSIC_ISSUE: u64 = 4;
+pub const INTRINSIC_LAT: u64 = 18;
+
+/// Overhead of a device-function call (ABI setup).
+pub const CALL_ISSUE: u64 = 4;
+pub const CALL_LAT: u64 = 16;
+
+/// Fixed host-side cost of one kernel launch (seconds). Measured values on
+/// the Nano with the driver API are 30–90 µs.
+pub const LAUNCH_OVERHEAD_S: f64 = 60e-6;
+
+/// Effective host↔device copy bandwidth (bytes/second). cudaMemcpy on the
+/// Nano moves through the shared DRAM at well below the raw bus rate.
+pub const MEMCPY_BYTES_PER_S: f64 = 3.4e9;
+
+/// Fixed per-memcpy overhead (seconds).
+pub const MEMCPY_OVERHEAD_S: f64 = 25e-6;
+
+/// Maximum resident threads per SMM (occupancy limit).
+pub const MAX_THREADS_PER_SM: u32 = 2048;
+
+/// Maximum resident blocks per SMM.
+pub const MAX_BLOCKS_PER_SM: u32 = 32;
+
+/// Shared memory per block (bytes) — also the occupancy divisor.
+pub const SHARED_MEM_PER_BLOCK: u64 = 48 * 1024;
+
+/// (issue, latency) cost of one ALU/control instruction, per warp.
+pub fn inst_cost(i: &Inst) -> (u64, u64) {
+    match i {
+        Inst::Bin { ty, op, .. } => {
+            let f64ty = *ty == ScalarTy::F64;
+            match op {
+                BinOp::Div | BinOp::Rem => {
+                    if f64ty {
+                        (16, 48)
+                    } else if ty.is_float() {
+                        (6, 20)
+                    } else {
+                        (8, 24)
+                    }
+                }
+                _ if f64ty => (8, 24),
+                BinOp::Mul if !ty.is_float() => (1, 4),
+                _ => (1, 4),
+            }
+        }
+        Inst::Un { ty, op, .. } => match op {
+            UnOp::Sqrt | UnOp::Exp | UnOp::Log | UnOp::Sin | UnOp::Cos => {
+                if *ty == ScalarTy::F64 {
+                    (16, 48)
+                } else {
+                    (4, 18)
+                }
+            }
+            _ if *ty == ScalarTy::F64 => (8, 24),
+            _ => (1, 4),
+        },
+        Inst::Mov { .. } | Inst::Cvt { .. } => (1, 2),
+        // Memory cost is added by the interpreter after coalescing.
+        Inst::Ld { .. } | Inst::St { .. } => (1, 0),
+        Inst::AtomCas { .. } | Inst::Atom { .. } => (4, 40),
+        Inst::BarSync { .. } => (BARRIER_ISSUE, 0),
+        Inst::Call { .. } => (CALL_ISSUE, CALL_LAT),
+        Inst::Intrinsic { .. } => (INTRINSIC_ISSUE, INTRINSIC_LAT),
+        Inst::Ret { .. } => (1, 1),
+        Inst::Trap { .. } => (0, 0),
+    }
+}
+
+/// Blocks resident simultaneously on the SMM for a given block shape.
+pub fn resident_blocks(threads_per_block: u32, shared_per_block: u64) -> u32 {
+    let by_threads = (MAX_THREADS_PER_SM / threads_per_block.max(1)).max(1);
+    let by_shared = if shared_per_block == 0 {
+        MAX_BLOCKS_PER_SM
+    } else {
+        ((SHARED_MEM_PER_BLOCK / shared_per_block) as u32).max(1)
+    };
+    by_threads.min(by_shared).min(MAX_BLOCKS_PER_SM)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_limits() {
+        assert_eq!(resident_blocks(256, 0), 8);
+        assert_eq!(resident_blocks(2048, 0), 1);
+        assert_eq!(resident_blocks(32, 0), 32); // capped by MAX_BLOCKS
+        assert_eq!(resident_blocks(128, 48 * 1024), 1); // shared-mem bound
+        assert_eq!(resident_blocks(128, 12 * 1024), 4);
+    }
+
+    #[test]
+    fn f64_is_much_slower_than_f32() {
+        let f32mul = Inst::Bin {
+            ty: ScalarTy::F32,
+            op: BinOp::Mul,
+            dst: sptx::Reg(0),
+            a: sptx::Operand::ImmF(1.0),
+            b: sptx::Operand::ImmF(2.0),
+        };
+        let f64mul = Inst::Bin {
+            ty: ScalarTy::F64,
+            op: BinOp::Mul,
+            dst: sptx::Reg(0),
+            a: sptx::Operand::ImmF(1.0),
+            b: sptx::Operand::ImmF(2.0),
+        };
+        assert!(inst_cost(&f64mul).0 >= 8 * inst_cost(&f32mul).0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Timing-model invariants: the simulated clock must respond to workload
+//! properties the way the real board does qualitatively.
+
+use gpusim::{launch, Device, ExecMode, LaunchConfig, NoLib};
+use sptx::builder::{op, FnBuilder};
+use sptx::{BinOp, CvtTy, MemTy, ScalarTy, SpecialReg};
+
+fn device() -> Device {
+    Device::new(16 << 20)
+}
+
+/// Kernel: per-thread loop of `iters` FMAs on f32 or f64.
+fn fma_kernel(iters: i64, f64ty: bool) -> sptx::Module {
+    let ty = if f64ty { ScalarTy::F64 } else { ScalarTy::F32 };
+    let mut b = FnBuilder::new("fma", true);
+    let out = b.param("out", ScalarTy::I64);
+    let acc = b.mov(op::f(1.0));
+    let i = b.mov(op::i(0));
+    b.begin_loop();
+    let done = b.bin(ScalarTy::I32, BinOp::SetGe, op::r(i), op::i(iters));
+    b.begin_if();
+    b.brk();
+    b.end_if(op::r(done));
+    let t = b.bin(ty, BinOp::Mul, op::r(acc), op::f(1.000001));
+    let t2 = b.bin(ty, BinOp::Add, op::r(t), op::f(0.000001));
+    b.mov_to(acc, op::r(t2));
+    let i2 = b.bin(ScalarTy::I32, BinOp::Add, op::r(i), op::i(1));
+    b.mov_to(i, op::r(i2));
+    b.end_loop();
+    let low = b.cvt(CvtTy::I32, if f64ty { CvtTy::F64 } else { CvtTy::F32 }, op::r(acc));
+    let tid = b.mov(op::sp(SpecialReg::TidX));
+    let t64 = b.cvt(CvtTy::I64, CvtTy::I32, op::r(tid));
+    let off = b.bin(ScalarTy::I64, BinOp::Mul, op::r(t64), op::i(4));
+    let addr = b.bin(ScalarTy::I64, BinOp::Add, op::r(out), op::r(off));
+    b.st(MemTy::B32, op::r(low), op::r(addr), 0);
+    sptx::Module {
+        name: "fma".into(),
+        arch: "sm_53".into(),
+        functions: vec![b.build()],
+        device_lib_linked: true,
+    }
+}
+
+fn run_cycles(m: &sptx::Module, grid: u32, block: u32, d: &Device, buf: u64) -> u64 {
+    let cfg = LaunchConfig { grid: [grid, 1, 1], block: [block, 1, 1], params: vec![buf] };
+    launch(d, m, "fma", &cfg, &NoLib, ExecMode::Functional).unwrap().kernel_cycles
+}
+
+#[test]
+fn more_iterations_cost_more() {
+    let d = device();
+    let buf = d.mem_alloc(4 * 256).unwrap();
+    let short = run_cycles(&fma_kernel(100, false), 1, 128, &d, buf);
+    let long = run_cycles(&fma_kernel(1000, false), 1, 128, &d, buf);
+    assert!(long > short * 5, "10x work must cost >5x cycles ({short} vs {long})");
+}
+
+#[test]
+fn f64_much_slower_than_f32() {
+    // Maxwell has a 1/32 DP rate; the model must reflect a large penalty.
+    let d = device();
+    let buf = d.mem_alloc(4 * 256).unwrap();
+    let single = run_cycles(&fma_kernel(500, false), 1, 128, &d, buf);
+    let double = run_cycles(&fma_kernel(500, true), 1, 128, &d, buf);
+    assert!(
+        double as f64 > single as f64 * 2.0,
+        "f64 kernel must be much slower ({single} vs {double})"
+    );
+}
+
+#[test]
+fn more_blocks_scale_time_but_sublinearly_with_occupancy() {
+    // 8 blocks of 256 threads are co-resident on the SMM: the wave count
+    // is 1 for ≤8 blocks, so 8 blocks must cost < 8 × one block.
+    let d = device();
+    let buf = d.mem_alloc(4 * 256 * 64).unwrap();
+    let m = fma_kernel(200, false);
+    let one = run_cycles(&m, 1, 256, &d, buf);
+    let eight = run_cycles(&m, 8, 256, &d, buf);
+    let sixtyfour = run_cycles(&m, 64, 256, &d, buf);
+    assert!(eight < one * 8, "co-resident blocks overlap ({one} vs {eight})");
+    assert!(sixtyfour > eight * 4, "64 blocks need multiple waves ({eight} vs {sixtyfour})");
+}
+
+#[test]
+fn coalesced_beats_strided_memory() {
+    // out[tid] (coalesced) vs out[tid * 32] (one transaction per lane).
+    let build = |stride: i64| {
+        let mut b = FnBuilder::new("mem", true);
+        let out = b.param("out", ScalarTy::I64);
+        let lin0 = b.bin(
+            ScalarTy::I32,
+            BinOp::Mul,
+            op::sp(SpecialReg::CtaidX),
+            op::sp(SpecialReg::NtidX),
+        );
+        let lin = b.bin(ScalarTy::I32, BinOp::Add, op::r(lin0), op::sp(SpecialReg::TidX));
+        let idx = b.bin(ScalarTy::I32, BinOp::Mul, op::r(lin), op::i(stride));
+        let t64 = b.cvt(CvtTy::I64, CvtTy::I32, op::r(idx));
+        let off = b.bin(ScalarTy::I64, BinOp::Mul, op::r(t64), op::i(4));
+        let addr = b.bin(ScalarTy::I64, BinOp::Add, op::r(out), op::r(off));
+        let v = b.ld(MemTy::F32, op::r(addr), 0);
+        let v2 = b.bin(ScalarTy::F32, BinOp::Add, op::r(v), op::f(1.0));
+        b.st(MemTy::F32, op::r(v2), op::r(addr), 0);
+        sptx::Module {
+            name: "mem".into(),
+            arch: "sm_53".into(),
+            functions: vec![b.build()],
+            device_lib_linked: true,
+        }
+    };
+    let d = device();
+    let buf = d.mem_alloc(4 * 256 * 64 * 32).unwrap();
+    let cfg = |m: &sptx::Module| {
+        let c = LaunchConfig { grid: [64, 1, 1], block: [256, 1, 1], params: vec![buf] };
+        launch(&d, m, "mem", &c, &NoLib, ExecMode::Functional).unwrap()
+    };
+    let coalesced = cfg(&build(1));
+    let strided = cfg(&build(32));
+    assert!(
+        strided.mem_transactions >= coalesced.mem_transactions * 6,
+        "strided access must need many more transactions ({} vs {})",
+        coalesced.mem_transactions,
+        strided.mem_transactions
+    );
+    assert!(
+        strided.kernel_cycles > coalesced.kernel_cycles * 2,
+        "and cost correspondingly more cycles ({} vs {})",
+        coalesced.kernel_cycles,
+        strided.kernel_cycles
+    );
+}
+
+#[test]
+fn divergence_is_counted_and_costed() {
+    // Same arithmetic, once uniform, once split by lane parity.
+    let build = |divergent: bool| {
+        let mut b = FnBuilder::new("div", true);
+        let out = b.param("out", ScalarTy::I64);
+        let tid = b.mov(op::sp(SpecialReg::TidX));
+        let cond = if divergent {
+            let parity = b.bin(ScalarTy::I32, BinOp::Rem, op::r(tid), op::i(2));
+            op::r(parity)
+        } else {
+            op::i(1)
+        };
+        let dst = b.alloc();
+        for _ in 0..32 {
+            b.begin_if();
+            let v = b.bin(ScalarTy::I32, BinOp::Add, op::r(tid), op::i(1));
+            b.mov_to(dst, op::r(v));
+            b.begin_else();
+            let v = b.bin(ScalarTy::I32, BinOp::Add, op::r(tid), op::i(2));
+            b.mov_to(dst, op::r(v));
+            b.end_if_else(cond);
+        }
+        let t64 = b.cvt(CvtTy::I64, CvtTy::I32, op::r(tid));
+        let off = b.bin(ScalarTy::I64, BinOp::Mul, op::r(t64), op::i(4));
+        let addr = b.bin(ScalarTy::I64, BinOp::Add, op::r(out), op::r(off));
+        b.st(MemTy::B32, op::r(dst), op::r(addr), 0);
+        sptx::Module {
+            name: "div".into(),
+            arch: "sm_53".into(),
+            functions: vec![b.build()],
+            device_lib_linked: true,
+        }
+    };
+    let d = device();
+    let buf = d.mem_alloc(4 * 128).unwrap();
+    let cfg = |m: &sptx::Module| {
+        let c = LaunchConfig { grid: [1, 1, 1], block: [128, 1, 1], params: vec![buf] };
+        launch(&d, m, "div", &c, &NoLib, ExecMode::Functional).unwrap()
+    };
+    let uniform = cfg(&build(false));
+    let divergent = cfg(&build(true));
+    assert_eq!(uniform.divergent_branches, 0);
+    assert!(divergent.divergent_branches >= 32 * 4, "4 warps × 32 divergent ifs");
+    assert!(divergent.kernel_cycles > uniform.kernel_cycles);
+}
+
+#[test]
+fn launch_overhead_dominates_tiny_kernels() {
+    let d = device();
+    let buf = d.mem_alloc(4 * 32).unwrap();
+    let m = fma_kernel(1, false);
+    let cfg = LaunchConfig { grid: [1, 1, 1], block: [32, 1, 1], params: vec![buf] };
+    let s = launch(&d, &m, "fma", &cfg, &NoLib, ExecMode::Functional).unwrap();
+    assert!(
+        s.time_s >= gpusim::timing::LAUNCH_OVERHEAD_S,
+        "time includes the fixed launch overhead"
+    );
+    assert!(s.time_s < 2.0 * gpusim::timing::LAUNCH_OVERHEAD_S + 1e-3);
+}

@@ -1,0 +1,185 @@
+//! Thread teams and per-team worksharing state.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use vmcommon::sched::{DynamicState, GuidedState};
+
+/// A reusable sense-reversing barrier for `n` threads.
+pub struct TeamBarrier {
+    n: usize,
+    state: Mutex<(usize, u64)>, // (arrived, generation)
+    cv: Condvar,
+}
+
+impl TeamBarrier {
+    pub fn new(n: usize) -> TeamBarrier {
+        TeamBarrier { n, state: Mutex::new((0, 0)), cv: Condvar::new() }
+    }
+
+    pub fn wait(&self) {
+        let mut st = self.state.lock();
+        st.0 += 1;
+        if st.0 == self.n {
+            st.0 = 0;
+            st.1 += 1;
+            self.cv.notify_all();
+            return;
+        }
+        let gen = st.1;
+        while st.1 == gen {
+            self.cv.wait(&mut st);
+        }
+    }
+}
+
+/// Worksharing state for one region instance (a `for`, `single` or
+/// `sections` the team passes through together).
+pub struct WsState {
+    /// Loop trip count (0 for single/sections use).
+    pub total: u64,
+    pub dynamic: DynamicState,
+    pub guided: GuidedState,
+    /// `single` claimed flag.
+    single_done: AtomicBool,
+    /// `sections` dispenser.
+    sections_next: AtomicU64,
+}
+
+impl WsState {
+    fn new(total: u64) -> WsState {
+        WsState {
+            total,
+            dynamic: DynamicState::new(),
+            guided: GuidedState::new(),
+            single_done: AtomicBool::new(false),
+            sections_next: AtomicU64::new(0),
+        }
+    }
+
+    /// State for execution outside a team (sequential region).
+    pub fn solo(total: u64) -> WsState {
+        WsState::new(total)
+    }
+
+    /// First caller wins the `single` region.
+    pub fn single_winner(&self) -> bool {
+        !self.single_done.swap(true, Ordering::AcqRel)
+    }
+
+    /// Claim the next section (lock-free counter; the paper's device
+    /// implementation uses a lock + counter, the host one a fetch-add).
+    pub fn sections_next(&self, nsections: u64) -> Option<u64> {
+        let i = self.sections_next.fetch_add(1, Ordering::AcqRel);
+        if i < nsections {
+            Some(i)
+        } else {
+            None
+        }
+    }
+}
+
+/// One parallel-region team.
+pub struct Team {
+    pub nthreads: usize,
+    barrier: TeamBarrier,
+    /// Worksharing instances, keyed by per-thread region ordinal. Threads
+    /// encounter worksharing regions in the same order (an OpenMP
+    /// requirement), so the ordinal identifies the instance.
+    ws: Mutex<HashMap<u64, Arc<WsState>>>,
+    /// Per-thread count of worksharing regions encountered.
+    ws_ordinal: Vec<AtomicU64>,
+    /// Cleanup epoch: instances older than every thread's ordinal are
+    /// dropped lazily.
+    ws_floor: AtomicU64,
+}
+
+impl Team {
+    pub fn new(nthreads: usize) -> Team {
+        Team {
+            nthreads,
+            barrier: TeamBarrier::new(nthreads),
+            ws: Mutex::new(HashMap::new()),
+            ws_ordinal: (0..nthreads).map(|_| AtomicU64::new(0)).collect(),
+            ws_floor: AtomicU64::new(0),
+        }
+    }
+
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// The worksharing instance for the next region this thread encounters
+    /// (creating it if this thread is first).
+    pub fn ws(&self, tid: usize) -> Arc<WsState> {
+        self.ws_with_total(tid, 0)
+    }
+
+    /// Worksharing instance for a loop with `total` iterations.
+    pub fn ws_loop(&self, tid: usize, total: u64) -> Arc<WsState> {
+        self.ws_with_total(tid, total)
+    }
+
+    fn ws_with_total(&self, tid: usize, total: u64) -> Arc<WsState> {
+        let ordinal = self.ws_ordinal[tid].fetch_add(1, Ordering::AcqRel);
+        let mut map = self.ws.lock();
+        let state =
+            map.entry(ordinal).or_insert_with(|| Arc::new(WsState::new(total))).clone();
+        // Drop instances every live thread has moved past.
+        let min = self
+            .ws_ordinal
+            .iter()
+            .map(|a| a.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0);
+        let floor = self.ws_floor.load(Ordering::Acquire);
+        if min > floor + 16 {
+            map.retain(|&k, _| k + 1 >= min);
+            self.ws_floor.store(min.saturating_sub(1), Ordering::Release);
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ws_instances_match_by_ordinal() {
+        let team = Team::new(2);
+        // Thread 0 encounters two regions, thread 1 encounters the same two.
+        let a0 = team.ws(0);
+        let b0 = team.ws(0);
+        let a1 = team.ws(1);
+        let b1 = team.ws(1);
+        assert!(Arc::ptr_eq(&a0, &a1));
+        assert!(Arc::ptr_eq(&b0, &b1));
+        assert!(!Arc::ptr_eq(&a0, &b0));
+    }
+
+    #[test]
+    fn barrier_reusable() {
+        let team = Arc::new(Team::new(3));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let team = team.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        team.barrier();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn single_winner_exactly_one() {
+        let ws = WsState::solo(0);
+        assert!(ws.single_winner());
+        assert!(!ws.single_winner());
+        assert!(!ws.single_winner());
+    }
+}

@@ -1,0 +1,390 @@
+//! Abstract syntax tree for the mini-C dialect.
+//!
+//! The OMPi translator transforms these trees (mirroring how the real OMPi
+//! compiler operates directly on its AST), and both the host interpreter and
+//! the `nvccsim` kernel compiler consume them after semantic analysis.
+
+use crate::omp::Directive;
+use crate::token::Pos;
+use crate::types::Ty;
+
+/// A translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    pub items: Vec<Item>,
+}
+
+/// A top-level item.
+#[derive(Clone, Debug)]
+pub enum Item {
+    Func(FuncDef),
+    Proto(FuncSig),
+    Global(VarDecl),
+    /// `#pragma omp declare target` / `end declare target` marker.
+    DeclareTarget(bool),
+}
+
+/// CUDA-style function qualifiers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FnQuals {
+    /// `__global__` — a kernel entry point.
+    pub global: bool,
+    /// `__device__` — device-callable helper.
+    pub device: bool,
+}
+
+/// A function signature.
+#[derive(Clone, Debug)]
+pub struct FuncSig {
+    pub name: String,
+    pub ret: Ty,
+    pub params: Vec<Param>,
+    pub quals: FnQuals,
+    pub pos: Pos,
+}
+
+/// A function parameter. `slot` is assigned by sema.
+#[derive(Clone, Debug)]
+pub struct Param {
+    pub name: String,
+    pub ty: Ty,
+    pub slot: u32,
+}
+
+/// A function definition.
+#[derive(Clone, Debug)]
+pub struct FuncDef {
+    pub sig: FuncSig,
+    pub body: Block,
+    /// Filled by sema: storage for every local (params first).
+    pub frame: crate::sema::FrameInfo,
+    /// True if this function was listed in a `declare target` region.
+    pub declare_target: bool,
+}
+
+/// `{ … }`.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    Block(Block),
+    Decl(VarDecl),
+    Expr(Expr),
+    If {
+        cond: Expr,
+        then_s: Box<Stmt>,
+        else_s: Option<Box<Stmt>>,
+    },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Box<Stmt>,
+    },
+    While {
+        cond: Expr,
+        body: Box<Stmt>,
+    },
+    DoWhile {
+        body: Box<Stmt>,
+        cond: Expr,
+    },
+    Return(Option<Expr>),
+    Break,
+    Continue,
+    Empty,
+    /// An OpenMP directive, possibly with an associated statement.
+    Omp(OmpStmt),
+}
+
+/// An OpenMP construct in statement position.
+#[derive(Clone, Debug)]
+pub struct OmpStmt {
+    pub dir: Directive,
+    /// `None` for stand-alone directives (barrier, target update, …).
+    pub body: Option<Box<Stmt>>,
+    pub pos: Pos,
+}
+
+/// A declaration of one variable (multi-declarator lines are split by the
+/// parser).
+#[derive(Clone, Debug)]
+pub struct VarDecl {
+    pub name: String,
+    pub ty: Ty,
+    pub init: Option<Init>,
+    /// CUDA `__shared__` storage class.
+    pub shared: bool,
+    /// Sema: frame slot (locals) or global index.
+    pub slot: u32,
+    pub pos: Pos,
+}
+
+/// An initializer.
+#[derive(Clone, Debug)]
+pub enum Init {
+    Expr(Expr),
+    List(Vec<Init>),
+}
+
+/// How an identifier resolved (filled in by sema).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Resolved {
+    Unresolved,
+    /// A local variable or parameter: index into the function frame.
+    Local(u32),
+    /// A global variable: index into the program's global table.
+    Global(u32),
+    /// A function name used as a value (launch targets).
+    Func,
+    /// CUDA builtin dim3 variables: threadIdx, blockIdx, blockDim, gridDim.
+    CudaBuiltin(CudaVar),
+}
+
+/// CUDA builtin coordinate variables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CudaVar {
+    ThreadIdx,
+    BlockIdx,
+    BlockDim,
+    GridDim,
+}
+
+impl CudaVar {
+    pub fn from_name(name: &str) -> Option<CudaVar> {
+        Some(match name {
+            "threadIdx" => CudaVar::ThreadIdx,
+            "blockIdx" => CudaVar::BlockIdx,
+            "blockDim" => CudaVar::BlockDim,
+            "gridDim" => CudaVar::GridDim,
+            _ => return None,
+        })
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            CudaVar::ThreadIdx => "threadIdx",
+            CudaVar::BlockIdx => "blockIdx",
+            CudaVar::BlockDim => "blockDim",
+            CudaVar::GridDim => "gridDim",
+        }
+    }
+}
+
+/// An expression, annotated with its type by sema.
+#[derive(Clone, Debug)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub ty: Ty,
+    pub pos: Pos,
+}
+
+impl Expr {
+    pub fn new(kind: ExprKind, pos: Pos) -> Expr {
+        Expr { kind, ty: Ty::Unknown, pos }
+    }
+
+    /// Constant-fold to an integer if trivially possible (literals and
+    /// arithmetic on literals). Used for array extents and collapse counts.
+    pub fn const_int(&self) -> Option<i64> {
+        match &self.kind {
+            ExprKind::IntLit(v) => Some(*v),
+            ExprKind::Unary { op: UnOp::Neg, expr } => Some(-expr.const_int()?),
+            ExprKind::Binary { op, lhs, rhs } => {
+                let (a, b) = (lhs.const_int()?, rhs.const_int()?);
+                Some(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div if b != 0 => a / b,
+                    BinOp::Rem if b != 0 => a % b,
+                    BinOp::Shl => a << (b & 63),
+                    BinOp::Shr => a >> (b & 63),
+                    _ => return None,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+    BitNot,
+    Deref,
+    Addr,
+}
+
+/// Binary operators (excluding assignment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    BitAnd,
+    BitOr,
+    BitXor,
+    LogAnd,
+    LogOr,
+}
+
+impl BinOp {
+    pub fn is_comparison(&self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinOp::LogAnd | BinOp::LogOr)
+    }
+}
+
+/// Expression kinds.
+#[derive(Clone, Debug)]
+pub enum ExprKind {
+    IntLit(i64),
+    FloatLit(f64, /*f32*/ bool),
+    StrLit(String),
+    Ident(String, Resolved),
+    Call {
+        callee: String,
+        args: Vec<Expr>,
+    },
+    /// CUDA `kernel<<<grid, block>>>(args)`.
+    KernelLaunch {
+        callee: String,
+        grid: Box<Expr>,
+        block: Box<Expr>,
+        args: Vec<Expr>,
+    },
+    /// `dim3(x, y, z)` constructor (also models bare ints used as dims).
+    Dim3 {
+        x: Box<Expr>,
+        y: Option<Box<Expr>>,
+        z: Option<Box<Expr>>,
+    },
+    Member {
+        base: Box<Expr>,
+        field: String,
+    },
+    Index {
+        base: Box<Expr>,
+        index: Box<Expr>,
+    },
+    Unary {
+        op: UnOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// `lhs = rhs` or `lhs op= rhs`.
+    Assign {
+        op: Option<BinOp>,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    IncDec {
+        pre: bool,
+        inc: bool,
+        expr: Box<Expr>,
+    },
+    Ternary {
+        cond: Box<Expr>,
+        then_e: Box<Expr>,
+        else_e: Box<Expr>,
+    },
+    Cast {
+        ty: Ty,
+        expr: Box<Expr>,
+    },
+    SizeofTy(Ty),
+    SizeofExpr(Box<Expr>),
+    Comma(Box<Expr>, Box<Expr>),
+}
+
+/// Helpers for building synthetic AST in the translator.
+pub mod build {
+    use super::*;
+    use crate::token::Pos;
+
+    pub fn e(kind: ExprKind) -> Expr {
+        Expr::new(kind, Pos::default())
+    }
+
+    pub fn ident(name: &str) -> Expr {
+        e(ExprKind::Ident(name.to_string(), Resolved::Unresolved))
+    }
+
+    pub fn int(v: i64) -> Expr {
+        e(ExprKind::IntLit(v))
+    }
+
+    pub fn call(name: &str, args: Vec<Expr>) -> Expr {
+        e(ExprKind::Call { callee: name.to_string(), args })
+    }
+
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        e(ExprKind::Binary { op, lhs: Box::new(l), rhs: Box::new(r) })
+    }
+
+    pub fn assign(l: Expr, r: Expr) -> Expr {
+        e(ExprKind::Assign { op: None, lhs: Box::new(l), rhs: Box::new(r) })
+    }
+
+    pub fn addr_of(x: Expr) -> Expr {
+        e(ExprKind::Unary { op: UnOp::Addr, expr: Box::new(x) })
+    }
+
+    pub fn deref(x: Expr) -> Expr {
+        e(ExprKind::Unary { op: UnOp::Deref, expr: Box::new(x) })
+    }
+
+    pub fn index(base: Expr, idx: Expr) -> Expr {
+        e(ExprKind::Index { base: Box::new(base), index: Box::new(idx) })
+    }
+
+    pub fn cast(ty: Ty, x: Expr) -> Expr {
+        e(ExprKind::Cast { ty, expr: Box::new(x) })
+    }
+
+    pub fn member(base: Expr, field: &str) -> Expr {
+        e(ExprKind::Member { base: Box::new(base), field: field.to_string() })
+    }
+
+    pub fn expr_stmt(x: Expr) -> Stmt {
+        Stmt::Expr(x)
+    }
+
+    pub fn decl(name: &str, ty: Ty, init: Option<Expr>) -> Stmt {
+        Stmt::Decl(VarDecl {
+            name: name.to_string(),
+            ty,
+            init: init.map(Init::Expr),
+            shared: false,
+            slot: u32::MAX,
+            pos: Pos::default(),
+        })
+    }
+
+    pub fn block(stmts: Vec<Stmt>) -> Stmt {
+        Stmt::Block(Block { stmts })
+    }
+}

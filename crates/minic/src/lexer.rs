@@ -1,0 +1,558 @@
+//! Lexer for the mini-C dialect.
+//!
+//! `#pragma` lines are captured verbatim (with `\` line continuations) as
+//! [`Tok::Pragma`] tokens; the parser re-lexes their payload to parse OpenMP
+//! directives. `//` and `/* */` comments are skipped. Other preprocessor
+//! lines (`#include`, `#define`) are not supported and produce an error —
+//! benchmark sources parameterize through variables instead of macros.
+
+use crate::token::{Pos, Tok, Token};
+
+/// Lexical error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    pub pos: Pos,
+    pub msg: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+    /// Set at start of each physical line until a non-space is consumed.
+    at_line_start: bool,
+}
+
+/// Tokenize a full source text.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut lx = Lexer { src: src.as_bytes(), i: 0, line: 1, col: 1, at_line_start: true };
+    let mut out = Vec::new();
+    loop {
+        let t = lx.next_token()?;
+        let eof = t.tok == Tok::Eof;
+        out.push(t);
+        if eof {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// Tokenize a pragma payload (no line-start semantics, no pragmas inside).
+pub fn lex_fragment(src: &str) -> Result<Vec<Token>, LexError> {
+    lex(src)
+}
+
+impl<'s> Lexer<'s> {
+    fn pos(&self) -> Pos {
+        Pos { line: self.line, col: self.col }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.i).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.i + 1).unwrap_or(&0)
+    }
+
+    fn peek3(&self) -> u8 {
+        *self.src.get(self.i + 2).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+            self.at_line_start = true;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LexError {
+        LexError { pos: self.pos(), msg: msg.into() }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.peek() != b'\n' && self.peek() != 0 {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start = self.pos();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.peek() == 0 {
+                            return Err(LexError { pos: start, msg: "unterminated comment".into() });
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia()?;
+        let pos = self.pos();
+        let c = self.peek();
+        if c == 0 {
+            return Ok(Token { tok: Tok::Eof, pos });
+        }
+
+        // Preprocessor line.
+        if c == b'#' && self.at_line_start {
+            self.bump();
+            let mut text = String::new();
+            loop {
+                match self.peek() {
+                    0 => break,
+                    b'\\' if self.peek2() == b'\n' => {
+                        self.bump();
+                        self.bump();
+                        text.push(' ');
+                    }
+                    b'\n' => break,
+                    _ => text.push(self.bump() as char),
+                }
+            }
+            let trimmed = text.trim();
+            if trimmed.starts_with("pragma") {
+                return Ok(Token { tok: Tok::Pragma(trimmed["pragma".len()..].trim().to_string()), pos });
+            }
+            return Err(LexError {
+                pos,
+                msg: format!("unsupported preprocessor directive: #{}", trimmed.split_whitespace().next().unwrap_or("")),
+            });
+        }
+        self.at_line_start = false;
+
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let mut s = String::new();
+            while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+                s.push(self.bump() as char);
+            }
+            let tok = Tok::keyword(&s).unwrap_or(Tok::Ident(s));
+            return Ok(Token { tok, pos });
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() || (c == b'.' && self.peek2().is_ascii_digit()) {
+            return self.lex_number(pos);
+        }
+
+        // String literal.
+        if c == b'"' {
+            self.bump();
+            let mut s = String::new();
+            loop {
+                match self.peek() {
+                    0 | b'\n' => return Err(self.err("unterminated string literal")),
+                    b'"' => {
+                        self.bump();
+                        break;
+                    }
+                    b'\\' => {
+                        self.bump();
+                        s.push(self.escape()?);
+                    }
+                    _ => s.push(self.bump() as char),
+                }
+            }
+            return Ok(Token { tok: Tok::StrLit(s), pos });
+        }
+
+        // Char literal.
+        if c == b'\'' {
+            self.bump();
+            let v = match self.peek() {
+                b'\\' => {
+                    self.bump();
+                    self.escape()? as i64
+                }
+                0 => return Err(self.err("unterminated char literal")),
+                _ => self.bump() as i64,
+            };
+            if self.peek() != b'\'' {
+                return Err(self.err("unterminated char literal"));
+            }
+            self.bump();
+            return Ok(Token { tok: Tok::CharLit(v), pos });
+        }
+
+        // Operators / punctuation.
+        macro_rules! two {
+            ($second:expr, $two:expr, $one:expr) => {{
+                self.bump();
+                if self.peek() == $second {
+                    self.bump();
+                    $two
+                } else {
+                    $one
+                }
+            }};
+        }
+        let tok = match c {
+            b'(' => {
+                self.bump();
+                Tok::LParen
+            }
+            b')' => {
+                self.bump();
+                Tok::RParen
+            }
+            b'{' => {
+                self.bump();
+                Tok::LBrace
+            }
+            b'}' => {
+                self.bump();
+                Tok::RBrace
+            }
+            b'[' => {
+                self.bump();
+                Tok::LBracket
+            }
+            b']' => {
+                self.bump();
+                Tok::RBracket
+            }
+            b';' => {
+                self.bump();
+                Tok::Semi
+            }
+            b',' => {
+                self.bump();
+                Tok::Comma
+            }
+            b':' => {
+                self.bump();
+                Tok::Colon
+            }
+            b'?' => {
+                self.bump();
+                Tok::Question
+            }
+            b'.' => {
+                self.bump();
+                Tok::Dot
+            }
+            b'~' => {
+                self.bump();
+                Tok::Tilde
+            }
+            b'+' => {
+                self.bump();
+                match self.peek() {
+                    b'+' => {
+                        self.bump();
+                        Tok::PlusPlus
+                    }
+                    b'=' => {
+                        self.bump();
+                        Tok::PlusAssign
+                    }
+                    _ => Tok::Plus,
+                }
+            }
+            b'-' => {
+                self.bump();
+                match self.peek() {
+                    b'-' => {
+                        self.bump();
+                        Tok::MinusMinus
+                    }
+                    b'=' => {
+                        self.bump();
+                        Tok::MinusAssign
+                    }
+                    b'>' => {
+                        self.bump();
+                        Tok::Arrow
+                    }
+                    _ => Tok::Minus,
+                }
+            }
+            b'*' => two!(b'=', Tok::StarAssign, Tok::Star),
+            b'/' => two!(b'=', Tok::SlashAssign, Tok::Slash),
+            b'%' => two!(b'=', Tok::PercentAssign, Tok::Percent),
+            b'^' => two!(b'=', Tok::CaretAssign, Tok::Caret),
+            b'!' => two!(b'=', Tok::BangEq, Tok::Bang),
+            b'=' => two!(b'=', Tok::EqEq, Tok::Assign),
+            b'&' => {
+                self.bump();
+                match self.peek() {
+                    b'&' => {
+                        self.bump();
+                        Tok::AmpAmp
+                    }
+                    b'=' => {
+                        self.bump();
+                        Tok::AmpAssign
+                    }
+                    _ => Tok::Amp,
+                }
+            }
+            b'|' => {
+                self.bump();
+                match self.peek() {
+                    b'|' => {
+                        self.bump();
+                        Tok::PipePipe
+                    }
+                    b'=' => {
+                        self.bump();
+                        Tok::PipeAssign
+                    }
+                    _ => Tok::Pipe,
+                }
+            }
+            b'<' => {
+                // `<<<` must win over `<<` for kernel launches.
+                if self.peek2() == b'<' && self.peek3() == b'<' {
+                    self.bump();
+                    self.bump();
+                    self.bump();
+                    Tok::TripleLt
+                } else {
+                    self.bump();
+                    match self.peek() {
+                        b'<' => {
+                            self.bump();
+                            if self.peek() == b'=' {
+                                self.bump();
+                                Tok::ShlAssign
+                            } else {
+                                Tok::Shl
+                            }
+                        }
+                        b'=' => {
+                            self.bump();
+                            Tok::Le
+                        }
+                        _ => Tok::Lt,
+                    }
+                }
+            }
+            b'>' => {
+                if self.peek2() == b'>' && self.peek3() == b'>' {
+                    self.bump();
+                    self.bump();
+                    self.bump();
+                    Tok::TripleGt
+                } else {
+                    self.bump();
+                    match self.peek() {
+                        b'>' => {
+                            self.bump();
+                            if self.peek() == b'=' {
+                                self.bump();
+                                Tok::ShrAssign
+                            } else {
+                                Tok::Shr
+                            }
+                        }
+                        b'=' => {
+                            self.bump();
+                            Tok::Ge
+                        }
+                        _ => Tok::Gt,
+                    }
+                }
+            }
+            other => return Err(self.err(format!("unexpected character {:?}", other as char))),
+        };
+        Ok(Token { tok, pos })
+    }
+
+    fn escape(&mut self) -> Result<char, LexError> {
+        Ok(match self.bump() {
+            b'n' => '\n',
+            b't' => '\t',
+            b'r' => '\r',
+            b'0' => '\0',
+            b'\\' => '\\',
+            b'\'' => '\'',
+            b'"' => '"',
+            other => return Err(self.err(format!("unknown escape \\{}", other as char))),
+        })
+    }
+
+    fn lex_number(&mut self, pos: Pos) -> Result<Token, LexError> {
+        let start = self.i;
+        // Hex.
+        if self.peek() == b'0' && (self.peek2() | 0x20) == b'x' {
+            self.bump();
+            self.bump();
+            let hstart = self.i;
+            while self.peek().is_ascii_hexdigit() {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[hstart..self.i]).unwrap();
+            let v = i64::from_str_radix(text, 16).map_err(|_| self.err("bad hex literal"))?;
+            while matches!(self.peek() | 0x20, b'u' | b'l') {
+                self.bump();
+            }
+            return Ok(Token { tok: Tok::IntLit(v), pos });
+        }
+        let mut is_float = false;
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        if self.peek() == b'.' && self.peek2() != b'.' {
+            is_float = true;
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        if (self.peek() | 0x20) == b'e'
+            && (self.peek2().is_ascii_digit()
+                || ((self.peek2() == b'+' || self.peek2() == b'-') && self.peek3().is_ascii_digit()))
+        {
+            is_float = true;
+            self.bump();
+            if self.peek() == b'+' || self.peek() == b'-' {
+                self.bump();
+            }
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.i]).unwrap().to_string();
+        // Suffixes.
+        let mut f32_suffix = false;
+        loop {
+            match self.peek() | 0x20 {
+                b'f' => {
+                    is_float = true;
+                    f32_suffix = true;
+                    self.bump();
+                }
+                b'u' | b'l' => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        if is_float {
+            let v: f64 = text.parse().map_err(|_| self.err("bad float literal"))?;
+            Ok(Token { tok: Tok::FloatLit(v, f32_suffix), pos })
+        } else {
+            let v: i64 = text.parse().map_err(|_| self.err("bad int literal"))?;
+            Ok(Token { tok: Tok::IntLit(v), pos })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_keywords_numbers() {
+        assert_eq!(
+            toks("int x = 42;"),
+            vec![Tok::KwInt, Tok::Ident("x".into()), Tok::Assign, Tok::IntLit(42), Tok::Semi, Tok::Eof]
+        );
+        assert_eq!(toks("1.5f")[0], Tok::FloatLit(1.5, true));
+        assert_eq!(toks("2e3")[0], Tok::FloatLit(2000.0, false));
+        assert_eq!(toks("0x1F")[0], Tok::IntLit(31));
+        assert_eq!(toks("10UL")[0], Tok::IntLit(10));
+    }
+
+    #[test]
+    fn pragma_capture_with_continuation() {
+        let src = "#pragma omp target map(to: a) \\\n map(from: b)\nint x;";
+        let ts = toks(src);
+        match &ts[0] {
+            Tok::Pragma(p) => {
+                assert!(p.starts_with("omp target"));
+                assert!(p.contains("map(from: b)"));
+            }
+            other => panic!("expected pragma, got {other:?}"),
+        }
+        assert_eq!(ts[1], Tok::KwInt);
+    }
+
+    #[test]
+    fn triple_angle_brackets() {
+        assert_eq!(
+            toks("k<<<g,b>>>(x)"),
+            vec![
+                Tok::Ident("k".into()),
+                Tok::TripleLt,
+                Tok::Ident("g".into()),
+                Tok::Comma,
+                Tok::Ident("b".into()),
+                Tok::TripleGt,
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::RParen,
+                Tok::Eof
+            ]
+        );
+        // Plain shifts still work.
+        assert_eq!(toks("a << b")[1], Tok::Shl);
+        assert_eq!(toks("a >> b")[1], Tok::Shr);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(toks("/* hi */ int // tail\n x;").len(), 4);
+    }
+
+    #[test]
+    fn cuda_keywords() {
+        assert_eq!(toks("__global__ void k();")[0], Tok::KwGlobal);
+        assert_eq!(toks("__shared__ float s;")[0], Tok::KwShared);
+    }
+
+    #[test]
+    fn string_and_char_literals() {
+        assert_eq!(toks("\"a\\nb\"")[0], Tok::StrLit("a\nb".into()));
+        assert_eq!(toks("'x'")[0], Tok::CharLit('x' as i64));
+        assert_eq!(toks("'\\n'")[0], Tok::CharLit('\n' as i64));
+    }
+
+    #[test]
+    fn include_is_rejected() {
+        assert!(lex("#include <stdio.h>\n").is_err());
+    }
+
+    #[test]
+    fn hash_mid_line_is_error() {
+        assert!(lex("int x; # pragma").is_err());
+    }
+}

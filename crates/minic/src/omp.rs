@@ -1,0 +1,325 @@
+//! OpenMP directive and clause representation.
+//!
+//! Directives are parsed from `#pragma omp …` lines by the parser. Combined
+//! constructs are kept as distinct kinds because the translator lowers them
+//! very differently (§3.1 vs §3.2 of the paper: combined constructs map
+//! straight to a grid launch, stand-alone `parallel` regions go through the
+//! master/worker scheme).
+
+use crate::ast::Expr;
+
+/// The directive name, including the combined forms we support.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirKind {
+    Target,
+    TargetData,
+    TargetEnterData,
+    TargetExitData,
+    TargetUpdate,
+    TargetTeams,
+    TargetTeamsDistribute,
+    TargetTeamsDistributeParallelFor,
+    TargetParallel,
+    TargetParallelFor,
+    Teams,
+    TeamsDistribute,
+    TeamsDistributeParallelFor,
+    Distribute,
+    DistributeParallelFor,
+    Parallel,
+    ParallelFor,
+    For,
+    Sections,
+    Section,
+    Single,
+    Master,
+    Critical,
+    Barrier,
+    DeclareTarget,
+    EndDeclareTarget,
+}
+
+impl DirKind {
+    /// Directives that begin with `target` and (may) offload.
+    pub fn is_target(&self) -> bool {
+        matches!(
+            self,
+            DirKind::Target
+                | DirKind::TargetTeams
+                | DirKind::TargetTeamsDistribute
+                | DirKind::TargetTeamsDistributeParallelFor
+                | DirKind::TargetParallel
+                | DirKind::TargetParallelFor
+        )
+    }
+
+    /// Stand-alone directives with no associated statement.
+    pub fn is_standalone(&self) -> bool {
+        matches!(
+            self,
+            DirKind::Barrier
+                | DirKind::TargetEnterData
+                | DirKind::TargetExitData
+                | DirKind::TargetUpdate
+                | DirKind::DeclareTarget
+                | DirKind::EndDeclareTarget
+        )
+    }
+
+    /// Whether the associated statement must be a `for` loop.
+    pub fn needs_loop(&self) -> bool {
+        matches!(
+            self,
+            DirKind::TargetTeamsDistribute
+                | DirKind::TargetTeamsDistributeParallelFor
+                | DirKind::TargetParallelFor
+                | DirKind::TeamsDistribute
+                | DirKind::TeamsDistributeParallelFor
+                | DirKind::Distribute
+                | DirKind::DistributeParallelFor
+                | DirKind::ParallelFor
+                | DirKind::For
+        )
+    }
+
+    /// The canonical spelling.
+    pub fn spelling(&self) -> &'static str {
+        match self {
+            DirKind::Target => "target",
+            DirKind::TargetData => "target data",
+            DirKind::TargetEnterData => "target enter data",
+            DirKind::TargetExitData => "target exit data",
+            DirKind::TargetUpdate => "target update",
+            DirKind::TargetTeams => "target teams",
+            DirKind::TargetTeamsDistribute => "target teams distribute",
+            DirKind::TargetTeamsDistributeParallelFor => "target teams distribute parallel for",
+            DirKind::TargetParallel => "target parallel",
+            DirKind::TargetParallelFor => "target parallel for",
+            DirKind::Teams => "teams",
+            DirKind::TeamsDistribute => "teams distribute",
+            DirKind::TeamsDistributeParallelFor => "teams distribute parallel for",
+            DirKind::Distribute => "distribute",
+            DirKind::DistributeParallelFor => "distribute parallel for",
+            DirKind::Parallel => "parallel",
+            DirKind::ParallelFor => "parallel for",
+            DirKind::For => "for",
+            DirKind::Sections => "sections",
+            DirKind::Section => "section",
+            DirKind::Single => "single",
+            DirKind::Master => "master",
+            DirKind::Critical => "critical",
+            DirKind::Barrier => "barrier",
+            DirKind::DeclareTarget => "declare target",
+            DirKind::EndDeclareTarget => "end declare target",
+        }
+    }
+}
+
+/// Map kinds for `map(...)` clauses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapKind {
+    To,
+    From,
+    ToFrom,
+    Alloc,
+    /// `release` on `target exit data`.
+    Release,
+    /// `delete` on `target exit data`.
+    Delete,
+}
+
+impl MapKind {
+    pub fn spelling(&self) -> &'static str {
+        match self {
+            MapKind::To => "to",
+            MapKind::From => "from",
+            MapKind::ToFrom => "tofrom",
+            MapKind::Alloc => "alloc",
+            MapKind::Release => "release",
+            MapKind::Delete => "delete",
+        }
+    }
+}
+
+/// `x[lower : length]`; both parts optional (`x[:n]`, `x[0:]`).
+#[derive(Clone, Debug)]
+pub struct ArraySection {
+    pub lower: Option<Expr>,
+    pub length: Option<Expr>,
+}
+
+/// One item in a map/motion clause: a variable with optional array sections.
+#[derive(Clone, Debug)]
+pub struct MapItem {
+    pub name: String,
+    pub sections: Vec<ArraySection>,
+}
+
+/// Loop schedules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedKind {
+    Static,
+    Dynamic,
+    Guided,
+}
+
+impl SchedKind {
+    pub fn spelling(&self) -> &'static str {
+        match self {
+            SchedKind::Static => "static",
+            SchedKind::Dynamic => "dynamic",
+            SchedKind::Guided => "guided",
+        }
+    }
+}
+
+/// Reduction operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RedOp {
+    Add,
+    Mul,
+    Max,
+    Min,
+}
+
+impl RedOp {
+    pub fn spelling(&self) -> &'static str {
+        match self {
+            RedOp::Add => "+",
+            RedOp::Mul => "*",
+            RedOp::Max => "max",
+            RedOp::Min => "min",
+        }
+    }
+}
+
+/// `default(...)` values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DefaultKind {
+    Shared,
+    None,
+}
+
+/// A directive clause.
+#[derive(Clone, Debug)]
+pub enum Clause {
+    Map { kind: MapKind, items: Vec<MapItem> },
+    NumTeams(Expr),
+    NumThreads(Expr),
+    ThreadLimit(Expr),
+    Collapse(u32),
+    Schedule { kind: SchedKind, chunk: Option<Expr> },
+    Private(Vec<String>),
+    FirstPrivate(Vec<String>),
+    Shared(Vec<String>),
+    Default(DefaultKind),
+    Reduction { op: RedOp, vars: Vec<String> },
+    If(Expr),
+    Device(Expr),
+    Nowait,
+    /// `to(...)` on `target update`.
+    UpdateTo(Vec<MapItem>),
+    /// `from(...)` on `target update`.
+    UpdateFrom(Vec<MapItem>),
+    /// Critical-section name: `critical(name)`.
+    Name(String),
+}
+
+/// A parsed directive.
+#[derive(Clone, Debug)]
+pub struct Directive {
+    pub kind: DirKind,
+    pub clauses: Vec<Clause>,
+}
+
+impl Directive {
+    pub fn clause_num_teams(&self) -> Option<&Expr> {
+        self.clauses.iter().find_map(|c| match c {
+            Clause::NumTeams(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    pub fn clause_num_threads(&self) -> Option<&Expr> {
+        self.clauses.iter().find_map(|c| match c {
+            Clause::NumThreads(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    pub fn clause_thread_limit(&self) -> Option<&Expr> {
+        self.clauses.iter().find_map(|c| match c {
+            Clause::ThreadLimit(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    pub fn clause_collapse(&self) -> u32 {
+        self.clauses
+            .iter()
+            .find_map(|c| match c {
+                Clause::Collapse(n) => Some(*n),
+                _ => None,
+            })
+            .unwrap_or(1)
+    }
+
+    pub fn clause_schedule(&self) -> Option<(SchedKind, Option<&Expr>)> {
+        self.clauses.iter().find_map(|c| match c {
+            Clause::Schedule { kind, chunk } => Some((*kind, chunk.as_ref())),
+            _ => None,
+        })
+    }
+
+    pub fn clause_nowait(&self) -> bool {
+        self.clauses.iter().any(|c| matches!(c, Clause::Nowait))
+    }
+
+    pub fn clause_if(&self) -> Option<&Expr> {
+        self.clauses.iter().find_map(|c| match c {
+            Clause::If(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    pub fn clause_device(&self) -> Option<&Expr> {
+        self.clauses.iter().find_map(|c| match c {
+            Clause::Device(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    pub fn maps(&self) -> impl Iterator<Item = (MapKind, &MapItem)> {
+        self.clauses.iter().flat_map(|c| match c {
+            Clause::Map { kind, items } => items.iter().map(|i| (*kind, i)).collect::<Vec<_>>(),
+            _ => Vec::new(),
+        })
+    }
+
+    pub fn reductions(&self) -> impl Iterator<Item = (RedOp, &String)> {
+        self.clauses.iter().flat_map(|c| match c {
+            Clause::Reduction { op, vars } => vars.iter().map(|v| (*op, v)).collect::<Vec<_>>(),
+            _ => Vec::new(),
+        })
+    }
+
+    pub fn privates(&self) -> Vec<&String> {
+        self.clauses
+            .iter()
+            .flat_map(|c| match c {
+                Clause::Private(v) => v.iter().collect::<Vec<_>>(),
+                _ => Vec::new(),
+            })
+            .collect()
+    }
+
+    pub fn firstprivates(&self) -> Vec<&String> {
+        self.clauses
+            .iter()
+            .flat_map(|c| match c {
+                Clause::FirstPrivate(v) => v.iter().collect::<Vec<_>>(),
+                _ => Vec::new(),
+            })
+            .collect()
+    }
+}

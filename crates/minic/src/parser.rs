@@ -1,0 +1,1405 @@
+//! Recursive-descent parser for the mini-C dialect, including OpenMP
+//! `#pragma` directives and the CUDA extensions used in kernel files.
+
+use crate::ast::*;
+use crate::lexer::{lex, lex_fragment};
+use crate::omp::*;
+use crate::token::{Pos, Tok, Token};
+use crate::types::{ArrayLen, Ty};
+
+/// Parse error.
+#[derive(Clone, Debug)]
+pub struct ParseError {
+    pub pos: Pos,
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Parse a full translation unit.
+pub fn parse(src: &str) -> PResult<Program> {
+    let tokens = lex(src).map_err(|e| ParseError { pos: e.pos, msg: e.msg })?;
+    let mut p = Parser::new(tokens);
+    p.parse_program()
+}
+
+/// Parse a single expression (used by tests and tools).
+pub fn parse_expr_str(src: &str) -> PResult<Expr> {
+    let tokens = lex_fragment(src).map_err(|e| ParseError { pos: e.pos, msg: e.msg })?;
+    let mut p = Parser::new(tokens);
+    let e = p.parse_expr()?;
+    p.expect(Tok::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn new(toks: Vec<Token>) -> Parser {
+        Parser { toks, i: 0 }
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i.min(self.toks.len() - 1)].tok
+    }
+
+    fn peek_at(&self, n: usize) -> &Tok {
+        &self.toks[(self.i + n).min(self.toks.len() - 1)].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.i.min(self.toks.len() - 1)].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i.min(self.toks.len() - 1)].tok.clone();
+        if self.i < self.toks.len() - 1 {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: Tok) -> bool {
+        if *self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> PResult<()> {
+        if self.eat(t.clone()) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}, found {:?}", t, self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { pos: self.pos(), msg: msg.into() }
+    }
+
+    // ---------------------------------------------------------- program
+
+    fn parse_program(&mut self) -> PResult<Program> {
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Pragma(_) => {
+                    let text = match self.bump() {
+                        Tok::Pragma(t) => t,
+                        _ => unreachable!(),
+                    };
+                    let dir = self.parse_pragma_text(&text)?;
+                    match dir.kind {
+                        DirKind::DeclareTarget => items.push(Item::DeclareTarget(true)),
+                        DirKind::EndDeclareTarget => items.push(Item::DeclareTarget(false)),
+                        other => {
+                            return Err(self.err(format!(
+                                "directive `{}` is not valid at file scope",
+                                other.spelling()
+                            )))
+                        }
+                    }
+                }
+                _ => items.extend(self.parse_top_decl()?),
+            }
+        }
+        Ok(Program { items })
+    }
+
+    /// A top-level declaration: function def/proto or global variables.
+    fn parse_top_decl(&mut self) -> PResult<Vec<Item>> {
+        let (base, quals, _shared) = self.parse_specifiers()?;
+        // Each declarator.
+        let mut items = Vec::new();
+        loop {
+            let pos = self.pos();
+            let (name, ty, fn_params) = self.parse_declarator(base.clone())?;
+            if let Some(params) = fn_params {
+                let name = name.ok_or_else(|| self.err("function declarator needs a name"))?;
+                let sig = FuncSig { name, ret: ty, params, quals, pos };
+                if *self.peek() == Tok::LBrace {
+                    let body = self.parse_block()?;
+                    items.push(Item::Func(FuncDef {
+                        sig,
+                        body,
+                        frame: Default::default(),
+                        declare_target: false,
+                    }));
+                    return Ok(items);
+                }
+                self.expect(Tok::Semi)?;
+                items.push(Item::Proto(sig));
+                return Ok(items);
+            }
+            let name = name.ok_or_else(|| self.err("declaration needs a name"))?;
+            let init = self.parse_opt_init(&ty)?;
+            items.push(Item::Global(VarDecl { name, ty, init, shared: false, slot: u32::MAX, pos }));
+            if self.eat(Tok::Comma) {
+                continue;
+            }
+            self.expect(Tok::Semi)?;
+            return Ok(items);
+        }
+    }
+
+    // ------------------------------------------------------ declarations
+
+    /// True if the current token starts a type.
+    fn at_type(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::KwVoid
+                | Tok::KwChar
+                | Tok::KwInt
+                | Tok::KwLong
+                | Tok::KwFloat
+                | Tok::KwDouble
+                | Tok::KwUnsigned
+                | Tok::KwSigned
+                | Tok::KwConst
+                | Tok::KwStatic
+                | Tok::KwExtern
+                | Tok::KwGlobal
+                | Tok::KwDevice
+                | Tok::KwShared
+                | Tok::KwHost
+        ) || matches!(self.peek(), Tok::Ident(s) if s == "dim3" || s == "size_t")
+    }
+
+    /// Parse declaration specifiers; returns (base type, fn quals, __shared__).
+    fn parse_specifiers(&mut self) -> PResult<(Ty, FnQuals, bool)> {
+        let mut base: Option<Ty> = None;
+        let mut quals = FnQuals::default();
+        let mut shared = false;
+        let mut long_count = 0u32;
+        let mut saw_unsigned = false;
+        loop {
+            match self.peek() {
+                Tok::KwConst | Tok::KwStatic | Tok::KwExtern | Tok::KwSigned | Tok::KwHost | Tok::KwRestrict => {
+                    self.bump();
+                }
+                Tok::KwUnsigned => {
+                    saw_unsigned = true;
+                    self.bump();
+                }
+                Tok::KwGlobal => {
+                    quals.global = true;
+                    self.bump();
+                }
+                Tok::KwDevice => {
+                    quals.device = true;
+                    self.bump();
+                }
+                Tok::KwShared => {
+                    shared = true;
+                    self.bump();
+                }
+                Tok::KwVoid => {
+                    base = Some(Ty::Void);
+                    self.bump();
+                }
+                Tok::KwChar => {
+                    base = Some(Ty::Char);
+                    self.bump();
+                }
+                Tok::KwInt => {
+                    if base.is_none() {
+                        base = Some(Ty::Int);
+                    }
+                    self.bump();
+                }
+                Tok::KwLong => {
+                    long_count += 1;
+                    base = Some(Ty::Long);
+                    self.bump();
+                }
+                Tok::KwFloat => {
+                    base = Some(Ty::Float);
+                    self.bump();
+                }
+                Tok::KwDouble => {
+                    base = Some(Ty::Double);
+                    self.bump();
+                }
+                Tok::KwStruct => return Err(self.err("struct types are not supported")),
+                Tok::Ident(s) if s == "dim3" && base.is_none() => {
+                    base = Some(Ty::Dim3);
+                    self.bump();
+                }
+                Tok::Ident(s) if s == "size_t" && base.is_none() => {
+                    base = Some(Ty::Long);
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let _ = long_count;
+        let base = base.unwrap_or(if saw_unsigned { Ty::Int } else { Ty::Int });
+        // `unsigned` is accepted but treated as its signed counterpart: the
+        // benchmark dialect never relies on wrap-around semantics.
+        Ok((base, quals, shared))
+    }
+
+    /// Parse a (possibly abstract) declarator. Returns the name (if any),
+    /// the complete type, and `Some(params)` when this declared a function.
+    fn parse_declarator(&mut self, base: Ty) -> PResult<(Option<String>, Ty, Option<Vec<Param>>)> {
+        #[derive(Debug)]
+        enum Wrap {
+            Ptr,
+            Array(ArrayLen),
+            Func(Vec<Param>),
+        }
+
+        fn parse_inner(p: &mut Parser) -> PResult<(Option<String>, Vec<Wrap>)> {
+            let mut ptrs = 0;
+            while p.eat(Tok::Star) {
+                while p.eat(Tok::KwConst) || p.eat(Tok::KwRestrict) {}
+                ptrs += 1;
+            }
+            let (name, mut wraps) = match p.peek() {
+                Tok::Ident(_) => {
+                    let n = p.expect_ident()?;
+                    (Some(n), Vec::new())
+                }
+                Tok::LParen
+                    if matches!(p.peek_at(1), Tok::Star | Tok::Ident(_))
+                        && !p.at_type_at(1) =>
+                {
+                    p.bump();
+                    let inner = parse_inner(p)?;
+                    p.expect(Tok::RParen)?;
+                    (inner.0, inner.1)
+                }
+                _ => (None, Vec::new()),
+            };
+            // Suffixes bind tighter than this level's pointers.
+            let mut sufs = Vec::new();
+            loop {
+                if p.eat(Tok::LBracket) {
+                    if p.eat(Tok::RBracket) {
+                        sufs.push(Wrap::Array(ArrayLen::Unspec));
+                    } else {
+                        let e = p.parse_assign_expr()?;
+                        p.expect(Tok::RBracket)?;
+                        let len = match e.const_int() {
+                            Some(v) if v >= 0 => ArrayLen::Const(v as u64),
+                            _ => ArrayLen::Expr(Box::new(e)),
+                        };
+                        sufs.push(Wrap::Array(len));
+                    }
+                } else if *p.peek() == Tok::LParen
+                    && (p.at_type_at(1) || *p.peek_at(1) == Tok::RParen)
+                {
+                    // Only a parameter list makes this a function declarator;
+                    // `dim3 b(32, 8)` keeps its parens for the constructor.
+                    p.bump();
+                    let params = p.parse_params()?;
+                    p.expect(Tok::RParen)?;
+                    sufs.push(Wrap::Func(params));
+                } else {
+                    break;
+                }
+            }
+            wraps.extend(sufs);
+            for _ in 0..ptrs {
+                wraps.push(Wrap::Ptr);
+            }
+            Ok((name, wraps))
+        }
+
+        let (name, mut wraps) = parse_inner(self)?;
+        // A function declarator is only supported as the outermost wrap.
+        let params = match wraps.last() {
+            Some(Wrap::Func(_)) => match wraps.pop() {
+                Some(Wrap::Func(ps)) => Some(ps),
+                _ => unreachable!(),
+            },
+            _ => None,
+        };
+        let mut ty = base;
+        for w in wraps.into_iter().rev() {
+            ty = match w {
+                Wrap::Ptr => Ty::Ptr(Box::new(ty)),
+                Wrap::Array(len) => Ty::Array(Box::new(ty), len),
+                Wrap::Func(_) => return Err(self.err("function pointers are not supported")),
+            };
+        }
+        Ok((name, ty, params))
+    }
+
+    fn at_type_at(&self, n: usize) -> bool {
+        matches!(
+            self.peek_at(n),
+            Tok::KwVoid
+                | Tok::KwChar
+                | Tok::KwInt
+                | Tok::KwLong
+                | Tok::KwFloat
+                | Tok::KwDouble
+                | Tok::KwUnsigned
+                | Tok::KwConst
+        ) || matches!(self.peek_at(n), Tok::Ident(s) if s == "dim3")
+    }
+
+    fn parse_params(&mut self) -> PResult<Vec<Param>> {
+        let mut params = Vec::new();
+        if *self.peek() == Tok::RParen {
+            return Ok(params);
+        }
+        if *self.peek() == Tok::KwVoid && *self.peek_at(1) == Tok::RParen {
+            self.bump();
+            return Ok(params);
+        }
+        loop {
+            let (base, _, _) = self.parse_specifiers()?;
+            let (name, ty, fnp) = self.parse_declarator(base)?;
+            if fnp.is_some() {
+                return Err(self.err("function-typed parameters are not supported"));
+            }
+            params.push(Param {
+                name: name.unwrap_or_default(),
+                // Outermost array dimension of a parameter decays to pointer.
+                ty: match ty {
+                    Ty::Array(elem, _) => Ty::Ptr(elem),
+                    other => other,
+                },
+                slot: u32::MAX,
+            });
+            if !self.eat(Tok::Comma) {
+                break;
+            }
+        }
+        Ok(params)
+    }
+
+    fn parse_opt_init(&mut self, ty: &Ty) -> PResult<Option<Init>> {
+        // dim3 constructor form: `dim3 b(32, 8);`
+        if *ty == Ty::Dim3 && *self.peek() == Tok::LParen {
+            self.bump();
+            let x = self.parse_assign_expr()?;
+            let y = if self.eat(Tok::Comma) { Some(Box::new(self.parse_assign_expr()?)) } else { None };
+            let z = if self.eat(Tok::Comma) { Some(Box::new(self.parse_assign_expr()?)) } else { None };
+            self.expect(Tok::RParen)?;
+            let pos = self.pos();
+            return Ok(Some(Init::Expr(Expr::new(ExprKind::Dim3 { x: Box::new(x), y, z }, pos))));
+        }
+        if !self.eat(Tok::Assign) {
+            return Ok(None);
+        }
+        Ok(Some(self.parse_init()?))
+    }
+
+    fn parse_init(&mut self) -> PResult<Init> {
+        if self.eat(Tok::LBrace) {
+            let mut list = Vec::new();
+            if !self.eat(Tok::RBrace) {
+                loop {
+                    list.push(self.parse_init()?);
+                    if self.eat(Tok::Comma) {
+                        if self.eat(Tok::RBrace) {
+                            break;
+                        }
+                        continue;
+                    }
+                    self.expect(Tok::RBrace)?;
+                    break;
+                }
+            }
+            Ok(Init::List(list))
+        } else {
+            Ok(Init::Expr(self.parse_assign_expr()?))
+        }
+    }
+
+    // ------------------------------------------------------- statements
+
+    fn parse_block(&mut self) -> PResult<Block> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(Tok::RBrace) {
+            if *self.peek() == Tok::Eof {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.extend(self.parse_stmt_multi()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    /// Parse one statement; declarations may expand to several.
+    fn parse_stmt_multi(&mut self) -> PResult<Vec<Stmt>> {
+        if self.at_type() {
+            return self.parse_decl_stmt();
+        }
+        Ok(vec![self.parse_stmt()?])
+    }
+
+    fn parse_decl_stmt(&mut self) -> PResult<Vec<Stmt>> {
+        let (base, _, shared) = self.parse_specifiers()?;
+        let mut out = Vec::new();
+        loop {
+            let pos = self.pos();
+            let (name, ty, fnp) = self.parse_declarator(base.clone())?;
+            if fnp.is_some() {
+                return Err(self.err("local function declarations are not supported"));
+            }
+            let name = name.ok_or_else(|| self.err("declaration needs a name"))?;
+            let init = self.parse_opt_init(&ty)?;
+            out.push(Stmt::Decl(VarDecl { name, ty, init, shared, slot: u32::MAX, pos }));
+            if self.eat(Tok::Comma) {
+                continue;
+            }
+            self.expect(Tok::Semi)?;
+            return Ok(out);
+        }
+    }
+
+    fn parse_stmt(&mut self) -> PResult<Stmt> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::LBrace => Ok(Stmt::Block(self.parse_block()?)),
+            Tok::Semi => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            Tok::KwIf => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                let then_s = Box::new(self.parse_stmt()?);
+                let else_s = if self.eat(Tok::KwElse) { Some(Box::new(self.parse_stmt()?)) } else { None };
+                Ok(Stmt::If { cond, then_s, else_s })
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(Stmt::While { cond, body: Box::new(self.parse_stmt()?) })
+            }
+            Tok::KwDo => {
+                self.bump();
+                let body = Box::new(self.parse_stmt()?);
+                self.expect(Tok::KwWhile)?;
+                self.expect(Tok::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::DoWhile { body, cond })
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let init = if self.eat(Tok::Semi) {
+                    None
+                } else if self.at_type() {
+                    let mut decls = self.parse_decl_stmt()?;
+                    if decls.len() != 1 {
+                        // Multiple declarators in a for-init: wrap in a block
+                        // is not valid C scoping; keep them as one synthetic
+                        // block statement.
+                        Some(Box::new(Stmt::Block(Block { stmts: decls })))
+                    } else {
+                        Some(Box::new(decls.remove(0)))
+                    }
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect(Tok::Semi)?;
+                    Some(Box::new(Stmt::Expr(e)))
+                };
+                let cond = if *self.peek() == Tok::Semi { None } else { Some(self.parse_expr()?) };
+                self.expect(Tok::Semi)?;
+                let step = if *self.peek() == Tok::RParen { None } else { Some(self.parse_expr()?) };
+                self.expect(Tok::RParen)?;
+                let body = Box::new(self.parse_stmt()?);
+                Ok(Stmt::For { init, cond, step, body })
+            }
+            Tok::KwReturn => {
+                self.bump();
+                if self.eat(Tok::Semi) {
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect(Tok::Semi)?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Break)
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Continue)
+            }
+            Tok::Pragma(text) => {
+                self.bump();
+                let dir = self.parse_pragma_text(&text)?;
+                if dir.kind.is_standalone() {
+                    return Ok(Stmt::Omp(OmpStmt { dir, body: None, pos }));
+                }
+                let body = Box::new(self.parse_stmt()?);
+                if dir.kind.needs_loop() && !matches!(*body, Stmt::For { .. }) {
+                    return Err(ParseError {
+                        pos,
+                        msg: format!("`{}` must be followed by a for loop", dir.kind.spelling()),
+                    });
+                }
+                Ok(Stmt::Omp(OmpStmt { dir, body: Some(body), pos }))
+            }
+            _ => {
+                let e = self.parse_expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    // ------------------------------------------------------ expressions
+
+    pub(crate) fn parse_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.parse_assign_expr()?;
+        while *self.peek() == Tok::Comma {
+            let pos = self.pos();
+            self.bump();
+            let r = self.parse_assign_expr()?;
+            e = Expr::new(ExprKind::Comma(Box::new(e), Box::new(r)), pos);
+        }
+        Ok(e)
+    }
+
+    fn parse_assign_expr(&mut self) -> PResult<Expr> {
+        let lhs = self.parse_ternary()?;
+        let pos = self.pos();
+        let op = match self.peek() {
+            Tok::Assign => None,
+            Tok::PlusAssign => Some(BinOp::Add),
+            Tok::MinusAssign => Some(BinOp::Sub),
+            Tok::StarAssign => Some(BinOp::Mul),
+            Tok::SlashAssign => Some(BinOp::Div),
+            Tok::PercentAssign => Some(BinOp::Rem),
+            Tok::AmpAssign => Some(BinOp::BitAnd),
+            Tok::PipeAssign => Some(BinOp::BitOr),
+            Tok::CaretAssign => Some(BinOp::BitXor),
+            Tok::ShlAssign => Some(BinOp::Shl),
+            Tok::ShrAssign => Some(BinOp::Shr),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_assign_expr()?;
+        Ok(Expr::new(ExprKind::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, pos))
+    }
+
+    fn parse_ternary(&mut self) -> PResult<Expr> {
+        let cond = self.parse_binary(0)?;
+        if *self.peek() != Tok::Question {
+            return Ok(cond);
+        }
+        let pos = self.pos();
+        self.bump();
+        let then_e = self.parse_expr()?;
+        self.expect(Tok::Colon)?;
+        let else_e = self.parse_assign_expr()?;
+        Ok(Expr::new(
+            ExprKind::Ternary { cond: Box::new(cond), then_e: Box::new(then_e), else_e: Box::new(else_e) },
+            pos,
+        ))
+    }
+
+    /// Precedence-climbing binary expression parser.
+    fn parse_binary(&mut self, min_prec: u8) -> PResult<Expr> {
+        fn prec(t: &Tok) -> Option<(BinOp, u8)> {
+            Some(match t {
+                Tok::PipePipe => (BinOp::LogOr, 1),
+                Tok::AmpAmp => (BinOp::LogAnd, 2),
+                Tok::Pipe => (BinOp::BitOr, 3),
+                Tok::Caret => (BinOp::BitXor, 4),
+                Tok::Amp => (BinOp::BitAnd, 5),
+                Tok::EqEq => (BinOp::Eq, 6),
+                Tok::BangEq => (BinOp::Ne, 6),
+                Tok::Lt => (BinOp::Lt, 7),
+                Tok::Gt => (BinOp::Gt, 7),
+                Tok::Le => (BinOp::Le, 7),
+                Tok::Ge => (BinOp::Ge, 7),
+                Tok::Shl => (BinOp::Shl, 8),
+                Tok::Shr => (BinOp::Shr, 8),
+                Tok::Plus => (BinOp::Add, 9),
+                Tok::Minus => (BinOp::Sub, 9),
+                Tok::Star => (BinOp::Mul, 10),
+                Tok::Slash => (BinOp::Div, 10),
+                Tok::Percent => (BinOp::Rem, 10),
+                _ => return None,
+            })
+        }
+        let mut lhs = self.parse_unary()?;
+        while let Some((op, p)) = prec(self.peek()) {
+            if p < min_prec {
+                break;
+            }
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.parse_binary(p + 1)?;
+            lhs = Expr::new(ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, pos);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> PResult<Expr> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Plus => {
+                self.bump();
+                self.parse_unary()
+            }
+            Tok::Minus => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::new(ExprKind::Unary { op: UnOp::Neg, expr: Box::new(e) }, pos))
+            }
+            Tok::Bang => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::new(ExprKind::Unary { op: UnOp::Not, expr: Box::new(e) }, pos))
+            }
+            Tok::Tilde => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::new(ExprKind::Unary { op: UnOp::BitNot, expr: Box::new(e) }, pos))
+            }
+            Tok::Star => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::new(ExprKind::Unary { op: UnOp::Deref, expr: Box::new(e) }, pos))
+            }
+            Tok::Amp => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::new(ExprKind::Unary { op: UnOp::Addr, expr: Box::new(e) }, pos))
+            }
+            Tok::PlusPlus => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::new(ExprKind::IncDec { pre: true, inc: true, expr: Box::new(e) }, pos))
+            }
+            Tok::MinusMinus => {
+                self.bump();
+                let e = self.parse_unary()?;
+                Ok(Expr::new(ExprKind::IncDec { pre: true, inc: false, expr: Box::new(e) }, pos))
+            }
+            Tok::KwSizeof => {
+                self.bump();
+                if *self.peek() == Tok::LParen && self.at_type_at(1) {
+                    self.bump();
+                    let ty = self.parse_type_name()?;
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::new(ExprKind::SizeofTy(ty), pos))
+                } else {
+                    let e = self.parse_unary()?;
+                    Ok(Expr::new(ExprKind::SizeofExpr(Box::new(e)), pos))
+                }
+            }
+            Tok::LParen if self.at_type_at(1) => {
+                // Cast.
+                self.bump();
+                let ty = self.parse_type_name()?;
+                self.expect(Tok::RParen)?;
+                let e = self.parse_unary()?;
+                Ok(Expr::new(ExprKind::Cast { ty, expr: Box::new(e) }, pos))
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    /// Parse a type-name (for casts / sizeof), with abstract declarator.
+    fn parse_type_name(&mut self) -> PResult<Ty> {
+        let (base, _, _) = self.parse_specifiers()?;
+        let (name, ty, fnp) = self.parse_declarator(base)?;
+        if name.is_some() || fnp.is_some() {
+            return Err(self.err("expected abstract type name"));
+        }
+        Ok(ty)
+    }
+
+    fn parse_postfix(&mut self) -> PResult<Expr> {
+        let mut e = self.parse_primary()?;
+        loop {
+            let pos = self.pos();
+            match self.peek() {
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.parse_expr()?;
+                    self.expect(Tok::RBracket)?;
+                    e = Expr::new(ExprKind::Index { base: Box::new(e), index: Box::new(idx) }, pos);
+                }
+                Tok::Dot => {
+                    self.bump();
+                    let field = self.expect_ident()?;
+                    e = Expr::new(ExprKind::Member { base: Box::new(e), field }, pos);
+                }
+                Tok::PlusPlus => {
+                    self.bump();
+                    e = Expr::new(ExprKind::IncDec { pre: false, inc: true, expr: Box::new(e) }, pos);
+                }
+                Tok::MinusMinus => {
+                    self.bump();
+                    e = Expr::new(ExprKind::IncDec { pre: false, inc: false, expr: Box::new(e) }, pos);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> PResult<Expr> {
+        let pos = self.pos();
+        match self.bump() {
+            Tok::IntLit(v) => Ok(Expr::new(ExprKind::IntLit(v), pos)),
+            Tok::CharLit(v) => Ok(Expr::new(ExprKind::IntLit(v), pos)),
+            Tok::FloatLit(v, f32s) => Ok(Expr::new(ExprKind::FloatLit(v, f32s), pos)),
+            Tok::StrLit(s) => Ok(Expr::new(ExprKind::StrLit(s), pos)),
+            Tok::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if name == "dim3" && *self.peek() == Tok::LParen {
+                    self.bump();
+                    let x = self.parse_assign_expr()?;
+                    let y = if self.eat(Tok::Comma) { Some(Box::new(self.parse_assign_expr()?)) } else { None };
+                    let z = if self.eat(Tok::Comma) { Some(Box::new(self.parse_assign_expr()?)) } else { None };
+                    self.expect(Tok::RParen)?;
+                    return Ok(Expr::new(ExprKind::Dim3 { x: Box::new(x), y, z }, pos));
+                }
+                if *self.peek() == Tok::TripleLt {
+                    // kernel<<<grid, block>>>(args)
+                    self.bump();
+                    let grid = self.parse_assign_expr()?;
+                    self.expect(Tok::Comma)?;
+                    let block = self.parse_assign_expr()?;
+                    self.expect(Tok::TripleGt)?;
+                    self.expect(Tok::LParen)?;
+                    let args = self.parse_args()?;
+                    return Ok(Expr::new(
+                        ExprKind::KernelLaunch {
+                            callee: name,
+                            grid: Box::new(grid),
+                            block: Box::new(block),
+                            args,
+                        },
+                        pos,
+                    ));
+                }
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let args = self.parse_args()?;
+                    return Ok(Expr::new(ExprKind::Call { callee: name, args }, pos));
+                }
+                Ok(Expr::new(ExprKind::Ident(name, Resolved::Unresolved), pos))
+            }
+            other => Err(ParseError { pos, msg: format!("unexpected token {other:?} in expression") }),
+        }
+    }
+
+    fn parse_args(&mut self) -> PResult<Vec<Expr>> {
+        let mut args = Vec::new();
+        if self.eat(Tok::RParen) {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.parse_assign_expr()?);
+            if self.eat(Tok::Comma) {
+                continue;
+            }
+            self.expect(Tok::RParen)?;
+            return Ok(args);
+        }
+    }
+
+    // ---------------------------------------------------------- pragmas
+
+    /// Parse the payload of a `#pragma` line (text after `pragma`).
+    fn parse_pragma_text(&mut self, text: &str) -> PResult<Directive> {
+        let toks = lex_fragment(text).map_err(|e| ParseError { pos: e.pos, msg: e.msg })?;
+        let mut p = Parser::new(toks);
+        if !p.eat(Tok::Ident("omp".into())) {
+            return Err(self.err("only `#pragma omp` pragmas are supported"));
+        }
+        p.parse_omp_directive()
+    }
+
+    fn omp_word(&mut self) -> Option<String> {
+        match self.peek() {
+            Tok::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Some(s)
+            }
+            Tok::KwFor => {
+                self.bump();
+                Some("for".into())
+            }
+            Tok::KwIf => {
+                self.bump();
+                Some("if".into())
+            }
+            _ => None,
+        }
+    }
+
+    fn parse_omp_directive(&mut self) -> PResult<Directive> {
+        // Greedily read directive-name words.
+        let mut words: Vec<String> = Vec::new();
+        let dir_words = [
+            "target", "teams", "distribute", "parallel", "for", "data", "enter", "exit", "update",
+            "sections", "section", "single", "master", "critical", "barrier", "declare", "end",
+        ];
+        loop {
+            match self.peek() {
+                Tok::Ident(s) if dir_words.contains(&s.as_str()) => {
+                    // `update`/`data` only continue a directive name after
+                    // `target`/`enter`/`exit`; `for` after `parallel` or
+                    // `distribute`; otherwise they are clause names.
+                    let s = s.clone();
+                    let extends = match s.as_str() {
+                        "data" | "update" => {
+                            matches!(words.last().map(|w| w.as_str()), Some("target") | Some("enter") | Some("exit"))
+                        }
+                        "enter" | "exit" => matches!(words.last().map(|w| w.as_str()), Some("target")),
+                        "teams" => matches!(words.last().map(|w| w.as_str()), Some("target")) || words.is_empty(),
+                        "distribute" => {
+                            matches!(words.last().map(|w| w.as_str()), Some("teams")) || words.is_empty()
+                        }
+                        "parallel" => {
+                            words.is_empty() || matches!(words.last().map(|w| w.as_str()), Some("distribute") | Some("target"))
+                        }
+                        "target" | "sections" | "section" | "single" | "master" | "critical"
+                        | "barrier" => words.is_empty(),
+                        "declare" | "end" => words.is_empty() || words.last().map(|w| w.as_str()) == Some("end"),
+                        _ => false,
+                    };
+                    if !extends {
+                        break;
+                    }
+                    words.push(s);
+                    self.bump();
+                }
+                Tok::KwFor => {
+                    let prev = words.last().map(|w| w.as_str());
+                    if matches!(prev, Some("parallel") | Some("distribute")) || words.is_empty() {
+                        words.push("for".into());
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        // `declare target` parses as ["declare"] then "target" breaks out
+        // (because words is non-empty); patch up here.
+        if words.as_slice() == ["declare"] && self.eat(Tok::Ident("target".into())) {
+            words.push("target".into());
+        }
+        if words.as_slice() == ["end", "declare"] && self.eat(Tok::Ident("target".into())) {
+            words.push("target".into());
+        }
+
+        let joined = words.join(" ");
+        let kind = match joined.as_str() {
+            "target" => DirKind::Target,
+            "target data" => DirKind::TargetData,
+            "target enter data" => DirKind::TargetEnterData,
+            "target exit data" => DirKind::TargetExitData,
+            "target update" => DirKind::TargetUpdate,
+            "target teams" => DirKind::TargetTeams,
+            "target teams distribute" => DirKind::TargetTeamsDistribute,
+            "target teams distribute parallel for" => DirKind::TargetTeamsDistributeParallelFor,
+            "target parallel" => DirKind::TargetParallel,
+            "target parallel for" => DirKind::TargetParallelFor,
+            "teams" => DirKind::Teams,
+            "teams distribute" => DirKind::TeamsDistribute,
+            "teams distribute parallel for" => DirKind::TeamsDistributeParallelFor,
+            "distribute" => DirKind::Distribute,
+            "distribute parallel for" => DirKind::DistributeParallelFor,
+            "parallel" => DirKind::Parallel,
+            "parallel for" => DirKind::ParallelFor,
+            "for" => DirKind::For,
+            "sections" => DirKind::Sections,
+            "section" => DirKind::Section,
+            "single" => DirKind::Single,
+            "master" => DirKind::Master,
+            "critical" => DirKind::Critical,
+            "barrier" => DirKind::Barrier,
+            "declare target" => DirKind::DeclareTarget,
+            "end declare target" => DirKind::EndDeclareTarget,
+            other => return Err(self.err(format!("unknown OpenMP directive `{other}`"))),
+        };
+
+        // `critical (name)`.
+        let mut clauses = Vec::new();
+        if kind == DirKind::Critical && *self.peek() == Tok::LParen {
+            self.bump();
+            let name = self.expect_ident()?;
+            self.expect(Tok::RParen)?;
+            clauses.push(Clause::Name(name));
+        }
+
+        // Clauses.
+        loop {
+            self.eat(Tok::Comma);
+            if *self.peek() == Tok::Eof {
+                break;
+            }
+            clauses.push(self.parse_clause()?);
+        }
+        Ok(Directive { kind, clauses })
+    }
+
+    fn parse_clause(&mut self) -> PResult<Clause> {
+        let word = self.omp_word().ok_or_else(|| self.err("expected clause name"))?;
+        match word.as_str() {
+            "map" => {
+                self.expect(Tok::LParen)?;
+                // Optional map-kind prefix.
+                let mut kind = MapKind::ToFrom;
+                if let Tok::Ident(k) = self.peek() {
+                    let is_kind = matches!(k.as_str(), "to" | "from" | "tofrom" | "alloc" | "release" | "delete");
+                    if is_kind && *self.peek_at(1) == Tok::Colon {
+                        kind = match k.as_str() {
+                            "to" => MapKind::To,
+                            "from" => MapKind::From,
+                            "tofrom" => MapKind::ToFrom,
+                            "alloc" => MapKind::Alloc,
+                            "release" => MapKind::Release,
+                            "delete" => MapKind::Delete,
+                            _ => unreachable!(),
+                        };
+                        self.bump();
+                        self.bump();
+                    }
+                }
+                let items = self.parse_map_items()?;
+                self.expect(Tok::RParen)?;
+                Ok(Clause::Map { kind, items })
+            }
+            "num_teams" => Ok(Clause::NumTeams(self.paren_expr()?)),
+            "num_threads" => Ok(Clause::NumThreads(self.paren_expr()?)),
+            "thread_limit" => Ok(Clause::ThreadLimit(self.paren_expr()?)),
+            "device" => Ok(Clause::Device(self.paren_expr()?)),
+            "if" => {
+                // `if([target:] expr)`
+                self.expect(Tok::LParen)?;
+                if let Tok::Ident(m) = self.peek() {
+                    if m == "target" && *self.peek_at(1) == Tok::Colon {
+                        self.bump();
+                        self.bump();
+                    }
+                }
+                let e = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(Clause::If(e))
+            }
+            "collapse" => {
+                let e = self.paren_expr()?;
+                let n = e
+                    .const_int()
+                    .filter(|&v| v >= 1)
+                    .ok_or_else(|| self.err("collapse requires a positive integer constant"))?;
+                Ok(Clause::Collapse(n as u32))
+            }
+            "schedule" => {
+                self.expect(Tok::LParen)?;
+                let kind = match self.bump() {
+                    Tok::KwStatic => SchedKind::Static,
+                    Tok::Ident(s) if s == "static" => SchedKind::Static,
+                    Tok::Ident(s) if s == "dynamic" => SchedKind::Dynamic,
+                    Tok::Ident(s) if s == "guided" => SchedKind::Guided,
+                    other => return Err(self.err(format!("unknown schedule kind {other:?}"))),
+                };
+                let chunk = if self.eat(Tok::Comma) { Some(self.parse_expr()?) } else { None };
+                self.expect(Tok::RParen)?;
+                Ok(Clause::Schedule { kind, chunk })
+            }
+            "private" => Ok(Clause::Private(self.paren_ident_list()?)),
+            "firstprivate" => Ok(Clause::FirstPrivate(self.paren_ident_list()?)),
+            "shared" => Ok(Clause::Shared(self.paren_ident_list()?)),
+            "default" => {
+                self.expect(Tok::LParen)?;
+                let k = match self.bump() {
+                    Tok::Ident(s) if s == "shared" => DefaultKind::Shared,
+                    Tok::Ident(s) if s == "none" => DefaultKind::None,
+                    other => return Err(self.err(format!("unknown default kind {other:?}"))),
+                };
+                self.expect(Tok::RParen)?;
+                Ok(Clause::Default(k))
+            }
+            "reduction" => {
+                self.expect(Tok::LParen)?;
+                let op = match self.bump() {
+                    Tok::Plus => RedOp::Add,
+                    Tok::Star => RedOp::Mul,
+                    Tok::Ident(s) if s == "max" => RedOp::Max,
+                    Tok::Ident(s) if s == "min" => RedOp::Min,
+                    other => return Err(self.err(format!("unsupported reduction operator {other:?}"))),
+                };
+                self.expect(Tok::Colon)?;
+                let mut vars = vec![self.expect_ident()?];
+                while self.eat(Tok::Comma) {
+                    vars.push(self.expect_ident()?);
+                }
+                self.expect(Tok::RParen)?;
+                Ok(Clause::Reduction { op, vars })
+            }
+            "nowait" => Ok(Clause::Nowait),
+            "to" => {
+                self.expect(Tok::LParen)?;
+                let items = self.parse_map_items()?;
+                self.expect(Tok::RParen)?;
+                Ok(Clause::UpdateTo(items))
+            }
+            "from" => {
+                self.expect(Tok::LParen)?;
+                let items = self.parse_map_items()?;
+                self.expect(Tok::RParen)?;
+                Ok(Clause::UpdateFrom(items))
+            }
+            other => Err(self.err(format!("unknown clause `{other}`"))),
+        }
+    }
+
+    fn paren_expr(&mut self) -> PResult<Expr> {
+        self.expect(Tok::LParen)?;
+        let e = self.parse_expr()?;
+        self.expect(Tok::RParen)?;
+        Ok(e)
+    }
+
+    fn paren_ident_list(&mut self) -> PResult<Vec<String>> {
+        self.expect(Tok::LParen)?;
+        let mut out = vec![self.expect_ident()?];
+        while self.eat(Tok::Comma) {
+            out.push(self.expect_ident()?);
+        }
+        self.expect(Tok::RParen)?;
+        Ok(out)
+    }
+
+    fn parse_map_items(&mut self) -> PResult<Vec<MapItem>> {
+        let mut items = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            let mut sections = Vec::new();
+            while self.eat(Tok::LBracket) {
+                let lower = if *self.peek() == Tok::Colon || *self.peek() == Tok::RBracket {
+                    None
+                } else {
+                    Some(self.parse_assign_expr()?)
+                };
+                let length = if self.eat(Tok::Colon) {
+                    if *self.peek() == Tok::RBracket {
+                        None
+                    } else {
+                        Some(self.parse_assign_expr()?)
+                    }
+                } else {
+                    None
+                };
+                self.expect(Tok::RBracket)?;
+                sections.push(ArraySection { lower, length });
+            }
+            items.push(MapItem { name, sections });
+            if !self.eat(Tok::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_saxpy_figure1() {
+        let src = r#"
+void saxpy_device(float a, float x[], float y[], int size)
+{
+  #pragma omp target map(to: a,size,x[0:size]) map(tofrom: y[0:size])
+  {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < size; i++)
+      y[i] = a * x[i] + y[i];
+  }
+}
+"#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.items.len(), 1);
+        let f = match &prog.items[0] {
+            Item::Func(f) => f,
+            _ => panic!(),
+        };
+        assert_eq!(f.sig.name, "saxpy_device");
+        assert_eq!(f.sig.params.len(), 4);
+        // The body is a target with a map clause.
+        let omp = match &f.body.stmts[0] {
+            Stmt::Omp(o) => o,
+            other => panic!("expected omp stmt, got {other:?}"),
+        };
+        assert_eq!(omp.dir.kind, DirKind::Target);
+        let maps: Vec<_> = omp.dir.maps().collect();
+        assert_eq!(maps.len(), 4);
+        assert_eq!(maps[0].0, MapKind::To);
+        assert_eq!(maps[3].0, MapKind::ToFrom);
+        assert_eq!(maps[3].1.name, "y");
+    }
+
+    #[test]
+    fn combined_construct_with_clauses() {
+        let src = r#"
+void f(float *a, int n) {
+  #pragma omp target teams distribute parallel for collapse(2) \
+          num_teams(n/32*n/8) num_threads(256) schedule(static) map(tofrom: a[0:n*n])
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++)
+      a[i*n+j] = 0;
+}
+"#;
+        let prog = parse(src).unwrap();
+        let f = match &prog.items[0] {
+            Item::Func(f) => f,
+            _ => panic!(),
+        };
+        let omp = match &f.body.stmts[0] {
+            Stmt::Omp(o) => o,
+            _ => panic!(),
+        };
+        assert_eq!(omp.dir.kind, DirKind::TargetTeamsDistributeParallelFor);
+        assert_eq!(omp.dir.clause_collapse(), 2);
+        assert!(omp.dir.clause_num_teams().is_some());
+        assert_eq!(omp.dir.clause_schedule().unwrap().0, SchedKind::Static);
+    }
+
+    #[test]
+    fn declarator_pointer_to_array() {
+        let prog = parse("int (*x)[96];").unwrap();
+        match &prog.items[0] {
+            Item::Global(v) => {
+                assert_eq!(v.name, "x");
+                assert_eq!(
+                    v.ty,
+                    Ty::Ptr(Box::new(Ty::Array(Box::new(Ty::Int), ArrayLen::Const(96))))
+                );
+            }
+            _ => panic!(),
+        }
+        // And array-of-pointers for contrast.
+        let prog = parse("int *a[10];").unwrap();
+        match &prog.items[0] {
+            Item::Global(v) => {
+                assert_eq!(v.ty, Ty::Array(Box::new(Ty::Ptr(Box::new(Ty::Int))), ArrayLen::Const(10)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn cuda_kernel_and_launch() {
+        let src = r#"
+__global__ void k(float *a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) a[i] = 2.0f * a[i];
+}
+void host(float *a, int n) {
+  dim3 block(32, 8);
+  dim3 grid((n+31)/32, (n+7)/8);
+  k<<<grid, block>>>(a, n);
+}
+"#;
+        let prog = parse(src).unwrap();
+        let k = match &prog.items[0] {
+            Item::Func(f) => f,
+            _ => panic!(),
+        };
+        assert!(k.sig.quals.global);
+        let host = match &prog.items[1] {
+            Item::Func(f) => f,
+            _ => panic!(),
+        };
+        let launch = host.body.stmts.iter().find_map(|s| match s {
+            Stmt::Expr(e) => match &e.kind {
+                ExprKind::KernelLaunch { callee, args, .. } => Some((callee.clone(), args.len())),
+                _ => None,
+            },
+            _ => None,
+        });
+        assert_eq!(launch, Some(("k".into(), 2)));
+    }
+
+    #[test]
+    fn standalone_directives() {
+        let src = r#"
+void f(float *a, int n) {
+  #pragma omp target enter data map(to: a[0:n])
+  #pragma omp target update from(a[0:n])
+  #pragma omp target exit data map(from: a[0:n])
+}
+"#;
+        let prog = parse(src).unwrap();
+        let f = match &prog.items[0] {
+            Item::Func(f) => f,
+            _ => panic!(),
+        };
+        let kinds: Vec<_> = f
+            .body
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Omp(o) => Some(o.dir.kind),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![DirKind::TargetEnterData, DirKind::TargetUpdate, DirKind::TargetExitData]
+        );
+    }
+
+    #[test]
+    fn for_required_after_loop_directives() {
+        let src = "void f(){\n#pragma omp parallel for\n{ int i; }\n}";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn declare_target_markers() {
+        let src = "#pragma omp declare target\nint helper(int x) { return x + 1; }\n#pragma omp end declare target\n";
+        let prog = parse(src).unwrap();
+        assert!(matches!(prog.items[0], Item::DeclareTarget(true)));
+        assert!(matches!(prog.items[1], Item::Func(_)));
+        assert!(matches!(prog.items[2], Item::DeclareTarget(false)));
+    }
+
+    #[test]
+    fn expressions_precedence() {
+        let e = parse_expr_str("1 + 2 * 3").unwrap();
+        match e.kind {
+            ExprKind::Binary { op: BinOp::Add, rhs, .. } => match rhs.kind {
+                ExprKind::Binary { op: BinOp::Mul, .. } => {}
+                _ => panic!("rhs should be mul"),
+            },
+            _ => panic!("expected add at top"),
+        }
+        let e = parse_expr_str("a = b = c").unwrap();
+        match e.kind {
+            ExprKind::Assign { rhs, .. } => assert!(matches!(rhs.kind, ExprKind::Assign { .. })),
+            _ => panic!(),
+        }
+        // Casts.
+        let e = parse_expr_str("(float)x / (float)y").unwrap();
+        assert!(matches!(e.kind, ExprKind::Binary { op: BinOp::Div, .. }));
+        // Ternary.
+        let e = parse_expr_str("a < b ? a : b").unwrap();
+        assert!(matches!(e.kind, ExprKind::Ternary { .. }));
+    }
+
+    #[test]
+    fn sizeof_forms() {
+        assert!(matches!(parse_expr_str("sizeof(float)").unwrap().kind, ExprKind::SizeofTy(Ty::Float)));
+        assert!(matches!(parse_expr_str("sizeof x").unwrap().kind, ExprKind::SizeofExpr(_)));
+        assert!(matches!(
+            parse_expr_str("sizeof(float*)").unwrap().kind,
+            ExprKind::SizeofTy(Ty::Ptr(_))
+        ));
+    }
+
+    #[test]
+    fn critical_with_name_and_sections() {
+        let src = r#"
+void f() {
+  #pragma omp parallel
+  {
+    #pragma omp critical(zone)
+    { }
+    #pragma omp sections
+    {
+      #pragma omp section
+      { }
+      #pragma omp section
+      { }
+    }
+    #pragma omp barrier
+    #pragma omp single
+    { }
+  }
+}
+"#;
+        let prog = parse(src).unwrap();
+        assert!(matches!(prog.items[0], Item::Func(_)));
+    }
+
+    #[test]
+    fn vla_params() {
+        let src = "void f(int n, float a[n][n]) { a[1][2] = 3.0f; }";
+        let prog = parse(src).unwrap();
+        let f = match &prog.items[0] {
+            Item::Func(f) => f,
+            _ => panic!(),
+        };
+        // Outermost dim decays; inner dim is a VLA expr.
+        match &f.sig.params[1].ty {
+            Ty::Ptr(inner) => match inner.as_ref() {
+                Ty::Array(el, ArrayLen::Expr(_)) => assert_eq!(**el, Ty::Float),
+                other => panic!("expected VLA inner array, got {other:?}"),
+            },
+            other => panic!("expected decayed pointer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schedule_kinds() {
+        for (txt, kind) in [
+            ("static", SchedKind::Static),
+            ("dynamic", SchedKind::Dynamic),
+            ("guided", SchedKind::Guided),
+        ] {
+            let src = format!("void f(){{\n#pragma omp parallel for schedule({txt}, 4)\nfor(int i=0;i<10;i++);\n}}");
+            let prog = parse(&src).unwrap();
+            let f = match &prog.items[0] {
+                Item::Func(f) => f,
+                _ => panic!(),
+            };
+            let omp = match &f.body.stmts[0] {
+                Stmt::Omp(o) => o,
+                _ => panic!(),
+            };
+            assert_eq!(omp.dir.clause_schedule().unwrap().0, kind);
+        }
+    }
+}

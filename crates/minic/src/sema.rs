@@ -1,0 +1,635 @@
+//! Semantic analysis: name resolution, type annotation and frame layout.
+//!
+//! Sema is re-runnable: the OMPi translator runs it once on the input
+//! program (so transformations can consult types), rewrites the tree, and
+//! runs it again on the resulting host program and on each generated kernel
+//! file before they are executed/compiled.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::token::Pos;
+use crate::types::{ArrayLen, Ty};
+
+/// Semantic error.
+#[derive(Clone, Debug)]
+pub struct SemaError {
+    pub pos: Pos,
+    pub msg: String,
+}
+
+impl std::fmt::Display for SemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "semantic error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+type SResult<T> = Result<T, SemaError>;
+
+/// Storage assigned to one local variable.
+#[derive(Clone, Debug)]
+pub struct SlotInfo {
+    pub name: String,
+    pub ty: Ty,
+    pub offset: u64,
+    /// CUDA `__shared__` local (kernel dialect only).
+    pub shared: bool,
+}
+
+/// Frame layout of a function: all locals, params first.
+#[derive(Clone, Debug, Default)]
+pub struct FrameInfo {
+    pub size: u64,
+    pub slots: Vec<SlotInfo>,
+}
+
+/// A global variable after sema.
+#[derive(Clone, Debug)]
+pub struct GlobalInfo {
+    pub name: String,
+    pub ty: Ty,
+    pub init: Option<Init>,
+    pub declare_target: bool,
+}
+
+/// Program-wide sema results.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramInfo {
+    /// Global variables in declaration order; `Resolved::Global(i)` indexes
+    /// this.
+    pub globals: Vec<GlobalInfo>,
+    /// Function name → index into `Program::items`.
+    pub funcs: HashMap<String, usize>,
+    /// Functions inside `declare target` regions.
+    pub declare_target_fns: Vec<String>,
+}
+
+/// Signatures of well-known external functions, so calls get useful types.
+fn builtin_ret_ty(name: &str) -> Option<Ty> {
+    Some(match name {
+        "printf" => Ty::Int,
+        "malloc" => Ty::Ptr(Box::new(Ty::Void)),
+        "free" => Ty::Void,
+        "sqrt" | "fabs" | "pow" | "exp" | "log" | "sin" | "cos" | "floor" | "ceil" | "fmax"
+        | "fmin" => Ty::Double,
+        "sqrtf" | "fabsf" | "powf" | "expf" | "logf" | "sinf" | "cosf" | "floorf" | "ceilf"
+        | "fmaxf" | "fminf" => Ty::Float,
+        "abs" => Ty::Int,
+        "omp_get_thread_num" | "omp_get_num_threads" | "omp_get_team_num"
+        | "omp_get_num_teams" | "omp_get_num_devices" | "omp_get_default_device"
+        | "omp_is_initial_device" | "omp_get_max_threads" | "omp_get_num_procs" => Ty::Int,
+        "omp_get_wtime" => Ty::Double,
+        "__syncthreads" => Ty::Void,
+        "atomicAdd" => Ty::Float,
+        "atomicCAS" | "atomicExch" => Ty::Int,
+        "cudaMalloc" | "cudaMemcpy" | "cudaFree" | "cudaDeviceSynchronize" => Ty::Int,
+        _ => return None,
+    })
+}
+
+struct Scope {
+    vars: HashMap<String, Resolved>,
+}
+
+struct Sema<'p> {
+    info: ProgramInfo,
+    scopes: Vec<Scope>,
+    /// Current frame being laid out.
+    frame: FrameInfo,
+    /// Known function names (defs + protos) with return types.
+    fn_rets: HashMap<String, Ty>,
+    _marker: std::marker::PhantomData<&'p ()>,
+}
+
+/// Run semantic analysis over a program in place.
+pub fn analyze(prog: &mut Program) -> SResult<ProgramInfo> {
+    let mut s = Sema {
+        info: ProgramInfo::default(),
+        scopes: Vec::new(),
+        frame: FrameInfo::default(),
+        fn_rets: HashMap::new(),
+        _marker: std::marker::PhantomData,
+    };
+
+    // Pass 1: collect globals and function names.
+    let mut in_declare_target = false;
+    for (idx, item) in prog.items.iter_mut().enumerate() {
+        match item {
+            Item::DeclareTarget(begin) => in_declare_target = *begin,
+            Item::Func(f) => {
+                f.declare_target = in_declare_target || f.sig.quals.device;
+                if in_declare_target || f.sig.quals.device {
+                    s.info.declare_target_fns.push(f.sig.name.clone());
+                }
+                s.info.funcs.insert(f.sig.name.clone(), idx);
+                s.fn_rets.insert(f.sig.name.clone(), f.sig.ret.clone());
+            }
+            Item::Proto(p) => {
+                s.fn_rets.insert(p.name.clone(), p.ret.clone());
+            }
+            Item::Global(v) => {
+                v.slot = s.info.globals.len() as u32;
+                s.info.globals.push(GlobalInfo {
+                    name: v.name.clone(),
+                    ty: v.ty.clone(),
+                    init: v.init.clone(),
+                    declare_target: in_declare_target,
+                });
+            }
+        }
+    }
+
+    // Pass 2: resolve bodies.
+    for item in prog.items.iter_mut() {
+        if let Item::Func(f) = item {
+            s.analyze_func(f)?;
+        }
+    }
+    Ok(s.info)
+}
+
+impl<'p> Sema<'p> {
+    fn err(&self, pos: Pos, msg: impl Into<String>) -> SemaError {
+        SemaError { pos, msg: msg.into() }
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(Scope { vars: HashMap::new() });
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn declare_local(&mut self, name: &str, ty: &Ty, shared: bool, pos: Pos) -> SResult<u32> {
+        let size = ty.size().ok_or_else(|| {
+            self.err(pos, format!("cannot size local `{name}` of type {ty} (VLA locals are not supported)"))
+        })?;
+        let align = ty.align();
+        let offset = self.frame.size.next_multiple_of(align);
+        self.frame.size = offset + size;
+        let slot = self.frame.slots.len() as u32;
+        self.frame.slots.push(SlotInfo { name: name.to_string(), ty: ty.clone(), offset, shared });
+        self.scopes
+            .last_mut()
+            .expect("scope stack")
+            .vars
+            .insert(name.to_string(), Resolved::Local(slot));
+        Ok(slot)
+    }
+
+    fn lookup(&self, name: &str) -> Option<Resolved> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(r) = scope.vars.get(name) {
+                return Some(r.clone());
+            }
+        }
+        if let Some(i) = self.info.globals.iter().position(|g| g.name == name) {
+            return Some(Resolved::Global(i as u32));
+        }
+        if self.fn_rets.contains_key(name) {
+            return Some(Resolved::Func);
+        }
+        CudaVar::from_name(name).map(Resolved::CudaBuiltin)
+    }
+
+    fn analyze_func(&mut self, f: &mut FuncDef) -> SResult<()> {
+        self.frame = FrameInfo::default();
+        self.push_scope();
+        for p in &mut f.sig.params {
+            // VLA extents in parameter types (e.g. `float a[n][n]`) resolve
+            // against parameters declared to their left.
+            self.resolve_ty(&mut p.ty)?;
+            p.slot = self.declare_local(&p.name, &p.ty, false, f.sig.pos)?;
+        }
+        self.block(&mut f.body)?;
+        self.pop_scope();
+        f.frame = std::mem::take(&mut self.frame);
+        Ok(())
+    }
+
+    fn block(&mut self, b: &mut Block) -> SResult<()> {
+        self.push_scope();
+        for s in &mut b.stmts {
+            self.stmt(s)?;
+        }
+        self.pop_scope();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &mut Stmt) -> SResult<()> {
+        match s {
+            Stmt::Block(b) => self.block(b)?,
+            Stmt::Decl(d) => self.var_decl(d)?,
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+            }
+            Stmt::If { cond, then_s, else_s } => {
+                self.expr(cond)?;
+                self.stmt(then_s)?;
+                if let Some(e) = else_s {
+                    self.stmt(e)?;
+                }
+            }
+            Stmt::For { init, cond, step, body } => {
+                // The init declaration scopes over cond/step/body.
+                self.push_scope();
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                if let Some(c) = cond {
+                    self.expr(c)?;
+                }
+                if let Some(st) = step {
+                    self.expr(st)?;
+                }
+                self.stmt(body)?;
+                self.pop_scope();
+            }
+            Stmt::While { cond, body } => {
+                self.expr(cond)?;
+                self.stmt(body)?;
+            }
+            Stmt::DoWhile { body, cond } => {
+                self.stmt(body)?;
+                self.expr(cond)?;
+            }
+            Stmt::Return(e) => {
+                if let Some(e) = e {
+                    self.expr(e)?;
+                }
+            }
+            Stmt::Break | Stmt::Continue | Stmt::Empty => {}
+            Stmt::Omp(o) => {
+                self.directive_exprs(o)?;
+                if let Some(b) = &mut o.body {
+                    self.stmt(b)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve expressions inside directive clauses (they evaluate in the
+    /// scope where the directive appears).
+    fn directive_exprs(&mut self, o: &mut OmpStmt) -> SResult<()> {
+        use crate::omp::Clause;
+        for c in &mut o.dir.clauses {
+            match c {
+                Clause::NumTeams(e) | Clause::NumThreads(e) | Clause::ThreadLimit(e)
+                | Clause::If(e) | Clause::Device(e) => {
+                    self.expr(e)?;
+                }
+                Clause::Schedule { chunk: Some(e), .. } => {
+                    self.expr(e)?;
+                }
+                Clause::Map { items, .. } | Clause::UpdateTo(items) | Clause::UpdateFrom(items) => {
+                    for it in items {
+                        for sec in &mut it.sections {
+                            if let Some(l) = &mut sec.lower {
+                                self.expr(l)?;
+                            }
+                            if let Some(l) = &mut sec.length {
+                                self.expr(l)?;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn var_decl(&mut self, d: &mut VarDecl) -> SResult<()> {
+        // Resolve VLA extents in the current scope first.
+        self.resolve_ty(&mut d.ty)?;
+        d.slot = self.declare_local(&d.name, &d.ty, d.shared, d.pos)?;
+        if let Some(init) = &mut d.init {
+            self.init(init)?;
+        }
+        Ok(())
+    }
+
+    fn init(&mut self, i: &mut Init) -> SResult<()> {
+        match i {
+            Init::Expr(e) => {
+                self.expr(e)?;
+            }
+            Init::List(list) => {
+                for it in list {
+                    self.init(it)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn resolve_ty(&mut self, ty: &mut Ty) -> SResult<()> {
+        match ty {
+            Ty::Ptr(inner) => self.resolve_ty(inner),
+            Ty::Array(inner, len) => {
+                if let ArrayLen::Expr(e) = len {
+                    self.expr(e)?;
+                }
+                self.resolve_ty(inner)
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn expr(&mut self, e: &mut Expr) -> SResult<Ty> {
+        let ty = match &mut e.kind {
+            ExprKind::IntLit(_) => Ty::Int,
+            ExprKind::FloatLit(_, true) => Ty::Float,
+            ExprKind::FloatLit(_, false) => Ty::Double,
+            ExprKind::StrLit(_) => Ty::Ptr(Box::new(Ty::Char)),
+            ExprKind::Ident(name, resolved) => {
+                let r = self
+                    .lookup(name)
+                    .ok_or_else(|| self.err(e.pos, format!("unknown identifier `{name}`")))?;
+                let ty = match &r {
+                    Resolved::Local(slot) => self.frame.slots[*slot as usize].ty.clone(),
+                    Resolved::Global(i) => self.info.globals[*i as usize].ty.clone(),
+                    Resolved::Func => Ty::Ptr(Box::new(Ty::Void)),
+                    Resolved::CudaBuiltin(_) => Ty::Dim3,
+                    Resolved::Unresolved => unreachable!(),
+                };
+                *resolved = r;
+                ty
+            }
+            ExprKind::Call { callee, args } => {
+                for a in args.iter_mut() {
+                    self.expr(a)?;
+                }
+                if let Some(t) = self.fn_rets.get(callee) {
+                    t.clone()
+                } else if let Some(t) = builtin_ret_ty(callee) {
+                    t
+                } else {
+                    // Unknown external (runtime library) call: dynamic value,
+                    // default-int static type, like pre-C99 C.
+                    Ty::Int
+                }
+            }
+            ExprKind::KernelLaunch { callee, grid, block, args } => {
+                if !self.fn_rets.contains_key(callee.as_str()) {
+                    return Err(self.err(e.pos, format!("unknown kernel `{callee}`")));
+                }
+                self.expr(grid)?;
+                self.expr(block)?;
+                for a in args.iter_mut() {
+                    self.expr(a)?;
+                }
+                Ty::Void
+            }
+            ExprKind::Dim3 { x, y, z } => {
+                self.expr(x)?;
+                if let Some(y) = y {
+                    self.expr(y)?;
+                }
+                if let Some(z) = z {
+                    self.expr(z)?;
+                }
+                Ty::Dim3
+            }
+            ExprKind::Member { base, field } => {
+                let bt = self.expr(base)?;
+                if bt != Ty::Dim3 {
+                    return Err(self.err(e.pos, format!("member access on non-dim3 type {bt}")));
+                }
+                if !matches!(field.as_str(), "x" | "y" | "z") {
+                    return Err(self.err(e.pos, format!("dim3 has no member `{field}`")));
+                }
+                Ty::Int
+            }
+            ExprKind::Index { base, index } => {
+                let bt = self.expr(base)?;
+                self.expr(index)?;
+                match bt.pointee() {
+                    Some(t) => t.clone(),
+                    None => return Err(self.err(e.pos, format!("cannot index type {bt}"))),
+                }
+            }
+            ExprKind::Unary { op, expr } => {
+                let t = self.expr(expr)?;
+                match op {
+                    UnOp::Neg | UnOp::BitNot => t,
+                    UnOp::Not => Ty::Int,
+                    UnOp::Deref => match t.decayed() {
+                        Ty::Ptr(inner) => *inner,
+                        other => return Err(self.err(e.pos, format!("cannot dereference {other}"))),
+                    },
+                    UnOp::Addr => Ty::Ptr(Box::new(t)),
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let lt = self.expr(lhs)?.decayed();
+                let rt = self.expr(rhs)?.decayed();
+                if op.is_comparison() || op.is_logical() {
+                    Ty::Int
+                } else if lt.is_ptr() && rt.is_integer() {
+                    lt
+                } else if rt.is_ptr() && lt.is_integer() && *op == BinOp::Add {
+                    rt
+                } else if lt.is_ptr() && rt.is_ptr() && *op == BinOp::Sub {
+                    Ty::Long
+                } else {
+                    Ty::usual_arith(&lt, &rt)
+                }
+            }
+            ExprKind::Assign { lhs, rhs, .. } => {
+                let lt = self.expr(lhs)?;
+                self.expr(rhs)?;
+                lt
+            }
+            ExprKind::IncDec { expr, .. } => self.expr(expr)?,
+            ExprKind::Ternary { cond, then_e, else_e } => {
+                self.expr(cond)?;
+                let tt = self.expr(then_e)?.decayed();
+                let et = self.expr(else_e)?.decayed();
+                if tt.is_ptr() {
+                    tt
+                } else if et.is_ptr() {
+                    et
+                } else {
+                    Ty::usual_arith(&tt, &et)
+                }
+            }
+            ExprKind::Cast { ty, expr } => {
+                let mut t = ty.clone();
+                self.resolve_ty(&mut t)?;
+                self.expr(expr)?;
+                *ty = t.clone();
+                t
+            }
+            ExprKind::SizeofTy(ty) => {
+                let mut t = ty.clone();
+                self.resolve_ty(&mut t)?;
+                *ty = t;
+                Ty::Long
+            }
+            ExprKind::SizeofExpr(inner) => {
+                self.expr(inner)?;
+                Ty::Long
+            }
+            ExprKind::Comma(a, b) => {
+                self.expr(a)?;
+                self.expr(b)?
+            }
+        };
+        e.ty = ty.clone();
+        Ok(ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn analyzed(src: &str) -> (Program, ProgramInfo) {
+        let mut p = parse(src).unwrap();
+        let info = analyze(&mut p).unwrap();
+        (p, info)
+    }
+
+    #[test]
+    fn frame_layout_params_then_locals() {
+        let (p, _) = analyzed("void f(int a, float b) { long c; char d; int e; }");
+        let f = match &p.items[0] {
+            Item::Func(f) => f,
+            _ => panic!(),
+        };
+        let names: Vec<_> = f.frame.slots.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c", "d", "e"]);
+        // Offsets respect alignment.
+        assert_eq!(f.frame.slots[0].offset, 0);
+        assert_eq!(f.frame.slots[1].offset, 4);
+        assert_eq!(f.frame.slots[2].offset, 8); // long aligned to 8
+        assert_eq!(f.frame.slots[3].offset, 16);
+        assert_eq!(f.frame.slots[4].offset, 20);
+    }
+
+    #[test]
+    fn shadowing_inner_scope() {
+        let (p, _) = analyzed("void f() { int x = 1; { float x; x = 2.0f; } x = 3; }");
+        let f = match &p.items[0] {
+            Item::Func(f) => f,
+            _ => panic!(),
+        };
+        assert_eq!(f.frame.slots.len(), 2);
+        // The last statement refers to the outer int x (slot 0).
+        let last = f.body.stmts.last().unwrap();
+        match last {
+            Stmt::Expr(e) => match &e.kind {
+                ExprKind::Assign { lhs, .. } => match &lhs.kind {
+                    ExprKind::Ident(_, Resolved::Local(s)) => assert_eq!(*s, 0),
+                    other => panic!("{other:?}"),
+                },
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn unknown_identifier_errors() {
+        let mut p = parse("void f() { x = 1; }").unwrap();
+        assert!(analyze(&mut p).is_err());
+    }
+
+    #[test]
+    fn globals_resolved() {
+        let (p, info) = analyzed("int g; void f() { g = 5; }");
+        assert_eq!(info.globals.len(), 1);
+        let f = match &p.items[1] {
+            Item::Func(f) => f,
+            _ => panic!(),
+        };
+        match &f.body.stmts[0] {
+            Stmt::Expr(e) => match &e.kind {
+                ExprKind::Assign { lhs, .. } => {
+                    assert!(matches!(lhs.kind, ExprKind::Ident(_, Resolved::Global(0))))
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn types_annotated() {
+        let (p, _) = analyzed("float f(float *a, int i) { return a[i] * 2.0f; }");
+        let f = match &p.items[0] {
+            Item::Func(f) => f,
+            _ => panic!(),
+        };
+        match &f.body.stmts[0] {
+            Stmt::Return(Some(e)) => assert_eq!(e.ty, Ty::Float),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn cuda_builtins_resolve() {
+        let (p, _) = analyzed("__global__ void k(float *a) { a[threadIdx.x] = 0; }");
+        let f = match &p.items[0] {
+            Item::Func(f) => f,
+            _ => panic!(),
+        };
+        // threadIdx.x typed as int.
+        match &f.body.stmts[0] {
+            Stmt::Expr(e) => match &e.kind {
+                ExprKind::Assign { lhs, .. } => match &lhs.kind {
+                    ExprKind::Index { index, .. } => assert_eq!(index.ty, Ty::Int),
+                    _ => panic!(),
+                },
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn for_init_scopes_over_body() {
+        analyzed("void f() { for (int i = 0; i < 4; i++) { int j = i; } }");
+    }
+
+    #[test]
+    fn declare_target_collects() {
+        let (_, info) = analyzed(
+            "#pragma omp declare target\nint helper(int x) { return x; }\n#pragma omp end declare target\nvoid f() { }",
+        );
+        assert_eq!(info.declare_target_fns, vec!["helper".to_string()]);
+    }
+
+    #[test]
+    fn device_fn_is_declare_target() {
+        let (_, info) = analyzed("__device__ int helper(int x) { return x; }");
+        assert_eq!(info.declare_target_fns, vec!["helper".to_string()]);
+    }
+
+    #[test]
+    fn pointer_arith_types() {
+        let (p, _) = analyzed("void f(float *a) { float *b = a + 4; long d = b - a; }");
+        let f = match &p.items[0] {
+            Item::Func(f) => f,
+            _ => panic!(),
+        };
+        match &f.body.stmts[1] {
+            Stmt::Decl(d) => match &d.init {
+                Some(Init::Expr(e)) => assert_eq!(e.ty, Ty::Long),
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn vla_param_indexing() {
+        analyzed("void f(int n, float a[n][n]) { a[1][2] = 3.0f; }");
+    }
+}

@@ -1,0 +1,151 @@
+//! Tokens for the mini-C dialect (C subset + OpenMP pragmas + CUDA
+//! extensions).
+
+/// Source position (1-based line/column) for diagnostics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    IntLit(i64),
+    FloatLit(f64, /*f32 suffix*/ bool),
+    StrLit(String),
+    CharLit(i64),
+    /// `#pragma …` captured as a raw logical line (without the leading `#`).
+    Pragma(String),
+
+    // Keywords.
+    KwVoid,
+    KwChar,
+    KwInt,
+    KwLong,
+    KwFloat,
+    KwDouble,
+    KwUnsigned,
+    KwSigned,
+    KwConst,
+    KwStatic,
+    KwExtern,
+    KwIf,
+    KwElse,
+    KwFor,
+    KwWhile,
+    KwDo,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSizeof,
+    KwStruct,
+    // CUDA qualifiers.
+    KwGlobal,   // __global__
+    KwDevice,   // __device__
+    KwShared,   // __shared__
+    KwHost,     // __host__
+    KwRestrict, // __restrict__ / restrict (ignored)
+
+    // Punctuation / operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Dot,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    BangEq,
+    AmpAmp,
+    PipePipe,
+    Shl,
+    Shr,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    PlusPlus,
+    MinusMinus,
+    /// `<<<` (CUDA kernel launch open).
+    TripleLt,
+    /// `>>>` (CUDA kernel launch close).
+    TripleGt,
+
+    Eof,
+}
+
+/// A token with its position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub pos: Pos,
+}
+
+impl Tok {
+    /// Keyword lookup for an identifier-shaped word.
+    pub fn keyword(word: &str) -> Option<Tok> {
+        Some(match word {
+            "void" => Tok::KwVoid,
+            "char" => Tok::KwChar,
+            "int" => Tok::KwInt,
+            "long" => Tok::KwLong,
+            "float" => Tok::KwFloat,
+            "double" => Tok::KwDouble,
+            "unsigned" => Tok::KwUnsigned,
+            "signed" => Tok::KwSigned,
+            "const" => Tok::KwConst,
+            "static" => Tok::KwStatic,
+            "extern" => Tok::KwExtern,
+            "if" => Tok::KwIf,
+            "else" => Tok::KwElse,
+            "for" => Tok::KwFor,
+            "while" => Tok::KwWhile,
+            "do" => Tok::KwDo,
+            "return" => Tok::KwReturn,
+            "break" => Tok::KwBreak,
+            "continue" => Tok::KwContinue,
+            "sizeof" => Tok::KwSizeof,
+            "struct" => Tok::KwStruct,
+            "__global__" => Tok::KwGlobal,
+            "__device__" => Tok::KwDevice,
+            "__shared__" => Tok::KwShared,
+            "__host__" => Tok::KwHost,
+            "__restrict__" | "restrict" => Tok::KwRestrict,
+            _ => return None,
+        })
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests on the frontend: pretty-printing is a fixed point under
+//! reparsing, for randomly generated expressions and programs.
+
+use minic::ast::{BinOp, Expr, ExprKind, UnOp};
+use minic::parser::parse_expr_str;
+use minic::pretty;
+use proptest::prelude::*;
+
+/// Strategy for random (valid) expressions over a fixed identifier pool.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    use minic::ast::build as b;
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(b::int),
+        prop_oneof![Just("x"), Just("y"), Just("n"), Just("acc")].prop_map(b::ident),
+        (any::<f32>().prop_filter("finite", |v| v.is_finite()))
+            .prop_map(|v| b::e(ExprKind::FloatLit(v as f64, true))),
+    ];
+    leaf.prop_recursive(4, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_binop())
+                .prop_map(|(l, r, op)| b::bin(op, l, r)),
+            (inner.clone(), arb_unop()).prop_map(|(e, op)| b::e(ExprKind::Unary {
+                op,
+                expr: Box::new(e)
+            })),
+            (inner.clone(), inner.clone()).prop_map(|(base, idx)| b::index(base, idx)),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| b::e(
+                ExprKind::Ternary {
+                    cond: Box::new(c),
+                    then_e: Box::new(t),
+                    else_e: Box::new(e)
+                }
+            )),
+            (inner.clone(), proptest::collection::vec(inner, 0..3)).prop_map(|(a, more)| {
+                let mut args = vec![a];
+                args.extend(more);
+                b::call("f", args)
+            }),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::Lt),
+        Just(BinOp::Gt),
+        Just(BinOp::Le),
+        Just(BinOp::Ge),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::LogAnd),
+        Just(BinOp::LogOr),
+        Just(BinOp::BitAnd),
+        Just(BinOp::BitOr),
+        Just(BinOp::BitXor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+    ]
+}
+
+fn arb_unop() -> impl Strategy<Value = UnOp> {
+    prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::BitNot)]
+}
+
+proptest! {
+    /// print(parse(print(e))) == print(e): the printer emits enough
+    /// parentheses to preserve structure, and is a reparse fixed point.
+    #[test]
+    fn expr_print_parse_fixed_point(e in arb_expr()) {
+        let printed = pretty::expr(&e);
+        let reparsed = parse_expr_str(&printed)
+            .unwrap_or_else(|err| panic!("printed expr must reparse: `{printed}`: {err}"));
+        prop_assert_eq!(pretty::expr(&reparsed), printed);
+    }
+
+    /// Random integer-expression evaluation agrees between the original
+    /// AST and the reparse of its printed form (structure really survives).
+    #[test]
+    fn expr_semantics_survive_roundtrip(e in arb_expr()) {
+        let printed = pretty::expr(&e);
+        let reparsed = parse_expr_str(&printed).unwrap();
+        // Compare constant folds where both sides fold.
+        if let (Some(a), Some(b)) = (e.const_int(), reparsed.const_int()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+#[test]
+fn program_print_is_reparse_fixed_point() {
+    // A program exercising every statement form.
+    let src = r#"
+int g = 3;
+float helper(float v) { return v * 2.0f; }
+int main() {
+    int a[4];
+    float m[2][3];
+    int i = 0;
+    while (i < 4) { a[i] = i; i++; }
+    do { i--; } while (i > 0);
+    for (int k = 0; k < 2; k++)
+        for (int j = 0; j < 3; j++)
+            m[k][j] = helper((float) (k + j));
+    if (a[1] > 0 && m[0][0] >= 0.0f) i = 5; else i = -5;
+    int *p = &a[2];
+    *p += 7;
+    return g + i + a[2];
+}
+"#;
+    let p1 = minic::parse(src).unwrap();
+    let t1 = pretty::program(&p1);
+    let p2 = minic::parse(&t1).unwrap();
+    let t2 = pretty::program(&p2);
+    assert_eq!(t1, t2);
+}
+
+#[test]
+fn roundtripped_program_runs_identically() {
+    use minic::interp::{Interp, Machine, NoHooks};
+    use std::sync::Arc;
+    let src = r#"
+int main() {
+    int s = 0;
+    for (int i = 1; i <= 100; i++)
+        if (i % 3 == 0 || i % 5 == 0) s += i;
+    return s;
+}
+"#;
+    let run = |text: &str| {
+        let m = Machine::from_source(text).unwrap();
+        let mut i = Interp::new(m, Arc::new(NoHooks)).unwrap();
+        i.run_main().unwrap()
+    };
+    let printed = pretty::program(&minic::parse(src).unwrap());
+    assert_eq!(run(src), run(&printed));
+}

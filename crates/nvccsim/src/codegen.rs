@@ -1,0 +1,1203 @@
+//! Lowering of (CUDA-dialect) mini-C functions to SPTX.
+//!
+//! This is the "nvcc" middle end of the reproduction: the OMPi translator
+//! emits CUDA C kernel files, and this module compiles each function of
+//! such a file to the structured kernel IR. Scalar locals live in virtual
+//! registers; arrays and address-taken locals are placed in per-thread
+//! `.local` memory; `__shared__` locals go to the block's static shared
+//! allocation — mirroring how nvcc assigns state spaces.
+
+use std::collections::HashMap;
+
+use minic::ast::*;
+use minic::sema::ProgramInfo;
+use minic::token::Pos;
+use minic::types::{ArrayLen, Ty};
+use sptx::builder::{op, FnBuilder};
+use sptx::{BinOp as IrBin, CvtTy, Inst, MemTy, Operand, Reg, ScalarTy, UnOp as IrUn};
+
+/// Compilation error.
+#[derive(Clone, Debug)]
+pub struct CompileError {
+    pub pos: Pos,
+    pub msg: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "kernel compile error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+type CResult<T> = Result<T, CompileError>;
+
+/// Compile an analyzed CUDA-dialect program into an (unlinked) SPTX module.
+pub fn compile_program(
+    prog: &Program,
+    _info: &ProgramInfo,
+    module_name: &str,
+) -> CResult<sptx::Module> {
+    // Assign indices to all function definitions first (forward calls).
+    let mut fn_indices: HashMap<String, u32> = HashMap::new();
+    let mut fn_sigs: HashMap<String, (Vec<ScalarTy>, ScalarTy)> = HashMap::new();
+    let mut defs: Vec<&FuncDef> = Vec::new();
+    for item in &prog.items {
+        if let Item::Func(f) = item {
+            fn_indices.insert(f.sig.name.clone(), defs.len() as u32);
+            let params = f
+                .sig
+                .params
+                .iter()
+                .map(|p| scalar_ty(&p.ty))
+                .collect::<CResult<Vec<_>>>()?;
+            let ret = if f.sig.ret == Ty::Void { ScalarTy::I32 } else { scalar_ty(&f.sig.ret)? };
+            fn_sigs.insert(f.sig.name.clone(), (params, ret));
+            defs.push(f);
+        }
+        if let Item::Global(g) = item {
+            return Err(CompileError {
+                pos: g.pos,
+                msg: format!(
+                    "device global variable `{}` is not supported — pass device state through kernel parameters",
+                    g.name
+                ),
+            });
+        }
+    }
+    let mut functions = Vec::with_capacity(defs.len());
+    for f in &defs {
+        functions.push(compile_function(f, &fn_indices, &fn_sigs)?);
+    }
+    Ok(sptx::Module {
+        name: module_name.to_string(),
+        arch: "sm_53".into(),
+        functions,
+        device_lib_linked: false,
+    })
+}
+
+/// Where a local variable lives.
+#[derive(Clone, Copy, Debug)]
+enum Storage {
+    /// Scalar in a virtual register.
+    Reg(Reg, ScalarTy),
+    /// Per-thread local memory (byte offset from LocalBase).
+    Local(u64),
+    /// Static shared memory (byte offset from SharedBase).
+    Shared(u64),
+}
+
+struct LoopCtx {
+    /// Register holding a per-lane "break requested" flag, if the loop body
+    /// contains break/continue and needed the wrapper transformation.
+    brkflag: Option<Reg>,
+    /// Whether the current emission point is inside the wrapper loop.
+    in_wrapper: bool,
+}
+
+struct Cg<'p> {
+    b: FnBuilder,
+    f: &'p FuncDef,
+    storage: Vec<Storage>,
+    fn_indices: &'p HashMap<String, u32>,
+    fn_sigs: &'p HashMap<String, (Vec<ScalarTy>, ScalarTy)>,
+    loops: Vec<LoopCtx>,
+}
+
+/// Scalar IR type for a mini-C type.
+fn scalar_ty(ty: &Ty) -> CResult<ScalarTy> {
+    Ok(match ty {
+        Ty::Char | Ty::Int => ScalarTy::I32,
+        Ty::Long => ScalarTy::I64,
+        Ty::Float => ScalarTy::F32,
+        Ty::Double => ScalarTy::F64,
+        Ty::Ptr(_) | Ty::Array(..) => ScalarTy::I64,
+        other => {
+            return Err(CompileError {
+                pos: Pos::default(),
+                msg: format!("type {other} has no device register class"),
+            })
+        }
+    })
+}
+
+fn mem_ty(ty: &Ty) -> CResult<MemTy> {
+    Ok(match ty {
+        Ty::Char => MemTy::B8,
+        Ty::Int => MemTy::B32,
+        Ty::Long => MemTy::B64,
+        Ty::Float => MemTy::F32,
+        Ty::Double => MemTy::F64,
+        Ty::Ptr(_) => MemTy::B64,
+        other => {
+            return Err(CompileError {
+                pos: Pos::default(),
+                msg: format!("cannot load/store type {other} on the device"),
+            })
+        }
+    })
+}
+
+fn cvt_ty(s: ScalarTy) -> CvtTy {
+    match s {
+        ScalarTy::I32 => CvtTy::I32,
+        ScalarTy::I64 => CvtTy::I64,
+        ScalarTy::F32 => CvtTy::F32,
+        ScalarTy::F64 => CvtTy::F64,
+    }
+}
+
+/// Collect local slots whose address is taken with `&x` (they must live in
+/// memory, not registers).
+fn collect_addr_taken(f: &FuncDef, out: &mut Vec<bool>) {
+    fn in_expr(e: &Expr, out: &mut Vec<bool>) {
+        if let ExprKind::Unary { op: UnOp::Addr, expr } = &e.kind {
+            if let ExprKind::Ident(_, Resolved::Local(slot)) = &expr.kind {
+                out[*slot as usize] = true;
+            }
+        }
+        minic::interp::visit_child_exprs(e, &mut |c| in_expr(c, out));
+    }
+    fn in_stmt(s: &Stmt, out: &mut Vec<bool>) {
+        minic::interp::visit_stmt_exprs(s, &mut |e| in_expr(e, out));
+        minic::interp::visit_child_stmts(s, &mut |c| in_stmt(c, out));
+    }
+    for s in &f.body.stmts {
+        in_stmt(s, out);
+    }
+}
+
+fn compile_function(
+    f: &FuncDef,
+    fn_indices: &HashMap<String, u32>,
+    fn_sigs: &HashMap<String, (Vec<ScalarTy>, ScalarTy)>,
+) -> CResult<sptx::Function> {
+    let mut b = FnBuilder::new(&f.sig.name, f.sig.quals.global);
+    let nslots = f.frame.slots.len();
+    let mut addr_taken = vec![false; nslots];
+    collect_addr_taken(f, &mut addr_taken);
+
+    // Parameters occupy the first registers.
+    let mut param_regs = Vec::new();
+    for p in &f.sig.params {
+        let sty = scalar_ty(&p.ty).map_err(|mut e| {
+            e.pos = f.sig.pos;
+            e
+        })?;
+        param_regs.push(b.param(&p.name, sty));
+    }
+
+    // Assign storage for every slot.
+    let mut storage = Vec::with_capacity(nslots);
+    for (i, slot) in f.frame.slots.iter().enumerate() {
+        let is_param = i < f.sig.params.len();
+        let size = const_sizeof(&slot.ty).ok_or_else(|| CompileError {
+            pos: f.sig.pos,
+            msg: format!(
+                "local `{}` has a runtime-sized type {} (VLA locals are not supported on the device)",
+                slot.name, slot.ty
+            ),
+        })?;
+        let align = slot.ty.align().max(4);
+        let st = if slot.shared {
+            Storage::Shared(b.alloc_shared(size, align))
+        } else if !is_param && (addr_taken[i] || slot.ty.is_array()) {
+            Storage::Local(b.alloc_local(size, align))
+        } else if is_param && addr_taken[i] {
+            // Copy the register parameter into local memory at entry.
+            Storage::Local(b.alloc_local(size, align))
+        } else {
+            let sty = scalar_ty(&slot.ty).map_err(|mut e| {
+                e.pos = f.sig.pos;
+                e
+            })?;
+            if is_param {
+                Storage::Reg(param_regs[i], sty)
+            } else {
+                Storage::Reg(b.alloc(), sty)
+            }
+        };
+        storage.push(st);
+    }
+
+    let mut cg = Cg { b, f, storage, fn_indices, fn_sigs, loops: Vec::new() };
+
+    // Spill address-taken parameters.
+    for (i, p) in f.sig.params.iter().enumerate() {
+        if let Storage::Local(off) = cg.storage[i] {
+            let mt = mem_ty(&p.ty).map_err(|mut e| {
+                e.pos = f.sig.pos;
+                e
+            })?;
+            cg.b.st(mt, op::r(param_regs[i]), Operand::LocalBase, off as i64);
+        }
+    }
+
+    for s in &f.body.stmts {
+        cg.stmt(s)?;
+    }
+    Ok(cg.b.build())
+}
+
+/// Compile-time size (no VLA).
+fn const_sizeof(ty: &Ty) -> Option<u64> {
+    ty.size()
+}
+
+impl<'p> Cg<'p> {
+    fn err(&self, pos: Pos, msg: impl Into<String>) -> CompileError {
+        CompileError { pos, msg: msg.into() }
+    }
+
+    /// Store a value into a declared local slot.
+    fn store_slot(&mut self, slot: u32, v: Operand, ty: &Ty, pos: Pos) -> CResult<()> {
+        match self.storage[slot as usize] {
+            Storage::Reg(r, _) => {
+                self.b.mov_to(r, v);
+                Ok(())
+            }
+            Storage::Local(off) => {
+                let mt = mem_ty(ty).map_err(|mut er| {
+                    er.pos = pos;
+                    er
+                })?;
+                self.b.st(mt, v, Operand::LocalBase, off as i64);
+                Ok(())
+            }
+            Storage::Shared(off) => {
+                let mt = mem_ty(ty).map_err(|mut er| {
+                    er.pos = pos;
+                    er
+                })?;
+                self.b.st(mt, v, Operand::SharedBase, off as i64);
+                Ok(())
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- statements
+
+    fn stmt(&mut self, s: &Stmt) -> CResult<()> {
+        match s {
+            Stmt::Block(bl) => {
+                for s in &bl.stmts {
+                    self.stmt(s)?;
+                }
+                Ok(())
+            }
+            Stmt::Empty => Ok(()),
+            Stmt::Decl(d) => {
+                if let Some(init) = &d.init {
+                    let e = match init {
+                        Init::Expr(e) => e,
+                        Init::List(_) => {
+                            return Err(self.err(d.pos, "brace initializers are not supported in kernels"))
+                        }
+                    };
+                    let slot_ty = self.f.frame.slots[d.slot as usize].ty.clone();
+                    let (v, vt) = self.expr(e)?;
+                    let v = self.coerce(v, vt, scalar_ty(&slot_ty).map_err(|mut er| {
+                        er.pos = d.pos;
+                        er
+                    })?);
+                    self.store_slot(d.slot, v, &slot_ty, d.pos)?;
+                }
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                Ok(())
+            }
+            Stmt::If { cond, then_s, else_s } => {
+                let c = self.cond_value(cond)?;
+                self.b.begin_if();
+                self.stmt(then_s)?;
+                match else_s {
+                    None => self.b.end_if(c),
+                    Some(e) => {
+                        self.b.begin_else();
+                        self.stmt(e)?;
+                        self.b.end_if_else(c);
+                    }
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => self.lower_loop(None, Some(cond), None, body),
+            Stmt::DoWhile { body, cond } => {
+                // do { body } while (c)  ≡  loop { wrapper{body}; if(!c) break }
+                self.lower_do_while(body, cond)
+            }
+            Stmt::For { init, cond, step, body } => {
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                self.lower_loop(None, cond.as_ref(), step.as_ref(), body)
+            }
+            Stmt::Return(e) => {
+                match e {
+                    None => self.b.ret(None),
+                    Some(e) => {
+                        let want = scalar_ty(&self.f.sig.ret).map_err(|mut er| {
+                            er.pos = e.pos;
+                            er
+                        })?;
+                        let (v, vt) = self.expr(e)?;
+                        let v = self.coerce(v, vt, want);
+                        self.b.ret(Some(v));
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Break => {
+                let ctx = self
+                    .loops
+                    .last()
+                    .ok_or_else(|| self.err(Pos::default(), "break outside loop"))?;
+                if let Some(flag) = ctx.brkflag {
+                    self.b.mov_to(flag, op::i(1));
+                }
+                self.b.brk();
+                Ok(())
+            }
+            Stmt::Continue => {
+                let ctx = self
+                    .loops
+                    .last()
+                    .ok_or_else(|| self.err(Pos::default(), "continue outside loop"))?;
+                if ctx.in_wrapper {
+                    // Break out of the wrapper only: skips the rest of the
+                    // body, reconverges before the step expression.
+                    self.b.brk();
+                } else {
+                    self.b.cont();
+                }
+                Ok(())
+            }
+            Stmt::Omp(o) => Err(self.err(
+                o.pos,
+                format!(
+                    "OpenMP directive `{}` reached the device compiler — the translator must lower it first",
+                    o.dir.kind.spelling()
+                ),
+            )),
+        }
+    }
+
+    /// Does this statement tree contain a break/continue that binds to the
+    /// *current* loop level (i.e. not inside a nested loop)?
+    fn has_loop_escape(s: &Stmt) -> bool {
+        match s {
+            Stmt::Break | Stmt::Continue => true,
+            Stmt::For { .. } | Stmt::While { .. } | Stmt::DoWhile { .. } => false,
+            other => {
+                let mut found = false;
+                minic::interp::visit_child_stmts(other, &mut |c| {
+                    if Self::has_loop_escape(c) {
+                        found = true;
+                    }
+                });
+                found
+            }
+        }
+    }
+
+    /// Lower a while/for loop:
+    /// ```text
+    /// loop {
+    ///     if (!cond) break;
+    ///     loop { body…; break; }      // wrapper, only if body has break/continue
+    ///     if (brkflag) break;
+    ///     step;
+    /// }
+    /// ```
+    fn lower_loop(
+        &mut self,
+        _init: Option<()>,
+        cond: Option<&Expr>,
+        step: Option<&Expr>,
+        body: &Stmt,
+    ) -> CResult<()> {
+        let needs_wrapper = Self::has_loop_escape(body);
+        let brkflag = if needs_wrapper {
+            let r = self.b.mov(op::i(0));
+            Some(r)
+        } else {
+            None
+        };
+        self.b.begin_loop();
+        if let Some(c) = cond {
+            let cv = self.cond_value(c)?;
+            let ncv = self.b.un(ScalarTy::I32, IrUn::Not, cv);
+            self.b.begin_if();
+            self.b.brk();
+            self.b.end_if(op::r(ncv));
+        }
+        if needs_wrapper {
+            self.b.begin_loop();
+            self.loops.push(LoopCtx { brkflag, in_wrapper: true });
+            self.stmt(body)?;
+            self.loops.pop();
+            self.b.brk();
+            self.b.end_loop();
+            // Escape the outer loop if the body requested a real break.
+            let flag = brkflag.unwrap();
+            self.b.begin_if();
+            self.b.brk();
+            self.b.end_if(op::r(flag));
+        } else {
+            self.loops.push(LoopCtx { brkflag: None, in_wrapper: false });
+            self.stmt(body)?;
+            self.loops.pop();
+        }
+        if let Some(st) = step {
+            self.expr(st)?;
+        }
+        self.b.end_loop();
+        Ok(())
+    }
+
+    fn lower_do_while(&mut self, body: &Stmt, cond: &Expr) -> CResult<()> {
+        let needs_wrapper = Self::has_loop_escape(body);
+        let brkflag = if needs_wrapper { Some(self.b.mov(op::i(0))) } else { None };
+        self.b.begin_loop();
+        if needs_wrapper {
+            self.b.begin_loop();
+            self.loops.push(LoopCtx { brkflag, in_wrapper: true });
+            self.stmt(body)?;
+            self.loops.pop();
+            self.b.brk();
+            self.b.end_loop();
+            let flag = brkflag.unwrap();
+            self.b.begin_if();
+            self.b.brk();
+            self.b.end_if(op::r(flag));
+        } else {
+            self.loops.push(LoopCtx { brkflag: None, in_wrapper: false });
+            self.stmt(body)?;
+            self.loops.pop();
+        }
+        let cv = self.cond_value(cond)?;
+        let ncv = self.b.un(ScalarTy::I32, IrUn::Not, cv);
+        self.b.begin_if();
+        self.b.brk();
+        self.b.end_if(op::r(ncv));
+        self.b.end_loop();
+        Ok(())
+    }
+
+    // ----------------------------------------------------------- lvalues
+
+    /// An lvalue on the device: address operand + the value's memory type +
+    /// logical type.
+    fn lvalue(&mut self, e: &Expr) -> CResult<(Operand, i64, Ty)> {
+        match &e.kind {
+            ExprKind::Ident(name, resolved) => match resolved {
+                Resolved::Local(slot) => {
+                    let ty = self.f.frame.slots[*slot as usize].ty.clone();
+                    match self.storage[*slot as usize] {
+                        Storage::Local(off) => Ok((Operand::LocalBase, off as i64, ty)),
+                        Storage::Shared(off) => Ok((Operand::SharedBase, off as i64, ty)),
+                        Storage::Reg(..) => Err(self.err(
+                            e.pos,
+                            format!("internal: `{name}` lives in a register but was used as memory"),
+                        )),
+                    }
+                }
+                _ => Err(self.err(e.pos, format!("`{name}` is not a device lvalue"))),
+            },
+            ExprKind::Unary { op: UnOp::Deref, expr } => {
+                let (p, _) = self.expr(expr)?;
+                let ty = match expr.ty.decayed() {
+                    Ty::Ptr(inner) => *inner,
+                    other => return Err(self.err(e.pos, format!("deref of non-pointer {other}"))),
+                };
+                Ok((p, 0, ty))
+            }
+            ExprKind::Index { base, index } => {
+                let (bv, _) = self.expr(base)?;
+                let elem = match base.ty.decayed() {
+                    Ty::Ptr(inner) => *inner,
+                    other => return Err(self.err(e.pos, format!("index of non-pointer {other}"))),
+                };
+                let (iv, it) = self.expr(index)?;
+                let iv64 = self.coerce(iv, it, ScalarTy::I64);
+                let stride = self.sizeof_value(&elem, e.pos)?;
+                let scaled = self.b.bin(ScalarTy::I64, IrBin::Mul, iv64, stride);
+                let addr = self.b.bin(ScalarTy::I64, IrBin::Add, bv, op::r(scaled));
+                Ok((op::r(addr), 0, elem))
+            }
+            ExprKind::Cast { expr, .. } => self.lvalue(expr),
+            _ => Err(self.err(e.pos, "expression is not a device lvalue")),
+        }
+    }
+
+    /// Size of a type as an operand (compile-time constant, or computed
+    /// from VLA extents at run time).
+    fn sizeof_value(&mut self, ty: &Ty, pos: Pos) -> CResult<Operand> {
+        if let Some(n) = ty.size() {
+            return Ok(op::i(n as i64));
+        }
+        match ty {
+            Ty::Array(elem, len) => {
+                let n = match len {
+                    ArrayLen::Expr(e) => {
+                        let (v, vt) = self.expr(e)?;
+                        self.coerce(v, vt, ScalarTy::I64)
+                    }
+                    ArrayLen::Const(n) => op::i(*n as i64),
+                    ArrayLen::Unspec => {
+                        return Err(self.err(pos, "sizeof of unsized array"))
+                    }
+                };
+                let inner = self.sizeof_value(elem, pos)?;
+                let r = self.b.bin(ScalarTy::I64, IrBin::Mul, n, inner);
+                Ok(op::r(r))
+            }
+            other => Err(self.err(pos, format!("cannot size type {other}"))),
+        }
+    }
+
+    // -------------------------------------------------------- expressions
+
+    /// Evaluate an expression to an operand + its IR type.
+    fn expr(&mut self, e: &Expr) -> CResult<(Operand, ScalarTy)> {
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok((op::i(*v), ScalarTy::I32)),
+            ExprKind::FloatLit(v, is32) => {
+                Ok((op::f(*v), if *is32 { ScalarTy::F32 } else { ScalarTy::F64 }))
+            }
+            ExprKind::StrLit(_) => Err(self.err(
+                e.pos,
+                "string literals on the device are only supported as printf formats",
+            )),
+            ExprKind::Ident(name, resolved) => match resolved {
+                Resolved::Local(slot) => {
+                    let ty = self.f.frame.slots[*slot as usize].ty.clone();
+                    match self.storage[*slot as usize] {
+                        Storage::Reg(r, sty) => Ok((op::r(r), sty)),
+                        Storage::Local(off) => {
+                            if ty.is_array() {
+                                // Array decays to its local address.
+                                let a = self.b.bin(
+                                    ScalarTy::I64,
+                                    IrBin::Add,
+                                    Operand::LocalBase,
+                                    op::i(off as i64),
+                                );
+                                Ok((op::r(a), ScalarTy::I64))
+                            } else {
+                                self.load_place(Operand::LocalBase, off as i64, &ty, e.pos)
+                            }
+                        }
+                        Storage::Shared(off) => {
+                            if ty.is_array() {
+                                let a = self.b.bin(
+                                    ScalarTy::I64,
+                                    IrBin::Add,
+                                    Operand::SharedBase,
+                                    op::i(off as i64),
+                                );
+                                Ok((op::r(a), ScalarTy::I64))
+                            } else {
+                                self.load_place(Operand::SharedBase, off as i64, &ty, e.pos)
+                            }
+                        }
+                    }
+                }
+                Resolved::Func => {
+                    // Function designator: its module-local index (used for
+                    // cudadev_register_parallel).
+                    let idx = self
+                        .fn_indices
+                        .get(name)
+                        .ok_or_else(|| self.err(e.pos, format!("unknown function `{name}`")))?;
+                    Ok((op::i(*idx as i64), ScalarTy::I64))
+                }
+                Resolved::CudaBuiltin(_) => Err(self.err(
+                    e.pos,
+                    format!("`{name}` must be used with a .x/.y/.z member access"),
+                )),
+                Resolved::Global(_) => Err(self.err(
+                    e.pos,
+                    format!("device global `{name}` is not supported — pass it as a parameter"),
+                )),
+                Resolved::Unresolved => {
+                    Err(self.err(e.pos, format!("unresolved identifier `{name}`")))
+                }
+            },
+            ExprKind::Member { base, field } => {
+                // threadIdx.x / blockIdx.y / blockDim.z / gridDim.x …
+                if let ExprKind::Ident(_, Resolved::CudaBuiltin(var)) = &base.kind {
+                    use sptx::SpecialReg::*;
+                    let sp = match (var, field.as_str()) {
+                        (CudaVar::ThreadIdx, "x") => TidX,
+                        (CudaVar::ThreadIdx, "y") => TidY,
+                        (CudaVar::ThreadIdx, "z") => TidZ,
+                        (CudaVar::BlockIdx, "x") => CtaidX,
+                        (CudaVar::BlockIdx, "y") => CtaidY,
+                        (CudaVar::BlockIdx, "z") => CtaidZ,
+                        (CudaVar::BlockDim, "x") => NtidX,
+                        (CudaVar::BlockDim, "y") => NtidY,
+                        (CudaVar::BlockDim, "z") => NtidZ,
+                        (CudaVar::GridDim, "x") => NctaidX,
+                        (CudaVar::GridDim, "y") => NctaidY,
+                        (CudaVar::GridDim, "z") => NctaidZ,
+                        _ => return Err(self.err(e.pos, format!("unknown builtin member .{field}"))),
+                    };
+                    return Ok((op::sp(sp), ScalarTy::I32));
+                }
+                Err(self.err(e.pos, "member access is only supported on CUDA builtins in kernels"))
+            }
+            ExprKind::Index { .. } => {
+                let (addr, off, ty) = self.lvalue(e)?;
+                if ty.is_array() {
+                    // Partial indexing of a multi-dim array → address.
+                    let a = self.addr_plus(addr, off);
+                    Ok((a, ScalarTy::I64))
+                } else {
+                    self.load_place(addr, off, &ty, e.pos)
+                }
+            }
+            ExprKind::Unary { op: uop, expr } => match uop {
+                UnOp::Addr => {
+                    let (addr, off, _) = self.lvalue(expr)?;
+                    Ok((self.addr_plus(addr, off), ScalarTy::I64))
+                }
+                UnOp::Deref => {
+                    let (addr, off, ty) = self.lvalue(e)?;
+                    let _ = &addr;
+                    if ty.is_array() {
+                        let a = self.addr_plus(addr, off);
+                        Ok((a, ScalarTy::I64))
+                    } else {
+                        self.load_place(addr, off, &ty, e.pos)
+                    }
+                }
+                UnOp::Neg => {
+                    let (v, vt) = self.expr(expr)?;
+                    let r = self.b.un(vt, IrUn::Neg, v);
+                    Ok((op::r(r), vt))
+                }
+                UnOp::Not => {
+                    let (v, vt) = self.expr(expr)?;
+                    let r = self.b.un(vt, IrUn::Not, v);
+                    Ok((op::r(r), ScalarTy::I32))
+                }
+                UnOp::BitNot => {
+                    let (v, vt) = self.expr(expr)?;
+                    let r = self.b.un(vt, IrUn::BitNot, v);
+                    Ok((op::r(r), vt))
+                }
+            },
+            ExprKind::Binary { op: bop, lhs, rhs } => self.binary(e, *bop, lhs, rhs),
+            ExprKind::Assign { op: aop, lhs, rhs } => self.assign(e, *aop, lhs, rhs),
+            ExprKind::IncDec { pre, inc, expr } => {
+                let one = op::i(1);
+                let (cur, curty, place) = self.read_modifiable(expr)?;
+                let stride = self.assign_stride(expr)?;
+                let delta = match stride {
+                    Some(s) => s,
+                    None => one,
+                };
+                let newv = self.b.bin(
+                    curty,
+                    if *inc { IrBin::Add } else { IrBin::Sub },
+                    cur,
+                    delta,
+                );
+                self.write_back(&place, op::r(newv), curty, expr)?;
+                Ok((if *pre { op::r(newv) } else { cur }, curty))
+            }
+            ExprKind::Ternary { cond, then_e, else_e } => {
+                let c = self.cond_value(cond)?;
+                // Result register typed by the merged type.
+                let tt = scalar_ty(&e.ty).map_err(|mut er| {
+                    er.pos = e.pos;
+                    er
+                })?;
+                let dst = self.b.alloc();
+                self.b.begin_if();
+                let (tv, tvt) = self.expr(then_e)?;
+                let tv = self.coerce(tv, tvt, tt);
+                self.b.mov_to(dst, tv);
+                self.b.begin_else();
+                let (ev, evt) = self.expr(else_e)?;
+                let ev = self.coerce(ev, evt, tt);
+                self.b.mov_to(dst, ev);
+                self.b.end_if_else(c);
+                Ok((op::r(dst), tt))
+            }
+            ExprKind::Cast { ty, expr } => {
+                let (v, vt) = self.expr(expr)?;
+                let want = scalar_ty(ty).map_err(|mut er| {
+                    er.pos = e.pos;
+                    er
+                })?;
+                Ok((self.coerce(v, vt, want), want))
+            }
+            ExprKind::SizeofTy(ty) => {
+                let v = self.sizeof_value(ty, e.pos)?;
+                Ok((v, ScalarTy::I64))
+            }
+            ExprKind::SizeofExpr(inner) => {
+                let v = self.sizeof_value(&inner.ty, e.pos)?;
+                Ok((v, ScalarTy::I64))
+            }
+            ExprKind::Comma(a, bx) => {
+                self.expr(a)?;
+                self.expr(bx)
+            }
+            ExprKind::Call { callee, args } => self.call(e, callee, args),
+            ExprKind::KernelLaunch { .. } => {
+                Err(self.err(e.pos, "kernel launches are host-side constructs"))
+            }
+            ExprKind::Dim3 { .. } => Err(self.err(e.pos, "dim3 is a host-side type")),
+        }
+    }
+
+    fn addr_plus(&mut self, base: Operand, off: i64) -> Operand {
+        if off == 0 {
+            base
+        } else {
+            op::r(self.b.bin(ScalarTy::I64, IrBin::Add, base, op::i(off)))
+        }
+    }
+
+    fn load_place(
+        &mut self,
+        addr: Operand,
+        off: i64,
+        ty: &Ty,
+        pos: Pos,
+    ) -> CResult<(Operand, ScalarTy)> {
+        let mt = mem_ty(ty).map_err(|mut er| {
+            er.pos = pos;
+            er
+        })?;
+        let r = self.b.ld(mt, addr, off);
+        if *ty == Ty::Char {
+            // Sign-extend.
+            let s = self.b.cvt(CvtTy::I32, CvtTy::S8, op::r(r));
+            return Ok((op::r(s), ScalarTy::I32));
+        }
+        Ok((op::r(r), scalar_ty(ty).map_err(|mut er| {
+            er.pos = pos;
+            er
+        })?))
+    }
+
+    /// Convert an operand between IR types.
+    ///
+    /// `ImmF` operands always carry an f64 payload; when one flows into an
+    /// f32 *value* context (call argument, store, register move) it must be
+    /// materialized as genuine f32 bits, so we route it through a `cvt`.
+    /// ALU instructions interpret `ImmF` natively and keep the fast path.
+    fn coerce(&mut self, v: Operand, from: ScalarTy, to: ScalarTy) -> Operand {
+        if let Operand::ImmF(x) = v {
+            return match to {
+                ScalarTy::F32 => op::r(self.b.cvt(CvtTy::F32, CvtTy::F64, v)),
+                ScalarTy::F64 => v,
+                ScalarTy::I32 | ScalarTy::I64 => op::i(x as i64),
+            };
+        }
+        if from == to {
+            return v;
+        }
+        // Integer immediates convert for free.
+        if let Operand::ImmI(i) = v {
+            return match to {
+                ScalarTy::I32 | ScalarTy::I64 => v,
+                ScalarTy::F32 | ScalarTy::F64 => {
+                    op::r(self.b.cvt(cvt_ty(to), CvtTy::F64, op::f(i as f64)))
+                }
+            };
+        }
+        op::r(self.b.cvt(cvt_ty(to), cvt_ty(from), v))
+    }
+
+    /// Evaluate a condition to an i32 0/1 register operand.
+    fn cond_value(&mut self, e: &Expr) -> CResult<Operand> {
+        let (v, vt) = self.expr(e)?;
+        // Comparisons already produce 0/1.
+        if let ExprKind::Binary { op: bop, .. } = &e.kind {
+            if bop.is_comparison() || bop.is_logical() {
+                return Ok(v);
+            }
+        }
+        // Normalize: v != 0 in its own type.
+        let zero = if vt.is_float() { op::f(0.0) } else { op::i(0) };
+        let r = self.b.bin(vt, IrBin::SetNe, v, zero);
+        Ok(op::r(r))
+    }
+
+    fn binary(&mut self, e: &Expr, bop: BinOp, lhs: &Expr, rhs: &Expr) -> CResult<(Operand, ScalarTy)> {
+        // Short-circuit logicals.
+        if bop == BinOp::LogAnd || bop == BinOp::LogOr {
+            let dst = self.b.alloc();
+            let lc = self.cond_value(lhs)?;
+            if bop == BinOp::LogAnd {
+                self.b.begin_if();
+                let rc = self.cond_value(rhs)?;
+                self.b.mov_to(dst, rc);
+                self.b.begin_else();
+                self.b.mov_to(dst, op::i(0));
+                self.b.end_if_else(lc);
+            } else {
+                self.b.begin_if();
+                self.b.mov_to(dst, op::i(1));
+                self.b.begin_else();
+                let rc = self.cond_value(rhs)?;
+                self.b.mov_to(dst, rc);
+                self.b.end_if_else(lc);
+            }
+            return Ok((op::r(dst), ScalarTy::I32));
+        }
+
+        let lt_c = lhs.ty.decayed();
+        let rt_c = rhs.ty.decayed();
+        // Pointer arithmetic.
+        if lt_c.is_ptr() && rt_c.is_integer() && matches!(bop, BinOp::Add | BinOp::Sub) {
+            let (pv, _) = self.expr(lhs)?;
+            let (iv, it) = self.expr(rhs)?;
+            let iv = self.coerce(iv, it, ScalarTy::I64);
+            let pointee = lt_c.pointee().cloned().unwrap_or(Ty::Char);
+            let stride = self.sizeof_value(&pointee, e.pos)?;
+            let scaled = self.b.bin(ScalarTy::I64, IrBin::Mul, iv, stride);
+            let r = self.b.bin(
+                ScalarTy::I64,
+                if bop == BinOp::Add { IrBin::Add } else { IrBin::Sub },
+                pv,
+                op::r(scaled),
+            );
+            return Ok((op::r(r), ScalarTy::I64));
+        }
+        if rt_c.is_ptr() && lt_c.is_integer() && bop == BinOp::Add {
+            let (iv, it) = self.expr(lhs)?;
+            let (pv, _) = self.expr(rhs)?;
+            let iv = self.coerce(iv, it, ScalarTy::I64);
+            let pointee = rt_c.pointee().cloned().unwrap_or(Ty::Char);
+            let stride = self.sizeof_value(&pointee, e.pos)?;
+            let scaled = self.b.bin(ScalarTy::I64, IrBin::Mul, iv, stride);
+            let r = self.b.bin(ScalarTy::I64, IrBin::Add, pv, op::r(scaled));
+            return Ok((op::r(r), ScalarTy::I64));
+        }
+        if lt_c.is_ptr() && rt_c.is_ptr() && bop == BinOp::Sub {
+            let (pa, _) = self.expr(lhs)?;
+            let (pb, _) = self.expr(rhs)?;
+            let diff = self.b.bin(ScalarTy::I64, IrBin::Sub, pa, pb);
+            let pointee = lt_c.pointee().cloned().unwrap_or(Ty::Char);
+            let stride = self.sizeof_value(&pointee, e.pos)?;
+            let r = self.b.bin(ScalarTy::I64, IrBin::Div, op::r(diff), stride);
+            return Ok((op::r(r), ScalarTy::I64));
+        }
+
+        let (lv, lt) = self.expr(lhs)?;
+        let (rv, rt) = self.expr(rhs)?;
+        let common = promote(lt, rt);
+        let lv = self.coerce(lv, lt, common);
+        let rv = self.coerce(rv, rt, common);
+        let ir = match bop {
+            BinOp::Add => IrBin::Add,
+            BinOp::Sub => IrBin::Sub,
+            BinOp::Mul => IrBin::Mul,
+            BinOp::Div => IrBin::Div,
+            BinOp::Rem => IrBin::Rem,
+            BinOp::Shl => IrBin::Shl,
+            BinOp::Shr => IrBin::Shr,
+            BinOp::BitAnd => IrBin::And,
+            BinOp::BitOr => IrBin::Or,
+            BinOp::BitXor => IrBin::Xor,
+            BinOp::Lt => IrBin::SetLt,
+            BinOp::Gt => IrBin::SetGt,
+            BinOp::Le => IrBin::SetLe,
+            BinOp::Ge => IrBin::SetGe,
+            BinOp::Eq => IrBin::SetEq,
+            BinOp::Ne => IrBin::SetNe,
+            BinOp::LogAnd | BinOp::LogOr => unreachable!(),
+        };
+        let dst = self.b.bin(common, ir, lv, rv);
+        let out_ty = if bop.is_comparison() { ScalarTy::I32 } else { common };
+        Ok((op::r(dst), out_ty))
+    }
+
+    /// A modifiable place: register slot or memory location.
+    fn read_modifiable(&mut self, e: &Expr) -> CResult<(Operand, ScalarTy, Place)> {
+        if let ExprKind::Ident(_, Resolved::Local(slot)) = &e.kind {
+            if let Storage::Reg(r, sty) = self.storage[*slot as usize] {
+                return Ok((op::r(r), sty, Place::Reg(r)));
+            }
+        }
+        let (addr, off, ty) = self.lvalue(e)?;
+        let (v, vt) = self.load_place(addr, off, &ty, e.pos)?;
+        Ok((v, vt, Place::Mem { addr, off, ty }))
+    }
+
+    fn write_back(&mut self, place: &Place, v: Operand, vt: ScalarTy, at: &Expr) -> CResult<()> {
+        match place {
+            Place::Reg(r) => {
+                self.b.mov_to(*r, v);
+                Ok(())
+            }
+            Place::Mem { addr, off, ty } => {
+                let want = scalar_ty(ty).map_err(|mut er| {
+                    er.pos = at.pos;
+                    er
+                })?;
+                let v = self.coerce(v, vt, want);
+                let mt = mem_ty(ty).map_err(|mut er| {
+                    er.pos = at.pos;
+                    er
+                })?;
+                self.b.st(mt, v, *addr, *off);
+                Ok(())
+            }
+        }
+    }
+
+    /// If `e` is pointer-typed, the byte stride for ++/--; else None.
+    fn assign_stride(&mut self, e: &Expr) -> CResult<Option<Operand>> {
+        match e.ty.decayed() {
+            Ty::Ptr(inner) => Ok(Some(self.sizeof_value(&inner, e.pos)?)),
+            _ => Ok(None),
+        }
+    }
+
+    fn assign(
+        &mut self,
+        e: &Expr,
+        aop: Option<BinOp>,
+        lhs: &Expr,
+        rhs: &Expr,
+    ) -> CResult<(Operand, ScalarTy)> {
+        // Simple register-destination fast path.
+        if let ExprKind::Ident(_, Resolved::Local(slot)) = &lhs.kind {
+            if let Storage::Reg(r, sty) = self.storage[*slot as usize] {
+                let v = match aop {
+                    None => {
+                        let (rv, rt) = self.expr(rhs)?;
+                        self.coerce(rv, rt, sty)
+                    }
+                    Some(bop) => {
+                        let syn = Expr {
+                            kind: ExprKind::Binary {
+                                op: bop,
+                                lhs: Box::new(lhs.clone()),
+                                rhs: Box::new(rhs.clone()),
+                            },
+                            ty: lhs.ty.clone(),
+                            pos: e.pos,
+                        };
+                        let (v, vt) = self.expr(&syn)?;
+                        self.coerce(v, vt, sty)
+                    }
+                };
+                self.b.mov_to(r, v);
+                return Ok((op::r(r), sty));
+            }
+        }
+        // Memory destination.
+        let (addr, off, ty) = self.lvalue(lhs)?;
+        let want = scalar_ty(&ty).map_err(|mut er| {
+            er.pos = e.pos;
+            er
+        })?;
+        let v = match aop {
+            None => {
+                let (rv, rt) = self.expr(rhs)?;
+                self.coerce(rv, rt, want)
+            }
+            Some(bop) => {
+                let (cur, curt) = self.load_place(addr, off, &ty, e.pos)?;
+                let (rv, rt) = self.expr(rhs)?;
+                let common = promote(curt, rt);
+                let a = self.coerce(cur, curt, common);
+                let bnd = self.coerce(rv, rt, common);
+                let ir = match bop {
+                    BinOp::Add => IrBin::Add,
+                    BinOp::Sub => IrBin::Sub,
+                    BinOp::Mul => IrBin::Mul,
+                    BinOp::Div => IrBin::Div,
+                    BinOp::Rem => IrBin::Rem,
+                    BinOp::Shl => IrBin::Shl,
+                    BinOp::Shr => IrBin::Shr,
+                    BinOp::BitAnd => IrBin::And,
+                    BinOp::BitOr => IrBin::Or,
+                    BinOp::BitXor => IrBin::Xor,
+                    other => return Err(self.err(e.pos, format!("bad compound op {other:?}"))),
+                };
+                let r = self.b.bin(common, ir, a, bnd);
+                self.coerce(op::r(r), common, want)
+            }
+        };
+        let mt = mem_ty(&ty).map_err(|mut er| {
+            er.pos = e.pos;
+            er
+        })?;
+        self.b.st(mt, v, addr, off);
+        Ok((v, want))
+    }
+
+    fn call(&mut self, e: &Expr, callee: &str, args: &[Expr]) -> CResult<(Operand, ScalarTy)> {
+        // Math builtins map to ALU instructions.
+        if let Some((un, sty)) = match callee {
+            "sqrtf" => Some((IrUn::Sqrt, ScalarTy::F32)),
+            "sqrt" => Some((IrUn::Sqrt, ScalarTy::F64)),
+            "fabsf" => Some((IrUn::Abs, ScalarTy::F32)),
+            "fabs" => Some((IrUn::Abs, ScalarTy::F64)),
+            "floorf" => Some((IrUn::Floor, ScalarTy::F32)),
+            "floor" => Some((IrUn::Floor, ScalarTy::F64)),
+            "ceilf" => Some((IrUn::Ceil, ScalarTy::F32)),
+            "ceil" => Some((IrUn::Ceil, ScalarTy::F64)),
+            "expf" => Some((IrUn::Exp, ScalarTy::F32)),
+            "exp" => Some((IrUn::Exp, ScalarTy::F64)),
+            "logf" => Some((IrUn::Log, ScalarTy::F32)),
+            "log" => Some((IrUn::Log, ScalarTy::F64)),
+            "sinf" | "sin" => Some((IrUn::Sin, ScalarTy::F32)),
+            "cosf" | "cos" => Some((IrUn::Cos, ScalarTy::F32)),
+            "abs" => Some((IrUn::Abs, ScalarTy::I32)),
+            _ => None,
+        } {
+            let (v, vt) = self.expr(&args[0])?;
+            let v = self.coerce(v, vt, sty);
+            let r = self.b.un(sty, un, v);
+            return Ok((op::r(r), sty));
+        }
+        if let Some((bin, sty)) = match callee {
+            "fmaxf" => Some((IrBin::Max, ScalarTy::F32)),
+            "fminf" => Some((IrBin::Min, ScalarTy::F32)),
+            "fmax" => Some((IrBin::Max, ScalarTy::F64)),
+            "fmin" => Some((IrBin::Min, ScalarTy::F64)),
+            "max" => Some((IrBin::Max, ScalarTy::I32)),
+            "min" => Some((IrBin::Min, ScalarTy::I32)),
+            _ => None,
+        } {
+            let (a, at) = self.expr(&args[0])?;
+            let (bv, bt) = self.expr(&args[1])?;
+            let a = self.coerce(a, at, sty);
+            let bv = self.coerce(bv, bt, sty);
+            let r = self.b.bin(sty, bin, a, bv);
+            return Ok((op::r(r), sty));
+        }
+
+        match callee {
+            "__syncthreads" => {
+                self.b.emit(Inst::BarSync { id: op::i(0), count: None });
+                Ok((op::i(0), ScalarTy::I32))
+            }
+            "atomicAdd" => {
+                let (p, _) = self.expr(&args[0])?;
+                let pointee = args[0].ty.decayed().pointee().cloned().unwrap_or(Ty::Float);
+                let (v, vt) = self.expr(&args[1])?;
+                let (aop, sty) = match pointee {
+                    Ty::Float => (sptx::AtomOp::AddF32, ScalarTy::F32),
+                    Ty::Double => (sptx::AtomOp::AddF64, ScalarTy::F64),
+                    Ty::Long => (sptx::AtomOp::AddI64, ScalarTy::I64),
+                    _ => (sptx::AtomOp::AddI32, ScalarTy::I32),
+                };
+                let v = self.coerce(v, vt, sty);
+                let dst = self.b.alloc();
+                self.b.emit(Inst::Atom { op: aop, dst, addr: p, val: v });
+                Ok((op::r(dst), sty))
+            }
+            "atomicCAS" => {
+                let (p, _) = self.expr(&args[0])?;
+                let (exp, et) = self.expr(&args[1])?;
+                let (new, nt) = self.expr(&args[2])?;
+                let exp = self.coerce(exp, et, ScalarTy::I32);
+                let new = self.coerce(new, nt, ScalarTy::I32);
+                let dst = self.b.alloc();
+                self.b.emit(Inst::AtomCas { dst, addr: p, expected: exp, new });
+                Ok((op::r(dst), ScalarTy::I32))
+            }
+            "atomicExch" => {
+                let (p, _) = self.expr(&args[0])?;
+                let (v, vt) = self.expr(&args[1])?;
+                let v = self.coerce(v, vt, ScalarTy::I32);
+                let dst = self.b.alloc();
+                self.b.emit(Inst::Atom { op: sptx::AtomOp::ExchB32, dst, addr: p, val: v });
+                Ok((op::r(dst), ScalarTy::I32))
+            }
+            "printf" => {
+                let fmt = match args.first().map(|a| &a.kind) {
+                    Some(ExprKind::StrLit(s)) => s.clone(),
+                    _ => {
+                        return Err(self.err(
+                            e.pos,
+                            "device printf requires a string-literal format",
+                        ))
+                    }
+                };
+                let mut ops = Vec::new();
+                for a in &args[1..] {
+                    let (v, vt) = self.expr(a)?;
+                    // C varargs promotion: f32 → f64, i32 → i64.
+                    let v = match vt {
+                        ScalarTy::F32 => self.coerce(v, vt, ScalarTy::F64),
+                        ScalarTy::I32 => self.coerce(v, vt, ScalarTy::I64),
+                        _ => v,
+                    };
+                    ops.push(v);
+                }
+                let dst = self.b.intrinsic_s("printf", ops, vec![fmt], true).unwrap();
+                Ok((op::r(dst), ScalarTy::I32))
+            }
+            _ => {
+                // Defined device function?
+                if let Some(&idx) = self.fn_indices.get(callee) {
+                    let (param_tys, ret_sty) = self.fn_sigs[callee].clone();
+                    if args.len() != param_tys.len() {
+                        return Err(self.err(
+                            e.pos,
+                            format!(
+                                "call to `{callee}` with {} args (expects {})",
+                                args.len(),
+                                param_tys.len()
+                            ),
+                        ));
+                    }
+                    let mut ops = Vec::new();
+                    for (a, want) in args.iter().zip(&param_tys) {
+                        let (v, vt) = self.expr(a)?;
+                        ops.push(self.coerce(v, vt, *want));
+                    }
+                    let dst = self.b.call(idx, ops, true).unwrap();
+                    return Ok((op::r(dst), ret_sty));
+                }
+                // Device-library intrinsic (cudadev_*, omp_*, …).
+                let mut ops = Vec::new();
+                for a in args {
+                    let (v, _) = self.expr(a)?;
+                    ops.push(v);
+                }
+                let dst = self.b.intrinsic(callee, ops, true).unwrap();
+                // omp_* queries return i32; pointer-returning cudadev calls
+                // are consumed through casts, so i64 bits flow through fine.
+                let sty = if callee.ends_with("shmem") || callee.ends_with("getaddr") {
+                    ScalarTy::I64
+                } else {
+                    ScalarTy::I32
+                };
+                Ok((op::r(dst), sty))
+            }
+        }
+    }
+
+}
+
+enum Place {
+    Reg(Reg),
+    Mem { addr: Operand, off: i64, ty: Ty },
+}
+
+/// IR-level usual arithmetic conversions.
+fn promote(a: ScalarTy, b: ScalarTy) -> ScalarTy {
+    use ScalarTy::*;
+    match (a, b) {
+        (F64, _) | (_, F64) => F64,
+        (F32, _) | (_, F32) => F32,
+        (I64, _) | (_, I64) => I64,
+        _ => I32,
+    }
+}

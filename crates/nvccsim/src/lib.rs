@@ -1,0 +1,12 @@
+//! `nvccsim` — the reproduction's stand-in for the NVIDIA CUDA compiler.
+//!
+//! Takes the pure CUDA C kernel files that the OMPi translator emits
+//! (§3.3 of the paper) and lowers them to SPTX, producing either `.sptx`
+//! text (PTX mode, JIT-finished at first launch) or `.cubin` binaries
+//! (cubin mode, OMPi's default).
+
+pub mod codegen;
+pub mod driver;
+
+pub use codegen::{compile_program, CompileError};
+pub use driver::{compile_source, link_module, BinMode, Nvcc, NvccError, CORE_INTRINSICS};

@@ -1,0 +1,280 @@
+//! Ergonomic construction of SPTX functions (used by the `nvccsim`
+//! compiler backend and by tests).
+
+use crate::ir::*;
+
+/// Builds one [`Function`], managing register allocation and nested
+/// control-flow scopes.
+pub struct FnBuilder {
+    name: String,
+    is_kernel: bool,
+    params: Vec<ParamDecl>,
+    num_regs: u32,
+    local_size: u64,
+    shared_size: u64,
+    /// Stack of open node lists; `scopes[0]` is the function body.
+    scopes: Vec<Vec<Node>>,
+}
+
+impl FnBuilder {
+    pub fn new(name: &str, is_kernel: bool) -> FnBuilder {
+        FnBuilder {
+            name: name.to_string(),
+            is_kernel,
+            params: Vec::new(),
+            num_regs: 0,
+            local_size: 0,
+            shared_size: 0,
+            scopes: vec![Vec::new()],
+        }
+    }
+
+    /// Declare a parameter; returns the register it is passed in
+    /// (parameters occupy the first registers).
+    pub fn param(&mut self, name: &str, ty: ScalarTy) -> Reg {
+        assert_eq!(
+            self.num_regs as usize,
+            self.params.len(),
+            "declare parameters before allocating registers"
+        );
+        self.params.push(ParamDecl { name: name.to_string(), ty });
+        self.alloc()
+    }
+
+    /// Allocate a fresh register.
+    pub fn alloc(&mut self) -> Reg {
+        let r = Reg(self.num_regs);
+        self.num_regs += 1;
+        r
+    }
+
+    /// Reserve `size` bytes of per-thread local memory aligned to `align`;
+    /// returns the byte offset within the local window.
+    pub fn alloc_local(&mut self, size: u64, align: u64) -> u64 {
+        let off = self.local_size.next_multiple_of(align.max(1));
+        self.local_size = off + size;
+        off
+    }
+
+    /// Reserve static shared memory; returns the byte offset.
+    pub fn alloc_shared(&mut self, size: u64, align: u64) -> u64 {
+        let off = self.shared_size.next_multiple_of(align.max(1));
+        self.shared_size = off + size;
+        off
+    }
+
+    pub fn emit(&mut self, i: Inst) {
+        self.scopes.last_mut().expect("open scope").push(Node::Inst(i));
+    }
+
+    // Convenience emitters -------------------------------------------------
+
+    pub fn bin(&mut self, ty: ScalarTy, op: BinOp, a: Operand, b: Operand) -> Reg {
+        let dst = self.alloc();
+        self.emit(Inst::Bin { ty, op, dst, a, b });
+        dst
+    }
+
+    pub fn un(&mut self, ty: ScalarTy, op: UnOp, a: Operand) -> Reg {
+        let dst = self.alloc();
+        self.emit(Inst::Un { ty, op, dst, a });
+        dst
+    }
+
+    pub fn mov(&mut self, src: Operand) -> Reg {
+        let dst = self.alloc();
+        self.emit(Inst::Mov { dst, src });
+        dst
+    }
+
+    pub fn mov_to(&mut self, dst: Reg, src: Operand) {
+        self.emit(Inst::Mov { dst, src });
+    }
+
+    pub fn cvt(&mut self, to: CvtTy, from: CvtTy, src: Operand) -> Reg {
+        let dst = self.alloc();
+        self.emit(Inst::Cvt { to, from, dst, src });
+        dst
+    }
+
+    pub fn ld(&mut self, ty: MemTy, addr: Operand, offset: i64) -> Reg {
+        let dst = self.alloc();
+        self.emit(Inst::Ld { ty, dst, addr, offset });
+        dst
+    }
+
+    pub fn st(&mut self, ty: MemTy, src: Operand, addr: Operand, offset: i64) {
+        self.emit(Inst::St { ty, src, addr, offset });
+    }
+
+    pub fn intrinsic(&mut self, name: &str, args: Vec<Operand>, want_ret: bool) -> Option<Reg> {
+        self.intrinsic_s(name, args, Vec::new(), want_ret)
+    }
+
+    /// Intrinsic with string immediates (e.g. a printf format).
+    pub fn intrinsic_s(
+        &mut self,
+        name: &str,
+        args: Vec<Operand>,
+        sargs: Vec<String>,
+        want_ret: bool,
+    ) -> Option<Reg> {
+        let dst = if want_ret { Some(self.alloc()) } else { None };
+        self.emit(Inst::Intrinsic { name: name.to_string(), dst, args, sargs });
+        dst
+    }
+
+    pub fn call(&mut self, func: u32, args: Vec<Operand>, want_ret: bool) -> Option<Reg> {
+        let dst = if want_ret { Some(self.alloc()) } else { None };
+        self.emit(Inst::Call { func, dst, args });
+        dst
+    }
+
+    pub fn ret(&mut self, val: Option<Operand>) {
+        self.emit(Inst::Ret { val });
+    }
+
+    // Structured control flow ----------------------------------------------
+
+    /// Open an `if`; call [`FnBuilder::begin_else`] and
+    /// [`FnBuilder::end_if`] to finish. The condition operand is captured
+    /// at `end_if`.
+    pub fn begin_if(&mut self) {
+        self.scopes.push(Vec::new());
+    }
+
+    /// Switch from the then-branch to the else-branch.
+    pub fn begin_else(&mut self) {
+        self.scopes.push(Vec::new());
+    }
+
+    /// Close an if with no else branch.
+    pub fn end_if(&mut self, cond: Operand) {
+        let then_b = self.scopes.pop().expect("if scope");
+        self.push_node(Node::If { cond, then_b, else_b: Vec::new() });
+    }
+
+    /// Close an if/else.
+    pub fn end_if_else(&mut self, cond: Operand) {
+        let else_b = self.scopes.pop().expect("else scope");
+        let then_b = self.scopes.pop().expect("then scope");
+        self.push_node(Node::If { cond, then_b, else_b });
+    }
+
+    pub fn begin_loop(&mut self) {
+        self.scopes.push(Vec::new());
+    }
+
+    pub fn end_loop(&mut self) {
+        let body = self.scopes.pop().expect("loop scope");
+        self.push_node(Node::Loop { body });
+    }
+
+    pub fn brk(&mut self) {
+        self.push_node(Node::Break);
+    }
+
+    pub fn cont(&mut self) {
+        self.push_node(Node::Continue);
+    }
+
+    fn push_node(&mut self, n: Node) {
+        self.scopes.last_mut().expect("open scope").push(n);
+    }
+
+    /// Finish the function.
+    pub fn build(mut self) -> Function {
+        assert_eq!(self.scopes.len(), 1, "unclosed control-flow scope");
+        let mut body = self.scopes.pop().unwrap();
+        // Guarantee a terminating ret.
+        if !matches!(body.last(), Some(Node::Inst(Inst::Ret { .. }))) {
+            body.push(Node::Inst(Inst::Ret { val: None }));
+        }
+        Function {
+            name: self.name,
+            is_kernel: self.is_kernel,
+            params: self.params,
+            num_regs: self.num_regs,
+            local_size: self.local_size,
+            shared_size: self.shared_size,
+            body,
+        }
+    }
+}
+
+/// Shorthand operand constructors.
+pub mod op {
+    use crate::ir::{Operand, Reg, SpecialReg};
+
+    pub fn r(reg: Reg) -> Operand {
+        Operand::Reg(reg)
+    }
+
+    pub fn i(v: i64) -> Operand {
+        Operand::ImmI(v)
+    }
+
+    pub fn f(v: f64) -> Operand {
+        Operand::ImmF(v)
+    }
+
+    pub fn sp(s: SpecialReg) -> Operand {
+        Operand::Special(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_kernel() {
+        let mut b = FnBuilder::new("k", true);
+        let p = b.param("a", ScalarTy::I64);
+        let tid = b.mov(Operand::Special(SpecialReg::TidX));
+        let off = b.bin(ScalarTy::I64, BinOp::Mul, Operand::Reg(tid), Operand::ImmI(4));
+        let addr = b.bin(ScalarTy::I64, BinOp::Add, Operand::Reg(p), Operand::Reg(off));
+        let v = b.ld(MemTy::F32, Operand::Reg(addr), 0);
+        let two = b.bin(ScalarTy::F32, BinOp::Mul, Operand::Reg(v), Operand::ImmF(2.0));
+        b.st(MemTy::F32, Operand::Reg(two), Operand::Reg(addr), 0);
+        let f = b.build();
+        assert!(f.is_kernel);
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.num_regs, 6);
+        // Auto-appended ret.
+        assert!(matches!(f.body.last(), Some(Node::Inst(Inst::Ret { val: None }))));
+    }
+
+    #[test]
+    fn nested_control_flow() {
+        let mut b = FnBuilder::new("f", false);
+        let c = b.param("c", ScalarTy::I32);
+        b.begin_loop();
+        b.begin_if();
+        b.brk();
+        b.end_if(Operand::Reg(c));
+        b.cont();
+        b.end_loop();
+        b.ret(None);
+        let f = b.build();
+        match &f.body[0] {
+            Node::Loop { body } => {
+                assert!(matches!(&body[0], Node::If { .. }));
+                assert!(matches!(&body[1], Node::Continue));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn local_and_shared_allocation_aligned() {
+        let mut b = FnBuilder::new("f", true);
+        assert_eq!(b.alloc_local(1, 1), 0);
+        assert_eq!(b.alloc_local(8, 8), 8);
+        assert_eq!(b.alloc_shared(4, 4), 0);
+        assert_eq!(b.alloc_shared(16, 16), 16);
+        let f = b.build();
+        assert_eq!(f.local_size, 16);
+        assert_eq!(f.shared_size, 32);
+    }
+}

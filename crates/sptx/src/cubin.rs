@@ -1,0 +1,653 @@
+//! The `.cubin` binary container — the reproduction's AOT kernel artifact.
+//!
+//! A small hand-rolled format: magic, version, architecture tag, link flag,
+//! then each function with its flattened node tree. A FNV-1a checksum guards
+//! against truncation/corruption. cubin mode "performs all the compilation
+//! steps and produces larger binaries" (§3.3) — here, the binary encodes the
+//! already-lowered IR so no JIT step is needed at load time.
+
+use crate::ir::*;
+use vmcommon::hash::fnv1a;
+
+const MAGIC: &[u8; 4] = b"SCBN";
+const VERSION: u32 = 1;
+
+/// Decode error.
+#[derive(Clone, Debug)]
+pub struct CubinError(pub String);
+
+impl std::fmt::Display for CubinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cubin error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CubinError {}
+
+// ----------------------------------------------------------------- writer
+
+struct W {
+    buf: Vec<u8>,
+}
+
+impl W {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Serialize a module.
+pub fn encode(m: &Module) -> Vec<u8> {
+    let mut w = W { buf: Vec::with_capacity(4096) };
+    w.buf.extend_from_slice(MAGIC);
+    w.u32(VERSION);
+    w.str(&m.name);
+    w.str(&m.arch);
+    w.u8(m.device_lib_linked as u8);
+    w.u32(m.functions.len() as u32);
+    for f in &m.functions {
+        w.str(&f.name);
+        w.u8(f.is_kernel as u8);
+        w.u32(f.params.len() as u32);
+        for p in &f.params {
+            w.str(&p.name);
+            w.u8(scalar_code(p.ty));
+        }
+        w.u32(f.num_regs);
+        w.u64(f.local_size);
+        w.u64(f.shared_size);
+        write_nodes(&mut w, &f.body);
+    }
+    let sum = fnv1a(&w.buf);
+    w.u64(sum);
+    w.buf
+}
+
+fn scalar_code(t: ScalarTy) -> u8 {
+    match t {
+        ScalarTy::I32 => 0,
+        ScalarTy::I64 => 1,
+        ScalarTy::F32 => 2,
+        ScalarTy::F64 => 3,
+    }
+}
+
+fn mem_code(t: MemTy) -> u8 {
+    match t {
+        MemTy::B8 => 0,
+        MemTy::B32 => 1,
+        MemTy::B64 => 2,
+        MemTy::F32 => 3,
+        MemTy::F64 => 4,
+    }
+}
+
+fn cvt_code(t: CvtTy) -> u8 {
+    match t {
+        CvtTy::S8 => 0,
+        CvtTy::I32 => 1,
+        CvtTy::I64 => 2,
+        CvtTy::F32 => 3,
+        CvtTy::F64 => 4,
+    }
+}
+
+fn write_operand(w: &mut W, o: &Operand) {
+    match o {
+        Operand::Reg(Reg(n)) => {
+            w.u8(0);
+            w.u32(*n);
+        }
+        Operand::ImmI(v) => {
+            w.u8(1);
+            w.i64(*v);
+        }
+        Operand::ImmF(v) => {
+            w.u8(2);
+            w.f64(*v);
+        }
+        Operand::Special(s) => {
+            w.u8(3);
+            w.u8(*s as u8);
+        }
+        Operand::LocalBase => w.u8(4),
+        Operand::SharedBase => w.u8(5),
+    }
+}
+
+fn write_opt_operand(w: &mut W, o: &Option<Operand>) {
+    match o {
+        None => w.u8(0),
+        Some(o) => {
+            w.u8(1);
+            write_operand(w, o);
+        }
+    }
+}
+
+fn write_nodes(w: &mut W, nodes: &[Node]) {
+    w.u32(nodes.len() as u32);
+    for n in nodes {
+        match n {
+            Node::Inst(i) => {
+                w.u8(0);
+                write_inst(w, i);
+            }
+            Node::If { cond, then_b, else_b } => {
+                w.u8(1);
+                write_operand(w, cond);
+                write_nodes(w, then_b);
+                write_nodes(w, else_b);
+            }
+            Node::Loop { body } => {
+                w.u8(2);
+                write_nodes(w, body);
+            }
+            Node::Break => w.u8(3),
+            Node::Continue => w.u8(4),
+        }
+    }
+}
+
+fn write_inst(w: &mut W, i: &Inst) {
+    match i {
+        Inst::Bin { ty, op, dst, a, b } => {
+            w.u8(0);
+            w.u8(scalar_code(*ty));
+            w.u8(*op as u8);
+            w.u32(dst.0);
+            write_operand(w, a);
+            write_operand(w, b);
+        }
+        Inst::Un { ty, op, dst, a } => {
+            w.u8(1);
+            w.u8(scalar_code(*ty));
+            w.u8(*op as u8);
+            w.u32(dst.0);
+            write_operand(w, a);
+        }
+        Inst::Mov { dst, src } => {
+            w.u8(2);
+            w.u32(dst.0);
+            write_operand(w, src);
+        }
+        Inst::Cvt { to, from, dst, src } => {
+            w.u8(3);
+            w.u8(cvt_code(*to));
+            w.u8(cvt_code(*from));
+            w.u32(dst.0);
+            write_operand(w, src);
+        }
+        Inst::Ld { ty, dst, addr, offset } => {
+            w.u8(4);
+            w.u8(mem_code(*ty));
+            w.u32(dst.0);
+            write_operand(w, addr);
+            w.i64(*offset);
+        }
+        Inst::St { ty, src, addr, offset } => {
+            w.u8(5);
+            w.u8(mem_code(*ty));
+            write_operand(w, src);
+            write_operand(w, addr);
+            w.i64(*offset);
+        }
+        Inst::AtomCas { dst, addr, expected, new } => {
+            w.u8(6);
+            w.u32(dst.0);
+            write_operand(w, addr);
+            write_operand(w, expected);
+            write_operand(w, new);
+        }
+        Inst::Atom { op, dst, addr, val } => {
+            w.u8(7);
+            w.u8(*op as u8);
+            w.u32(dst.0);
+            write_operand(w, addr);
+            write_operand(w, val);
+        }
+        Inst::BarSync { id, count } => {
+            w.u8(8);
+            write_operand(w, id);
+            write_opt_operand(w, count);
+        }
+        Inst::Call { func, dst, args } => {
+            w.u8(9);
+            w.u32(*func);
+            match dst {
+                None => w.u8(0),
+                Some(d) => {
+                    w.u8(1);
+                    w.u32(d.0);
+                }
+            }
+            w.u32(args.len() as u32);
+            for a in args {
+                write_operand(w, a);
+            }
+        }
+        Inst::Intrinsic { name, dst, args, sargs } => {
+            w.u8(10);
+            w.str(name);
+            w.u32(sargs.len() as u32);
+            for sa in sargs {
+                w.str(sa);
+            }
+            match dst {
+                None => w.u8(0),
+                Some(d) => {
+                    w.u8(1);
+                    w.u32(d.0);
+                }
+            }
+            w.u32(args.len() as u32);
+            for a in args {
+                write_operand(w, a);
+            }
+        }
+        Inst::Ret { val } => {
+            w.u8(11);
+            write_opt_operand(w, val);
+        }
+        Inst::Trap { msg } => {
+            w.u8(12);
+            w.str(msg);
+        }
+    }
+}
+
+// ----------------------------------------------------------------- reader
+
+struct R<'b> {
+    buf: &'b [u8],
+    i: usize,
+}
+
+impl<'b> R<'b> {
+    fn need(&self, n: usize) -> Result<(), CubinError> {
+        if self.i + n > self.buf.len() {
+            Err(CubinError("truncated cubin".into()))
+        } else {
+            Ok(())
+        }
+    }
+    fn u8(&mut self) -> Result<u8, CubinError> {
+        self.need(1)?;
+        let v = self.buf[self.i];
+        self.i += 1;
+        Ok(v)
+    }
+    fn u32(&mut self) -> Result<u32, CubinError> {
+        self.need(4)?;
+        let v = u32::from_le_bytes(self.buf[self.i..self.i + 4].try_into().unwrap());
+        self.i += 4;
+        Ok(v)
+    }
+    fn u64(&mut self) -> Result<u64, CubinError> {
+        self.need(8)?;
+        let v = u64::from_le_bytes(self.buf[self.i..self.i + 8].try_into().unwrap());
+        self.i += 8;
+        Ok(v)
+    }
+    fn i64(&mut self) -> Result<i64, CubinError> {
+        Ok(self.u64()? as i64)
+    }
+    fn f64(&mut self) -> Result<f64, CubinError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn str(&mut self) -> Result<String, CubinError> {
+        let n = self.u32()? as usize;
+        self.need(n)?;
+        let s = String::from_utf8_lossy(&self.buf[self.i..self.i + n]).into_owned();
+        self.i += n;
+        Ok(s)
+    }
+}
+
+fn scalar_from(code: u8) -> Result<ScalarTy, CubinError> {
+    Ok(match code {
+        0 => ScalarTy::I32,
+        1 => ScalarTy::I64,
+        2 => ScalarTy::F32,
+        3 => ScalarTy::F64,
+        _ => return Err(CubinError(format!("bad scalar code {code}"))),
+    })
+}
+
+fn mem_from(code: u8) -> Result<MemTy, CubinError> {
+    Ok(match code {
+        0 => MemTy::B8,
+        1 => MemTy::B32,
+        2 => MemTy::B64,
+        3 => MemTy::F32,
+        4 => MemTy::F64,
+        _ => return Err(CubinError(format!("bad mem code {code}"))),
+    })
+}
+
+fn cvt_from(code: u8) -> Result<CvtTy, CubinError> {
+    Ok(match code {
+        0 => CvtTy::S8,
+        1 => CvtTy::I32,
+        2 => CvtTy::I64,
+        3 => CvtTy::F32,
+        4 => CvtTy::F64,
+        _ => return Err(CubinError(format!("bad cvt code {code}"))),
+    })
+}
+
+const BINOPS: [BinOp; 18] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::Min,
+    BinOp::Max,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Shr,
+    BinOp::SetLt,
+    BinOp::SetLe,
+    BinOp::SetGt,
+    BinOp::SetGe,
+    BinOp::SetEq,
+    BinOp::SetNe,
+];
+
+const UNOPS: [UnOp; 11] = [
+    UnOp::Neg,
+    UnOp::Not,
+    UnOp::BitNot,
+    UnOp::Sqrt,
+    UnOp::Abs,
+    UnOp::Floor,
+    UnOp::Ceil,
+    UnOp::Exp,
+    UnOp::Log,
+    UnOp::Sin,
+    UnOp::Cos,
+];
+
+const ATOMOPS: [AtomOp; 8] = [
+    AtomOp::CasB32,
+    AtomOp::AddI32,
+    AtomOp::AddI64,
+    AtomOp::AddF32,
+    AtomOp::AddF64,
+    AtomOp::ExchB32,
+    AtomOp::MinI32,
+    AtomOp::MaxI32,
+];
+
+const SPECIALS: [SpecialReg; 14] = [
+    SpecialReg::TidX,
+    SpecialReg::TidY,
+    SpecialReg::TidZ,
+    SpecialReg::NtidX,
+    SpecialReg::NtidY,
+    SpecialReg::NtidZ,
+    SpecialReg::CtaidX,
+    SpecialReg::CtaidY,
+    SpecialReg::CtaidZ,
+    SpecialReg::NctaidX,
+    SpecialReg::NctaidY,
+    SpecialReg::NctaidZ,
+    SpecialReg::LaneId,
+    SpecialReg::WarpId,
+];
+
+fn read_operand(r: &mut R) -> Result<Operand, CubinError> {
+    Ok(match r.u8()? {
+        0 => Operand::Reg(Reg(r.u32()?)),
+        1 => Operand::ImmI(r.i64()?),
+        2 => Operand::ImmF(r.f64()?),
+        3 => {
+            let c = r.u8()? as usize;
+            Operand::Special(
+                *SPECIALS.get(c).ok_or_else(|| CubinError(format!("bad special {c}")))?,
+            )
+        }
+        4 => Operand::LocalBase,
+        5 => Operand::SharedBase,
+        other => return Err(CubinError(format!("bad operand tag {other}"))),
+    })
+}
+
+fn read_opt_operand(r: &mut R) -> Result<Option<Operand>, CubinError> {
+    Ok(if r.u8()? == 0 { None } else { Some(read_operand(r)?) })
+}
+
+fn read_opt_reg(r: &mut R) -> Result<Option<Reg>, CubinError> {
+    Ok(if r.u8()? == 0 { None } else { Some(Reg(r.u32()?)) })
+}
+
+fn read_nodes(r: &mut R, depth: u32) -> Result<Vec<Node>, CubinError> {
+    if depth > 128 {
+        return Err(CubinError("node nesting too deep".into()));
+    }
+    let n = r.u32()? as usize;
+    if n > 1 << 22 {
+        return Err(CubinError("implausible node count".into()));
+    }
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(match r.u8()? {
+            0 => Node::Inst(read_inst(r, depth)?),
+            1 => {
+                let cond = read_operand(r)?;
+                let then_b = read_nodes(r, depth + 1)?;
+                let else_b = read_nodes(r, depth + 1)?;
+                Node::If { cond, then_b, else_b }
+            }
+            2 => Node::Loop { body: read_nodes(r, depth + 1)? },
+            3 => Node::Break,
+            4 => Node::Continue,
+            other => return Err(CubinError(format!("bad node tag {other}"))),
+        });
+    }
+    Ok(out)
+}
+
+fn read_inst(r: &mut R, _depth: u32) -> Result<Inst, CubinError> {
+    Ok(match r.u8()? {
+        0 => {
+            let ty = scalar_from(r.u8()?)?;
+            let opc = r.u8()? as usize;
+            let op = *BINOPS.get(opc).ok_or_else(|| CubinError(format!("bad binop {opc}")))?;
+            let dst = Reg(r.u32()?);
+            Inst::Bin { ty, op, dst, a: read_operand(r)?, b: read_operand(r)? }
+        }
+        1 => {
+            let ty = scalar_from(r.u8()?)?;
+            let opc = r.u8()? as usize;
+            let op = *UNOPS.get(opc).ok_or_else(|| CubinError(format!("bad unop {opc}")))?;
+            let dst = Reg(r.u32()?);
+            Inst::Un { ty, op, dst, a: read_operand(r)? }
+        }
+        2 => Inst::Mov { dst: Reg(r.u32()?), src: read_operand(r)? },
+        3 => {
+            let to = cvt_from(r.u8()?)?;
+            let from = cvt_from(r.u8()?)?;
+            Inst::Cvt { to, from, dst: Reg(r.u32()?), src: read_operand(r)? }
+        }
+        4 => {
+            let ty = mem_from(r.u8()?)?;
+            let dst = Reg(r.u32()?);
+            let addr = read_operand(r)?;
+            Inst::Ld { ty, dst, addr, offset: r.i64()? }
+        }
+        5 => {
+            let ty = mem_from(r.u8()?)?;
+            let src = read_operand(r)?;
+            let addr = read_operand(r)?;
+            Inst::St { ty, src, addr, offset: r.i64()? }
+        }
+        6 => Inst::AtomCas {
+            dst: Reg(r.u32()?),
+            addr: read_operand(r)?,
+            expected: read_operand(r)?,
+            new: read_operand(r)?,
+        },
+        7 => {
+            let opc = r.u8()? as usize;
+            let op = *ATOMOPS.get(opc).ok_or_else(|| CubinError(format!("bad atomop {opc}")))?;
+            Inst::Atom { op, dst: Reg(r.u32()?), addr: read_operand(r)?, val: read_operand(r)? }
+        }
+        8 => Inst::BarSync { id: read_operand(r)?, count: read_opt_operand(r)? },
+        9 => {
+            let func = r.u32()?;
+            let dst = read_opt_reg(r)?;
+            let n = r.u32()? as usize;
+            let mut args = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                args.push(read_operand(r)?);
+            }
+            Inst::Call { func, dst, args }
+        }
+        10 => {
+            let name = r.str()?;
+            let ns = r.u32()? as usize;
+            if ns > 64 {
+                return Err(CubinError("implausible sarg count".into()));
+            }
+            let mut sargs = Vec::with_capacity(ns);
+            for _ in 0..ns {
+                sargs.push(r.str()?);
+            }
+            let dst = read_opt_reg(r)?;
+            let n = r.u32()? as usize;
+            let mut args = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                args.push(read_operand(r)?);
+            }
+            Inst::Intrinsic { name, dst, args, sargs }
+        }
+        11 => Inst::Ret { val: read_opt_operand(r)? },
+        12 => Inst::Trap { msg: r.str()? },
+        other => return Err(CubinError(format!("bad inst tag {other}"))),
+    })
+}
+
+/// Deserialize a module, verifying magic, version and checksum.
+pub fn decode(buf: &[u8]) -> Result<Module, CubinError> {
+    if buf.len() < 16 || &buf[..4] != MAGIC {
+        return Err(CubinError("not a cubin (bad magic)".into()));
+    }
+    let body = &buf[..buf.len() - 8];
+    let sum = u64::from_le_bytes(buf[buf.len() - 8..].try_into().unwrap());
+    if fnv1a(body) != sum {
+        return Err(CubinError("checksum mismatch (corrupt cubin)".into()));
+    }
+    let mut r = R { buf: body, i: 4 };
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(CubinError(format!("unsupported cubin version {version}")));
+    }
+    let name = r.str()?;
+    let arch = r.str()?;
+    let linked = r.u8()? != 0;
+    let nfuncs = r.u32()? as usize;
+    if nfuncs > 4096 {
+        return Err(CubinError("implausible function count".into()));
+    }
+    let mut functions = Vec::with_capacity(nfuncs);
+    for _ in 0..nfuncs {
+        let fname = r.str()?;
+        let is_kernel = r.u8()? != 0;
+        let nparams = r.u32()? as usize;
+        if nparams > 256 {
+            return Err(CubinError("implausible param count".into()));
+        }
+        let mut params = Vec::with_capacity(nparams);
+        for _ in 0..nparams {
+            let pname = r.str()?;
+            params.push(ParamDecl { name: pname, ty: scalar_from(r.u8()?)? });
+        }
+        let num_regs = r.u32()?;
+        let local_size = r.u64()?;
+        let shared_size = r.u64()?;
+        let body = read_nodes(&mut r, 0)?;
+        functions.push(Function {
+            name: fname,
+            is_kernel,
+            params,
+            num_regs,
+            local_size,
+            shared_size,
+            body,
+        });
+    }
+    Ok(Module { name, arch, functions, device_lib_linked: linked })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{op, FnBuilder};
+
+    fn module() -> Module {
+        let mut b = FnBuilder::new("k", true);
+        let p = b.param("p", ScalarTy::I64);
+        let v = b.ld(MemTy::F32, op::r(p), 8);
+        let s = b.un(ScalarTy::F32, UnOp::Sqrt, op::r(v));
+        b.begin_loop();
+        b.begin_if();
+        b.brk();
+        b.end_if(op::i(1));
+        b.end_loop();
+        b.emit(Inst::BarSync { id: op::i(2), count: Some(op::i(96)) });
+        b.emit(Inst::AtomCas { dst: Reg(100), addr: op::r(p), expected: op::i(0), new: op::i(1) });
+        b.intrinsic("printf", vec![op::r(s), op::f(1.5)], true);
+        b.st(MemTy::F32, op::r(s), op::r(p), 0);
+        let f = b.build();
+        Module { name: "m".into(), arch: "sm_53".into(), functions: vec![f], device_lib_linked: true }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = module();
+        let bytes = encode(&m);
+        let m2 = decode(&bytes).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let m = module();
+        let mut bytes = encode(&m);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let m = module();
+        let bytes = encode(&m);
+        assert!(decode(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(decode(b"NOPE00000000000000000000").is_err());
+    }
+}

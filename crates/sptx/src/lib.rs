@@ -1,0 +1,28 @@
+//! `sptx` — Structured PTX, the kernel IR of the reproduction.
+//!
+//! The paper's compilation chain (§3.3) has nvcc translate generated CUDA C
+//! kernels either to **PTX** (JIT-compiled at first launch, with a disk
+//! cache) or to **cubin** (fully compiled ahead of time). We reproduce both
+//! artifact kinds over a single IR:
+//!
+//! * [`text`] — the `.sptx` assembly format (the "PTX" artifact, readable
+//!   and architecture-agnostic), with assembler and disassembler;
+//! * [`cubin`] — the binary container (the "cubin" artifact), with a
+//!   hand-rolled serializer/deserializer;
+//! * [`ir`] — the IR itself: typed virtual registers, loads/stores over
+//!   tagged address spaces, atomics, `bar.sync` named barriers, special
+//!   registers (`%tid`, `%ctaid`, …) and *structured* control flow
+//!   (`if`/`loop`/`break`/`continue`/`ret`), which is what lets the SIMT
+//!   interpreter track divergence with explicit lane masks instead of a
+//!   reconvergence stack;
+//! * [`verify`] — a module verifier run after assembly/deserialization.
+
+pub mod builder;
+pub mod cubin;
+pub mod ir;
+pub mod text;
+pub mod verify;
+
+pub use builder::FnBuilder;
+pub use ir::*;
+pub use verify::verify_module;

@@ -1,0 +1,835 @@
+//! The `.sptx` text format — the reproduction's "PTX" artifact.
+//!
+//! Architecture-agnostic, human-readable assembly with an exact
+//! assembler/disassembler round trip. Kernel files compiled in PTX mode are
+//! stored on disk in this format and JIT-assembled at first launch.
+
+use crate::ir::*;
+
+/// Assembly error.
+#[derive(Clone, Debug)]
+pub struct AsmError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sptx asm error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+// --------------------------------------------------------------- printing
+
+/// Disassemble a module to `.sptx` text.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    out.push_str(".version 1\n");
+    out.push_str(&format!(".target {}\n", if m.arch.is_empty() { "sm_53" } else { &m.arch }));
+    out.push_str(&format!(".module {}\n", if m.name.is_empty() { "anon" } else { &m.name }));
+    out.push_str(&format!(".linked {}\n", m.device_lib_linked as u8));
+    for f in &m.functions {
+        out.push('\n');
+        print_function(f, &mut out);
+    }
+    out
+}
+
+fn print_function(f: &Function, out: &mut String) {
+    out.push_str(".func ");
+    if f.is_kernel {
+        out.push_str("kernel ");
+    }
+    out.push_str(&f.name);
+    out.push('(');
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(p.ty.name());
+        out.push(' ');
+        out.push_str(&p.name);
+    }
+    out.push_str(&format!(
+        ") regs={} local={} shared={}\n{{\n",
+        f.num_regs, f.local_size, f.shared_size
+    ));
+    print_nodes(&f.body, 1, out);
+    out.push_str("}\n");
+}
+
+fn indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("    ");
+    }
+}
+
+fn print_nodes(nodes: &[Node], depth: usize, out: &mut String) {
+    for n in nodes {
+        match n {
+            Node::Inst(i) => {
+                indent(depth, out);
+                print_inst(i, out);
+                out.push('\n');
+            }
+            Node::If { cond, then_b, else_b } => {
+                indent(depth, out);
+                out.push_str("if ");
+                print_op(cond, out);
+                out.push_str(" {\n");
+                print_nodes(then_b, depth + 1, out);
+                indent(depth, out);
+                if else_b.is_empty() {
+                    out.push_str("}\n");
+                } else {
+                    out.push_str("} else {\n");
+                    print_nodes(else_b, depth + 1, out);
+                    indent(depth, out);
+                    out.push_str("}\n");
+                }
+            }
+            Node::Loop { body } => {
+                indent(depth, out);
+                out.push_str("loop {\n");
+                print_nodes(body, depth + 1, out);
+                indent(depth, out);
+                out.push_str("}\n");
+            }
+            Node::Break => {
+                indent(depth, out);
+                out.push_str("break;\n");
+            }
+            Node::Continue => {
+                indent(depth, out);
+                out.push_str("continue;\n");
+            }
+        }
+    }
+}
+
+fn print_op(o: &Operand, out: &mut String) {
+    match o {
+        Operand::Reg(Reg(n)) => out.push_str(&format!("%r{n}")),
+        Operand::ImmI(v) => out.push_str(&v.to_string()),
+        Operand::ImmF(v) => {
+            if v.is_nan() {
+                out.push_str("nan");
+            } else if v.is_infinite() {
+                out.push_str(if *v > 0.0 { "inf" } else { "-inf" });
+            } else {
+                let s = format!("{v:?}");
+                out.push_str(&s);
+                if !s.contains('.') && !s.contains('e') {
+                    out.push_str(".0");
+                }
+            }
+        }
+        Operand::Special(s) => out.push_str(s.name()),
+        Operand::LocalBase => out.push_str("%local"),
+        Operand::SharedBase => out.push_str("%shmem"),
+    }
+}
+
+fn print_addr(addr: &Operand, offset: i64, out: &mut String) {
+    out.push('[');
+    print_op(addr, out);
+    if offset != 0 {
+        out.push_str(&format!("{offset:+}"));
+    }
+    out.push(']');
+}
+
+fn print_inst(i: &Inst, out: &mut String) {
+    match i {
+        Inst::Bin { ty, op, dst, a, b } => {
+            out.push_str(&format!("{}.{} ", op.name(), ty.name()));
+            print_op(&Operand::Reg(*dst), out);
+            out.push_str(", ");
+            print_op(a, out);
+            out.push_str(", ");
+            print_op(b, out);
+            out.push(';');
+        }
+        Inst::Un { ty, op, dst, a } => {
+            out.push_str(&format!("{}.{} ", op.name(), ty.name()));
+            print_op(&Operand::Reg(*dst), out);
+            out.push_str(", ");
+            print_op(a, out);
+            out.push(';');
+        }
+        Inst::Mov { dst, src } => {
+            out.push_str("mov ");
+            print_op(&Operand::Reg(*dst), out);
+            out.push_str(", ");
+            print_op(src, out);
+            out.push(';');
+        }
+        Inst::Cvt { to, from, dst, src } => {
+            out.push_str(&format!("cvt.{}.{} ", to.name(), from.name()));
+            print_op(&Operand::Reg(*dst), out);
+            out.push_str(", ");
+            print_op(src, out);
+            out.push(';');
+        }
+        Inst::Ld { ty, dst, addr, offset } => {
+            out.push_str(&format!("ld.{} ", ty.name()));
+            print_op(&Operand::Reg(*dst), out);
+            out.push_str(", ");
+            print_addr(addr, *offset, out);
+            out.push(';');
+        }
+        Inst::St { ty, src, addr, offset } => {
+            out.push_str(&format!("st.{} ", ty.name()));
+            print_addr(addr, *offset, out);
+            out.push_str(", ");
+            print_op(src, out);
+            out.push(';');
+        }
+        Inst::AtomCas { dst, addr, expected, new } => {
+            out.push_str("atom.cas.b32 ");
+            print_op(&Operand::Reg(*dst), out);
+            out.push_str(", ");
+            print_addr(addr, 0, out);
+            out.push_str(", ");
+            print_op(expected, out);
+            out.push_str(", ");
+            print_op(new, out);
+            out.push(';');
+        }
+        Inst::Atom { op, dst, addr, val } => {
+            out.push_str(op.name());
+            out.push(' ');
+            print_op(&Operand::Reg(*dst), out);
+            out.push_str(", ");
+            print_addr(addr, 0, out);
+            out.push_str(", ");
+            print_op(val, out);
+            out.push(';');
+        }
+        Inst::BarSync { id, count } => {
+            out.push_str("bar.sync ");
+            print_op(id, out);
+            if let Some(c) = count {
+                out.push_str(", ");
+                print_op(c, out);
+            }
+            out.push(';');
+        }
+        Inst::Call { func, dst, args } => {
+            out.push_str(&format!("call.{func} "));
+            if let Some(d) = dst {
+                print_op(&Operand::Reg(*d), out);
+                out.push_str(", ");
+            }
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_op(a, out);
+            }
+            out.push_str(");");
+        }
+        Inst::Intrinsic { name, dst, args, sargs } => {
+            out.push_str(&format!("intr {name} "));
+            if !sargs.is_empty() {
+                out.push('[');
+                for (i, s) in sargs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("{s:?}"));
+                }
+                out.push_str("] ");
+            }
+            if let Some(d) = dst {
+                print_op(&Operand::Reg(*d), out);
+                out.push_str(", ");
+            }
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_op(a, out);
+            }
+            out.push_str(");");
+        }
+        Inst::Ret { val } => {
+            out.push_str("ret");
+            if let Some(v) = val {
+                out.push(' ');
+                print_op(v, out);
+            }
+            out.push(';');
+        }
+        Inst::Trap { msg } => {
+            out.push_str(&format!("trap {:?};", msg));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Assemble `.sptx` text into a module.
+pub fn parse_module(src: &str) -> Result<Module, AsmError> {
+    let mut p = AsmParser { lines: src.lines().enumerate().collect(), i: 0 };
+    p.module()
+}
+
+struct AsmParser<'s> {
+    lines: Vec<(usize, &'s str)>,
+    i: usize,
+}
+
+impl<'s> AsmParser<'s> {
+    fn err(&self, msg: impl Into<String>) -> AsmError {
+        let line = self.lines.get(self.i).map(|(n, _)| n + 1).unwrap_or(self.lines.len());
+        AsmError { line, msg: msg.into() }
+    }
+
+    /// Next non-empty, non-comment line (trimmed).
+    fn next_line(&mut self) -> Option<&'s str> {
+        while self.i < self.lines.len() {
+            let (_, l) = self.lines[self.i];
+            let l = match l.find("//") {
+                Some(p) => &l[..p],
+                None => l,
+            };
+            let t = l.trim();
+            self.i += 1;
+            if !t.is_empty() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn peek_line(&mut self) -> Option<&'s str> {
+        let save = self.i;
+        let l = self.next_line();
+        self.i = save;
+        l
+    }
+
+    fn module(&mut self) -> Result<Module, AsmError> {
+        let mut m = Module { arch: "sm_53".into(), ..Default::default() };
+        while let Some(line) = self.peek_line() {
+            if line.starts_with(".version") {
+                self.next_line();
+            } else if let Some(rest) = line.strip_prefix(".target") {
+                m.arch = rest.trim().to_string();
+                self.next_line();
+            } else if let Some(rest) = line.strip_prefix(".module") {
+                m.name = rest.trim().to_string();
+                self.next_line();
+            } else if let Some(rest) = line.strip_prefix(".linked") {
+                m.device_lib_linked = rest.trim() == "1";
+                self.next_line();
+            } else if line.starts_with(".func") {
+                m.functions.push(self.function()?);
+            } else {
+                return Err(self.err(format!("unexpected line `{line}`")));
+            }
+        }
+        Ok(m)
+    }
+
+    fn function(&mut self) -> Result<Function, AsmError> {
+        let header = self.next_line().ok_or_else(|| self.err("expected .func"))?;
+        let rest = header.strip_prefix(".func").ok_or_else(|| self.err("expected .func"))?.trim();
+        let (is_kernel, rest) = match rest.strip_prefix("kernel ") {
+            Some(r) => (true, r.trim()),
+            None => (false, rest),
+        };
+        let paren = rest.find('(').ok_or_else(|| self.err("missing ( in .func"))?;
+        let name = rest[..paren].trim().to_string();
+        let close = rest.rfind(')').ok_or_else(|| self.err("missing ) in .func"))?;
+        let params_text = &rest[paren + 1..close];
+        let mut params = Vec::new();
+        for part in params_text.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let mut it = part.split_whitespace();
+            let ty = it
+                .next()
+                .and_then(ScalarTy::from_name)
+                .ok_or_else(|| self.err(format!("bad param `{part}`")))?;
+            let pname = it.next().unwrap_or("").to_string();
+            params.push(ParamDecl { name: pname, ty });
+        }
+        // Attributes after the paren: regs= local= shared=
+        let mut num_regs = 0u32;
+        let mut local_size = 0u64;
+        let mut shared_size = 0u64;
+        for attr in rest[close + 1..].split_whitespace() {
+            if let Some(v) = attr.strip_prefix("regs=") {
+                num_regs = v.parse().map_err(|_| self.err("bad regs="))?;
+            } else if let Some(v) = attr.strip_prefix("local=") {
+                local_size = v.parse().map_err(|_| self.err("bad local="))?;
+            } else if let Some(v) = attr.strip_prefix("shared=") {
+                shared_size = v.parse().map_err(|_| self.err("bad shared="))?;
+            }
+        }
+        let open = self.next_line().ok_or_else(|| self.err("expected {"))?;
+        if open != "{" {
+            return Err(self.err(format!("expected {{, found `{open}`")));
+        }
+        let body = self.nodes()?;
+        Ok(Function { name, is_kernel, params, num_regs, local_size, shared_size, body })
+    }
+
+    /// Parse nodes until a closing `}` (consumed). Handles `} else {`.
+    fn nodes(&mut self) -> Result<Vec<Node>, AsmError> {
+        let mut out = Vec::new();
+        loop {
+            let line = self.next_line().ok_or_else(|| self.err("unterminated block"))?;
+            if line == "}" {
+                return Ok(out);
+            }
+            if line == "} else {" {
+                // Handled by caller of the `if` branch; rewind one line.
+                self.i -= 1;
+                return Ok(out);
+            }
+            if let Some(rest) = line.strip_prefix("if ") {
+                let rest = rest.trim();
+                let cond_text = rest.strip_suffix('{').ok_or_else(|| self.err("if needs {"))?.trim();
+                let cond = parse_operand(cond_text).map_err(|m| self.err(m))?;
+                let then_b = self.nodes()?;
+                // Did we stop at `} else {`?
+                let mut else_b = Vec::new();
+                if let Some(l) = self.peek_line() {
+                    if l == "} else {" {
+                        self.next_line();
+                        else_b = self.nodes()?;
+                    }
+                }
+                out.push(Node::If { cond, then_b, else_b });
+                continue;
+            }
+            if line == "loop {" {
+                let body = self.nodes()?;
+                out.push(Node::Loop { body });
+                continue;
+            }
+            if line == "break;" {
+                out.push(Node::Break);
+                continue;
+            }
+            if line == "continue;" {
+                out.push(Node::Continue);
+                continue;
+            }
+            let inst = parse_inst(line).map_err(|m| self.err(m))?;
+            out.push(Node::Inst(inst));
+        }
+    }
+}
+
+fn parse_operand(s: &str) -> Result<Operand, String> {
+    let s = s.trim();
+    if let Some(r) = s.strip_prefix("%r") {
+        let n: u32 = r.parse().map_err(|_| format!("bad register `{s}`"))?;
+        return Ok(Operand::Reg(Reg(n)));
+    }
+    if s == "%local" {
+        return Ok(Operand::LocalBase);
+    }
+    if s == "%shmem" {
+        return Ok(Operand::SharedBase);
+    }
+    if let Some(sp) = SpecialReg::from_name(s) {
+        return Ok(Operand::Special(sp));
+    }
+    if s == "nan" {
+        return Ok(Operand::ImmF(f64::NAN));
+    }
+    if s == "inf" {
+        return Ok(Operand::ImmF(f64::INFINITY));
+    }
+    if s == "-inf" {
+        return Ok(Operand::ImmF(f64::NEG_INFINITY));
+    }
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        return s.parse::<f64>().map(Operand::ImmF).map_err(|_| format!("bad float `{s}`"));
+    }
+    s.parse::<i64>().map(Operand::ImmI).map_err(|_| format!("bad operand `{s}`"))
+}
+
+/// Split a comma-separated operand list, respecting `[...]` brackets.
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn parse_addr(s: &str) -> Result<(Operand, i64), String> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .ok_or_else(|| format!("bad address `{s}`"))?;
+    // Find a top-level +/- separating base and offset (skip the leading char).
+    for (i, c) in inner.char_indices().skip(1) {
+        if c == '+' || c == '-' {
+            let base = parse_operand(&inner[..i])?;
+            let off: i64 = inner[i..].parse().map_err(|_| format!("bad offset in `{s}`"))?;
+            return Ok((base, off));
+        }
+    }
+    Ok((parse_operand(inner)?, 0))
+}
+
+fn parse_inst(line: &str) -> Result<Inst, String> {
+    let line = line.strip_suffix(';').ok_or_else(|| format!("missing ; in `{line}`"))?.trim();
+    let (mnemonic, rest) = match line.find(' ') {
+        Some(p) => (&line[..p], line[p + 1..].trim()),
+        None => (line, ""),
+    };
+
+    // ret
+    if mnemonic == "ret" {
+        let val = if rest.is_empty() { None } else { Some(parse_operand(rest)?) };
+        return Ok(Inst::Ret { val });
+    }
+    if mnemonic == "trap" {
+        let msg = rest.trim().trim_matches('"').to_string();
+        return Ok(Inst::Trap { msg });
+    }
+    if mnemonic == "mov" {
+        let ops = split_operands(rest);
+        if ops.len() != 2 {
+            return Err(format!("mov needs 2 operands: `{line}`"));
+        }
+        let dst = expect_reg(&ops[0])?;
+        return Ok(Inst::Mov { dst, src: parse_operand(&ops[1])? });
+    }
+    if mnemonic == "bar.sync" {
+        let ops = split_operands(rest);
+        let id = parse_operand(&ops[0])?;
+        let count = if ops.len() > 1 { Some(parse_operand(&ops[1])?) } else { None };
+        return Ok(Inst::BarSync { id, count });
+    }
+    if let Some(name) = mnemonic.strip_prefix("call.") {
+        let func: u32 = name.parse().map_err(|_| format!("bad call index `{mnemonic}`"))?;
+        let (dst, args) = parse_call_tail(rest)?;
+        return Ok(Inst::Call { func, dst, args });
+    }
+    if mnemonic == "intr" {
+        let (name, tail) = match rest.find(' ') {
+            Some(p) => (&rest[..p], rest[p + 1..].trim()),
+            None => (rest, ""),
+        };
+        let (sargs, tail) = parse_sargs(tail)?;
+        let (dst, args) = parse_call_tail(tail)?;
+        return Ok(Inst::Intrinsic { name: name.to_string(), dst, args, sargs });
+    }
+    if mnemonic == "atom.cas.b32" {
+        let ops = split_operands(rest);
+        if ops.len() != 4 {
+            return Err(format!("atom.cas.b32 needs 4 operands: `{line}`"));
+        }
+        let dst = expect_reg(&ops[0])?;
+        let (addr, _) = parse_addr(&ops[1])?;
+        return Ok(Inst::AtomCas {
+            dst,
+            addr,
+            expected: parse_operand(&ops[2])?,
+            new: parse_operand(&ops[3])?,
+        });
+    }
+    if let Some(op) = AtomOp::from_name(mnemonic) {
+        let ops = split_operands(rest);
+        if ops.len() != 3 {
+            return Err(format!("{mnemonic} needs 3 operands: `{line}`"));
+        }
+        let dst = expect_reg(&ops[0])?;
+        let (addr, _) = parse_addr(&ops[1])?;
+        return Ok(Inst::Atom { op, dst, addr, val: parse_operand(&ops[2])? });
+    }
+    if let Some(tyname) = mnemonic.strip_prefix("ld.") {
+        let ty = MemTy::from_name(tyname).ok_or_else(|| format!("bad ld type `{mnemonic}`"))?;
+        let ops = split_operands(rest);
+        if ops.len() != 2 {
+            return Err(format!("ld needs 2 operands: `{line}`"));
+        }
+        let dst = expect_reg(&ops[0])?;
+        let (addr, offset) = parse_addr(&ops[1])?;
+        return Ok(Inst::Ld { ty, dst, addr, offset });
+    }
+    if let Some(tyname) = mnemonic.strip_prefix("st.") {
+        let ty = MemTy::from_name(tyname).ok_or_else(|| format!("bad st type `{mnemonic}`"))?;
+        let ops = split_operands(rest);
+        if ops.len() != 2 {
+            return Err(format!("st needs 2 operands: `{line}`"));
+        }
+        let (addr, offset) = parse_addr(&ops[0])?;
+        return Ok(Inst::St { ty, src: parse_operand(&ops[1])?, addr, offset });
+    }
+    if let Some(tail) = mnemonic.strip_prefix("cvt.") {
+        let mut parts = tail.split('.');
+        let to = parts
+            .next()
+            .and_then(CvtTy::from_name)
+            .ok_or_else(|| format!("bad cvt `{mnemonic}`"))?;
+        let from = parts
+            .next()
+            .and_then(CvtTy::from_name)
+            .ok_or_else(|| format!("bad cvt `{mnemonic}`"))?;
+        let ops = split_operands(rest);
+        if ops.len() != 2 {
+            return Err(format!("cvt needs 2 operands: `{line}`"));
+        }
+        let dst = expect_reg(&ops[0])?;
+        return Ok(Inst::Cvt { to, from, dst, src: parse_operand(&ops[1])? });
+    }
+
+    // Binary / unary ALU: `OP.TY` where OP may itself contain a dot (setp.*).
+    let (opname, tyname) = match mnemonic.rfind('.') {
+        Some(p) => (&mnemonic[..p], &mnemonic[p + 1..]),
+        None => return Err(format!("unknown instruction `{mnemonic}`")),
+    };
+    let ty = ScalarTy::from_name(tyname).ok_or_else(|| format!("bad type in `{mnemonic}`"))?;
+    if let Some(op) = BinOp::from_name(opname) {
+        let ops = split_operands(rest);
+        if ops.len() != 3 {
+            return Err(format!("{opname} needs 3 operands: `{line}`"));
+        }
+        let dst = expect_reg(&ops[0])?;
+        return Ok(Inst::Bin { ty, op, dst, a: parse_operand(&ops[1])?, b: parse_operand(&ops[2])? });
+    }
+    if let Some(op) = UnOp::from_name(opname) {
+        let ops = split_operands(rest);
+        if ops.len() != 2 {
+            return Err(format!("{opname} needs 2 operands: `{line}`"));
+        }
+        let dst = expect_reg(&ops[0])?;
+        return Ok(Inst::Un { ty, op, dst, a: parse_operand(&ops[1])? });
+    }
+    Err(format!("unknown instruction `{mnemonic}`"))
+}
+
+fn expect_reg(s: &str) -> Result<Reg, String> {
+    match parse_operand(s)? {
+        Operand::Reg(r) => Ok(r),
+        _ => Err(format!("expected register, found `{s}`")),
+    }
+}
+
+/// Parse an optional leading `["a", "b"]` string-immediate list; returns the
+/// strings and the remaining text.
+fn parse_sargs(s: &str) -> Result<(Vec<String>, &str), String> {
+    let s = s.trim_start();
+    if !s.starts_with('[') {
+        return Ok((Vec::new(), s));
+    }
+    // Scan for the matching close bracket outside string quotes.
+    let bytes = s.as_bytes();
+    let mut i = 1;
+    let mut out = Vec::new();
+    loop {
+        while i < bytes.len() && (bytes[i] == b' ' || bytes[i] == b',') {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err("unterminated sargs list".into());
+        }
+        if bytes[i] == b']' {
+            i += 1;
+            break;
+        }
+        if bytes[i] != b'"' {
+            return Err(format!("expected string in sargs list at `{}`", &s[i..]));
+        }
+        i += 1;
+        let mut cur = String::new();
+        while i < bytes.len() && bytes[i] != b'"' {
+            if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                i += 1;
+                cur.push(match bytes[i] {
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    b'0' => '\0',
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    other => other as char,
+                });
+            } else {
+                cur.push(bytes[i] as char);
+            }
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err("unterminated string in sargs".into());
+        }
+        i += 1; // closing quote
+        out.push(cur);
+    }
+    Ok((out, s[i..].trim_start()))
+}
+
+fn parse_call_tail(s: &str) -> Result<(Option<Reg>, Vec<Operand>), String> {
+    // Either `(args)` or `%rN, (args)`.
+    let s = s.trim();
+    if let Some(argtext) = s.strip_prefix('(') {
+        let argtext = argtext.strip_suffix(')').ok_or("missing ) in call")?;
+        let args = split_operands(argtext)
+            .iter()
+            .map(|a| parse_operand(a))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok((None, args));
+    }
+    let comma = s.find(',').ok_or("bad call operands")?;
+    let dst = expect_reg(&s[..comma])?;
+    let tail = s[comma + 1..].trim();
+    let argtext = tail
+        .strip_prefix('(')
+        .and_then(|x| x.strip_suffix(')'))
+        .ok_or("missing (args) in call")?;
+    let args = split_operands(argtext)
+        .iter()
+        .map(|a| parse_operand(a))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((Some(dst), args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{op, FnBuilder};
+
+    fn sample_module() -> Module {
+        let mut b = FnBuilder::new("saxpy", true);
+        let a = b.param("a", ScalarTy::F32);
+        let n = b.param("n", ScalarTy::I32);
+        let x = b.param("x", ScalarTy::I64);
+        let y = b.param("y", ScalarTy::I64);
+        let tid = b.mov(op::sp(SpecialReg::TidX));
+        let inb = b.bin(ScalarTy::I32, BinOp::SetLt, op::r(tid), op::r(n));
+        b.begin_if();
+        {
+            let off64 = b.cvt(CvtTy::I64, CvtTy::I32, op::r(tid));
+            let boff = b.bin(ScalarTy::I64, BinOp::Mul, op::r(off64), op::i(4));
+            let xa = b.bin(ScalarTy::I64, BinOp::Add, op::r(x), op::r(boff));
+            let ya = b.bin(ScalarTy::I64, BinOp::Add, op::r(y), op::r(boff));
+            let xv = b.ld(MemTy::F32, op::r(xa), 0);
+            let yv = b.ld(MemTy::F32, op::r(ya), 0);
+            let ax = b.bin(ScalarTy::F32, BinOp::Mul, op::r(a), op::r(xv));
+            let s = b.bin(ScalarTy::F32, BinOp::Add, op::r(ax), op::r(yv));
+            b.st(MemTy::F32, op::r(s), op::r(ya), 0);
+        }
+        b.end_if(op::r(inb));
+        b.begin_loop();
+        b.begin_if();
+        b.brk();
+        b.end_if(op::i(1));
+        b.end_loop();
+        let bar = Inst::BarSync { id: Operand::ImmI(1), count: Some(Operand::ImmI(128)) };
+        b.emit(bar);
+        b.intrinsic("cudadev_exit_target", vec![], false);
+        let f = b.build();
+
+        let mut helper = FnBuilder::new("helper", false);
+        let p = helper.param("v", ScalarTy::F64);
+        let two = helper.bin(ScalarTy::F64, BinOp::Mul, op::r(p), op::f(2.5));
+        helper.ret(Some(op::r(two)));
+        let h = helper.build();
+
+        Module {
+            name: "test".into(),
+            arch: "sm_53".into(),
+            functions: vec![f, h],
+            device_lib_linked: true,
+        }
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let m = sample_module();
+        let text = print_module(&m);
+        let m2 = parse_module(&text).expect("reparse");
+        assert_eq!(m, m2);
+        // And printing again is stable.
+        assert_eq!(print_module(&m2), text);
+    }
+
+    #[test]
+    fn parses_addresses_with_offsets() {
+        let i = parse_inst("ld.f32 %r1, [%r2+16];").unwrap();
+        assert_eq!(i, Inst::Ld { ty: MemTy::F32, dst: Reg(1), addr: Operand::Reg(Reg(2)), offset: 16 });
+        let i = parse_inst("st.b64 [%local-8], %r3;").unwrap();
+        assert_eq!(i, Inst::St { ty: MemTy::B64, src: Operand::Reg(Reg(3)), addr: Operand::LocalBase, offset: -8 });
+    }
+
+    #[test]
+    fn parses_specials_and_floats() {
+        assert_eq!(parse_operand("%ctaid.y").unwrap(), Operand::Special(SpecialReg::CtaidY));
+        assert_eq!(parse_operand("2.5").unwrap(), Operand::ImmF(2.5));
+        assert_eq!(parse_operand("-7").unwrap(), Operand::ImmI(-7));
+        assert_eq!(parse_operand("%shmem").unwrap(), Operand::SharedBase);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let bad = ".version 1\n.func kernel k() regs=0 local=0 shared=0\n{\nbogus %r1;\n}\n";
+        let err = parse_module(bad).unwrap_err();
+        assert!(err.line >= 4, "line was {}", err.line);
+    }
+
+    #[test]
+    fn if_else_roundtrip() {
+        let text = "\
+.version 1
+.target sm_53
+.module m
+.linked 0
+
+.func kernel k() regs=2 local=0 shared=0
+{
+    mov %r0, 1;
+    if %r0 {
+        mov %r1, 2;
+    } else {
+        mov %r1, 3;
+    }
+    ret;
+}
+";
+        let m = parse_module(text).unwrap();
+        let f = &m.functions[0];
+        match &f.body[1] {
+            Node::If { then_b, else_b, .. } => {
+                assert_eq!(then_b.len(), 1);
+                assert_eq!(else_b.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(print_module(&parse_module(&print_module(&m)).unwrap()), print_module(&m));
+    }
+}

@@ -1,0 +1,301 @@
+//! Module verifier — run after assembly or deserialization, and by the
+//! compiler backend before emitting artifacts.
+
+use crate::ir::*;
+
+/// Verification failure.
+#[derive(Clone, Debug)]
+pub struct VerifyError {
+    pub function: String,
+    pub msg: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "verify error in `{}`: {}", self.function, self.msg)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Maximum named barriers per block (PTX `bar.sync` limit, §4.2.2).
+pub const MAX_NAMED_BARRIERS: i64 = 16;
+
+/// Verify structural well-formedness of a module.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for f in &m.functions {
+        verify_function(m, f)?;
+    }
+    // Kernel names must be unique (the loader resolves by name).
+    let mut names: Vec<&str> = m.functions.iter().map(|f| f.name.as_str()).collect();
+    names.sort_unstable();
+    for w in names.windows(2) {
+        if w[0] == w[1] {
+            return Err(VerifyError {
+                function: w[0].to_string(),
+                msg: "duplicate function name".into(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
+    let err = |msg: String| VerifyError { function: f.name.clone(), msg };
+    if (f.params.len() as u32) > f.num_regs {
+        return Err(err(format!(
+            "{} params but only {} registers (params live in the first registers)",
+            f.params.len(),
+            f.num_regs
+        )));
+    }
+    check_nodes(m, f, &f.body, 0).map_err(err)?;
+    Ok(())
+}
+
+fn check_operand(f: &Function, o: &Operand) -> Result<(), String> {
+    if let Operand::Reg(Reg(n)) = o {
+        if *n >= f.num_regs {
+            return Err(format!("register %r{n} out of range (regs={})", f.num_regs));
+        }
+    }
+    Ok(())
+}
+
+fn check_nodes(m: &Module, f: &Function, nodes: &[Node], loop_depth: u32) -> Result<(), String> {
+    for n in nodes {
+        match n {
+            Node::Break | Node::Continue if loop_depth == 0 => {
+                return Err("break/continue outside a loop".into());
+            }
+            Node::Break | Node::Continue => {}
+            Node::If { cond, then_b, else_b } => {
+                check_operand(f, cond)?;
+                check_nodes(m, f, then_b, loop_depth)?;
+                check_nodes(m, f, else_b, loop_depth)?;
+            }
+            Node::Loop { body } => check_nodes(m, f, body, loop_depth + 1)?,
+            Node::Inst(i) => check_inst(m, f, i)?,
+        }
+    }
+    Ok(())
+}
+
+fn check_inst(m: &Module, f: &Function, i: &Inst) -> Result<(), String> {
+    let dst_ok = |r: &Reg| {
+        if r.0 >= f.num_regs {
+            Err(format!("destination %r{} out of range (regs={})", r.0, f.num_regs))
+        } else {
+            Ok(())
+        }
+    };
+    match i {
+        Inst::Bin { op, ty, dst, a, b } => {
+            dst_ok(dst)?;
+            check_operand(f, a)?;
+            check_operand(f, b)?;
+            if ty.is_float() && matches!(op, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr)
+            {
+                return Err(format!("bitwise {op:?} on float type"));
+            }
+            Ok(())
+        }
+        Inst::Un { dst, a, .. } => {
+            dst_ok(dst)?;
+            check_operand(f, a)
+        }
+        Inst::Mov { dst, src } => {
+            dst_ok(dst)?;
+            check_operand(f, src)
+        }
+        Inst::Cvt { dst, src, .. } => {
+            dst_ok(dst)?;
+            check_operand(f, src)
+        }
+        Inst::Ld { dst, addr, .. } => {
+            dst_ok(dst)?;
+            check_operand(f, addr)
+        }
+        Inst::St { src, addr, .. } => {
+            check_operand(f, src)?;
+            check_operand(f, addr)
+        }
+        Inst::AtomCas { dst, addr, expected, new } => {
+            dst_ok(dst)?;
+            check_operand(f, addr)?;
+            check_operand(f, expected)?;
+            check_operand(f, new)
+        }
+        Inst::Atom { dst, addr, val, .. } => {
+            dst_ok(dst)?;
+            check_operand(f, addr)?;
+            check_operand(f, val)
+        }
+        Inst::BarSync { id, count } => {
+            check_operand(f, id)?;
+            if let Operand::ImmI(v) = id {
+                if *v < 0 || *v >= MAX_NAMED_BARRIERS {
+                    return Err(format!(
+                        "named barrier id {v} out of range 0..{MAX_NAMED_BARRIERS}"
+                    ));
+                }
+            }
+            if let Some(c) = count {
+                check_operand(f, c)?;
+                if let Operand::ImmI(v) = c {
+                    if *v <= 0 || *v % 32 != 0 {
+                        return Err(format!(
+                            "bar.sync count {v} must be a positive multiple of the warp size"
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        }
+        Inst::Call { func, dst, args } => {
+            if *func as usize >= m.functions.len() {
+                return Err(format!("call target {func} out of range"));
+            }
+            let callee = &m.functions[*func as usize];
+            if callee.is_kernel {
+                return Err(format!("call to kernel `{}` (kernels are entry points)", callee.name));
+            }
+            if args.len() != callee.params.len() {
+                return Err(format!(
+                    "call to `{}` with {} args (expects {})",
+                    callee.name,
+                    args.len(),
+                    callee.params.len()
+                ));
+            }
+            if let Some(d) = dst {
+                dst_ok(d)?;
+            }
+            for a in args {
+                check_operand(f, a)?;
+            }
+            Ok(())
+        }
+        Inst::Intrinsic { dst, args, .. } => {
+            if let Some(d) = dst {
+                dst_ok(d)?;
+            }
+            for a in args {
+                check_operand(f, a)?;
+            }
+            Ok(())
+        }
+        Inst::Ret { val } => {
+            if let Some(v) = val {
+                check_operand(f, v)?;
+            }
+            Ok(())
+        }
+        Inst::Trap { .. } => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{op, FnBuilder};
+
+    fn ok_module() -> Module {
+        let mut b = FnBuilder::new("k", true);
+        let p = b.param("p", ScalarTy::I64);
+        let v = b.ld(MemTy::F32, op::r(p), 0);
+        b.st(MemTy::F32, op::r(v), op::r(p), 0);
+        Module { name: "m".into(), arch: "sm_53".into(), functions: vec![b.build()], device_lib_linked: false }
+    }
+
+    #[test]
+    fn valid_module_passes() {
+        verify_module(&ok_module()).unwrap();
+    }
+
+    #[test]
+    fn register_out_of_range() {
+        let mut m = ok_module();
+        m.functions[0].body.insert(
+            0,
+            Node::Inst(Inst::Mov { dst: Reg(99), src: Operand::ImmI(0) }),
+        );
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn break_outside_loop() {
+        let mut m = ok_module();
+        m.functions[0].body.insert(0, Node::Break);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn bad_barrier_id_and_count() {
+        let mut m = ok_module();
+        m.functions[0].body.insert(
+            0,
+            Node::Inst(Inst::BarSync { id: Operand::ImmI(16), count: None }),
+        );
+        assert!(verify_module(&m).is_err());
+
+        let mut m = ok_module();
+        m.functions[0].body.insert(
+            0,
+            Node::Inst(Inst::BarSync { id: Operand::ImmI(1), count: Some(Operand::ImmI(33)) }),
+        );
+        assert!(verify_module(&m).is_err(), "non-multiple-of-32 count must be rejected");
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let mut helper = FnBuilder::new("h", false);
+        helper.param("x", ScalarTy::I32);
+        helper.ret(None);
+        let mut k = FnBuilder::new("k", true);
+        k.call(1, vec![], false); // wrong arity
+        let m = Module {
+            name: "m".into(),
+            arch: "sm_53".into(),
+            functions: vec![k.build(), helper.build()],
+            device_lib_linked: false,
+        };
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut m = ok_module();
+        let f = m.functions[0].clone();
+        m.functions.push(f);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn kernel_call_rejected() {
+        let mut k2 = FnBuilder::new("other", true);
+        k2.ret(None);
+        let mut k = FnBuilder::new("k", true);
+        k.call(1, vec![], false);
+        let m = Module {
+            name: "m".into(),
+            arch: "sm_53".into(),
+            functions: vec![k.build(), k2.build()],
+            device_lib_linked: false,
+        };
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn bitwise_on_float_rejected() {
+        let mut b = FnBuilder::new("k", true);
+        b.bin(ScalarTy::F32, BinOp::And, op::f(1.0), op::f(2.0));
+        let m = Module {
+            name: "m".into(),
+            arch: "sm_53".into(),
+            functions: vec![b.build()],
+            device_lib_linked: false,
+        };
+        assert!(verify_module(&m).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Property tests: random SPTX modules survive both artifact formats —
+//! `.sptx` text (the PTX stand-in) and `.cubin` binary — bit-exactly.
+
+use proptest::prelude::*;
+use sptx::*;
+
+fn arb_scalar() -> impl Strategy<Value = ScalarTy> {
+    prop_oneof![
+        Just(ScalarTy::I32),
+        Just(ScalarTy::I64),
+        Just(ScalarTy::F32),
+        Just(ScalarTy::F64)
+    ]
+}
+
+fn arb_memty() -> impl Strategy<Value = MemTy> {
+    prop_oneof![
+        Just(MemTy::B8),
+        Just(MemTy::B32),
+        Just(MemTy::B64),
+        Just(MemTy::F32),
+        Just(MemTy::F64)
+    ]
+}
+
+fn arb_operand(nregs: u32) -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0..nregs).prop_map(|r| Operand::Reg(Reg(r))),
+        (-1_000_000i64..1_000_000).prop_map(Operand::ImmI),
+        (any::<f32>().prop_filter("finite", |v| v.is_finite()))
+            .prop_map(|v| Operand::ImmF(v as f64)),
+        Just(Operand::Special(SpecialReg::TidX)),
+        Just(Operand::Special(SpecialReg::CtaidY)),
+        Just(Operand::LocalBase),
+        Just(Operand::SharedBase),
+    ]
+}
+
+fn arb_int_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Min),
+        Just(BinOp::Max),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+        Just(BinOp::SetLt),
+        Just(BinOp::SetEq),
+        Just(BinOp::SetNe),
+    ]
+}
+
+const NREGS: u32 = 16;
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (arb_scalar(), arb_int_binop(), 0..NREGS, arb_operand(NREGS), arb_operand(NREGS))
+            .prop_filter("no bitwise on float", |(ty, op, ..)| {
+                !ty.is_float()
+                    || !matches!(op, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr)
+            })
+            .prop_map(|(ty, op, d, a, b)| Inst::Bin { ty, op, dst: Reg(d), a, b }),
+        (0..NREGS, arb_operand(NREGS)).prop_map(|(d, src)| Inst::Mov { dst: Reg(d), src }),
+        (arb_memty(), 0..NREGS, arb_operand(NREGS), -64i64..64)
+            .prop_map(|(ty, d, addr, offset)| Inst::Ld { ty, dst: Reg(d), addr, offset }),
+        (arb_memty(), arb_operand(NREGS), arb_operand(NREGS), -64i64..64)
+            .prop_map(|(ty, src, addr, offset)| Inst::St { ty, src, addr, offset }),
+        (0..16i64, prop_oneof![Just(None), (1i64..8).prop_map(|w| Some(Operand::ImmI(w * 32)))])
+            .prop_map(|(id, count)| Inst::BarSync { id: Operand::ImmI(id), count }),
+        (0..NREGS, arb_operand(NREGS), arb_operand(NREGS), arb_operand(NREGS)).prop_map(
+            |(d, addr, e, n)| Inst::AtomCas { dst: Reg(d), addr, expected: e, new: n }
+        ),
+        proptest::collection::vec(arb_operand(NREGS), 0..4).prop_map(|args| Inst::Intrinsic {
+            name: "cudadev_barrier".into(),
+            dst: None,
+            args,
+            sargs: vec![]
+        }),
+        (proptest::collection::vec(arb_operand(NREGS), 0..3), any::<bool>()).prop_map(
+            |(args, with_fmt)| Inst::Intrinsic {
+                name: "printf".into(),
+                dst: Some(Reg(0)),
+                args,
+                sargs: if with_fmt {
+                    vec!["v=%d \"quoted\" \\ \n end".into()]
+                } else {
+                    vec![]
+                },
+            }
+        ),
+        Just(Inst::Ret { val: None }),
+    ]
+}
+
+fn arb_nodes(depth: u32) -> BoxedStrategy<Vec<Node>> {
+    let inst = arb_inst().prop_map(Node::Inst);
+    if depth == 0 {
+        proptest::collection::vec(inst, 0..5).boxed()
+    } else {
+        let child = arb_nodes(depth - 1);
+        let node = prop_oneof![
+            arb_inst().prop_map(Node::Inst),
+            (arb_operand(NREGS), child.clone(), child.clone())
+                .prop_map(|(cond, then_b, else_b)| Node::If { cond, then_b, else_b }),
+            child.prop_map(|body| {
+                // Loops must be escapable for the verifier's sanity — give
+                // them a break.
+                let mut b = body;
+                b.push(Node::Break);
+                Node::Loop { body: b }
+            }),
+        ];
+        proptest::collection::vec(node, 0..5).boxed()
+    }
+}
+
+fn arb_function() -> impl Strategy<Value = Function> {
+    (proptest::collection::vec(arb_scalar(), 0..4), arb_nodes(2), any::<bool>()).prop_map(
+        |(ptys, mut body, is_kernel)| {
+            body.push(Node::Inst(Inst::Ret { val: None }));
+            Function {
+                name: "k".into(),
+                is_kernel,
+                params: ptys
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, ty)| ParamDecl { name: format!("p{i}"), ty })
+                    .collect(),
+                num_regs: NREGS,
+                local_size: 32,
+                shared_size: 16,
+                body,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn text_roundtrip(f in arb_function()) {
+        let m = Module {
+            name: "prop".into(),
+            arch: "sm_53".into(),
+            functions: vec![f],
+            device_lib_linked: true,
+        };
+        let text = sptx::text::print_module(&m);
+        let back = sptx::text::parse_module(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(&m, &back, "text roundtrip mismatch:\n{}", text);
+    }
+
+    #[test]
+    fn cubin_roundtrip(f in arb_function()) {
+        let m = Module {
+            name: "prop".into(),
+            arch: "sm_53".into(),
+            functions: vec![f],
+            device_lib_linked: false,
+        };
+        let bin = sptx::cubin::encode(&m);
+        let back = sptx::cubin::decode(&bin).unwrap();
+        prop_assert_eq!(m, back);
+    }
+
+    /// Decoding never panics on arbitrary bytes (fuzz-ish).
+    #[test]
+    fn cubin_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = sptx::cubin::decode(&bytes);
+    }
+
+    /// The assembler never panics on arbitrary text.
+    #[test]
+    fn asm_never_panics(text in "[ -~\n]{0,400}") {
+        let _ = sptx::text::parse_module(&text);
+    }
+}

@@ -1,0 +1,387 @@
+//! Application definitions: sources, workload setup, sequential references.
+
+use minic::interp::{IResult, Machine};
+use vmcommon::Value;
+
+use crate::{alloc_f32, read_f32};
+
+/// One benchmark application.
+pub struct App {
+    pub name: &'static str,
+    /// OpenMP offload source (`run(...)` entry).
+    pub omp_src: &'static str,
+    /// Hand-written CUDA source (`run(...)` entry).
+    pub cuda_src: &'static str,
+    /// Problem sizes of the paper's Fig. 4 x-axis.
+    pub paper_sizes: &'static [u32],
+    /// Small size used by the functional validation tests.
+    pub test_size: u32,
+    /// Relative-error tolerance for validation.
+    pub tolerance: f32,
+    /// Bytes of guest memory needed at size n.
+    pub footprint: fn(u32) -> u64,
+    /// Allocate + initialize buffers; returns `run(...)` arguments
+    /// (first argument is always `n`).
+    pub setup: fn(&Machine, u32) -> IResult<Vec<Value>>,
+    /// Read the output buffers after `run`.
+    pub outputs: fn(&Machine, &[Value], u32) -> IResult<Vec<f32>>,
+    /// Sequential Rust reference producing the same outputs.
+    pub reference: fn(u32) -> Vec<f32>,
+}
+
+/// All six applications of the paper's Fig. 4.
+pub fn all_apps() -> Vec<App> {
+    vec![conv3d(), bicg(), atax(), mvt(), gemm(), gramschmidt()]
+}
+
+pub fn app_by_name(name: &str) -> Option<App> {
+    all_apps().into_iter().find(|a| a.name == name)
+}
+
+// ------------------------------------------------------------------ inits
+
+fn init_gemm(n: u32) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let n = n as usize;
+    let mut a = vec![0.0f32; n * n];
+    let mut b = vec![0.0f32; n * n];
+    let mut c = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = ((i * j + 1) % n) as f32 / n as f32;
+            b[i * n + j] = ((i * j + 2) % n) as f32 / n as f32;
+            c[i * n + j] = ((i * j + 3) % n) as f32 / n as f32;
+        }
+    }
+    (a, b, c)
+}
+
+fn init_matrix(n: u32) -> Vec<f32> {
+    let n = n as usize;
+    let mut a = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = ((i + j) % n) as f32 / n as f32;
+        }
+    }
+    a
+}
+
+fn init_vec(n: u32, seed: u32) -> Vec<f32> {
+    (0..n).map(|i| ((i + seed) % 17) as f32 * 0.25).collect()
+}
+
+// ------------------------------------------------------------------- gemm
+
+fn gemm() -> App {
+    App {
+        name: "gemm",
+        omp_src: include_str!("apps/gemm_omp.c"),
+        cuda_src: include_str!("apps/gemm_cuda.c"),
+        paper_sizes: &[128, 256, 512, 1024, 2048],
+        test_size: 40,
+        tolerance: 2e-4,
+        footprint: |n| 3 * (n as u64 * n as u64 * 4) + (n as u64 * n as u64 * 4),
+        setup: |m, n| {
+            let (a, b, c) = init_gemm(n);
+            Ok(vec![
+                Value::I32(n as i32),
+                alloc_f32(m, &a)?,
+                alloc_f32(m, &b)?,
+                alloc_f32(m, &c)?,
+            ])
+        },
+        outputs: |m, args, n| read_f32(m, args[3], (n * n) as usize),
+        reference: |n| {
+            let (a, b, c0) = init_gemm(n);
+            let n = n as usize;
+            let mut c = vec![0.0f32; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    let mut acc = c0[i * n + j] * 2123.0f32;
+                    for k in 0..n {
+                        acc += 32412.0f32 * a[i * n + k] * b[k * n + j];
+                    }
+                    c[i * n + j] = acc;
+                }
+            }
+            c
+        },
+    }
+}
+
+// ------------------------------------------------------------------- atax
+
+fn atax() -> App {
+    App {
+        name: "atax",
+        omp_src: include_str!("apps/atax_omp.c"),
+        cuda_src: include_str!("apps/atax_cuda.c"),
+        paper_sizes: &[512, 1024, 2048, 4096, 8192],
+        test_size: 96,
+        tolerance: 1e-4,
+        footprint: |n| 2 * (n as u64 * n as u64 * 4) + 16 * n as u64,
+        setup: |m, n| {
+            let a = init_matrix(n);
+            let x = init_vec(n, 1);
+            Ok(vec![
+                Value::I32(n as i32),
+                alloc_f32(m, &a)?,
+                alloc_f32(m, &x)?,
+                alloc_f32(m, &vec![0.0; n as usize])?, // y
+                alloc_f32(m, &vec![0.0; n as usize])?, // tmp
+            ])
+        },
+        outputs: |m, args, n| read_f32(m, args[3], n as usize),
+        reference: |n| {
+            let a = init_matrix(n);
+            let x = init_vec(n, 1);
+            let n = n as usize;
+            let mut tmp = vec![0.0f32; n];
+            let mut y = vec![0.0f32; n];
+            for i in 0..n {
+                let mut t = 0.0f32;
+                for j in 0..n {
+                    t += a[i * n + j] * x[j];
+                }
+                tmp[i] = t;
+            }
+            for j in 0..n {
+                let mut t = 0.0f32;
+                for i in 0..n {
+                    t += a[i * n + j] * tmp[i];
+                }
+                y[j] = t;
+            }
+            y
+        },
+    }
+}
+
+// ------------------------------------------------------------------- bicg
+
+fn bicg() -> App {
+    App {
+        name: "bicg",
+        omp_src: include_str!("apps/bicg_omp.c"),
+        cuda_src: include_str!("apps/bicg_cuda.c"),
+        paper_sizes: &[512, 1024, 2048, 4096, 8192],
+        test_size: 96,
+        tolerance: 1e-4,
+        footprint: |n| 2 * (n as u64 * n as u64 * 4) + 24 * n as u64,
+        setup: |m, n| {
+            let a = init_matrix(n);
+            let r = init_vec(n, 3);
+            let p = init_vec(n, 5);
+            Ok(vec![
+                Value::I32(n as i32),
+                alloc_f32(m, &a)?,
+                alloc_f32(m, &r)?,
+                alloc_f32(m, &vec![0.0; n as usize])?, // s
+                alloc_f32(m, &p)?,
+                alloc_f32(m, &vec![0.0; n as usize])?, // q
+            ])
+        },
+        outputs: |m, args, n| {
+            let mut s = read_f32(m, args[3], n as usize)?;
+            let q = read_f32(m, args[5], n as usize)?;
+            s.extend(q);
+            Ok(s)
+        },
+        reference: |n| {
+            let a = init_matrix(n);
+            let r = init_vec(n, 3);
+            let p = init_vec(n, 5);
+            let n = n as usize;
+            let mut s = vec![0.0f32; n];
+            let mut q = vec![0.0f32; n];
+            for j in 0..n {
+                let mut t = 0.0f32;
+                for i in 0..n {
+                    t += a[i * n + j] * r[i];
+                }
+                s[j] = t;
+            }
+            for i in 0..n {
+                let mut t = 0.0f32;
+                for j in 0..n {
+                    t += a[i * n + j] * p[j];
+                }
+                q[i] = t;
+            }
+            s.extend(q);
+            s
+        },
+    }
+}
+
+// -------------------------------------------------------------------- mvt
+
+fn mvt() -> App {
+    App {
+        name: "mvt",
+        omp_src: include_str!("apps/mvt_omp.c"),
+        cuda_src: include_str!("apps/mvt_cuda.c"),
+        paper_sizes: &[512, 1024, 2048, 4096, 8192],
+        test_size: 96,
+        tolerance: 1e-4,
+        footprint: |n| 2 * (n as u64 * n as u64 * 4) + 32 * n as u64,
+        setup: |m, n| {
+            let a = init_matrix(n);
+            Ok(vec![
+                Value::I32(n as i32),
+                alloc_f32(m, &a)?,
+                alloc_f32(m, &init_vec(n, 0))?, // x1
+                alloc_f32(m, &init_vec(n, 2))?, // x2
+                alloc_f32(m, &init_vec(n, 4))?, // y1
+                alloc_f32(m, &init_vec(n, 6))?, // y2
+            ])
+        },
+        outputs: |m, args, n| {
+            let mut x1 = read_f32(m, args[2], n as usize)?;
+            let x2 = read_f32(m, args[3], n as usize)?;
+            x1.extend(x2);
+            Ok(x1)
+        },
+        reference: |n| {
+            let a = init_matrix(n);
+            let mut x1 = init_vec(n, 0);
+            let mut x2 = init_vec(n, 2);
+            let y1 = init_vec(n, 4);
+            let y2 = init_vec(n, 6);
+            let n = n as usize;
+            for i in 0..n {
+                let mut t = x1[i];
+                for j in 0..n {
+                    t += a[i * n + j] * y1[j];
+                }
+                x1[i] = t;
+            }
+            for i in 0..n {
+                let mut t = x2[i];
+                for j in 0..n {
+                    t += a[j * n + i] * y2[j];
+                }
+                x2[i] = t;
+            }
+            x1.extend(x2);
+            x1
+        },
+    }
+}
+
+// ----------------------------------------------------------------- 3dconv
+
+fn conv3d() -> App {
+    App {
+        name: "3dconv",
+        omp_src: include_str!("apps/conv3d_omp.c"),
+        cuda_src: include_str!("apps/conv3d_cuda.c"),
+        paper_sizes: &[32, 64, 128, 256, 384],
+        test_size: 16,
+        tolerance: 1e-5,
+        footprint: |n| 2 * (n as u64 * n as u64 * n as u64 * 4),
+        setup: |m, n| {
+            let len = (n as usize).pow(3);
+            let a: Vec<f32> = (0..len).map(|i| ((i % 13) as f32) / 13.0).collect();
+            Ok(vec![
+                Value::I32(n as i32),
+                alloc_f32(m, &a)?,
+                alloc_f32(m, &vec![0.0; len])?,
+            ])
+        },
+        outputs: |m, args, n| read_f32(m, args[2], (n as usize).pow(3)),
+        reference: |n| {
+            let nn = n as usize;
+            let len = nn.pow(3);
+            let a: Vec<f32> = (0..len).map(|i| ((i % 13) as f32) / 13.0).collect();
+            let mut b = vec![0.0f32; len];
+            let at = |i: usize, j: usize, k: usize| a[i * nn * nn + j * nn + k];
+            for i in 1..nn - 1 {
+                for j in 1..nn - 1 {
+                    for k in 1..nn - 1 {
+                        b[i * nn * nn + j * nn + k] = 2.0 * at(i - 1, j - 1, k - 1)
+                            + 0.5 * at(i + 1, j - 1, k - 1)
+                            - 8.0 * at(i - 1, j - 1, k)
+                            - 3.0 * at(i + 1, j - 1, k)
+                            + 4.0 * at(i - 1, j - 1, k + 1)
+                            - 1.0 * at(i + 1, j - 1, k + 1)
+                            + 6.0 * at(i, j, k)
+                            - 9.0 * at(i - 1, j + 1, k - 1)
+                            + 2.0 * at(i + 1, j + 1, k - 1)
+                            + 7.0 * at(i - 1, j + 1, k + 1)
+                            + 10.0 * at(i + 1, j + 1, k + 1);
+                    }
+                }
+            }
+            b
+        },
+    }
+}
+
+// ------------------------------------------------------------ gramschmidt
+
+fn init_gs(n: u32) -> Vec<f32> {
+    let n = n as usize;
+    let mut a = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] =
+                ((i * j + 1) % n) as f32 / n as f32 + if i == j { 2.0 } else { 0.0 };
+        }
+    }
+    a
+}
+
+fn gramschmidt() -> App {
+    App {
+        name: "gramschmidt",
+        omp_src: include_str!("apps/gramschmidt_omp.c"),
+        cuda_src: include_str!("apps/gramschmidt_cuda.c"),
+        paper_sizes: &[128, 256, 512, 1024, 2048],
+        test_size: 24,
+        tolerance: 5e-2,
+        footprint: |n| 6 * (n as u64 * n as u64 * 4),
+        setup: |m, n| {
+            let a = init_gs(n);
+            let len = (n * n) as usize;
+            Ok(vec![
+                Value::I32(n as i32),
+                alloc_f32(m, &a)?,
+                alloc_f32(m, &vec![0.0; len])?, // r
+                alloc_f32(m, &vec![0.0; len])?, // q
+            ])
+        },
+        outputs: |m, args, n| {
+            // Compare Q (the orthonormal basis).
+            read_f32(m, args[3], (n * n) as usize)
+        },
+        reference: |n| {
+            let nn = n as usize;
+            let mut a = init_gs(n);
+            let mut r = vec![0.0f32; nn * nn];
+            let mut q = vec![0.0f32; nn * nn];
+            for k in 0..nn {
+                let mut nrm = 0.0f32;
+                for i in 0..nn {
+                    nrm += a[i * nn + k] * a[i * nn + k];
+                }
+                let rkk = nrm.sqrt();
+                r[k * nn + k] = rkk;
+                for i in 0..nn {
+                    q[i * nn + k] = a[i * nn + k] / rkk;
+                }
+                for j in k + 1..nn {
+                    let mut s = 0.0f32;
+                    for i in 0..nn {
+                        s += q[i * nn + k] * a[i * nn + j];
+                    }
+                    r[k * nn + j] = s;
+                    for i in 0..nn {
+                        a[i * nn + j] -= q[i * nn + k] * s;
+                    }
+                }
+            }
+            q
+        },
+    }
+}

@@ -1,0 +1,50 @@
+/* atax — CUDA baseline. */
+int cudaMemcpyHostToDevice = 1;
+int cudaMemcpyDeviceToHost = 2;
+
+__global__ void atax_kernel1(int n, float *a, float *x, float *tmp)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float t = 0.0f;
+        for (int j = 0; j < n; j++)
+            t += a[i * n + j] * x[j];
+        tmp[i] = t;
+    }
+}
+
+__global__ void atax_kernel2(int n, float *a, float *y, float *tmp)
+{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < n) {
+        float t = 0.0f;
+        for (int i = 0; i < n; i++)
+            t += a[i * n + j] * tmp[i];
+        y[j] = t;
+    }
+}
+
+void run(int n, float *a, float *x, float *y, float *tmp)
+{
+    float *da;
+    float *dx;
+    float *dy;
+    float *dtmp;
+    long mbytes = (long) n * n * sizeof(float);
+    long vbytes = (long) n * sizeof(float);
+    cudaMalloc(&da, mbytes);
+    cudaMalloc(&dx, vbytes);
+    cudaMalloc(&dy, vbytes);
+    cudaMalloc(&dtmp, vbytes);
+    cudaMemcpy(da, a, mbytes, cudaMemcpyHostToDevice);
+    cudaMemcpy(dx, x, vbytes, cudaMemcpyHostToDevice);
+    dim3 block(256);
+    dim3 grid((n + 255) / 256);
+    atax_kernel1<<<grid, block>>>(n, da, dx, dtmp);
+    atax_kernel2<<<grid, block>>>(n, da, dy, dtmp);
+    cudaMemcpy(y, dy, vbytes, cudaMemcpyDeviceToHost);
+    cudaFree(da);
+    cudaFree(dx);
+    cudaFree(dy);
+    cudaFree(dtmp);
+}

@@ -1,0 +1,23 @@
+/* atax: y = A^T (A x) — OpenMP offload, two kernels under one target data. */
+void run(int n, float *a, float *x, float *y, float *tmp)
+{
+    #pragma omp target data map(to: a[0:n*n], x[0:n]) map(from: y[0:n]) map(alloc: tmp[0:n])
+    {
+        #pragma omp target teams distribute parallel for num_threads(256) \
+                map(to: a[0:n*n], x[0:n]) map(alloc: tmp[0:n])
+        for (int i = 0; i < n; i++) {
+            float t = 0.0f;
+            for (int j = 0; j < n; j++)
+                t += a[i * n + j] * x[j];
+            tmp[i] = t;
+        }
+        #pragma omp target teams distribute parallel for num_threads(256) \
+                map(to: a[0:n*n]) map(alloc: tmp[0:n]) map(from: y[0:n])
+        for (int j = 0; j < n; j++) {
+            float t = 0.0f;
+            for (int i = 0; i < n; i++)
+                t += a[i * n + j] * tmp[i];
+            y[j] = t;
+        }
+    }
+}

@@ -1,0 +1,55 @@
+/* bicg — CUDA baseline. */
+int cudaMemcpyHostToDevice = 1;
+int cudaMemcpyDeviceToHost = 2;
+
+__global__ void bicg_kernel1(int n, float *a, float *r, float *s)
+{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    if (j < n) {
+        float t = 0.0f;
+        for (int i = 0; i < n; i++)
+            t += a[i * n + j] * r[i];
+        s[j] = t;
+    }
+}
+
+__global__ void bicg_kernel2(int n, float *a, float *p, float *q)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float t = 0.0f;
+        for (int j = 0; j < n; j++)
+            t += a[i * n + j] * p[j];
+        q[i] = t;
+    }
+}
+
+void run(int n, float *a, float *r, float *s, float *p, float *q)
+{
+    float *da;
+    float *dr;
+    float *ds;
+    float *dp;
+    float *dq;
+    long mbytes = (long) n * n * sizeof(float);
+    long vbytes = (long) n * sizeof(float);
+    cudaMalloc(&da, mbytes);
+    cudaMalloc(&dr, vbytes);
+    cudaMalloc(&ds, vbytes);
+    cudaMalloc(&dp, vbytes);
+    cudaMalloc(&dq, vbytes);
+    cudaMemcpy(da, a, mbytes, cudaMemcpyHostToDevice);
+    cudaMemcpy(dr, r, vbytes, cudaMemcpyHostToDevice);
+    cudaMemcpy(dp, p, vbytes, cudaMemcpyHostToDevice);
+    dim3 block(256);
+    dim3 grid((n + 255) / 256);
+    bicg_kernel1<<<grid, block>>>(n, da, dr, ds);
+    bicg_kernel2<<<grid, block>>>(n, da, dp, dq);
+    cudaMemcpy(s, ds, vbytes, cudaMemcpyDeviceToHost);
+    cudaMemcpy(q, dq, vbytes, cudaMemcpyDeviceToHost);
+    cudaFree(da);
+    cudaFree(dr);
+    cudaFree(ds);
+    cudaFree(dp);
+    cudaFree(dq);
+}

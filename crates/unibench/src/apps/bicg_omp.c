@@ -1,0 +1,23 @@
+/* bicg: s = A^T r ; q = A p — OpenMP offload. */
+void run(int n, float *a, float *r, float *s, float *p, float *q)
+{
+    #pragma omp target data map(to: a[0:n*n], r[0:n], p[0:n]) map(from: s[0:n], q[0:n])
+    {
+        #pragma omp target teams distribute parallel for num_threads(256) \
+                map(to: a[0:n*n], r[0:n]) map(from: s[0:n])
+        for (int j = 0; j < n; j++) {
+            float t = 0.0f;
+            for (int i = 0; i < n; i++)
+                t += a[i * n + j] * r[i];
+            s[j] = t;
+        }
+        #pragma omp target teams distribute parallel for num_threads(256) \
+                map(to: a[0:n*n], p[0:n]) map(from: q[0:n])
+        for (int i = 0; i < n; i++) {
+            float t = 0.0f;
+            for (int j = 0; j < n; j++)
+                t += a[i * n + j] * p[j];
+            q[i] = t;
+        }
+    }
+}

@@ -1,0 +1,40 @@
+/* 3dconv — CUDA baseline (3D blocks, the paper's 2x4x32-thread shape). */
+int cudaMemcpyHostToDevice = 1;
+int cudaMemcpyDeviceToHost = 2;
+
+__global__ void conv3d_kernel(int n, float *a, float *b)
+{
+    int k = blockIdx.x * blockDim.x + threadIdx.x + 1;
+    int j = blockIdx.y * blockDim.y + threadIdx.y + 1;
+    int i = blockIdx.z * blockDim.z + threadIdx.z + 1;
+    if (i < n - 1 && j < n - 1 && k < n - 1) {
+        b[i * n * n + j * n + k] =
+              2.0f  * a[(i - 1) * n * n + (j - 1) * n + (k - 1)]
+            + 0.5f  * a[(i + 1) * n * n + (j - 1) * n + (k - 1)]
+            - 8.0f  * a[(i - 1) * n * n + (j - 1) * n + k]
+            - 3.0f  * a[(i + 1) * n * n + (j - 1) * n + k]
+            + 4.0f  * a[(i - 1) * n * n + (j - 1) * n + (k + 1)]
+            - 1.0f  * a[(i + 1) * n * n + (j - 1) * n + (k + 1)]
+            + 6.0f  * a[i * n * n + j * n + k]
+            - 9.0f  * a[(i - 1) * n * n + (j + 1) * n + (k - 1)]
+            + 2.0f  * a[(i + 1) * n * n + (j + 1) * n + (k - 1)]
+            + 7.0f  * a[(i - 1) * n * n + (j + 1) * n + (k + 1)]
+            + 10.0f * a[(i + 1) * n * n + (j + 1) * n + (k + 1)];
+    }
+}
+
+void run(int n, float *a, float *b)
+{
+    float *da;
+    float *db;
+    long bytes = (long) n * n * n * sizeof(float);
+    cudaMalloc(&da, bytes);
+    cudaMalloc(&db, bytes);
+    cudaMemcpy(da, a, bytes, cudaMemcpyHostToDevice);
+    dim3 block(32, 4, 2);
+    dim3 grid((n - 2 + 31) / 32, (n - 2 + 3) / 4, (n - 2 + 1) / 2);
+    conv3d_kernel<<<grid, block>>>(n, da, db);
+    cudaMemcpy(b, db, bytes, cudaMemcpyDeviceToHost);
+    cudaFree(da);
+    cudaFree(db);
+}

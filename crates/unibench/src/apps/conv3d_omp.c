@@ -1,0 +1,24 @@
+/* 3dconv (Polybench stencil): 11-point 3D convolution — OpenMP offload. */
+void run(int n, float *a, float *b)
+{
+    #pragma omp target teams distribute parallel for collapse(3) \
+            map(to: a[0:n*n*n]) map(from: b[0:n*n*n]) num_threads(256)
+    for (int i = 1; i < n - 1; i++) {
+        for (int j = 1; j < n - 1; j++) {
+            for (int k = 1; k < n - 1; k++) {
+                b[i * n * n + j * n + k] =
+                      2.0f  * a[(i - 1) * n * n + (j - 1) * n + (k - 1)]
+                    + 0.5f  * a[(i + 1) * n * n + (j - 1) * n + (k - 1)]
+                    - 8.0f  * a[(i - 1) * n * n + (j - 1) * n + k]
+                    - 3.0f  * a[(i + 1) * n * n + (j - 1) * n + k]
+                    + 4.0f  * a[(i - 1) * n * n + (j - 1) * n + (k + 1)]
+                    - 1.0f  * a[(i + 1) * n * n + (j - 1) * n + (k + 1)]
+                    + 6.0f  * a[i * n * n + j * n + k]
+                    - 9.0f  * a[(i - 1) * n * n + (j + 1) * n + (k - 1)]
+                    + 2.0f  * a[(i + 1) * n * n + (j + 1) * n + (k - 1)]
+                    + 7.0f  * a[(i - 1) * n * n + (j + 1) * n + (k + 1)]
+                    + 10.0f * a[(i + 1) * n * n + (j + 1) * n + (k + 1)];
+            }
+        }
+    }
+}

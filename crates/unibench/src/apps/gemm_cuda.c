@@ -1,0 +1,36 @@
+/* gemm — hand-written CUDA baseline (Polybench-ACC shape, 32x8 blocks). */
+int cudaMemcpyHostToDevice = 1;
+int cudaMemcpyDeviceToHost = 2;
+
+__global__ void gemm_kernel(int n, float *a, float *b, float *c)
+{
+    int j = blockIdx.x * blockDim.x + threadIdx.x;
+    int i = blockIdx.y * blockDim.y + threadIdx.y;
+    if (i < n && j < n) {
+        float acc = c[i * n + j] * 2123.0f;
+        for (int k = 0; k < n; k++)
+            acc += 32412.0f * a[i * n + k] * b[k * n + j];
+        c[i * n + j] = acc;
+    }
+}
+
+void run(int n, float *a, float *b, float *c)
+{
+    float *da;
+    float *db;
+    float *dc;
+    long bytes = (long) n * n * sizeof(float);
+    cudaMalloc(&da, bytes);
+    cudaMalloc(&db, bytes);
+    cudaMalloc(&dc, bytes);
+    cudaMemcpy(da, a, bytes, cudaMemcpyHostToDevice);
+    cudaMemcpy(db, b, bytes, cudaMemcpyHostToDevice);
+    cudaMemcpy(dc, c, bytes, cudaMemcpyHostToDevice);
+    dim3 block(32, 8);
+    dim3 grid((n + 31) / 32, (n + 7) / 8);
+    gemm_kernel<<<grid, block>>>(n, da, db, dc);
+    cudaMemcpy(c, dc, bytes, cudaMemcpyDeviceToHost);
+    cudaFree(da);
+    cudaFree(db);
+    cudaFree(dc);
+}

@@ -1,0 +1,16 @@
+/* gemm (UniBench/Polybench): C = alpha*A*B + beta*C — OpenMP offload.
+ * Combined construct with collapse(2), the paper's recommended form. */
+void run(int n, float *a, float *b, float *c)
+{
+    #pragma omp target teams distribute parallel for collapse(2) \
+            map(to: a[0:n*n], b[0:n*n]) map(tofrom: c[0:n*n]) \
+            num_teams((n + 31) / 32 * ((n + 7) / 8)) num_threads(256)
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            float acc = c[i * n + j] * 2123.0f;
+            for (int k = 0; k < n; k++)
+                acc += 32412.0f * a[i * n + k] * b[k * n + j];
+            c[i * n + j] = acc;
+        }
+    }
+}

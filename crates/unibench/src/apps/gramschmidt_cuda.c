@@ -1,0 +1,58 @@
+/* gramschmidt — CUDA baseline (Polybench-ACC shape: 256x1 blocks, three
+ * kernels per k iteration). */
+int cudaMemcpyHostToDevice = 1;
+int cudaMemcpyDeviceToHost = 2;
+
+__global__ void gs_kernel1(int n, int k, float *a, float *r)
+{
+    if (blockIdx.x == 0 && threadIdx.x == 0) {
+        float nrm = 0.0f;
+        for (int i = 0; i < n; i++)
+            nrm += a[i * n + k] * a[i * n + k];
+        r[k * n + k] = sqrtf(nrm);
+    }
+}
+
+__global__ void gs_kernel2(int n, int k, float *a, float *r, float *q)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n)
+        q[i * n + k] = a[i * n + k] / r[k * n + k];
+}
+
+__global__ void gs_kernel3(int n, int k, float *a, float *r, float *q)
+{
+    int j = blockIdx.x * blockDim.x + threadIdx.x + k + 1;
+    if (j < n) {
+        float s = 0.0f;
+        for (int i = 0; i < n; i++)
+            s += q[i * n + k] * a[i * n + j];
+        r[k * n + j] = s;
+        for (int i = 0; i < n; i++)
+            a[i * n + j] = a[i * n + j] - q[i * n + k] * s;
+    }
+}
+
+void run(int n, float *a, float *r, float *q)
+{
+    float *da;
+    float *dr;
+    float *dq;
+    long bytes = (long) n * n * sizeof(float);
+    cudaMalloc(&da, bytes);
+    cudaMalloc(&dr, bytes);
+    cudaMalloc(&dq, bytes);
+    cudaMemcpy(da, a, bytes, cudaMemcpyHostToDevice);
+    dim3 block(256, 1);
+    for (int k = 0; k < n; k++) {
+        gs_kernel1<<<dim3(1), block>>>(n, k, da, dr);
+        gs_kernel2<<<dim3((n + 255) / 256), block>>>(n, k, da, dr, dq);
+        gs_kernel3<<<dim3((n + 255) / 256), block>>>(n, k, da, dr, dq);
+    }
+    cudaMemcpy(a, da, bytes, cudaMemcpyDeviceToHost);
+    cudaMemcpy(r, dr, bytes, cudaMemcpyDeviceToHost);
+    cudaMemcpy(q, dq, bytes, cudaMemcpyDeviceToHost);
+    cudaFree(da);
+    cudaFree(dr);
+    cudaFree(dq);
+}

@@ -1,0 +1,34 @@
+/* gramschmidt (solver): modified Gram-Schmidt QR — OpenMP offload.
+ * The sequential k loop launches three target regions per iteration,
+ * sharing buffers through an enclosing target data region. */
+void run(int n, float *a, float *r, float *q)
+{
+    #pragma omp target data map(tofrom: a[0:n*n]) map(from: r[0:n*n], q[0:n*n])
+    {
+        for (int k = 0; k < n; k++) {
+            float nrm = 0.0f;
+            #pragma omp target teams distribute parallel for num_threads(256) \
+                    map(to: a[0:n*n]) reduction(+: nrm)
+            for (int i = 0; i < n; i++)
+                nrm += a[i * n + k] * a[i * n + k];
+            float rkk = sqrtf(nrm);
+            #pragma omp target teams distribute parallel for num_threads(256) \
+                    map(tofrom: a[0:n*n], q[0:n*n], r[0:n*n])
+            for (int i = 0; i < n; i++) {
+                q[i * n + k] = a[i * n + k] / rkk;
+                if (i == 0)
+                    r[k * n + k] = rkk;
+            }
+            #pragma omp target teams distribute parallel for num_threads(256) \
+                    map(tofrom: a[0:n*n], q[0:n*n], r[0:n*n])
+            for (int j = k + 1; j < n; j++) {
+                float s = 0.0f;
+                for (int i = 0; i < n; i++)
+                    s += q[i * n + k] * a[i * n + j];
+                r[k * n + j] = s;
+                for (int i = 0; i < n; i++)
+                    a[i * n + j] = a[i * n + j] - q[i * n + k] * s;
+            }
+        }
+    }
+}

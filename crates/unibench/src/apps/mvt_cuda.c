@@ -1,0 +1,57 @@
+/* mvt — CUDA baseline. */
+int cudaMemcpyHostToDevice = 1;
+int cudaMemcpyDeviceToHost = 2;
+
+__global__ void mvt_kernel1(int n, float *a, float *x1, float *y1)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float t = x1[i];
+        for (int j = 0; j < n; j++)
+            t += a[i * n + j] * y1[j];
+        x1[i] = t;
+    }
+}
+
+__global__ void mvt_kernel2(int n, float *a, float *x2, float *y2)
+{
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        float t = x2[i];
+        for (int j = 0; j < n; j++)
+            t += a[j * n + i] * y2[j];
+        x2[i] = t;
+    }
+}
+
+void run(int n, float *a, float *x1, float *x2, float *y1, float *y2)
+{
+    float *da;
+    float *dx1;
+    float *dx2;
+    float *dy1;
+    float *dy2;
+    long mbytes = (long) n * n * sizeof(float);
+    long vbytes = (long) n * sizeof(float);
+    cudaMalloc(&da, mbytes);
+    cudaMalloc(&dx1, vbytes);
+    cudaMalloc(&dx2, vbytes);
+    cudaMalloc(&dy1, vbytes);
+    cudaMalloc(&dy2, vbytes);
+    cudaMemcpy(da, a, mbytes, cudaMemcpyHostToDevice);
+    cudaMemcpy(dx1, x1, vbytes, cudaMemcpyHostToDevice);
+    cudaMemcpy(dx2, x2, vbytes, cudaMemcpyHostToDevice);
+    cudaMemcpy(dy1, y1, vbytes, cudaMemcpyHostToDevice);
+    cudaMemcpy(dy2, y2, vbytes, cudaMemcpyHostToDevice);
+    dim3 block(256);
+    dim3 grid((n + 255) / 256);
+    mvt_kernel1<<<grid, block>>>(n, da, dx1, dy1);
+    mvt_kernel2<<<grid, block>>>(n, da, dx2, dy2);
+    cudaMemcpy(x1, dx1, vbytes, cudaMemcpyDeviceToHost);
+    cudaMemcpy(x2, dx2, vbytes, cudaMemcpyDeviceToHost);
+    cudaFree(da);
+    cudaFree(dx1);
+    cudaFree(dx2);
+    cudaFree(dy1);
+    cudaFree(dy2);
+}

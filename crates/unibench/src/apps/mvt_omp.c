@@ -1,0 +1,23 @@
+/* mvt: x1 += A y1 ; x2 += A^T y2 — OpenMP offload. */
+void run(int n, float *a, float *x1, float *x2, float *y1, float *y2)
+{
+    #pragma omp target data map(to: a[0:n*n], y1[0:n], y2[0:n]) map(tofrom: x1[0:n], x2[0:n])
+    {
+        #pragma omp target teams distribute parallel for num_threads(256) \
+                map(to: a[0:n*n], y1[0:n]) map(tofrom: x1[0:n])
+        for (int i = 0; i < n; i++) {
+            float t = x1[i];
+            for (int j = 0; j < n; j++)
+                t += a[i * n + j] * y1[j];
+            x1[i] = t;
+        }
+        #pragma omp target teams distribute parallel for num_threads(256) \
+                map(to: a[0:n*n], y2[0:n]) map(tofrom: x2[0:n])
+        for (int i = 0; i < n; i++) {
+            float t = x2[i];
+            for (int j = 0; j < n; j++)
+                t += a[j * n + i] * y2[j];
+            x2[i] = t;
+        }
+    }
+}

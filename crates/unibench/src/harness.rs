@@ -1,0 +1,126 @@
+//! Build/measure/validate machinery shared by tests and the Fig. 4 harness.
+
+use gpusim::ExecMode;
+use ompi_core::Runner;
+
+use crate::apps::App;
+use crate::{compile_cuda, compile_omp, max_rel_err, run_once, runner_config};
+
+/// Which implementation to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// OpenMP version through OMPi + cudadev.
+    OmpiCudadev,
+    /// Hand-written CUDA through the nvcc stand-in.
+    Cuda,
+}
+
+impl Variant {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::OmpiCudadev => "OMPi CUDADEV",
+            Variant::Cuda => "CUDA",
+        }
+    }
+}
+
+/// A compiled, instantiated application.
+pub struct Built {
+    pub runner: Runner,
+    pub variant: Variant,
+}
+
+/// One measured point of a Fig. 4 series.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    pub n: u32,
+    /// The paper's metric: kernel time + required memory operations
+    /// (simulated seconds).
+    pub time_s: f64,
+    pub kernel_s: f64,
+    pub memcpy_s: f64,
+    pub launches: u64,
+}
+
+/// Compile one variant of an app and instantiate a runner sized for `n`.
+pub fn build_variant(
+    app: &App,
+    variant: Variant,
+    n: u32,
+    exec_mode: ExecMode,
+    launch_sampling: bool,
+    work_dir: &std::path::Path,
+) -> Built {
+    let cfg = runner_config((app.footprint)(n), exec_mode, launch_sampling);
+    let runner = match variant {
+        Variant::OmpiCudadev => {
+            let compiled = compile_omp(app, work_dir);
+            Runner::new(&compiled, &cfg).expect("runner")
+        }
+        Variant::Cuda => {
+            let compiled = compile_cuda(app, work_dir);
+            Runner::new_cuda(&compiled, &cfg).expect("runner")
+        }
+    };
+    Built { runner, variant }
+}
+
+/// Run once at size `n` and report the virtual device time.
+pub fn measure(app: &App, built: &Built, n: u32) -> Measurement {
+    built.runner.reset_dev_clock();
+    run_once(app, &built.runner, n).unwrap_or_else(|e| {
+        panic!("{} ({}) failed at n={n}: {e}", app.name, built.variant.label())
+    });
+    let clk = built.runner.dev_clock();
+    Measurement {
+        n,
+        time_s: clk.total_s(),
+        kernel_s: clk.kernel_s,
+        memcpy_s: clk.memcpy_s,
+        launches: clk.launches,
+    }
+}
+
+/// Functional validation: both variants at the app's test size must match
+/// the sequential Rust reference.
+pub fn validate_app(app: &App, work_dir: &std::path::Path) -> Result<(), String> {
+    let n = app.test_size;
+    let reference = (app.reference)(n);
+    for variant in [Variant::OmpiCudadev, Variant::Cuda] {
+        let built = build_variant(app, variant, n, ExecMode::Functional, false, work_dir);
+        let got = run_once(app, &built.runner, n)
+            .map_err(|e| format!("{} {}: {e}", app.name, variant.label()))?;
+        if got.len() != reference.len() {
+            return Err(format!(
+                "{} {}: output length {} vs reference {}",
+                app.name,
+                variant.label(),
+                got.len(),
+                reference.len()
+            ));
+        }
+        let err = max_rel_err(&got, &reference);
+        if err > app.tolerance {
+            // Locate the worst element for the diagnostic.
+            let (idx, _) = got
+                .iter()
+                .zip(&reference)
+                .enumerate()
+                .max_by(|(_, (x, y)), (_, (p, q))| {
+                    let e1 = (*x - *y).abs() / x.abs().max(y.abs()).max(1e-3);
+                    let e2 = (*p - *q).abs() / p.abs().max(q.abs()).max(1e-3);
+                    e1.partial_cmp(&e2).unwrap()
+                })
+                .unwrap();
+            return Err(format!(
+                "{} {}: max rel err {err:.2e} > {:.1e} at [{idx}]: got {} want {}",
+                app.name,
+                variant.label(),
+                app.tolerance,
+                got[idx],
+                reference[idx],
+            ));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! Functional validation of the Fig. 4 applications: both the OMPi and the
+//! CUDA variant must reproduce the sequential Rust reference at a small
+//! problem size.
+
+use unibench::{app_by_name, validate_app};
+
+fn workdir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("unibench-val-{}-{tag}", std::process::id()))
+}
+
+macro_rules! validate {
+    ($test:ident, $name:expr) => {
+        #[test]
+        fn $test() {
+            let app = app_by_name($name).expect("app");
+            validate_app(&app, &workdir($name)).unwrap();
+        }
+    };
+}
+
+validate!(validate_3dconv, "3dconv");
+validate!(validate_bicg, "bicg");
+validate!(validate_atax, "atax");
+validate!(validate_mvt, "mvt");
+validate!(validate_gemm, "gemm");
+validate!(validate_gramschmidt, "gramschmidt");

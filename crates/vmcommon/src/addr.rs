@@ -1,0 +1,102 @@
+//! Tagged guest addresses.
+//!
+//! A guest pointer is a `u64` whose top byte identifies the address space it
+//! points into. This mirrors the *generic addressing* of PTX: a single load
+//! instruction can dereference a pointer into global, shared or local memory
+//! and the hardware dispatches on the address. Host-program pointers use
+//! space 0 so that an accidental host-pointer dereference on the device is
+//! caught as an invalid-space trap instead of silently reading wrong data.
+
+/// Number of bits reserved for the in-space offset.
+pub const OFFSET_BITS: u32 = 56;
+const OFFSET_MASK: u64 = (1 << OFFSET_BITS) - 1;
+
+/// Address spaces understood by the interpreters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Space {
+    /// Host program memory (the `minic` interpreter arena).
+    Host = 0,
+    /// Device global memory (the simulated GPU DRAM).
+    Global = 1,
+    /// Per-block shared memory.
+    Shared = 2,
+    /// Per-thread local memory (spilled locals whose address is taken).
+    Local = 3,
+}
+
+impl Space {
+    /// Decode a space tag; `None` for unknown tags (a wild guest pointer).
+    pub fn from_tag(tag: u8) -> Option<Space> {
+        match tag {
+            0 => Some(Space::Host),
+            1 => Some(Space::Global),
+            2 => Some(Space::Shared),
+            3 => Some(Space::Local),
+            _ => None,
+        }
+    }
+}
+
+/// Build a tagged guest address from a space and an offset.
+#[inline]
+pub fn make(space: Space, offset: u64) -> u64 {
+    debug_assert!(offset <= OFFSET_MASK, "guest offset overflows tag space");
+    ((space as u64) << OFFSET_BITS) | (offset & OFFSET_MASK)
+}
+
+/// The space tag byte of a guest address.
+#[inline]
+pub fn tag(addr: u64) -> u8 {
+    (addr >> OFFSET_BITS) as u8
+}
+
+/// The space of a guest address, if the tag is valid.
+#[inline]
+pub fn space(addr: u64) -> Option<Space> {
+    Space::from_tag(tag(addr))
+}
+
+/// The in-space byte offset of a guest address.
+#[inline]
+pub fn offset(addr: u64) -> u64 {
+    addr & OFFSET_MASK
+}
+
+/// Null guest pointer (host space, offset 0 — the arenas never hand out
+/// offset 0, it is reserved precisely so that `NULL` traps).
+pub const NULL: u64 = 0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_spaces() {
+        for s in [Space::Host, Space::Global, Space::Shared, Space::Local] {
+            let a = make(s, 0xdead_beef);
+            assert_eq!(space(a), Some(s));
+            assert_eq!(offset(a), 0xdead_beef);
+        }
+    }
+
+    #[test]
+    fn wild_tag_is_rejected() {
+        let a = (7u64 << OFFSET_BITS) | 16;
+        assert_eq!(space(a), None);
+    }
+
+    #[test]
+    fn null_is_host_zero() {
+        assert_eq!(space(NULL), Some(Space::Host));
+        assert_eq!(offset(NULL), 0);
+    }
+
+    #[test]
+    fn pointer_arithmetic_stays_in_space() {
+        let a = make(Space::Global, 100);
+        let b = a + 28; // guest code does byte arithmetic on pointers
+        assert_eq!(space(b), Some(Space::Global));
+        assert_eq!(offset(b), 128);
+    }
+}

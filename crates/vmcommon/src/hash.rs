@@ -1,0 +1,36 @@
+//! FNV-1a hashing, used for JIT disk-cache keys and kernel-binary checksums.
+
+/// 64-bit FNV-1a.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Hex form convenient for filenames.
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_is_16_chars() {
+        assert_eq!(fnv1a_hex(b"kernel").len(), 16);
+    }
+}

@@ -1,0 +1,20 @@
+//! Common virtual-machine substrate shared by the host-program interpreter
+//! (`minic`) and the GPU simulator (`gpusim`).
+//!
+//! Both interpreters model a *guest* address space backed by a [`MemArena`]:
+//! a fixed-size byte arena accessed through naturally-aligned atomic word
+//! operations, so that racy guest programs (host OpenMP teams, CUDA thread
+//! blocks) never become host-level data races. Guest pointers are plain
+//! `u64`s whose high byte tags the address space ([`addr`]).
+
+pub mod addr;
+pub mod alloc;
+pub mod fmt;
+pub mod hash;
+pub mod mem;
+pub mod sched;
+pub mod value;
+
+pub use alloc::BlockAllocator;
+pub use mem::{MemArena, MemError, MemResult};
+pub use value::Value;

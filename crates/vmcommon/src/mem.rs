@@ -1,0 +1,401 @@
+//! Guest memory arena with race-safe word access.
+//!
+//! All guest loads and stores go through naturally-aligned atomic operations
+//! with `Relaxed` ordering. A guest program that races with itself (e.g. a
+//! benchmark kernel with a bug) therefore observes unspecified *values*, but
+//! the simulator never exhibits host-level undefined behaviour. Guest
+//! synchronization primitives (CAS spin locks, named barriers) are built on
+//! the atomic RMW operations below plus host-side condvars, which provide the
+//! necessary happens-before edges for the values they protect — matching the
+//! guidance in "Rust Atomics and Locks" on building locks from atomics.
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::sync::atomic::{AtomicU16, AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+/// Errors produced by guest memory accesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// Access outside the arena: `offset..offset+size` not in bounds.
+    OutOfBounds { offset: u64, size: u64 },
+    /// Access not aligned to its natural alignment.
+    Misaligned { offset: u64, align: u64 },
+    /// Dereference of a pointer with an invalid or foreign space tag.
+    BadSpace { addr: u64 },
+    /// Dereference of the null guest pointer.
+    Null,
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfBounds { offset, size } => {
+                write!(f, "guest access out of bounds: {size} bytes at offset {offset:#x}")
+            }
+            MemError::Misaligned { offset, align } => {
+                write!(f, "misaligned guest access at offset {offset:#x} (need {align}-byte alignment)")
+            }
+            MemError::BadSpace { addr } => write!(f, "invalid guest address space: {addr:#018x}"),
+            MemError::Null => write!(f, "null guest pointer dereference"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+pub type MemResult<T> = Result<T, MemError>;
+
+/// A fixed-size guest memory arena.
+///
+/// The backing buffer is heap-allocated, zero-initialized, and 16-byte
+/// aligned. The arena is `Sync`: concurrent access from many simulator
+/// threads is safe because every access is atomic.
+pub struct MemArena {
+    base: *mut u8,
+    size: usize,
+    layout: Layout,
+}
+
+// SAFETY: all access to the buffer goes through atomic operations on
+// naturally-aligned words; the raw pointer is never exposed.
+unsafe impl Send for MemArena {}
+unsafe impl Sync for MemArena {}
+
+impl MemArena {
+    /// Allocate a zeroed arena of `size` bytes (rounded up to 16).
+    pub fn new(size: usize) -> MemArena {
+        let size = size.max(16).next_multiple_of(16);
+        let layout = Layout::from_size_align(size, 16).expect("arena layout");
+        // SAFETY: layout has non-zero size.
+        let base = unsafe { alloc_zeroed(layout) };
+        assert!(!base.is_null(), "guest arena allocation of {size} bytes failed");
+        MemArena { base, size, layout }
+    }
+
+    /// Total capacity in bytes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    #[inline]
+    fn check(&self, offset: u64, size: u64, align: u64) -> MemResult<usize> {
+        let end = offset.checked_add(size).ok_or(MemError::OutOfBounds { offset, size })?;
+        if end > self.size as u64 {
+            return Err(MemError::OutOfBounds { offset, size });
+        }
+        if offset % align != 0 {
+            return Err(MemError::Misaligned { offset, align });
+        }
+        Ok(offset as usize)
+    }
+
+    // SAFETY of the from_ptr uses below: `check` guarantees the address is
+    // in-bounds and aligned; the arena outlives the reference; all other
+    // access to the location is likewise atomic.
+
+    #[inline]
+    pub fn load_u8(&self, offset: u64) -> MemResult<u8> {
+        let o = self.check(offset, 1, 1)?;
+        Ok(unsafe { AtomicU8::from_ptr(self.base.add(o)).load(Ordering::Relaxed) })
+    }
+
+    #[inline]
+    pub fn store_u8(&self, offset: u64, v: u8) -> MemResult<()> {
+        let o = self.check(offset, 1, 1)?;
+        unsafe { AtomicU8::from_ptr(self.base.add(o)).store(v, Ordering::Relaxed) };
+        Ok(())
+    }
+
+    #[inline]
+    pub fn load_u16(&self, offset: u64) -> MemResult<u16> {
+        let o = self.check(offset, 2, 2)?;
+        Ok(unsafe { AtomicU16::from_ptr(self.base.add(o) as *mut u16).load(Ordering::Relaxed) })
+    }
+
+    #[inline]
+    pub fn store_u16(&self, offset: u64, v: u16) -> MemResult<()> {
+        let o = self.check(offset, 2, 2)?;
+        unsafe { AtomicU16::from_ptr(self.base.add(o) as *mut u16).store(v, Ordering::Relaxed) };
+        Ok(())
+    }
+
+    #[inline]
+    pub fn load_u32(&self, offset: u64) -> MemResult<u32> {
+        let o = self.check(offset, 4, 4)?;
+        Ok(unsafe { AtomicU32::from_ptr(self.base.add(o) as *mut u32).load(Ordering::Relaxed) })
+    }
+
+    #[inline]
+    pub fn store_u32(&self, offset: u64, v: u32) -> MemResult<()> {
+        let o = self.check(offset, 4, 4)?;
+        unsafe { AtomicU32::from_ptr(self.base.add(o) as *mut u32).store(v, Ordering::Relaxed) };
+        Ok(())
+    }
+
+    #[inline]
+    pub fn load_u64(&self, offset: u64) -> MemResult<u64> {
+        let o = self.check(offset, 8, 8)?;
+        Ok(unsafe { AtomicU64::from_ptr(self.base.add(o) as *mut u64).load(Ordering::Relaxed) })
+    }
+
+    #[inline]
+    pub fn store_u64(&self, offset: u64, v: u64) -> MemResult<()> {
+        let o = self.check(offset, 8, 8)?;
+        unsafe { AtomicU64::from_ptr(self.base.add(o) as *mut u64).store(v, Ordering::Relaxed) };
+        Ok(())
+    }
+
+    /// Atomic compare-and-swap on a 32-bit word; returns the previous value.
+    /// Uses acquire/release ordering: this is the primitive the device
+    /// library's spin locks are built on, so it must publish the data the
+    /// lock protects.
+    pub fn cas_u32(&self, offset: u64, expected: u32, new: u32) -> MemResult<u32> {
+        let o = self.check(offset, 4, 4)?;
+        let a = unsafe { AtomicU32::from_ptr(self.base.add(o) as *mut u32) };
+        Ok(match a.compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(prev) => prev,
+            Err(prev) => prev,
+        })
+    }
+
+    /// Atomic add on a 32-bit integer word; returns the previous value.
+    pub fn fetch_add_u32(&self, offset: u64, v: u32) -> MemResult<u32> {
+        let o = self.check(offset, 4, 4)?;
+        let a = unsafe { AtomicU32::from_ptr(self.base.add(o) as *mut u32) };
+        Ok(a.fetch_add(v, Ordering::AcqRel))
+    }
+
+    /// Atomic add on a 64-bit integer word; returns the previous value.
+    pub fn fetch_add_u64(&self, offset: u64, v: u64) -> MemResult<u64> {
+        let o = self.check(offset, 8, 8)?;
+        let a = unsafe { AtomicU64::from_ptr(self.base.add(o) as *mut u64) };
+        Ok(a.fetch_add(v, Ordering::AcqRel))
+    }
+
+    /// Atomic compare-and-swap on a 64-bit word; returns the previous value.
+    pub fn cas_u64(&self, offset: u64, expected: u64, new: u64) -> MemResult<u64> {
+        let o = self.check(offset, 8, 8)?;
+        let a = unsafe { AtomicU64::from_ptr(self.base.add(o) as *mut u64) };
+        Ok(match a.compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(prev) => prev,
+            Err(prev) => prev,
+        })
+    }
+
+    /// Atomic exchange on a 32-bit word; returns the previous value.
+    pub fn swap_u32(&self, offset: u64, v: u32) -> MemResult<u32> {
+        let o = self.check(offset, 4, 4)?;
+        let a = unsafe { AtomicU32::from_ptr(self.base.add(o) as *mut u32) };
+        Ok(a.swap(v, Ordering::AcqRel))
+    }
+
+    /// Atomic f32 add implemented as a CAS loop (the shape `atomicAdd(float*)`
+    /// has on Maxwell); returns the previous value.
+    pub fn fetch_add_f32(&self, offset: u64, v: f32) -> MemResult<f32> {
+        let o = self.check(offset, 4, 4)?;
+        let a = unsafe { AtomicU32::from_ptr(self.base.add(o) as *mut u32) };
+        let mut cur = a.load(Ordering::Acquire);
+        loop {
+            let next = (f32::from_bits(cur) + v).to_bits();
+            match a.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(prev) => return Ok(f32::from_bits(prev)),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Atomic f64 add as a CAS loop; returns the previous value.
+    pub fn fetch_add_f64(&self, offset: u64, v: f64) -> MemResult<f64> {
+        let o = self.check(offset, 8, 8)?;
+        let a = unsafe { AtomicU64::from_ptr(self.base.add(o) as *mut u64) };
+        let mut cur = a.load(Ordering::Acquire);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match a.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(prev) => return Ok(f64::from_bits(prev)),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Atomic min on a signed 32-bit word; returns the previous value.
+    pub fn fetch_min_i32(&self, offset: u64, v: i32) -> MemResult<i32> {
+        let o = self.check(offset, 4, 4)?;
+        // AtomicI32 and AtomicU32 have identical layout; reuse the u32 cell.
+        let a = unsafe { AtomicU32::from_ptr(self.base.add(o) as *mut u32) };
+        let mut cur = a.load(Ordering::Acquire);
+        loop {
+            let next = (cur as i32).min(v) as u32;
+            match a.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(prev) => return Ok(prev as i32),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Atomic max on a signed 32-bit word; returns the previous value.
+    pub fn fetch_max_i32(&self, offset: u64, v: i32) -> MemResult<i32> {
+        let o = self.check(offset, 4, 4)?;
+        let a = unsafe { AtomicU32::from_ptr(self.base.add(o) as *mut u32) };
+        let mut cur = a.load(Ordering::Acquire);
+        loop {
+            let next = (cur as i32).max(v) as u32;
+            match a.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(prev) => return Ok(prev as i32),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Bulk copy out of the arena. Not atomic as a whole (like a real DMA),
+    /// but each word read is atomic.
+    pub fn read_bytes(&self, offset: u64, dst: &mut [u8]) -> MemResult<()> {
+        self.check(offset, dst.len() as u64, 1)?;
+        let mut i = 0usize;
+        // Word-wise where alignment allows, byte-wise at the edges.
+        while i < dst.len() {
+            let off = offset + i as u64;
+            if off % 8 == 0 && dst.len() - i >= 8 {
+                dst[i..i + 8].copy_from_slice(&self.load_u64(off)?.to_le_bytes());
+                i += 8;
+            } else {
+                dst[i] = self.load_u8(off)?;
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Bulk copy into the arena; word-atomic like [`MemArena::read_bytes`].
+    pub fn write_bytes(&self, offset: u64, src: &[u8]) -> MemResult<()> {
+        self.check(offset, src.len() as u64, 1)?;
+        let mut i = 0usize;
+        while i < src.len() {
+            let off = offset + i as u64;
+            if off % 8 == 0 && src.len() - i >= 8 {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(&src[i..i + 8]);
+                self.store_u64(off, u64::from_le_bytes(w))?;
+                i += 8;
+            } else {
+                self.store_u8(off, src[i])?;
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Zero a byte range.
+    pub fn zero(&self, offset: u64, len: u64) -> MemResult<()> {
+        self.check(offset, len, 1)?;
+        let mut i = 0u64;
+        while i < len {
+            let off = offset + i;
+            if off % 8 == 0 && len - i >= 8 {
+                self.store_u64(off, 0)?;
+                i += 8;
+            } else {
+                self.store_u8(off, 0)?;
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Read a NUL-terminated guest string (bounded by the arena end).
+    pub fn read_cstr(&self, offset: u64) -> MemResult<String> {
+        let mut bytes = Vec::new();
+        let mut off = offset;
+        loop {
+            let b = self.load_u8(off)?;
+            if b == 0 {
+                break;
+            }
+            bytes.push(b);
+            off += 1;
+        }
+        Ok(String::from_utf8_lossy(&bytes).into_owned())
+    }
+}
+
+impl Drop for MemArena {
+    fn drop(&mut self) {
+        // SAFETY: allocated in `new` with this layout.
+        unsafe { dealloc(self.base, self.layout) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_words() {
+        let m = MemArena::new(64);
+        m.store_u32(4, 0xdead_beef).unwrap();
+        m.store_u64(8, 0x0123_4567_89ab_cdef).unwrap();
+        m.store_u8(1, 7).unwrap();
+        assert_eq!(m.load_u32(4).unwrap(), 0xdead_beef);
+        assert_eq!(m.load_u64(8).unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.load_u8(1).unwrap(), 7);
+    }
+
+    #[test]
+    fn bounds_and_alignment_checked() {
+        let m = MemArena::new(32);
+        assert!(matches!(m.load_u32(30), Err(MemError::OutOfBounds { .. })));
+        assert!(matches!(m.load_u32(2), Err(MemError::Misaligned { .. })));
+        assert!(matches!(m.store_u64(u64::MAX - 2, 0), Err(MemError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let m = MemArena::new(32);
+        m.store_u32(0, 5).unwrap();
+        assert_eq!(m.cas_u32(0, 5, 9).unwrap(), 5);
+        assert_eq!(m.load_u32(0).unwrap(), 9);
+        // Failing CAS returns the current value and leaves memory untouched.
+        assert_eq!(m.cas_u32(0, 5, 1).unwrap(), 9);
+        assert_eq!(m.load_u32(0).unwrap(), 9);
+    }
+
+    #[test]
+    fn float_atomic_add() {
+        let m = MemArena::new(32);
+        m.store_u32(0, 1.5f32.to_bits()).unwrap();
+        assert_eq!(m.fetch_add_f32(0, 2.25).unwrap(), 1.5);
+        assert_eq!(f32::from_bits(m.load_u32(0).unwrap()), 3.75);
+    }
+
+    #[test]
+    fn bulk_copy_roundtrip() {
+        let m = MemArena::new(64);
+        let data: Vec<u8> = (0..37).collect();
+        m.write_bytes(3, &data).unwrap();
+        let mut out = vec![0u8; 37];
+        m.read_bytes(3, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn cstr_read() {
+        let m = MemArena::new(64);
+        m.write_bytes(8, b"hello\0world").unwrap();
+        assert_eq!(m.read_cstr(8).unwrap(), "hello");
+    }
+
+    #[test]
+    fn concurrent_fetch_add_sums() {
+        let m = std::sync::Arc::new(MemArena::new(64));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.fetch_add_u32(16, 1).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(m.load_u32(16).unwrap(), 8000);
+    }
+}

@@ -1,0 +1,240 @@
+//! Loop-scheduling math shared by the host OpenMP runtime and the cudadev
+//! device library (§3.1, §4.2.2 of the paper: `get_distribute_chunk`,
+//! `get_static_chunk`, `get_dynamic_chunk`, `get_guided_chunk`).
+//!
+//! All functions work on a normalized iteration space `0..total` and return
+//! half-open `[start, end)` ranges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Blocked static partition: thread `tid` of `nthr` gets one contiguous
+/// chunk; the first `total % nthr` threads get one extra iteration.
+/// This is the distribution `distribute` and unchunked `schedule(static)`
+/// use.
+pub fn static_block(total: u64, nthr: u64, tid: u64) -> (u64, u64) {
+    debug_assert!(nthr > 0);
+    if tid >= nthr {
+        return (0, 0);
+    }
+    let base = total / nthr;
+    let extra = total % nthr;
+    let start = tid * base + tid.min(extra);
+    let len = base + if tid < extra { 1 } else { 0 };
+    (start, start + len)
+}
+
+/// Chunked static (cyclic) schedule: `schedule(static, chunk)`. Returns the
+/// `k`-th chunk assigned to `tid`, or `None` when exhausted.
+pub fn static_cyclic(total: u64, nthr: u64, tid: u64, chunk: u64, k: u64) -> Option<(u64, u64)> {
+    debug_assert!(nthr > 0 && chunk > 0);
+    let start = (tid + k * nthr) * chunk;
+    if start >= total {
+        return None;
+    }
+    Some((start, (start + chunk).min(total)))
+}
+
+/// Shared state for `schedule(dynamic, chunk)`: threads grab chunks
+/// first-come-first-served.
+#[derive(Debug, Default)]
+pub struct DynamicState {
+    next: AtomicU64,
+}
+
+impl DynamicState {
+    pub fn new() -> DynamicState {
+        DynamicState { next: AtomicU64::new(0) }
+    }
+
+    /// Claim the next chunk; `None` when the space is exhausted.
+    pub fn next_chunk(&self, total: u64, chunk: u64) -> Option<(u64, u64)> {
+        let chunk = chunk.max(1);
+        let start = self.next.fetch_add(chunk, Ordering::AcqRel);
+        if start >= total {
+            return None;
+        }
+        Some((start, (start + chunk).min(total)))
+    }
+}
+
+/// Shared state for `schedule(guided, min_chunk)`: chunk size is
+/// `remaining / nthr`, decreasing exponentially, never below `min_chunk`.
+#[derive(Debug, Default)]
+pub struct GuidedState {
+    taken: AtomicU64,
+}
+
+impl GuidedState {
+    pub fn new() -> GuidedState {
+        GuidedState { taken: AtomicU64::new(0) }
+    }
+
+    /// Claim the next guided chunk.
+    pub fn next_chunk(&self, total: u64, nthr: u64, min_chunk: u64) -> Option<(u64, u64)> {
+        let min_chunk = min_chunk.max(1);
+        let nthr = nthr.max(1);
+        loop {
+            let taken = self.taken.load(Ordering::Acquire);
+            if taken >= total {
+                return None;
+            }
+            let remaining = total - taken;
+            let size = (remaining.div_ceil(nthr)).max(min_chunk).min(remaining);
+            if self
+                .taken
+                .compare_exchange_weak(taken, taken + size, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some((taken, taken + size));
+            }
+        }
+    }
+}
+
+/// Number of iterations of a canonical loop `for (i = lb; i <cmp> ub; i += step)`.
+pub fn trip_count(lb: i64, ub: i64, step: i64, inclusive: bool) -> u64 {
+    if step == 0 {
+        return 0;
+    }
+    let (lo, hi, st) = if step > 0 {
+        (lb, ub + if inclusive { 1 } else { 0 }, step)
+    } else {
+        (ub - if inclusive { 1 } else { 0 }, lb, -step)
+    };
+    if lo >= hi {
+        0
+    } else {
+        ((hi - lo) as u64).div_ceil(st as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn static_block_partitions_exactly() {
+        let (s, e) = static_block(10, 3, 0);
+        assert_eq!((s, e), (0, 4));
+        assert_eq!(static_block(10, 3, 1), (4, 7));
+        assert_eq!(static_block(10, 3, 2), (7, 10));
+        // More threads than work.
+        assert_eq!(static_block(2, 4, 3), (2, 2));
+    }
+
+    #[test]
+    fn trip_counts() {
+        assert_eq!(trip_count(0, 10, 1, false), 10);
+        assert_eq!(trip_count(0, 10, 3, false), 4);
+        assert_eq!(trip_count(0, 10, 1, true), 11);
+        assert_eq!(trip_count(10, 0, -1, false), 10);
+        assert_eq!(trip_count(10, 0, -2, true), 6);
+        assert_eq!(trip_count(5, 5, 1, false), 0);
+    }
+
+    #[test]
+    fn dynamic_chunks_cover_space() {
+        let st = DynamicState::new();
+        let mut seen = vec![false; 100];
+        while let Some((s, e)) = st.next_chunk(100, 7) {
+            for i in s..e {
+                assert!(!seen[i as usize], "iteration {i} assigned twice");
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn guided_chunks_decrease() {
+        let st = GuidedState::new();
+        let mut sizes = Vec::new();
+        while let Some((s, e)) = st.next_chunk(1000, 4, 1) {
+            sizes.push(e - s);
+        }
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "sizes must be non-increasing: {sizes:?}");
+        assert_eq!(sizes.iter().sum::<u64>(), 1000);
+    }
+
+    proptest! {
+        /// Static blocking covers 0..total exactly once across threads.
+        #[test]
+        fn static_block_exact_cover(total in 0u64..5000, nthr in 1u64..17) {
+            let mut covered = 0u64;
+            let mut prev_end = 0u64;
+            for tid in 0..nthr {
+                let (s, e) = static_block(total, nthr, tid);
+                prop_assert_eq!(s, prev_end, "chunks must be contiguous");
+                prop_assert!(e >= s);
+                covered += e - s;
+                prev_end = e;
+            }
+            prop_assert_eq!(covered, total);
+            prop_assert_eq!(prev_end, total);
+        }
+
+        /// Cyclic static covers the space exactly once across threads/rounds.
+        #[test]
+        fn static_cyclic_exact_cover(total in 0u64..2000, nthr in 1u64..9, chunk in 1u64..40) {
+            let mut seen = vec![false; total as usize];
+            for tid in 0..nthr {
+                for k in 0.. {
+                    match static_cyclic(total, nthr, tid, chunk, k) {
+                        None => break,
+                        Some((s, e)) => {
+                            for i in s..e {
+                                prop_assert!(!seen[i as usize], "iteration {} twice", i);
+                                seen[i as usize] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            prop_assert!(seen.iter().all(|&x| x));
+        }
+
+        /// Dynamic scheduling covers the space exactly once even under
+        /// concurrent claimants.
+        #[test]
+        fn dynamic_concurrent_cover(total in 1u64..3000, chunk in 1u64..50, nthr in 1usize..8) {
+            let st = DynamicState::new();
+            let claimed: Vec<(u64, u64)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..nthr)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut mine = Vec::new();
+                            while let Some(c) = st.next_chunk(total, chunk) {
+                                mine.push(c);
+                            }
+                            mine
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            });
+            let mut seen = vec![false; total as usize];
+            for (s, e) in claimed {
+                for i in s..e {
+                    prop_assert!(!seen[i as usize]);
+                    seen[i as usize] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&x| x));
+        }
+
+        /// Guided scheduling covers the space exactly, respects min chunk.
+        #[test]
+        fn guided_cover(total in 1u64..3000, nthr in 1u64..9, minc in 1u64..30) {
+            let st = GuidedState::new();
+            let mut covered = 0u64;
+            while let Some((s, e)) = st.next_chunk(total, nthr, minc) {
+                prop_assert_eq!(s, covered);
+                let size = e - s;
+                prop_assert!(size >= minc.min(total - s), "chunk below minimum");
+                covered = e;
+            }
+            prop_assert_eq!(covered, total);
+        }
+    }
+}

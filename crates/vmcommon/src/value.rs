@@ -1,0 +1,125 @@
+//! Scalar values flowing through the interpreters.
+
+/// A dynamically-typed guest scalar. Pointers are tagged guest addresses
+/// (see [`crate::addr`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    I32(i32),
+    I64(i64),
+    F32(f32),
+    F64(f64),
+    Ptr(u64),
+}
+
+impl Value {
+    /// Integer view with C conversion semantics (floats truncate).
+    pub fn as_i64(&self) -> i64 {
+        match *self {
+            Value::I32(v) => v as i64,
+            Value::I64(v) => v,
+            Value::F32(v) => v as i64,
+            Value::F64(v) => v as i64,
+            Value::Ptr(v) => v as i64,
+        }
+    }
+
+    /// `f64` view with C conversion semantics.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Value::I32(v) => v as f64,
+            Value::I64(v) => v as f64,
+            Value::F32(v) => v as f64,
+            Value::F64(v) => v,
+            Value::Ptr(v) => v as f64,
+        }
+    }
+
+    /// `i32` view (truncating).
+    pub fn as_i32(&self) -> i32 {
+        self.as_i64() as i32
+    }
+
+    /// `f32` view.
+    pub fn as_f32(&self) -> f32 {
+        self.as_f64() as f32
+    }
+
+    /// Pointer view; integers reinterpret (guest casts ints to pointers).
+    pub fn as_ptr(&self) -> u64 {
+        match *self {
+            Value::Ptr(v) => v,
+            Value::I32(v) => v as u32 as u64,
+            Value::I64(v) => v as u64,
+            Value::F32(v) => v as u64,
+            Value::F64(v) => v as u64,
+        }
+    }
+
+    /// C truthiness.
+    pub fn is_truthy(&self) -> bool {
+        match *self {
+            Value::I32(v) => v != 0,
+            Value::I64(v) => v != 0,
+            Value::F32(v) => v != 0.0,
+            Value::F64(v) => v != 0.0,
+            Value::Ptr(v) => v != 0,
+        }
+    }
+
+    /// Raw 64-bit bit pattern (used by the register files).
+    pub fn to_bits(&self) -> u64 {
+        match *self {
+            Value::I32(v) => v as u32 as u64,
+            Value::I64(v) => v as u64,
+            Value::F32(v) => v.to_bits() as u64,
+            Value::F64(v) => v.to_bits(),
+            Value::Ptr(v) => v,
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::I32(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::F32(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::I32(v as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_follow_c() {
+        assert_eq!(Value::F64(3.9).as_i64(), 3);
+        assert_eq!(Value::F32(-2.5).as_i32(), -2);
+        assert_eq!(Value::I32(-1).as_f64(), -1.0);
+        assert!(Value::Ptr(1).is_truthy());
+        assert!(!Value::F64(0.0).is_truthy());
+    }
+
+    #[test]
+    fn bits_roundtrip_f32() {
+        let v = Value::F32(1.25);
+        assert_eq!(f32::from_bits(v.to_bits() as u32), 1.25);
+    }
+}

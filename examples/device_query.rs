@@ -1,0 +1,22 @@
+//! Device discovery: what the cudadev host module sees when it (lazily)
+//! initializes the simulated Jetson Nano GPU.
+//!
+//!     cargo run --release --example device_query
+
+use ompi_nano::cudadev::{CudaDev, CudaDevConfig};
+
+fn main() {
+    let dev = CudaDev::new(CudaDevConfig::default());
+    println!("initialized before first use? {}", dev.is_initialized());
+    let d = dev.device(); // first use triggers initialization (§4.2.1)
+    println!("initialized after first use?  {}", dev.is_initialized());
+    let p = &d.props;
+    println!("\ndevice: {}", p.name);
+    println!("  compute capability : sm_{}{}", p.compute_capability.0, p.compute_capability.1);
+    println!("  multiprocessors    : {} ({} cores each)", p.multiprocessors, p.cores_per_mp);
+    println!("  warp size          : {}", p.warp_size);
+    println!("  clock              : {:.1} MHz", p.clock_hz / 1e6);
+    println!("  max threads/block  : {}", p.max_threads_per_block);
+    println!("  shared mem/block   : {} KiB", p.shared_mem_per_block / 1024);
+    println!("  global memory      : {} MiB", p.total_global_mem >> 20);
+}

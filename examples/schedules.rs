@@ -1,0 +1,38 @@
+//! Loop schedules on the device: the same loop with static, dynamic and
+//! guided schedules, with per-schedule simulated timing.
+//!
+//!     cargo run --release --example schedules
+
+use ompi_nano::{Ompicc, Runner, RunnerConfig};
+
+fn src(schedule: &str) -> String {
+    format!(
+        r#"
+int main() {{
+    int n = 4096;
+    float v[4096];
+    for (int i = 0; i < n; i++) v[i] = (float) i;
+    #pragma omp target teams distribute parallel for schedule({schedule}) \
+            map(tofrom: v[0:n]) num_teams(1) num_threads(128)
+    for (int i = 0; i < n; i++) {{
+        float acc = v[i];
+        for (int k = 0; k < i % 64; k++)
+            acc = acc * 1.0001f + 0.5f;
+        v[i] = acc;
+    }}
+    return 0;
+}}
+"#
+    )
+}
+
+fn main() {
+    for sched in ["static", "static, 16", "dynamic, 16", "guided"] {
+        let work = std::env::temp_dir()
+            .join(format!("ompi-example-sched-{}", sched.replace([',', ' '], "")));
+        let app = Ompicc::new(&work).compile(&src(sched)).expect("ompicc");
+        let runner = Runner::new(&app, &RunnerConfig::default()).expect("runner");
+        runner.run_main().expect("run");
+        println!("schedule({sched:<11}): {:.6}s simulated", runner.dev_clock().total_s());
+    }
+}

@@ -1,0 +1,110 @@
+//! Differential test: every OpenMP program must produce the same result
+//! when (a) translated + offloaded to the simulated GPU and (b) executed
+//! directly by the interpreter, which ignores directives (a legal
+//! 1-thread OpenMP execution).
+
+use minic::interp::{Interp, Machine, NoHooks};
+use ompi_nano::{Ompicc, Runner, RunnerConfig, Value};
+use std::sync::Arc;
+
+fn both(src: &str, tag: &str) -> (Value, Value) {
+    // Sequential-semantics run.
+    let m = Machine::from_source(src).unwrap();
+    let mut seq = Interp::new(m, Arc::new(NoHooks)).unwrap();
+    let seq_v = seq.run_main().unwrap();
+    // Offloaded run.
+    let dir = std::env::temp_dir().join(format!("ompinano-diff-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let app = Ompicc::new(&dir).compile(src).unwrap();
+    let runner = Runner::new(&app, &RunnerConfig::default()).unwrap();
+    let omp_v = runner.run_main().unwrap();
+    (seq_v, omp_v)
+}
+
+#[test]
+fn stencil_1d() {
+    let src = r#"
+int main() {
+    int n = 512;
+    float a[512];
+    float b[512];
+    for (int i = 0; i < n; i++) { a[i] = (float) (i % 17); b[i] = 0.0f; }
+    #pragma omp target teams distribute parallel for map(to: a[0:n]) map(tofrom: b[0:n])
+    for (int i = 1; i < n - 1; i++)
+        b[i] = 0.25f * a[i - 1] + 0.5f * a[i] + 0.25f * a[i + 1];
+    float sum = 0.0f;
+    for (int i = 0; i < n; i++) sum += b[i];
+    return (int) sum;
+}
+"#;
+    let (s, o) = both(src, "stencil");
+    assert_eq!(s, o);
+}
+
+#[test]
+fn integer_histogram_with_atomics() {
+    let src = r#"
+int main() {
+    int n = 2048;
+    int hist[16];
+    int data[2048];
+    for (int i = 0; i < 16; i++) hist[i] = 0;
+    for (int i = 0; i < n; i++) data[i] = (i * 7 + 3) % 16;
+    #pragma omp target map(to: data[0:n]) map(tofrom: hist[0:16])
+    {
+        int i;
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) {
+            #pragma omp critical
+            { hist[data[i]] = hist[data[i]] + 1; }
+        }
+    }
+    int total = 0;
+    for (int i = 0; i < 16; i++) total += hist[i];
+    return total;
+}
+"#;
+    let (s, o) = both(src, "hist");
+    assert_eq!(s, o);
+    assert_eq!(s, Value::I32(2048));
+}
+
+#[test]
+fn nested_loops_collapse3() {
+    let src = r#"
+int main() {
+    int n = 12;
+    float v[12 * 12 * 12];
+    for (int i = 0; i < n * n * n; i++) v[i] = 1.0f;
+    #pragma omp target teams distribute parallel for collapse(3) map(tofrom: v[0:n*n*n])
+    for (int i = 0; i < 12; i++)
+        for (int j = 0; j < 12; j++)
+            for (int k = 0; k < 12; k++)
+                v[i * 144 + j * 12 + k] = (float) (i + j + k);
+    float sum = 0.0f;
+    for (int i = 0; i < n * n * n; i++) sum += v[i];
+    return (int) sum;
+}
+"#;
+    let (s, o) = both(src, "collapse3");
+    assert_eq!(s, o);
+}
+
+#[test]
+fn downward_loop() {
+    let src = r#"
+int main() {
+    int n = 100;
+    int v[100];
+    for (int i = 0; i < n; i++) v[i] = 0;
+    #pragma omp target teams distribute parallel for map(tofrom: v[0:n])
+    for (int i = n - 1; i >= 0; i -= 2)
+        v[i] = i;
+    int sum = 0;
+    for (int i = 0; i < n; i++) sum += v[i];
+    return sum;
+}
+"#;
+    let (s, o) = both(src, "downward");
+    assert_eq!(s, o);
+}

@@ -1,0 +1,182 @@
+//! Host-side OpenMP through the full pipeline: the translated host program
+//! drives the hostomp runtime (OMPi is "a complete host OpenMP
+//! implementation" the device work plugs into — §4.2).
+
+use ompi_nano::{Ompicc, Runner, RunnerConfig, Value};
+
+fn run(src: &str, tag: &str) -> (Runner, Value) {
+    let dir = std::env::temp_dir().join(format!("ompinano-host-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let app = Ompicc::new(&dir).compile(src).unwrap();
+    let runner = Runner::new(&app, &RunnerConfig::default()).unwrap();
+    let v = runner
+        .run_main()
+        .unwrap_or_else(|e| panic!("{e}\nhost:\n{}", app.host_text));
+    (runner, v)
+}
+
+#[test]
+fn parallel_num_threads_and_ids() {
+    let src = r#"
+int main() {
+    int ids[4];
+    #pragma omp parallel num_threads(4)
+    {
+        ids[omp_get_thread_num()] = omp_get_thread_num() + 10;
+    }
+    return ids[0] + ids[1] + ids[2] + ids[3];
+}
+"#;
+    let (_, v) = run(src, "ids");
+    assert_eq!(v, Value::I32(10 + 11 + 12 + 13));
+}
+
+#[test]
+fn parallel_for_schedules_cover() {
+    for sched in ["static", "static, 5", "dynamic, 3", "guided"] {
+        let src = format!(
+            r#"
+int main() {{
+    int n = 777;
+    int hits[777];
+    for (int i = 0; i < n; i++) hits[i] = 0;
+    #pragma omp parallel for num_threads(4) schedule({sched})
+    for (int i = 0; i < n; i++)
+        hits[i] = hits[i] + 1;
+    for (int i = 0; i < n; i++)
+        if (hits[i] != 1) return 1 + i;
+    return 0;
+}}
+"#
+        );
+        let (_, v) = run(&src, &format!("sched-{}", sched.replace([',', ' '], "")));
+        assert_eq!(v, Value::I32(0), "schedule({sched})");
+    }
+}
+
+#[test]
+fn firstprivate_and_private() {
+    let src = r#"
+int main() {
+    int base = 100;
+    int scratch = -1;
+    int out[4];
+    #pragma omp parallel num_threads(4) firstprivate(base) private(scratch)
+    {
+        scratch = omp_get_thread_num();
+        base = base + scratch;       /* private copy: no races */
+        out[scratch] = base;
+    }
+    /* base itself is unchanged on the host (firstprivate) */
+    if (base != 100) return -1;
+    return out[0] + out[1] + out[2] + out[3];
+}
+"#;
+    let (_, v) = run(src, "fp");
+    assert_eq!(v, Value::I32(100 + 101 + 102 + 103));
+}
+
+#[test]
+fn sections_single_master() {
+    let src = r#"
+int main() {
+    int a = 0;
+    int b = 0;
+    int c = 0;
+    int singles = 0;
+    int masters = 0;
+    #pragma omp parallel num_threads(3)
+    {
+        #pragma omp sections
+        {
+            #pragma omp section
+            { a = 1; }
+            #pragma omp section
+            { b = 2; }
+            #pragma omp section
+            { c = 3; }
+        }
+        #pragma omp single
+        {
+            #pragma omp critical
+            { singles = singles + 1; }
+        }
+        #pragma omp master
+        { masters = masters + 1; }
+    }
+    if (singles != 1) return -1;
+    if (masters != 1) return -2;
+    return a + b + c;
+}
+"#;
+    let (_, v) = run(src, "ssm");
+    assert_eq!(v, Value::I32(6));
+}
+
+#[test]
+fn collapse_on_host_parallel_for() {
+    let src = r#"
+int main() {
+    int n = 20;
+    int grid[400];
+    for (int i = 0; i < 400; i++) grid[i] = 0;
+    #pragma omp parallel for collapse(2) num_threads(4)
+    for (int i = 0; i < 20; i++)
+        for (int j = 0; j < 20; j++)
+            grid[i * 20 + j] = i + j;
+    int sum = 0;
+    for (int i = 0; i < n * n; i++) sum += grid[i];
+    return sum;
+}
+"#;
+    let (_, v) = run(src, "collapse");
+    // sum over i,j of (i+j) = 2 * 20 * (0+..+19) = 2*20*190
+    assert_eq!(v, Value::I32(2 * 20 * 190));
+}
+
+#[test]
+fn omp_api_queries() {
+    let src = r#"
+int main() {
+    if (omp_get_num_devices() != 1) return 1;
+    if (omp_is_initial_device() != 1) return 2;
+    if (omp_in_parallel()) return 3;
+    double t0 = omp_get_wtime();
+    double t1 = omp_get_wtime();
+    if (t1 < t0) return 4;
+    omp_set_num_threads(3);
+    int seen = 0;
+    #pragma omp parallel
+    {
+        #pragma omp master
+        { seen = omp_get_num_threads(); }
+    }
+    return seen;
+}
+"#;
+    let (_, v) = run(src, "api");
+    assert_eq!(v, Value::I32(3));
+}
+
+#[test]
+fn host_then_device_in_one_program() {
+    // CPU preprocessing feeding a GPU offload: the full heterogeneous flow.
+    let src = r#"
+int main() {
+    int n = 256;
+    float v[256];
+    #pragma omp parallel for num_threads(4)
+    for (int i = 0; i < n; i++)
+        v[i] = (float) i;
+    #pragma omp target teams distribute parallel for map(tofrom: v[0:n])
+    for (int i = 0; i < n; i++)
+        v[i] = v[i] * 2.0f;
+    float sum = 0.0f;
+    for (int i = 0; i < n; i++) sum += v[i];
+    return (int) (sum / 256.0f);   /* 2*avg(0..255) = 255 */
+}
+"#;
+    let (runner, v) = run(src, "mixed");
+    assert_eq!(v, Value::I32(255));
+    assert_eq!(runner.dev_clock().launches, 1);
+}
