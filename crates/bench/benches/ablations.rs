@@ -6,8 +6,10 @@
 //!   this quantifies why in simulated time.
 //! * `jit_vs_cubin` — kernel loading cost in PTX-JIT mode (cold and warm
 //!   cache) vs. cubin mode (§3.3).
+//!
+//! Plain harness (`harness = false`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ompi_bench::timeit;
 use ompi_core::{Ompicc, Runner, RunnerConfig};
 use vmcommon::Value;
 
@@ -15,10 +17,7 @@ fn compile_and_run(src: &str, tag: &str, mode: nvccsim::BinMode) -> (Runner, f64
     let dir = std::env::temp_dir().join(format!("ompi-ablate-{tag}"));
     let _ = std::fs::remove_dir_all(&dir);
     let app = Ompicc::new(&dir).with_mode(mode).compile(src).expect("compile");
-    let cfg = RunnerConfig {
-        jit_cache_dir: dir.join("jit"),
-        ..RunnerConfig::default()
-    };
+    let cfg = RunnerConfig { jit_cache_dir: dir.join("jit"), ..RunnerConfig::default() };
     let runner = Runner::new(&app, &cfg).expect("runner");
     runner.run_main().expect("run");
     let t = runner.dev_clock().total_s();
@@ -53,31 +52,24 @@ int main() {
 }
 "#;
 
-fn mw_overhead(c: &mut Criterion) {
+fn mw_overhead() {
     let (r_comb, t_comb) = compile_and_run(COMBINED, "combined", nvccsim::BinMode::Cubin);
     let (r_mw, t_mw) = compile_and_run(MASTER_WORKER, "mw", nvccsim::BinMode::Cubin);
     println!(
         "# ablation mw_overhead: combined {t_comb:.6}s vs master/worker {t_mw:.6}s (x{:.2})",
         t_mw / t_comb.max(1e-12)
     );
-    let mut g = c.benchmark_group("ablation/mw_overhead");
-    g.sample_size(10);
-    g.bench_function("combined", |b| {
-        b.iter(|| {
-            r_comb.reset_dev_clock();
-            r_comb.run_main().unwrap()
-        })
+    timeit("ablation/mw_overhead/combined", 5, || {
+        r_comb.reset_dev_clock();
+        r_comb.run_main().unwrap();
     });
-    g.bench_function("master_worker", |b| {
-        b.iter(|| {
-            r_mw.reset_dev_clock();
-            r_mw.run_main().unwrap()
-        })
+    timeit("ablation/mw_overhead/master_worker", 5, || {
+        r_mw.reset_dev_clock();
+        r_mw.run_main().unwrap();
     });
-    g.finish();
 }
 
-fn jit_vs_cubin(c: &mut Criterion) {
+fn jit_vs_cubin() {
     let src = "__global__ void k(float *a) { a[threadIdx.x] = 2.0f; }";
     let dir = std::env::temp_dir().join("ompi-ablate-jit");
     let _ = std::fs::remove_dir_all(&dir);
@@ -100,26 +92,23 @@ fn jit_vs_cubin(c: &mut Criterion) {
         })
     };
 
-    let mut g = c.benchmark_group("ablation/jit_vs_cubin");
-    g.sample_size(20);
-    g.bench_function("cubin_load", |b| {
-        b.iter(|| fresh_dev().load_module("mod_cubin").unwrap())
+    timeit("ablation/jit_vs_cubin/cubin_load", 20, || {
+        fresh_dev().load_module("mod_cubin").unwrap();
     });
-    g.bench_function("ptx_jit_cold", |b| {
-        b.iter(|| {
-            let _ = std::fs::remove_dir_all(dir.join("jitcache"));
-            fresh_dev().load_module("mod_ptx").unwrap()
-        })
+    timeit("ablation/jit_vs_cubin/ptx_jit_cold", 20, || {
+        let _ = std::fs::remove_dir_all(dir.join("jitcache"));
+        fresh_dev().load_module("mod_ptx").unwrap();
     });
     // Warm the cache once, then measure hits.
     fresh_dev().load_module("mod_ptx").unwrap();
-    g.bench_function("ptx_jit_cached", |b| {
-        b.iter(|| fresh_dev().load_module("mod_ptx").unwrap())
+    timeit("ablation/jit_vs_cubin/ptx_jit_cached", 20, || {
+        fresh_dev().load_module("mod_ptx").unwrap();
     });
-    g.finish();
 
     let _ = Value::I32(0);
 }
 
-criterion_group!(benches, mw_overhead, jit_vs_cubin);
-criterion_main!(benches);
+fn main() {
+    mw_overhead();
+    jit_vs_cubin();
+}

@@ -1,8 +1,8 @@
 //! Component microbenches: frontend, kernel compiler, SIMT simulator and
-//! scheduling primitives.
+//! scheduling primitives. Plain harness (`harness = false`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gpusim::{launch, Device, ExecMode, LaunchConfig, NoLib};
+use ompi_bench::timeit;
 
 const SAXPY_CU: &str = r#"
 __global__ void saxpy(float a, int n, float *x, float *y) {
@@ -12,35 +12,33 @@ __global__ void saxpy(float a, int n, float *x, float *y) {
 }
 "#;
 
-fn bench_frontend(c: &mut Criterion) {
+fn bench_frontend() {
     let omp_src = unibench::app_by_name("gemm").unwrap().omp_src;
-    c.bench_function("frontend/parse_gemm", |b| {
-        b.iter(|| minic::parse(std::hint::black_box(omp_src)).unwrap())
+    timeit("frontend/parse_gemm", 200, || {
+        minic::parse(std::hint::black_box(omp_src)).unwrap();
     });
-    c.bench_function("frontend/parse_analyze_gemm", |b| {
-        b.iter(|| {
-            let mut p = minic::parse(std::hint::black_box(omp_src)).unwrap();
-            minic::analyze(&mut p).unwrap()
-        })
+    timeit("frontend/parse_analyze_gemm", 200, || {
+        let mut p = minic::parse(std::hint::black_box(omp_src)).unwrap();
+        minic::analyze(&mut p).unwrap();
     });
 }
 
-fn bench_nvcc(c: &mut Criterion) {
-    c.bench_function("nvcc/compile_saxpy", |b| {
-        b.iter(|| nvccsim::compile_source(std::hint::black_box(SAXPY_CU), "saxpy").unwrap())
+fn bench_nvcc() {
+    timeit("nvcc/compile_saxpy", 200, || {
+        nvccsim::compile_source(std::hint::black_box(SAXPY_CU), "saxpy").unwrap();
     });
     let m = nvccsim::compile_source(SAXPY_CU, "saxpy").unwrap();
     let text = sptx::text::print_module(&m);
-    c.bench_function("sptx/assemble_saxpy", |b| {
-        b.iter(|| sptx::text::parse_module(std::hint::black_box(&text)).unwrap())
+    timeit("sptx/assemble_saxpy", 500, || {
+        sptx::text::parse_module(std::hint::black_box(&text)).unwrap();
     });
     let bin = sptx::cubin::encode(&m);
-    c.bench_function("sptx/cubin_decode_saxpy", |b| {
-        b.iter(|| sptx::cubin::decode(std::hint::black_box(&bin)).unwrap())
+    timeit("sptx/cubin_decode_saxpy", 500, || {
+        sptx::cubin::decode(std::hint::black_box(&bin)).unwrap();
     });
 }
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator() {
     let mut m = nvccsim::compile_source(SAXPY_CU, "saxpy").unwrap();
     nvccsim::link_module(&mut m, &[]).unwrap();
     let d = Device::new(8 << 20);
@@ -52,38 +50,36 @@ fn bench_simulator(c: &mut Criterion) {
         block: [256, 1, 1],
         params: vec![2.0f32.to_bits() as u64, n as u64, x, y],
     };
-    c.bench_function("gpusim/saxpy_32k_functional", |b| {
-        b.iter(|| launch(&d, &m, "saxpy", &cfg, &NoLib, ExecMode::Functional).unwrap())
+    timeit("gpusim/saxpy_32k_functional", 10, || {
+        launch(&d, &m, "saxpy", &cfg, &NoLib, ExecMode::Functional).unwrap();
     });
-    c.bench_function("gpusim/saxpy_32k_sampled8", |b| {
-        b.iter(|| {
-            launch(&d, &m, "saxpy", &cfg, &NoLib, ExecMode::Sampled { max_blocks: 8 }).unwrap()
-        })
+    timeit("gpusim/saxpy_32k_sampled8", 10, || {
+        launch(&d, &m, "saxpy", &cfg, &NoLib, ExecMode::Sampled { max_blocks: 8 }).unwrap();
     });
 }
 
-fn bench_sched(c: &mut Criterion) {
-    c.bench_function("sched/static_block_1M", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for tid in 0..128u64 {
-                let (s, e) = vmcommon::sched::static_block(std::hint::black_box(1 << 20), 128, tid);
-                acc += e - s;
-            }
-            acc
-        })
+fn bench_sched() {
+    timeit("sched/static_block_1M", 1000, || {
+        let mut acc = 0u64;
+        for tid in 0..128u64 {
+            let (s, e) = vmcommon::sched::static_block(std::hint::black_box(1 << 20), 128, tid);
+            acc += e - s;
+        }
+        std::hint::black_box(acc);
     });
-    c.bench_function("sched/dynamic_drain_10k", |b| {
-        b.iter(|| {
-            let st = vmcommon::sched::DynamicState::new();
-            let mut n = 0u64;
-            while let Some((s, e)) = st.next_chunk(10_000, 64) {
-                n += e - s;
-            }
-            n
-        })
+    timeit("sched/dynamic_drain_10k", 200, || {
+        let st = vmcommon::sched::DynamicState::new();
+        let mut n = 0u64;
+        while let Some((s, e)) = st.next_chunk(10_000, 64) {
+            n += e - s;
+        }
+        std::hint::black_box(n);
     });
 }
 
-criterion_group!(benches, bench_frontend, bench_nvcc, bench_simulator, bench_sched);
-criterion_main!(benches);
+fn main() {
+    bench_frontend();
+    bench_nvcc();
+    bench_simulator();
+    bench_sched();
+}

@@ -1,18 +1,19 @@
-//! Criterion benches regenerating each Fig. 4 subplot at its two smallest
+//! Wall-time benches regenerating each Fig. 4 subplot at its two smallest
 //! paper sizes (the full sweep is `cargo run --release --bin fig4`).
 //! The measured quantity here is the wall time of the simulation; the
 //! *simulated* times (the paper's metric) are printed alongside.
+//!
+//! Plain harness (`harness = false`): each case runs a fixed number of
+//! iterations and reports min/mean wall time.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpusim::ExecMode;
+use ompi_bench::timeit;
 use unibench::{app_by_name, build_variant, measure, Variant};
 
-fn bench_app(c: &mut Criterion, name: &str) {
+fn bench_app(name: &str) {
     let app = app_by_name(name).expect("app");
     let work = std::env::temp_dir().join("ompi-bench-fig4");
     let mode = ExecMode::Sampled { max_blocks: 2 };
-    let mut group = c.benchmark_group(format!("fig4/{name}"));
-    group.sample_size(10);
     // gramschmidt launches O(n) kernels per run; one size keeps the bench
     // wall time sane (the full sweep lives in the fig4 binary).
     let nsizes = if name == "gramschmidt" { 1 } else { 2 };
@@ -21,43 +22,16 @@ fn bench_app(c: &mut Criterion, name: &str) {
             let built = build_variant(&app, variant, n, mode, true, &work);
             // Print the simulated time once per configuration.
             let m = measure(&app, &built, n);
-            println!("# {name} {} n={n}: simulated {:.6}s", variant.label(), m.time_s);
-            group.bench_with_input(
-                BenchmarkId::new(variant.label(), n),
-                &n,
-                |b, &n| b.iter(|| measure(&app, &built, n)),
-            );
+            println!("# fig4/{name} {} n={n}: simulated {:.6}s", variant.label(), m.time_s);
+            timeit(&format!("fig4/{name}/{}/{n}", variant.label()), 5, || {
+                measure(&app, &built, n);
+            });
         }
     }
-    group.finish();
 }
 
-fn fig4a_3dconv(c: &mut Criterion) {
-    bench_app(c, "3dconv");
+fn main() {
+    for name in ["3dconv", "bicg", "atax", "mvt", "gemm", "gramschmidt"] {
+        bench_app(name);
+    }
 }
-fn fig4b_bicg(c: &mut Criterion) {
-    bench_app(c, "bicg");
-}
-fn fig4c_atax(c: &mut Criterion) {
-    bench_app(c, "atax");
-}
-fn fig4d_mvt(c: &mut Criterion) {
-    bench_app(c, "mvt");
-}
-fn fig4e_gemm(c: &mut Criterion) {
-    bench_app(c, "gemm");
-}
-fn fig4f_gramschmidt(c: &mut Criterion) {
-    bench_app(c, "gramschmidt");
-}
-
-criterion_group!(
-    benches,
-    fig4a_3dconv,
-    fig4b_bicg,
-    fig4c_atax,
-    fig4d_mvt,
-    fig4e_gemm,
-    fig4f_gramschmidt
-);
-criterion_main!(benches);

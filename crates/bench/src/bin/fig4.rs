@@ -26,12 +26,8 @@ fn main() {
                 i += 2;
             }
             "--sizes" => {
-                sizes_override = Some(
-                    args[i + 1]
-                        .split(',')
-                        .map(|s| s.trim().parse().expect("size"))
-                        .collect(),
-                );
+                sizes_override =
+                    Some(args[i + 1].split(',').map(|s| s.trim().parse().expect("size")).collect());
                 i += 2;
             }
             "--full" => {
@@ -49,11 +45,7 @@ fn main() {
         }
     }
 
-    let mode = if full {
-        ExecMode::Functional
-    } else {
-        ExecMode::Sampled { max_blocks }
-    };
+    let mode = if full { ExecMode::Functional } else { ExecMode::Sampled { max_blocks } };
     let work = std::env::temp_dir().join("ompi-fig4");
 
     let apps = match &app_filter {

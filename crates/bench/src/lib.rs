@@ -1,12 +1,31 @@
 //! `ompi-bench` — the evaluation harness: regenerates every figure of the
-//! paper (Fig. 4a–f) and hosts the Criterion component/ablation benches.
+//! paper (Fig. 4a–f) and hosts the component/ablation benches.
 //!
 //! * `cargo run -p ompi-bench --release --bin fig4` prints the Fig. 4
 //!   series (per app: problem size vs simulated execution time for the
 //!   pure-CUDA and the OMPi-cudadev versions).
-//! * `cargo bench -p ompi-bench` runs the Criterion benches: one bench per
-//!   Fig. 4 subplot (small/medium sizes) plus component microbenches and
-//!   the ablations called out in DESIGN.md (master/worker overhead,
+//! * `cargo bench -p ompi-bench` runs the plain-harness benches: one bench
+//!   per Fig. 4 subplot (small/medium sizes) plus component microbenches
+//!   and the ablations called out in DESIGN.md (master/worker overhead,
 //!   PTX-JIT vs cubin loading).
 
 pub use unibench;
+
+use std::time::Instant;
+
+/// Minimal bench driver for the `harness = false` benches: runs `f` once to
+/// warm up, then `iters` timed iterations, and prints min/mean wall time.
+pub fn timeit<F: FnMut()>(name: &str, iters: u32, mut f: F) {
+    f(); // warm-up
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_secs_f64();
+        total += dt;
+        min = min.min(dt);
+    }
+    let mean = total / iters as f64;
+    println!("bench {name:<44} iters={iters:<5} min={min:.6}s mean={mean:.6}s");
+}

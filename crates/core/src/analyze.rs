@@ -235,53 +235,39 @@ pub fn canonical_loop(s: &Stmt) -> TResult<(LoopInfo, Stmt)> {
                 })
             }
         },
-        None => {
-            return Err(TransError { pos, msg: "canonical loop needs a condition".into() })
-        }
+        None => return Err(TransError { pos, msg: "canonical loop needs a condition".into() }),
     };
     // Step: i++, ++i, i--, --i, i += c, i -= c, i = i + c, i = i - c.
     let step_val: i64 = match step {
         Some(e) => match &e.kind {
-            ExprKind::IncDec { inc, expr, .. }
-                if matches!(&expr.kind, ExprKind::Ident(n, _) if *n == var) =>
-            {
+            ExprKind::IncDec { inc, expr, .. } if matches!(&expr.kind, ExprKind::Ident(n, _) if *n == var) => {
                 if *inc {
                     1
                 } else {
                     -1
                 }
             }
-            ExprKind::Assign { op: Some(BinOp::Add), lhs, rhs }
-                if matches!(&lhs.kind, ExprKind::Ident(n, _) if *n == var) =>
-            {
+            ExprKind::Assign { op: Some(BinOp::Add), lhs, rhs } if matches!(&lhs.kind, ExprKind::Ident(n, _) if *n == var) => {
                 rhs.const_int().ok_or_else(|| TransError {
                     pos: e.pos,
                     msg: "loop step must be a constant".into(),
                 })?
             }
-            ExprKind::Assign { op: Some(BinOp::Sub), lhs, rhs }
-                if matches!(&lhs.kind, ExprKind::Ident(n, _) if *n == var) =>
-            {
+            ExprKind::Assign { op: Some(BinOp::Sub), lhs, rhs } if matches!(&lhs.kind, ExprKind::Ident(n, _) if *n == var) => {
                 -rhs.const_int().ok_or_else(|| TransError {
                     pos: e.pos,
                     msg: "loop step must be a constant".into(),
                 })?
             }
-            ExprKind::Assign { op: None, lhs, rhs }
-                if matches!(&lhs.kind, ExprKind::Ident(n, _) if *n == var) =>
-            {
+            ExprKind::Assign { op: None, lhs, rhs } if matches!(&lhs.kind, ExprKind::Ident(n, _) if *n == var) => {
                 match &rhs.kind {
-                    ExprKind::Binary { op: BinOp::Add, lhs: a, rhs: b }
-                        if matches!(&a.kind, ExprKind::Ident(n, _) if *n == var) =>
-                    {
+                    ExprKind::Binary { op: BinOp::Add, lhs: a, rhs: b } if matches!(&a.kind, ExprKind::Ident(n, _) if *n == var) => {
                         b.const_int().ok_or_else(|| TransError {
                             pos: e.pos,
                             msg: "loop step must be a constant".into(),
                         })?
                     }
-                    ExprKind::Binary { op: BinOp::Sub, lhs: a, rhs: b }
-                        if matches!(&a.kind, ExprKind::Ident(n, _) if *n == var) =>
-                    {
+                    ExprKind::Binary { op: BinOp::Sub, lhs: a, rhs: b } if matches!(&a.kind, ExprKind::Ident(n, _) if *n == var) => {
                         -b.const_int().ok_or_else(|| TransError {
                             pos: e.pos,
                             msg: "loop step must be a constant".into(),
@@ -295,13 +281,9 @@ pub fn canonical_loop(s: &Stmt) -> TResult<(LoopInfo, Stmt)> {
                     }
                 }
             }
-            _ => {
-                return Err(TransError { pos: e.pos, msg: "unsupported loop step form".into() })
-            }
+            _ => return Err(TransError { pos: e.pos, msg: "unsupported loop step form".into() }),
         },
-        None => {
-            return Err(TransError { pos, msg: "canonical loop needs a step".into() })
-        }
+        None => return Err(TransError { pos, msg: "canonical loop needs a step".into() }),
     };
     if step_val == 0 || (step_val > 0) == downward {
         return Err(TransError {
@@ -404,17 +386,16 @@ mod tests {
     fn func(src: &str) -> (Program, usize) {
         let mut p = parse(src).unwrap();
         analyze(&mut p).unwrap();
-        let idx = p
-            .items
-            .iter()
-            .position(|i| matches!(i, Item::Func(f) if f.sig.name == "f"))
-            .unwrap();
+        let idx =
+            p.items.iter().position(|i| matches!(i, Item::Func(f) if f.sig.name == "f")).unwrap();
         (p, idx)
     }
 
     #[test]
     fn free_vars_excludes_region_locals() {
-        let (p, i) = func("void f(float *x, int n) { int outer = 1; { int inner = 2; x[outer] = inner + n; } }");
+        let (p, i) = func(
+            "void f(float *x, int n) { int outer = 1; { int inner = 2; x[outer] = inner + n; } }",
+        );
         let f = match &p.items[i] {
             Item::Func(f) => f,
             _ => panic!(),

@@ -7,11 +7,11 @@ use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use cudadev::{CudaDev, CudaDevConfig, DevClock, MapKind};
-use gpusim::ExecMode;
+use cudadev::{CudaDev, CudaDevConfig, CudadevError, DevClock, MapKind, RetryPolicy};
+use gpusim::{ExecMode, FaultPlan};
 use hostomp::{HostRt, WsState};
 use minic::interp::{HookCtx, Hooks, IResult, Interp, InterpError, Machine};
-use parking_lot::Mutex;
+use vmcommon::sync::Mutex;
 use vmcommon::Value;
 
 use crate::driver::{CompiledApp, CompiledCudaApp};
@@ -36,6 +36,11 @@ pub struct RunnerConfig {
     pub jit_cache_dir: std::path::PathBuf,
     /// Estimate repeated launches from earlier ones (see cudadev docs).
     pub launch_sampling: bool,
+    /// Deterministic fault-injection plan for the device (tests). `None`
+    /// falls back to the `OMPI_FAULT_PLAN` environment variable.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Retry policy for transient driver faults.
+    pub retry: RetryPolicy,
 }
 
 impl Default for RunnerConfig {
@@ -46,6 +51,8 @@ impl Default for RunnerConfig {
             exec_mode: ExecMode::Functional,
             jit_cache_dir: std::env::temp_dir().join("ompi-jitcache"),
             launch_sampling: false,
+            fault_plan: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -60,6 +67,9 @@ pub struct OmpiHooks {
     cuda_module: Option<String>,
     /// First error raised inside a parallel region.
     parallel_error: Mutex<Option<String>>,
+    /// Copy-backs committed to host memory since the current region's
+    /// launch — guards host fallback against mixed device/host state.
+    region_commits: AtomicUsize,
 }
 
 impl OmpiHooks {
@@ -70,6 +80,18 @@ impl OmpiHooks {
             nthreads_icv: AtomicUsize::new(0),
             cuda_module,
             parallel_error: Mutex::new(None),
+            region_commits: AtomicUsize::new(0),
+        }
+    }
+
+    /// Graceful-degradation filter for `__dev_*` hooks: terminal device
+    /// failures are absorbed (the region falls back to host execution),
+    /// anything else is a genuine trap.
+    fn degrade(&self, e: CudadevError) -> IResult<()> {
+        if e.is_device_lost() || self.dev.is_broken() {
+            Ok(())
+        } else {
+            Err(InterpError::Trap(e.to_string()))
         }
     }
 
@@ -87,11 +109,7 @@ impl OmpiHooks {
     /// Convert interpreter values to raw kernel-parameter bits according to
     /// the kernel's parameter types — the "parameter preparation" phase:
     /// host pointers are looked up in the map table.
-    fn prepare_params(
-        &self,
-        kernel: &sptx::Function,
-        args: &[Value],
-    ) -> IResult<Vec<u64>> {
+    fn prepare_params(&self, kernel: &sptx::Function, args: &[Value]) -> IResult<Vec<u64>> {
         if args.len() != kernel.params.len() {
             return Err(InterpError::Trap(format!(
                 "kernel `{}` takes {} parameters, offload provided {}",
@@ -133,7 +151,8 @@ impl OmpiHooks {
             return ([1, 1, 1], [cudadev::MW_BLOCK_THREADS, 1, 1]);
         }
         let threads = if threads > 0 { threads as u32 } else { 128 }.clamp(1, 1024);
-        let ceil = |a: i64, b: u32| -> u32 { ((a.max(1) as u64).div_ceil(b as u64)).min(65535) as u32 };
+        let ceil =
+            |a: i64, b: u32| -> u32 { ((a.max(1) as u64).div_ceil(b as u64)).min(65535) as u32 };
         match ndims {
             2 => {
                 let block = [32u32, (threads / 32).max(1), 1];
@@ -142,11 +161,7 @@ impl OmpiHooks {
             }
             3 => {
                 let block = [32u32, 4, (threads / 128).max(1)];
-                let grid = [
-                    ceil(tcs[2], block[0]),
-                    ceil(tcs[1], block[1]),
-                    ceil(tcs[0], block[2]),
-                ];
+                let grid = [ceil(tcs[2], block[0]), ceil(tcs[1], block[1]), ceil(tcs[0], block[2])];
                 (grid, block)
             }
             _ => {
@@ -175,29 +190,83 @@ impl Hooks for OmpiHooks {
 
         match name {
             // ------------------------------------------------- offloading
+            "__dev_ok" => {
+                // Guard emitted before every offload region: is the device
+                // worth trying? A broken (or terminally fault-injected)
+                // device answers 0 and the region runs on the host instead.
+                let ok = !self.dev.is_broken() && self.dev.try_device().is_ok();
+                Ok(Some(Value::I32(ok as i32)))
+            }
             "__dev_map" => {
+                if self.dev.is_broken() {
+                    // Dead device: the region will run on the host, where
+                    // host memory is already authoritative — mapping is a
+                    // no-op.
+                    return Ok(Some(Value::I32(0)));
+                }
                 let kind = Self::map_kind(a(2).as_i64());
-                self.dev
-                    .map(mem, a(0).as_ptr(), a(1).as_i64().max(0) as u64, kind)
-                    .map_err(|e| InterpError::Trap(e.to_string()))?;
-                Ok(Some(Value::I32(0)))
+                match self.dev.map(mem, a(0).as_ptr(), a(1).as_i64().max(0) as u64, kind) {
+                    Ok(_) => Ok(Some(Value::I32(0))),
+                    Err(e) => self.degrade(e).map(|_| Some(Value::I32(0))),
+                }
             }
             "__dev_unmap" => {
+                // Returns 1 when the host holds this buffer's correct data
+                // afterwards (copy-back committed, or none was needed), 0
+                // when a needed copy-back was lost — the region must then
+                // re-execute on the host.
                 let kind = Self::map_kind(a(1).as_i64());
-                self.dev
-                    .unmap(mem, a(0).as_ptr(), kind)
-                    .map_err(|e| InterpError::Trap(e.to_string()))?;
-                Ok(Some(Value::I32(0)))
+                let copies_back = matches!(kind, MapKind::From | MapKind::ToFrom);
+                if self.dev.is_broken() {
+                    // Skip copy-back entirely; host memory is pre-kernel
+                    // state, authoritative for the fallback execution.
+                    return Ok(Some(Value::I32(!copies_back as i32)));
+                }
+                match self.dev.unmap(mem, a(0).as_ptr(), kind) {
+                    Ok(()) => {
+                        if copies_back {
+                            self.region_commits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(Some(Value::I32(1)))
+                    }
+                    Err(e) if copies_back => {
+                        if self.region_commits.load(Ordering::Relaxed) > 0 {
+                            // Another buffer already committed its device
+                            // results: host state is mixed, re-executing
+                            // would double-apply. Surface the loss instead.
+                            return Err(InterpError::Trap(format!(
+                                "device lost during copy-back after a partial commit: {e}"
+                            )));
+                        }
+                        self.degrade(e).map(|_| Some(Value::I32(0)))
+                    }
+                    Err(e) => self.degrade(e).map(|_| Some(Value::I32(1))),
+                }
             }
             "__dev_update" => {
-                self.dev
-                    .update(mem, a(0).as_ptr(), a(1).as_i64().max(0) as u64, a(2).is_truthy())
-                    .map_err(|e| InterpError::Trap(e.to_string()))?;
-                Ok(Some(Value::I32(0)))
+                if self.dev.is_broken() {
+                    return Ok(Some(Value::I32(0)));
+                }
+                match self.dev.update(
+                    mem,
+                    a(0).as_ptr(),
+                    a(1).as_i64().max(0) as u64,
+                    a(2).is_truthy(),
+                ) {
+                    Ok(()) => Ok(Some(Value::I32(0))),
+                    Err(e) => self.degrade(e).map(|_| Some(Value::I32(0))),
+                }
             }
             "__dev_offload" => {
                 // (module, kernel, mw, ndims, tc0, tc1, tc2, teams,
                 // threads, kernel args…)
+                // Returns 1 when the kernel ran on the device, 0 when the
+                // device failed terminally (caller re-executes the region
+                // on the host).
+                self.region_commits.store(0, Ordering::Relaxed);
+                if self.dev.is_broken() {
+                    return Ok(Some(Value::I32(0)));
+                }
                 let module = read_str(0)?;
                 let kernel = read_str(1)?;
                 let mw = a(2).is_truthy();
@@ -205,19 +274,19 @@ impl Hooks for OmpiHooks {
                 let tcs = [a(4).as_i64(), a(5).as_i64(), a(6).as_i64()];
                 let teams = a(7).as_i64();
                 let threads = a(8).as_i64();
-                let m = self
-                    .dev
-                    .load_module(&module)
-                    .map_err(|e| InterpError::Trap(e.to_string()))?;
-                let kf = m
-                    .function(&kernel)
-                    .ok_or_else(|| InterpError::Trap(format!("kernel `{kernel}` not in `{module}`")))?;
+                let m = match self.dev.load_module(&module) {
+                    Ok(m) => m,
+                    Err(e) => return self.degrade(e).map(|_| Some(Value::I32(0))),
+                };
+                let kf = m.function(&kernel).ok_or_else(|| {
+                    InterpError::Trap(format!("kernel `{kernel}` not in `{module}`"))
+                })?;
                 let params = self.prepare_params(kf, &args[9..])?;
                 let (grid, block) = Self::geometry(mw, ndims, tcs, teams, threads);
-                self.dev
-                    .launch(&module, &kernel, grid, block, params)
-                    .map_err(|e| InterpError::Trap(e.to_string()))?;
-                Ok(Some(Value::I32(0)))
+                match self.dev.launch(&module, &kernel, grid, block, params) {
+                    Ok(_) => Ok(Some(Value::I32(1))),
+                    Err(e) => self.degrade(e).map(|_| Some(Value::I32(0))),
+                }
             }
 
             // --------------------------------------------- host parallelism
@@ -386,7 +455,9 @@ impl Hooks for OmpiHooks {
                         t
                     }
                     other => {
-                        return Err(InterpError::Trap(format!("cudaMemcpy kind {other} unsupported")))
+                        return Err(InterpError::Trap(format!(
+                            "cudaMemcpy kind {other} unsupported"
+                        )))
                     }
                 };
                 let mut clk = self.dev.clock.lock();
@@ -469,6 +540,8 @@ impl Runner {
             jit_cache_dir: cfg.jit_cache_dir.clone(),
             exec_mode: cfg.exec_mode,
             launch_sampling: cfg.launch_sampling,
+            fault_plan: cfg.fault_plan.clone(),
+            retry: cfg.retry,
         });
         let hooks = Arc::new(OmpiHooks::new(dev, None));
         let hooks_dyn: Arc<dyn Hooks> = hooks.clone();
@@ -484,6 +557,8 @@ impl Runner {
             jit_cache_dir: cfg.jit_cache_dir.clone(),
             exec_mode: cfg.exec_mode,
             launch_sampling: cfg.launch_sampling,
+            fault_plan: cfg.fault_plan.clone(),
+            retry: cfg.retry,
         });
         let hooks = Arc::new(OmpiHooks::new(dev, Some(app.module_name.clone())));
         let hooks_dyn: Arc<dyn Hooks> = hooks.clone();
@@ -511,13 +586,19 @@ impl Runner {
         self.hooks.dev.reset_clock();
     }
 
+    /// Whether a terminal device fault has latched the device broken
+    /// (subsequent target regions execute on the host).
+    pub fn device_broken(&self) -> bool {
+        self.hooks.dev.is_broken()
+    }
+
     /// Captured guest stdout.
     pub fn take_output(&self) -> String {
         self.machine.take_output()
     }
 
-    /// Captured device printf output.
+    /// Captured device printf output (empty if the device never came up).
     pub fn take_device_output(&self) -> String {
-        self.hooks.dev.device().take_printf_output()
+        self.hooks.dev.try_device().map(|d| d.take_printf_output()).unwrap_or_default()
     }
 }

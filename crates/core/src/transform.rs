@@ -27,6 +27,10 @@ use minic::types::{ArrayLen, Ty};
 
 use crate::analyze::*;
 
+/// One resolved `map` clause item:
+/// `(name, kind, base address expr, byte-length expr, mapped type)`.
+type MapItem = (String, OmpMapKind, Expr, Expr, Ty);
+
 /// A generated kernel file.
 #[derive(Clone, Debug)]
 pub struct KernelFile {
@@ -65,7 +69,8 @@ pub fn translate(prog: &Program) -> TResult<Translation> {
         match item {
             Item::Func(f) => {
                 let mut body_stmts = Vec::new();
-                let ctx = HostCtx { fname: f.sig.name.clone(), frame: &f.frame, in_parallel: false };
+                let ctx =
+                    HostCtx { fname: f.sig.name.clone(), frame: &f.frame, in_parallel: false };
                 for s in &f.body.stmts {
                     body_stmts.push(tr.host_stmt(s, &ctx)?);
                 }
@@ -92,6 +97,8 @@ struct HostCtx<'f> {
 }
 
 /// How a free variable enters a kernel / thread function.
+// The `Mapped` variant dominates in practice, so the size skew is harmless.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 enum VarRole {
     /// Mapped pointer: kernel parameter of decayed pointer type; launch arg
@@ -170,14 +177,12 @@ impl<'p> Translator<'p> {
                 step: step.clone(),
                 body: Box::new(self.host_stmt(body, ctx)?),
             }),
-            Stmt::While { cond, body } => Ok(Stmt::While {
-                cond: cond.clone(),
-                body: Box::new(self.host_stmt(body, ctx)?),
-            }),
-            Stmt::DoWhile { body, cond } => Ok(Stmt::DoWhile {
-                body: Box::new(self.host_stmt(body, ctx)?),
-                cond: cond.clone(),
-            }),
+            Stmt::While { cond, body } => {
+                Ok(Stmt::While { cond: cond.clone(), body: Box::new(self.host_stmt(body, ctx)?) })
+            }
+            Stmt::DoWhile { body, cond } => {
+                Ok(Stmt::DoWhile { body: Box::new(self.host_stmt(body, ctx)?), cond: cond.clone() })
+            }
             other => Ok(other.clone()),
         }
     }
@@ -208,11 +213,7 @@ impl<'p> Translator<'p> {
             DirKind::Master => {
                 let body = self.host_stmt(o.body.as_deref().unwrap_or(&Stmt::Empty), ctx)?;
                 Ok(Stmt::If {
-                    cond: b::bin(
-                        BinOp::Eq,
-                        b::call("omp_get_thread_num", vec![]),
-                        b::int(0),
-                    ),
+                    cond: b::bin(BinOp::Eq, b::call("omp_get_thread_num", vec![]), b::int(0)),
                     then_s: Box::new(body),
                     else_s: None,
                 })
@@ -233,10 +234,7 @@ impl<'p> Translator<'p> {
                         vec![b::e(ExprKind::StrLit(name.clone()))],
                     )),
                     body,
-                    b::expr_stmt(b::call(
-                        "ort_critical_exit",
-                        vec![b::e(ExprKind::StrLit(name))],
-                    )),
+                    b::expr_stmt(b::call("ort_critical_exit", vec![b::e(ExprKind::StrLit(name))])),
                 ]))
             }
             DirKind::Barrier => Ok(b::expr_stmt(b::call("ort_barrier", vec![]))),
@@ -261,12 +259,7 @@ impl<'p> Translator<'p> {
 
     /// Map-clause items of a directive → (base address expr, byte-size expr,
     /// kind), resolved against the enclosing frame.
-    fn map_items(
-        &mut self,
-        dir: &Directive,
-        ctx: &HostCtx<'_>,
-        pos: Pos,
-    ) -> TResult<Vec<(String, OmpMapKind, Expr, Expr, Ty)>> {
+    fn map_items(&mut self, dir: &Directive, ctx: &HostCtx<'_>, pos: Pos) -> TResult<Vec<MapItem>> {
         let mut out = Vec::new();
         for (kind, item) in dir.maps() {
             let slot = ctx
@@ -279,9 +272,7 @@ impl<'p> Translator<'p> {
             let decayed = ty.decayed();
             let (base, bytes, param_ty) = if let Ty::Ptr(pointee) = &decayed {
                 let sec = item.sections.first();
-                let lower = sec
-                    .and_then(|s| s.lower.clone())
-                    .unwrap_or_else(|| b::int(0));
+                let lower = sec.and_then(|s| s.lower.clone()).unwrap_or_else(|| b::int(0));
                 let length = match sec.and_then(|s| s.length.clone()) {
                     Some(l) => l,
                     None => match &ty {
@@ -300,11 +291,7 @@ impl<'p> Translator<'p> {
                     },
                 };
                 let base = b::bin(BinOp::Add, b::ident(&item.name), lower);
-                let bytes = b::bin(
-                    BinOp::Mul,
-                    long_cast(length),
-                    sizeof_expr(pointee),
-                );
+                let bytes = b::bin(BinOp::Mul, long_cast(length), sizeof_expr(pointee));
                 (base, bytes, decayed.clone())
             } else {
                 // Scalar mapped by address.
@@ -352,20 +339,15 @@ impl<'p> Translator<'p> {
                 _ => continue,
             };
             for item in items {
-                let slot = ctx
-                    .frame
-                    .slots
-                    .iter()
-                    .find(|sl| sl.name == item.name)
-                    .ok_or_else(|| {
+                let slot =
+                    ctx.frame.slots.iter().find(|sl| sl.name == item.name).ok_or_else(|| {
                         err(Pos::default(), format!("update of unknown variable `{}`", item.name))
                     })?;
                 let ty = slot.ty.clone();
                 let decayed = ty.decayed();
                 let (base, bytes) = if let Ty::Ptr(pointee) = &decayed {
                     let sec = item.sections.first();
-                    let lower =
-                        sec.and_then(|s| s.lower.clone()).unwrap_or_else(|| b::int(0));
+                    let lower = sec.and_then(|s| s.lower.clone()).unwrap_or_else(|| b::int(0));
                     let length = sec
                         .and_then(|s| s.length.clone())
                         .or_else(|| match &ty {
@@ -445,8 +427,7 @@ impl<'p> Translator<'p> {
         let fvs = free_vars(body, ctx.frame);
         let maps = self.map_items(dir, ctx, o.pos)?;
         let privates: Vec<String> = dir.privates().into_iter().cloned().collect();
-        let firstprivates_clause: Vec<String> =
-            dir.firstprivates().into_iter().cloned().collect();
+        let firstprivates_clause: Vec<String> = dir.firstprivates().into_iter().cloned().collect();
         let reductions: Vec<(RedOp, String)> =
             dir.reductions().map(|(op, v)| (op, v.clone())).collect();
         let loop_vars: Vec<&str> = loops.iter().map(|l| l.var.as_str()).collect();
@@ -460,9 +441,7 @@ impl<'p> Translator<'p> {
                 roles.push((fv.name.clone(), fv.ty.clone(), VarRole::Reduction(*op)));
                 continue;
             }
-            if let Some((_, kind, base, bytes, pty)) =
-                maps.iter().find(|(n, ..)| *n == fv.name)
-            {
+            if let Some((_, kind, base, bytes, pty)) = maps.iter().find(|(n, ..)| *n == fv.name) {
                 // Mapped *scalars* are passed by value (a copy travels with
                 // the launch, like OMPi's firstprivate default for scalars);
                 // only pointers/arrays become device-buffer parameters.
@@ -509,7 +488,9 @@ impl<'p> Translator<'p> {
                 if contains_standalone_parallel(&Stmt::Block(f.body.clone())) {
                     return Err(err(
                         o.pos,
-                        format!("function `{name}` called from a kernel contains OpenMP directives"),
+                        format!(
+                            "function `{name}` called from a kernel contains OpenMP directives"
+                        ),
                     ));
                 }
                 let mut df = f.clone();
@@ -573,7 +554,9 @@ impl<'p> Translator<'p> {
             // value before exiting the target region.
             for (name, kind, _, _, _) in &maps {
                 let is_scalar_wb = matches!(kind, OmpMapKind::From | OmpMapKind::ToFrom)
-                    && roles.iter().any(|(n, _, r)| n == name && matches!(r, VarRole::FirstPrivate));
+                    && roles
+                        .iter()
+                        .any(|(n, _, r)| n == name && matches!(r, VarRole::FirstPrivate));
                 if is_scalar_wb {
                     let ty = ctx
                         .frame
@@ -744,36 +727,73 @@ impl<'p> Translator<'p> {
             },
         });
         offload_args.extend(launch_args);
-        stmts.push(b::expr_stmt(b::call("__dev_offload", offload_args)));
+        // `__dev_offload` returns 1 when the kernel ran on the device, 0 on
+        // a terminal device failure — record the latter in the fallback
+        // flag so the region re-executes on the host below.
+        let fb_var = format!("__ompi_fb_{kid}");
+        stmts.push(b::expr_stmt(b::assign(
+            b::ident(&fb_var),
+            b::bin(BinOp::Eq, b::call("__dev_offload", offload_args), b::int(0)),
+        )));
 
         // Unmap (reverse order), reductions and written-back scalars last.
+        // `__dev_unmap` returns 0 when a needed copy-back was lost (device
+        // died between launch and unmap); fold that into the fallback flag
+        // with `|` (not `||` — the unmap call must always execute).
+        let unmap_into_fb = |stmts: &mut Vec<Stmt>, args: Vec<Expr>, copies_back: bool| {
+            let call = b::call("__dev_unmap", args);
+            if copies_back {
+                stmts.push(b::expr_stmt(b::assign(
+                    b::ident(&fb_var),
+                    b::bin(BinOp::BitOr, b::ident(&fb_var), b::bin(BinOp::Eq, call, b::int(0))),
+                )));
+            } else {
+                stmts.push(b::expr_stmt(call));
+            }
+        };
         for name in scalar_writebacks.iter().rev() {
-            stmts.push(b::expr_stmt(b::call(
-                "__dev_unmap",
-                vec![
-                    b::addr_of(b::ident(name)),
-                    b::int(Self::map_kind_code(OmpMapKind::ToFrom)),
-                ],
-            )));
+            unmap_into_fb(
+                &mut stmts,
+                vec![b::addr_of(b::ident(name)), b::int(Self::map_kind_code(OmpMapKind::ToFrom))],
+                true,
+            );
         }
         for (name, _, role) in roles.iter().rev() {
             if matches!(role, VarRole::Reduction(_)) {
-                stmts.push(b::expr_stmt(b::call(
-                    "__dev_unmap",
+                unmap_into_fb(
+                    &mut stmts,
                     vec![
                         b::addr_of(b::ident(name)),
                         b::int(Self::map_kind_code(OmpMapKind::ToFrom)),
                     ],
-                )));
+                    true,
+                );
             }
         }
         for (_, kind, base, _, _) in buffer_maps.iter().rev() {
-            stmts.push(b::expr_stmt(b::call(
-                "__dev_unmap",
+            unmap_into_fb(
+                &mut stmts,
                 vec![base.clone(), b::int(Self::map_kind_code(*kind))],
-            )));
+                matches!(kind, OmpMapKind::From | OmpMapKind::ToFrom),
+            );
         }
-        let offload_block = b::block(stmts);
+        // Graceful degradation (host fallback): guard the offload on device
+        // health, and re-execute the region body on the host whenever its
+        // results did not reach host memory — `__dev_ok` said the device is
+        // down, `__dev_offload` reported a terminal failure, or the device
+        // died before any copy-back committed. In all three cases host
+        // memory still holds the pre-region state, so re-execution is safe;
+        // a loss after a *partial* commit traps instead (see runner.rs).
+        let fallback_body = self.host_stmt(body, ctx)?;
+        let offload_block = b::block(vec![
+            b::decl(&fb_var, Ty::Int, Some(b::int(1))),
+            Stmt::If {
+                cond: b::call("__dev_ok", vec![]),
+                then_s: Box::new(b::block(stmts)),
+                else_s: None,
+            },
+            Stmt::If { cond: b::ident(&fb_var), then_s: Box::new(fallback_body), else_s: None },
+        ]);
 
         // if(...) clause: false → run on the host instead.
         if let Some(cond) = dir.clause_if() {
@@ -829,11 +849,7 @@ impl<'p> Translator<'p> {
         out.push(b::decl("__myub", Ty::Long, None));
         out.push(b::expr_stmt(b::call(
             "cudadev_get_distribute_chunk",
-            vec![
-                b::ident("__total"),
-                b::addr_of(b::ident("__lb")),
-                b::addr_of(b::ident("__ub")),
-            ],
+            vec![b::ident("__total"), b::addr_of(b::ident("__lb")), b::addr_of(b::ident("__ub"))],
         )));
 
         // The per-iteration loop body: reconstruct the loop indices.
@@ -854,11 +870,7 @@ impl<'p> Translator<'p> {
             if i > 0 {
                 idx = b::bin(BinOp::Rem, idx, b::ident(&tc_names[i]));
             }
-            let scaled = if l.step == 1 {
-                idx
-            } else {
-                b::bin(BinOp::Mul, idx, b::int(l.step))
-            };
+            let scaled = if l.step == 1 { idx } else { b::bin(BinOp::Mul, idx, b::int(l.step)) };
             let val = b::bin(BinOp::Add, l.lb.clone(), b::cast(l.var_ty.clone(), scaled));
             iter_body.push(b::decl(&l.var, l.var_ty.clone(), Some(val)));
         }
@@ -1020,7 +1032,10 @@ impl<'p> Translator<'p> {
                 DirKind::Critical => Ok(o.body.as_deref().cloned().unwrap_or(Stmt::Empty)),
                 other => Err(err(
                     o.pos,
-                    format!("directive `{}` is not supported inside a target region", other.spelling()),
+                    format!(
+                        "directive `{}` is not supported inside a target region",
+                        other.spelling()
+                    ),
                 )),
             },
             Stmt::Block(bl) => {
@@ -1252,16 +1267,11 @@ impl<'p> Translator<'p> {
         )));
         block.push(b::expr_stmt(b::call(
             "cudadev_pop_shmem",
-            vec![
-                b::addr_of(b::index(b::ident(&vars_name), b::int(0))),
-                b::int(8 * nslots as i64),
-            ],
+            vec![b::addr_of(b::index(b::ident(&vars_name), b::int(0))), b::int(8 * nslots as i64)],
         )));
         for (_, addr, size) in pushes.iter().rev() {
-            block.push(b::expr_stmt(b::call(
-                "cudadev_pop_shmem",
-                vec![addr.clone(), size.clone()],
-            )));
+            block
+                .push(b::expr_stmt(b::call("cudadev_pop_shmem", vec![addr.clone(), size.clone()])));
         }
 
         // ---- thrFunc (worker side) ----
@@ -1284,11 +1294,7 @@ impl<'p> Translator<'p> {
                 }
                 EnvKind::ValueScalar(ty) => {
                     let pty = Ty::Ptr(Box::new(ty.clone()));
-                    tbody.push(b::decl(
-                        name,
-                        ty.clone(),
-                        Some(b::deref(b::cast(pty, load))),
-                    ));
+                    tbody.push(b::decl(name, ty.clone(), Some(b::deref(b::cast(pty, load)))));
                 }
             }
         }
@@ -1313,7 +1319,13 @@ impl<'p> Translator<'p> {
         }
 
         if dir.kind == DirKind::ParallelFor {
-            tbody.extend(self.region_worksharing_loop(&loops, &inner, dir, &red_renames, &rename)?);
+            tbody.extend(self.region_worksharing_loop(
+                &loops,
+                &inner,
+                dir,
+                &red_renames,
+                &rename,
+            )?);
         } else {
             let mut body2 = body.clone();
             rename_idents(&mut body2, &red_renames);
@@ -1400,8 +1412,7 @@ impl<'p> Translator<'p> {
             if i > 0 {
                 idx = b::bin(BinOp::Rem, idx, b::ident(&tc_names[i]));
             }
-            let scaled =
-                if l.step == 1 { idx } else { b::bin(BinOp::Mul, idx, b::int(l.step)) };
+            let scaled = if l.step == 1 { idx } else { b::bin(BinOp::Mul, idx, b::int(l.step)) };
             let mut lb = l.lb.clone();
             rename_expr(&mut lb, red_renames);
             rename_expr(&mut lb, rename);
@@ -1551,10 +1562,7 @@ impl<'p> Translator<'p> {
                                 b::call("omp_get_thread_num", vec![]),
                                 b::int(0),
                             ),
-                            then_s: Box::new(b::expr_stmt(b::call(
-                                "cudadev_single_reset",
-                                vec![],
-                            ))),
+                            then_s: Box::new(b::expr_stmt(b::call("cudadev_single_reset", vec![]))),
                             else_s: None,
                         },
                         Stmt::If {
@@ -1668,10 +1676,9 @@ impl<'p> Translator<'p> {
                 step: step.clone(),
                 body: Box::new(self.region_stmt(body)?),
             }),
-            Stmt::While { cond, body } => Ok(Stmt::While {
-                cond: cond.clone(),
-                body: Box::new(self.region_stmt(body)?),
-            }),
+            Stmt::While { cond, body } => {
+                Ok(Stmt::While { cond: cond.clone(), body: Box::new(self.region_stmt(body)?) })
+            }
             other => Ok(other.clone()),
         }
     }
@@ -1742,10 +1749,8 @@ impl<'p> Translator<'p> {
                 HKind::FirstPrivate(ty) => {
                     let cp = self.tmp("hfp");
                     fp_copies.push(b::decl(&cp, ty.clone(), Some(b::ident(name))));
-                    call_blk.push(b::expr_stmt(b::assign(
-                        slot,
-                        long_cast(b::addr_of(b::ident(&cp))),
-                    )));
+                    call_blk
+                        .push(b::expr_stmt(b::assign(slot, long_cast(b::addr_of(b::ident(&cp))))));
                 }
             }
         }
@@ -1831,10 +1836,7 @@ impl<'p> Translator<'p> {
                 vec![b::e(ExprKind::StrLit("__omp_reduction".into()))],
             )));
             for (op, rname) in &reductions {
-                let target = rename
-                    .get(rname)
-                    .cloned()
-                    .unwrap_or_else(|| b::ident(rname));
+                let target = rename.get(rname).cloned().unwrap_or_else(|| b::ident(rname));
                 let local = b::ident(&format!("__redl_{rname}"));
                 tbody.push(host_red_fold(target, local, *op));
             }
@@ -1903,8 +1905,7 @@ impl<'p> Translator<'p> {
             if i > 0 {
                 idx = b::bin(BinOp::Rem, idx, b::ident(&tc_names[i]));
             }
-            let scaled =
-                if l.step == 1 { idx } else { b::bin(BinOp::Mul, idx, b::int(l.step)) };
+            let scaled = if l.step == 1 { idx } else { b::bin(BinOp::Mul, idx, b::int(l.step)) };
             let mut lb = l.lb.clone();
             rename_expr(&mut lb, red_renames);
             rename_expr(&mut lb, rename);
@@ -1967,11 +1968,7 @@ impl<'p> Translator<'p> {
                 };
                 out.push(b::expr_stmt(b::call(
                     "ort_static_chunk",
-                    vec![
-                        chunk_e,
-                        b::addr_of(b::ident("__hmylb")),
-                        b::addr_of(b::ident("__hmyub")),
-                    ],
+                    vec![chunk_e, b::addr_of(b::ident("__hmylb")), b::addr_of(b::ident("__hmyub"))],
                 )));
                 out.push(make_for(b::ident("__hmylb"), b::ident("__hmyub"), iter_body));
             }
@@ -1986,7 +1983,8 @@ impl<'p> Translator<'p> {
     fn lower_host_for(&mut self, o: &OmpStmt, ctx: &HostCtx<'_>) -> TResult<Stmt> {
         let (loops, inner) =
             canonical_nest(o.body.as_deref().unwrap_or(&Stmt::Empty), o.dir.clause_collapse())?;
-        let ws = self.host_ws_loop(&loops, &inner, &o.dir, &HashMap::new(), &HashMap::new(), ctx)?;
+        let ws =
+            self.host_ws_loop(&loops, &inner, &o.dir, &HashMap::new(), &HashMap::new(), ctx)?;
         Ok(b::block(ws))
     }
 
@@ -2038,11 +2036,8 @@ fn find_decl_ty(decls: &[(String, Ty)], name: &str) -> Option<Ty> {
 /// device-side depending on where it is spliced).
 pub fn trip_count_expr(l: &LoopInfo) -> Expr {
     let s = l.step.abs();
-    let (hi, lo) = if l.step > 0 {
-        (l.ub.clone(), l.lb.clone())
-    } else {
-        (l.lb.clone(), l.ub.clone())
-    };
+    let (hi, lo) =
+        if l.step > 0 { (l.ub.clone(), l.lb.clone()) } else { (l.lb.clone(), l.ub.clone()) };
     let span = b::bin(BinOp::Sub, long_cast(hi), long_cast(lo));
     let adj = if l.inclusive { s } else { s - 1 };
     let num = b::bin(BinOp::Add, span, b::int(adj));
@@ -2229,7 +2224,10 @@ pub fn rename_idents(s: &mut Stmt, map: &HashMap<String, Expr>) {
             for c in &mut o.dir.clauses {
                 use minic::omp::Clause as Cl;
                 match c {
-                    Cl::NumTeams(e) | Cl::NumThreads(e) | Cl::ThreadLimit(e) | Cl::If(e)
+                    Cl::NumTeams(e)
+                    | Cl::NumThreads(e)
+                    | Cl::ThreadLimit(e)
+                    | Cl::If(e)
                     | Cl::Device(e) => rename_expr(e, map),
                     Cl::Schedule { chunk: Some(e), .. } => rename_expr(e, map),
                     _ => {}

@@ -14,9 +14,9 @@ fn run_app(tag: &str, src: &str) -> (Runner, Value) {
     let cc = Ompicc::new(workdir(tag));
     let app = cc.compile(src).unwrap_or_else(|e| panic!("compile failed: {e}"));
     let runner = Runner::new(&app, &RunnerConfig::default()).expect("runner");
-    let v = runner.run_main().unwrap_or_else(|e| {
-        panic!("run failed: {e}\nlowered host program:\n{}", app.host_text)
-    });
+    let v = runner
+        .run_main()
+        .unwrap_or_else(|e| panic!("run failed: {e}\nlowered host program:\n{}", app.host_text));
     (runner, v)
 }
 

@@ -227,7 +227,9 @@ impl DeviceLib for CudaDeviceLib {
             "omp_get_team_num" => {
                 let [gx, gy, _] = warp.env.grid_dim;
                 let [cx, cy, cz] = warp.env.ctaid;
-                Ok(uniform_ret((cx as u64) + (cy as u64) * gx as u64 + (cz as u64) * (gx as u64 * gy as u64)))
+                Ok(uniform_ret(
+                    (cx as u64) + (cy as u64) * gx as u64 + (cz as u64) * (gx as u64 * gy as u64),
+                ))
             }
             "omp_get_num_teams" => {
                 let [gx, gy, gz] = warp.env.grid_dim;
@@ -347,8 +349,7 @@ impl DeviceLib for CudaDeviceLib {
                     let (s, e) = if chunk == 0 {
                         static_block(total, nthr, tid)
                     } else {
-                        vmcommon::sched::static_cyclic(total, nthr, tid, chunk, 0)
-                            .unwrap_or((0, 0))
+                        vmcommon::sched::static_cyclic(total, nthr, tid, chunk, 0).unwrap_or((0, 0))
                     };
                     warp.mem_write_u64(args[3][lane as usize], lb + s)?;
                     warp.mem_write_u64(args[4][lane as usize], lb + e)?;
@@ -445,7 +446,7 @@ impl DeviceLib for CudaDeviceLib {
                         break;
                     }
                     spins += 1;
-                    if spins % 64 == 0 {
+                    if spins.is_multiple_of(64) {
                         std::thread::yield_now();
                     }
                     if spins > 50_000_000 {

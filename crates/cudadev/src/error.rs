@@ -1,0 +1,88 @@
+//! The unified error taxonomy of the cudadev host module.
+//!
+//! Every driver-facing operation returns `Result<_, CudadevError>` instead
+//! of panicking, so a dying (or fault-injected) device propagates cleanly
+//! up to the OpenMP runtime, which can then retry or fall back to host
+//! execution. Variants record *which phase* failed — the information the
+//! runtime needs to decide between retry, recompile and fallback.
+
+use gpusim::ExecError;
+
+/// A failure in the cudadev host module.
+#[derive(Clone, Debug)]
+pub enum CudadevError {
+    /// Lazy device initialization failed (device discovery, control-block
+    /// allocation).
+    Init(ExecError),
+    /// The device was latched broken by an earlier terminal failure; the
+    /// operation was not attempted.
+    Broken,
+    /// A data-environment operation failed (alloc, H2D/D2H copy, map
+    /// bookkeeping), after any retries.
+    Data(ExecError),
+    /// Locating, decoding or verifying a kernel module failed.
+    ModuleLoad { module: String, reason: String },
+    /// JIT assembly/linking of a `.sptx` kernel failed.
+    Jit { module: String, reason: String },
+    /// A kernel launch failed, after any retries.
+    Launch { kernel: String, error: ExecError },
+}
+
+impl CudadevError {
+    /// Would retrying the operation plausibly help?
+    pub fn is_transient(&self) -> bool {
+        match self {
+            CudadevError::Init(e) | CudadevError::Data(e) => e.is_transient(),
+            CudadevError::Launch { error, .. } => error.is_transient(),
+            _ => false,
+        }
+    }
+
+    /// Is the device gone for good (the caller should latch it broken and
+    /// fall back to the host)?
+    pub fn is_device_lost(&self) -> bool {
+        matches!(
+            self,
+            CudadevError::Broken
+                | CudadevError::Init(ExecError::DeviceLost(_))
+                | CudadevError::Data(ExecError::DeviceLost(_))
+                | CudadevError::Launch { error: ExecError::DeviceLost(_), .. }
+        )
+    }
+
+    /// The underlying simulator error, when there is one.
+    pub fn exec_error(&self) -> Option<&ExecError> {
+        match self {
+            CudadevError::Init(e) | CudadevError::Data(e) => Some(e),
+            CudadevError::Launch { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CudadevError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CudadevError::Init(e) => write!(f, "device initialization failed: {e}"),
+            CudadevError::Broken => write!(f, "device is broken (latched by an earlier failure)"),
+            CudadevError::Data(e) => write!(f, "device data operation failed: {e}"),
+            CudadevError::ModuleLoad { module, reason } => {
+                write!(f, "loading kernel module `{module}` failed: {reason}")
+            }
+            CudadevError::Jit { module, reason } => {
+                write!(f, "JIT compilation of `{module}` failed: {reason}")
+            }
+            CudadevError::Launch { kernel, error } => {
+                write!(f, "launch of kernel `{kernel}` failed: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CudadevError {}
+
+impl From<ExecError> for CudadevError {
+    fn from(e: ExecError) -> Self {
+        CudadevError::Data(e)
+    }
+}

@@ -17,12 +17,15 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use gpusim::fault::{FaultPlan, FaultSite};
 use gpusim::{Device, ExecError, ExecMode, LaunchConfig, LaunchStats};
-use parking_lot::Mutex;
+use vmcommon::sync::Mutex;
 use vmcommon::MemArena;
 
 use crate::devlib::{exports, CudaDeviceLib, NUM_LOCKS};
+use crate::error::CudadevError;
 use crate::jit;
 
 /// Mapping direction of one map clause.
@@ -57,11 +60,44 @@ pub struct DevClock {
     pub d2h_bytes: u64,
     pub jit_compiles: u64,
     pub jit_cache_hits: u64,
+    /// Corrupt JIT-cache entries detected and recompiled.
+    pub jit_invalidations: u64,
+    /// Driver operations retried after a transient fault.
+    pub retries: u64,
 }
 
 impl DevClock {
     pub fn total_s(&self) -> f64 {
         self.kernel_s + self.memcpy_s
+    }
+}
+
+/// Bounded exponential backoff for transient driver faults.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// How many times a transiently failing operation is retried before
+    /// the error is surfaced.
+    pub max_retries: u32,
+    /// Backoff before retry `k` (1-based) is `base_delay_ms << (k-1)`,
+    /// capped at `max_delay_ms`.
+    pub base_delay_ms: u64,
+    pub max_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 3, base_delay_ms: 1, max_delay_ms: 20 }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff delay before the `attempt`-th retry (1-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let ms = self
+            .base_delay_ms
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(16))
+            .min(self.max_delay_ms);
+        Duration::from_millis(ms)
     }
 }
 
@@ -82,6 +118,11 @@ pub struct CudaDevConfig {
     /// for gramschmidt-style apps that launch thousands of kernels inside a
     /// host loop. Documented substitution — see DESIGN.md.
     pub launch_sampling: bool,
+    /// Deterministic fault-injection plan. `None` falls back to the
+    /// `OMPI_FAULT_PLAN` environment variable (see `gpusim::fault`).
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Retry policy for transient driver faults.
+    pub retry: RetryPolicy,
 }
 
 impl Default for CudaDevConfig {
@@ -93,6 +134,8 @@ impl Default for CudaDevConfig {
             jit_cache_dir: base.join("jitcache"),
             exec_mode: ExecMode::Functional,
             launch_sampling: false,
+            fault_plan: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -110,6 +153,10 @@ pub struct CudaDev {
     /// Per-kernel launch history for launch-level sampling:
     /// (launch count, recent cycles-per-thread estimate).
     launch_hist: Mutex<HashMap<String, (u64, f64)>>,
+    /// Latched by the first terminal device failure: every subsequent
+    /// operation fails fast with [`CudadevError::Broken`] so the runtime
+    /// skips the dead device and runs on the host instead.
+    broken: AtomicBool,
 }
 
 impl CudaDev {
@@ -123,6 +170,7 @@ impl CudaDev {
             maps: Mutex::new(HashMap::new()),
             clock: Mutex::new(DevClock::default()),
             launch_hist: Mutex::new(HashMap::new()),
+            broken: AtomicBool::new(false),
         }
     }
 
@@ -132,25 +180,93 @@ impl CudaDev {
         self.initialized.load(Ordering::Acquire)
     }
 
-    /// The device, initializing on first use.
-    pub fn device(&self) -> Arc<Device> {
+    /// Has a terminal failure latched the device broken?
+    pub fn is_broken(&self) -> bool {
+        self.broken.load(Ordering::Acquire)
+    }
+
+    /// Latch the device broken; all further operations fail fast.
+    pub fn mark_broken(&self) {
+        self.broken.store(true, Ordering::Release);
+    }
+
+    /// The device, initializing on first use; fails instead of panicking
+    /// when the (possibly fault-injected) driver cannot come up.
+    pub fn try_device(&self) -> Result<Arc<Device>, CudadevError> {
+        if self.is_broken() {
+            return Err(CudadevError::Broken);
+        }
         let mut slot = self.device.lock();
         if let Some(d) = slot.as_ref() {
-            return d.clone();
+            return Ok(d.clone());
+        }
+        let plan = self.cfg.fault_plan.clone().or_else(|| FaultPlan::from_env().map(Arc::new));
+        if let Some(p) = &plan {
+            if let Err(e) = p.check(FaultSite::Init) {
+                if !e.is_transient() {
+                    self.mark_broken();
+                }
+                return Err(CudadevError::Init(e));
+            }
         }
         let d = Arc::new(Device::new(self.cfg.global_mem));
+        d.set_fault_plan(plan);
         // Reserve the device runtime control block (critical-section lock
         // words).
-        let lock_area = d.mem_alloc(NUM_LOCKS * 4).expect("lock area");
+        let lock_area = match self.retrying(|| d.mem_alloc(NUM_LOCKS * 4)) {
+            Ok(a) => a,
+            Err(e) => {
+                if matches!(e, ExecError::DeviceLost(_)) {
+                    self.mark_broken();
+                }
+                return Err(CudadevError::Init(e));
+            }
+        };
         *self.lib.lock() = Some(Arc::new(CudaDeviceLib::new(lock_area)));
         *slot = Some(d.clone());
         self.initialized.store(true, Ordering::Release);
-        d
+        Ok(d)
     }
 
-    fn devlib(&self) -> Arc<CudaDeviceLib> {
-        self.device();
-        self.lib.lock().as_ref().expect("device lib").clone()
+    /// The device, initializing on first use. Panics on initialization
+    /// failure — a convenience for tests and examples; runtime code goes
+    /// through [`CudaDev::try_device`].
+    pub fn device(&self) -> Arc<Device> {
+        self.try_device().expect("device initialization failed")
+    }
+
+    fn devlib(&self) -> Result<Arc<CudaDeviceLib>, CudadevError> {
+        self.try_device()?;
+        self.lib
+            .lock()
+            .as_ref()
+            .cloned()
+            .ok_or_else(|| CudadevError::Init(ExecError::Trap("device library missing".into())))
+    }
+
+    /// Run a driver operation, retrying transient faults with bounded
+    /// exponential backoff.
+    fn retrying<T>(&self, mut f: impl FnMut() -> Result<T, ExecError>) -> Result<T, ExecError> {
+        let mut attempt = 0u32;
+        loop {
+            match f() {
+                Err(e) if e.is_transient() && attempt < self.cfg.retry.max_retries => {
+                    attempt += 1;
+                    self.clock.lock().retries += 1;
+                    std::thread::sleep(self.cfg.retry.delay(attempt));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Post-process a driver result: terminal failures latch the device
+    /// broken.
+    fn latch(&self, e: ExecError) -> ExecError {
+        if matches!(e, ExecError::DeviceLost(_)) {
+            self.mark_broken();
+        }
+        e
     }
 
     // ------------------------------------------------- data environment
@@ -162,8 +278,8 @@ impl CudaDev {
         host_addr: u64,
         len: u64,
         kind: MapKind,
-    ) -> Result<u64, ExecError> {
-        let device = self.device();
+    ) -> Result<u64, CudadevError> {
+        let device = self.try_device()?;
         let mut maps = self.maps.lock();
         if let Some(entry) = maps.get_mut(&host_addr) {
             entry.refcount += 1;
@@ -172,13 +288,14 @@ impl CudaDev {
             }
             return Ok(entry.dev_ptr);
         }
-        let dev_ptr = device.mem_alloc(len)?;
+        let dev_ptr = self.retrying(|| device.mem_alloc(len)).map_err(|e| self.latch(e))?;
         if matches!(kind, MapKind::To | MapKind::ToFrom) {
             let mut buf = vec![0u8; len as usize];
             host_mem
                 .read_bytes(vmcommon::addr::offset(host_addr), &mut buf)
-                .map_err(ExecError::Mem)?;
-            let t = device.memcpy_h2d(dev_ptr, &buf)?;
+                .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
+            let t =
+                self.retrying(|| device.memcpy_h2d(dev_ptr, &buf)).map_err(|e| self.latch(e))?;
             let mut clk = self.clock.lock();
             clk.memcpy_s += t;
             clk.h2d_bytes += len;
@@ -201,11 +318,13 @@ impl CudaDev {
         host_mem: &MemArena,
         host_addr: u64,
         kind: MapKind,
-    ) -> Result<(), ExecError> {
-        let device = self.device();
+    ) -> Result<(), CudadevError> {
+        let device = self.try_device()?;
         let mut maps = self.maps.lock();
         let entry = maps.get_mut(&host_addr).ok_or_else(|| {
-            ExecError::Trap(format!("unmap of unmapped host address {host_addr:#x}"))
+            CudadevError::Data(ExecError::Trap(format!(
+                "unmap of unmapped host address {host_addr:#x}"
+            )))
         })?;
         entry.refcount = entry.refcount.saturating_sub(1);
         let delete_now = kind == MapKind::Delete || entry.refcount == 0;
@@ -216,15 +335,17 @@ impl CudaDev {
         let want_out = entry.copy_out || matches!(kind, MapKind::From | MapKind::ToFrom);
         if want_out && kind != MapKind::Delete && kind != MapKind::Release {
             let mut buf = vec![0u8; entry.len as usize];
-            let t = device.memcpy_d2h(&mut buf, entry.dev_ptr)?;
+            let t = self
+                .retrying(|| device.memcpy_d2h(&mut buf, entry.dev_ptr))
+                .map_err(|e| self.latch(e))?;
             host_mem
                 .write_bytes(vmcommon::addr::offset(host_addr), &buf)
-                .map_err(ExecError::Mem)?;
+                .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
             let mut clk = self.clock.lock();
             clk.memcpy_s += t;
             clk.d2h_bytes += entry.len;
         }
-        device.mem_free(entry.dev_ptr)?;
+        device.mem_free(entry.dev_ptr).map_err(|e| self.latch(e))?;
         Ok(())
     }
 
@@ -235,28 +356,34 @@ impl CudaDev {
         host_addr: u64,
         len: u64,
         to_device: bool,
-    ) -> Result<(), ExecError> {
-        let device = self.device();
+    ) -> Result<(), CudadevError> {
+        let device = self.try_device()?;
         let maps = self.maps.lock();
         let entry = maps.get(&host_addr).ok_or_else(|| {
-            ExecError::Trap(format!("target update of unmapped host address {host_addr:#x}"))
+            CudadevError::Data(ExecError::Trap(format!(
+                "target update of unmapped host address {host_addr:#x}"
+            )))
         })?;
         let len = len.min(entry.len);
         if to_device {
             let mut buf = vec![0u8; len as usize];
             host_mem
                 .read_bytes(vmcommon::addr::offset(host_addr), &mut buf)
-                .map_err(ExecError::Mem)?;
-            let t = device.memcpy_h2d(entry.dev_ptr, &buf)?;
+                .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
+            let t = self
+                .retrying(|| device.memcpy_h2d(entry.dev_ptr, &buf))
+                .map_err(|e| self.latch(e))?;
             let mut clk = self.clock.lock();
             clk.memcpy_s += t;
             clk.h2d_bytes += len;
         } else {
             let mut buf = vec![0u8; len as usize];
-            let t = device.memcpy_d2h(&mut buf, entry.dev_ptr)?;
+            let t = self
+                .retrying(|| device.memcpy_d2h(&mut buf, entry.dev_ptr))
+                .map_err(|e| self.latch(e))?;
             host_mem
                 .write_bytes(vmcommon::addr::offset(host_addr), &buf)
-                .map_err(ExecError::Mem)?;
+                .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
             let mut clk = self.clock.lock();
             clk.memcpy_s += t;
             clk.d2h_bytes += len;
@@ -278,22 +405,38 @@ impl CudaDev {
 
     /// Loading phase: find and load the kernel module `name` (file stem) in
     /// the kernel directory.
-    pub fn load_module(&self, name: &str) -> Result<Arc<sptx::Module>, ExecError> {
+    pub fn load_module(&self, name: &str) -> Result<Arc<sptx::Module>, CudadevError> {
         if let Some(m) = self.modules.lock().get(name) {
             return Ok(m.clone());
         }
+        let load_err =
+            |reason: String| CudadevError::ModuleLoad { module: name.to_string(), reason };
+        let device = self.try_device()?;
+        self.retrying(|| device.fault_check(FaultSite::ModuleLoad))
+            .map_err(|e| self.latch(e))
+            .map_err(|e| load_err(e.to_string()))?;
         let cubin_path = self.cfg.kernel_dir.join(format!("{name}.cubin"));
         let sptx_path = self.cfg.kernel_dir.join(format!("{name}.sptx"));
         let module: Arc<sptx::Module> = if cubin_path.exists() {
             let bytes = std::fs::read(&cubin_path)
-                .map_err(|e| ExecError::Trap(format!("reading {cubin_path:?}: {e}")))?;
-            Arc::new(sptx::cubin::decode(&bytes).map_err(|e| ExecError::Trap(e.to_string()))?)
+                .map_err(|e| load_err(format!("reading {cubin_path:?}: {e}")))?;
+            Arc::new(sptx::cubin::decode(&bytes).map_err(|e| load_err(e.to_string()))?)
         } else if sptx_path.exists() {
             // JIT path with disk cache.
             let text = std::fs::read_to_string(&sptx_path)
-                .map_err(|e| ExecError::Trap(format!("reading {sptx_path:?}: {e}")))?;
+                .map_err(|e| load_err(format!("reading {sptx_path:?}: {e}")))?;
+            if device.fault_check(FaultSite::JitCache).is_err() {
+                // Injected cache corruption: scribble over the cached
+                // artifact so the loader must detect the damage, invalidate
+                // the entry and recompile.
+                let cached = jit::cache_path(&text, &self.cfg.jit_cache_dir);
+                if cached.exists() {
+                    let _ = std::fs::write(&cached, b"\xffcorrupted-cache-entry");
+                    self.clock.lock().jit_invalidations += 1;
+                }
+            }
             let (m, cache_hit) = jit::jit_load(&text, &self.cfg.jit_cache_dir, &exports())
-                .map_err(|e| ExecError::Trap(e))?;
+                .map_err(|reason| CudadevError::Jit { module: name.to_string(), reason })?;
             let mut clk = self.clock.lock();
             if cache_hit {
                 clk.jit_cache_hits += 1;
@@ -302,12 +445,12 @@ impl CudaDev {
             }
             m
         } else {
-            return Err(ExecError::Trap(format!(
-                "kernel binary for `{name}` not found in {:?} (looked for .cubin and .sptx)",
+            return Err(load_err(format!(
+                "kernel binary not found in {:?} (looked for .cubin and .sptx)",
                 self.cfg.kernel_dir
             )));
         };
-        sptx::verify_module(&module).map_err(|e| ExecError::Trap(e.to_string()))?;
+        sptx::verify_module(&module).map_err(|e| load_err(e.to_string()))?;
         self.modules.lock().insert(name.to_string(), module.clone());
         Ok(module)
     }
@@ -327,10 +470,12 @@ impl CudaDev {
         grid: [u32; 3],
         block: [u32; 3],
         params: Vec<u64>,
-    ) -> Result<LaunchStats, ExecError> {
-        let device = self.device();
-        let lib = self.devlib();
+    ) -> Result<LaunchStats, CudadevError> {
+        let device = self.try_device()?;
+        let lib = self.devlib()?;
         let m = self.load_module(module)?;
+        let launch_err =
+            |error: ExecError| CudadevError::Launch { kernel: kernel.to_string(), error };
         let total_threads = grid[0] as u64
             * grid[1] as u64
             * grid[2] as u64
@@ -349,8 +494,7 @@ impl CudaDev {
             let measure = count < 8 || count % 128 == 0;
             if !measure && cpt > 0.0 {
                 let cycles = cpt * total_threads as f64;
-                let time_s =
-                    gpusim::timing::LAUNCH_OVERHEAD_S + cycles / device.props.clock_hz;
+                let time_s = gpusim::timing::LAUNCH_OVERHEAD_S + cycles / device.props.clock_hz;
                 self.launch_hist.lock().insert(key, (count + 1, cpt));
                 let mut clk = self.clock.lock();
                 clk.kernel_s += time_s;
@@ -364,8 +508,11 @@ impl CudaDev {
                 });
             }
             let cfg = LaunchConfig { grid, block, params };
-            let stats =
-                gpusim::launch(&device, &m, kernel, &cfg, lib.as_ref(), self.cfg.exec_mode)?;
+            let stats = self
+                .retrying(|| {
+                    gpusim::launch(&device, &m, kernel, &cfg, lib.as_ref(), self.cfg.exec_mode)
+                })
+                .map_err(|e| launch_err(self.latch(e)))?;
             let this_cpt = stats.kernel_cycles as f64 / total_threads.max(1) as f64;
             let new_cpt = if cpt > 0.0 { 0.7 * cpt + 0.3 * this_cpt } else { this_cpt };
             self.launch_hist.lock().insert(key, (count + 1, new_cpt));
@@ -376,7 +523,11 @@ impl CudaDev {
         }
 
         let cfg = LaunchConfig { grid, block, params };
-        let stats = gpusim::launch(&device, &m, kernel, &cfg, lib.as_ref(), self.cfg.exec_mode)?;
+        let stats = self
+            .retrying(|| {
+                gpusim::launch(&device, &m, kernel, &cfg, lib.as_ref(), self.cfg.exec_mode)
+            })
+            .map_err(|e| launch_err(self.latch(e)))?;
         let mut clk = self.clock.lock();
         clk.kernel_s += stats.time_s;
         clk.launches += 1;
@@ -400,4 +551,3 @@ impl CudaDev {
         self.cfg.exec_mode = mode;
     }
 }
-

@@ -5,11 +5,39 @@
 //! eliminate repeated compilations of the same kernels; we reproduce that:
 //! the cache key is the FNV-1a hash of the `.sptx` text, the cached value
 //! is the linked `.cubin`.
+//!
+//! The cache is **crash- and corruption-safe**: entries are written to a
+//! unique temporary file and atomically renamed into place, so a reader
+//! never observes a half-written artifact; and any entry that fails to
+//! decode (torn write, bit rot, injected corruption) is invalidated and
+//! recompiled instead of being trusted.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use vmcommon::hash::fnv1a_hex;
+
+/// Where the cache entry for `text` lives under `cache_dir`.
+pub fn cache_path(text: &str, cache_dir: &Path) -> PathBuf {
+    cache_dir.join(format!("{}.cubin", fnv1a_hex(text.as_bytes())))
+}
+
+/// Per-process counter making concurrent temp names unique even within one
+/// process (the pid alone is not enough when two threads JIT the same
+/// kernel).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Atomically publish `bytes` at `path`: write a unique sibling temp file,
+/// then rename over the target. A failed write is not fatal (e.g. read-only
+/// disk) — the cache is an optimization, not a source of truth.
+fn publish_atomic(path: &Path, bytes: &[u8]) {
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
+    if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
 
 /// Assemble + link a `.sptx` text, using/filling the disk cache.
 /// Returns `(module, cache_hit)`.
@@ -18,13 +46,12 @@ pub fn jit_load(
     cache_dir: &Path,
     lib_symbols: &[String],
 ) -> Result<(Arc<sptx::Module>, bool), String> {
-    let key = fnv1a_hex(text.as_bytes());
-    let cached = cache_dir.join(format!("{key}.cubin"));
+    let cached = cache_path(text, cache_dir);
     if let Ok(bytes) = std::fs::read(&cached) {
         if let Ok(m) = sptx::cubin::decode(&bytes) {
             return Ok((Arc::new(m), true));
         }
-        // Corrupt cache entry: fall through and recompile.
+        // Corrupt cache entry: invalidate, fall through and recompile.
         let _ = std::fs::remove_file(&cached);
     }
     // "Compile": assemble the text and link the device library.
@@ -32,11 +59,7 @@ pub fn jit_load(
     nvccsim::link_module(&mut module, lib_symbols).map_err(|e| e.to_string())?;
     sptx::verify_module(&module).map_err(|e| e.to_string())?;
     if std::fs::create_dir_all(cache_dir).is_ok() {
-        // A failed cache write is not fatal (e.g. read-only disk).
-        let tmp = cache_dir.join(format!(".{key}.tmp.{}", std::process::id()));
-        if std::fs::write(&tmp, sptx::cubin::encode(&module)).is_ok() {
-            let _ = std::fs::rename(&tmp, &cached);
-        }
+        publish_atomic(&cached, &sptx::cubin::encode(&module));
     }
     Ok((Arc::new(module), false))
 }
@@ -51,9 +74,13 @@ mod tests {
         sptx::text::print_module(&m)
     }
 
+    fn tmpdir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("cudadev-jit-{tag}-{}", std::process::id()))
+    }
+
     #[test]
     fn jit_compiles_then_hits_cache() {
-        let dir = std::env::temp_dir().join(format!("cudadev-jit-test-{}", std::process::id()));
+        let dir = tmpdir("basic");
         let _ = std::fs::remove_dir_all(&dir);
         let text = sample_text();
         let (m1, hit1) = jit_load(&text, &dir, &[]).unwrap();
@@ -67,16 +94,69 @@ mod tests {
 
     #[test]
     fn corrupt_cache_entry_recompiles() {
-        let dir = std::env::temp_dir().join(format!("cudadev-jit-corrupt-{}", std::process::id()));
+        let dir = tmpdir("corrupt");
         let _ = std::fs::remove_dir_all(&dir);
         let text = sample_text();
         jit_load(&text, &dir, &[]).unwrap();
         // Corrupt the cached file.
-        let key = fnv1a_hex(text.as_bytes());
-        let path = dir.join(format!("{key}.cubin"));
+        let path = cache_path(&text, &dir);
         std::fs::write(&path, b"garbage").unwrap();
         let (_, hit) = jit_load(&text, &dir, &[]).unwrap();
         assert!(!hit, "corrupt entry must be recompiled");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Every truncation of a valid cache entry (a torn write that bypassed
+    /// the atomic rename) is detected and recompiled — never loaded as a
+    /// wrong module.
+    #[test]
+    fn truncated_cache_entry_never_loads_wrong() {
+        let dir = tmpdir("truncate");
+        let _ = std::fs::remove_dir_all(&dir);
+        let text = sample_text();
+        let (good, _) = jit_load(&text, &dir, &[]).unwrap();
+        let path = cache_path(&text, &dir);
+        let full = std::fs::read(&path).unwrap();
+        for cut in [0, 1, 2, full.len() / 2, full.len().saturating_sub(1)] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (m, hit) = jit_load(&text, &dir, &[]).unwrap();
+            // Either the decode failed (recompile) or — impossible for a
+            // strict decoder — it produced the identical module anyway.
+            assert!(!hit || *m == *good, "truncation at {cut} yielded a wrong module");
+            assert_eq!(*m, *good, "truncation at {cut}: module differs after reload");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Concurrent JIT loads of the same kernel never observe each other's
+    /// partial writes: every thread gets the correct module.
+    #[test]
+    fn concurrent_loads_never_corrupt() {
+        let dir = tmpdir("concurrent");
+        let _ = std::fs::remove_dir_all(&dir);
+        let text = sample_text();
+        let (good, _) = jit_load(&text, &dir, &[]).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let text = &text;
+                let dir = &dir;
+                let good = &good;
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        let (m, _) = jit_load(text, dir, &[]).unwrap();
+                        assert_eq!(*m, **good);
+                    }
+                });
+            }
+        });
+        // No stray temp files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x != "cubin"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

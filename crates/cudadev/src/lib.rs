@@ -8,8 +8,12 @@
 //! simulated Maxwell SMM from `gpusim`.
 
 pub mod devlib;
+pub mod error;
 pub mod host;
 pub mod jit;
 
-pub use devlib::{exports, round_barrier_count, CudaDeviceLib, B1, B2, MW_BLOCK_THREADS, MW_WORKERS};
-pub use host::{CudaDev, CudaDevConfig, DevClock, MapKind};
+pub use devlib::{
+    exports, round_barrier_count, CudaDeviceLib, B1, B2, MW_BLOCK_THREADS, MW_WORKERS,
+};
+pub use error::CudadevError;
+pub use host::{CudaDev, CudaDevConfig, DevClock, MapKind, RetryPolicy};

@@ -16,7 +16,7 @@
 
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use vmcommon::sync::{Condvar, Mutex};
 
 use crate::timing;
 

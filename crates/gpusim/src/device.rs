@@ -1,10 +1,13 @@
 //! The simulated device: one Jetson Nano Maxwell GPU.
 
-use parking_lot::Mutex;
 use vmcommon::addr::{self, Space};
+use vmcommon::sync::Mutex;
 use vmcommon::{BlockAllocator, MemArena};
 
+use std::sync::Arc;
+
 use crate::barrier::BarrierTimeout;
+use crate::fault::{FaultPlan, FaultSite};
 use crate::timing;
 
 /// Hardware properties, as the cudadev host module would query them via
@@ -56,6 +59,18 @@ pub enum ExecError {
     UnknownKernel(String),
     UnknownIntrinsic(String),
     BadLaunch(String),
+    /// A transient driver fault (injected or modeled): the operation may
+    /// succeed if retried.
+    Transient(String),
+    /// The device is gone for good; retrying is pointless.
+    DeviceLost(String),
+}
+
+impl ExecError {
+    /// Is this error worth retrying?
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ExecError::Transient(_))
+    }
 }
 
 impl std::fmt::Display for ExecError {
@@ -75,6 +90,8 @@ impl std::fmt::Display for ExecError {
                 "unresolved device intrinsic `{n}` (kernel not linked against the device library?)"
             ),
             ExecError::BadLaunch(m) => write!(f, "invalid launch: {m}"),
+            ExecError::Transient(m) => write!(f, "transient device fault: {m}"),
+            ExecError::DeviceLost(m) => write!(f, "device lost: {m}"),
         }
     }
 }
@@ -122,6 +139,8 @@ pub struct Device {
     pub stats: Mutex<DeviceStats>,
     /// Captured device-side printf output.
     pub printf_output: Mutex<String>,
+    /// Deterministic fault-injection plan, if any.
+    fault: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl Device {
@@ -136,12 +155,33 @@ impl Device {
             alloc: Mutex::new(alloc),
             stats: Mutex::new(DeviceStats::default()),
             printf_output: Mutex::new(String::new()),
+            fault: Mutex::new(None),
+        }
+    }
+
+    /// Install (or clear) the fault-injection plan.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.fault.lock() = plan;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault.lock().clone()
+    }
+
+    /// Consult the fault plan for one call to `site`. No-op without a plan.
+    pub fn fault_check(&self, site: FaultSite) -> Result<(), ExecError> {
+        let plan = self.fault.lock().clone();
+        match plan {
+            Some(p) => p.check(site),
+            None => Ok(()),
         }
     }
 
     /// `cuMemAlloc`: allocate device memory, returning a tagged device
     /// pointer.
     pub fn mem_alloc(&self, size: u64) -> Result<u64, ExecError> {
+        self.fault_check(FaultSite::Alloc)?;
         let off = self.alloc.lock().alloc(size)?;
         Ok(addr::make(Space::Global, off))
     }
@@ -163,6 +203,7 @@ impl Device {
     /// `cuMemcpyHtoD`: copy from a host buffer into device memory.
     /// Returns the simulated copy time in seconds.
     pub fn memcpy_h2d(&self, dst: u64, src: &[u8]) -> Result<f64, ExecError> {
+        self.fault_check(FaultSite::H2D)?;
         if addr::space(dst) != Some(Space::Global) {
             return Err(ExecError::Trap(format!("HtoD destination {dst:#x} is not device memory")));
         }
@@ -176,6 +217,7 @@ impl Device {
 
     /// `cuMemcpyDtoH`. Returns the simulated copy time in seconds.
     pub fn memcpy_d2h(&self, dst: &mut [u8], src: u64) -> Result<f64, ExecError> {
+        self.fault_check(FaultSite::D2H)?;
         if addr::space(src) != Some(Space::Global) {
             return Err(ExecError::Trap(format!("DtoH source {src:#x} is not device memory")));
         }

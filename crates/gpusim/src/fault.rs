@@ -1,0 +1,282 @@
+//! Deterministic fault injection for the device runtime.
+//!
+//! A [`FaultPlan`] names *call sites* in the driver/simulator surface
+//! ([`FaultSite`]) and injects an [`ExecError`] on chosen call numbers.
+//! Plans are deterministic: the `n`-th call to a site always behaves the
+//! same for a given plan, so robustness tests are exactly reproducible.
+//!
+//! Rules come in two flavours, mirroring real driver failure modes:
+//!
+//! * **transient** — a bounded run of failing calls (`times` finite), e.g.
+//!   a launch that fails twice and then succeeds. Surfaced as
+//!   [`ExecError::Transient`] so callers may retry.
+//! * **terminal** — the site fails forever (`times == None`), e.g. a dead
+//!   device. Surfaced as [`ExecError::DeviceLost`] so callers give up and
+//!   fall back to the host.
+//!
+//! The compact plan syntax (also accepted from the `OMPI_FAULT_PLAN`
+//! environment variable) is a comma-separated list of
+//! `site@first[xCOUNT|x*]`:
+//!
+//! ```text
+//! launch@2x3        calls 2,3,4 to `launch` fail transiently
+//! alloc@1x*         every alloc from the first on fails terminally
+//! h2d@5             exactly call 5 to memcpy H2D fails transiently
+//! launch@2x3,h2d@5  both of the above
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::device::ExecError;
+
+/// A fault-injectable call site in the device runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Device creation / first touch (cudadev lazy init).
+    Init,
+    /// `cuMemAlloc`.
+    Alloc,
+    /// `cuMemcpyHtoD`.
+    H2D,
+    /// `cuMemcpyDtoH`.
+    D2H,
+    /// `cuModuleLoad` (cubin load or PTX JIT).
+    ModuleLoad,
+    /// `cuLaunchKernel`.
+    Launch,
+    /// JIT disk-cache read: the cached artifact decodes as garbage.
+    JitCache,
+}
+
+impl FaultSite {
+    pub const ALL: [FaultSite; 7] = [
+        FaultSite::Init,
+        FaultSite::Alloc,
+        FaultSite::H2D,
+        FaultSite::D2H,
+        FaultSite::ModuleLoad,
+        FaultSite::Launch,
+        FaultSite::JitCache,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultSite::Init => 0,
+            FaultSite::Alloc => 1,
+            FaultSite::H2D => 2,
+            FaultSite::D2H => 3,
+            FaultSite::ModuleLoad => 4,
+            FaultSite::Launch => 5,
+            FaultSite::JitCache => 6,
+        }
+    }
+
+    /// Plan-syntax name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::Init => "init",
+            FaultSite::Alloc => "alloc",
+            FaultSite::H2D => "h2d",
+            FaultSite::D2H => "d2h",
+            FaultSite::ModuleLoad => "modload",
+            FaultSite::Launch => "launch",
+            FaultSite::JitCache => "jitcache",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<FaultSite> {
+        FaultSite::ALL.iter().copied().find(|f| f.name() == s)
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One injection rule: calls `first .. first+times` (1-based, half-open in
+/// count) to `site` fail. `times == None` means "forever" — a terminal
+/// fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultRule {
+    pub site: FaultSite,
+    /// 1-based call number at which faults begin.
+    pub first: u64,
+    /// How many consecutive calls fail; `None` = all subsequent calls.
+    pub times: Option<u64>,
+}
+
+impl FaultRule {
+    /// Does this rule fire on call number `n` (1-based)?
+    fn fires(&self, n: u64) -> bool {
+        n >= self.first && self.times.is_none_or(|t| n < self.first + t)
+    }
+
+    /// Terminal rules never stop firing.
+    pub fn is_terminal(&self) -> bool {
+        self.times.is_none()
+    }
+}
+
+/// A deterministic fault plan: a rule list plus per-site call counters.
+///
+/// The plan is shared (`Arc`) between the test, the device and the driver
+/// layer; counters are atomics so concurrent call sites still get unique
+/// call numbers.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    counters: [AtomicU64; FaultSite::ALL.len()],
+}
+
+impl FaultPlan {
+    /// Plan with an explicit rule list.
+    pub fn new(rules: Vec<FaultRule>) -> FaultPlan {
+        FaultPlan { rules, counters: Default::default() }
+    }
+
+    /// Parse the compact plan syntax (see module docs).
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut rules = Vec::new();
+        for part in text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (site, rest) = part
+                .split_once('@')
+                .ok_or_else(|| format!("fault rule `{part}`: expected `site@first[xN|x*]`"))?;
+            let site = FaultSite::from_name(site.trim())
+                .ok_or_else(|| format!("fault rule `{part}`: unknown site `{site}`"))?;
+            let (first, times) = match rest.split_once('x') {
+                None => (rest, Some(1)),
+                Some((f, "*")) => (f, None),
+                Some((f, n)) => {
+                    let n: u64 = n
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("fault rule `{part}`: bad repeat count `{n}`"))?;
+                    (f, Some(n.max(1)))
+                }
+            };
+            let first: u64 = first
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault rule `{part}`: bad call number `{first}`"))?;
+            if first == 0 {
+                return Err(format!("fault rule `{part}`: call numbers are 1-based"));
+            }
+            rules.push(FaultRule { site, first, times });
+        }
+        Ok(FaultPlan::new(rules))
+    }
+
+    /// Plan from the `OMPI_FAULT_PLAN` environment variable, if set.
+    /// A malformed plan aborts loudly rather than silently running
+    /// fault-free.
+    pub fn from_env() -> Option<FaultPlan> {
+        let text = std::env::var("OMPI_FAULT_PLAN").ok()?;
+        if text.trim().is_empty() {
+            return None;
+        }
+        match FaultPlan::parse(&text) {
+            Ok(p) => Some(p),
+            Err(e) => panic!("OMPI_FAULT_PLAN: {e}"),
+        }
+    }
+
+    /// Record one call to `site` and return the injected error, if any.
+    ///
+    /// Increments the site's call counter regardless of outcome, so call
+    /// numbering is stable whether or not faults fire.
+    pub fn check(&self, site: FaultSite) -> Result<(), ExecError> {
+        let n = self.counters[site.index()].fetch_add(1, Ordering::AcqRel) + 1;
+        for rule in &self.rules {
+            if rule.site == site && rule.fires(n) {
+                let msg = format!("injected fault: {site} call #{n}");
+                return Err(if rule.is_terminal() {
+                    ExecError::DeviceLost(msg)
+                } else {
+                    ExecError::Transient(msg)
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of calls observed at `site` so far.
+    pub fn calls(&self, site: FaultSite) -> u64 {
+        self.counters[site.index()].load(Ordering::Acquire)
+    }
+
+    /// Does the plan contain a terminal rule for `site`?
+    pub fn has_terminal(&self, site: FaultSite) -> bool {
+        self.rules.iter().any(|r| r.site == site && r.is_terminal())
+    }
+
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_compact_syntax() {
+        let p = FaultPlan::parse("launch@2x3, alloc@1x*,h2d@5").unwrap();
+        assert_eq!(
+            p.rules(),
+            &[
+                FaultRule { site: FaultSite::Launch, first: 2, times: Some(3) },
+                FaultRule { site: FaultSite::Alloc, first: 1, times: None },
+                FaultRule { site: FaultSite::H2D, first: 5, times: Some(1) },
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("launch").is_err());
+        assert!(FaultPlan::parse("nosite@1").is_err());
+        assert!(FaultPlan::parse("launch@zero").is_err());
+        assert!(FaultPlan::parse("launch@0").is_err(), "call numbers are 1-based");
+        assert!(FaultPlan::parse("launch@1xbad").is_err());
+        assert!(FaultPlan::parse("").unwrap().rules().is_empty());
+    }
+
+    #[test]
+    fn transient_window_fires_exactly() {
+        let p = FaultPlan::parse("launch@2x3").unwrap();
+        let mut outcomes = Vec::new();
+        for _ in 0..6 {
+            outcomes.push(p.check(FaultSite::Launch).is_err());
+        }
+        assert_eq!(outcomes, [false, true, true, true, false, false]);
+        assert!(matches!(
+            FaultPlan::parse("launch@1").unwrap().check(FaultSite::Launch),
+            Err(ExecError::Transient(_))
+        ));
+    }
+
+    #[test]
+    fn terminal_rule_fires_forever() {
+        let p = FaultPlan::parse("alloc@3x*").unwrap();
+        assert!(p.check(FaultSite::Alloc).is_ok());
+        assert!(p.check(FaultSite::Alloc).is_ok());
+        for _ in 0..10 {
+            assert!(matches!(p.check(FaultSite::Alloc), Err(ExecError::DeviceLost(_))));
+        }
+        assert!(p.has_terminal(FaultSite::Alloc));
+        assert!(!p.has_terminal(FaultSite::Launch));
+    }
+
+    #[test]
+    fn sites_count_independently() {
+        let p = FaultPlan::parse("h2d@1x1").unwrap();
+        assert!(p.check(FaultSite::D2H).is_ok());
+        assert!(p.check(FaultSite::H2D).is_err());
+        assert!(p.check(FaultSite::H2D).is_ok());
+        assert_eq!(p.calls(FaultSite::H2D), 2);
+        assert_eq!(p.calls(FaultSite::D2H), 1);
+        assert_eq!(p.calls(FaultSite::Launch), 0);
+    }
+}

@@ -3,7 +3,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
+use vmcommon::sync::Mutex;
 
 use crate::device::{Device, ExecError};
 use crate::timing;
@@ -66,6 +66,7 @@ pub fn launch(
     lib: &dyn DeviceLib,
     mode: ExecMode,
 ) -> Result<LaunchStats, ExecError> {
+    device.fault_check(crate::fault::FaultSite::Launch)?;
     let kidx = module
         .function_index(kernel)
         .ok_or_else(|| ExecError::UnknownKernel(kernel.to_string()))?;
@@ -114,8 +115,7 @@ pub fn launch(
             } else {
                 // Evenly spaced sample, always including the first and last
                 // blocks (edge blocks often do boundary work).
-                let mut v: Vec<u64> =
-                    (0..max).map(|i| i * blocks_total / max).collect();
+                let mut v: Vec<u64> = (0..max).map(|i| i * blocks_total / max).collect();
                 v.push(blocks_total - 1);
                 v.dedup();
                 v
@@ -126,7 +126,11 @@ pub fn launch(
     let accum = Mutex::new(BlockAccum::default());
     let error: Mutex<Option<ExecError>> = Mutex::new(None);
     let next = AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8).min(chosen.len().max(1));
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8)
+        .min(chosen.len().max(1));
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -136,7 +140,16 @@ pub fn launch(
                     return;
                 }
                 let lin = chosen[i];
-                match run_block(device, module, kidx, cfg, lib, lin, threads_per_block as u32, kfun.shared_size) {
+                match run_block(
+                    device,
+                    module,
+                    kidx,
+                    cfg,
+                    lib,
+                    lin,
+                    threads_per_block as u32,
+                    kfun.shared_size,
+                ) {
                     Ok(b) => {
                         let mut a = accum.lock();
                         a.issue += b.issue;
@@ -210,6 +223,9 @@ struct BlockResult {
     max_block_cycles: u64,
 }
 
+/// Outcome of running one block: `(cycles, dram_words, warp stats)`.
+type BlockRunResult = Result<(u64, u64, crate::warp::WarpStats), ExecError>;
+
 #[allow(clippy::too_many_arguments)]
 fn run_block(
     device: &Device,
@@ -223,11 +239,8 @@ fn run_block(
 ) -> Result<BlockResult, ExecError> {
     let gx = cfg.grid[0] as u64;
     let gy = cfg.grid[1] as u64;
-    let ctaid = [
-        (lin_block % gx) as u32,
-        ((lin_block / gx) % gy) as u32,
-        (lin_block / (gx * gy)) as u32,
-    ];
+    let ctaid =
+        [(lin_block % gx) as u32, ((lin_block / gx) % gy) as u32, (lin_block / (gx * gy)) as u32];
     let env = BlockEnv {
         device,
         module,
@@ -244,8 +257,7 @@ fn run_block(
     env.ctx.ext[crate::SHMEM_SP_SLOT].store(shared_static, Ordering::Relaxed);
 
     let nwarps = nthreads.div_ceil(timing::WARP_SIZE);
-    let results: Mutex<Vec<Result<(u64, u64, crate::warp::WarpStats), ExecError>>> =
-        Mutex::new(Vec::new());
+    let results: Mutex<Vec<BlockRunResult>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for w in 0..nwarps {
             let env = &env;
@@ -254,20 +266,13 @@ fn run_block(
                 let mut warp = Warp::new(env, w);
                 let mask = warp.initial_mask();
                 let r = warp.run_kernel(kidx, &cfg.params, mask);
-                results
-                    .lock()
-                    .push(r.map(|_| (warp.issue, warp.clock, warp.stats)));
+                results.lock().push(r.map(|_| (warp.issue, warp.clock, warp.stats)));
             });
         }
     });
 
-    let mut out = BlockResult {
-        issue: 0,
-        transactions: 0,
-        lane_insts: 0,
-        divergent: 0,
-        max_block_cycles: 0,
-    };
+    let mut out =
+        BlockResult { issue: 0, transactions: 0, lane_insts: 0, divergent: 0, max_block_cycles: 0 };
     for r in results.into_inner() {
         let (issue, clock, stats) = r?;
         out.issue += issue;

@@ -14,11 +14,13 @@
 
 pub mod barrier;
 pub mod device;
+pub mod fault;
 pub mod launch;
 pub mod timing;
 pub mod warp;
 
 pub use device::{Device, DeviceProps, DeviceStats, ExecError};
+pub use fault::{FaultPlan, FaultRule, FaultSite};
 pub use launch::{launch, ExecMode, LaunchConfig, LaunchStats};
 pub use warp::{iter_lanes, BlockCtx, BlockEnv, DeviceLib, LaneVec, NoLib, Warp};
 
@@ -70,7 +72,8 @@ mod tests {
         let x = b.param("x", ScalarTy::I64);
         let y = b.param("y", ScalarTy::I64);
         // i = ctaid.x * ntid.x + tid.x
-        let base = b.bin(ScalarTy::I32, BinOp::Mul, op::sp(SpecialReg::CtaidX), op::sp(SpecialReg::NtidX));
+        let base =
+            b.bin(ScalarTy::I32, BinOp::Mul, op::sp(SpecialReg::CtaidX), op::sp(SpecialReg::NtidX));
         let i = b.bin(ScalarTy::I32, BinOp::Add, op::r(base), op::sp(SpecialReg::TidX));
         let inb = b.bin(ScalarTy::I32, BinOp::SetLt, op::r(i), op::r(n));
         b.begin_if();
@@ -255,7 +258,11 @@ mod tests {
         let mut raw = vec![0u8; 4 * 128];
         d.memcpy_d2h(&mut raw, buf).unwrap();
         for t in 0..128usize {
-            assert_eq!(u32::from_le_bytes(raw[4 * t..4 * t + 4].try_into().unwrap()), 42, "thread {t}");
+            assert_eq!(
+                u32::from_le_bytes(raw[4 * t..4 * t + 4].try_into().unwrap()),
+                42,
+                "thread {t}"
+            );
         }
     }
 
@@ -265,12 +272,7 @@ mod tests {
         let mut b = FnBuilder::new("count", true);
         let out = b.param("out", ScalarTy::I64);
         let dst = b.alloc();
-        b.emit(sptx::Inst::Atom {
-            op: sptx::AtomOp::AddI32,
-            dst,
-            addr: op::r(out),
-            val: op::i(1),
-        });
+        b.emit(sptx::Inst::Atom { op: sptx::AtomOp::AddI32, dst, addr: op::r(out), val: op::i(1) });
         let m = sptx::Module {
             name: "count".into(),
             arch: "sm_53".into(),
@@ -317,10 +319,7 @@ mod tests {
         let mut raw = vec![0u8; 4 * 64];
         d.memcpy_d2h(&mut raw, buf).unwrap();
         for t in 0..64usize {
-            assert_eq!(
-                u32::from_le_bytes(raw[4 * t..4 * t + 4].try_into().unwrap()),
-                3 * t as u32
-            );
+            assert_eq!(u32::from_le_bytes(raw[4 * t..4 * t + 4].try_into().unwrap()), 3 * t as u32);
         }
     }
 
@@ -337,7 +336,8 @@ mod tests {
             params: vec![1.0f32.to_bits() as u64, n as u64, x, y],
         };
         let full = launch(&d, &m, "saxpy", &cfg, &NoLib, ExecMode::Functional).unwrap();
-        let sampled = launch(&d, &m, "saxpy", &cfg, &NoLib, ExecMode::Sampled { max_blocks: 8 }).unwrap();
+        let sampled =
+            launch(&d, &m, "saxpy", &cfg, &NoLib, ExecMode::Sampled { max_blocks: 8 }).unwrap();
         assert_eq!(sampled.blocks_total, 64);
         assert!(sampled.blocks_executed <= 9);
         // Extrapolated totals within 10% of the full run (blocks homogeneous).
@@ -441,10 +441,7 @@ mod tests {
         let mut raw = vec![0u8; 4 * 64];
         d.memcpy_d2h(&mut raw, buf).unwrap();
         for t in 0..64usize {
-            assert_eq!(
-                u32::from_le_bytes(raw[4 * t..4 * t + 4].try_into().unwrap()),
-                t as u32 + 5
-            );
+            assert_eq!(u32::from_le_bytes(raw[4 * t..4 * t + 4].try_into().unwrap()), t as u32 + 5);
         }
     }
 }

@@ -132,11 +132,9 @@ pub fn inst_cost(i: &Inst) -> (u64, u64) {
 /// Blocks resident simultaneously on the SMM for a given block shape.
 pub fn resident_blocks(threads_per_block: u32, shared_per_block: u64) -> u32 {
     let by_threads = (MAX_THREADS_PER_SM / threads_per_block.max(1)).max(1);
-    let by_shared = if shared_per_block == 0 {
-        MAX_BLOCKS_PER_SM
-    } else {
-        ((SHARED_MEM_PER_BLOCK / shared_per_block) as u32).max(1)
-    };
+    let by_shared = SHARED_MEM_PER_BLOCK
+        .checked_div(shared_per_block)
+        .map_or(MAX_BLOCKS_PER_SM, |b| (b as u32).max(1));
     by_threads.min(by_shared).min(MAX_BLOCKS_PER_SM)
 }
 

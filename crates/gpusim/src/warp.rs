@@ -242,7 +242,7 @@ impl<'a> Warp<'a> {
         if id as usize >= self.env.ctx.barriers.len() {
             return Err(ExecError::Trap(format!("barrier id {id} out of range")));
         }
-        if expected_threads == 0 || expected_threads % timing::WARP_SIZE != 0 {
+        if expected_threads == 0 || !expected_threads.is_multiple_of(timing::WARP_SIZE) {
             return Err(ExecError::Trap(format!(
                 "bar.sync count {expected_threads} is not a positive multiple of {}",
                 timing::WARP_SIZE
@@ -400,7 +400,12 @@ impl<'a> Warp<'a> {
         self.exec_function(func, args, mask)
     }
 
-    fn exec_function(&mut self, func: u32, args: &[LaneVec], mask: u32) -> Result<LaneVec, ExecError> {
+    fn exec_function(
+        &mut self,
+        func: u32,
+        args: &[LaneVec],
+        mask: u32,
+    ) -> Result<LaneVec, ExecError> {
         let module = self.env.module;
         let f = module
             .functions
@@ -498,8 +503,10 @@ impl<'a> Warp<'a> {
                     mask = flow.brk.pop().unwrap();
                 }
                 sptx::Node::Break => {
-                    *flow.brk.last_mut().ok_or_else(|| ExecError::Trap("break outside loop".into()))? |=
-                        mask;
+                    *flow
+                        .brk
+                        .last_mut()
+                        .ok_or_else(|| ExecError::Trap("break outside loop".into()))? |= mask;
                     mask = 0;
                 }
                 sptx::Node::Continue => {
@@ -604,9 +611,7 @@ impl<'a> Warp<'a> {
                         sptx::AtomOp::AddF32 => {
                             m.fetch_add_f32(off, f32::from_bits(v as u32))?.to_bits() as u64
                         }
-                        sptx::AtomOp::AddF64 => {
-                            m.fetch_add_f64(off, f64::from_bits(v))?.to_bits()
-                        }
+                        sptx::AtomOp::AddF64 => m.fetch_add_f64(off, f64::from_bits(v))?.to_bits(),
                         sptx::AtomOp::ExchB32 => m.swap_u32(off, v as u32)? as u64,
                         sptx::AtomOp::MinI32 => m.fetch_min_i32(off, v as i32)? as u32 as u64,
                         sptx::AtomOp::MaxI32 => m.fetch_max_i32(off, v as i32)? as u32 as u64,

@@ -88,12 +88,8 @@ fn coalesced_beats_strided_memory() {
     let build = |stride: i64| {
         let mut b = FnBuilder::new("mem", true);
         let out = b.param("out", ScalarTy::I64);
-        let lin0 = b.bin(
-            ScalarTy::I32,
-            BinOp::Mul,
-            op::sp(SpecialReg::CtaidX),
-            op::sp(SpecialReg::NtidX),
-        );
+        let lin0 =
+            b.bin(ScalarTy::I32, BinOp::Mul, op::sp(SpecialReg::CtaidX), op::sp(SpecialReg::NtidX));
         let lin = b.bin(ScalarTy::I32, BinOp::Add, op::r(lin0), op::sp(SpecialReg::TidX));
         let idx = b.bin(ScalarTy::I32, BinOp::Mul, op::r(lin), op::i(stride));
         let t64 = b.cvt(CvtTy::I64, CvtTy::I32, op::r(idx));

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex};
+use vmcommon::sync::{Condvar, Mutex};
 
 pub mod team;
 
@@ -57,11 +57,7 @@ impl HostRt {
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n >= 1)
             .unwrap_or(DEFAULT_NUM_THREADS);
-        HostRt {
-            default_threads,
-            criticals: Mutex::new(HashMap::new()),
-            start: Instant::now(),
-        }
+        HostRt { default_threads, criticals: Mutex::new(HashMap::new()), start: Instant::now() }
     }
 
     /// Seconds since runtime start (`omp_get_wtime`).

@@ -4,8 +4,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
 use vmcommon::sched::{DynamicState, GuidedState};
+use vmcommon::sync::{Condvar, Mutex};
 
 /// A reusable sense-reversing barrier for `n` threads.
 pub struct TeamBarrier {
@@ -125,15 +125,9 @@ impl Team {
     fn ws_with_total(&self, tid: usize, total: u64) -> Arc<WsState> {
         let ordinal = self.ws_ordinal[tid].fetch_add(1, Ordering::AcqRel);
         let mut map = self.ws.lock();
-        let state =
-            map.entry(ordinal).or_insert_with(|| Arc::new(WsState::new(total))).clone();
+        let state = map.entry(ordinal).or_insert_with(|| Arc::new(WsState::new(total))).clone();
         // Drop instances every live thread has moved past.
-        let min = self
-            .ws_ordinal
-            .iter()
-            .map(|a| a.load(Ordering::Acquire))
-            .min()
-            .unwrap_or(0);
+        let min = self.ws_ordinal.iter().map(|a| a.load(Ordering::Acquire)).min().unwrap_or(0);
         let floor = self.ws_floor.load(Ordering::Acquire);
         if min > floor + 16 {
             map.retain(|&k, _| k + 1 >= min);

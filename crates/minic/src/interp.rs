@@ -19,10 +19,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use vmcommon::addr::{self, Space};
 use vmcommon::alloc::AllocError;
 use vmcommon::fmt::FmtArg;
+use vmcommon::sync::Mutex;
 use vmcommon::{BlockAllocator, MemArena, MemError, Value};
 
 use crate::ast::*;
@@ -260,11 +260,11 @@ fn collect_strings(prog: &Program, out: &mut Vec<String>) {
 /// Visit the direct child expressions of an expression.
 pub fn visit_child_exprs(e: &Expr, f: &mut dyn FnMut(&Expr)) {
     match &e.kind {
-        ExprKind::Call { args, .. } => args.iter().for_each(|a| f(a)),
+        ExprKind::Call { args, .. } => args.iter().for_each(&mut *f),
         ExprKind::KernelLaunch { grid, block, args, .. } => {
             f(grid);
             f(block);
-            args.iter().for_each(|a| f(a));
+            args.iter().for_each(&mut *f);
         }
         ExprKind::Dim3 { x, y, z } => {
             f(x);
@@ -336,7 +336,7 @@ fn visit_init(i: &Init, f: &mut dyn FnMut(&Expr)) {
 /// Visit the direct child statements of a statement.
 pub fn visit_child_stmts(s: &Stmt, f: &mut dyn FnMut(&Stmt)) {
     match s {
-        Stmt::Block(b) => b.stmts.iter().for_each(|c| f(c)),
+        Stmt::Block(b) => b.stmts.iter().for_each(&mut *f),
         Stmt::If { then_s, else_s, .. } => {
             f(then_s);
             if let Some(e) = else_s {
@@ -668,16 +668,14 @@ impl Interp {
                 Resolved::Func => {
                     // Function designators evaluate to an opaque id; the
                     // runtime resolves them by name at registration time.
-                    Err(InterpError::Trap(format!(
-                        "function `{name}` used as a value on the host"
-                    )))
+                    Err(InterpError::Trap(format!("function `{name}` used as a value on the host")))
                 }
-                Resolved::CudaBuiltin(_) => Err(InterpError::Trap(format!(
-                    "CUDA builtin `{name}` referenced in host code"
+                Resolved::CudaBuiltin(_) => {
+                    Err(InterpError::Trap(format!("CUDA builtin `{name}` referenced in host code")))
+                }
+                Resolved::Unresolved => Err(InterpError::Trap(format!(
+                    "unresolved identifier `{name}` (sema not run?)"
                 ))),
-                Resolved::Unresolved => {
-                    Err(InterpError::Trap(format!("unresolved identifier `{name}` (sema not run?)")))
-                }
             },
             ExprKind::Call { callee, args } => self.eval_call(callee, args),
             ExprKind::KernelLaunch { callee, grid, block, args } => {
@@ -870,7 +868,8 @@ impl Interp {
                 return Ok(Value::Ptr((p as i64 + off) as u64));
             }
         }
-        let float = matches!(lv, Value::F32(_) | Value::F64(_)) || matches!(rv, Value::F32(_) | Value::F64(_));
+        let float = matches!(lv, Value::F32(_) | Value::F64(_))
+            || matches!(rv, Value::F32(_) | Value::F64(_));
         let both_f32 = matches!(lv, Value::F32(_) | Value::I32(_) | Value::I64(_))
             && matches!(rv, Value::F32(_) | Value::I32(_) | Value::I64(_))
             && (matches!(lv, Value::F32(_)) || matches!(rv, Value::F32(_)));
@@ -897,7 +896,8 @@ impl Interp {
             }
             return Ok(Value::F64(r));
         }
-        let wide = matches!(lv, Value::I64(_) | Value::Ptr(_)) || matches!(rv, Value::I64(_) | Value::Ptr(_));
+        let wide = matches!(lv, Value::I64(_) | Value::Ptr(_))
+            || matches!(rv, Value::I64(_) | Value::Ptr(_));
         let a = lv.as_i64();
         let b = rv.as_i64();
         let r: i64 = match op {
@@ -953,7 +953,9 @@ impl Interp {
                 }
                 let ty = match expr.ty.decayed() {
                     Ty::Ptr(inner) => *inner,
-                    other => return Err(InterpError::Trap(format!("deref of non-pointer {other}"))),
+                    other => {
+                        return Err(InterpError::Trap(format!("deref of non-pointer {other}")))
+                    }
                 };
                 Ok((p, ty))
             }
@@ -965,7 +967,9 @@ impl Interp {
                 }
                 let elem = match base.ty.decayed() {
                     Ty::Ptr(inner) => *inner,
-                    other => return Err(InterpError::Trap(format!("index of non-pointer {other}"))),
+                    other => {
+                        return Err(InterpError::Trap(format!("index of non-pointer {other}")))
+                    }
                 };
                 let stride = self.sizeof_rt(&elem)?;
                 let i = self.eval(index)?.as_i64();
@@ -1242,7 +1246,8 @@ mod tests {
 
     #[test]
     fn arithmetic_and_control_flow() {
-        let (_, v) = run("int main() { int s = 0; for (int i = 1; i <= 10; i++) s += i; return s; }");
+        let (_, v) =
+            run("int main() { int s = 0; for (int i = 1; i <= 10; i++) s += i; return s; }");
         assert_eq!(v, Value::I32(55));
     }
 
@@ -1262,8 +1267,7 @@ mod tests {
 
     #[test]
     fn arrays_pointers_addressof() {
-        let (_, v) = run(
-            r#"
+        let (_, v) = run(r#"
 void twice(int *p) { *p = *p * 2; }
 int main() {
     int a[4];
@@ -1272,15 +1276,13 @@ int main() {
     int *p = a;
     return p[0] + p[1] + p[2] + p[3];
 }
-"#,
-        );
+"#);
         assert_eq!(v, Value::I32(1 + 2 + 6 + 4));
     }
 
     #[test]
     fn two_d_arrays() {
-        let (_, v) = run(
-            r#"
+        let (_, v) = run(r#"
 int main() {
     int m[3][4];
     for (int i = 0; i < 3; i++)
@@ -1288,30 +1290,28 @@ int main() {
             m[i][j] = i * 10 + j;
     return m[2][3];
 }
-"#,
-        );
+"#);
         assert_eq!(v, Value::I32(23));
     }
 
     #[test]
     fn vla_param_indexing() {
-        let (_, v) = run(
-            r#"
+        let (_, v) = run(r#"
 int get(int n, int a[n][n], int i, int j) { return a[i][j]; }
 int main() {
     int m[3][3];
     m[1][2] = 42;
     return get(3, m, 1, 2);
 }
-"#,
-        );
+"#);
         assert_eq!(v, Value::I32(42));
     }
 
     #[test]
     fn float_precision_f32() {
         // f32 arithmetic must round to single precision.
-        let (_, v) = run("int main() { float a = 16777216.0f; float b = a + 1.0f; return b == a; }");
+        let (_, v) =
+            run("int main() { float a = 16777216.0f; float b = a + 1.0f; return b == a; }");
         assert_eq!(v, Value::I32(1));
     }
 
@@ -1323,8 +1323,7 @@ int main() {
 
     #[test]
     fn malloc_free() {
-        let (_, v) = run(
-            r#"
+        let (_, v) = run(r#"
 int main() {
     float *p = (float *) malloc(16 * sizeof(float));
     for (int i = 0; i < 16; i++) p[i] = (float) i;
@@ -1333,8 +1332,7 @@ int main() {
     free(p);
     return (int) s;
 }
-"#,
-        );
+"#);
         assert_eq!(v, Value::I32(120));
     }
 
@@ -1346,14 +1344,15 @@ int main() {
 
     #[test]
     fn ternary_and_logical() {
-        let (_, v) = run("int main() { int a = 5; int b = 3; return (a > b ? a : b) + (a && b) + (0 || 0); }");
+        let (_, v) = run(
+            "int main() { int a = 5; int b = 3; return (a > b ? a : b) + (a && b) + (0 || 0); }",
+        );
         assert_eq!(v, Value::I32(6));
     }
 
     #[test]
     fn pointer_arithmetic_strided() {
-        let (_, v) = run(
-            r#"
+        let (_, v) = run(r#"
 int main() {
     double d[4];
     d[0] = 1.5; d[1] = 2.5; d[2] = 3.5; d[3] = 4.5;
@@ -1361,16 +1360,14 @@ int main() {
     p++;
     return (int)(*p * 2.0);
 }
-"#,
-        );
+"#);
         assert_eq!(v, Value::I32(7));
     }
 
     #[test]
     fn omp_pragmas_ignored_sequentially() {
         // Directly executing an OpenMP program = 1-thread semantics.
-        let (_, v) = run(
-            r#"
+        let (_, v) = run(r#"
 int main() {
     int s = 0;
     #pragma omp parallel for reduction(+: s)
@@ -1378,8 +1375,7 @@ int main() {
         s += i;
     return s;
 }
-"#,
-        );
+"#);
         assert_eq!(v, Value::I32(45));
     }
 
@@ -1401,7 +1397,12 @@ int main() {
     fn hooks_receive_unknown_calls() {
         struct H;
         impl Hooks for H {
-            fn call(&self, name: &str, args: &[Value], _ctx: &HookCtx<'_>) -> IResult<Option<Value>> {
+            fn call(
+                &self,
+                name: &str,
+                args: &[Value],
+                _ctx: &HookCtx<'_>,
+            ) -> IResult<Option<Value>> {
                 if name == "magic" {
                     Ok(Some(Value::I32(args[0].as_i32() * 10)))
                 } else {
@@ -1418,7 +1419,12 @@ int main() {
     fn hook_can_reenter_guest() {
         struct H;
         impl Hooks for H {
-            fn call(&self, name: &str, _args: &[Value], ctx: &HookCtx<'_>) -> IResult<Option<Value>> {
+            fn call(
+                &self,
+                name: &str,
+                _args: &[Value],
+                ctx: &HookCtx<'_>,
+            ) -> IResult<Option<Value>> {
                 if name == "call_twice" {
                     let a = ctx.call_guest("work", &[Value::I32(1)])?;
                     let b = ctx.call_guest("work", &[Value::I32(2)])?;
@@ -1462,12 +1468,14 @@ int main() {
         });
         // At least one bump landed; memory is shared and valid.
         let v = m.mem.load_u32(vmcommon::addr::offset(g)).unwrap();
-        assert!(v >= 1 && v <= 4);
+        assert!((1..=4).contains(&v));
     }
 
     #[test]
     fn sizeof_expressions() {
-        let (_, v) = run("int main() { float x[10]; return (int)(sizeof(x) + sizeof(long) + sizeof(float*)); }");
+        let (_, v) = run(
+            "int main() { float x[10]; return (int)(sizeof(x) + sizeof(long) + sizeof(float*)); }",
+        );
         assert_eq!(v, Value::I32(40 + 8 + 8));
     }
 }

@@ -103,7 +103,10 @@ impl<'s> Lexer<'s> {
                     self.bump();
                     loop {
                         if self.peek() == 0 {
-                            return Err(LexError { pos: start, msg: "unterminated comment".into() });
+                            return Err(LexError {
+                                pos: start,
+                                msg: "unterminated comment".into(),
+                            });
                         }
                         if self.peek() == b'*' && self.peek2() == b'/' {
                             self.bump();
@@ -143,12 +146,15 @@ impl<'s> Lexer<'s> {
                 }
             }
             let trimmed = text.trim();
-            if trimmed.starts_with("pragma") {
-                return Ok(Token { tok: Tok::Pragma(trimmed["pragma".len()..].trim().to_string()), pos });
+            if let Some(rest) = trimmed.strip_prefix("pragma") {
+                return Ok(Token { tok: Tok::Pragma(rest.trim().to_string()), pos });
             }
             return Err(LexError {
                 pos,
-                msg: format!("unsupported preprocessor directive: #{}", trimmed.split_whitespace().next().unwrap_or("")),
+                msg: format!(
+                    "unsupported preprocessor directive: #{}",
+                    trimmed.split_whitespace().next().unwrap_or("")
+                ),
             });
         }
         self.at_line_start = false;
@@ -435,7 +441,8 @@ impl<'s> Lexer<'s> {
         }
         if (self.peek() | 0x20) == b'e'
             && (self.peek2().is_ascii_digit()
-                || ((self.peek2() == b'+' || self.peek2() == b'-') && self.peek3().is_ascii_digit()))
+                || ((self.peek2() == b'+' || self.peek2() == b'-')
+                    && self.peek3().is_ascii_digit()))
         {
             is_float = true;
             self.bump();
@@ -484,7 +491,14 @@ mod tests {
     fn idents_keywords_numbers() {
         assert_eq!(
             toks("int x = 42;"),
-            vec![Tok::KwInt, Tok::Ident("x".into()), Tok::Assign, Tok::IntLit(42), Tok::Semi, Tok::Eof]
+            vec![
+                Tok::KwInt,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::IntLit(42),
+                Tok::Semi,
+                Tok::Eof
+            ]
         );
         assert_eq!(toks("1.5f")[0], Tok::FloatLit(1.5, true));
         assert_eq!(toks("2e3")[0], Tok::FloatLit(2000.0, false));

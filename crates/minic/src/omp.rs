@@ -203,17 +203,26 @@ pub enum DefaultKind {
 /// A directive clause.
 #[derive(Clone, Debug)]
 pub enum Clause {
-    Map { kind: MapKind, items: Vec<MapItem> },
+    Map {
+        kind: MapKind,
+        items: Vec<MapItem>,
+    },
     NumTeams(Expr),
     NumThreads(Expr),
     ThreadLimit(Expr),
     Collapse(u32),
-    Schedule { kind: SchedKind, chunk: Option<Expr> },
+    Schedule {
+        kind: SchedKind,
+        chunk: Option<Expr>,
+    },
     Private(Vec<String>),
     FirstPrivate(Vec<String>),
     Shared(Vec<String>),
     Default(DefaultKind),
-    Reduction { op: RedOp, vars: Vec<String> },
+    Reduction {
+        op: RedOp,
+        vars: Vec<String>,
+    },
     If(Expr),
     Device(Expr),
     Nowait,

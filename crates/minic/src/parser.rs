@@ -155,7 +155,14 @@ impl Parser {
             }
             let name = name.ok_or_else(|| self.err("declaration needs a name"))?;
             let init = self.parse_opt_init(&ty)?;
-            items.push(Item::Global(VarDecl { name, ty, init, shared: false, slot: u32::MAX, pos }));
+            items.push(Item::Global(VarDecl {
+                name,
+                ty,
+                init,
+                shared: false,
+                slot: u32::MAX,
+                pos,
+            }));
             if self.eat(Tok::Comma) {
                 continue;
             }
@@ -197,7 +204,12 @@ impl Parser {
         let mut saw_unsigned = false;
         loop {
             match self.peek() {
-                Tok::KwConst | Tok::KwStatic | Tok::KwExtern | Tok::KwSigned | Tok::KwHost | Tok::KwRestrict => {
+                Tok::KwConst
+                | Tok::KwStatic
+                | Tok::KwExtern
+                | Tok::KwSigned
+                | Tok::KwHost
+                | Tok::KwRestrict => {
                     self.bump();
                 }
                 Tok::KwUnsigned => {
@@ -255,8 +267,8 @@ impl Parser {
                 _ => break,
             }
         }
-        let _ = long_count;
-        let base = base.unwrap_or(if saw_unsigned { Ty::Int } else { Ty::Int });
+        let _ = (long_count, saw_unsigned);
+        let base = base.unwrap_or(Ty::Int);
         // `unsigned` is accepted but treated as its signed counterpart: the
         // benchmark dialect never relies on wrap-around semantics.
         Ok((base, quals, shared))
@@ -284,8 +296,7 @@ impl Parser {
                     (Some(n), Vec::new())
                 }
                 Tok::LParen
-                    if matches!(p.peek_at(1), Tok::Star | Tok::Ident(_))
-                        && !p.at_type_at(1) =>
+                    if matches!(p.peek_at(1), Tok::Star | Tok::Ident(_)) && !p.at_type_at(1) =>
                 {
                     p.bump();
                     let inner = parse_inner(p)?;
@@ -399,8 +410,10 @@ impl Parser {
         if *ty == Ty::Dim3 && *self.peek() == Tok::LParen {
             self.bump();
             let x = self.parse_assign_expr()?;
-            let y = if self.eat(Tok::Comma) { Some(Box::new(self.parse_assign_expr()?)) } else { None };
-            let z = if self.eat(Tok::Comma) { Some(Box::new(self.parse_assign_expr()?)) } else { None };
+            let y =
+                if self.eat(Tok::Comma) { Some(Box::new(self.parse_assign_expr()?)) } else { None };
+            let z =
+                if self.eat(Tok::Comma) { Some(Box::new(self.parse_assign_expr()?)) } else { None };
             self.expect(Tok::RParen)?;
             let pos = self.pos();
             return Ok(Some(Init::Expr(Expr::new(ExprKind::Dim3 { x: Box::new(x), y, z }, pos))));
@@ -489,7 +502,8 @@ impl Parser {
                 let cond = self.parse_expr()?;
                 self.expect(Tok::RParen)?;
                 let then_s = Box::new(self.parse_stmt()?);
-                let else_s = if self.eat(Tok::KwElse) { Some(Box::new(self.parse_stmt()?)) } else { None };
+                let else_s =
+                    if self.eat(Tok::KwElse) { Some(Box::new(self.parse_stmt()?)) } else { None };
                 Ok(Stmt::If { cond, then_s, else_s })
             }
             Tok::KwWhile => {
@@ -531,7 +545,8 @@ impl Parser {
                 };
                 let cond = if *self.peek() == Tok::Semi { None } else { Some(self.parse_expr()?) };
                 self.expect(Tok::Semi)?;
-                let step = if *self.peek() == Tok::RParen { None } else { Some(self.parse_expr()?) };
+                let step =
+                    if *self.peek() == Tok::RParen { None } else { Some(self.parse_expr()?) };
                 self.expect(Tok::RParen)?;
                 let body = Box::new(self.parse_stmt()?);
                 Ok(Stmt::For { init, cond, step, body })
@@ -625,7 +640,11 @@ impl Parser {
         self.expect(Tok::Colon)?;
         let else_e = self.parse_assign_expr()?;
         Ok(Expr::new(
-            ExprKind::Ternary { cond: Box::new(cond), then_e: Box::new(then_e), else_e: Box::new(else_e) },
+            ExprKind::Ternary {
+                cond: Box::new(cond),
+                then_e: Box::new(then_e),
+                else_e: Box::new(else_e),
+            },
             pos,
         ))
     }
@@ -762,11 +781,17 @@ impl Parser {
                 }
                 Tok::PlusPlus => {
                     self.bump();
-                    e = Expr::new(ExprKind::IncDec { pre: false, inc: true, expr: Box::new(e) }, pos);
+                    e = Expr::new(
+                        ExprKind::IncDec { pre: false, inc: true, expr: Box::new(e) },
+                        pos,
+                    );
                 }
                 Tok::MinusMinus => {
                     self.bump();
-                    e = Expr::new(ExprKind::IncDec { pre: false, inc: false, expr: Box::new(e) }, pos);
+                    e = Expr::new(
+                        ExprKind::IncDec { pre: false, inc: false, expr: Box::new(e) },
+                        pos,
+                    );
                 }
                 _ => break,
             }
@@ -790,8 +815,16 @@ impl Parser {
                 if name == "dim3" && *self.peek() == Tok::LParen {
                     self.bump();
                     let x = self.parse_assign_expr()?;
-                    let y = if self.eat(Tok::Comma) { Some(Box::new(self.parse_assign_expr()?)) } else { None };
-                    let z = if self.eat(Tok::Comma) { Some(Box::new(self.parse_assign_expr()?)) } else { None };
+                    let y = if self.eat(Tok::Comma) {
+                        Some(Box::new(self.parse_assign_expr()?))
+                    } else {
+                        None
+                    };
+                    let z = if self.eat(Tok::Comma) {
+                        Some(Box::new(self.parse_assign_expr()?))
+                    } else {
+                        None
+                    };
                     self.expect(Tok::RParen)?;
                     return Ok(Expr::new(ExprKind::Dim3 { x: Box::new(x), y, z }, pos));
                 }
@@ -821,7 +854,9 @@ impl Parser {
                 }
                 Ok(Expr::new(ExprKind::Ident(name, Resolved::Unresolved), pos))
             }
-            other => Err(ParseError { pos, msg: format!("unexpected token {other:?} in expression") }),
+            other => {
+                Err(ParseError { pos, msg: format!("unexpected token {other:?} in expression") })
+            }
         }
     }
 
@@ -875,8 +910,23 @@ impl Parser {
         // Greedily read directive-name words.
         let mut words: Vec<String> = Vec::new();
         let dir_words = [
-            "target", "teams", "distribute", "parallel", "for", "data", "enter", "exit", "update",
-            "sections", "section", "single", "master", "critical", "barrier", "declare", "end",
+            "target",
+            "teams",
+            "distribute",
+            "parallel",
+            "for",
+            "data",
+            "enter",
+            "exit",
+            "update",
+            "sections",
+            "section",
+            "single",
+            "master",
+            "critical",
+            "barrier",
+            "declare",
+            "end",
         ];
         loop {
             match self.peek() {
@@ -887,19 +937,34 @@ impl Parser {
                     let s = s.clone();
                     let extends = match s.as_str() {
                         "data" | "update" => {
-                            matches!(words.last().map(|w| w.as_str()), Some("target") | Some("enter") | Some("exit"))
+                            matches!(
+                                words.last().map(|w| w.as_str()),
+                                Some("target") | Some("enter") | Some("exit")
+                            )
                         }
-                        "enter" | "exit" => matches!(words.last().map(|w| w.as_str()), Some("target")),
-                        "teams" => matches!(words.last().map(|w| w.as_str()), Some("target")) || words.is_empty(),
+                        "enter" | "exit" => {
+                            matches!(words.last().map(|w| w.as_str()), Some("target"))
+                        }
+                        "teams" => {
+                            matches!(words.last().map(|w| w.as_str()), Some("target"))
+                                || words.is_empty()
+                        }
                         "distribute" => {
-                            matches!(words.last().map(|w| w.as_str()), Some("teams")) || words.is_empty()
+                            matches!(words.last().map(|w| w.as_str()), Some("teams"))
+                                || words.is_empty()
                         }
                         "parallel" => {
-                            words.is_empty() || matches!(words.last().map(|w| w.as_str()), Some("distribute") | Some("target"))
+                            words.is_empty()
+                                || matches!(
+                                    words.last().map(|w| w.as_str()),
+                                    Some("distribute") | Some("target")
+                                )
                         }
                         "target" | "sections" | "section" | "single" | "master" | "critical"
                         | "barrier" => words.is_empty(),
-                        "declare" | "end" => words.is_empty() || words.last().map(|w| w.as_str()) == Some("end"),
+                        "declare" | "end" => {
+                            words.is_empty() || words.last().map(|w| w.as_str()) == Some("end")
+                        }
                         _ => false,
                     };
                     if !extends {
@@ -988,7 +1053,10 @@ impl Parser {
                 // Optional map-kind prefix.
                 let mut kind = MapKind::ToFrom;
                 if let Tok::Ident(k) = self.peek() {
-                    let is_kind = matches!(k.as_str(), "to" | "from" | "tofrom" | "alloc" | "release" | "delete");
+                    let is_kind = matches!(
+                        k.as_str(),
+                        "to" | "from" | "tofrom" | "alloc" | "release" | "delete"
+                    );
                     if is_kind && *self.peek_at(1) == Tok::Colon {
                         kind = match k.as_str() {
                             "to" => MapKind::To,
@@ -1065,7 +1133,9 @@ impl Parser {
                     Tok::Star => RedOp::Mul,
                     Tok::Ident(s) if s == "max" => RedOp::Max,
                     Tok::Ident(s) if s == "min" => RedOp::Min,
-                    other => return Err(self.err(format!("unsupported reduction operator {other:?}"))),
+                    other => {
+                        return Err(self.err(format!("unsupported reduction operator {other:?}")))
+                    }
                 };
                 self.expect(Tok::Colon)?;
                 let mut vars = vec![self.expect_ident()?];
@@ -1223,7 +1293,10 @@ void f(float *a, int n) {
         let prog = parse("int *a[10];").unwrap();
         match &prog.items[0] {
             Item::Global(v) => {
-                assert_eq!(v.ty, Ty::Array(Box::new(Ty::Ptr(Box::new(Ty::Int))), ArrayLen::Const(10)));
+                assert_eq!(
+                    v.ty,
+                    Ty::Array(Box::new(Ty::Ptr(Box::new(Ty::Int))), ArrayLen::Const(10))
+                );
             }
             _ => panic!(),
         }
@@ -1331,7 +1404,10 @@ void f(float *a, int n) {
 
     #[test]
     fn sizeof_forms() {
-        assert!(matches!(parse_expr_str("sizeof(float)").unwrap().kind, ExprKind::SizeofTy(Ty::Float)));
+        assert!(matches!(
+            parse_expr_str("sizeof(float)").unwrap().kind,
+            ExprKind::SizeofTy(Ty::Float)
+        ));
         assert!(matches!(parse_expr_str("sizeof x").unwrap().kind, ExprKind::SizeofExpr(_)));
         assert!(matches!(
             parse_expr_str("sizeof(float*)").unwrap().kind,

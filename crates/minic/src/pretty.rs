@@ -646,7 +646,11 @@ mod tests {
             let e1 = parse_expr_str(src).unwrap();
             let printed = expr(&e1);
             let e2 = parse_expr_str(&printed).unwrap();
-            assert_eq!(expr(&e2), printed, "print(parse(print)) unstable for `{src}` -> `{printed}`");
+            assert_eq!(
+                expr(&e2),
+                printed,
+                "print(parse(print)) unstable for `{src}` -> `{printed}`"
+            );
         }
     }
 

@@ -77,9 +77,15 @@ fn builtin_ret_ty(name: &str) -> Option<Ty> {
         "sqrtf" | "fabsf" | "powf" | "expf" | "logf" | "sinf" | "cosf" | "floorf" | "ceilf"
         | "fmaxf" | "fminf" => Ty::Float,
         "abs" => Ty::Int,
-        "omp_get_thread_num" | "omp_get_num_threads" | "omp_get_team_num"
-        | "omp_get_num_teams" | "omp_get_num_devices" | "omp_get_default_device"
-        | "omp_is_initial_device" | "omp_get_max_threads" | "omp_get_num_procs" => Ty::Int,
+        "omp_get_thread_num"
+        | "omp_get_num_threads"
+        | "omp_get_team_num"
+        | "omp_get_num_teams"
+        | "omp_get_num_devices"
+        | "omp_get_default_device"
+        | "omp_is_initial_device"
+        | "omp_get_max_threads"
+        | "omp_get_num_procs" => Ty::Int,
         "omp_get_wtime" => Ty::Double,
         "__syncthreads" => Ty::Void,
         "atomicAdd" => Ty::Float,
@@ -165,7 +171,10 @@ impl<'p> Sema<'p> {
 
     fn declare_local(&mut self, name: &str, ty: &Ty, shared: bool, pos: Pos) -> SResult<u32> {
         let size = ty.size().ok_or_else(|| {
-            self.err(pos, format!("cannot size local `{name}` of type {ty} (VLA locals are not supported)"))
+            self.err(
+                pos,
+                format!("cannot size local `{name}` of type {ty} (VLA locals are not supported)"),
+            )
         })?;
         let align = ty.align();
         let offset = self.frame.size.next_multiple_of(align);
@@ -278,8 +287,11 @@ impl<'p> Sema<'p> {
         use crate::omp::Clause;
         for c in &mut o.dir.clauses {
             match c {
-                Clause::NumTeams(e) | Clause::NumThreads(e) | Clause::ThreadLimit(e)
-                | Clause::If(e) | Clause::Device(e) => {
+                Clause::NumTeams(e)
+                | Clause::NumThreads(e)
+                | Clause::ThreadLimit(e)
+                | Clause::If(e)
+                | Clause::Device(e) => {
                     self.expr(e)?;
                 }
                 Clause::Schedule { chunk: Some(e), .. } => {

@@ -153,7 +153,11 @@ mod tests {
         assert_eq!(Ty::Ptr(Box::new(Ty::Float)).size(), Some(8));
         assert_eq!(Ty::Array(Box::new(Ty::Float), ArrayLen::Const(10)).size(), Some(40));
         assert_eq!(
-            Ty::Array(Box::new(Ty::Array(Box::new(Ty::Double), ArrayLen::Const(3))), ArrayLen::Const(2)).size(),
+            Ty::Array(
+                Box::new(Ty::Array(Box::new(Ty::Double), ArrayLen::Const(3))),
+                ArrayLen::Const(2)
+            )
+            .size(),
             Some(48)
         );
     }

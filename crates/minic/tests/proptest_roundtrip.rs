@@ -1,92 +1,90 @@
 //! Property tests on the frontend: pretty-printing is a fixed point under
-//! reparsing, for randomly generated expressions and programs.
+//! reparsing, for randomly generated expressions and programs. Random
+//! structures come from a seeded deterministic RNG (`vmcommon::rng`).
 
 use minic::ast::{BinOp, Expr, ExprKind, UnOp};
 use minic::parser::parse_expr_str;
 use minic::pretty;
-use proptest::prelude::*;
+use vmcommon::rng::XorShift64;
 
-/// Strategy for random (valid) expressions over a fixed identifier pool.
-fn arb_expr() -> impl Strategy<Value = Expr> {
+const BINOPS: &[BinOp] = &[
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Rem,
+    BinOp::Lt,
+    BinOp::Gt,
+    BinOp::Le,
+    BinOp::Ge,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::LogAnd,
+    BinOp::LogOr,
+    BinOp::BitAnd,
+    BinOp::BitOr,
+    BinOp::BitXor,
+    BinOp::Shl,
+    BinOp::Shr,
+];
+
+const UNOPS: &[UnOp] = &[UnOp::Neg, UnOp::Not, UnOp::BitNot];
+const NAMES: &[&str] = &["x", "y", "n", "acc"];
+
+/// Random (valid) expression over a fixed identifier pool, recursion
+/// bounded by `depth`.
+fn gen_expr(r: &mut XorShift64, depth: u32) -> Expr {
     use minic::ast::build as b;
-    let leaf = prop_oneof![
-        (-1000i64..1000).prop_map(b::int),
-        prop_oneof![Just("x"), Just("y"), Just("n"), Just("acc")].prop_map(b::ident),
-        (any::<f32>().prop_filter("finite", |v| v.is_finite()))
-            .prop_map(|v| b::e(ExprKind::FloatLit(v as f64, true))),
-    ];
-    leaf.prop_recursive(4, 64, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), arb_binop())
-                .prop_map(|(l, r, op)| b::bin(op, l, r)),
-            (inner.clone(), arb_unop()).prop_map(|(e, op)| b::e(ExprKind::Unary {
-                op,
-                expr: Box::new(e)
-            })),
-            (inner.clone(), inner.clone()).prop_map(|(base, idx)| b::index(base, idx)),
-            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| b::e(
-                ExprKind::Ternary {
-                    cond: Box::new(c),
-                    then_e: Box::new(t),
-                    else_e: Box::new(e)
-                }
-            )),
-            (inner.clone(), proptest::collection::vec(inner, 0..3)).prop_map(|(a, more)| {
-                let mut args = vec![a];
-                args.extend(more);
-                b::call("f", args)
-            }),
-        ]
-    })
-}
-
-fn arb_binop() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Div),
-        Just(BinOp::Rem),
-        Just(BinOp::Lt),
-        Just(BinOp::Gt),
-        Just(BinOp::Le),
-        Just(BinOp::Ge),
-        Just(BinOp::Eq),
-        Just(BinOp::Ne),
-        Just(BinOp::LogAnd),
-        Just(BinOp::LogOr),
-        Just(BinOp::BitAnd),
-        Just(BinOp::BitOr),
-        Just(BinOp::BitXor),
-        Just(BinOp::Shl),
-        Just(BinOp::Shr),
-    ]
-}
-
-fn arb_unop() -> impl Strategy<Value = UnOp> {
-    prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::BitNot)]
-}
-
-proptest! {
-    /// print(parse(print(e))) == print(e): the printer emits enough
-    /// parentheses to preserve structure, and is a reparse fixed point.
-    #[test]
-    fn expr_print_parse_fixed_point(e in arb_expr()) {
-        let printed = pretty::expr(&e);
-        let reparsed = parse_expr_str(&printed)
-            .unwrap_or_else(|err| panic!("printed expr must reparse: `{printed}`: {err}"));
-        prop_assert_eq!(pretty::expr(&reparsed), printed);
+    if depth == 0 || r.chance(1, 3) {
+        return match r.below(3) {
+            0 => b::int(r.range_i64(-1000, 1000)),
+            1 => b::ident(r.pick::<&str>(NAMES)),
+            _ => b::e(ExprKind::FloatLit(r.small_f32() as f64, true)),
+        };
     }
+    match r.below(5) {
+        0 => b::bin(*r.pick(BINOPS), gen_expr(r, depth - 1), gen_expr(r, depth - 1)),
+        1 => b::e(ExprKind::Unary { op: *r.pick(UNOPS), expr: Box::new(gen_expr(r, depth - 1)) }),
+        2 => b::index(gen_expr(r, depth - 1), gen_expr(r, depth - 1)),
+        3 => b::e(ExprKind::Ternary {
+            cond: Box::new(gen_expr(r, depth - 1)),
+            then_e: Box::new(gen_expr(r, depth - 1)),
+            else_e: Box::new(gen_expr(r, depth - 1)),
+        }),
+        _ => {
+            let nargs = 1 + r.below(3);
+            b::call("f", (0..nargs).map(|_| gen_expr(r, depth - 1)).collect())
+        }
+    }
+}
 
-    /// Random integer-expression evaluation agrees between the original
-    /// AST and the reparse of its printed form (structure really survives).
-    #[test]
-    fn expr_semantics_survive_roundtrip(e in arb_expr()) {
+const CASES: u64 = 256;
+
+/// print(parse(print(e))) == print(e): the printer emits enough
+/// parentheses to preserve structure, and is a reparse fixed point.
+#[test]
+fn expr_print_parse_fixed_point() {
+    for seed in 0..CASES {
+        let e = gen_expr(&mut XorShift64::new(seed), 4);
+        let printed = pretty::expr(&e);
+        let reparsed = parse_expr_str(&printed).unwrap_or_else(|err| {
+            panic!("seed {seed}: printed expr must reparse: `{printed}`: {err}")
+        });
+        assert_eq!(pretty::expr(&reparsed), printed, "seed {seed}");
+    }
+}
+
+/// Random integer-expression evaluation agrees between the original
+/// AST and the reparse of its printed form (structure really survives).
+#[test]
+fn expr_semantics_survive_roundtrip() {
+    for seed in 0..CASES {
+        let e = gen_expr(&mut XorShift64::new(7000 + seed), 4);
         let printed = pretty::expr(&e);
         let reparsed = parse_expr_str(&printed).unwrap();
         // Compare constant folds where both sides fold.
         if let (Some(a), Some(b)) = (e.const_int(), reparsed.const_int()) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "seed {seed}: `{printed}`");
         }
     }
 }

@@ -46,12 +46,8 @@ pub fn compile_program(
     for item in &prog.items {
         if let Item::Func(f) = item {
             fn_indices.insert(f.sig.name.clone(), defs.len() as u32);
-            let params = f
-                .sig
-                .params
-                .iter()
-                .map(|p| scalar_ty(&p.ty))
-                .collect::<CResult<Vec<_>>>()?;
+            let params =
+                f.sig.params.iter().map(|p| scalar_ty(&p.ty)).collect::<CResult<Vec<_>>>()?;
             let ret = if f.sig.ret == Ty::Void { ScalarTy::I32 } else { scalar_ty(&f.sig.ret)? };
             fn_sigs.insert(f.sig.name.clone(), (params, ret));
             defs.push(f);
@@ -501,7 +497,9 @@ impl<'p> Cg<'p> {
                         Storage::Shared(off) => Ok((Operand::SharedBase, off as i64, ty)),
                         Storage::Reg(..) => Err(self.err(
                             e.pos,
-                            format!("internal: `{name}` lives in a register but was used as memory"),
+                            format!(
+                                "internal: `{name}` lives in a register but was used as memory"
+                            ),
                         )),
                     }
                 }
@@ -547,9 +545,7 @@ impl<'p> Cg<'p> {
                         self.coerce(v, vt, ScalarTy::I64)
                     }
                     ArrayLen::Const(n) => op::i(*n as i64),
-                    ArrayLen::Unspec => {
-                        return Err(self.err(pos, "sizeof of unsized array"))
-                    }
+                    ArrayLen::Unspec => return Err(self.err(pos, "sizeof of unsized array")),
                 };
                 let inner = self.sizeof_value(elem, pos)?;
                 let r = self.b.bin(ScalarTy::I64, IrBin::Mul, n, inner);
@@ -568,10 +564,8 @@ impl<'p> Cg<'p> {
             ExprKind::FloatLit(v, is32) => {
                 Ok((op::f(*v), if *is32 { ScalarTy::F32 } else { ScalarTy::F64 }))
             }
-            ExprKind::StrLit(_) => Err(self.err(
-                e.pos,
-                "string literals on the device are only supported as printf formats",
-            )),
+            ExprKind::StrLit(_) => Err(self
+                .err(e.pos, "string literals on the device are only supported as printf formats")),
             ExprKind::Ident(name, resolved) => match resolved {
                 Resolved::Local(slot) => {
                     let ty = self.f.frame.slots[*slot as usize].ty.clone();
@@ -615,10 +609,10 @@ impl<'p> Cg<'p> {
                         .ok_or_else(|| self.err(e.pos, format!("unknown function `{name}`")))?;
                     Ok((op::i(*idx as i64), ScalarTy::I64))
                 }
-                Resolved::CudaBuiltin(_) => Err(self.err(
-                    e.pos,
-                    format!("`{name}` must be used with a .x/.y/.z member access"),
-                )),
+                Resolved::CudaBuiltin(_) => {
+                    Err(self
+                        .err(e.pos, format!("`{name}` must be used with a .x/.y/.z member access")))
+                }
                 Resolved::Global(_) => Err(self.err(
                     e.pos,
                     format!("device global `{name}` is not supported — pass it as a parameter"),
@@ -644,7 +638,9 @@ impl<'p> Cg<'p> {
                         (CudaVar::GridDim, "x") => NctaidX,
                         (CudaVar::GridDim, "y") => NctaidY,
                         (CudaVar::GridDim, "z") => NctaidZ,
-                        _ => return Err(self.err(e.pos, format!("unknown builtin member .{field}"))),
+                        _ => {
+                            return Err(self.err(e.pos, format!("unknown builtin member .{field}")))
+                        }
                     };
                     return Ok((op::sp(sp), ScalarTy::I32));
                 }
@@ -701,12 +697,8 @@ impl<'p> Cg<'p> {
                     Some(s) => s,
                     None => one,
                 };
-                let newv = self.b.bin(
-                    curty,
-                    if *inc { IrBin::Add } else { IrBin::Sub },
-                    cur,
-                    delta,
-                );
+                let newv =
+                    self.b.bin(curty, if *inc { IrBin::Add } else { IrBin::Sub }, cur, delta);
                 self.write_back(&place, op::r(newv), curty, expr)?;
                 Ok((if *pre { op::r(newv) } else { cur }, curty))
             }
@@ -782,10 +774,13 @@ impl<'p> Cg<'p> {
             let s = self.b.cvt(CvtTy::I32, CvtTy::S8, op::r(r));
             return Ok((op::r(s), ScalarTy::I32));
         }
-        Ok((op::r(r), scalar_ty(ty).map_err(|mut er| {
-            er.pos = pos;
-            er
-        })?))
+        Ok((
+            op::r(r),
+            scalar_ty(ty).map_err(|mut er| {
+                er.pos = pos;
+                er
+            })?,
+        ))
     }
 
     /// Convert an operand between IR types.
@@ -832,7 +827,13 @@ impl<'p> Cg<'p> {
         Ok(op::r(r))
     }
 
-    fn binary(&mut self, e: &Expr, bop: BinOp, lhs: &Expr, rhs: &Expr) -> CResult<(Operand, ScalarTy)> {
+    fn binary(
+        &mut self,
+        e: &Expr,
+        bop: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+    ) -> CResult<(Operand, ScalarTy)> {
         // Short-circuit logicals.
         if bop == BinOp::LogAnd || bop == BinOp::LogOr {
             let dst = self.b.alloc();
@@ -1123,10 +1124,9 @@ impl<'p> Cg<'p> {
                 let fmt = match args.first().map(|a| &a.kind) {
                     Some(ExprKind::StrLit(s)) => s.clone(),
                     _ => {
-                        return Err(self.err(
-                            e.pos,
-                            "device printf requires a string-literal format",
-                        ))
+                        return Err(
+                            self.err(e.pos, "device printf requires a string-literal format")
+                        )
                     }
                 };
                 let mut ops = Vec::new();
@@ -1183,7 +1183,6 @@ impl<'p> Cg<'p> {
             }
         }
     }
-
 }
 
 enum Place {

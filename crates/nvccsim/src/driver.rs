@@ -74,10 +74,7 @@ pub fn link_module(m: &mut sptx::Module, lib_symbols: &[String]) -> Result<(), N
         });
     }
     if !missing.is_empty() {
-        return Err(NvccError::Link(format!(
-            "undefined device symbols: {}",
-            missing.join(", ")
-        )));
+        return Err(NvccError::Link(format!("undefined device symbols: {}", missing.join(", "))));
     }
     m.device_lib_linked = true;
     Ok(())
@@ -85,8 +82,7 @@ pub fn link_module(m: &mut sptx::Module, lib_symbols: &[String]) -> Result<(), N
 
 /// Compile CUDA-dialect source text to an (unlinked) module.
 pub fn compile_source(src: &str, module_name: &str) -> Result<sptx::Module, NvccError> {
-    let mut prog =
-        minic::parse(src).map_err(|e| NvccError::Frontend(e.to_string()))?;
+    let mut prog = minic::parse(src).map_err(|e| NvccError::Frontend(e.to_string()))?;
     let info = minic::analyze(&mut prog).map_err(|e| NvccError::Frontend(e.to_string()))?;
     let m = compile_program(&prog, &info, module_name)?;
     sptx::verify_module(&m).map_err(NvccError::Verify)?;

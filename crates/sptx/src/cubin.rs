@@ -619,7 +619,12 @@ mod tests {
         b.intrinsic("printf", vec![op::r(s), op::f(1.5)], true);
         b.st(MemTy::F32, op::r(s), op::r(p), 0);
         let f = b.build();
-        Module { name: "m".into(), arch: "sm_53".into(), functions: vec![f], device_lib_linked: true }
+        Module {
+            name: "m".into(),
+            arch: "sm_53".into(),
+            functions: vec![f],
+            device_lib_linked: true,
+        }
     }
 
     #[test]

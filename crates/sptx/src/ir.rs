@@ -370,31 +370,86 @@ impl AtomOp {
 /// A straight-line instruction.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Inst {
-    Bin { ty: ScalarTy, op: BinOp, dst: Reg, a: Operand, b: Operand },
-    Un { ty: ScalarTy, op: UnOp, dst: Reg, a: Operand },
-    Mov { dst: Reg, src: Operand },
-    Cvt { to: CvtTy, from: CvtTy, dst: Reg, src: Operand },
+    Bin {
+        ty: ScalarTy,
+        op: BinOp,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
+    Un {
+        ty: ScalarTy,
+        op: UnOp,
+        dst: Reg,
+        a: Operand,
+    },
+    Mov {
+        dst: Reg,
+        src: Operand,
+    },
+    Cvt {
+        to: CvtTy,
+        from: CvtTy,
+        dst: Reg,
+        src: Operand,
+    },
     /// `dst = *(addr + offset)`; the address space is taken from the tagged
     /// pointer (generic addressing).
-    Ld { ty: MemTy, dst: Reg, addr: Operand, offset: i64 },
+    Ld {
+        ty: MemTy,
+        dst: Reg,
+        addr: Operand,
+        offset: i64,
+    },
     /// `*(addr + offset) = src`.
-    St { ty: MemTy, src: Operand, addr: Operand, offset: i64 },
+    St {
+        ty: MemTy,
+        src: Operand,
+        addr: Operand,
+        offset: i64,
+    },
     /// `dst = CAS(addr, expected, new)` — returns the old value.
-    AtomCas { dst: Reg, addr: Operand, expected: Operand, new: Operand },
-    Atom { op: AtomOp, dst: Reg, addr: Operand, val: Operand },
+    AtomCas {
+        dst: Reg,
+        addr: Operand,
+        expected: Operand,
+        new: Operand,
+    },
+    Atom {
+        op: AtomOp,
+        dst: Reg,
+        addr: Operand,
+        val: Operand,
+    },
     /// `bar.sync id, count` — named barrier. `count` is in *threads* and
     /// must be a multiple of the warp size; `None` means the whole block.
-    BarSync { id: Operand, count: Option<Operand> },
+    BarSync {
+        id: Operand,
+        count: Option<Operand>,
+    },
     /// Device-function call by module-local index.
-    Call { func: u32, dst: Option<Reg>, args: Vec<Operand> },
+    Call {
+        func: u32,
+        dst: Option<Reg>,
+        args: Vec<Operand>,
+    },
     /// Runtime-library call by name (the cudadev device library, math,
     /// printf, …). Resolved when the module is linked. `sargs` carries
     /// string immediates (printf format strings).
-    Intrinsic { name: String, dst: Option<Reg>, args: Vec<Operand>, sargs: Vec<String> },
+    Intrinsic {
+        name: String,
+        dst: Option<Reg>,
+        args: Vec<Operand>,
+        sargs: Vec<String>,
+    },
     /// Return (kernels return nothing; device functions may return a value).
-    Ret { val: Option<Operand> },
+    Ret {
+        val: Option<Operand>,
+    },
     /// Abort the kernel with a diagnostic.
-    Trap { msg: String },
+    Trap {
+        msg: String,
+    },
 }
 
 /// A structured control-flow node.
@@ -403,9 +458,15 @@ pub enum Node {
     Inst(Inst),
     /// Lanes where `cond != 0` run `then_b`, the rest run `else_b`; all
     /// reconverge after.
-    If { cond: Operand, then_b: Vec<Node>, else_b: Vec<Node> },
+    If {
+        cond: Operand,
+        then_b: Vec<Node>,
+        else_b: Vec<Node>,
+    },
     /// Runs until every lane has issued `break`/`ret`.
-    Loop { body: Vec<Node> },
+    Loop {
+        body: Vec<Node>,
+    },
     Break,
     Continue,
 }

@@ -398,7 +398,8 @@ impl<'s> AsmParser<'s> {
             }
             if let Some(rest) = line.strip_prefix("if ") {
                 let rest = rest.trim();
-                let cond_text = rest.strip_suffix('{').ok_or_else(|| self.err("if needs {"))?.trim();
+                let cond_text =
+                    rest.strip_suffix('{').ok_or_else(|| self.err("if needs {"))?.trim();
                 let cond = parse_operand(cond_text).map_err(|m| self.err(m))?;
                 let then_b = self.nodes()?;
                 // Did we stop at `} else {`?
@@ -621,7 +622,13 @@ fn parse_inst(line: &str) -> Result<Inst, String> {
             return Err(format!("{opname} needs 3 operands: `{line}`"));
         }
         let dst = expect_reg(&ops[0])?;
-        return Ok(Inst::Bin { ty, op, dst, a: parse_operand(&ops[1])?, b: parse_operand(&ops[2])? });
+        return Ok(Inst::Bin {
+            ty,
+            op,
+            dst,
+            a: parse_operand(&ops[1])?,
+            b: parse_operand(&ops[2])?,
+        });
     }
     if let Some(op) = UnOp::from_name(opname) {
         let ops = split_operands(rest);
@@ -708,14 +715,10 @@ fn parse_call_tail(s: &str) -> Result<(Option<Reg>, Vec<Operand>), String> {
     let comma = s.find(',').ok_or("bad call operands")?;
     let dst = expect_reg(&s[..comma])?;
     let tail = s[comma + 1..].trim();
-    let argtext = tail
-        .strip_prefix('(')
-        .and_then(|x| x.strip_suffix(')'))
-        .ok_or("missing (args) in call")?;
-    let args = split_operands(argtext)
-        .iter()
-        .map(|a| parse_operand(a))
-        .collect::<Result<Vec<_>, _>>()?;
+    let argtext =
+        tail.strip_prefix('(').and_then(|x| x.strip_suffix(')')).ok_or("missing (args) in call")?;
+    let args =
+        split_operands(argtext).iter().map(|a| parse_operand(a)).collect::<Result<Vec<_>, _>>()?;
     Ok((Some(dst), args))
 }
 
@@ -782,9 +785,20 @@ mod tests {
     #[test]
     fn parses_addresses_with_offsets() {
         let i = parse_inst("ld.f32 %r1, [%r2+16];").unwrap();
-        assert_eq!(i, Inst::Ld { ty: MemTy::F32, dst: Reg(1), addr: Operand::Reg(Reg(2)), offset: 16 });
+        assert_eq!(
+            i,
+            Inst::Ld { ty: MemTy::F32, dst: Reg(1), addr: Operand::Reg(Reg(2)), offset: 16 }
+        );
         let i = parse_inst("st.b64 [%local-8], %r3;").unwrap();
-        assert_eq!(i, Inst::St { ty: MemTy::B64, src: Operand::Reg(Reg(3)), addr: Operand::LocalBase, offset: -8 });
+        assert_eq!(
+            i,
+            Inst::St {
+                ty: MemTy::B64,
+                src: Operand::Reg(Reg(3)),
+                addr: Operand::LocalBase,
+                offset: -8
+            }
+        );
     }
 
     #[test]

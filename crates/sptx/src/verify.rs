@@ -94,7 +94,8 @@ fn check_inst(m: &Module, f: &Function, i: &Inst) -> Result<(), String> {
             dst_ok(dst)?;
             check_operand(f, a)?;
             check_operand(f, b)?;
-            if ty.is_float() && matches!(op, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr)
+            if ty.is_float()
+                && matches!(op, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr)
             {
                 return Err(format!("bitwise {op:?} on float type"));
             }
@@ -205,7 +206,12 @@ mod tests {
         let p = b.param("p", ScalarTy::I64);
         let v = b.ld(MemTy::F32, op::r(p), 0);
         b.st(MemTy::F32, op::r(v), op::r(p), 0);
-        Module { name: "m".into(), arch: "sm_53".into(), functions: vec![b.build()], device_lib_linked: false }
+        Module {
+            name: "m".into(),
+            arch: "sm_53".into(),
+            functions: vec![b.build()],
+            device_lib_linked: false,
+        }
     }
 
     #[test]
@@ -216,10 +222,9 @@ mod tests {
     #[test]
     fn register_out_of_range() {
         let mut m = ok_module();
-        m.functions[0].body.insert(
-            0,
-            Node::Inst(Inst::Mov { dst: Reg(99), src: Operand::ImmI(0) }),
-        );
+        m.functions[0]
+            .body
+            .insert(0, Node::Inst(Inst::Mov { dst: Reg(99), src: Operand::ImmI(0) }));
         assert!(verify_module(&m).is_err());
     }
 
@@ -233,10 +238,9 @@ mod tests {
     #[test]
     fn bad_barrier_id_and_count() {
         let mut m = ok_module();
-        m.functions[0].body.insert(
-            0,
-            Node::Inst(Inst::BarSync { id: Operand::ImmI(16), count: None }),
-        );
+        m.functions[0]
+            .body
+            .insert(0, Node::Inst(Inst::BarSync { id: Operand::ImmI(16), count: None }));
         assert!(verify_module(&m).is_err());
 
         let mut m = ok_module();

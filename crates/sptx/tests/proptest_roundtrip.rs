@@ -1,183 +1,241 @@
 //! Property tests: random SPTX modules survive both artifact formats —
 //! `.sptx` text (the PTX stand-in) and `.cubin` binary — bit-exactly.
+//!
+//! Random structures are generated with a seeded deterministic RNG
+//! (`vmcommon::rng`), one independent case per seed.
 
-use proptest::prelude::*;
 use sptx::*;
-
-fn arb_scalar() -> impl Strategy<Value = ScalarTy> {
-    prop_oneof![
-        Just(ScalarTy::I32),
-        Just(ScalarTy::I64),
-        Just(ScalarTy::F32),
-        Just(ScalarTy::F64)
-    ]
-}
-
-fn arb_memty() -> impl Strategy<Value = MemTy> {
-    prop_oneof![
-        Just(MemTy::B8),
-        Just(MemTy::B32),
-        Just(MemTy::B64),
-        Just(MemTy::F32),
-        Just(MemTy::F64)
-    ]
-}
-
-fn arb_operand(nregs: u32) -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        (0..nregs).prop_map(|r| Operand::Reg(Reg(r))),
-        (-1_000_000i64..1_000_000).prop_map(Operand::ImmI),
-        (any::<f32>().prop_filter("finite", |v| v.is_finite()))
-            .prop_map(|v| Operand::ImmF(v as f64)),
-        Just(Operand::Special(SpecialReg::TidX)),
-        Just(Operand::Special(SpecialReg::CtaidY)),
-        Just(Operand::LocalBase),
-        Just(Operand::SharedBase),
-    ]
-}
-
-fn arb_int_binop() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Min),
-        Just(BinOp::Max),
-        Just(BinOp::And),
-        Just(BinOp::Or),
-        Just(BinOp::Xor),
-        Just(BinOp::Shl),
-        Just(BinOp::Shr),
-        Just(BinOp::SetLt),
-        Just(BinOp::SetEq),
-        Just(BinOp::SetNe),
-    ]
-}
+use vmcommon::rng::XorShift64;
 
 const NREGS: u32 = 16;
 
-fn arb_inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (arb_scalar(), arb_int_binop(), 0..NREGS, arb_operand(NREGS), arb_operand(NREGS))
-            .prop_filter("no bitwise on float", |(ty, op, ..)| {
-                !ty.is_float()
-                    || !matches!(op, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr)
-            })
-            .prop_map(|(ty, op, d, a, b)| Inst::Bin { ty, op, dst: Reg(d), a, b }),
-        (0..NREGS, arb_operand(NREGS)).prop_map(|(d, src)| Inst::Mov { dst: Reg(d), src }),
-        (arb_memty(), 0..NREGS, arb_operand(NREGS), -64i64..64)
-            .prop_map(|(ty, d, addr, offset)| Inst::Ld { ty, dst: Reg(d), addr, offset }),
-        (arb_memty(), arb_operand(NREGS), arb_operand(NREGS), -64i64..64)
-            .prop_map(|(ty, src, addr, offset)| Inst::St { ty, src, addr, offset }),
-        (0..16i64, prop_oneof![Just(None), (1i64..8).prop_map(|w| Some(Operand::ImmI(w * 32)))])
-            .prop_map(|(id, count)| Inst::BarSync { id: Operand::ImmI(id), count }),
-        (0..NREGS, arb_operand(NREGS), arb_operand(NREGS), arb_operand(NREGS)).prop_map(
-            |(d, addr, e, n)| Inst::AtomCas { dst: Reg(d), addr, expected: e, new: n }
-        ),
-        proptest::collection::vec(arb_operand(NREGS), 0..4).prop_map(|args| Inst::Intrinsic {
-            name: "cudadev_barrier".into(),
-            dst: None,
-            args,
-            sargs: vec![]
-        }),
-        (proptest::collection::vec(arb_operand(NREGS), 0..3), any::<bool>()).prop_map(
-            |(args, with_fmt)| Inst::Intrinsic {
-                name: "printf".into(),
-                dst: Some(Reg(0)),
-                args,
-                sargs: if with_fmt {
-                    vec!["v=%d \"quoted\" \\ \n end".into()]
-                } else {
-                    vec![]
-                },
-            }
-        ),
-        Just(Inst::Ret { val: None }),
-    ]
+fn gen_scalar(r: &mut XorShift64) -> ScalarTy {
+    *r.pick(&[ScalarTy::I32, ScalarTy::I64, ScalarTy::F32, ScalarTy::F64])
 }
 
-fn arb_nodes(depth: u32) -> BoxedStrategy<Vec<Node>> {
-    let inst = arb_inst().prop_map(Node::Inst);
-    if depth == 0 {
-        proptest::collection::vec(inst, 0..5).boxed()
-    } else {
-        let child = arb_nodes(depth - 1);
-        let node = prop_oneof![
-            arb_inst().prop_map(Node::Inst),
-            (arb_operand(NREGS), child.clone(), child.clone())
-                .prop_map(|(cond, then_b, else_b)| Node::If { cond, then_b, else_b }),
-            child.prop_map(|body| {
-                // Loops must be escapable for the verifier's sanity — give
-                // them a break.
-                let mut b = body;
-                b.push(Node::Break);
-                Node::Loop { body: b }
-            }),
-        ];
-        proptest::collection::vec(node, 0..5).boxed()
+fn gen_memty(r: &mut XorShift64) -> MemTy {
+    *r.pick(&[MemTy::B8, MemTy::B32, MemTy::B64, MemTy::F32, MemTy::F64])
+}
+
+fn gen_operand(r: &mut XorShift64) -> Operand {
+    match r.below(7) {
+        0 => Operand::Reg(Reg(r.below(NREGS as u64) as u32)),
+        1 => Operand::ImmI(r.range_i64(-1_000_000, 1_000_000)),
+        2 => {
+            // Finite float on a decimal grid so text printing roundtrips.
+            let v = r.range_i64(-1_000_000, 1_000_000) as f32 / 64.0;
+            Operand::ImmF(v as f64)
+        }
+        3 => Operand::Special(SpecialReg::TidX),
+        4 => Operand::Special(SpecialReg::CtaidY),
+        5 => Operand::LocalBase,
+        _ => Operand::SharedBase,
     }
 }
 
-fn arb_function() -> impl Strategy<Value = Function> {
-    (proptest::collection::vec(arb_scalar(), 0..4), arb_nodes(2), any::<bool>()).prop_map(
-        |(ptys, mut body, is_kernel)| {
-            body.push(Node::Inst(Inst::Ret { val: None }));
-            Function {
-                name: "k".into(),
-                is_kernel,
-                params: ptys
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, ty)| ParamDecl { name: format!("p{i}"), ty })
-                    .collect(),
-                num_regs: NREGS,
-                local_size: 32,
-                shared_size: 16,
-                body,
-            }
-        },
-    )
+fn gen_int_binop(r: &mut XorShift64) -> BinOp {
+    *r.pick(&[
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Min,
+        BinOp::Max,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Shr,
+        BinOp::SetLt,
+        BinOp::SetEq,
+        BinOp::SetNe,
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn gen_inst(r: &mut XorShift64) -> Inst {
+    match r.below(9) {
+        0 => {
+            // No bitwise/shift ops on float types.
+            let (ty, op) = loop {
+                let ty = gen_scalar(r);
+                let op = gen_int_binop(r);
+                if !ty.is_float()
+                    || !matches!(op, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr)
+                {
+                    break (ty, op);
+                }
+            };
+            Inst::Bin {
+                ty,
+                op,
+                dst: Reg(r.below(NREGS as u64) as u32),
+                a: gen_operand(r),
+                b: gen_operand(r),
+            }
+        }
+        1 => Inst::Mov { dst: Reg(r.below(NREGS as u64) as u32), src: gen_operand(r) },
+        2 => Inst::Ld {
+            ty: gen_memty(r),
+            dst: Reg(r.below(NREGS as u64) as u32),
+            addr: gen_operand(r),
+            offset: r.range_i64(-64, 64),
+        },
+        3 => Inst::St {
+            ty: gen_memty(r),
+            src: gen_operand(r),
+            addr: gen_operand(r),
+            offset: r.range_i64(-64, 64),
+        },
+        4 => Inst::BarSync {
+            id: Operand::ImmI(r.range_i64(0, 16)),
+            count: if r.bool() { Some(Operand::ImmI(r.range_i64(1, 8) * 32)) } else { None },
+        },
+        5 => Inst::AtomCas {
+            dst: Reg(r.below(NREGS as u64) as u32),
+            addr: gen_operand(r),
+            expected: gen_operand(r),
+            new: gen_operand(r),
+        },
+        6 => Inst::Intrinsic {
+            name: "cudadev_barrier".into(),
+            dst: None,
+            args: (0..r.below(4)).map(|_| gen_operand(r)).collect(),
+            sargs: vec![],
+        },
+        7 => Inst::Intrinsic {
+            name: "printf".into(),
+            dst: Some(Reg(0)),
+            args: (0..r.below(3)).map(|_| gen_operand(r)).collect(),
+            sargs: if r.bool() { vec!["v=%d \"quoted\" \\ \n end".into()] } else { vec![] },
+        },
+        _ => Inst::Ret { val: None },
+    }
+}
 
-    #[test]
-    fn text_roundtrip(f in arb_function()) {
+fn gen_nodes(r: &mut XorShift64, depth: u32) -> Vec<Node> {
+    let n = r.below(5);
+    (0..n)
+        .map(|_| {
+            if depth == 0 {
+                return Node::Inst(gen_inst(r));
+            }
+            match r.below(3) {
+                0 => Node::Inst(gen_inst(r)),
+                1 => Node::If {
+                    cond: gen_operand(r),
+                    then_b: gen_nodes(r, depth - 1),
+                    else_b: gen_nodes(r, depth - 1),
+                },
+                _ => {
+                    // Loops must be escapable for the verifier's sanity —
+                    // give them a break.
+                    let mut body = gen_nodes(r, depth - 1);
+                    body.push(Node::Break);
+                    Node::Loop { body }
+                }
+            }
+        })
+        .collect()
+}
+
+fn gen_function(r: &mut XorShift64) -> Function {
+    let nparams = r.below(4);
+    let mut body = gen_nodes(r, 2);
+    body.push(Node::Inst(Inst::Ret { val: None }));
+    Function {
+        name: "k".into(),
+        is_kernel: r.bool(),
+        params: (0..nparams)
+            .map(|i| ParamDecl { name: format!("p{i}"), ty: gen_scalar(r) })
+            .collect(),
+        num_regs: NREGS,
+        local_size: 32,
+        shared_size: 16,
+        body,
+    }
+}
+
+const CASES: u64 = 64;
+
+#[test]
+fn text_roundtrip() {
+    for seed in 0..CASES {
         let m = Module {
             name: "prop".into(),
             arch: "sm_53".into(),
-            functions: vec![f],
+            functions: vec![gen_function(&mut XorShift64::new(seed))],
             device_lib_linked: true,
         };
         let text = sptx::text::print_module(&m);
         let back = sptx::text::parse_module(&text)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
-        prop_assert_eq!(&m, &back, "text roundtrip mismatch:\n{}", text);
+            .unwrap_or_else(|e| panic!("seed {seed}: reparse failed: {e}\n{text}"));
+        assert_eq!(m, back, "seed {seed}: text roundtrip mismatch:\n{text}");
     }
+}
 
-    #[test]
-    fn cubin_roundtrip(f in arb_function()) {
+#[test]
+fn cubin_roundtrip() {
+    for seed in 0..CASES {
         let m = Module {
             name: "prop".into(),
             arch: "sm_53".into(),
-            functions: vec![f],
+            functions: vec![gen_function(&mut XorShift64::new(1000 + seed))],
             device_lib_linked: false,
         };
         let bin = sptx::cubin::encode(&m);
         let back = sptx::cubin::decode(&bin).unwrap();
-        prop_assert_eq!(m, back);
+        assert_eq!(m, back, "seed {seed}");
     }
+}
 
-    /// Decoding never panics on arbitrary bytes (fuzz-ish).
-    #[test]
-    fn cubin_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+/// Decoding never panics on arbitrary bytes (fuzz-ish).
+#[test]
+fn cubin_decode_never_panics() {
+    for seed in 0..256u64 {
+        let mut r = XorShift64::new(seed);
+        let len = r.below(512) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| r.next_u64() as u8).collect();
         let _ = sptx::cubin::decode(&bytes);
     }
+}
 
-    /// The assembler never panics on arbitrary text.
-    #[test]
-    fn asm_never_panics(text in "[ -~\n]{0,400}") {
+/// The assembler never panics on arbitrary printable text.
+#[test]
+fn asm_never_panics() {
+    for seed in 0..256u64 {
+        let mut r = XorShift64::new(seed);
+        let len = r.below(400) as usize;
+        let text: String = (0..len)
+            .map(|_| {
+                // Printable ASCII plus newline, matching the old "[ -~\n]"
+                // character class.
+                let c = r.below(96) as u8;
+                if c == 95 {
+                    '\n'
+                } else {
+                    (b' ' + c) as char
+                }
+            })
+            .collect();
         let _ = sptx::text::parse_module(&text);
+    }
+}
+
+/// Corrupting any single byte of a valid cubin either still decodes (to
+/// something) or fails cleanly — never panics, never loops.
+#[test]
+fn cubin_bitflip_never_panics() {
+    let m = Module {
+        name: "flip".into(),
+        arch: "sm_53".into(),
+        functions: vec![gen_function(&mut XorShift64::new(9))],
+        device_lib_linked: true,
+    };
+    let bin = sptx::cubin::encode(&m);
+    let mut r = XorShift64::new(10);
+    for _ in 0..256 {
+        let mut bad = bin.clone();
+        let i = r.below(bad.len() as u64) as usize;
+        bad[i] ^= 1 << r.below(8);
+        let _ = sptx::cubin::decode(&bad);
     }
 }

@@ -83,12 +83,7 @@ fn gemm() -> App {
         footprint: |n| 3 * (n as u64 * n as u64 * 4) + (n as u64 * n as u64 * 4),
         setup: |m, n| {
             let (a, b, c) = init_gemm(n);
-            Ok(vec![
-                Value::I32(n as i32),
-                alloc_f32(m, &a)?,
-                alloc_f32(m, &b)?,
-                alloc_f32(m, &c)?,
-            ])
+            Ok(vec![Value::I32(n as i32), alloc_f32(m, &a)?, alloc_f32(m, &b)?, alloc_f32(m, &c)?])
         },
         outputs: |m, args, n| read_f32(m, args[3], (n * n) as usize),
         reference: |n| {
@@ -283,11 +278,7 @@ fn conv3d() -> App {
         setup: |m, n| {
             let len = (n as usize).pow(3);
             let a: Vec<f32> = (0..len).map(|i| ((i % 13) as f32) / 13.0).collect();
-            Ok(vec![
-                Value::I32(n as i32),
-                alloc_f32(m, &a)?,
-                alloc_f32(m, &vec![0.0; len])?,
-            ])
+            Ok(vec![Value::I32(n as i32), alloc_f32(m, &a)?, alloc_f32(m, &vec![0.0; len])?])
         },
         outputs: |m, args, n| read_f32(m, args[2], (n as usize).pow(3)),
         reference: |n| {
@@ -325,8 +316,7 @@ fn init_gs(n: u32) -> Vec<f32> {
     let mut a = vec![0.0f32; n * n];
     for i in 0..n {
         for j in 0..n {
-            a[i * n + j] =
-                ((i * j + 1) % n) as f32 / n as f32 + if i == j { 2.0 } else { 0.0 };
+            a[i * n + j] = ((i * j + 1) % n) as f32 / n as f32 + if i == j { 2.0 } else { 0.0 };
         }
     }
     a

@@ -35,10 +35,7 @@ pub fn alloc_f32(m: &Machine, data: &[f32]) -> IResult<Value> {
 pub fn read_f32(m: &Machine, ptr: Value, len: usize) -> IResult<Vec<f32>> {
     let mut bytes = vec![0u8; len * 4];
     m.mem.read_bytes(addr::offset(ptr.as_ptr()), &mut bytes)?;
-    Ok(bytes
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-        .collect())
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect())
 }
 
 /// Relative-error comparison for float outputs produced with different
@@ -64,6 +61,7 @@ pub fn runner_config(bytes_needed: u64, exec_mode: ExecMode, sampling: bool) -> 
         exec_mode,
         jit_cache_dir: std::env::temp_dir().join("ompi-jitcache"),
         launch_sampling: sampling,
+        ..RunnerConfig::default()
     }
 }
 

@@ -65,11 +65,8 @@ impl BlockAllocator {
     /// arena offset of the block.
     pub fn alloc(&mut self, size: u64) -> Result<u64, AllocError> {
         let need = size.max(1).next_multiple_of(Self::ALIGN);
-        let slot = self
-            .free
-            .iter()
-            .find(|(_, &flen)| flen >= need)
-            .map(|(&off, &flen)| (off, flen));
+        let slot =
+            self.free.iter().find(|(_, &flen)| flen >= need).map(|(&off, &flen)| (off, flen));
         let (off, flen) = slot.ok_or(AllocError::OutOfMemory { requested: size })?;
         self.free.remove(&off);
         if flen > need {
@@ -135,7 +132,7 @@ impl BlockAllocator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::XorShift64;
 
     #[test]
     fn alloc_free_reuse() {
@@ -184,22 +181,25 @@ mod tests {
         assert_eq!(a.range_start() % BlockAllocator::ALIGN, 0);
     }
 
-    proptest! {
-        /// Random alloc/free sequences never hand out overlapping blocks and
-        /// always stay inside the managed range.
-        #[test]
-        fn no_overlap(ops in proptest::collection::vec((0u64..2048, any::<bool>()), 1..60)) {
+    /// Random alloc/free sequences never hand out overlapping blocks and
+    /// always stay inside the managed range.
+    #[test]
+    fn no_overlap() {
+        for seed in 0..128u64 {
+            let mut rng = XorShift64::new(seed);
+            let nops = rng.range_u64(1, 60);
             let mut a = BlockAllocator::new(0, 64 * 1024);
             let mut blocks: Vec<(u64, u64)> = Vec::new();
-            for (size, do_free) in ops {
+            for _ in 0..nops {
+                let (size, do_free) = (rng.below(2048), rng.bool());
                 if do_free && !blocks.is_empty() {
                     let (off, _) = blocks.swap_remove(0);
                     a.free(off).unwrap();
                 } else if let Ok(off) = a.alloc(size) {
                     let len = size.max(1).next_multiple_of(BlockAllocator::ALIGN);
-                    prop_assert!(off + len <= 64 * 1024);
+                    assert!(off + len <= 64 * 1024, "seed {seed}: out of range");
                     for &(o, l) in &blocks {
-                        prop_assert!(off + len <= o || o + l <= off, "overlap");
+                        assert!(off + len <= o || o + l <= off, "seed {seed}: overlap");
                     }
                     blocks.push((off, len));
                 }

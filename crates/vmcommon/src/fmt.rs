@@ -157,19 +157,19 @@ pub fn format(spec: &str, args: &[FmtArg]) -> String {
             out.push_str(&body);
         } else if left {
             out.push_str(&body);
-            out.extend(std::iter::repeat(' ').take(width - body.len()));
+            out.extend(std::iter::repeat_n(' ', width - body.len()));
         } else if zero && !matches!(conv, 's' | 'c') {
             // Keep the sign in front of zero padding.
             if let Some(rest) = body.strip_prefix('-') {
                 out.push('-');
-                out.extend(std::iter::repeat('0').take(width - body.len()));
+                out.extend(std::iter::repeat_n('0', width - body.len()));
                 out.push_str(rest);
             } else {
-                out.extend(std::iter::repeat('0').take(width - body.len()));
+                out.extend(std::iter::repeat_n('0', width - body.len()));
                 out.push_str(&body);
             }
         } else {
-            out.extend(std::iter::repeat(' ').take(width - body.len()));
+            out.extend(std::iter::repeat_n(' ', width - body.len()));
             out.push_str(&body);
         }
     }
@@ -197,7 +197,7 @@ mod tests {
         assert_eq!(format("[%5d]", &[v(42)]), "[   42]");
         assert_eq!(format("[%-5d]", &[v(42)]), "[42   ]");
         assert_eq!(format("[%05d]", &[v(-42)]), "[-0042]");
-        assert_eq!(format("[%.2f]", &[v(3.14159)]), "[3.14]");
+        assert_eq!(format("[%.2f]", &[v(12.3456)]), "[12.35]");
     }
 
     #[test]

@@ -12,7 +12,9 @@ pub mod alloc;
 pub mod fmt;
 pub mod hash;
 pub mod mem;
+pub mod rng;
 pub mod sched;
+pub mod sync;
 pub mod value;
 
 pub use alloc::BlockAllocator;

@@ -32,7 +32,10 @@ impl std::fmt::Display for MemError {
                 write!(f, "guest access out of bounds: {size} bytes at offset {offset:#x}")
             }
             MemError::Misaligned { offset, align } => {
-                write!(f, "misaligned guest access at offset {offset:#x} (need {align}-byte alignment)")
+                write!(
+                    f,
+                    "misaligned guest access at offset {offset:#x} (need {align}-byte alignment)"
+                )
             }
             MemError::BadSpace { addr } => write!(f, "invalid guest address space: {addr:#018x}"),
             MemError::Null => write!(f, "null guest pointer dereference"),
@@ -82,7 +85,7 @@ impl MemArena {
         if end > self.size as u64 {
             return Err(MemError::OutOfBounds { offset, size });
         }
-        if offset % align != 0 {
+        if !offset.is_multiple_of(align) {
             return Err(MemError::Misaligned { offset, align });
         }
         Ok(offset as usize)
@@ -254,7 +257,7 @@ impl MemArena {
         // Word-wise where alignment allows, byte-wise at the edges.
         while i < dst.len() {
             let off = offset + i as u64;
-            if off % 8 == 0 && dst.len() - i >= 8 {
+            if off.is_multiple_of(8) && dst.len() - i >= 8 {
                 dst[i..i + 8].copy_from_slice(&self.load_u64(off)?.to_le_bytes());
                 i += 8;
             } else {
@@ -271,7 +274,7 @@ impl MemArena {
         let mut i = 0usize;
         while i < src.len() {
             let off = offset + i as u64;
-            if off % 8 == 0 && src.len() - i >= 8 {
+            if off.is_multiple_of(8) && src.len() - i >= 8 {
                 let mut w = [0u8; 8];
                 w.copy_from_slice(&src[i..i + 8]);
                 self.store_u64(off, u64::from_le_bytes(w))?;
@@ -290,7 +293,7 @@ impl MemArena {
         let mut i = 0u64;
         while i < len {
             let off = offset + i;
-            if off % 8 == 0 && len - i >= 8 {
+            if off.is_multiple_of(8) && len - i >= 8 {
                 self.store_u64(off, 0)?;
                 i += 8;
             } else {

@@ -111,7 +111,7 @@ pub fn trip_count(lb: i64, ub: i64, step: i64, inclusive: bool) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::XorShift64;
 
     #[test]
     fn static_block_partitions_exactly() {
@@ -136,7 +136,7 @@ mod tests {
     #[test]
     fn dynamic_chunks_cover_space() {
         let st = DynamicState::new();
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         while let Some((s, e)) = st.next_chunk(100, 7) {
             for i in s..e {
                 assert!(!seen[i as usize], "iteration {i} assigned twice");
@@ -157,26 +157,35 @@ mod tests {
         assert_eq!(sizes.iter().sum::<u64>(), 1000);
     }
 
-    proptest! {
-        /// Static blocking covers 0..total exactly once across threads.
-        #[test]
-        fn static_block_exact_cover(total in 0u64..5000, nthr in 1u64..17) {
+    /// Static blocking covers 0..total exactly once across threads.
+    #[test]
+    fn static_block_exact_cover() {
+        for seed in 0..256u64 {
+            let mut rng = XorShift64::new(seed);
+            let total = rng.below(5000);
+            let nthr = rng.range_u64(1, 17);
             let mut covered = 0u64;
             let mut prev_end = 0u64;
             for tid in 0..nthr {
                 let (s, e) = static_block(total, nthr, tid);
-                prop_assert_eq!(s, prev_end, "chunks must be contiguous");
-                prop_assert!(e >= s);
+                assert_eq!(s, prev_end, "chunks must be contiguous");
+                assert!(e >= s);
                 covered += e - s;
                 prev_end = e;
             }
-            prop_assert_eq!(covered, total);
-            prop_assert_eq!(prev_end, total);
+            assert_eq!(covered, total);
+            assert_eq!(prev_end, total);
         }
+    }
 
-        /// Cyclic static covers the space exactly once across threads/rounds.
-        #[test]
-        fn static_cyclic_exact_cover(total in 0u64..2000, nthr in 1u64..9, chunk in 1u64..40) {
+    /// Cyclic static covers the space exactly once across threads/rounds.
+    #[test]
+    fn static_cyclic_exact_cover() {
+        for seed in 0..128u64 {
+            let mut rng = XorShift64::new(seed);
+            let total = rng.below(2000);
+            let nthr = rng.range_u64(1, 9);
+            let chunk = rng.range_u64(1, 40);
             let mut seen = vec![false; total as usize];
             for tid in 0..nthr {
                 for k in 0.. {
@@ -184,20 +193,26 @@ mod tests {
                         None => break,
                         Some((s, e)) => {
                             for i in s..e {
-                                prop_assert!(!seen[i as usize], "iteration {} twice", i);
+                                assert!(!seen[i as usize], "iteration {i} twice");
                                 seen[i as usize] = true;
                             }
                         }
                     }
                 }
             }
-            prop_assert!(seen.iter().all(|&x| x));
+            assert!(seen.iter().all(|&x| x));
         }
+    }
 
-        /// Dynamic scheduling covers the space exactly once even under
-        /// concurrent claimants.
-        #[test]
-        fn dynamic_concurrent_cover(total in 1u64..3000, chunk in 1u64..50, nthr in 1usize..8) {
+    /// Dynamic scheduling covers the space exactly once even under
+    /// concurrent claimants.
+    #[test]
+    fn dynamic_concurrent_cover() {
+        for seed in 0..24u64 {
+            let mut rng = XorShift64::new(seed);
+            let total = rng.range_u64(1, 3000);
+            let chunk = rng.range_u64(1, 50);
+            let nthr = rng.range_u64(1, 8) as usize;
             let st = DynamicState::new();
             let claimed: Vec<(u64, u64)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..nthr)
@@ -216,25 +231,31 @@ mod tests {
             let mut seen = vec![false; total as usize];
             for (s, e) in claimed {
                 for i in s..e {
-                    prop_assert!(!seen[i as usize]);
+                    assert!(!seen[i as usize]);
                     seen[i as usize] = true;
                 }
             }
-            prop_assert!(seen.iter().all(|&x| x));
+            assert!(seen.iter().all(|&x| x));
         }
+    }
 
-        /// Guided scheduling covers the space exactly, respects min chunk.
-        #[test]
-        fn guided_cover(total in 1u64..3000, nthr in 1u64..9, minc in 1u64..30) {
+    /// Guided scheduling covers the space exactly, respects min chunk.
+    #[test]
+    fn guided_cover() {
+        for seed in 0..128u64 {
+            let mut rng = XorShift64::new(seed);
+            let total = rng.range_u64(1, 3000);
+            let nthr = rng.range_u64(1, 9);
+            let minc = rng.range_u64(1, 30);
             let st = GuidedState::new();
             let mut covered = 0u64;
             while let Some((s, e)) = st.next_chunk(total, nthr, minc) {
-                prop_assert_eq!(s, covered);
+                assert_eq!(s, covered);
                 let size = e - s;
-                prop_assert!(size >= minc.min(total - s), "chunk below minimum");
+                assert!(size >= minc.min(total - s), "chunk below minimum");
                 covered = e;
             }
-            prop_assert_eq!(covered, total);
+            assert_eq!(covered, total);
         }
     }
 }

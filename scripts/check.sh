@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Repo-wide quality gate: formatting, lints (warnings are errors), tests.
+# Run from anywhere; operates on the workspace root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (workspace) =="
+cargo test --workspace --quiet
+
+echo "All checks passed."

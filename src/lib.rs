@@ -52,7 +52,9 @@ pub use sptx;
 pub use unibench;
 pub use vmcommon;
 
+pub use cudadev::{CudadevError, DevClock, RetryPolicy};
 pub use gpusim::ExecMode;
+pub use gpusim::{FaultPlan, FaultRule, FaultSite};
 pub use nvccsim::BinMode;
 pub use ompi_core::{CompiledApp, CudaCc, Ompicc, Runner, RunnerConfig};
 pub use vmcommon::Value;

@@ -1,0 +1,218 @@
+//! Deterministic fault-injection tests for the robust device runtime:
+//! transient faults are retried to success, terminal faults latch the
+//! device broken and degrade to host execution with identical results,
+//! and JIT-cache corruption is invalidated and recompiled.
+
+use std::sync::Arc;
+
+use ompi_nano::unibench::{app_by_name, compile_omp, run_once, runner_config};
+use ompi_nano::{BinMode, ExecMode, FaultPlan, Ompicc, Runner, RunnerConfig, Value};
+
+/// The paper's Fig. 1 SAXPY; `main` returns the number of wrong elements,
+/// so `I32(0)` proves the computed `y` is bit-identical to the host-side
+/// expectation regardless of where the region actually executed.
+const SAXPY: &str = r#"
+void saxpy_device(float a, float *x, float *y, int size)
+{
+    #pragma omp target map(to: a, size, x[0:size]) map(tofrom: y[0:size])
+    {
+        int i;
+        #pragma omp parallel for
+        for (i = 0; i < size; i++)
+            y[i] = a * x[i] + y[i];
+    }
+}
+
+int main() {
+    int n = 300;
+    float x[300];
+    float y[300];
+    for (int i = 0; i < n; i++) { x[i] = (float) i; y[i] = 0.5f; }
+    saxpy_device(3.0f, x, y, n);
+    int bad = 0;
+    for (int i = 0; i < n; i++)
+        if (y[i] != 3.0f * (float) i + 0.5f) bad++;
+    return bad;
+}
+"#;
+
+fn work(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("ompinano-fault-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn plan(text: &str) -> Option<Arc<FaultPlan>> {
+    Some(Arc::new(FaultPlan::parse(text).expect("valid fault plan")))
+}
+
+fn saxpy_runner(tag: &str, fault: &str) -> Runner {
+    let app = Ompicc::new(work(tag)).compile(SAXPY).unwrap();
+    let cfg = RunnerConfig { fault_plan: plan(fault), ..Default::default() };
+    Runner::new(&app, &cfg).unwrap()
+}
+
+/// A transient launch fault (two failing calls, then clean) is retried
+/// within the default budget; the program still succeeds on the device.
+#[test]
+fn transient_launch_fault_is_retried_to_success() {
+    let runner = saxpy_runner("launch-transient", "launch@1x2");
+    assert_eq!(runner.run_main().unwrap(), Value::I32(0));
+    let clk = runner.dev_clock();
+    assert_eq!(clk.retries, 2, "both failing launch attempts must be retried");
+    assert!(!runner.device_broken(), "transient faults must not latch the device");
+    assert!(clk.launches >= 1, "the retried launch must eventually run");
+}
+
+/// Transient faults on the copy-in path are likewise absorbed by retry.
+#[test]
+fn transient_h2d_fault_is_retried_to_success() {
+    let runner = saxpy_runner("h2d-transient", "h2d@1x1");
+    assert_eq!(runner.run_main().unwrap(), Value::I32(0));
+    let clk = runner.dev_clock();
+    assert_eq!(clk.retries, 1);
+    assert!(!runner.device_broken());
+}
+
+/// A transient fault that outlives the retry budget is a genuine error:
+/// it surfaces to the caller instead of being silently degraded.
+#[test]
+fn exhausted_retry_budget_surfaces_the_error() {
+    let runner = saxpy_runner("launch-exhausted", "launch@1x9");
+    let err = runner.run_main().unwrap_err();
+    assert!(
+        err.to_string().contains("injected fault"),
+        "error must carry the fault diagnostic, got: {err}"
+    );
+    assert!(!runner.device_broken(), "a transient fault never latches the device");
+    assert_eq!(runner.dev_clock().retries, 3, "default budget is three retries");
+}
+
+/// Device initialization fails terminally: every target region runs on the
+/// host from the start, and the result is still correct.
+#[test]
+fn terminal_init_fault_falls_back_to_host() {
+    let runner = saxpy_runner("init-terminal", "init@1x*");
+    assert_eq!(runner.run_main().unwrap(), Value::I32(0));
+    assert!(runner.device_broken(), "terminal init fault must latch the device");
+    assert_eq!(runner.dev_clock().launches, 0, "nothing may reach the device");
+}
+
+/// The device dies mid-region (after the copy-in, at launch): the region
+/// re-executes on the host against the still-authoritative host memory.
+#[test]
+fn terminal_launch_fault_falls_back_mid_region() {
+    let runner = saxpy_runner("launch-terminal", "launch@1x*");
+    assert_eq!(runner.run_main().unwrap(), Value::I32(0));
+    assert!(runner.device_broken(), "terminal launch fault must latch the device");
+    let clk = runner.dev_clock();
+    assert_eq!(clk.launches, 0, "no launch ever completed");
+    assert!(clk.h2d_bytes > 0, "the copy-in had already happened");
+}
+
+/// The device dies *after* a successful launch, at the copy-back: the
+/// device results are lost, host memory is still pre-kernel state, and the
+/// region must re-execute on the host rather than silently keep stale data.
+#[test]
+fn terminal_d2h_fault_falls_back_after_launch() {
+    let runner = saxpy_runner("d2h-terminal", "d2h@1x*");
+    assert_eq!(runner.run_main().unwrap(), Value::I32(0));
+    assert!(runner.device_broken());
+    let clk = runner.dev_clock();
+    assert!(clk.launches >= 1, "the kernel itself ran fine");
+    assert_eq!(clk.d2h_bytes, 0, "no copy-back ever committed");
+}
+
+/// If one buffer's copy-back commits and a later one is lost, host state is
+/// mixed — re-executing would double-apply. That must be a hard error, not
+/// a silent fallback.
+#[test]
+fn copy_back_loss_after_partial_commit_is_an_error() {
+    const TWO_OUT: &str = r#"
+int main() {
+    int n = 64;
+    float y[64];
+    float z[64];
+    for (int i = 0; i < n; i++) { y[i] = 1.0f; z[i] = 2.0f; }
+    #pragma omp target map(tofrom: y[0:n], z[0:n])
+    {
+        int i;
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) { y[i] = y[i] + 1.0f; z[i] = z[i] + 1.0f; }
+    }
+    return 0;
+}
+"#;
+    let app = Ompicc::new(work("partial-commit")).compile(TWO_OUT).unwrap();
+    // d2h call #1 (first unmap) commits, call #2 is lost terminally.
+    let cfg = RunnerConfig { fault_plan: plan("d2h@2x*"), ..Default::default() };
+    let runner = Runner::new(&app, &cfg).unwrap();
+    let err = runner.run_main().unwrap_err();
+    assert!(
+        err.to_string().contains("partial commit"),
+        "expected the partial-commit diagnostic, got: {err}"
+    );
+    assert!(runner.device_broken());
+}
+
+/// Host fallback is bit-identical to device execution for a unibench app:
+/// the same compiled binary, run once healthy and once with a dead device,
+/// produces the exact same output bits.
+#[test]
+fn host_fallback_bit_identical_for_unibench_app() {
+    let app = app_by_name("atax").expect("atax is a unibench app");
+    let n = app.test_size;
+    let dir = work("unibench-atax");
+    let compiled = compile_omp(&app, &dir);
+
+    let cfg_ok = runner_config((app.footprint)(n), ExecMode::Functional, false);
+    let dev_runner = Runner::new(&compiled, &cfg_ok).unwrap();
+    let dev_out = run_once(&app, &dev_runner, n).unwrap();
+    assert!(!dev_runner.device_broken());
+    assert!(dev_runner.dev_clock().launches > 0, "healthy run must use the device");
+
+    let cfg_bad = RunnerConfig { fault_plan: plan("launch@1x*"), ..cfg_ok };
+    let host_runner = Runner::new(&compiled, &cfg_bad).unwrap();
+    let host_out = run_once(&app, &host_runner, n).unwrap();
+    assert!(host_runner.device_broken(), "terminal fault must latch the device");
+
+    assert_eq!(dev_out.len(), host_out.len());
+    for (i, (d, h)) in dev_out.iter().zip(&host_out).enumerate() {
+        assert_eq!(
+            d.to_bits(),
+            h.to_bits(),
+            "output[{i}] differs: device {d} vs host fallback {h}"
+        );
+    }
+}
+
+/// An injected JIT-cache corruption is detected on reload, invalidated and
+/// recompiled — the program never sees the corrupt artifact.
+#[test]
+fn jit_cache_corruption_is_invalidated_and_recompiled() {
+    let dir = work("jit-corrupt");
+    let app = Ompicc::new(&dir).with_mode(BinMode::Ptx).compile(SAXPY).unwrap();
+    let cache = dir.join("jit");
+
+    // First process: populate the disk cache.
+    let cfg = RunnerConfig { jit_cache_dir: cache.clone(), ..Default::default() };
+    let warm = Runner::new(&app, &cfg).unwrap();
+    assert_eq!(warm.run_main().unwrap(), Value::I32(0));
+    assert_eq!(warm.dev_clock().jit_compiles, 1);
+
+    // Second process: the fault plan corrupts the cached entry before use.
+    let cfg2 = RunnerConfig { fault_plan: plan("jitcache@1x1"), ..cfg };
+    let runner = Runner::new(&app, &cfg2).unwrap();
+    assert_eq!(runner.run_main().unwrap(), Value::I32(0));
+    let clk = runner.dev_clock();
+    assert_eq!(clk.jit_invalidations, 1, "the corrupt entry must be invalidated");
+    assert_eq!(clk.jit_compiles, 1, "and recompiled rather than trusted");
+    assert_eq!(clk.jit_cache_hits, 0);
+    assert!(!runner.device_broken(), "cache corruption is always recoverable");
+
+    // Third process, no fault: the republished entry is valid again.
+    let cfg3 = RunnerConfig { jit_cache_dir: cache, ..Default::default() };
+    let cold = Runner::new(&app, &cfg3).unwrap();
+    assert_eq!(cold.run_main().unwrap(), Value::I32(0));
+    assert_eq!(cold.dev_clock().jit_cache_hits, 1);
+}

@@ -9,9 +9,7 @@ fn run(src: &str, tag: &str) -> (Runner, Value) {
     let _ = std::fs::remove_dir_all(&dir);
     let app = Ompicc::new(&dir).compile(src).unwrap();
     let runner = Runner::new(&app, &RunnerConfig::default()).unwrap();
-    let v = runner
-        .run_main()
-        .unwrap_or_else(|e| panic!("{e}\nhost:\n{}", app.host_text));
+    let v = runner.run_main().unwrap_or_else(|e| panic!("{e}\nhost:\n{}", app.host_text));
     (runner, v)
 }
 

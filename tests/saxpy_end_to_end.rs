@@ -2,8 +2,8 @@
 //! every layer — parser → translator → kernel compiler → cubin on disk →
 //! host interpreter → cudadev → SIMT simulator — in both binary modes.
 
-use ompi_nano::{BinMode, Ompicc, Runner, RunnerConfig};
 use ompi_nano::Value;
+use ompi_nano::{BinMode, Ompicc, Runner, RunnerConfig};
 
 const SRC: &str = r#"
 void saxpy_device(float a, float *x, float *y, int size)
