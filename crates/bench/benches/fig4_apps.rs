@@ -20,9 +20,21 @@ fn bench_app(name: &str) {
     for &n in &app.paper_sizes[..nsizes] {
         for variant in [Variant::Cuda, Variant::OmpiCudadev] {
             let built = build_variant(&app, variant, n, mode, true, &work);
-            // Print the simulated time once per configuration.
+            // Print the simulated time once per configuration: the
+            // registry aggregate plus the per-device launch split.
             let m = measure(&app, &built, n);
-            println!("# fig4/{name} {} n={n}: simulated {:.6}s", variant.label(), m.time_s);
+            let per_dev: Vec<String> = m
+                .per_device
+                .iter()
+                .enumerate()
+                .map(|(i, d)| format!("dev{i}:{}", d.launches))
+                .collect();
+            println!(
+                "# fig4/{name} {} n={n}: simulated {:.6}s, launches [{}]",
+                variant.label(),
+                m.time_s,
+                per_dev.join(" ")
+            );
             timeit(&format!("fig4/{name}/{}/{n}", variant.label()), 5, || {
                 measure(&app, &built, n);
             });

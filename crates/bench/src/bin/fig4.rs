@@ -67,6 +67,20 @@ fn main() {
             for variant in [Variant::Cuda, Variant::OmpiCudadev] {
                 let built = build_variant(&app, variant, n, mode, true, &work);
                 let m = measure(&app, &built, n);
+                // The aggregate is the registry-level sum; show the
+                // per-device split whenever more than one device is live.
+                if m.per_device.len() > 1 {
+                    for (i, d) in m.per_device.iter().enumerate() {
+                        println!(
+                            "#   {} dev{i}: total {:.6}s (kernel {:.6}s, memcpy {:.6}s), {} launches",
+                            variant.label(),
+                            d.total_s(),
+                            d.kernel_s,
+                            d.memcpy_s,
+                            d.launches
+                        );
+                    }
+                }
                 row.push(m.time_s);
             }
             println!(

@@ -19,7 +19,10 @@ pub mod transform;
 pub use analyze::TransError;
 pub use driver::{CompiledApp, CompiledCudaApp, CudaCc, Ompicc, OmpiccError};
 pub use runner::{OmpiHooks, Runner, RunnerConfig};
-pub use transform::{translate, KernelFile, Translation};
+pub use transform::{
+    translate, translate_traced, KernelFile, PassInfo, PassTrace, Pipeline, TraceEntry,
+    TransformSet, Translation, PASSES,
+};
 
 /// Worker threads available to master/worker parallel regions (3 warps of
 /// the 128-core SMM).

@@ -1,13 +1,20 @@
 //! Execution of compiled applications: wires the host interpreter's hooks
-//! to the OMPi runtimes — `hostomp` for `ort_*` calls and `cudadev` for
-//! `__dev_*` offloading — exactly where OMPi's generated C would call its
-//! runtime libraries.
+//! to the OMPi runtimes — `hostomp` for `ort_*` calls and the device
+//! registry for `__dev_*` offloading — exactly where OMPi's generated C
+//! would call its runtime libraries.
+//!
+//! Every `__dev_*` hook takes a leading device-id argument (the value the
+//! translator bound from the construct's `device()` clause); the
+//! [`DeviceRegistry`] resolves it to a [`DeviceModule`], so one runner can
+//! drive several simulated GPUs with independent clocks, fault plans, and
+//! broken-device latches.
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use cudadev::{CudaDev, CudaDevConfig, CudadevError, DevClock, MapKind, RetryPolicy};
+use devmod::{DeviceModule, DeviceRegistry};
 use gpusim::{ExecMode, FaultPlan};
 use hostomp::{HostRt, WsState};
 use minic::interp::{HookCtx, Hooks, IResult, Interp, InterpError, Machine};
@@ -28,17 +35,24 @@ thread_local! {
 pub struct RunnerConfig {
     /// Host guest-memory size.
     pub host_mem: usize,
-    /// Device DRAM size.
+    /// Device DRAM size (per device).
     pub device_mem: usize,
     /// Grid simulation mode.
     pub exec_mode: ExecMode,
-    /// JIT cache directory (PTX mode).
+    /// JIT cache directory (PTX mode), shared across devices.
     pub jit_cache_dir: std::path::PathBuf,
     /// Estimate repeated launches from earlier ones (see cudadev docs).
     pub launch_sampling: bool,
-    /// Deterministic fault-injection plan for the device (tests). `None`
-    /// falls back to the `OMPI_FAULT_PLAN` environment variable.
+    /// Number of simulated offload devices in the registry.
+    pub num_devices: usize,
+    /// Deterministic fault-injection plan for device 0 (tests). `None`
+    /// falls back to the `OMPI_FAULT_PLAN` environment variable, whose
+    /// `devN:`-prefixed rules scope to device `N`. For programmatic
+    /// multi-device plans use [`RunnerConfig::fault_spec`] instead.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Fault-plan source text with optional `devN:` prefixes, parsed once
+    /// per device. Takes precedence over [`RunnerConfig::fault_plan`].
+    pub fault_spec: Option<String>,
     /// Retry policy for transient driver faults.
     pub retry: RetryPolicy,
 }
@@ -51,7 +65,9 @@ impl Default for RunnerConfig {
             exec_mode: ExecMode::Functional,
             jit_cache_dir: std::env::temp_dir().join("ompi-jitcache"),
             launch_sampling: false,
+            num_devices: 1,
             fault_plan: None,
+            fault_spec: None,
             retry: RetryPolicy::default(),
         }
     }
@@ -59,8 +75,9 @@ impl Default for RunnerConfig {
 
 /// The runtime hook implementation.
 pub struct OmpiHooks {
-    pub rt: HostRt,
-    pub dev: CudaDev,
+    pub rt: Arc<HostRt>,
+    /// All offload devices plus the host shim and the default-device ICV.
+    pub registry: Arc<DeviceRegistry>,
     /// `omp_set_num_threads` ICV (0 = unset).
     nthreads_icv: AtomicUsize,
     /// For pure CUDA applications: the module kernels live in.
@@ -69,14 +86,16 @@ pub struct OmpiHooks {
     parallel_error: Mutex<Option<String>>,
     /// Copy-backs committed to host memory since the current region's
     /// launch — guards host fallback against mixed device/host state.
+    /// Target regions execute sequentially on the host thread, so one
+    /// counter suffices even with several registered devices.
     region_commits: AtomicUsize,
 }
 
 impl OmpiHooks {
-    fn new(dev: CudaDev, cuda_module: Option<String>) -> OmpiHooks {
+    fn new(registry: Arc<DeviceRegistry>, cuda_module: Option<String>) -> OmpiHooks {
         OmpiHooks {
-            rt: HostRt::new(),
-            dev,
+            rt: registry.host().rt().clone(),
+            registry,
             nthreads_icv: AtomicUsize::new(0),
             cuda_module,
             parallel_error: Mutex::new(None),
@@ -87,12 +106,21 @@ impl OmpiHooks {
     /// Graceful-degradation filter for `__dev_*` hooks: terminal device
     /// failures are absorbed (the region falls back to host execution),
     /// anything else is a genuine trap.
-    fn degrade(&self, e: CudadevError) -> IResult<()> {
-        if e.is_device_lost() || self.dev.is_broken() {
+    fn degrade(&self, dev: &dyn DeviceModule, e: CudadevError) -> IResult<()> {
+        if e.is_device_lost() || dev.is_broken() {
             Ok(())
         } else {
             Err(InterpError::Trap(e.to_string()))
         }
+    }
+
+    /// Device 0's raw simulator, for the CUDA-baseline runtime hooks
+    /// (`cudaMalloc` & friends bypass the mapping layer).
+    fn baseline_device(&self) -> IResult<Arc<gpusim::Device>> {
+        self.registry
+            .device(0)
+            .and_then(|d| d.raw_device())
+            .ok_or_else(|| InterpError::Trap("no offload device available".into()))
     }
 
     fn map_kind(code: i64) -> MapKind {
@@ -108,8 +136,13 @@ impl OmpiHooks {
 
     /// Convert interpreter values to raw kernel-parameter bits according to
     /// the kernel's parameter types — the "parameter preparation" phase:
-    /// host pointers are looked up in the map table.
-    fn prepare_params(&self, kernel: &sptx::Function, args: &[Value]) -> IResult<Vec<u64>> {
+    /// host pointers are looked up in the device's map table.
+    fn prepare_params(
+        &self,
+        dev: &dyn DeviceModule,
+        kernel: &sptx::Function,
+        args: &[Value],
+    ) -> IResult<Vec<u64>> {
         if args.len() != kernel.params.len() {
             return Err(InterpError::Trap(format!(
                 "kernel `{}` takes {} parameters, offload provided {}",
@@ -121,7 +154,7 @@ impl OmpiHooks {
         let mut out = Vec::with_capacity(args.len());
         for (v, p) in args.iter().zip(&kernel.params) {
             let bits = match (v, p.ty) {
-                (Value::Ptr(host), _) => self.dev.dev_addr(*host).ok_or_else(|| {
+                (Value::Ptr(host), _) => dev.dev_addr(*host).ok_or_else(|| {
                     InterpError::Trap(format!(
                         "kernel argument {host:#x} is not mapped to the device (missing map clause?)"
                     ))
@@ -187,27 +220,32 @@ impl Hooks for OmpiHooks {
             mem.store_u64(vmcommon::addr::offset(addr.as_ptr()), v as u64)?;
             Ok(())
         };
+        // `__dev_*` hooks carry the device id in argument 0.
+        let resolve = |i: usize| self.registry.resolve(a(i).as_i64());
 
         match name {
             // ------------------------------------------------- offloading
             "__dev_ok" => {
                 // Guard emitted before every offload region: is the device
                 // worth trying? A broken (or terminally fault-injected)
-                // device answers 0 and the region runs on the host instead.
-                let ok = !self.dev.is_broken() && self.dev.try_device().is_ok();
+                // device answers 0 and the region runs on the host instead —
+                // as does the host shim behind the initial-device number.
+                let dev = resolve(0);
+                let ok = !dev.is_broken() && dev.is_available();
                 Ok(Some(Value::I32(ok as i32)))
             }
             "__dev_map" => {
-                if self.dev.is_broken() {
+                let dev = resolve(0);
+                if dev.is_broken() {
                     // Dead device: the region will run on the host, where
                     // host memory is already authoritative — mapping is a
                     // no-op.
                     return Ok(Some(Value::I32(0)));
                 }
-                let kind = Self::map_kind(a(2).as_i64());
-                match self.dev.map(mem, a(0).as_ptr(), a(1).as_i64().max(0) as u64, kind) {
+                let kind = Self::map_kind(a(3).as_i64());
+                match dev.map(mem, a(1).as_ptr(), a(2).as_i64().max(0) as u64, kind) {
                     Ok(_) => Ok(Some(Value::I32(0))),
-                    Err(e) => self.degrade(e).map(|_| Some(Value::I32(0))),
+                    Err(e) => self.degrade(&*dev, e).map(|_| Some(Value::I32(0))),
                 }
             }
             "__dev_unmap" => {
@@ -215,14 +253,15 @@ impl Hooks for OmpiHooks {
                 // afterwards (copy-back committed, or none was needed), 0
                 // when a needed copy-back was lost — the region must then
                 // re-execute on the host.
-                let kind = Self::map_kind(a(1).as_i64());
+                let dev = resolve(0);
+                let kind = Self::map_kind(a(2).as_i64());
                 let copies_back = matches!(kind, MapKind::From | MapKind::ToFrom);
-                if self.dev.is_broken() {
+                if dev.is_broken() {
                     // Skip copy-back entirely; host memory is pre-kernel
                     // state, authoritative for the fallback execution.
                     return Ok(Some(Value::I32(!copies_back as i32)));
                 }
-                match self.dev.unmap(mem, a(0).as_ptr(), kind) {
+                match dev.unmap(mem, a(1).as_ptr(), kind) {
                     Ok(()) => {
                         if copies_back {
                             self.region_commits.fetch_add(1, Ordering::Relaxed);
@@ -238,54 +277,52 @@ impl Hooks for OmpiHooks {
                                 "device lost during copy-back after a partial commit: {e}"
                             )));
                         }
-                        self.degrade(e).map(|_| Some(Value::I32(0)))
+                        self.degrade(&*dev, e).map(|_| Some(Value::I32(0)))
                     }
-                    Err(e) => self.degrade(e).map(|_| Some(Value::I32(1))),
+                    Err(e) => self.degrade(&*dev, e).map(|_| Some(Value::I32(1))),
                 }
             }
             "__dev_update" => {
-                if self.dev.is_broken() {
+                let dev = resolve(0);
+                if dev.is_broken() {
                     return Ok(Some(Value::I32(0)));
                 }
-                match self.dev.update(
-                    mem,
-                    a(0).as_ptr(),
-                    a(1).as_i64().max(0) as u64,
-                    a(2).is_truthy(),
-                ) {
+                match dev.update(mem, a(1).as_ptr(), a(2).as_i64().max(0) as u64, a(3).is_truthy())
+                {
                     Ok(()) => Ok(Some(Value::I32(0))),
-                    Err(e) => self.degrade(e).map(|_| Some(Value::I32(0))),
+                    Err(e) => self.degrade(&*dev, e).map(|_| Some(Value::I32(0))),
                 }
             }
             "__dev_offload" => {
-                // (module, kernel, mw, ndims, tc0, tc1, tc2, teams,
+                // (dev, module, kernel, mw, ndims, tc0, tc1, tc2, teams,
                 // threads, kernel args…)
                 // Returns 1 when the kernel ran on the device, 0 when the
                 // device failed terminally (caller re-executes the region
                 // on the host).
                 self.region_commits.store(0, Ordering::Relaxed);
-                if self.dev.is_broken() {
+                let dev = resolve(0);
+                if dev.is_broken() {
                     return Ok(Some(Value::I32(0)));
                 }
-                let module = read_str(0)?;
-                let kernel = read_str(1)?;
-                let mw = a(2).is_truthy();
-                let ndims = a(3).as_i64();
-                let tcs = [a(4).as_i64(), a(5).as_i64(), a(6).as_i64()];
-                let teams = a(7).as_i64();
-                let threads = a(8).as_i64();
-                let m = match self.dev.load_module(&module) {
+                let module = read_str(1)?;
+                let kernel = read_str(2)?;
+                let mw = a(3).is_truthy();
+                let ndims = a(4).as_i64();
+                let tcs = [a(5).as_i64(), a(6).as_i64(), a(7).as_i64()];
+                let teams = a(8).as_i64();
+                let threads = a(9).as_i64();
+                let m = match dev.load_module(&module) {
                     Ok(m) => m,
-                    Err(e) => return self.degrade(e).map(|_| Some(Value::I32(0))),
+                    Err(e) => return self.degrade(&*dev, e).map(|_| Some(Value::I32(0))),
                 };
                 let kf = m.function(&kernel).ok_or_else(|| {
                     InterpError::Trap(format!("kernel `{kernel}` not in `{module}`"))
                 })?;
-                let params = self.prepare_params(kf, &args[9..])?;
+                let params = self.prepare_params(&*dev, kf, &args[10..])?;
                 let (grid, block) = Self::geometry(mw, ndims, tcs, teams, threads);
-                match self.dev.launch(&module, &kernel, grid, block, params) {
+                match dev.launch(&module, &kernel, grid, block, params) {
                     Ok(_) => Ok(Some(Value::I32(1))),
-                    Err(e) => self.degrade(e).map(|_| Some(Value::I32(0))),
+                    Err(e) => self.degrade(&*dev, e).map(|_| Some(Value::I32(0))),
                 }
             }
 
@@ -408,8 +445,15 @@ impl Hooks for OmpiHooks {
             }
             "omp_get_wtime" => Ok(Some(Value::F64(self.rt.wtime()))),
             "omp_get_num_procs" => Ok(Some(Value::I32(4))), // quad-core A57
-            "omp_get_num_devices" => Ok(Some(Value::I32(1))),
-            "omp_get_default_device" => Ok(Some(Value::I32(0))),
+            "omp_get_num_devices" => Ok(Some(Value::I32(self.registry.num_devices() as i32))),
+            "omp_get_default_device" => Ok(Some(Value::I32(self.registry.default_device() as i32))),
+            "omp_set_default_device" => {
+                self.registry.set_default_device(a(0).as_i64());
+                Ok(Some(Value::I32(0)))
+            }
+            "omp_get_initial_device" => {
+                Ok(Some(Value::I32(self.registry.initial_device_id() as i32)))
+            }
             "omp_is_initial_device" => Ok(Some(Value::I32(1))),
             "omp_get_team_num" => Ok(Some(Value::I32(0))),
             "omp_get_num_teams" => Ok(Some(Value::I32(1))),
@@ -419,16 +463,14 @@ impl Hooks for OmpiHooks {
                 // cudaMalloc(&ptr, size)
                 let size = a(1).as_i64().max(0) as u64;
                 let dp = self
-                    .dev
-                    .device()
+                    .baseline_device()?
                     .mem_alloc(size)
                     .map_err(|e| InterpError::Trap(e.to_string()))?;
                 mem.store_u64(vmcommon::addr::offset(a(0).as_ptr()), dp)?;
                 Ok(Some(Value::I32(0)))
             }
             "cudaFree" => {
-                self.dev
-                    .device()
+                self.baseline_device()?
                     .mem_free(a(0).as_ptr())
                     .map_err(|e| InterpError::Trap(e.to_string()))?;
                 Ok(Some(Value::I32(0)))
@@ -437,7 +479,7 @@ impl Hooks for OmpiHooks {
                 // cudaMemcpy(dst, src, bytes, kind): 1 = HtoD, 2 = DtoH.
                 let bytes = a(2).as_i64().max(0) as usize;
                 let kind = a(3).as_i64();
-                let device = self.dev.device();
+                let device = self.baseline_device()?;
                 let t = match kind {
                     1 => {
                         let mut buf = vec![0u8; bytes];
@@ -460,19 +502,15 @@ impl Hooks for OmpiHooks {
                         )))
                     }
                 };
-                let mut clk = self.dev.clock.lock();
-                clk.memcpy_s += t;
-                if kind == 1 {
-                    clk.h2d_bytes += bytes as u64;
-                } else {
-                    clk.d2h_bytes += bytes as u64;
+                if let Some(d) = self.registry.device(0) {
+                    let (h2d, d2h) = if kind == 1 { (bytes as u64, 0) } else { (0, bytes as u64) };
+                    d.record_memcpy(t, h2d, d2h);
                 }
                 Ok(Some(Value::I32(0)))
             }
             "cudaDeviceSynchronize" | "cudaThreadSynchronize" => Ok(Some(Value::I32(0))),
             "cudaMemset" => {
-                self.dev
-                    .device()
+                self.baseline_device()?
                     .memset_d8(a(0).as_ptr(), a(1).as_i64() as u8, a(2).as_i64().max(0) as u64)
                     .map_err(|e| InterpError::Trap(e.to_string()))?;
                 Ok(Some(Value::I32(0)))
@@ -494,7 +532,11 @@ impl Hooks for OmpiHooks {
             .cuda_module
             .clone()
             .ok_or_else(|| InterpError::Trap("no CUDA module registered for launches".into()))?;
-        let m = self.dev.load_module(&module).map_err(|e| InterpError::Trap(e.to_string()))?;
+        let dev = self
+            .registry
+            .device(0)
+            .ok_or_else(|| InterpError::Trap("no offload device available".into()))?;
+        let m = dev.load_module(&module).map_err(|e| InterpError::Trap(e.to_string()))?;
         let kf = m
             .function(name)
             .ok_or_else(|| InterpError::Trap(format!("kernel `{name}` not in `{module}`")))?;
@@ -516,8 +558,7 @@ impl Hooks for OmpiHooks {
                 args.len()
             )));
         }
-        self.dev
-            .launch(&module, name, grid, block, params)
+        dev.launch(&module, name, grid, block, params)
             .map_err(|e| InterpError::Trap(e.to_string()))?;
         Ok(())
     }
@@ -531,38 +572,72 @@ pub struct Runner {
 }
 
 impl Runner {
-    /// Instantiate a compiled OpenMP application.
-    pub fn new(app: &CompiledApp, cfg: &RunnerConfig) -> IResult<Runner> {
-        let machine = Machine::new(app.host.clone(), app.host_info.clone(), cfg.host_mem)?;
-        let dev = CudaDev::new(CudaDevConfig {
-            global_mem: cfg.device_mem,
-            kernel_dir: app.kernel_dir.clone(),
-            jit_cache_dir: cfg.jit_cache_dir.clone(),
-            exec_mode: cfg.exec_mode,
-            launch_sampling: cfg.launch_sampling,
-            fault_plan: cfg.fault_plan.clone(),
-            retry: cfg.retry,
-        });
-        let hooks = Arc::new(OmpiHooks::new(dev, None));
+    /// Build the device registry for a kernel directory: `cfg.num_devices`
+    /// simulated GPUs, each with its own clock, broken-latch, and
+    /// device-scoped fault plan.
+    fn build_registry(
+        kernel_dir: &std::path::Path,
+        cfg: &RunnerConfig,
+    ) -> IResult<Arc<DeviceRegistry>> {
+        let mut devices: Vec<Arc<dyn DeviceModule>> = Vec::with_capacity(cfg.num_devices);
+        for i in 0..cfg.num_devices {
+            let fault_plan = match &cfg.fault_spec {
+                Some(spec) => Some(Arc::new(
+                    FaultPlan::parse_for_device(spec, i as u32).map_err(InterpError::Trap)?,
+                )),
+                // An explicit pre-parsed plan has no device scoping; it
+                // belongs to device 0 (the only device before the registry
+                // existed). Other devices still honour `OMPI_FAULT_PLAN`
+                // through their `device_id`.
+                None if i == 0 => cfg.fault_plan.clone(),
+                None => None,
+            };
+            devices.push(Arc::new(CudaDev::new(CudaDevConfig {
+                device_id: i as u32,
+                global_mem: cfg.device_mem,
+                kernel_dir: kernel_dir.to_path_buf(),
+                jit_cache_dir: cfg.jit_cache_dir.clone(),
+                exec_mode: cfg.exec_mode,
+                launch_sampling: cfg.launch_sampling,
+                fault_plan,
+                retry: cfg.retry,
+            })));
+        }
+        Ok(Arc::new(DeviceRegistry::new(devices)))
+    }
+
+    /// The one constructor: every application — OpenMP or pure CUDA — runs
+    /// against a registry-dispatched hook set; the only variation is
+    /// whether kernel launches resolve through a fixed CUDA module.
+    fn with_registry(
+        host: minic::ast::Program,
+        host_info: minic::sema::ProgramInfo,
+        registry: Arc<DeviceRegistry>,
+        cuda_module: Option<String>,
+        cfg: &RunnerConfig,
+    ) -> IResult<Runner> {
+        let machine = Machine::new(host, host_info, cfg.host_mem)?;
+        let hooks = Arc::new(OmpiHooks::new(registry, cuda_module));
         let hooks_dyn: Arc<dyn Hooks> = hooks.clone();
         Ok(Runner { machine, hooks, hooks_dyn })
     }
 
+    /// Instantiate a compiled OpenMP application.
+    pub fn new(app: &CompiledApp, cfg: &RunnerConfig) -> IResult<Runner> {
+        let registry = Self::build_registry(&app.kernel_dir, cfg)?;
+        Self::with_registry(app.host.clone(), app.host_info.clone(), registry, None, cfg)
+    }
+
     /// Instantiate a compiled pure-CUDA application.
     pub fn new_cuda(app: &CompiledCudaApp, cfg: &RunnerConfig) -> IResult<Runner> {
-        let machine = Machine::new(app.host.clone(), app.host_info.clone(), cfg.host_mem)?;
-        let dev = CudaDev::new(CudaDevConfig {
-            global_mem: cfg.device_mem,
-            kernel_dir: app.kernel_dir.clone(),
-            jit_cache_dir: cfg.jit_cache_dir.clone(),
-            exec_mode: cfg.exec_mode,
-            launch_sampling: cfg.launch_sampling,
-            fault_plan: cfg.fault_plan.clone(),
-            retry: cfg.retry,
-        });
-        let hooks = Arc::new(OmpiHooks::new(dev, Some(app.module_name.clone())));
-        let hooks_dyn: Arc<dyn Hooks> = hooks.clone();
-        Ok(Runner { machine, hooks, hooks_dyn })
+        let registry = Self::build_registry(&app.kernel_dir, cfg)?;
+        Self::with_registry(
+            app.host.clone(),
+            app.host_info.clone(),
+            registry,
+            Some(app.module_name.clone()),
+            cfg,
+        )
     }
 
     /// Call a guest function.
@@ -576,20 +651,43 @@ impl Runner {
         self.call("main", &[])
     }
 
-    /// The accumulated virtual device time (the paper's reported metric).
+    /// The device registry (per-device clocks, broken-latches, ICVs).
+    pub fn registry(&self) -> &Arc<DeviceRegistry> {
+        &self.hooks.registry
+    }
+
+    /// Number of registered offload devices.
+    pub fn num_devices(&self) -> usize {
+        self.hooks.registry.num_devices()
+    }
+
+    /// The accumulated virtual device time (the paper's reported metric),
+    /// summed over all offload devices — identical to the single device's
+    /// clock in default configurations.
     pub fn dev_clock(&self) -> DevClock {
-        *self.hooks.dev.clock.lock()
+        self.hooks.registry.aggregate_clock()
     }
 
-    /// Reset the virtual device clock (before a measured run).
+    /// One offload device's virtual clock (`idx == num_devices()` reads
+    /// the host shim's clock).
+    pub fn dev_clock_of(&self, idx: usize) -> Option<DevClock> {
+        self.hooks.registry.clock_of(idx)
+    }
+
+    /// Reset the virtual device clocks (before a measured run).
     pub fn reset_dev_clock(&self) {
-        self.hooks.dev.reset_clock();
+        self.hooks.registry.reset_clocks();
     }
 
-    /// Whether a terminal device fault has latched the device broken
-    /// (subsequent target regions execute on the host).
+    /// Whether a terminal device fault has latched device 0 broken
+    /// (subsequent target regions there execute on the host).
     pub fn device_broken(&self) -> bool {
-        self.hooks.dev.is_broken()
+        self.device_broken_at(0)
+    }
+
+    /// Whether a terminal device fault has latched device `idx` broken.
+    pub fn device_broken_at(&self, idx: usize) -> bool {
+        self.hooks.registry.device(idx).map(|d| d.is_broken()).unwrap_or(false)
     }
 
     /// Captured guest stdout.
@@ -597,8 +695,9 @@ impl Runner {
         self.machine.take_output()
     }
 
-    /// Captured device printf output (empty if the device never came up).
+    /// Captured device printf output across all devices (empty if no
+    /// device ever came up).
     pub fn take_device_output(&self) -> String {
-        self.hooks.dev.try_device().map(|d| d.take_printf_output()).unwrap_or_default()
+        self.hooks.registry.take_printf_output()
     }
 }

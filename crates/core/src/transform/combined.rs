@@ -1,0 +1,167 @@
+//! Pipeline pass: **combined-construct lowering** (§3.1).
+//!
+//! Kernel bodies for combined `target teams distribute [parallel for]`
+//! constructs: the grid is sized from the collapsed trip count, each team
+//! takes a distribute chunk via `cudadev_get_distribute_chunk`, and the
+//! team's threads subdivide it with the schedule-specific
+//! `cudadev_get_{static,dynamic,guided}_chunk` (two-phase distribution).
+
+use minic::ast::build as b;
+use minic::ast::*;
+use minic::omp::{Directive, SchedKind};
+use minic::token::Pos;
+use minic::types::Ty;
+
+use crate::analyze::*;
+
+use super::util::{red_combine, red_identity};
+use super::{err, long_cast, trip_count_expr, Translator, VarRole};
+
+impl<'p> Translator<'p> {
+    /// Kernel body for combined constructs (§3.1).
+    pub(crate) fn combined_kernel_body(
+        &mut self,
+        loops: &[LoopInfo],
+        inner_body: &Stmt,
+        dir: &Directive,
+        roles: &[(String, Ty, VarRole)],
+        dist_only: bool,
+        pos: Pos,
+    ) -> TResult<Vec<Stmt>> {
+        let mut out = Vec::new();
+        if contains_standalone_parallel(inner_body) {
+            return Err(err(
+                pos,
+                "nested OpenMP constructs inside a combined target loop are not supported",
+            ));
+        }
+        // Reduction locals.
+        for (name, ty, role) in roles {
+            if let VarRole::Reduction(op) = role {
+                out.push(b::decl(name, ty.clone(), Some(red_identity(*op, ty))));
+            }
+        }
+        // Trip counts.
+        let mut tc_names = Vec::new();
+        for (i, l) in loops.iter().enumerate() {
+            let n = format!("__tc{i}");
+            out.push(b::decl(&n, Ty::Long, Some(long_cast(trip_count_expr(l)))));
+            tc_names.push(n);
+        }
+        // total = tc0 * tc1 * …
+        let mut total = b::ident(&tc_names[0]);
+        for n in &tc_names[1..] {
+            total = b::bin(BinOp::Mul, total, b::ident(n));
+        }
+        out.push(b::decl("__total", Ty::Long, Some(total)));
+        out.push(b::decl("__lb", Ty::Long, None));
+        out.push(b::decl("__ub", Ty::Long, None));
+        out.push(b::decl("__mylb", Ty::Long, None));
+        out.push(b::decl("__myub", Ty::Long, None));
+        out.push(b::expr_stmt(b::call(
+            "cudadev_get_distribute_chunk",
+            vec![b::ident("__total"), b::addr_of(b::ident("__lb")), b::addr_of(b::ident("__ub"))],
+        )));
+
+        // The per-iteration loop body: reconstruct the loop indices.
+        let mut iter_body: Vec<Stmt> = Vec::new();
+        for (i, l) in loops.iter().enumerate() {
+            // idx_i = (__it / (tc_{i+1} * …)) [% tc_i]
+            let mut div: Option<Expr> = None;
+            for n in &tc_names[i + 1..] {
+                div = Some(match div {
+                    None => b::ident(n),
+                    Some(d) => b::bin(BinOp::Mul, d, b::ident(n)),
+                });
+            }
+            let mut idx = b::ident("__it");
+            if let Some(d) = div {
+                idx = b::bin(BinOp::Div, idx, d);
+            }
+            if i > 0 {
+                idx = b::bin(BinOp::Rem, idx, b::ident(&tc_names[i]));
+            }
+            let scaled = if l.step == 1 { idx } else { b::bin(BinOp::Mul, idx, b::int(l.step)) };
+            let val = b::bin(BinOp::Add, l.lb.clone(), b::cast(l.var_ty.clone(), scaled));
+            iter_body.push(b::decl(&l.var, l.var_ty.clone(), Some(val)));
+        }
+        iter_body.push(inner_body.clone());
+
+        let make_for = |lo: Expr, hi: Expr, body: Vec<Stmt>| Stmt::For {
+            init: Some(Box::new(b::decl("__it", Ty::Long, Some(lo)))),
+            cond: Some(b::bin(BinOp::Lt, b::ident("__it"), hi)),
+            step: Some(b::e(ExprKind::IncDec {
+                pre: false,
+                inc: true,
+                expr: Box::new(b::ident("__it")),
+            })),
+            body: Box::new(b::block(body)),
+        };
+
+        let sched = dir.clause_schedule();
+        match sched {
+            Some((SchedKind::Dynamic, chunk)) | Some((SchedKind::Guided, chunk)) if !dist_only => {
+                let f = match sched.unwrap().0 {
+                    SchedKind::Dynamic => "cudadev_get_dynamic_chunk",
+                    _ => "cudadev_get_guided_chunk",
+                };
+                let chunk_e = chunk.cloned().unwrap_or_else(|| b::int(1));
+                out.push(Stmt::If {
+                    cond: b::bin(BinOp::Eq, b::call("omp_get_thread_num", vec![]), b::int(0)),
+                    then_s: Box::new(b::expr_stmt(b::call("cudadev_sched_reset", vec![]))),
+                    else_s: None,
+                });
+                out.push(b::expr_stmt(b::call("cudadev_barrier", vec![])));
+                out.push(Stmt::While {
+                    cond: b::call(
+                        f,
+                        vec![
+                            b::ident("__lb"),
+                            b::ident("__ub"),
+                            long_cast(chunk_e),
+                            b::addr_of(b::ident("__mylb")),
+                            b::addr_of(b::ident("__myub")),
+                        ],
+                    ),
+                    body: Box::new(make_for(
+                        b::ident("__mylb"),
+                        b::ident("__myub"),
+                        iter_body.clone(),
+                    )),
+                });
+            }
+            _ => {
+                // Static (default). In distribute-only kernels the team's
+                // single thread runs the whole distribute chunk.
+                if dist_only {
+                    out.push(b::expr_stmt(b::assign(b::ident("__mylb"), b::ident("__lb"))));
+                    out.push(b::expr_stmt(b::assign(b::ident("__myub"), b::ident("__ub"))));
+                } else {
+                    let chunk_e = match sched {
+                        Some((SchedKind::Static, Some(c))) => long_cast(c.clone()),
+                        _ => b::int(0),
+                    };
+                    out.push(b::expr_stmt(b::call(
+                        "cudadev_get_static_chunk",
+                        vec![
+                            b::ident("__lb"),
+                            b::ident("__ub"),
+                            chunk_e,
+                            b::addr_of(b::ident("__mylb")),
+                            b::addr_of(b::ident("__myub")),
+                        ],
+                    )));
+                }
+                out.push(make_for(b::ident("__mylb"), b::ident("__myub"), iter_body));
+            }
+        }
+
+        // Fold reductions into the global accumulators.
+        for (name, ty, role) in roles {
+            if let VarRole::Reduction(op) = role {
+                out.push(red_combine(name, ty, *op));
+            }
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,384 @@
+//! Pipeline pass: **data environment** (§3, §4.2.1).
+//!
+//! Lowers the device data environment to `__dev_*` runtime calls: map
+//! clauses of `target` regions, stand-alone `target [enter|exit] data`,
+//! `target update`, and the host-side replacement of an offloaded region —
+//! guard on device health, map entries, `__dev_offload`, unmaps in reverse
+//! order, and the graceful-degradation host fallback.
+//!
+//! Every `__dev_*` call takes a leading device-id argument resolved from
+//! the construct's `device()` clause (`-1` = the default-device ICV), so
+//! one translated program can drive several registered devices.
+
+use minic::ast::build as b;
+use minic::ast::*;
+use minic::omp::{Clause, Directive, MapKind as OmpMapKind};
+use minic::token::Pos;
+use minic::types::{ArrayLen, Ty};
+
+use crate::analyze::*;
+
+use super::outline::OutlinedRegion;
+use super::{err, long_cast, sizeof_expr, HostCtx, MapItem, Translator, VarRole};
+
+pub(crate) fn map_kind_code(kind: OmpMapKind) -> i64 {
+    match kind {
+        OmpMapKind::To => 0,
+        OmpMapKind::From => 1,
+        OmpMapKind::ToFrom => 2,
+        OmpMapKind::Alloc => 3,
+        OmpMapKind::Release => 4,
+        OmpMapKind::Delete => 5,
+    }
+}
+
+/// The device-id expression of a stand-alone data directive.
+fn device_expr(dir: &Directive) -> Expr {
+    dir.clause_device().cloned().unwrap_or_else(|| b::int(-1))
+}
+
+impl<'p> Translator<'p> {
+    /// Map-clause items of a directive → (base address expr, byte-size expr,
+    /// kind), resolved against the enclosing frame.
+    pub(crate) fn map_items(
+        &mut self,
+        dir: &Directive,
+        ctx: &HostCtx<'_>,
+        pos: Pos,
+    ) -> TResult<Vec<MapItem>> {
+        let mut out = Vec::new();
+        for (kind, item) in dir.maps() {
+            let slot = ctx
+                .frame
+                .slots
+                .iter()
+                .find(|sl| sl.name == item.name)
+                .ok_or_else(|| err(pos, format!("map of unknown variable `{}`", item.name)))?;
+            let ty = slot.ty.clone();
+            let decayed = ty.decayed();
+            let (base, bytes, param_ty) = if let Ty::Ptr(pointee) = &decayed {
+                let sec = item.sections.first();
+                let lower = sec.and_then(|s| s.lower.clone()).unwrap_or_else(|| b::int(0));
+                let length = match sec.and_then(|s| s.length.clone()) {
+                    Some(l) => l,
+                    None => match &ty {
+                        // Whole array object.
+                        Ty::Array(_, ArrayLen::Const(n)) => b::int(*n as i64),
+                        Ty::Array(_, ArrayLen::Expr(e)) => (**e).clone(),
+                        _ => {
+                            return Err(err(
+                                pos,
+                                format!(
+                                    "map of pointer `{}` needs an array section (e.g. {}[0:n])",
+                                    item.name, item.name
+                                ),
+                            ))
+                        }
+                    },
+                };
+                let base = b::bin(BinOp::Add, b::ident(&item.name), lower);
+                let bytes = b::bin(BinOp::Mul, long_cast(length), sizeof_expr(pointee));
+                (base, bytes, decayed.clone())
+            } else {
+                // Scalar mapped by address.
+                let base = b::addr_of(b::ident(&item.name));
+                let bytes = sizeof_expr(&ty);
+                (base, bytes, Ty::Ptr(Box::new(ty.clone())))
+            };
+            out.push((item.name.clone(), kind, base, bytes, param_ty));
+        }
+        Ok(out)
+    }
+
+    /// Stand-alone enter/exit data.
+    pub(crate) fn map_calls(
+        &mut self,
+        dir: &Directive,
+        ctx: &HostCtx<'_>,
+        enter: bool,
+    ) -> TResult<Stmt> {
+        let items = self.map_items(dir, ctx, Pos::default())?;
+        let dev_var = self.tmp("dev");
+        let mut stmts = vec![b::decl(&dev_var, Ty::Int, Some(device_expr(dir)))];
+        for (_, kind, base, bytes, _) in items {
+            let code = b::int(map_kind_code(kind));
+            if enter {
+                stmts.push(b::expr_stmt(b::call(
+                    "__dev_map",
+                    vec![b::ident(&dev_var), base, bytes, code],
+                )));
+            } else {
+                stmts.push(b::expr_stmt(b::call(
+                    "__dev_unmap",
+                    vec![b::ident(&dev_var), base, code],
+                )));
+            }
+        }
+        Ok(b::block(stmts))
+    }
+
+    pub(crate) fn lower_target_update(
+        &mut self,
+        dir: &Directive,
+        ctx: &HostCtx<'_>,
+    ) -> TResult<Stmt> {
+        let dev_var = self.tmp("dev");
+        let mut stmts = vec![b::decl(&dev_var, Ty::Int, Some(device_expr(dir)))];
+        for c in &dir.clauses {
+            let (items, to_device) = match c {
+                Clause::UpdateTo(items) => (items, true),
+                Clause::UpdateFrom(items) => (items, false),
+                _ => continue,
+            };
+            for item in items {
+                let slot =
+                    ctx.frame.slots.iter().find(|sl| sl.name == item.name).ok_or_else(|| {
+                        err(Pos::default(), format!("update of unknown variable `{}`", item.name))
+                    })?;
+                let ty = slot.ty.clone();
+                let decayed = ty.decayed();
+                let (base, bytes) = if let Ty::Ptr(pointee) = &decayed {
+                    let sec = item.sections.first();
+                    let lower = sec.and_then(|s| s.lower.clone()).unwrap_or_else(|| b::int(0));
+                    let length = sec
+                        .and_then(|s| s.length.clone())
+                        .or_else(|| match &ty {
+                            Ty::Array(_, ArrayLen::Const(n)) => Some(b::int(*n as i64)),
+                            Ty::Array(_, ArrayLen::Expr(e)) => Some((**e).clone()),
+                            _ => None,
+                        })
+                        .ok_or_else(|| {
+                            err(
+                                Pos::default(),
+                                format!("update of `{}` needs an array section", item.name),
+                            )
+                        })?;
+                    (
+                        b::bin(BinOp::Add, b::ident(&item.name), lower),
+                        b::bin(BinOp::Mul, long_cast(length), sizeof_expr(pointee)),
+                    )
+                } else {
+                    (b::addr_of(b::ident(&item.name)), sizeof_expr(&ty))
+                };
+                stmts.push(b::expr_stmt(b::call(
+                    "__dev_update",
+                    vec![b::ident(&dev_var), base, bytes, b::int(to_device as i64)],
+                )));
+            }
+        }
+        Ok(b::block(stmts))
+    }
+
+    pub(crate) fn lower_target_data(&mut self, o: &OmpStmt, ctx: &HostCtx<'_>) -> TResult<Stmt> {
+        let items = self.map_items(&o.dir, ctx, o.pos)?;
+        let dev_var = self.tmp("dev");
+        let mut stmts = vec![b::decl(&dev_var, Ty::Int, Some(device_expr(&o.dir)))];
+        for (_, kind, base, bytes, _) in &items {
+            stmts.push(b::expr_stmt(b::call(
+                "__dev_map",
+                vec![b::ident(&dev_var), base.clone(), bytes.clone(), b::int(map_kind_code(*kind))],
+            )));
+        }
+        stmts.push(self.host_stmt(o.body.as_deref().unwrap_or(&Stmt::Empty), ctx)?);
+        for (_, kind, base, _, _) in items.iter().rev() {
+            stmts.push(b::expr_stmt(b::call(
+                "__dev_unmap",
+                vec![b::ident(&dev_var), base.clone(), b::int(map_kind_code(*kind))],
+            )));
+        }
+        Ok(b::block(stmts))
+    }
+
+    /// Host-side replacement of an outlined target region: the data
+    /// environment, the `__dev_offload` launch, and the graceful host
+    /// fallback.
+    pub(crate) fn host_replacement(
+        &mut self,
+        o: &OmpStmt,
+        ctx: &HostCtx<'_>,
+        reg: &OutlinedRegion,
+    ) -> TResult<Stmt> {
+        let dir = &o.dir;
+        let body = o.body.as_deref().ok_or_else(|| err(o.pos, "target without a body"))?;
+        let kid = reg.kid;
+        // The region's device id, bound once so every __dev_* call of this
+        // region targets the same device even if the default-device ICV
+        // changes concurrently.
+        let dev_var = format!("__ompi_dev_{kid}");
+        let dev = || b::ident(&dev_var);
+
+        // Scalars in map clauses were demoted to by-value parameters; only
+        // pointer/array items need device buffers.
+        let buffer_maps: Vec<_> = reg
+            .maps
+            .iter()
+            .filter(|(n, ..)| {
+                ctx.frame
+                    .slots
+                    .iter()
+                    .find(|sl| sl.name == *n)
+                    .map(|sl| sl.ty.decayed().is_ptr())
+                    .unwrap_or(false)
+            })
+            .cloned()
+            .collect();
+        let mut stmts: Vec<Stmt> = Vec::new();
+        // map entries (region lifetime) — includes mapped-but-unreferenced.
+        for (_, kind, base, bytes, _) in &buffer_maps {
+            stmts.push(b::expr_stmt(b::call(
+                "__dev_map",
+                vec![dev(), base.clone(), bytes.clone(), b::int(map_kind_code(*kind))],
+            )));
+        }
+        // Written-back mapped scalars need a device buffer.
+        for name in &reg.scalar_writebacks {
+            stmts.push(b::expr_stmt(b::call(
+                "__dev_map",
+                vec![
+                    dev(),
+                    b::addr_of(b::ident(name)),
+                    sizeof_expr(
+                        &ctx.frame
+                            .slots
+                            .iter()
+                            .find(|sl| sl.name == *name)
+                            .map(|sl| sl.ty.clone())
+                            .unwrap_or(Ty::Int),
+                    ),
+                    b::int(map_kind_code(OmpMapKind::ToFrom)),
+                ],
+            )));
+        }
+        // Reduction scalars: initialize + map tofrom.
+        for (name, _, role) in &reg.roles {
+            if matches!(role, VarRole::Reduction(_)) {
+                stmts.push(b::expr_stmt(b::call(
+                    "__dev_map",
+                    vec![
+                        dev(),
+                        b::addr_of(b::ident(name)),
+                        sizeof_expr(
+                            &ctx.frame
+                                .slots
+                                .iter()
+                                .find(|sl| sl.name == *name)
+                                .map(|sl| sl.ty.clone())
+                                .unwrap_or(Ty::Int),
+                        ),
+                        b::int(map_kind_code(OmpMapKind::ToFrom)),
+                    ],
+                )));
+            }
+        }
+
+        // Launch: __dev_offload(dev, "module", "kernel", mw, ndims, tc0,
+        // tc1, tc2, teams, threads, args…).
+        let ndims = if reg.combined { reg.loops.len() as i64 } else { 0 };
+        let mut offload_args: Vec<Expr> = vec![
+            dev(),
+            b::e(ExprKind::StrLit(reg.module_name.clone())),
+            b::e(ExprKind::StrLit(reg.kernel_fn.clone())),
+            b::int(!reg.combined as i64),
+            b::int(ndims),
+        ];
+        for d in 0..3usize {
+            if reg.combined && d < reg.loops.len() {
+                offload_args.push(long_cast(super::trip_count_expr(&reg.loops[d])));
+            } else {
+                offload_args.push(b::int(1));
+            }
+        }
+        offload_args.push(match dir.clause_num_teams() {
+            Some(e) => long_cast(e.clone()),
+            None => b::int(0),
+        });
+        offload_args.push(match dir.clause_num_threads() {
+            Some(e) => long_cast(e.clone()),
+            None => match dir.clause_thread_limit() {
+                Some(e) => long_cast(e.clone()),
+                None => b::int(0),
+            },
+        });
+        offload_args.extend(reg.launch_args.iter().cloned());
+        // `__dev_offload` returns 1 when the kernel ran on the device, 0 on
+        // a terminal device failure — record the latter in the fallback
+        // flag so the region re-executes on the host below.
+        let fb_var = format!("__ompi_fb_{kid}");
+        stmts.push(b::expr_stmt(b::assign(
+            b::ident(&fb_var),
+            b::bin(BinOp::Eq, b::call("__dev_offload", offload_args), b::int(0)),
+        )));
+
+        // Unmap (reverse order), reductions and written-back scalars last.
+        // `__dev_unmap` returns 0 when a needed copy-back was lost (device
+        // died between launch and unmap); fold that into the fallback flag
+        // with `|` (not `||` — the unmap call must always execute).
+        let unmap_into_fb = |stmts: &mut Vec<Stmt>, args: Vec<Expr>, copies_back: bool| {
+            let call = b::call("__dev_unmap", args);
+            if copies_back {
+                stmts.push(b::expr_stmt(b::assign(
+                    b::ident(&fb_var),
+                    b::bin(BinOp::BitOr, b::ident(&fb_var), b::bin(BinOp::Eq, call, b::int(0))),
+                )));
+            } else {
+                stmts.push(b::expr_stmt(call));
+            }
+        };
+        for name in reg.scalar_writebacks.iter().rev() {
+            unmap_into_fb(
+                &mut stmts,
+                vec![dev(), b::addr_of(b::ident(name)), b::int(map_kind_code(OmpMapKind::ToFrom))],
+                true,
+            );
+        }
+        for (name, _, role) in reg.roles.iter().rev() {
+            if matches!(role, VarRole::Reduction(_)) {
+                unmap_into_fb(
+                    &mut stmts,
+                    vec![
+                        dev(),
+                        b::addr_of(b::ident(name)),
+                        b::int(map_kind_code(OmpMapKind::ToFrom)),
+                    ],
+                    true,
+                );
+            }
+        }
+        for (_, kind, base, _, _) in buffer_maps.iter().rev() {
+            unmap_into_fb(
+                &mut stmts,
+                vec![dev(), base.clone(), b::int(map_kind_code(*kind))],
+                matches!(kind, OmpMapKind::From | OmpMapKind::ToFrom),
+            );
+        }
+        // Graceful degradation (host fallback): guard the offload on device
+        // health, and re-execute the region body on the host whenever its
+        // results did not reach host memory — `__dev_ok` said the device is
+        // down, `__dev_offload` reported a terminal failure, or the device
+        // died before any copy-back committed. In all three cases host
+        // memory still holds the pre-region state, so re-execution is safe;
+        // a loss after a *partial* commit traps instead (see runner.rs).
+        let fallback_body = self.host_stmt(body, ctx)?;
+        let offload_block = b::block(vec![
+            b::decl(&dev_var, Ty::Int, Some(reg.dev_expr.clone())),
+            b::decl(&fb_var, Ty::Int, Some(b::int(1))),
+            Stmt::If {
+                cond: b::call("__dev_ok", vec![dev()]),
+                then_s: Box::new(b::block(stmts)),
+                else_s: None,
+            },
+            Stmt::If { cond: b::ident(&fb_var), then_s: Box::new(fallback_body), else_s: None },
+        ]);
+
+        // if(...) clause: false → run on the host instead.
+        if let Some(cond) = dir.clause_if() {
+            let host_body = self.host_stmt(body, ctx)?;
+            return Ok(Stmt::If {
+                cond: cond.clone(),
+                then_s: Box::new(offload_block),
+                else_s: Some(Box::new(host_body)),
+            });
+        }
+        Ok(offload_block)
+    }
+}

@@ -1,0 +1,419 @@
+//! General-purpose transformation set: host-side lowering of non-target
+//! constructs (the OMPi "general-purpose" set of §3). Parallel regions are
+//! outlined into `_hostFunc*` thread functions dispatched through the
+//! `ort_*` runtime; worksharing loops use the host scheduler primitives.
+
+use std::collections::HashMap;
+
+use minic::ast::build as b;
+use minic::ast::*;
+use minic::omp::{Clause, DirKind, Directive, RedOp, SchedKind};
+use minic::sema::FrameInfo;
+use minic::types::{ArrayLen, Ty};
+
+use crate::analyze::*;
+
+use super::util::{collect_sections, host_red_fold, red_identity};
+use super::{err, long_cast, rename_expr, rename_idents, trip_count_expr, HostCtx, Translator};
+
+impl<'p> Translator<'p> {
+    /// Lower one non-target OpenMP construct on the host.
+    pub(crate) fn lower_host_construct(&mut self, o: &OmpStmt, ctx: &HostCtx<'_>) -> TResult<Stmt> {
+        let dir = &o.dir;
+        match dir.kind {
+            DirKind::Parallel | DirKind::ParallelFor => self.lower_host_parallel(o, ctx),
+            DirKind::For => self.lower_host_for(o, ctx),
+            DirKind::Sections => self.lower_host_sections(o, ctx),
+            DirKind::Single => {
+                let body = self.host_stmt(o.body.as_deref().unwrap_or(&Stmt::Empty), ctx)?;
+                let mut stmts = vec![Stmt::If {
+                    cond: b::call("ort_single", vec![]),
+                    then_s: Box::new(body),
+                    else_s: None,
+                }];
+                if !dir.clause_nowait() {
+                    stmts.push(b::expr_stmt(b::call("ort_barrier", vec![])));
+                }
+                Ok(b::block(stmts))
+            }
+            DirKind::Master => {
+                let body = self.host_stmt(o.body.as_deref().unwrap_or(&Stmt::Empty), ctx)?;
+                Ok(Stmt::If {
+                    cond: b::bin(BinOp::Eq, b::call("omp_get_thread_num", vec![]), b::int(0)),
+                    then_s: Box::new(body),
+                    else_s: None,
+                })
+            }
+            DirKind::Critical => {
+                let name = dir
+                    .clauses
+                    .iter()
+                    .find_map(|c| match c {
+                        Clause::Name(n) => Some(n.clone()),
+                        _ => None,
+                    })
+                    .unwrap_or_default();
+                let body = self.host_stmt(o.body.as_deref().unwrap_or(&Stmt::Empty), ctx)?;
+                Ok(b::block(vec![
+                    b::expr_stmt(b::call(
+                        "ort_critical_enter",
+                        vec![b::e(ExprKind::StrLit(name.clone()))],
+                    )),
+                    body,
+                    b::expr_stmt(b::call("ort_critical_exit", vec![b::e(ExprKind::StrLit(name))])),
+                ]))
+            }
+            DirKind::Barrier => Ok(b::expr_stmt(b::call("ort_barrier", vec![]))),
+            DirKind::Teams
+            | DirKind::TeamsDistribute
+            | DirKind::TeamsDistributeParallelFor
+            | DirKind::Distribute
+            | DirKind::DistributeParallelFor => {
+                // Host-side teams degenerate to a single team.
+                let body = self.host_stmt(o.body.as_deref().unwrap_or(&Stmt::Empty), ctx)?;
+                Ok(body)
+            }
+            DirKind::Section => {
+                // Handled by lower_host_sections; a stray section runs inline.
+                self.host_stmt(o.body.as_deref().unwrap_or(&Stmt::Empty), ctx)
+            }
+            DirKind::DeclareTarget | DirKind::EndDeclareTarget => Ok(Stmt::Empty),
+            // All target-family kinds belong to the CUDA transform set.
+            _ => unreachable!("target-family directive fell through"),
+        }
+    }
+
+    fn lower_host_parallel(&mut self, o: &OmpStmt, ctx: &HostCtx<'_>) -> TResult<Stmt> {
+        let dir = &o.dir;
+        let body = o.body.as_deref().ok_or_else(|| err(o.pos, "parallel without a body"))?;
+        let hid = self.next_hostfn;
+        self.next_hostfn += 1;
+        let fn_name = format!("_hostFunc{}_{}", hid, ctx.fname);
+
+        let fvs = free_vars(body, ctx.frame);
+        let privates: Vec<String> = dir.privates().into_iter().cloned().collect();
+        let firstprivates: Vec<String> = dir.firstprivates().into_iter().cloned().collect();
+        let reductions: Vec<(RedOp, String)> =
+            dir.reductions().map(|(op, v)| (op, v.clone())).collect();
+
+        let (loops, inner) = if dir.kind == DirKind::ParallelFor {
+            let (l, bdy) = canonical_nest(body, dir.clause_collapse())?;
+            (l, bdy)
+        } else {
+            (Vec::new(), Stmt::Empty)
+        };
+        let loop_vars: Vec<&str> = loops.iter().map(|l| l.var.as_str()).collect();
+
+        #[derive(Debug)]
+        enum HKind {
+            Shared(Ty),
+            FirstPrivate(Ty),
+        }
+        let mut env: Vec<(String, HKind)> = Vec::new();
+        for fv in &fvs {
+            if loop_vars.contains(&fv.name.as_str()) || privates.contains(&fv.name) {
+                continue;
+            }
+            if firstprivates.contains(&fv.name) {
+                env.push((fv.name.clone(), HKind::FirstPrivate(fv.ty.clone())));
+            } else {
+                env.push((fv.name.clone(), HKind::Shared(fv.ty.clone())));
+            }
+        }
+
+        // Call site: build env array of addresses.
+        let env_name = self.tmp("henv");
+        let mut call_blk: Vec<Stmt> = Vec::new();
+        let nslots = env.len().max(1);
+        call_blk.push(b::decl(
+            &env_name,
+            Ty::Array(Box::new(Ty::Long), ArrayLen::Const(nslots as u64)),
+            None,
+        ));
+        let mut fp_copies: Vec<Stmt> = Vec::new();
+        for (i, (name, kind)) in env.iter().enumerate() {
+            let slot = b::index(b::ident(&env_name), b::int(i as i64));
+            match kind {
+                HKind::Shared(ty) => {
+                    // Arrays decay: store the pointer value; scalars: store
+                    // the address.
+                    let val = if ty.is_array() || ty.is_ptr() {
+                        long_cast(b::ident(name))
+                    } else {
+                        long_cast(b::addr_of(b::ident(name)))
+                    };
+                    call_blk.push(b::expr_stmt(b::assign(slot, val)));
+                }
+                HKind::FirstPrivate(ty) => {
+                    let cp = self.tmp("hfp");
+                    fp_copies.push(b::decl(&cp, ty.clone(), Some(b::ident(name))));
+                    call_blk
+                        .push(b::expr_stmt(b::assign(slot, long_cast(b::addr_of(b::ident(&cp))))));
+                }
+            }
+        }
+        let mut blk = fp_copies;
+        blk.extend(call_blk);
+        let nthr = match dir.clause_num_threads() {
+            Some(e) => e.clone(),
+            None => b::int(0),
+        };
+        blk.push(b::expr_stmt(b::call(
+            "ort_execute_parallel",
+            vec![
+                b::e(ExprKind::StrLit(fn_name.clone())),
+                b::cast(Ty::Long, b::ident(&env_name)),
+                nthr,
+            ],
+        )));
+
+        // Outlined function body.
+        let mut tbody: Vec<Stmt> = Vec::new();
+        let mut rename: HashMap<String, Expr> = HashMap::new();
+        for (i, (name, kind)) in env.iter().enumerate() {
+            let load = b::deref(b::cast(
+                Ty::Ptr(Box::new(Ty::Long)),
+                b::bin(BinOp::Add, b::ident("__envp"), b::int(8 * i as i64)),
+            ));
+            match kind {
+                HKind::Shared(ty) => {
+                    let d = ty.decayed();
+                    if d.is_ptr() {
+                        tbody.push(b::decl(name, d.clone(), Some(b::cast(d.clone(), load))));
+                    } else {
+                        let pname = format!("__shp_{name}");
+                        let pty = Ty::Ptr(Box::new(ty.clone()));
+                        tbody.push(b::decl(&pname, pty.clone(), Some(b::cast(pty, load))));
+                        rename.insert(name.clone(), b::deref(b::ident(&pname)));
+                    }
+                }
+                HKind::FirstPrivate(ty) => {
+                    let pty = Ty::Ptr(Box::new(ty.clone()));
+                    tbody.push(b::decl(name, ty.clone(), Some(b::deref(b::cast(pty, load)))));
+                }
+            }
+        }
+        for pv in &privates {
+            let ty = ctx
+                .frame
+                .slots
+                .iter()
+                .find(|sl| sl.name == *pv)
+                .map(|sl| sl.ty.clone())
+                .unwrap_or(Ty::Int);
+            tbody.push(b::decl(pv, ty, None));
+        }
+        let mut red_renames: HashMap<String, Expr> = HashMap::new();
+        for (op, rname) in &reductions {
+            let local = format!("__redl_{rname}");
+            let ty = ctx
+                .frame
+                .slots
+                .iter()
+                .find(|sl| sl.name == *rname)
+                .map(|sl| sl.ty.clone())
+                .unwrap_or(Ty::Float);
+            tbody.push(b::decl(&local, ty.clone(), Some(red_identity(*op, &ty))));
+            red_renames.insert(rname.clone(), b::ident(&local));
+        }
+
+        let pctx = HostCtx { fname: ctx.fname.clone(), frame: ctx.frame, in_parallel: true };
+        if dir.kind == DirKind::ParallelFor {
+            tbody.extend(self.host_ws_loop(&loops, &inner, dir, &red_renames, &rename, &pctx)?);
+        } else {
+            let mut body2 = body.clone();
+            rename_idents(&mut body2, &red_renames);
+            rename_idents(&mut body2, &rename);
+            tbody.push(self.host_stmt(&body2, &pctx)?);
+        }
+
+        // Reductions: fold under a critical.
+        if !reductions.is_empty() {
+            tbody.push(b::expr_stmt(b::call(
+                "ort_critical_enter",
+                vec![b::e(ExprKind::StrLit("__omp_reduction".into()))],
+            )));
+            for (op, rname) in &reductions {
+                let target = rename.get(rname).cloned().unwrap_or_else(|| b::ident(rname));
+                let local = b::ident(&format!("__redl_{rname}"));
+                tbody.push(host_red_fold(target, local, *op));
+            }
+            tbody.push(b::expr_stmt(b::call(
+                "ort_critical_exit",
+                vec![b::e(ExprKind::StrLit("__omp_reduction".into()))],
+            )));
+        }
+
+        self.host_fns.push(FuncDef {
+            sig: FuncSig {
+                name: fn_name,
+                ret: Ty::Void,
+                params: vec![Param { name: "__envp".into(), ty: Ty::Long, slot: u32::MAX }],
+                quals: FnQuals::default(),
+                pos: o.pos,
+            },
+            body: Block { stmts: tbody },
+            frame: FrameInfo::default(),
+            declare_target: false,
+        });
+        Ok(b::block(blk))
+    }
+
+    /// Worksharing loop on the host (inside a parallel region).
+    fn host_ws_loop(
+        &mut self,
+        loops: &[LoopInfo],
+        inner: &Stmt,
+        dir: &Directive,
+        red_renames: &HashMap<String, Expr>,
+        rename: &HashMap<String, Expr>,
+        ctx: &HostCtx<'_>,
+    ) -> TResult<Vec<Stmt>> {
+        let mut out = Vec::new();
+        let mut tc_names = Vec::new();
+        for (i, l) in loops.iter().enumerate() {
+            let n = format!("__htc{i}");
+            let mut tc = trip_count_expr(l);
+            rename_expr(&mut tc, red_renames);
+            rename_expr(&mut tc, rename);
+            out.push(b::decl(&n, Ty::Long, Some(long_cast(tc))));
+            tc_names.push(n);
+        }
+        let mut total = b::ident(&tc_names[0]);
+        for n in &tc_names[1..] {
+            total = b::bin(BinOp::Mul, total, b::ident(n));
+        }
+        out.push(b::decl("__htotal", Ty::Long, Some(total)));
+        out.push(b::decl("__hmylb", Ty::Long, None));
+        out.push(b::decl("__hmyub", Ty::Long, None));
+
+        let mut iter_body: Vec<Stmt> = Vec::new();
+        for (i, l) in loops.iter().enumerate() {
+            let mut div: Option<Expr> = None;
+            for n in &tc_names[i + 1..] {
+                div = Some(match div {
+                    None => b::ident(n),
+                    Some(d) => b::bin(BinOp::Mul, d, b::ident(n)),
+                });
+            }
+            let mut idx = b::ident("__hit");
+            if let Some(d) = div {
+                idx = b::bin(BinOp::Div, idx, d);
+            }
+            if i > 0 {
+                idx = b::bin(BinOp::Rem, idx, b::ident(&tc_names[i]));
+            }
+            let scaled = if l.step == 1 { idx } else { b::bin(BinOp::Mul, idx, b::int(l.step)) };
+            let mut lb = l.lb.clone();
+            rename_expr(&mut lb, red_renames);
+            rename_expr(&mut lb, rename);
+            iter_body.push(b::decl(
+                &l.var,
+                l.var_ty.clone(),
+                Some(b::bin(BinOp::Add, lb, b::cast(l.var_ty.clone(), scaled))),
+            ));
+        }
+        let mut inner2 = inner.clone();
+        rename_idents(&mut inner2, red_renames);
+        rename_idents(&mut inner2, rename);
+        iter_body.push(self.host_stmt(&inner2, ctx)?);
+
+        let make_for = |lo: Expr, hi: Expr, body: Vec<Stmt>| Stmt::For {
+            init: Some(Box::new(b::decl("__hit", Ty::Long, Some(lo)))),
+            cond: Some(b::bin(BinOp::Lt, b::ident("__hit"), hi)),
+            step: Some(b::e(ExprKind::IncDec {
+                pre: false,
+                inc: true,
+                expr: Box::new(b::ident("__hit")),
+            })),
+            body: Box::new(b::block(body)),
+        };
+
+        out.push(b::expr_stmt(b::call("ort_loop_begin", vec![b::ident("__htotal")])));
+        match dir.clause_schedule() {
+            Some((SchedKind::Dynamic, chunk)) => {
+                let chunk_e = chunk.cloned().unwrap_or_else(|| b::int(1));
+                out.push(Stmt::While {
+                    cond: b::call(
+                        "ort_dynamic_next",
+                        vec![
+                            long_cast(chunk_e),
+                            b::addr_of(b::ident("__hmylb")),
+                            b::addr_of(b::ident("__hmyub")),
+                        ],
+                    ),
+                    body: Box::new(make_for(b::ident("__hmylb"), b::ident("__hmyub"), iter_body)),
+                });
+            }
+            Some((SchedKind::Guided, chunk)) => {
+                let chunk_e = chunk.cloned().unwrap_or_else(|| b::int(1));
+                out.push(Stmt::While {
+                    cond: b::call(
+                        "ort_guided_next",
+                        vec![
+                            long_cast(chunk_e),
+                            b::addr_of(b::ident("__hmylb")),
+                            b::addr_of(b::ident("__hmyub")),
+                        ],
+                    ),
+                    body: Box::new(make_for(b::ident("__hmylb"), b::ident("__hmyub"), iter_body)),
+                });
+            }
+            sched => {
+                let chunk_e = match sched {
+                    Some((SchedKind::Static, Some(c))) => long_cast(c.clone()),
+                    _ => b::int(0),
+                };
+                out.push(b::expr_stmt(b::call(
+                    "ort_static_chunk",
+                    vec![chunk_e, b::addr_of(b::ident("__hmylb")), b::addr_of(b::ident("__hmyub"))],
+                )));
+                out.push(make_for(b::ident("__hmylb"), b::ident("__hmyub"), iter_body));
+            }
+        }
+        if !dir.clause_nowait() {
+            out.push(b::expr_stmt(b::call("ort_barrier", vec![])));
+        }
+        Ok(out)
+    }
+
+    /// Orphaned / in-parallel `for` on the host.
+    fn lower_host_for(&mut self, o: &OmpStmt, ctx: &HostCtx<'_>) -> TResult<Stmt> {
+        let (loops, inner) =
+            canonical_nest(o.body.as_deref().unwrap_or(&Stmt::Empty), o.dir.clause_collapse())?;
+        let ws =
+            self.host_ws_loop(&loops, &inner, &o.dir, &HashMap::new(), &HashMap::new(), ctx)?;
+        Ok(b::block(ws))
+    }
+
+    fn lower_host_sections(&mut self, o: &OmpStmt, ctx: &HostCtx<'_>) -> TResult<Stmt> {
+        let sections = collect_sections(o.body.as_deref().unwrap_or(&Stmt::Empty));
+        let n = sections.len() as i64;
+        let sname = self.tmp("hs");
+        let mut dispatch: Option<Stmt> = None;
+        for (i, sec) in sections.into_iter().enumerate().rev() {
+            let sec = self.host_stmt(&sec, ctx)?;
+            dispatch = Some(Stmt::If {
+                cond: b::bin(BinOp::Eq, b::ident(&sname), b::int(i as i64)),
+                then_s: Box::new(sec),
+                else_s: dispatch.map(Box::new),
+            });
+        }
+        let mut stmts = vec![
+            b::expr_stmt(b::call("ort_sections_begin", vec![b::int(n)])),
+            b::decl(&sname, Ty::Long, None),
+            Stmt::While {
+                cond: b::bin(
+                    BinOp::Ge,
+                    b::assign(b::ident(&sname), b::call("ort_sections_next", vec![])),
+                    b::int(0),
+                ),
+                body: Box::new(dispatch.unwrap_or(Stmt::Empty)),
+            },
+        ];
+        if !o.dir.clause_nowait() {
+            stmts.push(b::expr_stmt(b::call("ort_barrier", vec![])));
+        }
+        Ok(b::block(stmts))
+    }
+}

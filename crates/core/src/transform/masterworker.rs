@@ -1,0 +1,757 @@
+//! Pipeline pass: **master/worker lowering** (§3.2, Fig. 3).
+//!
+//! Kernel bodies for target regions with stand-alone `parallel`
+//! constructs: one master warp executes the region sequentially; the other
+//! warps run `cudadev_workerfunc` waiting for parallel regions. A
+//! `parallel` construct outlines its body into a `thrFunc`, pushes shared
+//! variables onto the device shared-memory stack, and registers the region
+//! with the workers (Fig. 3b). Worksharing constructs inside such regions
+//! split iterations with the `cudadev_get_*_chunk` primitives.
+
+use std::collections::HashMap;
+
+use minic::ast::build as b;
+use minic::ast::*;
+use minic::omp::{Clause, DirKind, Directive, RedOp, SchedKind};
+use minic::sema::FrameInfo;
+use minic::token::Pos;
+use minic::types::{ArrayLen, Ty};
+
+use crate::analyze::*;
+
+use super::util::{
+    collect_declared_names, collect_expr_names, collect_sections, collect_used_names, find_decl_ty,
+    red_fold_stmt, red_identity, rename_expr, rename_idents,
+};
+use super::{err, long_cast, sizeof_expr, trip_count_expr, DeviceCtx, Translator, VarRole};
+
+impl<'p> Translator<'p> {
+    /// Kernel body for the master/worker scheme (§3.2, Fig. 3).
+    pub(crate) fn master_worker_kernel_body(
+        &mut self,
+        body: &Stmt,
+        roles: &[(String, Ty, VarRole)],
+        scalar_writebacks: &[String],
+        pos: Pos,
+        kprog: &mut Program,
+    ) -> TResult<Vec<Stmt>> {
+        // Lower the target body in "device master" context, tracking the
+        // master's local declarations so inner parallel regions can share
+        // them through the shared-memory stack.
+        let dctx = DeviceCtx { roles: roles.to_vec(), pos };
+        let mut decls: Vec<(String, Ty)> = Vec::new();
+        let lowered = self.device_stmt(body, &dctx, kprog, &mut decls)?;
+
+        let mut master = vec![
+            Stmt::If {
+                cond: b::e(ExprKind::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(b::call("cudadev_is_masterthr", vec![b::ident("_mw_thrid")])),
+                }),
+                then_s: Box::new(Stmt::Return(None)),
+                else_s: None,
+            },
+            lowered,
+        ];
+        // Final values of written-back mapped scalars go to their device
+        // buffers before the region ends.
+        for name in scalar_writebacks {
+            master.push(b::expr_stmt(b::assign(
+                b::deref(b::ident(&format!("__out_{name}"))),
+                b::ident(name),
+            )));
+        }
+        master.push(b::expr_stmt(b::call("cudadev_exit_target", vec![])));
+        Ok(vec![
+            b::decl("_mw_thrid", Ty::Int, Some(b::member(b::ident("threadIdx"), "x"))),
+            Stmt::If {
+                cond: b::call("cudadev_in_masterwarp", vec![b::ident("_mw_thrid")]),
+                then_s: Box::new(b::block(master)),
+                else_s: Some(Box::new(b::expr_stmt(b::call(
+                    "cudadev_workerfunc",
+                    vec![b::ident("_mw_thrid")],
+                )))),
+            },
+        ])
+    }
+
+    /// Lower a statement inside a master/worker target region (the master
+    /// thread executes it sequentially; parallel constructs spawn regions).
+    fn device_stmt(
+        &mut self,
+        s: &Stmt,
+        ctx: &DeviceCtx,
+        kprog: &mut Program,
+        decls: &mut Vec<(String, Ty)>,
+    ) -> TResult<Stmt> {
+        if let Stmt::Decl(d) = s {
+            decls.push((d.name.clone(), d.ty.clone()));
+        }
+        match s {
+            Stmt::Omp(o) => match o.dir.kind {
+                DirKind::Parallel | DirKind::ParallelFor => {
+                    self.device_parallel(o, ctx, kprog, decls)
+                }
+                DirKind::For => {
+                    // Orphaned worksharing loop outside a parallel region:
+                    // the master runs it sequentially.
+                    Ok(o.body.as_deref().cloned().unwrap_or(Stmt::Empty))
+                }
+                DirKind::Single | DirKind::Master => {
+                    Ok(o.body.as_deref().cloned().unwrap_or(Stmt::Empty))
+                }
+                DirKind::Barrier => Ok(Stmt::Empty), // master-only code
+                DirKind::Critical => Ok(o.body.as_deref().cloned().unwrap_or(Stmt::Empty)),
+                other => Err(err(
+                    o.pos,
+                    format!(
+                        "directive `{}` is not supported inside a target region",
+                        other.spelling()
+                    ),
+                )),
+            },
+            Stmt::Block(bl) => {
+                let mut out = Vec::new();
+                for st in &bl.stmts {
+                    out.push(self.device_stmt(st, ctx, kprog, decls)?);
+                }
+                Ok(Stmt::Block(Block { stmts: out }))
+            }
+            Stmt::If { cond, then_s, else_s } => Ok(Stmt::If {
+                cond: cond.clone(),
+                then_s: Box::new(self.device_stmt(then_s, ctx, kprog, decls)?),
+                else_s: match else_s {
+                    Some(e) => Some(Box::new(self.device_stmt(e, ctx, kprog, decls)?)),
+                    None => None,
+                },
+            }),
+            Stmt::For { init, cond, step, body } => Ok(Stmt::For {
+                init: init.clone(),
+                cond: cond.clone(),
+                step: step.clone(),
+                body: Box::new(self.device_stmt(body, ctx, kprog, decls)?),
+            }),
+            Stmt::While { cond, body } => Ok(Stmt::While {
+                cond: cond.clone(),
+                body: Box::new(self.device_stmt(body, ctx, kprog, decls)?),
+            }),
+            other => Ok(other.clone()),
+        }
+    }
+
+    /// Lower a stand-alone `parallel` / `parallel for` inside a target
+    /// region: outline a thrFunc, push shared variables to the
+    /// shared-memory stack, register with the worker warps (Fig. 3b).
+    fn device_parallel(
+        &mut self,
+        o: &OmpStmt,
+        ctx: &DeviceCtx,
+        kprog: &mut Program,
+        master_decls: &[(String, Ty)],
+    ) -> TResult<Stmt> {
+        let dir = &o.dir;
+        let body = o.body.as_deref().ok_or_else(|| err(o.pos, "parallel without a body"))?;
+        let fn_id = self.tmp("thrFunc");
+        let thr_name = format!("_{}", fn_id.trim_start_matches("__"));
+
+        // Free variables of the parallel region, seen from the kernel body:
+        // kernel parameters (roles) and master locals. We re-scan by name.
+        let mut used: Vec<String> = Vec::new();
+        collect_used_names(body, &mut used);
+        for_each_clause_expr(dir, &mut |e| collect_expr_names(e, &mut used));
+        used.sort();
+        used.dedup();
+
+        let privates: Vec<String> = dir.privates().into_iter().cloned().collect();
+        let firstprivates: Vec<String> = dir.firstprivates().into_iter().cloned().collect();
+        let reductions: Vec<(RedOp, String)> =
+            dir.reductions().map(|(op, v)| (op, v.clone())).collect();
+
+        // Loop var (parallel for) is private.
+        let (loops, inner) = if dir.kind == DirKind::ParallelFor {
+            let collapse = dir.clause_collapse();
+            let (l, bdy) = canonical_nest(body, collapse)?;
+            (l, bdy)
+        } else {
+            (Vec::new(), Stmt::Empty)
+        };
+        let loop_vars: Vec<&str> = loops.iter().map(|l| l.var.as_str()).collect();
+
+        // Declared names inside the region are not free.
+        let mut declared: Vec<String> = Vec::new();
+        collect_declared_names(body, &mut declared);
+
+        // Partition the used names into env entries.
+        #[derive(Debug)]
+        enum EnvKind {
+            /// Kernel pointer param or pointer local: pass the pointer value.
+            PtrValue(Ty),
+            /// Shared scalar: push its address, rewrite to deref.
+            SharedScalar(Ty),
+            /// Value scalar copy (kernel firstprivate params).
+            ValueScalar(Ty),
+        }
+        let mut env: Vec<(String, EnvKind)> = Vec::new();
+        for name in &used {
+            if loop_vars.contains(&name.as_str())
+                || privates.contains(name)
+                || declared.contains(name)
+                || name == "threadIdx"
+                || name == "blockIdx"
+                || name == "blockDim"
+                || name == "gridDim"
+            {
+                continue;
+            }
+            // Reduction accumulators are always shared (the region folds
+            // into them atomically).
+            if reductions.iter().any(|(_, r)| r == name) {
+                let ty = ctx
+                    .roles
+                    .iter()
+                    .find(|(n, ..)| n == name)
+                    .map(|(_, t, _)| t.clone())
+                    .or_else(|| find_decl_ty(master_decls, name))
+                    .unwrap_or(Ty::Float);
+                env.push((name.clone(), EnvKind::SharedScalar(ty)));
+                continue;
+            }
+            // Explicit firstprivate: per-thread copy of the master's value.
+            if firstprivates.contains(name) {
+                let ty = ctx
+                    .roles
+                    .iter()
+                    .find(|(n, ..)| n == name)
+                    .map(|(_, t, _)| t.clone())
+                    .or_else(|| find_decl_ty(master_decls, name))
+                    .unwrap_or(Ty::Int);
+                env.push((name.clone(), EnvKind::ValueScalar(ty)));
+                continue;
+            }
+            // Kernel parameter?
+            if let Some((_, ty, role)) = ctx.roles.iter().find(|(n, ..)| n == name) {
+                match role {
+                    VarRole::Mapped { param_ty, .. } => {
+                        env.push((name.clone(), EnvKind::PtrValue(param_ty.clone())));
+                    }
+                    // Scalars are *shared* in a parallel region (OpenMP
+                    // default): the region writes through to the master's
+                    // copy via the shared-memory stack.
+                    VarRole::FirstPrivate => {
+                        env.push((name.clone(), EnvKind::SharedScalar(ty.clone())));
+                    }
+                    VarRole::Reduction(_) => {
+                        env.push((name.clone(), EnvKind::SharedScalar(ty.clone())));
+                    }
+                }
+                continue;
+            }
+            // Master local (declared in the target body, outside this
+            // region): shared through the shared-memory stack.
+            if let Some(ty) = find_decl_ty(master_decls, name) {
+                if ty.decayed().is_ptr() {
+                    env.push((name.clone(), EnvKind::PtrValue(ty.decayed())));
+                } else {
+                    env.push((name.clone(), EnvKind::SharedScalar(ty)));
+                }
+                continue;
+            }
+            // Unknown name: probably a function — ignore.
+        }
+
+        // Reduction vars already covered as SharedScalar via roles; for
+        // master-local reductions add them.
+        for (_, rname) in &reductions {
+            if !env.iter().any(|(n, _)| n == rname) {
+                if let Some(ty) = find_decl_ty(master_decls, rname) {
+                    env.push((rname.clone(), EnvKind::SharedScalar(ty)));
+                }
+            }
+        }
+
+        // ---- registration block (master side) ----
+        let vars_name = self.tmp("vars");
+        let vp_name = self.tmp("vp");
+        let nslots = env.len().max(1);
+        let mut reg: Vec<Stmt> = Vec::new();
+        reg.push(b::decl(
+            &vars_name,
+            Ty::Array(Box::new(Ty::Long), ArrayLen::Const(nslots as u64)),
+            None,
+        ));
+        let mut pushes: Vec<(String, Expr, Expr)> = Vec::new(); // (kind, addr, size) for pops
+        let mut copies: Vec<Stmt> = Vec::new();
+        for (i, (name, kind)) in env.iter().enumerate() {
+            let slot_lhs = b::index(b::ident(&vars_name), b::int(i as i64));
+            match kind {
+                EnvKind::PtrValue(_) => {
+                    reg.push(b::expr_stmt(b::assign(
+                        slot_lhs,
+                        long_cast(b::call("cudadev_getaddr", vec![b::ident(name)])),
+                    )));
+                }
+                EnvKind::SharedScalar(ty) => {
+                    reg.push(b::expr_stmt(b::assign(
+                        slot_lhs,
+                        long_cast(b::call(
+                            "cudadev_push_shmem",
+                            vec![b::addr_of(b::ident(name)), sizeof_expr(ty)],
+                        )),
+                    )));
+                    pushes.push((name.clone(), b::addr_of(b::ident(name)), sizeof_expr(ty)));
+                }
+                EnvKind::ValueScalar(ty) => {
+                    // Copy the value so its address can be pushed.
+                    let cp = self.tmp("cp");
+                    copies.push(b::decl(&cp, ty.clone(), Some(b::ident(name))));
+                    reg.push(b::expr_stmt(b::assign(
+                        slot_lhs,
+                        long_cast(b::call(
+                            "cudadev_push_shmem",
+                            vec![b::addr_of(b::ident(&cp)), sizeof_expr(ty)],
+                        )),
+                    )));
+                    pushes.push((cp.clone(), b::addr_of(b::ident(&cp)), sizeof_expr(ty)));
+                }
+            }
+        }
+        let mut block: Vec<Stmt> = copies;
+        block.extend(reg);
+        // Push the vars array itself so the workers can reach it.
+        block.push(b::decl(
+            &vp_name,
+            Ty::Long,
+            Some(long_cast(b::call(
+                "cudadev_push_shmem",
+                vec![
+                    b::addr_of(b::index(b::ident(&vars_name), b::int(0))),
+                    b::int(8 * nslots as i64),
+                ],
+            ))),
+        ));
+        let nthr = match dir.clause_num_threads() {
+            Some(e) => e.clone(),
+            None => b::int(crate::MW_WORKERS as i64),
+        };
+        block.push(b::expr_stmt(b::call(
+            "cudadev_register_parallel",
+            vec![b::ident(&thr_name), b::ident(&vp_name), nthr],
+        )));
+        block.push(b::expr_stmt(b::call(
+            "cudadev_pop_shmem",
+            vec![b::addr_of(b::index(b::ident(&vars_name), b::int(0))), b::int(8 * nslots as i64)],
+        )));
+        for (_, addr, size) in pushes.iter().rev() {
+            block
+                .push(b::expr_stmt(b::call("cudadev_pop_shmem", vec![addr.clone(), size.clone()])));
+        }
+
+        // ---- thrFunc (worker side) ----
+        let mut tbody: Vec<Stmt> = Vec::new();
+        let mut rename: HashMap<String, Expr> = HashMap::new();
+        for (i, (name, kind)) in env.iter().enumerate() {
+            let load = b::deref(b::cast(
+                Ty::Ptr(Box::new(Ty::Long)),
+                b::bin(BinOp::Add, b::ident("__envp"), b::int(8 * i as i64)),
+            ));
+            match kind {
+                EnvKind::PtrValue(pty) => {
+                    tbody.push(b::decl(name, pty.clone(), Some(b::cast(pty.clone(), load))));
+                }
+                EnvKind::SharedScalar(ty) => {
+                    let pname = format!("__shp_{name}");
+                    let pty = Ty::Ptr(Box::new(ty.clone()));
+                    tbody.push(b::decl(&pname, pty.clone(), Some(b::cast(pty, load))));
+                    rename.insert(name.clone(), b::deref(b::ident(&pname)));
+                }
+                EnvKind::ValueScalar(ty) => {
+                    let pty = Ty::Ptr(Box::new(ty.clone()));
+                    tbody.push(b::decl(name, ty.clone(), Some(b::deref(b::cast(pty, load)))));
+                }
+            }
+        }
+        // Privates.
+        for pv in &privates {
+            let ty = find_decl_ty(master_decls, pv).unwrap_or(Ty::Int);
+            tbody.push(b::decl(pv, ty, None));
+        }
+        // Reduction locals (shadow the shared name inside the loop body).
+        let mut red_renames: HashMap<String, Expr> = HashMap::new();
+        for (op, rname) in &reductions {
+            let local = format!("__redl_{rname}");
+            let ty = ctx
+                .roles
+                .iter()
+                .find(|(n, ..)| n == rname)
+                .map(|(_, t, _)| t.clone())
+                .or_else(|| find_decl_ty(master_decls, rname))
+                .unwrap_or(Ty::Float);
+            tbody.push(b::decl(&local, ty.clone(), Some(red_identity(*op, &ty))));
+            red_renames.insert(rname.clone(), b::ident(&local));
+        }
+
+        if dir.kind == DirKind::ParallelFor {
+            tbody.extend(self.region_worksharing_loop(
+                &loops,
+                &inner,
+                dir,
+                &red_renames,
+                &rename,
+            )?);
+        } else {
+            let mut body2 = body.clone();
+            rename_idents(&mut body2, &red_renames);
+            rename_idents(&mut body2, &rename);
+            let lowered = self.region_stmt(&body2)?;
+            tbody.push(lowered);
+        }
+
+        // Fold reductions into shared accumulators.
+        for (op, rname) in &reductions {
+            let ty = ctx
+                .roles
+                .iter()
+                .find(|(n, ..)| n == rname)
+                .map(|(_, t, _)| t.clone())
+                .or_else(|| find_decl_ty(master_decls, rname))
+                .unwrap_or(Ty::Float);
+            let target_addr = if let Some(r) = rename.get(rname) {
+                // (*__shp_r) → &(*__shp_r)
+                b::addr_of(r.clone())
+            } else {
+                b::addr_of(b::ident(rname))
+            };
+            tbody.push(red_fold_stmt(target_addr, b::ident(&format!("__redl_{rname}")), &ty, *op));
+        }
+
+        kprog.items.push(Item::Func(FuncDef {
+            sig: FuncSig {
+                name: thr_name.clone(),
+                ret: Ty::Void,
+                params: vec![Param { name: "__envp".into(), ty: Ty::Long, slot: u32::MAX }],
+                quals: FnQuals { global: false, device: true },
+                pos: o.pos,
+            },
+            body: Block { stmts: tbody },
+            frame: FrameInfo::default(),
+            declare_target: false,
+        }));
+
+        Ok(b::block(block))
+    }
+
+    /// Worksharing loop inside a device parallel region.
+    pub(crate) fn region_worksharing_loop(
+        &mut self,
+        loops: &[LoopInfo],
+        inner: &Stmt,
+        dir: &Directive,
+        red_renames: &HashMap<String, Expr>,
+        rename: &HashMap<String, Expr>,
+    ) -> TResult<Vec<Stmt>> {
+        let mut out = Vec::new();
+        let mut tc_names = Vec::new();
+        for (i, l) in loops.iter().enumerate() {
+            let n = format!("__rtc{i}");
+            let mut tc = trip_count_expr(l);
+            // Bounds may reference shared/renamed vars.
+            rename_expr(&mut tc, red_renames);
+            rename_expr(&mut tc, rename);
+            out.push(b::decl(&n, Ty::Long, Some(long_cast(tc))));
+            tc_names.push(n);
+        }
+        let mut total = b::ident(&tc_names[0]);
+        for n in &tc_names[1..] {
+            total = b::bin(BinOp::Mul, total, b::ident(n));
+        }
+        out.push(b::decl("__rtotal", Ty::Long, Some(total)));
+        out.push(b::decl("__rmylb", Ty::Long, None));
+        out.push(b::decl("__rmyub", Ty::Long, None));
+
+        let mut iter_body: Vec<Stmt> = Vec::new();
+        for (i, l) in loops.iter().enumerate() {
+            let mut div: Option<Expr> = None;
+            for n in &tc_names[i + 1..] {
+                div = Some(match div {
+                    None => b::ident(n),
+                    Some(d) => b::bin(BinOp::Mul, d, b::ident(n)),
+                });
+            }
+            let mut idx = b::ident("__rit");
+            if let Some(d) = div {
+                idx = b::bin(BinOp::Div, idx, d);
+            }
+            if i > 0 {
+                idx = b::bin(BinOp::Rem, idx, b::ident(&tc_names[i]));
+            }
+            let scaled = if l.step == 1 { idx } else { b::bin(BinOp::Mul, idx, b::int(l.step)) };
+            let mut lb = l.lb.clone();
+            rename_expr(&mut lb, red_renames);
+            rename_expr(&mut lb, rename);
+            let val = b::bin(BinOp::Add, lb, b::cast(l.var_ty.clone(), scaled));
+            iter_body.push(b::decl(&l.var, l.var_ty.clone(), Some(val)));
+        }
+        let mut inner2 = inner.clone();
+        rename_idents(&mut inner2, red_renames);
+        rename_idents(&mut inner2, rename);
+        iter_body.push(self.region_stmt(&inner2)?);
+
+        let make_for = |lo: Expr, hi: Expr, body: Vec<Stmt>| Stmt::For {
+            init: Some(Box::new(b::decl("__rit", Ty::Long, Some(lo)))),
+            cond: Some(b::bin(BinOp::Lt, b::ident("__rit"), hi)),
+            step: Some(b::e(ExprKind::IncDec {
+                pre: false,
+                inc: true,
+                expr: Box::new(b::ident("__rit")),
+            })),
+            body: Box::new(b::block(body)),
+        };
+
+        match dir.clause_schedule() {
+            Some((SchedKind::Dynamic, chunk)) => {
+                let chunk_e = chunk.cloned().unwrap_or_else(|| b::int(1));
+                out.push(Stmt::If {
+                    cond: b::bin(BinOp::Eq, b::call("omp_get_thread_num", vec![]), b::int(0)),
+                    then_s: Box::new(b::expr_stmt(b::call("cudadev_sched_reset", vec![]))),
+                    else_s: None,
+                });
+                out.push(b::expr_stmt(b::call("cudadev_barrier", vec![])));
+                out.push(Stmt::While {
+                    cond: b::call(
+                        "cudadev_get_dynamic_chunk",
+                        vec![
+                            b::int(0),
+                            b::ident("__rtotal"),
+                            long_cast(chunk_e),
+                            b::addr_of(b::ident("__rmylb")),
+                            b::addr_of(b::ident("__rmyub")),
+                        ],
+                    ),
+                    body: Box::new(make_for(b::ident("__rmylb"), b::ident("__rmyub"), iter_body)),
+                });
+            }
+            Some((SchedKind::Guided, chunk)) => {
+                let chunk_e = chunk.cloned().unwrap_or_else(|| b::int(1));
+                out.push(Stmt::If {
+                    cond: b::bin(BinOp::Eq, b::call("omp_get_thread_num", vec![]), b::int(0)),
+                    then_s: Box::new(b::expr_stmt(b::call("cudadev_sched_reset", vec![]))),
+                    else_s: None,
+                });
+                out.push(b::expr_stmt(b::call("cudadev_barrier", vec![])));
+                out.push(Stmt::While {
+                    cond: b::call(
+                        "cudadev_get_guided_chunk",
+                        vec![
+                            b::int(0),
+                            b::ident("__rtotal"),
+                            long_cast(chunk_e),
+                            b::addr_of(b::ident("__rmylb")),
+                            b::addr_of(b::ident("__rmyub")),
+                        ],
+                    ),
+                    body: Box::new(make_for(b::ident("__rmylb"), b::ident("__rmyub"), iter_body)),
+                });
+            }
+            sched => {
+                let chunk_e = match sched {
+                    Some((SchedKind::Static, Some(c))) => long_cast(c.clone()),
+                    _ => b::int(0),
+                };
+                out.push(b::expr_stmt(b::call(
+                    "cudadev_get_static_chunk",
+                    vec![
+                        b::int(0),
+                        b::ident("__rtotal"),
+                        chunk_e,
+                        b::addr_of(b::ident("__rmylb")),
+                        b::addr_of(b::ident("__rmyub")),
+                    ],
+                )));
+                out.push(make_for(b::ident("__rmylb"), b::ident("__rmyub"), iter_body));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Lower OpenMP constructs inside a device parallel region (workers).
+    fn region_stmt(&mut self, s: &Stmt) -> TResult<Stmt> {
+        match s {
+            Stmt::Omp(o) => match o.dir.kind {
+                DirKind::Barrier => Ok(b::expr_stmt(b::call("cudadev_barrier", vec![]))),
+                DirKind::Critical => {
+                    let name = o
+                        .dir
+                        .clauses
+                        .iter()
+                        .find_map(|c| match c {
+                            Clause::Name(n) => Some(n.clone()),
+                            _ => None,
+                        })
+                        .unwrap_or_default();
+                    let id = self.critical_id(&name);
+                    let body = self.region_stmt(o.body.as_deref().unwrap_or(&Stmt::Empty))?;
+                    // Per-thread mutual exclusion on a SIMT machine: lanes of
+                    // a warp run in lockstep, so the critical section is
+                    // serialized across lanes by divergence (§4.2.2: "warp
+                    // divergence takes place when threads belonging to the
+                    // same warp take different execution paths") — one lane
+                    // per iteration holds the CAS lock.
+                    let lc = self.tmp("lane");
+                    let guarded = b::block(vec![
+                        b::expr_stmt(b::call("cudadev_critical_enter", vec![b::int(id)])),
+                        body,
+                        b::expr_stmt(b::call("cudadev_critical_exit", vec![b::int(id)])),
+                    ]);
+                    Ok(Stmt::For {
+                        init: Some(Box::new(b::decl(&lc, Ty::Int, Some(b::int(0))))),
+                        cond: Some(b::bin(BinOp::Lt, b::ident(&lc), b::int(32))),
+                        step: Some(b::e(ExprKind::IncDec {
+                            pre: false,
+                            inc: true,
+                            expr: Box::new(b::ident(&lc)),
+                        })),
+                        body: Box::new(Stmt::If {
+                            cond: b::bin(
+                                BinOp::Eq,
+                                b::bin(
+                                    BinOp::Rem,
+                                    b::call("omp_get_thread_num", vec![]),
+                                    b::int(32),
+                                ),
+                                b::ident(&lc),
+                            ),
+                            then_s: Box::new(guarded),
+                            else_s: None,
+                        }),
+                    })
+                }
+                DirKind::Single => {
+                    let body = self.region_stmt(o.body.as_deref().unwrap_or(&Stmt::Empty))?;
+                    let mut stmts = vec![
+                        Stmt::If {
+                            cond: b::bin(
+                                BinOp::Eq,
+                                b::call("omp_get_thread_num", vec![]),
+                                b::int(0),
+                            ),
+                            then_s: Box::new(b::expr_stmt(b::call("cudadev_single_reset", vec![]))),
+                            else_s: None,
+                        },
+                        Stmt::If {
+                            cond: b::call("cudadev_single_enter", vec![]),
+                            then_s: Box::new(body),
+                            else_s: None,
+                        },
+                    ];
+                    if !o.dir.clause_nowait() {
+                        stmts.push(b::expr_stmt(b::call("cudadev_barrier", vec![])));
+                    }
+                    Ok(b::block(stmts))
+                }
+                DirKind::Master => {
+                    let body = self.region_stmt(o.body.as_deref().unwrap_or(&Stmt::Empty))?;
+                    Ok(Stmt::If {
+                        cond: b::bin(BinOp::Eq, b::call("omp_get_thread_num", vec![]), b::int(0)),
+                        then_s: Box::new(body),
+                        else_s: None,
+                    })
+                }
+                DirKind::Sections => {
+                    let sections = collect_sections(o.body.as_deref().unwrap_or(&Stmt::Empty));
+                    let n = sections.len() as i64;
+                    let sname = self.tmp("s");
+                    let mut dispatch: Option<Stmt> = None;
+                    for (i, sec) in sections.into_iter().enumerate().rev() {
+                        let sec = self.region_stmt(&sec)?;
+                        dispatch = Some(Stmt::If {
+                            cond: b::bin(BinOp::Eq, b::ident(&sname), b::int(i as i64)),
+                            then_s: Box::new(sec),
+                            else_s: dispatch.map(Box::new),
+                        });
+                    }
+                    let mut stmts = vec![
+                        Stmt::If {
+                            cond: b::bin(
+                                BinOp::Eq,
+                                b::call("omp_get_thread_num", vec![]),
+                                b::int(0),
+                            ),
+                            then_s: Box::new(b::expr_stmt(b::call(
+                                "cudadev_sections_reset",
+                                vec![],
+                            ))),
+                            else_s: None,
+                        },
+                        b::expr_stmt(b::call("cudadev_barrier", vec![])),
+                        b::decl(&sname, Ty::Int, None),
+                        Stmt::While {
+                            cond: b::bin(
+                                BinOp::Ge,
+                                b::assign(
+                                    b::ident(&sname),
+                                    b::call("cudadev_sections_next", vec![b::int(n)]),
+                                ),
+                                b::int(0),
+                            ),
+                            body: Box::new(dispatch.unwrap_or(Stmt::Empty)),
+                        },
+                    ];
+                    if !o.dir.clause_nowait() {
+                        stmts.push(b::expr_stmt(b::call("cudadev_barrier", vec![])));
+                    }
+                    Ok(b::block(stmts))
+                }
+                DirKind::For => {
+                    // Worksharing loop using the region's threads.
+                    let collapse = o.dir.clause_collapse();
+                    let (loops, inner) =
+                        canonical_nest(o.body.as_deref().unwrap_or(&Stmt::Empty), collapse)?;
+                    let ws = self.region_worksharing_loop(
+                        &loops,
+                        &inner,
+                        &o.dir,
+                        &HashMap::new(),
+                        &HashMap::new(),
+                    )?;
+                    let mut out = vec![b::block(ws)];
+                    if !o.dir.clause_nowait() {
+                        out.push(b::expr_stmt(b::call("cudadev_barrier", vec![])));
+                    }
+                    Ok(b::block(out))
+                }
+                other => Err(err(
+                    o.pos,
+                    format!(
+                        "directive `{}` is not supported inside a device parallel region",
+                        other.spelling()
+                    ),
+                )),
+            },
+            Stmt::Block(bl) => {
+                let mut out = Vec::new();
+                for st in &bl.stmts {
+                    out.push(self.region_stmt(st)?);
+                }
+                Ok(Stmt::Block(Block { stmts: out }))
+            }
+            Stmt::If { cond, then_s, else_s } => Ok(Stmt::If {
+                cond: cond.clone(),
+                then_s: Box::new(self.region_stmt(then_s)?),
+                else_s: match else_s {
+                    Some(e) => Some(Box::new(self.region_stmt(e)?)),
+                    None => None,
+                },
+            }),
+            Stmt::For { init, cond, step, body } => Ok(Stmt::For {
+                init: init.clone(),
+                cond: cond.clone(),
+                step: step.clone(),
+                body: Box::new(self.region_stmt(body)?),
+            }),
+            Stmt::While { cond, body } => {
+                Ok(Stmt::While { cond: cond.clone(), body: Box::new(self.region_stmt(body)?) })
+            }
+            other => Ok(other.clone()),
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! The OMPi transformation phase (§3): AST→AST rewriting of OpenMP
+//! constructs, organized as an explicit **pass pipeline** over the paper's
+//! two *transformation sets*:
+//!
+//! * the **CUDA set** ([`CudaTransformSet`]) — `target`-family constructs
+//!   run through the pipeline's device passes: [`outline`] extracts the
+//!   region and classifies its variables, [`dataenv`] lowers the device
+//!   data environment to `__dev_*` runtime calls (with `device()` routing
+//!   and graceful host fallback), [`combined`] maps combined
+//!   `target teams distribute parallel for` constructs to grid launches
+//!   with two-phase iteration distribution (§3.1), [`masterworker`]
+//!   lowers regions with stand-alone `parallel` constructs to the
+//!   master/worker scheme of §3.2 (Fig. 3), and kernel emission
+//!   pretty-prints the separate kernel file (§3.3).
+//! * the **general-purpose set** ([`GeneralPurposeTransformSet`]) — host
+//!   `parallel`/worksharing constructs are outlined into host thread
+//!   functions driven by the `hostomp` runtime ([`hostset`]).
+//!
+//! The rewritten host program calls runtime entry points by name
+//! (`__dev_*`, `ort_*`), which the [`crate::runner`] wires to the real
+//! runtimes through interpreter hooks. Every `__dev_*` call carries a
+//! leading device-id argument (from the `device()` clause, `-1` = the
+//! default-device ICV) so the runner can route regions across the device
+//! registry.
+
+use std::collections::HashMap;
+
+use minic::ast::build as b;
+use minic::ast::*;
+use minic::omp::{DirKind, MapKind as OmpMapKind, RedOp};
+use minic::pretty;
+use minic::sema::FrameInfo;
+use minic::token::Pos;
+use minic::types::Ty;
+
+use crate::analyze::*;
+
+mod combined;
+mod dataenv;
+mod hostset;
+mod masterworker;
+mod outline;
+mod util;
+
+pub(crate) use util::{err, long_cast, sizeof_expr};
+pub use util::{rename_expr, rename_idents, trip_count_expr};
+
+/// One resolved `map` clause item:
+/// `(name, kind, base address expr, byte-length expr, mapped type)`.
+pub(crate) type MapItem = (String, OmpMapKind, Expr, Expr, Ty);
+
+/// A generated kernel file.
+#[derive(Clone, Debug)]
+pub struct KernelFile {
+    pub id: u32,
+    /// Module name (= file stem of the emitted `.cu`).
+    pub module_name: String,
+    /// Entry kernel function.
+    pub kernel_fn: String,
+    /// CUDA C source text (the paper's separate kernel file, §3.3).
+    pub c_text: String,
+    /// Whether it uses the master/worker scheme.
+    pub master_worker: bool,
+}
+
+/// The result of translating one program.
+#[derive(Clone, Debug)]
+pub struct Translation {
+    /// The lowered host program (pragma-free; calls runtime functions).
+    pub host: Program,
+    pub kernels: Vec<KernelFile>,
+}
+
+// ============================================================== pipeline
+
+/// Static description of one pipeline pass.
+#[derive(Clone, Copy, Debug)]
+pub struct PassInfo {
+    pub name: &'static str,
+    pub description: &'static str,
+}
+
+/// The device-lowering passes, in the order a target region flows through
+/// them.
+pub const PASSES: [PassInfo; 5] = [
+    PassInfo {
+        name: "outline",
+        description: "extract the target region, classify free variables, build kernel parameters",
+    },
+    PassInfo {
+        name: "combined",
+        description:
+            "lower combined target loops to grid launches with chunked distribution (§3.1)",
+    },
+    PassInfo {
+        name: "masterworker",
+        description: "lower stand-alone parallel constructs to the master/worker scheme (§3.2)",
+    },
+    PassInfo { name: "emit", description: "emit the separate CUDA C kernel file (§3.3)" },
+    PassInfo {
+        name: "dataenv",
+        description: "lower the data environment to __dev_* calls with device() routing + fallback",
+    },
+];
+
+/// One pass-boundary snapshot recorded during a traced translation.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// Pass name (one of [`PASSES`]).
+    pub pass: &'static str,
+    /// The region's kernel function (ties entries of one region together).
+    pub region: String,
+    /// Pretty-printed result at the pass boundary.
+    pub text: String,
+}
+
+/// All pass-boundary snapshots of one translation (the Fig. 2 chain-stage
+/// log, extended to pass granularity). Used by the golden tests.
+#[derive(Clone, Debug, Default)]
+pub struct PassTrace {
+    pub entries: Vec<TraceEntry>,
+}
+
+impl PassTrace {
+    /// Entries recorded at one pass boundary, in region order.
+    pub fn at(&self, pass: &str) -> Vec<&TraceEntry> {
+        self.entries.iter().filter(|e| e.pass == pass).collect()
+    }
+}
+
+/// One of the paper's transformation sets: claims a directive family and
+/// lowers it. Selected per construct — `target`-family directives go to
+/// the set matching the target device kind, everything else to the
+/// general-purpose set.
+pub trait TransformSet {
+    fn name(&self) -> &'static str;
+    /// Does this set lower `kind`?
+    fn handles(&self, kind: DirKind) -> bool;
+    /// Lower one claimed construct.
+    fn lower(&self, tr: &mut Translator<'_>, o: &OmpStmt, ctx: &HostCtx<'_>) -> TResult<Stmt>;
+}
+
+/// The CUDA transformation set: `target`-family constructs become kernel
+/// files plus `__dev_*` data-environment/offload calls.
+pub struct CudaTransformSet;
+
+impl TransformSet for CudaTransformSet {
+    fn name(&self) -> &'static str {
+        "cuda"
+    }
+
+    fn handles(&self, kind: DirKind) -> bool {
+        kind.is_target()
+            || matches!(
+                kind,
+                DirKind::TargetData
+                    | DirKind::TargetEnterData
+                    | DirKind::TargetExitData
+                    | DirKind::TargetUpdate
+            )
+    }
+
+    fn lower(&self, tr: &mut Translator<'_>, o: &OmpStmt, ctx: &HostCtx<'_>) -> TResult<Stmt> {
+        match o.dir.kind {
+            k if k.is_target() => tr.lower_target(o, ctx),
+            DirKind::TargetData => tr.lower_target_data(o, ctx),
+            DirKind::TargetEnterData => tr.map_calls(&o.dir, ctx, /*enter*/ true),
+            DirKind::TargetExitData => tr.map_calls(&o.dir, ctx, false),
+            DirKind::TargetUpdate => tr.lower_target_update(&o.dir, ctx),
+            _ => unreachable!("non-target directive dispatched to the CUDA set"),
+        }
+    }
+}
+
+/// The general-purpose transformation set: host `parallel`/worksharing
+/// constructs become `ort_*` runtime calls and outlined thread functions.
+pub struct GeneralPurposeTransformSet;
+
+impl TransformSet for GeneralPurposeTransformSet {
+    fn name(&self) -> &'static str {
+        "general-purpose"
+    }
+
+    fn handles(&self, _kind: DirKind) -> bool {
+        true // the fallback set
+    }
+
+    fn lower(&self, tr: &mut Translator<'_>, o: &OmpStmt, ctx: &HostCtx<'_>) -> TResult<Stmt> {
+        tr.lower_host_construct(o, ctx)
+    }
+}
+
+/// Set selection order: first set claiming the directive wins.
+const SETS: [&dyn TransformSet; 2] = [&CudaTransformSet, &GeneralPurposeTransformSet];
+
+/// The explicit transformation pipeline: the transformation sets plus the
+/// pass metadata of [`PASSES`].
+pub struct Pipeline {
+    trace: bool,
+}
+
+impl Pipeline {
+    pub fn new() -> Pipeline {
+        Pipeline { trace: false }
+    }
+
+    /// Record pretty-printed snapshots at every pass boundary.
+    pub fn traced() -> Pipeline {
+        Pipeline { trace: true }
+    }
+
+    pub fn passes(&self) -> &'static [PassInfo] {
+        &PASSES
+    }
+
+    /// Translate an analyzed program through the pipeline.
+    pub fn run(&self, prog: &Program) -> TResult<(Translation, PassTrace)> {
+        let mut tr = Translator {
+            prog,
+            kernels: Vec::new(),
+            host_fns: Vec::new(),
+            next_kernel: 0,
+            next_hostfn: 0,
+            next_tmp: 0,
+            critical_ids: HashMap::new(),
+            trace: if self.trace { Some(PassTrace::default()) } else { None },
+        };
+        let mut items = Vec::new();
+        for item in &prog.items {
+            match item {
+                Item::Func(f) => {
+                    let mut body_stmts = Vec::new();
+                    let ctx =
+                        HostCtx { fname: f.sig.name.clone(), frame: &f.frame, in_parallel: false };
+                    for s in &f.body.stmts {
+                        body_stmts.push(tr.host_stmt(s, &ctx)?);
+                    }
+                    let mut nf = f.clone();
+                    nf.body = Block { stmts: body_stmts };
+                    nf.frame = FrameInfo::default(); // re-sema will rebuild
+                    items.push(Item::Func(nf));
+                }
+                Item::DeclareTarget(_) => {} // consumed (functions already marked)
+                other => items.push(other.clone()),
+            }
+        }
+        // Outlined host thread functions go at the end.
+        items.extend(tr.host_fns.drain(..).map(Item::Func));
+        let trace = tr.trace.take().unwrap_or_default();
+        Ok((Translation { host: Program { items }, kernels: tr.kernels }, trace))
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline::new()
+    }
+}
+
+/// Translate an analyzed program (the standard, untraced pipeline).
+pub fn translate(prog: &Program) -> TResult<Translation> {
+    Pipeline::new().run(prog).map(|(t, _)| t)
+}
+
+/// Translate and record pass-boundary snapshots (golden tests, Fig. 2
+/// chain-stage logging).
+pub fn translate_traced(prog: &Program) -> TResult<(Translation, PassTrace)> {
+    Pipeline::traced().run(prog)
+}
+
+// ============================================================ translator
+
+pub struct HostCtx<'f> {
+    pub(crate) fname: String,
+    pub(crate) frame: &'f FrameInfo,
+    /// Inside an outlined host parallel region (worksharing context).
+    #[allow(dead_code)]
+    pub(crate) in_parallel: bool,
+}
+
+/// How a free variable enters a kernel / thread function.
+// The `Mapped` variant dominates in practice, so the size skew is harmless.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub(crate) enum VarRole {
+    /// Mapped pointer: kernel parameter of decayed pointer type; launch arg
+    /// is the host section base address.
+    Mapped {
+        #[allow(dead_code)]
+        kind: OmpMapKind,
+        base: Expr,
+        #[allow(dead_code)]
+        bytes: Expr,
+        param_ty: Ty,
+    },
+    /// Scalar passed by value.
+    FirstPrivate,
+    /// Reduction accumulator.
+    Reduction(RedOp),
+}
+
+pub struct Translator<'p> {
+    pub(crate) prog: &'p Program,
+    pub(crate) kernels: Vec<KernelFile>,
+    pub(crate) host_fns: Vec<FuncDef>,
+    pub(crate) next_kernel: u32,
+    pub(crate) next_hostfn: u32,
+    pub(crate) next_tmp: u32,
+    pub(crate) critical_ids: HashMap<String, i64>,
+    pub(crate) trace: Option<PassTrace>,
+}
+
+impl<'p> Translator<'p> {
+    pub(crate) fn tmp(&mut self, base: &str) -> String {
+        let n = self.next_tmp;
+        self.next_tmp += 1;
+        format!("__{base}{n}")
+    }
+
+    pub(crate) fn critical_id(&mut self, name: &str) -> i64 {
+        let next = self.critical_ids.len() as i64;
+        *self.critical_ids.entry(name.to_string()).or_insert(next)
+    }
+
+    /// Record a pass-boundary snapshot (no-op on the untraced pipeline).
+    pub(crate) fn record(&mut self, pass: &'static str, region: &str, text: String) {
+        if let Some(t) = &mut self.trace {
+            t.entries.push(TraceEntry { pass, region: region.to_string(), text });
+        }
+    }
+
+    // ================================================= host transformation
+
+    pub(crate) fn host_stmt(&mut self, s: &Stmt, ctx: &HostCtx<'_>) -> TResult<Stmt> {
+        match s {
+            Stmt::Omp(o) => self.host_directive(o, ctx),
+            Stmt::Block(bl) => {
+                let mut out = Vec::new();
+                for st in &bl.stmts {
+                    out.push(self.host_stmt(st, ctx)?);
+                }
+                Ok(Stmt::Block(Block { stmts: out }))
+            }
+            Stmt::If { cond, then_s, else_s } => Ok(Stmt::If {
+                cond: cond.clone(),
+                then_s: Box::new(self.host_stmt(then_s, ctx)?),
+                else_s: match else_s {
+                    Some(e) => Some(Box::new(self.host_stmt(e, ctx)?)),
+                    None => None,
+                },
+            }),
+            Stmt::For { init, cond, step, body } => Ok(Stmt::For {
+                init: init.clone(),
+                cond: cond.clone(),
+                step: step.clone(),
+                body: Box::new(self.host_stmt(body, ctx)?),
+            }),
+            Stmt::While { cond, body } => {
+                Ok(Stmt::While { cond: cond.clone(), body: Box::new(self.host_stmt(body, ctx)?) })
+            }
+            Stmt::DoWhile { body, cond } => {
+                Ok(Stmt::DoWhile { body: Box::new(self.host_stmt(body, ctx)?), cond: cond.clone() })
+            }
+            other => Ok(other.clone()),
+        }
+    }
+
+    /// Dispatch a directive to the transformation set that claims it.
+    fn host_directive(&mut self, o: &OmpStmt, ctx: &HostCtx<'_>) -> TResult<Stmt> {
+        let set = SETS
+            .iter()
+            .find(|s| s.handles(o.dir.kind))
+            .expect("the general-purpose set claims every directive");
+        set.lower(self, o, ctx)
+    }
+
+    // ================================================== target offloading
+
+    /// Lower a `target`-family region through the device passes: outline →
+    /// kernel-body lowering (combined or master/worker) → kernel emission →
+    /// data-environment host replacement.
+    fn lower_target(&mut self, o: &OmpStmt, ctx: &HostCtx<'_>) -> TResult<Stmt> {
+        let dir = &o.dir;
+
+        // ---- pass: outline ----
+        let mut reg = self.outline_region(o, ctx)?;
+        if self.trace.is_some() {
+            let text = reg.describe();
+            self.record("outline", &reg.kernel_fn.clone(), text);
+        }
+
+        // ---- pass: combined / masterworker (kernel-body lowering) ----
+        let mut kbody: Vec<Stmt> = Vec::new();
+        // Private-clause locals.
+        for pv in &reg.privates {
+            let ty = ctx
+                .frame
+                .slots
+                .iter()
+                .find(|sl| sl.name == *pv)
+                .map(|sl| sl.ty.clone())
+                .unwrap_or(Ty::Int);
+            kbody.push(b::decl(pv, ty, None));
+        }
+        let lowering_pass;
+        if reg.combined {
+            lowering_pass = "combined";
+            kbody.extend(self.combined_kernel_body(
+                &reg.loops,
+                &reg.inner_body,
+                dir,
+                &reg.roles,
+                reg.dist_only,
+                o.pos,
+            )?);
+        } else {
+            lowering_pass = "masterworker";
+            let mw_body = reg.mw_body.clone().expect("outline built a master/worker body");
+            kbody.extend(self.master_worker_kernel_body(
+                &mw_body,
+                &reg.roles,
+                &reg.scalar_writebacks,
+                o.pos,
+                &mut reg.kprog,
+            )?);
+        }
+        if self.trace.is_some() {
+            let text = pretty::stmt(&Stmt::Block(Block { stmts: kbody.clone() }));
+            self.record(lowering_pass, &reg.kernel_fn.clone(), text);
+        }
+
+        // ---- pass: emit (the separate kernel file, §3.3) ----
+        let kfun = FuncDef {
+            sig: FuncSig {
+                name: reg.kernel_fn.clone(),
+                ret: Ty::Void,
+                params: reg.params.clone(),
+                quals: FnQuals { global: true, device: false },
+                pos: o.pos,
+            },
+            body: Block { stmts: kbody },
+            frame: FrameInfo::default(),
+            declare_target: false,
+        };
+        reg.kprog.items.push(Item::Func(kfun));
+        let c_text = pretty::program(&reg.kprog);
+        if self.trace.is_some() {
+            self.record("emit", &reg.kernel_fn.clone(), c_text.clone());
+        }
+        self.kernels.push(KernelFile {
+            id: reg.kid,
+            module_name: reg.module_name.clone(),
+            kernel_fn: reg.kernel_fn.clone(),
+            c_text,
+            master_worker: !reg.combined,
+        });
+
+        // ---- pass: dataenv (host-side replacement) ----
+        let replacement = self.host_replacement(o, ctx, &reg)?;
+        if self.trace.is_some() {
+            let text = pretty::stmt(&replacement);
+            self.record("dataenv", &reg.kernel_fn.clone(), text);
+        }
+        Ok(replacement)
+    }
+}
+
+pub(crate) struct DeviceCtx {
+    pub(crate) roles: Vec<(String, Ty, VarRole)>,
+    #[allow(dead_code)]
+    pub(crate) pos: Pos,
+}

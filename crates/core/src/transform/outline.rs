@@ -1,0 +1,308 @@
+//! Pipeline pass 1: **outline** (§3).
+//!
+//! Extracts a `target`-family region from the host AST: decides which
+//! lowering scheme applies (combined §3.1 vs master/worker §3.2),
+//! canonicalizes the loop nest, classifies every free variable into its
+//! [`VarRole`] (mapped buffer / by-value firstprivate / reduction
+//! accumulator), computes the kernel parameter list and launch arguments,
+//! and seeds the kernel program with `__device__` copies of the region's
+//! call-graph closure.
+
+use minic::ast::build as b;
+use minic::ast::*;
+use minic::omp::{Clause, DirKind, RedOp};
+use minic::sema::FrameInfo;
+use minic::types::Ty;
+
+use crate::analyze::*;
+
+use super::{err, HostCtx, MapItem, Translator, VarRole};
+
+/// Everything the later passes need to know about one outlined region.
+pub(crate) struct OutlinedRegion {
+    pub(crate) kid: u32,
+    pub(crate) module_name: String,
+    pub(crate) kernel_fn: String,
+    /// Combined-construct lowering (§3.1)? Otherwise master/worker (§3.2).
+    pub(crate) combined: bool,
+    /// `target teams distribute` without the `parallel for` part.
+    pub(crate) dist_only: bool,
+    /// Canonical loop nest of a combined construct.
+    pub(crate) loops: Vec<LoopInfo>,
+    /// Body inside the canonical nest (combined constructs only).
+    pub(crate) inner_body: Stmt,
+    /// Free-variable classification.
+    pub(crate) roles: Vec<(String, Ty, VarRole)>,
+    /// Resolved map-clause items.
+    pub(crate) maps: Vec<MapItem>,
+    /// `private` clause variables (fresh kernel locals).
+    pub(crate) privates: Vec<String>,
+    /// Kernel parameters, in launch-argument order.
+    pub(crate) params: Vec<Param>,
+    /// Host-side launch arguments matching `params`.
+    pub(crate) launch_args: Vec<Expr>,
+    /// Mapped scalars written back through `__out_<name>` pointers
+    /// (master/worker regions only).
+    pub(crate) scalar_writebacks: Vec<String>,
+    /// Body handed to the master/worker pass (None for combined regions).
+    pub(crate) mw_body: Option<Stmt>,
+    /// The kernel program under construction (call-closure `__device__`
+    /// copies; the entry kernel is appended at emission).
+    pub(crate) kprog: Program,
+    /// The `device()` clause expression (`-1` = default-device ICV).
+    pub(crate) dev_expr: Expr,
+}
+
+impl OutlinedRegion {
+    /// Human-readable summary recorded at the outline pass boundary.
+    pub(crate) fn describe(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("kernel {} (module {})\n", self.kernel_fn, self.module_name));
+        out.push_str(&format!(
+            "scheme: {}\n",
+            if self.combined {
+                if self.dist_only {
+                    "combined (distribute only)"
+                } else {
+                    "combined"
+                }
+            } else {
+                "master/worker"
+            }
+        ));
+        out.push_str(&format!("device: {}\n", minic::pretty::expr(&self.dev_expr)));
+        for (name, _ty, role) in &self.roles {
+            let role_s = match role {
+                VarRole::Mapped { .. } => "mapped",
+                VarRole::FirstPrivate => "firstprivate",
+                VarRole::Reduction(_) => "reduction",
+            };
+            out.push_str(&format!("var {name}: {role_s}\n"));
+        }
+        for p in &self.params {
+            out.push_str(&format!("param {}: {}\n", p.name, minic::pretty::declarator("", &p.ty)));
+        }
+        out
+    }
+}
+
+impl<'p> Translator<'p> {
+    /// Outline one `target`-family region.
+    pub(crate) fn outline_region(
+        &mut self,
+        o: &OmpStmt,
+        ctx: &HostCtx<'_>,
+    ) -> TResult<OutlinedRegion> {
+        let dir = &o.dir;
+        let body = o.body.as_deref().ok_or_else(|| err(o.pos, "target without a body"))?;
+
+        let kid = self.next_kernel;
+        self.next_kernel += 1;
+        let module_name = format!("k{}_{}", kid, ctx.fname);
+        let kernel_fn = format!("_kernelFunc{}_{}", kid, ctx.fname);
+
+        // Which lowering does this region need?
+        let combined = matches!(
+            dir.kind,
+            DirKind::TargetTeamsDistributeParallelFor | DirKind::TargetTeamsDistribute
+        );
+        let dist_only = dir.kind == DirKind::TargetTeamsDistribute;
+
+        // Canonical nest for combined constructs.
+        let collapse = dir.clause_collapse();
+        let (loops, inner_body) = if combined {
+            let (l, bdy) = canonical_nest(body, collapse)?;
+            (l, bdy)
+        } else {
+            (Vec::new(), Stmt::Empty)
+        };
+
+        // Classify free variables.
+        let fvs = free_vars(body, ctx.frame);
+        let maps = self.map_items(dir, ctx, o.pos)?;
+        let privates: Vec<String> = dir.privates().into_iter().cloned().collect();
+        let firstprivates_clause: Vec<String> = dir.firstprivates().into_iter().cloned().collect();
+        let reductions: Vec<(RedOp, String)> =
+            dir.reductions().map(|(op, v)| (op, v.clone())).collect();
+        let loop_vars: Vec<&str> = loops.iter().map(|l| l.var.as_str()).collect();
+
+        let mut roles: Vec<(String, Ty, VarRole)> = Vec::new();
+        for fv in &fvs {
+            if loop_vars.contains(&fv.name.as_str()) || privates.contains(&fv.name) {
+                continue; // loop vars / privates: fresh locals
+            }
+            if let Some((op, _)) = reductions.iter().find(|(_, v)| *v == fv.name) {
+                roles.push((fv.name.clone(), fv.ty.clone(), VarRole::Reduction(*op)));
+                continue;
+            }
+            if let Some((_, kind, base, bytes, pty)) = maps.iter().find(|(n, ..)| *n == fv.name) {
+                // Mapped *scalars* are passed by value (a copy travels with
+                // the launch, like OMPi's firstprivate default for scalars);
+                // only pointers/arrays become device-buffer parameters.
+                if fv.ty.decayed().is_ptr() {
+                    roles.push((
+                        fv.name.clone(),
+                        fv.ty.clone(),
+                        VarRole::Mapped {
+                            kind: *kind,
+                            base: base.clone(),
+                            bytes: bytes.clone(),
+                            param_ty: pty.clone(),
+                        },
+                    ));
+                } else {
+                    roles.push((fv.name.clone(), fv.ty.clone(), VarRole::FirstPrivate));
+                }
+                continue;
+            }
+            let decayed = fv.ty.decayed();
+            if decayed.is_ptr() && !firstprivates_clause.contains(&fv.name) {
+                return Err(err(
+                    o.pos,
+                    format!(
+                        "`{}` is referenced in the target region but has no map clause",
+                        fv.name
+                    ),
+                ));
+            }
+            roles.push((fv.name.clone(), fv.ty.clone(), VarRole::FirstPrivate));
+        }
+        // Mapped-but-unreferenced variables still need their data motion:
+        // they participate in map/unmap but are not kernel parameters.
+
+        // ---- seed the kernel program ----
+        let mut kprog = Program { items: Vec::new() };
+        // Call-graph closure → __device__ copies.
+        for name in call_closure(body, self.prog) {
+            let f = self.prog.items.iter().find_map(|i| match i {
+                Item::Func(f) if f.sig.name == name => Some(f),
+                _ => None,
+            });
+            if let Some(f) = f {
+                if contains_standalone_parallel(&Stmt::Block(f.body.clone())) {
+                    return Err(err(
+                        o.pos,
+                        format!(
+                            "function `{name}` called from a kernel contains OpenMP directives"
+                        ),
+                    ));
+                }
+                let mut df = f.clone();
+                df.sig.quals = FnQuals { global: false, device: true };
+                df.frame = FrameInfo::default();
+                kprog.items.push(Item::Func(df));
+            }
+        }
+
+        // Kernel parameters.
+        let mut params: Vec<Param> = Vec::new();
+        let mut launch_args: Vec<Expr> = Vec::new();
+        for (name, _ty, role) in &roles {
+            match role {
+                VarRole::Mapped { base, param_ty, .. } => {
+                    params.push(Param { name: name.clone(), ty: param_ty.clone(), slot: u32::MAX });
+                    launch_args.push(base.clone());
+                }
+                VarRole::FirstPrivate => {
+                    params.push(Param { name: name.clone(), ty: _ty.clone(), slot: u32::MAX });
+                    launch_args.push(b::ident(name));
+                }
+                VarRole::Reduction(_) => {
+                    params.push(Param {
+                        name: format!("__red_{name}"),
+                        ty: Ty::Ptr(Box::new(_ty.clone())),
+                        slot: u32::MAX,
+                    });
+                    launch_args.push(b::addr_of(b::ident(name)));
+                }
+            }
+        }
+
+        // Master/worker extras: scalar write-backs + the region body handed
+        // to the master/worker pass.
+        let mut scalar_writebacks: Vec<String> = Vec::new();
+        let mut mw_body = None;
+        if !combined {
+            // Mapped scalars with write-back (map(from/tofrom: scalar)):
+            // pass an output pointer and have the master store the final
+            // value before exiting the target region.
+            for (name, kind, _, _, _) in &maps {
+                let is_scalar_wb =
+                    matches!(kind, minic::omp::MapKind::From | minic::omp::MapKind::ToFrom)
+                        && roles
+                            .iter()
+                            .any(|(n, _, r)| n == name && matches!(r, VarRole::FirstPrivate));
+                if is_scalar_wb {
+                    let ty = ctx
+                        .frame
+                        .slots
+                        .iter()
+                        .find(|sl| sl.name == *name)
+                        .map(|sl| sl.ty.clone())
+                        .unwrap_or(Ty::Int);
+                    params.push(Param {
+                        name: format!("__out_{name}"),
+                        ty: Ty::Ptr(Box::new(ty)),
+                        slot: u32::MAX,
+                    });
+                    launch_args.push(b::addr_of(b::ident(name)));
+                    scalar_writebacks.push(name.clone());
+                }
+            }
+            // `target parallel [for]`: the parallel part becomes an inner
+            // stand-alone region so the master/worker scheme handles it.
+            mw_body = Some(match dir.kind {
+                DirKind::TargetParallel | DirKind::TargetParallelFor => {
+                    let inner_kind = if dir.kind == DirKind::TargetParallel {
+                        DirKind::Parallel
+                    } else {
+                        DirKind::ParallelFor
+                    };
+                    let forwarded: Vec<Clause> = dir
+                        .clauses
+                        .iter()
+                        .filter(|c| {
+                            matches!(
+                                c,
+                                Clause::NumThreads(_)
+                                    | Clause::Schedule { .. }
+                                    | Clause::Collapse(_)
+                                    | Clause::Private(_)
+                                    | Clause::Reduction { .. }
+                            )
+                        })
+                        .cloned()
+                        .collect();
+                    Stmt::Omp(OmpStmt {
+                        dir: minic::omp::Directive { kind: inner_kind, clauses: forwarded },
+                        body: Some(Box::new(body.clone())),
+                        pos: o.pos,
+                    })
+                }
+                _ => body.clone(),
+            });
+        }
+
+        // `device()` routing: -1 selects the default-device ICV at run time.
+        let dev_expr = dir.clause_device().cloned().unwrap_or_else(|| b::int(-1));
+
+        Ok(OutlinedRegion {
+            kid,
+            module_name,
+            kernel_fn,
+            combined,
+            dist_only,
+            loops,
+            inner_body,
+            roles,
+            maps,
+            privates,
+            params,
+            launch_args,
+            scalar_writebacks,
+            mw_body,
+            kprog,
+            dev_expr,
+        })
+    }
+}

@@ -1,0 +1,287 @@
+//! Shared helpers for the translation pipeline: error construction,
+//! trip-count algebra, reduction identities/folds, and the name-collection
+//! and identifier-renaming walks used by the outlining passes.
+
+use std::collections::HashMap;
+
+use minic::ast::build as b;
+use minic::ast::*;
+use minic::omp::{DirKind, RedOp};
+use minic::token::Pos;
+use minic::types::Ty;
+
+use crate::analyze::*;
+
+pub(crate) fn err(pos: Pos, msg: impl Into<String>) -> TransError {
+    TransError { pos, msg: msg.into() }
+}
+
+pub(crate) fn sizeof_expr(ty: &Ty) -> Expr {
+    b::e(ExprKind::SizeofTy(ty.clone()))
+}
+
+pub(crate) fn long_cast(e: Expr) -> Expr {
+    b::cast(Ty::Long, e)
+}
+
+pub(crate) fn find_decl_ty(decls: &[(String, Ty)], name: &str) -> Option<Ty> {
+    decls.iter().find(|(n, _)| n == name).map(|(_, t)| t.clone())
+}
+
+/// Trip count expression of a canonical loop (evaluates host- or
+/// device-side depending on where it is spliced).
+pub fn trip_count_expr(l: &LoopInfo) -> Expr {
+    let s = l.step.abs();
+    let (hi, lo) =
+        if l.step > 0 { (l.ub.clone(), l.lb.clone()) } else { (l.lb.clone(), l.ub.clone()) };
+    let span = b::bin(BinOp::Sub, long_cast(hi), long_cast(lo));
+    let adj = if l.inclusive { s } else { s - 1 };
+    let num = b::bin(BinOp::Add, span, b::int(adj));
+    let q = b::bin(BinOp::Div, num, b::int(s));
+    // Negative spans (empty loops) clamp to 0: (q > 0 ? q : 0).
+    b::e(ExprKind::Ternary {
+        cond: Box::new(b::bin(BinOp::Gt, q.clone(), b::int(0))),
+        then_e: Box::new(q),
+        else_e: Box::new(b::int(0)),
+    })
+}
+
+pub(crate) fn red_identity(op: RedOp, ty: &Ty) -> Expr {
+    let is32 = *ty == Ty::Float;
+    match op {
+        RedOp::Add => match ty {
+            Ty::Float => b::e(ExprKind::FloatLit(0.0, true)),
+            Ty::Double => b::e(ExprKind::FloatLit(0.0, false)),
+            _ => b::int(0),
+        },
+        RedOp::Mul => match ty {
+            Ty::Float => b::e(ExprKind::FloatLit(1.0, true)),
+            Ty::Double => b::e(ExprKind::FloatLit(1.0, false)),
+            _ => b::int(1),
+        },
+        RedOp::Max => match ty {
+            Ty::Float | Ty::Double => b::e(ExprKind::FloatLit(-3.0e38, is32)),
+            _ => b::int(i32::MIN as i64),
+        },
+        RedOp::Min => match ty {
+            Ty::Float | Ty::Double => b::e(ExprKind::FloatLit(3.0e38, is32)),
+            _ => b::int(i32::MAX as i64),
+        },
+    }
+}
+
+fn red_opcode(op: RedOp) -> i64 {
+    match op {
+        RedOp::Add => 0,
+        RedOp::Mul => 1,
+        RedOp::Max => 2,
+        RedOp::Min => 3,
+    }
+}
+
+/// Device-side fold of a local accumulator into `__red_<name>` (combined
+/// kernels).
+pub(crate) fn red_combine(name: &str, ty: &Ty, op: RedOp) -> Stmt {
+    let ptr = b::ident(&format!("__red_{name}"));
+    red_fold_stmt(ptr, b::ident(name), ty, op)
+}
+
+pub(crate) fn red_fold_stmt(ptr: Expr, val: Expr, ty: &Ty, op: RedOp) -> Stmt {
+    if op == RedOp::Add {
+        return b::expr_stmt(b::call("atomicAdd", vec![ptr, val]));
+    }
+    let f = match ty {
+        Ty::Float => "cudadev_red_f32",
+        Ty::Double => "cudadev_red_f64",
+        _ => "cudadev_red_i32",
+    };
+    b::expr_stmt(b::call(f, vec![ptr, val, b::int(red_opcode(op))]))
+}
+
+/// Host-side reduction fold: `target = target <op> local`.
+pub(crate) fn host_red_fold(target: Expr, local: Expr, op: RedOp) -> Stmt {
+    let combined = match op {
+        RedOp::Add => b::bin(BinOp::Add, target.clone(), local),
+        RedOp::Mul => b::bin(BinOp::Mul, target.clone(), local),
+        RedOp::Max => b::e(ExprKind::Ternary {
+            cond: Box::new(b::bin(BinOp::Gt, target.clone(), local.clone())),
+            then_e: Box::new(target.clone()),
+            else_e: Box::new(local),
+        }),
+        RedOp::Min => b::e(ExprKind::Ternary {
+            cond: Box::new(b::bin(BinOp::Lt, target.clone(), local.clone())),
+            then_e: Box::new(target.clone()),
+            else_e: Box::new(local),
+        }),
+    };
+    b::expr_stmt(b::assign(target, combined))
+}
+
+/// All `section` bodies of a sections region (non-section statements are
+/// treated as a leading section, per OpenMP).
+pub(crate) fn collect_sections(body: &Stmt) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    match body {
+        Stmt::Block(bl) => {
+            for s in &bl.stmts {
+                match s {
+                    Stmt::Omp(o) if o.dir.kind == DirKind::Section => {
+                        out.push(o.body.as_deref().cloned().unwrap_or(Stmt::Empty));
+                    }
+                    Stmt::Empty => {}
+                    other => out.push(other.clone()),
+                }
+            }
+        }
+        other => out.push(other.clone()),
+    }
+    out
+}
+
+/// Collect identifier names used in a statement (by name, pre-re-sema).
+pub(crate) fn collect_used_names(s: &Stmt, out: &mut Vec<String>) {
+    fn in_expr(e: &Expr, out: &mut Vec<String>) {
+        if let ExprKind::Ident(n, _) = &e.kind {
+            out.push(n.clone());
+        }
+        minic::interp::visit_child_exprs(e, &mut |c| in_expr(c, out));
+    }
+    minic::interp::visit_stmt_exprs(s, &mut |e| in_expr(e, out));
+    if let Stmt::Omp(o) = s {
+        for_each_clause_expr(&o.dir, &mut |e| in_expr(e, out));
+    }
+    minic::interp::visit_child_stmts(s, &mut |c| collect_used_names(c, out));
+}
+
+pub(crate) fn collect_expr_names(e: &Expr, out: &mut Vec<String>) {
+    if let ExprKind::Ident(n, _) = &e.kind {
+        out.push(n.clone());
+    }
+    minic::interp::visit_child_exprs(e, &mut |c| collect_expr_names(c, out));
+}
+
+pub(crate) fn collect_declared_names(s: &Stmt, out: &mut Vec<String>) {
+    if let Stmt::Decl(d) = s {
+        out.push(d.name.clone());
+    }
+    minic::interp::visit_child_stmts(s, &mut |c| collect_declared_names(c, out));
+}
+
+/// Replace identifier uses by name with replacement expressions (used for
+/// shared-variable and reduction rewrites). Declarations shadowing the
+/// name stop the replacement in their block… conservatively we replace all
+/// uses; the translator avoids emitting shadowing declarations for renamed
+/// variables.
+pub fn rename_idents(s: &mut Stmt, map: &HashMap<String, Expr>) {
+    if map.is_empty() {
+        return;
+    }
+    match s {
+        Stmt::Expr(e) => rename_expr(e, map),
+        Stmt::Decl(d) => {
+            if let Some(Init::Expr(e)) = &mut d.init {
+                rename_expr(e, map);
+            }
+        }
+        Stmt::Block(bl) => {
+            for st in &mut bl.stmts {
+                rename_idents(st, map);
+            }
+        }
+        Stmt::If { cond, then_s, else_s } => {
+            rename_expr(cond, map);
+            rename_idents(then_s, map);
+            if let Some(e) = else_s {
+                rename_idents(e, map);
+            }
+        }
+        Stmt::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                rename_idents(i, map);
+            }
+            if let Some(c) = cond {
+                rename_expr(c, map);
+            }
+            if let Some(st) = step {
+                rename_expr(st, map);
+            }
+            rename_idents(body, map);
+        }
+        Stmt::While { cond, body } => {
+            rename_expr(cond, map);
+            rename_idents(body, map);
+        }
+        Stmt::DoWhile { body, cond } => {
+            rename_idents(body, map);
+            rename_expr(cond, map);
+        }
+        Stmt::Return(Some(e)) => rename_expr(e, map),
+        Stmt::Omp(o) => {
+            for c in &mut o.dir.clauses {
+                use minic::omp::Clause as Cl;
+                match c {
+                    Cl::NumTeams(e)
+                    | Cl::NumThreads(e)
+                    | Cl::ThreadLimit(e)
+                    | Cl::If(e)
+                    | Cl::Device(e) => rename_expr(e, map),
+                    Cl::Schedule { chunk: Some(e), .. } => rename_expr(e, map),
+                    _ => {}
+                }
+            }
+            if let Some(bd) = &mut o.body {
+                rename_idents(bd, map);
+            }
+        }
+        _ => {}
+    }
+}
+
+pub fn rename_expr(e: &mut Expr, map: &HashMap<String, Expr>) {
+    if let ExprKind::Ident(n, _) = &e.kind {
+        if let Some(repl) = map.get(n) {
+            *e = repl.clone();
+            return;
+        }
+    }
+    match &mut e.kind {
+        ExprKind::Call { args, .. } => args.iter_mut().for_each(|a| rename_expr(a, map)),
+        ExprKind::KernelLaunch { grid, block, args, .. } => {
+            rename_expr(grid, map);
+            rename_expr(block, map);
+            args.iter_mut().for_each(|a| rename_expr(a, map));
+        }
+        ExprKind::Dim3 { x, y, z } => {
+            rename_expr(x, map);
+            if let Some(y) = y {
+                rename_expr(y, map);
+            }
+            if let Some(z) = z {
+                rename_expr(z, map);
+            }
+        }
+        ExprKind::Member { base, .. } => rename_expr(base, map),
+        ExprKind::Index { base, index } => {
+            rename_expr(base, map);
+            rename_expr(index, map);
+        }
+        ExprKind::Unary { expr, .. }
+        | ExprKind::IncDec { expr, .. }
+        | ExprKind::Cast { expr, .. }
+        | ExprKind::SizeofExpr(expr) => rename_expr(expr, map),
+        ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+            rename_expr(lhs, map);
+            rename_expr(rhs, map);
+        }
+        ExprKind::Ternary { cond, then_e, else_e } => {
+            rename_expr(cond, map);
+            rename_expr(then_e, map);
+            rename_expr(else_e, map);
+        }
+        ExprKind::Comma(a, bx) => {
+            rename_expr(a, map);
+            rename_expr(bx, map);
+        }
+        _ => {}
+    }
+}

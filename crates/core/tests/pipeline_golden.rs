@@ -1,0 +1,152 @@
+//! Golden tests at every pass boundary of the transformation pipeline.
+//!
+//! `translate_traced` records a pretty-printed snapshot after each device
+//! pass (`outline` → `combined`/`masterworker` → `emit` → `dataenv`); these
+//! tests pin the shape of each snapshot so a pipeline regression is caught
+//! at the pass that introduced it, not three passes later.
+
+use ompi_core::{translate, translate_traced, PassTrace, Pipeline, Translation, PASSES};
+
+/// A combined construct: flows through outline → combined → emit → dataenv.
+const COMBINED: &str = r#"
+int main() {
+    int n = 128;
+    float a[128];
+    #pragma omp target teams distribute parallel for device(1) map(tofrom: a[0:n])
+    for (int i = 0; i < n; i++)
+        a[i] = a[i] + 1.0f;
+    return 0;
+}
+"#;
+
+/// A stand-alone parallel inside target: outline → masterworker → emit →
+/// dataenv.
+const MASTERWORKER: &str = r#"
+int main() {
+    int n = 64;
+    int a[64];
+    #pragma omp target map(tofrom: a[0:n])
+    {
+        #pragma omp parallel for
+        for (int i = 0; i < n; i++)
+            a[i] = i;
+    }
+    return 0;
+}
+"#;
+
+fn lower(src: &str) -> (Translation, PassTrace) {
+    let mut prog = minic::parse(src).unwrap();
+    minic::analyze(&mut prog).unwrap();
+    translate_traced(&prog).unwrap()
+}
+
+#[test]
+fn pipeline_declares_the_five_passes_in_flow_order() {
+    let names: Vec<&str> = Pipeline::new().passes().iter().map(|p| p.name).collect();
+    assert_eq!(names, ["outline", "combined", "masterworker", "emit", "dataenv"]);
+    for p in &PASSES {
+        assert!(!p.description.is_empty(), "pass {} has no description", p.name);
+    }
+}
+
+#[test]
+fn outline_snapshot_reports_scheme_device_and_variable_roles() {
+    let (_, trace) = lower(COMBINED);
+    let outl = trace.at("outline");
+    assert_eq!(outl.len(), 1);
+    let text = &outl[0].text;
+    assert!(text.contains("scheme: combined"), "outline snapshot:\n{text}");
+    assert!(text.contains("device: 1"), "device() clause must show up:\n{text}");
+    assert!(text.contains("var a: mapped"), "map clause role:\n{text}");
+    assert!(text.contains("var n: firstprivate"), "scalar role:\n{text}");
+}
+
+#[test]
+fn combined_snapshot_uses_two_phase_chunk_distribution() {
+    let (_, trace) = lower(COMBINED);
+    let comb = trace.at("combined");
+    assert_eq!(comb.len(), 1);
+    let text = &comb[0].text;
+    // §3.1: distribute phase, then the parallel-for phase on the chunk.
+    assert!(text.contains("cudadev_get_distribute_chunk"), "combined body:\n{text}");
+    assert!(text.contains("cudadev_get_static_chunk"), "combined body:\n{text}");
+    // The combined construct never lowers through the master/worker pass.
+    assert!(trace.at("masterworker").is_empty());
+}
+
+#[test]
+fn masterworker_snapshot_uses_the_fig3_scheme() {
+    let (_, trace) = lower(MASTERWORKER);
+    let mw = trace.at("masterworker");
+    assert_eq!(mw.len(), 1);
+    let text = &mw[0].text;
+    assert!(text.contains("cudadev_in_masterwarp"), "master/worker body:\n{text}");
+    assert!(text.contains("cudadev_workerfunc"), "master/worker body:\n{text}");
+    assert!(trace.at("combined").is_empty());
+}
+
+#[test]
+fn emit_snapshot_is_exactly_the_kernel_file_text() {
+    for src in [COMBINED, MASTERWORKER] {
+        let (t, trace) = lower(src);
+        let emits = trace.at("emit");
+        assert_eq!(emits.len(), t.kernels.len());
+        for (e, k) in emits.iter().zip(&t.kernels) {
+            assert_eq!(e.region, k.kernel_fn, "emit entries follow kernel order");
+            assert_eq!(e.text, k.c_text, "emit snapshot must be the .cu text verbatim");
+            assert!(e.text.contains("__global__"), "kernel file:\n{}", e.text);
+        }
+    }
+}
+
+#[test]
+fn dataenv_snapshot_routes_through_dev_calls_with_fallback() {
+    let (_, trace) = lower(COMBINED);
+    let de = trace.at("dataenv");
+    assert_eq!(de.len(), 1);
+    let text = &de[0].text;
+    assert!(text.contains("__dev_ok"), "availability guard:\n{text}");
+    assert!(text.contains("__dev_offload"), "offload call:\n{text}");
+    assert!(text.contains("__ompi_fb_"), "host-fallback flag:\n{text}");
+    // The device() clause value is bound once and threaded to every hook.
+    assert!(text.contains("__ompi_dev_"), "device-id binding:\n{text}");
+}
+
+#[test]
+fn every_region_snapshot_carries_its_kernel_name() {
+    let (t, trace) = lower(COMBINED);
+    let kfn = &t.kernels[0].kernel_fn;
+    for pass in ["outline", "combined", "emit", "dataenv"] {
+        let entries = trace.at(pass);
+        assert_eq!(entries.len(), 1, "one region, one {pass} snapshot");
+        assert_eq!(&entries[0].region, kfn);
+    }
+}
+
+#[test]
+fn untraced_pipeline_records_nothing_and_matches_the_traced_output() {
+    let mut prog = minic::parse(COMBINED).unwrap();
+    minic::analyze(&mut prog).unwrap();
+    let (traced, trace) = Pipeline::traced().run(&prog).unwrap();
+    assert!(!trace.entries.is_empty());
+
+    let untraced = translate(&prog).unwrap();
+    // Tracing is observation only: identical host program and kernel files.
+    assert_eq!(minic::pretty::program(&untraced.host), minic::pretty::program(&traced.host));
+    assert_eq!(untraced.kernels.len(), traced.kernels.len());
+    for (a, b) in untraced.kernels.iter().zip(&traced.kernels) {
+        assert_eq!(a.c_text, b.c_text);
+    }
+}
+
+#[test]
+fn translation_is_deterministic_across_runs() {
+    let (t1, tr1) = lower(COMBINED);
+    let (t2, tr2) = lower(COMBINED);
+    assert_eq!(minic::pretty::program(&t1.host), minic::pretty::program(&t2.host));
+    assert_eq!(tr1.entries.len(), tr2.entries.len());
+    for (a, b) in tr1.entries.iter().zip(&tr2.entries) {
+        assert_eq!((a.pass, &a.region, &a.text), (b.pass, &b.region, &b.text));
+    }
+}

@@ -70,6 +70,20 @@ impl DevClock {
     pub fn total_s(&self) -> f64 {
         self.kernel_s + self.memcpy_s
     }
+
+    /// Fold another clock into this one (registry-level aggregation over
+    /// multiple devices).
+    pub fn merge(&mut self, other: &DevClock) {
+        self.kernel_s += other.kernel_s;
+        self.memcpy_s += other.memcpy_s;
+        self.launches += other.launches;
+        self.h2d_bytes += other.h2d_bytes;
+        self.d2h_bytes += other.d2h_bytes;
+        self.jit_compiles += other.jit_compiles;
+        self.jit_cache_hits += other.jit_cache_hits;
+        self.jit_invalidations += other.jit_invalidations;
+        self.retries += other.retries;
+    }
 }
 
 /// Bounded exponential backoff for transient driver faults.
@@ -104,6 +118,10 @@ impl RetryPolicy {
 /// Configuration of a CudaDev instance.
 #[derive(Clone, Debug)]
 pub struct CudaDevConfig {
+    /// Logical device number in the registry; selects which `devN:`-scoped
+    /// rules of the `OMPI_FAULT_PLAN` environment variable apply when no
+    /// explicit `fault_plan` is given.
+    pub device_id: u32,
     /// Device DRAM size (bytes).
     pub global_mem: usize,
     /// Directory where kernel binaries live.
@@ -129,6 +147,7 @@ impl Default for CudaDevConfig {
     fn default() -> Self {
         let base = std::env::temp_dir().join("ompi-cudadev");
         CudaDevConfig {
+            device_id: 0,
             global_mem: 1 << 30,
             kernel_dir: base.join("kernels"),
             jit_cache_dir: base.join("jitcache"),
@@ -200,7 +219,11 @@ impl CudaDev {
         if let Some(d) = slot.as_ref() {
             return Ok(d.clone());
         }
-        let plan = self.cfg.fault_plan.clone().or_else(|| FaultPlan::from_env().map(Arc::new));
+        let plan = self
+            .cfg
+            .fault_plan
+            .clone()
+            .or_else(|| FaultPlan::from_env_for_device(self.cfg.device_id).map(Arc::new));
         if let Some(p) = &plan {
             if let Err(e) = p.check(FaultSite::Init) {
                 if !e.is_transient() {

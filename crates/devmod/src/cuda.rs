@@ -1,0 +1,104 @@
+//! [`DeviceModule`] implementation for the cudadev GPU module.
+//!
+//! Thin forwarding layer: `CudaDev` already implements the whole module
+//! contract (lazy init, refcounted data environment, three-phase launch,
+//! broken-device latch); this impl only adapts its inherent methods to the
+//! trait so the runner can hold it behind `Arc<dyn DeviceModule>` alongside
+//! the host shim.
+
+use std::sync::Arc;
+
+use cudadev::{CudaDev, CudadevError, DevClock, MapKind};
+use gpusim::LaunchStats;
+use vmcommon::MemArena;
+
+use crate::{DeviceKind, DeviceModule};
+
+impl DeviceModule for CudaDev {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::CudaGpu
+    }
+
+    fn is_available(&self) -> bool {
+        self.try_device().is_ok()
+    }
+
+    fn is_broken(&self) -> bool {
+        CudaDev::is_broken(self)
+    }
+
+    fn mark_broken(&self) {
+        CudaDev::mark_broken(self)
+    }
+
+    fn map(
+        &self,
+        host_mem: &MemArena,
+        host_addr: u64,
+        len: u64,
+        kind: MapKind,
+    ) -> Result<u64, CudadevError> {
+        CudaDev::map(self, host_mem, host_addr, len, kind)
+    }
+
+    fn unmap(
+        &self,
+        host_mem: &MemArena,
+        host_addr: u64,
+        kind: MapKind,
+    ) -> Result<(), CudadevError> {
+        CudaDev::unmap(self, host_mem, host_addr, kind)
+    }
+
+    fn update(
+        &self,
+        host_mem: &MemArena,
+        host_addr: u64,
+        len: u64,
+        to_device: bool,
+    ) -> Result<(), CudadevError> {
+        CudaDev::update(self, host_mem, host_addr, len, to_device)
+    }
+
+    fn dev_addr(&self, host_addr: u64) -> Option<u64> {
+        CudaDev::dev_addr(self, host_addr)
+    }
+
+    fn load_module(&self, name: &str) -> Result<Arc<sptx::Module>, CudadevError> {
+        CudaDev::load_module(self, name)
+    }
+
+    fn launch(
+        &self,
+        module: &str,
+        kernel: &str,
+        grid: [u32; 3],
+        block: [u32; 3],
+        params: Vec<u64>,
+    ) -> Result<LaunchStats, CudadevError> {
+        CudaDev::launch(self, module, kernel, grid, block, params)
+    }
+
+    fn clock(&self) -> DevClock {
+        *self.clock.lock()
+    }
+
+    fn reset_clock(&self) {
+        CudaDev::reset_clock(self)
+    }
+
+    fn record_memcpy(&self, seconds: f64, h2d_bytes: u64, d2h_bytes: u64) {
+        let mut clk = self.clock.lock();
+        clk.memcpy_s += seconds;
+        clk.h2d_bytes += h2d_bytes;
+        clk.d2h_bytes += d2h_bytes;
+    }
+
+    fn raw_device(&self) -> Option<Arc<gpusim::Device>> {
+        self.try_device().ok()
+    }
+
+    fn take_printf_output(&self) -> String {
+        self.try_device().map(|d| d.take_printf_output()).unwrap_or_default()
+    }
+}

@@ -1,0 +1,119 @@
+//! `devmod` — the device-module runtime layer of the OMPi reproduction.
+//!
+//! OMPi organizes device support as *modules* plugged into the host
+//! runtime: cudadev is one such module, and the runtime itself only talks
+//! to devices through the module interface (§4 of the paper). This crate
+//! extracts that boundary:
+//!
+//! * [`DeviceModule`] — the module interface: lazy init, the mapped data
+//!   environment (map/unmap/update), the three-phase kernel launch
+//!   (module load → parameter translation → launch), the virtual device
+//!   clock, and the broken-device latch used for host fallback.
+//! * [`CudaDev`](cudadev::CudaDev) implements it (the GPU module);
+//!   [`HostDevice`] is a shim over the `hostomp` runtime representing the
+//!   OpenMP *initial device* — offload requests routed to it run the
+//!   region's host-lowered body on the host thread team instead.
+//! * [`DeviceRegistry`] — an indexed set of device modules with the
+//!   `default-device-var` ICV: `device(n)` clauses and the `omp_*` device
+//!   API route through it, giving N simulated devices with independent
+//!   clocks, fault plans and broken-latch state.
+
+use std::sync::Arc;
+
+use cudadev::{CudadevError, DevClock, MapKind};
+use gpusim::LaunchStats;
+use vmcommon::MemArena;
+
+mod cuda;
+mod hostdev;
+mod registry;
+
+pub use hostdev::HostDevice;
+pub use registry::DeviceRegistry;
+
+/// What kind of hardware a device module drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// A (simulated) CUDA GPU driven by the cudadev module.
+    CudaGpu,
+    /// The initial device: the host itself, driven by the hostomp runtime.
+    Host,
+}
+
+/// The OMPi device-module interface.
+///
+/// One instance is one device. All operations are `&self`: modules are
+/// internally synchronized so a registry can hand out shared references
+/// from concurrent host threads.
+pub trait DeviceModule: Send + Sync {
+    fn kind(&self) -> DeviceKind;
+
+    /// Is this device worth offloading to right now? Performs lazy
+    /// initialization on first call; a device whose init fails (or that
+    /// has latched broken) answers `false` and the region runs on the
+    /// host instead.
+    fn is_available(&self) -> bool;
+
+    /// Has a terminal failure latched this device broken?
+    fn is_broken(&self) -> bool;
+
+    /// Latch the device broken; all further operations fail fast.
+    fn mark_broken(&self);
+
+    /// Enter a mapping for `[host_addr, host_addr + len)`; returns the
+    /// device address.
+    fn map(
+        &self,
+        host_mem: &MemArena,
+        host_addr: u64,
+        len: u64,
+        kind: MapKind,
+    ) -> Result<u64, CudadevError>;
+
+    /// Exit a mapping; copies back and frees when the refcount drops to 0.
+    fn unmap(&self, host_mem: &MemArena, host_addr: u64, kind: MapKind)
+        -> Result<(), CudadevError>;
+
+    /// `target update to(...)` / `from(...)`: refresh one side.
+    fn update(
+        &self,
+        host_mem: &MemArena,
+        host_addr: u64,
+        len: u64,
+        to_device: bool,
+    ) -> Result<(), CudadevError>;
+
+    /// Parameter preparation: the device address for a mapped host address.
+    fn dev_addr(&self, host_addr: u64) -> Option<u64>;
+
+    /// Loading phase: find and load the kernel module `name`.
+    fn load_module(&self, name: &str) -> Result<Arc<sptx::Module>, CudadevError>;
+
+    /// Launch phase (`cuLaunchKernel`).
+    fn launch(
+        &self,
+        module: &str,
+        kernel: &str,
+        grid: [u32; 3],
+        block: [u32; 3],
+        params: Vec<u64>,
+    ) -> Result<LaunchStats, CudadevError>;
+
+    /// Snapshot of the accumulated virtual device time.
+    fn clock(&self) -> DevClock;
+
+    /// Reset the virtual clock (before a measured run).
+    fn reset_clock(&self);
+
+    /// Account a memcpy performed outside the mapped data environment
+    /// (the CUDA-dialect `cudaMemcpy` baseline path).
+    fn record_memcpy(&self, seconds: f64, h2d_bytes: u64, d2h_bytes: u64);
+
+    /// The raw simulator device, when this module drives one (the CUDA
+    /// baseline path needs direct `cuMemAlloc`/`cuMemcpy` access).
+    fn raw_device(&self) -> Option<Arc<gpusim::Device>>;
+
+    /// Captured device-side printf output (empty if the device never came
+    /// up or does not capture).
+    fn take_printf_output(&self) -> String;
+}

@@ -16,14 +16,21 @@
 //!
 //! The compact plan syntax (also accepted from the `OMPI_FAULT_PLAN`
 //! environment variable) is a comma-separated list of
-//! `site@first[xCOUNT|x*]`:
+//! `[devN:]site@first[xCOUNT|x*]`:
 //!
 //! ```text
 //! launch@2x3        calls 2,3,4 to `launch` fail transiently
 //! alloc@1x*         every alloc from the first on fails terminally
 //! h2d@5             exactly call 5 to memcpy H2D fails transiently
 //! launch@2x3,h2d@5  both of the above
+//! dev1:launch@1x*   device 1's launches fail terminally; other devices
+//!                   are untouched
 //! ```
+//!
+//! In a multi-device registry each device materializes its own plan with
+//! [`FaultPlan::parse_for_device`]: `devN:` rules apply only to device `N`,
+//! unprefixed rules apply to the default device (device 0), keeping
+//! single-device plans backward compatible.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -136,34 +143,24 @@ impl FaultPlan {
         FaultPlan { rules, counters: Default::default() }
     }
 
-    /// Parse the compact plan syntax (see module docs).
+    /// Parse the compact plan syntax (see module docs) for the default
+    /// device: `devN:` rules other than `dev0:` are validated but dropped.
     pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        FaultPlan::parse_for_device(text, 0)
+    }
+
+    /// Parse the compact plan syntax, keeping only the rules that apply to
+    /// device `dev`: rules prefixed `dev<N>:` apply to device `N`,
+    /// unprefixed rules apply to the default device (device 0). Every part
+    /// is validated even when it targets another device, so a typo never
+    /// silently disables injection.
+    pub fn parse_for_device(text: &str, dev: u32) -> Result<FaultPlan, String> {
         let mut rules = Vec::new();
         for part in text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
-            let (site, rest) = part
-                .split_once('@')
-                .ok_or_else(|| format!("fault rule `{part}`: expected `site@first[xN|x*]`"))?;
-            let site = FaultSite::from_name(site.trim())
-                .ok_or_else(|| format!("fault rule `{part}`: unknown site `{site}`"))?;
-            let (first, times) = match rest.split_once('x') {
-                None => (rest, Some(1)),
-                Some((f, "*")) => (f, None),
-                Some((f, n)) => {
-                    let n: u64 = n
-                        .trim()
-                        .parse()
-                        .map_err(|_| format!("fault rule `{part}`: bad repeat count `{n}`"))?;
-                    (f, Some(n.max(1)))
-                }
-            };
-            let first: u64 = first
-                .trim()
-                .parse()
-                .map_err(|_| format!("fault rule `{part}`: bad call number `{first}`"))?;
-            if first == 0 {
-                return Err(format!("fault rule `{part}`: call numbers are 1-based"));
+            let (scope, rule) = parse_scoped_rule(part)?;
+            if scope.unwrap_or(0) == dev {
+                rules.push(rule);
             }
-            rules.push(FaultRule { site, first, times });
         }
         Ok(FaultPlan::new(rules))
     }
@@ -172,11 +169,19 @@ impl FaultPlan {
     /// A malformed plan aborts loudly rather than silently running
     /// fault-free.
     pub fn from_env() -> Option<FaultPlan> {
+        FaultPlan::from_env_for_device(0)
+    }
+
+    /// Per-device variant of [`FaultPlan::from_env`]: the plan a registry
+    /// device `dev` derives from `OMPI_FAULT_PLAN`. `None` when the
+    /// variable is unset, empty, or has no rules for this device.
+    pub fn from_env_for_device(dev: u32) -> Option<FaultPlan> {
         let text = std::env::var("OMPI_FAULT_PLAN").ok()?;
         if text.trim().is_empty() {
             return None;
         }
-        match FaultPlan::parse(&text) {
+        match FaultPlan::parse_for_device(&text, dev) {
+            Ok(p) if p.rules.is_empty() => None,
             Ok(p) => Some(p),
             Err(e) => panic!("OMPI_FAULT_PLAN: {e}"),
         }
@@ -214,6 +219,49 @@ impl FaultPlan {
     pub fn rules(&self) -> &[FaultRule] {
         &self.rules
     }
+}
+
+/// Parse one `[devN:]site@first[xN|x*]` part into its device scope
+/// (`None` = unprefixed, i.e. the default device) and rule.
+fn parse_scoped_rule(part: &str) -> Result<(Option<u32>, FaultRule), String> {
+    let (scope, body) = match part.split_once(':') {
+        Some((pre, rest)) => {
+            let id = pre
+                .trim()
+                .strip_prefix("dev")
+                .filter(|n| !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()))
+                .and_then(|n| n.parse::<u32>().ok())
+                .ok_or_else(|| {
+                    format!("fault rule `{part}`: bad device prefix `{pre}:` (expected `devN:`)")
+                })?;
+            (Some(id), rest)
+        }
+        None => (None, part),
+    };
+    let (site, rest) = body
+        .split_once('@')
+        .ok_or_else(|| format!("fault rule `{part}`: expected `site@first[xN|x*]`"))?;
+    let site = FaultSite::from_name(site.trim())
+        .ok_or_else(|| format!("fault rule `{part}`: unknown site `{site}`"))?;
+    let (first, times) = match rest.split_once('x') {
+        None => (rest, Some(1)),
+        Some((f, "*")) => (f, None),
+        Some((f, n)) => {
+            let n: u64 = n
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault rule `{part}`: bad repeat count `{n}`"))?;
+            (f, Some(n.max(1)))
+        }
+    };
+    let first: u64 = first
+        .trim()
+        .parse()
+        .map_err(|_| format!("fault rule `{part}`: bad call number `{first}`"))?;
+    if first == 0 {
+        return Err(format!("fault rule `{part}`: call numbers are 1-based"));
+    }
+    Ok((scope, FaultRule { site, first, times }))
 }
 
 #[cfg(test)]
@@ -267,6 +315,41 @@ mod tests {
         }
         assert!(p.has_terminal(FaultSite::Alloc));
         assert!(!p.has_terminal(FaultSite::Launch));
+    }
+
+    #[test]
+    fn device_prefix_scopes_rules() {
+        // Unprefixed rules belong to the default device (0); dev1: rules
+        // only materialize in device 1's plan.
+        let text = "launch@2x3, dev1:alloc@1x*, dev0:h2d@5";
+        let p0 = FaultPlan::parse_for_device(text, 0).unwrap();
+        assert_eq!(
+            p0.rules(),
+            &[
+                FaultRule { site: FaultSite::Launch, first: 2, times: Some(3) },
+                FaultRule { site: FaultSite::H2D, first: 5, times: Some(1) },
+            ]
+        );
+        let p1 = FaultPlan::parse_for_device(text, 1).unwrap();
+        assert_eq!(p1.rules(), &[FaultRule { site: FaultSite::Alloc, first: 1, times: None }]);
+        assert!(FaultPlan::parse_for_device(text, 2).unwrap().rules().is_empty());
+        // `parse` keeps its historical meaning: the default device's view.
+        assert_eq!(FaultPlan::parse(text).unwrap().rules(), p0.rules());
+    }
+
+    #[test]
+    fn malformed_device_prefixes_are_rejected() {
+        for bad in
+            ["dev:launch@1", "devx:launch@1", "device1:launch@1", "1:launch@1", "dev-1:launch@1"]
+        {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+        // A rule scoped to another device is still validated.
+        assert!(FaultPlan::parse_for_device("dev1:nosite@1", 0).is_err());
+        assert!(FaultPlan::parse_for_device("dev1:launch@0", 0).is_err());
+        // Leading zeros and whitespace around the prefix are tolerated.
+        assert_eq!(FaultPlan::parse_for_device("dev01:launch@1", 1).unwrap().rules().len(), 1);
+        assert_eq!(FaultPlan::parse_for_device(" dev2:launch@1 ", 2).unwrap().rules().len(), 1);
     }
 
     #[test]

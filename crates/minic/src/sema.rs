@@ -83,6 +83,8 @@ fn builtin_ret_ty(name: &str) -> Option<Ty> {
         | "omp_get_num_teams"
         | "omp_get_num_devices"
         | "omp_get_default_device"
+        | "omp_set_default_device"
+        | "omp_get_initial_device"
         | "omp_is_initial_device"
         | "omp_get_max_threads"
         | "omp_get_num_procs" => Ty::Int,

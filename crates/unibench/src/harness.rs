@@ -31,15 +31,17 @@ pub struct Built {
 }
 
 /// One measured point of a Fig. 4 series.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Measurement {
     pub n: u32,
     /// The paper's metric: kernel time + required memory operations
-    /// (simulated seconds).
+    /// (simulated seconds), aggregated over every offload device.
     pub time_s: f64,
     pub kernel_s: f64,
     pub memcpy_s: f64,
     pub launches: u64,
+    /// Per-device clock snapshots (registry order, one per offload device).
+    pub per_device: Vec<cudadev::DevClock>,
 }
 
 /// Compile one variant of an app and instantiate a runner sized for `n`.
@@ -65,19 +67,24 @@ pub fn build_variant(
     Built { runner, variant }
 }
 
-/// Run once at size `n` and report the virtual device time.
+/// Run once at size `n` and report the virtual device time, read through
+/// the device registry: the aggregate clock plus one snapshot per device.
 pub fn measure(app: &App, built: &Built, n: u32) -> Measurement {
-    built.runner.reset_dev_clock();
+    let registry = built.runner.registry();
+    registry.reset_clocks();
     run_once(app, &built.runner, n).unwrap_or_else(|e| {
         panic!("{} ({}) failed at n={n}: {e}", app.name, built.variant.label())
     });
-    let clk = built.runner.dev_clock();
+    let clk = registry.aggregate_clock();
+    let per_device =
+        (0..registry.num_devices()).filter_map(|i| registry.clock_of(i)).collect::<Vec<_>>();
     Measurement {
         n,
         time_s: clk.total_s(),
         kernel_s: clk.kernel_s,
         memcpy_s: clk.memcpy_s,
         launches: clk.launches,
+        per_device,
     }
 }
 

@@ -5,6 +5,18 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== module size ratchet (crates/core/src, 900 lines) =="
+# The transform monolith was split into a pass pipeline; keep it split.
+oversized=0
+for f in $(find crates/core/src -name '*.rs'); do
+    lines=$(wc -l < "$f")
+    if [ "$lines" -gt 900 ]; then
+        echo "FAIL: $f has $lines lines (limit 900)"
+        oversized=1
+    fi
+done
+[ "$oversized" -eq 0 ] || exit 1
+
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 

@@ -43,6 +43,7 @@
 //! ```
 
 pub use cudadev;
+pub use devmod;
 pub use gpusim;
 pub use hostomp;
 pub use minic;
@@ -53,6 +54,7 @@ pub use unibench;
 pub use vmcommon;
 
 pub use cudadev::{CudadevError, DevClock, RetryPolicy};
+pub use devmod::{DeviceKind, DeviceModule, DeviceRegistry, HostDevice};
 pub use gpusim::ExecMode;
 pub use gpusim::{FaultPlan, FaultRule, FaultSite};
 pub use nvccsim::BinMode;
