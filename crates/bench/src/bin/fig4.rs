@@ -4,13 +4,19 @@
 //!
 //! Usage:
 //!   fig4 [--app NAME] [--sizes a,b,c] [--full] [--max-blocks N]
+//!        [--trace PATH] [--profile]
 //!
 //! By default every app runs over its paper sizes in sampled-simulation
 //! mode (see DESIGN.md for the sampling substitution). `--full` forces
-//! functional simulation (slow; use small sizes).
+//! functional simulation (slow; use small sizes). `--trace PATH` writes a
+//! Chrome trace-event JSON of every run (load in Perfetto / chrome://tracing)
+//! and `--profile` prints the per-device simulated-time profile table after
+//! each measurement.
+
+use std::sync::Arc;
 
 use gpusim::ExecMode;
-use unibench::{all_apps, app_by_name, build_variant, measure, Variant};
+use unibench::{all_apps, app_by_name, build_variant_obs, measure, Variant};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,6 +24,8 @@ fn main() {
     let mut sizes_override: Option<Vec<u32>> = None;
     let mut full = false;
     let mut max_blocks = 4u32;
+    let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut profile = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -38,12 +46,22 @@ fn main() {
                 max_blocks = args[i + 1].parse().expect("max-blocks");
                 i += 2;
             }
+            "--trace" => {
+                trace_path = Some(std::path::PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--profile" => {
+                profile = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
             }
         }
     }
+    let obs =
+        if trace_path.is_some() || profile { obs::Obs::enabled() } else { obs::Obs::disabled() };
 
     let mode = if full { ExecMode::Functional } else { ExecMode::Sampled { max_blocks } };
     let work = std::env::temp_dir().join("ompi-fig4");
@@ -65,8 +83,15 @@ fn main() {
         for &n in &sizes {
             let mut row = Vec::new();
             for variant in [Variant::Cuda, Variant::OmpiCudadev] {
-                let built = build_variant(&app, variant, n, mode, true, &work);
+                let built =
+                    build_variant_obs(&app, variant, n, mode, true, &work, Some(obs.clone()));
                 let m = measure(&app, &built, n);
+                if profile {
+                    println!("# {} {} n={n}", app.name, variant.label());
+                    for line in built.runner.profile_table().lines() {
+                        println!("# {line}");
+                    }
+                }
                 // The aggregate is the registry-level sum; show the
                 // per-device split whenever more than one device is live.
                 if m.per_device.len() > 1 {
@@ -76,7 +101,7 @@ fn main() {
                             variant.label(),
                             d.total_s(),
                             d.kernel_s,
-                            d.memcpy_s,
+                            d.memcpy_s(),
                             d.launches
                         );
                     }
@@ -93,4 +118,24 @@ fn main() {
         }
         println!();
     }
+
+    if let Some(path) = trace_path {
+        match write_trace(&obs, &path) {
+            Ok(()) => eprintln!("# trace written to {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write trace to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Export the combined trace of every run. Runners named their own device
+/// processes as they initialized (first-wins), so only unnamed processes
+/// still need labels — fig4 runners are single-device, making pid 0 the
+/// offload device and pid 1 the host shim.
+fn write_trace(obs: &Arc<obs::Obs>, path: &std::path::Path) -> std::io::Result<()> {
+    obs.tracer.set_process_name(0, "dev0");
+    obs.tracer.set_process_name(1, "host (initial device)");
+    obs.tracer.write_json(path)
 }

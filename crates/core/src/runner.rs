@@ -55,6 +55,13 @@ pub struct RunnerConfig {
     pub fault_spec: Option<String>,
     /// Retry policy for transient driver faults.
     pub retry: RetryPolicy,
+    /// Explicit observability sink (tracer + metrics). `None` resolves the
+    /// `OMPI_TRACE` / `OMPI_PROFILE` environment variables: a set
+    /// `OMPI_TRACE` makes the runner write Chrome trace-event JSON there on
+    /// drop, and `OMPI_PROFILE=1` prints the per-device profile table to
+    /// stderr. An explicit sink suppresses both automatic outputs — the
+    /// caller owns export.
+    pub obs: Option<Arc<obs::Obs>>,
 }
 
 impl Default for RunnerConfig {
@@ -69,7 +76,28 @@ impl Default for RunnerConfig {
             fault_plan: None,
             fault_spec: None,
             retry: RetryPolicy::default(),
+            obs: None,
         }
+    }
+}
+
+/// How a runner's observability was resolved (explicit sink vs env vars).
+struct ObsSetup {
+    obs: Arc<obs::Obs>,
+    /// Write the trace here on drop (env-var mode only).
+    trace_path: Option<std::path::PathBuf>,
+    /// Print the profile table to stderr on drop (env-var mode only).
+    profile: bool,
+}
+
+impl ObsSetup {
+    fn resolve(cfg: &RunnerConfig) -> ObsSetup {
+        if let Some(o) = &cfg.obs {
+            return ObsSetup { obs: o.clone(), trace_path: None, profile: false };
+        }
+        let env = obs::ObsEnv::from_env();
+        let obs = if env.trace_path.is_some() { obs::Obs::enabled() } else { obs::Obs::disabled() };
+        ObsSetup { obs, trace_path: env.trace_path, profile: env.profile }
     }
 }
 
@@ -89,10 +117,20 @@ pub struct OmpiHooks {
     /// Target regions execute sequentially on the host thread, so one
     /// counter suffices even with several registered devices.
     region_commits: AtomicUsize,
+    /// Trace + metrics sink shared with every device module.
+    obs: Arc<obs::Obs>,
+    /// Wall-clock start of the fallback body currently executing (the host
+    /// has no cycle model; its elapsed time becomes simulated fallback
+    /// time — documented substitution).
+    fb_start: Mutex<Option<std::time::Instant>>,
 }
 
 impl OmpiHooks {
-    fn new(registry: Arc<DeviceRegistry>, cuda_module: Option<String>) -> OmpiHooks {
+    fn new(
+        registry: Arc<DeviceRegistry>,
+        cuda_module: Option<String>,
+        obs: Arc<obs::Obs>,
+    ) -> OmpiHooks {
         OmpiHooks {
             rt: registry.host().rt().clone(),
             registry,
@@ -100,7 +138,21 @@ impl OmpiHooks {
             cuda_module,
             parallel_error: Mutex::new(None),
             region_commits: AtomicUsize::new(0),
+            obs,
+            fb_start: Mutex::new(None),
         }
+    }
+
+    /// Trace pid of the host shim (one Chrome-trace "process" per device;
+    /// the initial device comes after the offload devices).
+    fn host_pid(&self) -> u64 {
+        self.registry.num_devices() as u64
+    }
+
+    /// Simulated time on device `idx` right now (`idx == num_devices()`
+    /// reads the host shim's clock).
+    fn sim_now(&self, idx: usize) -> f64 {
+        self.registry.clock_of(idx).unwrap_or_default().total_s()
     }
 
     /// Graceful-degradation filter for `__dev_*` hooks: terminal device
@@ -224,6 +276,62 @@ impl Hooks for OmpiHooks {
         let resolve = |i: usize| self.registry.resolve(a(i).as_i64());
 
         match name {
+            // ---------------------------------------- region observability
+            "__dev_region_begin" => {
+                // (dev, construct-kind string): opens the target-region span
+                // on the resolved device's driver track.
+                let idx = self.registry.resolve_id(a(0).as_i64());
+                let construct = read_str(1)?;
+                self.obs.metrics.incr(idx as u64, "target_regions", 1);
+                if self.obs.tracer.is_enabled() {
+                    self.obs.tracer.begin(
+                        idx as u64,
+                        0,
+                        &construct,
+                        "region",
+                        self.sim_now(idx),
+                        vec![("device", (idx as u64).into())],
+                    );
+                }
+                Ok(Some(Value::I32(0)))
+            }
+            "__dev_region_end" => {
+                let idx = self.registry.resolve_id(a(0).as_i64());
+                if self.obs.tracer.is_enabled() {
+                    self.obs.tracer.end_track(idx as u64, 0, self.sim_now(idx));
+                }
+                Ok(Some(Value::I32(0)))
+            }
+            "__dev_fb_begin" => {
+                // The region's fallback body is about to run on the host
+                // thread team (offload declined or failed).
+                let from = self.registry.resolve_id(a(0).as_i64());
+                let host_pid = self.host_pid();
+                *self.fb_start.lock() = Some(std::time::Instant::now());
+                self.obs.metrics.incr(host_pid, "fallbacks", 1);
+                if self.obs.tracer.is_enabled() {
+                    self.obs.tracer.begin(
+                        host_pid,
+                        0,
+                        "host fallback",
+                        "fallback",
+                        self.sim_now(host_pid as usize),
+                        vec![("from_device", (from as u64).into())],
+                    );
+                }
+                Ok(Some(Value::I32(0)))
+            }
+            "__dev_fb_end" => {
+                let host_pid = self.host_pid();
+                if let Some(t0) = self.fb_start.lock().take() {
+                    self.registry.host().record_fallback(t0.elapsed().as_secs_f64());
+                }
+                if self.obs.tracer.is_enabled() {
+                    self.obs.tracer.end_track(host_pid, 0, self.sim_now(host_pid as usize));
+                }
+                Ok(Some(Value::I32(0)))
+            }
+
             // ------------------------------------------------- offloading
             "__dev_ok" => {
                 // Guard emitted before every offload region: is the device
@@ -443,7 +551,17 @@ impl Hooks for OmpiHooks {
                 self.nthreads_icv.store(a(0).as_i64().max(1) as usize, Ordering::Relaxed);
                 Ok(Some(Value::I32(0)))
             }
-            "omp_get_wtime" => Ok(Some(Value::F64(self.rt.wtime()))),
+            "omp_get_wtime" => {
+                // Simulated time, not wall time: the default device's
+                // virtual clock, so interpreted programs measure the same
+                // quantity the harness reports.
+                let idx = self.registry.resolve_id(-1);
+                Ok(Some(Value::F64(self.sim_now(idx))))
+            }
+            "omp_get_wtick" => {
+                // Resolution of the simulated clock: one GPU core cycle.
+                Ok(Some(Value::F64(1.0 / gpusim::timing::CLOCK_HZ)))
+            }
             "omp_get_num_procs" => Ok(Some(Value::I32(4))), // quad-core A57
             "omp_get_num_devices" => Ok(Some(Value::I32(self.registry.num_devices() as i32))),
             "omp_get_default_device" => Ok(Some(Value::I32(self.registry.default_device() as i32))),
@@ -569,6 +687,10 @@ pub struct Runner {
     pub machine: Arc<Machine>,
     pub hooks: Arc<OmpiHooks>,
     hooks_dyn: Arc<dyn Hooks>,
+    /// Write the trace here on drop (`OMPI_TRACE` mode).
+    trace_path: Option<std::path::PathBuf>,
+    /// Print the profile table on drop (`OMPI_PROFILE` mode).
+    profile_on_drop: bool,
 }
 
 impl Runner {
@@ -578,6 +700,7 @@ impl Runner {
     fn build_registry(
         kernel_dir: &std::path::Path,
         cfg: &RunnerConfig,
+        obs: &Arc<obs::Obs>,
     ) -> IResult<Arc<DeviceRegistry>> {
         let mut devices: Vec<Arc<dyn DeviceModule>> = Vec::with_capacity(cfg.num_devices);
         for i in 0..cfg.num_devices {
@@ -601,6 +724,7 @@ impl Runner {
                 launch_sampling: cfg.launch_sampling,
                 fault_plan,
                 retry: cfg.retry,
+                obs: obs.clone(),
             })));
         }
         Ok(Arc::new(DeviceRegistry::new(devices)))
@@ -615,28 +739,38 @@ impl Runner {
         registry: Arc<DeviceRegistry>,
         cuda_module: Option<String>,
         cfg: &RunnerConfig,
+        setup: ObsSetup,
     ) -> IResult<Runner> {
         let machine = Machine::new(host, host_info, cfg.host_mem)?;
-        let hooks = Arc::new(OmpiHooks::new(registry, cuda_module));
+        let hooks = Arc::new(OmpiHooks::new(registry, cuda_module, setup.obs));
         let hooks_dyn: Arc<dyn Hooks> = hooks.clone();
-        Ok(Runner { machine, hooks, hooks_dyn })
+        Ok(Runner {
+            machine,
+            hooks,
+            hooks_dyn,
+            trace_path: setup.trace_path,
+            profile_on_drop: setup.profile,
+        })
     }
 
     /// Instantiate a compiled OpenMP application.
     pub fn new(app: &CompiledApp, cfg: &RunnerConfig) -> IResult<Runner> {
-        let registry = Self::build_registry(&app.kernel_dir, cfg)?;
-        Self::with_registry(app.host.clone(), app.host_info.clone(), registry, None, cfg)
+        let setup = ObsSetup::resolve(cfg);
+        let registry = Self::build_registry(&app.kernel_dir, cfg, &setup.obs)?;
+        Self::with_registry(app.host.clone(), app.host_info.clone(), registry, None, cfg, setup)
     }
 
     /// Instantiate a compiled pure-CUDA application.
     pub fn new_cuda(app: &CompiledCudaApp, cfg: &RunnerConfig) -> IResult<Runner> {
-        let registry = Self::build_registry(&app.kernel_dir, cfg)?;
+        let setup = ObsSetup::resolve(cfg);
+        let registry = Self::build_registry(&app.kernel_dir, cfg, &setup.obs)?;
         Self::with_registry(
             app.host.clone(),
             app.host_info.clone(),
             registry,
             Some(app.module_name.clone()),
             cfg,
+            setup,
         )
     }
 
@@ -699,5 +833,47 @@ impl Runner {
     /// device ever came up).
     pub fn take_device_output(&self) -> String {
         self.hooks.registry.take_printf_output()
+    }
+
+    /// The observability sink this runner records into.
+    pub fn obs(&self) -> &Arc<obs::Obs> {
+        &self.hooks.obs
+    }
+
+    /// The per-device profile table (simulated time by phase), rendered.
+    pub fn profile_table(&self) -> String {
+        obs::render_profile(&self.hooks.registry.profile_rows())
+    }
+
+    /// Make sure every trace "process" carries a human-readable name
+    /// (first-wins: devices that came up already named themselves).
+    fn name_trace_processes(&self) {
+        let tracer = &self.hooks.obs.tracer;
+        for i in 0..self.hooks.registry.num_devices() {
+            tracer.set_process_name(i as u64, &format!("dev{i}"));
+        }
+        tracer.set_process_name(self.hooks.host_pid(), "host (initial device)");
+    }
+
+    /// Write the recorded trace as Chrome trace-event JSON.
+    pub fn write_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.name_trace_processes();
+        self.hooks.obs.tracer.write_json(path)
+    }
+}
+
+impl Drop for Runner {
+    /// Env-var mode export: `OMPI_TRACE` writes the trace JSON,
+    /// `OMPI_PROFILE` prints the profile table to stderr. Explicit
+    /// `RunnerConfig::obs` sinks skip both (the caller owns export).
+    fn drop(&mut self) {
+        if let Some(path) = self.trace_path.take() {
+            if let Err(e) = self.write_trace(&path) {
+                eprintln!("ompi: failed to write trace to {}: {e}", path.display());
+            }
+        }
+        if self.profile_on_drop {
+            eprintln!("{}", self.profile_table());
+        }
     }
 }

@@ -359,15 +359,33 @@ impl<'p> Translator<'p> {
         // memory still holds the pre-region state, so re-execution is safe;
         // a loss after a *partial* commit traps instead (see runner.rs).
         let fallback_body = self.host_stmt(body, ctx)?;
+        // Observability brackets: the whole replacement is one target-region
+        // span on the resolved device; a taken fallback path is its own span
+        // attributed to the host device.
+        let construct =
+            if reg.combined { "target teams distribute parallel for" } else { "target" };
         let offload_block = b::block(vec![
             b::decl(&dev_var, Ty::Int, Some(reg.dev_expr.clone())),
             b::decl(&fb_var, Ty::Int, Some(b::int(1))),
+            b::expr_stmt(b::call(
+                "__dev_region_begin",
+                vec![dev(), b::e(ExprKind::StrLit(construct.to_string()))],
+            )),
             Stmt::If {
                 cond: b::call("__dev_ok", vec![dev()]),
                 then_s: Box::new(b::block(stmts)),
                 else_s: None,
             },
-            Stmt::If { cond: b::ident(&fb_var), then_s: Box::new(fallback_body), else_s: None },
+            Stmt::If {
+                cond: b::ident(&fb_var),
+                then_s: Box::new(b::block(vec![
+                    b::expr_stmt(b::call("__dev_fb_begin", vec![dev()])),
+                    fallback_body,
+                    b::expr_stmt(b::call("__dev_fb_end", vec![dev()])),
+                ])),
+                else_s: None,
+            },
+            b::expr_stmt(b::call("__dev_region_end", vec![dev()])),
         ]);
 
         // if(...) clause: false → run on the host instead.

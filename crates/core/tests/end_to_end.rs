@@ -52,7 +52,7 @@ int main() {
     assert_eq!(v, Value::I32(0), "all SAXPY elements must be correct");
     let clk = runner.dev_clock();
     assert_eq!(clk.launches, 1);
-    assert!(clk.kernel_s > 0.0 && clk.memcpy_s > 0.0);
+    assert!(clk.kernel_s > 0.0 && clk.memcpy_s() > 0.0);
 }
 
 /// The recommended combined construct (§3.1) with collapse(2).

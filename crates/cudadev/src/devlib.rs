@@ -184,6 +184,54 @@ fn first(mask: u32, args: &LaneVec) -> u64 {
     args[mask.trailing_zeros().min(31) as usize]
 }
 
+/// `bar_sync` with a trace event: records the simulated cycles this warp
+/// spent parked at the barrier as a complete event on the warp's track
+/// (tid = 1 + warp_id; tid 0 is the driver stream).
+fn bar_sync_traced(
+    warp: &mut Warp<'_>,
+    id: u32,
+    expected: u32,
+    label: &'static str,
+) -> Result<(), ExecError> {
+    let trace = warp.env.device.trace();
+    let before = warp.clock;
+    let r = warp.bar_sync(id, expected);
+    if let Some(t) = trace {
+        let hz = warp.env.device.props.clock_hz;
+        t.obs.tracer.complete(
+            t.pid,
+            1 + warp.warp_id as u64,
+            label,
+            "barrier",
+            t.base_s + before as f64 / hz,
+            warp.clock.saturating_sub(before) as f64 / hz,
+            vec![("warp", (warp.warp_id as u64).into())],
+        );
+    }
+    r
+}
+
+/// Emit an instant event on the calling warp's track at its current
+/// simulated time.
+fn warp_instant(
+    warp: &Warp<'_>,
+    name: &str,
+    cat: &'static str,
+    args: Vec<(&'static str, obs::ArgValue)>,
+) {
+    if let Some(t) = warp.env.device.trace() {
+        let hz = warp.env.device.props.clock_hz;
+        t.obs.tracer.instant(
+            t.pid,
+            1 + warp.warp_id as u64,
+            name,
+            cat,
+            t.base_s + warp.clock as f64 / hz,
+            args,
+        );
+    }
+}
+
 fn uniform_ret(v: u64) -> Option<LaneVec> {
     Some([v; 32])
 }
@@ -248,7 +296,14 @@ impl DeviceLib for CudaDeviceLib {
                 let aligned = off.next_multiple_of(8);
                 let dst = vmcommon::addr::make(vmcommon::addr::Space::Shared, aligned);
                 warp.copy_bytes(dst, src, size)?;
-                sp.store(aligned + size.next_multiple_of(8), Ordering::Release);
+                let depth = aligned + size.next_multiple_of(8);
+                sp.store(depth, Ordering::Release);
+                warp_instant(
+                    warp,
+                    "shmem push",
+                    "shmem",
+                    vec![("bytes", size.into()), ("depth", depth.into())],
+                );
                 Ok(uniform_ret(dst))
             }
             "cudadev_pop_shmem" => {
@@ -263,6 +318,12 @@ impl DeviceLib for CudaDeviceLib {
                 let src = vmcommon::addr::make(vmcommon::addr::Space::Shared, entry);
                 warp.copy_bytes(dst, src, size)?;
                 sp.store(entry, Ordering::Release);
+                warp_instant(
+                    warp,
+                    "shmem pop",
+                    "shmem",
+                    vec![("bytes", size.into()), ("depth", entry.into())],
+                );
                 Ok(uniform_ret(0))
             }
 
@@ -272,23 +333,36 @@ impl DeviceLib for CudaDeviceLib {
                 let fnidx = first(mask, &args[0]);
                 let vars = first(mask, &args[1]);
                 let nthr = (first(mask, &args[2]) as u32).clamp(1, MW_WORKERS);
+                let region_start = warp.clock;
                 let ext = &warp.env.ctx.ext;
                 ext[slots::MW_FN].store(fnidx, Ordering::Release);
                 ext[slots::MW_VARS].store(vars, Ordering::Release);
                 ext[slots::MW_NTHR].store(nthr as u64, Ordering::Release);
                 ext[slots::MW_MODE].store(1, Ordering::Release);
                 // Wake the workers (region start)…
-                warp.bar_sync(B1, MW_BLOCK_THREADS)?;
+                bar_sync_traced(warp, B1, MW_BLOCK_THREADS, "B1 wake")?;
                 // …and wait for region completion.
-                warp.bar_sync(B1, MW_BLOCK_THREADS)?;
-                ext[slots::MW_MODE].store(0, Ordering::Release);
+                bar_sync_traced(warp, B1, MW_BLOCK_THREADS, "B1 wait")?;
+                warp.env.ctx.ext[slots::MW_MODE].store(0, Ordering::Release);
+                if let Some(t) = warp.env.device.trace() {
+                    let hz = warp.env.device.props.clock_hz;
+                    t.obs.tracer.complete(
+                        t.pid,
+                        1 + warp.warp_id as u64,
+                        "parallel region",
+                        "parallel",
+                        t.base_s + region_start as f64 / hz,
+                        warp.clock.saturating_sub(region_start) as f64 / hz,
+                        vec![("nthreads", (nthr as u64).into()), ("fn", fnidx.into())],
+                    );
+                }
                 Ok(uniform_ret(0))
             }
             "cudadev_workerfunc" => {
                 // Worker warps: serve parallel regions until exit. Runs with
                 // the warp's full live mask.
                 loop {
-                    warp.bar_sync(B1, MW_BLOCK_THREADS)?;
+                    bar_sync_traced(warp, B1, MW_BLOCK_THREADS, "B1 park")?;
                     let ext = &warp.env.ctx.ext;
                     if ext[slots::MW_EXIT].load(Ordering::Acquire) != 0 {
                         return Ok(uniform_ret(0));
@@ -307,17 +381,17 @@ impl DeviceLib for CudaDeviceLib {
                     if pmask != 0 {
                         warp.call_device_fn(fnidx, &[[vars; 32]], pmask)?;
                         // Participants synchronize on B2 (rounded count).
-                        warp.bar_sync(B2, round_barrier_count(nthr))?;
+                        bar_sync_traced(warp, B2, round_barrier_count(nthr), "B2 wait")?;
                     }
                     // Region end: every warp rejoins the master on B1.
-                    warp.bar_sync(B1, MW_BLOCK_THREADS)?;
+                    bar_sync_traced(warp, B1, MW_BLOCK_THREADS, "B1 rejoin")?;
                 }
             }
             "cudadev_exit_target" => {
                 let ext = &warp.env.ctx.ext;
                 ext[slots::MW_EXIT].store(1, Ordering::Release);
                 // Release the workers so they observe the exit flag.
-                warp.bar_sync(B1, MW_BLOCK_THREADS)?;
+                bar_sync_traced(warp, B1, MW_BLOCK_THREADS, "B1 exit")?;
                 Ok(uniform_ret(0))
             }
 
@@ -424,10 +498,10 @@ impl DeviceLib for CudaDeviceLib {
             "cudadev_barrier" => {
                 if self.mw_active(warp) {
                     let nthr = self.region_nthr(warp);
-                    warp.bar_sync(B2, round_barrier_count(nthr))?;
+                    bar_sync_traced(warp, B2, round_barrier_count(nthr), "B2 wait")?;
                 } else {
                     let all = warp.env.nthreads.next_multiple_of(W);
-                    warp.bar_sync(0, all)?;
+                    bar_sync_traced(warp, 0, all, "barrier")?;
                 }
                 Ok(uniform_ret(0))
             }

@@ -49,12 +49,29 @@ struct MapEntry {
     copy_out: bool,
 }
 
-/// Accumulated virtual device time (the quantity the paper reports:
-/// "kernel execution time, plus any required memory operations").
+/// Accumulated virtual device time, broken down by offload phase — the
+/// attribution the paper's evaluation is built on. [`DevClock::offload_s`]
+/// is the quantity the paper reports ("kernel execution time, plus any
+/// required memory operations"); [`DevClock::total_s`] additionally counts
+/// one-time setup, retry backoff and host-fallback time, and is exactly the
+/// sum of the profile table's columns.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DevClock {
+    /// One-time device initialization (lazy, on the first offload).
+    pub init_s: f64,
+    /// Module loading: cubin deserialize, PTX JIT, or JIT-cache reload.
+    pub modload_s: f64,
+    /// Kernel execution (including launch overhead).
     pub kernel_s: f64,
-    pub memcpy_s: f64,
+    /// Host→device transfer time.
+    pub h2d_s: f64,
+    /// Device→host transfer time.
+    pub d2h_s: f64,
+    /// Simulated backoff delay between transient-fault retries.
+    pub retry_backoff_s: f64,
+    /// Host time re-executing regions after this device failed terminally
+    /// (only the host shim's clock accumulates this; see DESIGN.md §7).
+    pub fallback_s: f64,
     pub launches: u64,
     pub h2d_bytes: u64,
     pub d2h_bytes: u64,
@@ -64,18 +81,44 @@ pub struct DevClock {
     pub jit_invalidations: u64,
     /// Driver operations retried after a transient fault.
     pub retries: u64,
+    /// Regions re-executed on the host after a terminal device failure.
+    pub fallbacks: u64,
 }
 
 impl DevClock {
+    /// Total transfer time, both directions.
+    pub fn memcpy_s(&self) -> f64 {
+        self.h2d_s + self.d2h_s
+    }
+
+    /// The paper's reported metric: kernel time plus required memory
+    /// operations.
+    pub fn offload_s(&self) -> f64 {
+        self.kernel_s + self.memcpy_s()
+    }
+
+    /// Sum of every tracked time category; the per-device profile table's
+    /// columns add up to exactly this.
     pub fn total_s(&self) -> f64 {
-        self.kernel_s + self.memcpy_s
+        self.init_s
+            + self.modload_s
+            + self.kernel_s
+            + self.h2d_s
+            + self.d2h_s
+            + self.retry_backoff_s
+            + self.fallback_s
     }
 
     /// Fold another clock into this one (registry-level aggregation over
     /// multiple devices).
     pub fn merge(&mut self, other: &DevClock) {
+        self.init_s += other.init_s;
+        self.modload_s += other.modload_s;
         self.kernel_s += other.kernel_s;
-        self.memcpy_s += other.memcpy_s;
+        self.h2d_s += other.h2d_s;
+        self.d2h_s += other.d2h_s;
+        self.retry_backoff_s += other.retry_backoff_s;
+        self.fallback_s += other.fallback_s;
         self.launches += other.launches;
         self.h2d_bytes += other.h2d_bytes;
         self.d2h_bytes += other.d2h_bytes;
@@ -83,6 +126,31 @@ impl DevClock {
         self.jit_cache_hits += other.jit_cache_hits;
         self.jit_invalidations += other.jit_invalidations;
         self.retries += other.retries;
+        self.fallbacks += other.fallbacks;
+    }
+
+    /// Zero every accumulator *and* counter — the exact inverse of what
+    /// [`DevClock::merge`] folds in, so aggregate views stay consistent
+    /// across resets.
+    pub fn reset(&mut self) {
+        *self = DevClock::default();
+    }
+
+    /// This clock as one row of the per-device profile table.
+    pub fn profile_row(&self, label: &str) -> obs::ProfileRow {
+        obs::ProfileRow {
+            label: label.to_string(),
+            init_s: self.init_s,
+            modload_s: self.modload_s,
+            h2d_s: self.h2d_s,
+            kernel_s: self.kernel_s,
+            d2h_s: self.d2h_s,
+            retry_backoff_s: self.retry_backoff_s,
+            fallback_s: self.fallback_s,
+            launches: self.launches,
+            retries: self.retries,
+            fallbacks: self.fallbacks,
+        }
     }
 }
 
@@ -141,6 +209,10 @@ pub struct CudaDevConfig {
     pub fault_plan: Option<Arc<FaultPlan>>,
     /// Retry policy for transient driver faults.
     pub retry: RetryPolicy,
+    /// Observability sink: spans and counters for every driver operation.
+    /// Disabled by default (a disabled tracer is one atomic load per
+    /// event). The trace process number is `device_id`.
+    pub obs: Arc<obs::Obs>,
 }
 
 impl Default for CudaDevConfig {
@@ -155,6 +227,7 @@ impl Default for CudaDevConfig {
             launch_sampling: false,
             fault_plan: None,
             retry: RetryPolicy::default(),
+            obs: obs::Obs::disabled(),
         }
     }
 }
@@ -209,6 +282,17 @@ impl CudaDev {
         self.broken.store(true, Ordering::Release);
     }
 
+    /// This device's trace-process number.
+    fn pid(&self) -> u64 {
+        self.cfg.device_id as u64
+    }
+
+    /// Current simulated time on this device's clock — every trace
+    /// timestamp derives from here, never from wall time.
+    fn now(&self) -> f64 {
+        self.clock.lock().total_s()
+    }
+
     /// The device, initializing on first use; fails instead of panicking
     /// when the (possibly fault-injected) driver cannot come up.
     pub fn try_device(&self) -> Result<Arc<Device>, CudadevError> {
@@ -219,6 +303,9 @@ impl CudaDev {
         if let Some(d) = slot.as_ref() {
             return Ok(d.clone());
         }
+        let obs = &self.cfg.obs;
+        let init_span =
+            obs.tracer.span(self.pid(), 0, "device init", "init", || self.now(), vec![]);
         let plan = self
             .cfg
             .fault_plan
@@ -226,27 +313,42 @@ impl CudaDev {
             .or_else(|| FaultPlan::from_env_for_device(self.cfg.device_id).map(Arc::new));
         if let Some(p) = &plan {
             if let Err(e) = p.check(FaultSite::Init) {
+                obs.tracer.instant(
+                    self.pid(),
+                    0,
+                    "fault",
+                    "fault",
+                    self.now(),
+                    vec![("site", "init".into()), ("error", e.to_string().into())],
+                );
                 if !e.is_transient() {
-                    self.mark_broken();
+                    self.latch_broken(&e);
                 }
                 return Err(CudadevError::Init(e));
             }
         }
         let d = Arc::new(Device::new(self.cfg.global_mem));
         d.set_fault_plan(plan);
+        if obs.tracer.is_enabled() {
+            d.set_trace(Some(gpusim::DevTrace { obs: obs.clone(), pid: self.pid(), base_s: 0.0 }));
+        }
         // Reserve the device runtime control block (critical-section lock
         // words).
-        let lock_area = match self.retrying(|| d.mem_alloc(NUM_LOCKS * 4)) {
+        let lock_area = match self.retrying("init", || d.mem_alloc(NUM_LOCKS * 4)) {
             Ok(a) => a,
             Err(e) => {
                 if matches!(e, ExecError::DeviceLost(_)) {
-                    self.mark_broken();
+                    self.latch_broken(&e);
                 }
                 return Err(CudadevError::Init(e));
             }
         };
         *self.lib.lock() = Some(Arc::new(CudaDeviceLib::new(lock_area)));
         *slot = Some(d.clone());
+        self.clock.lock().init_s += gpusim::timing::DEVICE_INIT_S;
+        drop(init_span);
+        obs.tracer.set_process_name(self.pid(), &format!("dev{} (cudadev)", self.cfg.device_id));
+        obs.metrics.incr(self.pid(), "device_inits", 1);
         self.initialized.store(true, Ordering::Release);
         Ok(d)
     }
@@ -268,17 +370,62 @@ impl CudaDev {
     }
 
     /// Run a driver operation, retrying transient faults with bounded
-    /// exponential backoff.
-    fn retrying<T>(&self, mut f: impl FnMut() -> Result<T, ExecError>) -> Result<T, ExecError> {
+    /// exponential backoff. The backoff delay is charged to the device
+    /// clock as `retry_backoff_s` (and still slept in wall time); each
+    /// retry leaves a nested span plus a per-site counter bump.
+    fn retrying<T>(
+        &self,
+        site: &str,
+        mut f: impl FnMut() -> Result<T, ExecError>,
+    ) -> Result<T, ExecError> {
+        let obs = &self.cfg.obs;
         let mut attempt = 0u32;
         loop {
             match f() {
                 Err(e) if e.is_transient() && attempt < self.cfg.retry.max_retries => {
                     attempt += 1;
-                    self.clock.lock().retries += 1;
-                    std::thread::sleep(self.cfg.retry.delay(attempt));
+                    let delay = self.cfg.retry.delay(attempt);
+                    let delay_s = delay.as_secs_f64();
+                    let t0 = {
+                        let mut clk = self.clock.lock();
+                        clk.retries += 1;
+                        let t = clk.total_s();
+                        clk.retry_backoff_s += delay_s;
+                        t
+                    };
+                    obs.tracer.instant(
+                        self.pid(),
+                        0,
+                        "fault",
+                        "fault",
+                        t0,
+                        vec![("site", site.into()), ("error", e.to_string().into())],
+                    );
+                    obs.tracer.complete(
+                        self.pid(),
+                        0,
+                        "retry",
+                        "retry",
+                        t0,
+                        delay_s,
+                        vec![("site", site.into()), ("attempt", attempt.into())],
+                    );
+                    obs.metrics.incr(self.pid(), &format!("retries.{site}"), 1);
+                    std::thread::sleep(delay);
                 }
-                other => return other,
+                Err(e) => {
+                    obs.tracer.instant(
+                        self.pid(),
+                        0,
+                        "fault",
+                        "fault",
+                        self.now(),
+                        vec![("site", site.into()), ("error", e.to_string().into())],
+                    );
+                    obs.metrics.incr(self.pid(), &format!("faults.{site}"), 1);
+                    return Err(e);
+                }
+                ok => return ok,
             }
         }
     }
@@ -287,9 +434,25 @@ impl CudaDev {
     /// broken.
     fn latch(&self, e: ExecError) -> ExecError {
         if matches!(e, ExecError::DeviceLost(_)) {
-            self.mark_broken();
+            self.latch_broken(&e);
         }
         e
+    }
+
+    /// Latch the device broken, leaving a trace instant the first time.
+    fn latch_broken(&self, e: &ExecError) {
+        if !self.is_broken() {
+            self.cfg.obs.tracer.instant(
+                self.pid(),
+                0,
+                "device broken",
+                "fault",
+                self.now(),
+                vec![("error", e.to_string().into())],
+            );
+            self.cfg.obs.metrics.incr(self.pid(), "broken", 1);
+        }
+        self.mark_broken();
     }
 
     // ------------------------------------------------- data environment
@@ -311,17 +474,39 @@ impl CudaDev {
             }
             return Ok(entry.dev_ptr);
         }
-        let dev_ptr = self.retrying(|| device.mem_alloc(len)).map_err(|e| self.latch(e))?;
+        let obs = &self.cfg.obs;
+        let dev_ptr =
+            self.retrying("alloc", || device.mem_alloc(len)).map_err(|e| self.latch(e))?;
+        obs.tracer.instant(
+            self.pid(),
+            0,
+            "alloc",
+            "mem",
+            self.now(),
+            vec![("bytes", len.into()), ("dev_ptr", dev_ptr.into())],
+        );
+        obs.metrics.observe(self.pid(), "alloc_bytes", len);
         if matches!(kind, MapKind::To | MapKind::ToFrom) {
+            let _h2d = obs.tracer.span(
+                self.pid(),
+                0,
+                "h2d",
+                "memcpy",
+                || self.now(),
+                vec![("bytes", len.into())],
+            );
             let mut buf = vec![0u8; len as usize];
             host_mem
                 .read_bytes(vmcommon::addr::offset(host_addr), &mut buf)
                 .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
-            let t =
-                self.retrying(|| device.memcpy_h2d(dev_ptr, &buf)).map_err(|e| self.latch(e))?;
+            let t = self
+                .retrying("h2d", || device.memcpy_h2d(dev_ptr, &buf))
+                .map_err(|e| self.latch(e))?;
             let mut clk = self.clock.lock();
-            clk.memcpy_s += t;
+            clk.h2d_s += t;
             clk.h2d_bytes += len;
+            drop(clk);
+            obs.metrics.incr(self.pid(), "h2d_bytes", len);
         }
         maps.insert(
             host_addr,
@@ -355,20 +540,39 @@ impl CudaDev {
             return Ok(());
         }
         let entry = maps.remove(&host_addr).unwrap();
+        let obs = &self.cfg.obs;
         let want_out = entry.copy_out || matches!(kind, MapKind::From | MapKind::ToFrom);
         if want_out && kind != MapKind::Delete && kind != MapKind::Release {
+            let _d2h = obs.tracer.span(
+                self.pid(),
+                0,
+                "d2h",
+                "memcpy",
+                || self.now(),
+                vec![("bytes", entry.len.into())],
+            );
             let mut buf = vec![0u8; entry.len as usize];
             let t = self
-                .retrying(|| device.memcpy_d2h(&mut buf, entry.dev_ptr))
+                .retrying("d2h", || device.memcpy_d2h(&mut buf, entry.dev_ptr))
                 .map_err(|e| self.latch(e))?;
             host_mem
                 .write_bytes(vmcommon::addr::offset(host_addr), &buf)
                 .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
             let mut clk = self.clock.lock();
-            clk.memcpy_s += t;
+            clk.d2h_s += t;
             clk.d2h_bytes += entry.len;
+            drop(clk);
+            obs.metrics.incr(self.pid(), "d2h_bytes", entry.len);
         }
         device.mem_free(entry.dev_ptr).map_err(|e| self.latch(e))?;
+        obs.tracer.instant(
+            self.pid(),
+            0,
+            "free",
+            "mem",
+            self.now(),
+            vec![("bytes", entry.len.into()), ("dev_ptr", entry.dev_ptr.into())],
+        );
         Ok(())
     }
 
@@ -388,28 +592,42 @@ impl CudaDev {
             )))
         })?;
         let len = len.min(entry.len);
+        let obs = &self.cfg.obs;
+        let name = if to_device { "h2d" } else { "d2h" };
+        let _span = obs.tracer.span(
+            self.pid(),
+            0,
+            name,
+            "memcpy",
+            || self.now(),
+            vec![("bytes", len.into()), ("update", "true".into())],
+        );
         if to_device {
             let mut buf = vec![0u8; len as usize];
             host_mem
                 .read_bytes(vmcommon::addr::offset(host_addr), &mut buf)
                 .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
             let t = self
-                .retrying(|| device.memcpy_h2d(entry.dev_ptr, &buf))
+                .retrying("h2d", || device.memcpy_h2d(entry.dev_ptr, &buf))
                 .map_err(|e| self.latch(e))?;
             let mut clk = self.clock.lock();
-            clk.memcpy_s += t;
+            clk.h2d_s += t;
             clk.h2d_bytes += len;
+            drop(clk);
+            obs.metrics.incr(self.pid(), "h2d_bytes", len);
         } else {
             let mut buf = vec![0u8; len as usize];
             let t = self
-                .retrying(|| device.memcpy_d2h(&mut buf, entry.dev_ptr))
+                .retrying("d2h", || device.memcpy_d2h(&mut buf, entry.dev_ptr))
                 .map_err(|e| self.latch(e))?;
             host_mem
                 .write_bytes(vmcommon::addr::offset(host_addr), &buf)
                 .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
             let mut clk = self.clock.lock();
-            clk.memcpy_s += t;
+            clk.d2h_s += t;
             clk.d2h_bytes += len;
+            drop(clk);
+            obs.metrics.incr(self.pid(), "d2h_bytes", len);
         }
         Ok(())
     }
@@ -435,7 +653,16 @@ impl CudaDev {
         let load_err =
             |reason: String| CudadevError::ModuleLoad { module: name.to_string(), reason };
         let device = self.try_device()?;
-        self.retrying(|| device.fault_check(FaultSite::ModuleLoad))
+        let obs = &self.cfg.obs;
+        let _span = obs.tracer.span(
+            self.pid(),
+            0,
+            "module load",
+            "modload",
+            || self.now(),
+            vec![("module", name.into())],
+        );
+        self.retrying("modload", || device.fault_check(FaultSite::ModuleLoad))
             .map_err(|e| self.latch(e))
             .map_err(|e| load_err(e.to_string()))?;
         let cubin_path = self.cfg.kernel_dir.join(format!("{name}.cubin"));
@@ -443,7 +670,11 @@ impl CudaDev {
         let module: Arc<sptx::Module> = if cubin_path.exists() {
             let bytes = std::fs::read(&cubin_path)
                 .map_err(|e| load_err(format!("reading {cubin_path:?}: {e}")))?;
-            Arc::new(sptx::cubin::decode(&bytes).map_err(|e| load_err(e.to_string()))?)
+            let m = Arc::new(sptx::cubin::decode(&bytes).map_err(|e| load_err(e.to_string()))?);
+            self.clock.lock().modload_s += gpusim::timing::MODULE_LOAD_CUBIN_S;
+            obs.tracer.instant(self.pid(), 0, "modload: cubin", "modload", self.now(), vec![]);
+            obs.metrics.incr(self.pid(), "modload.cubin", 1);
+            m
         } else if sptx_path.exists() {
             // JIT path with disk cache.
             let text = std::fs::read_to_string(&sptx_path)
@@ -456,16 +687,36 @@ impl CudaDev {
                 if cached.exists() {
                     let _ = std::fs::write(&cached, b"\xffcorrupted-cache-entry");
                     self.clock.lock().jit_invalidations += 1;
+                    obs.tracer.instant(
+                        self.pid(),
+                        0,
+                        "jit cache invalidated",
+                        "fault",
+                        self.now(),
+                        vec![("module", name.into())],
+                    );
+                    obs.metrics.incr(self.pid(), "jit_invalidations", 1);
                 }
             }
             let (m, cache_hit) = jit::jit_load(&text, &self.cfg.jit_cache_dir, &exports())
                 .map_err(|reason| CudadevError::Jit { module: name.to_string(), reason })?;
             let mut clk = self.clock.lock();
-            if cache_hit {
+            let kind = if cache_hit {
                 clk.jit_cache_hits += 1;
+                clk.modload_s += gpusim::timing::JIT_CACHE_HIT_S;
+                "modload: jit cache hit"
             } else {
                 clk.jit_compiles += 1;
-            }
+                clk.modload_s += gpusim::timing::JIT_COMPILE_S;
+                "modload: jit compile"
+            };
+            drop(clk);
+            obs.tracer.instant(self.pid(), 0, kind, "modload", self.now(), vec![]);
+            obs.metrics.incr(
+                self.pid(),
+                if cache_hit { "modload.jit_cache_hit" } else { "modload.jit_compile" },
+                1,
+            );
             m
         } else {
             return Err(load_err(format!(
@@ -496,6 +747,20 @@ impl CudaDev {
     ) -> Result<LaunchStats, CudadevError> {
         let device = self.try_device()?;
         let lib = self.devlib()?;
+        let obs = &self.cfg.obs;
+        let _span = obs.tracer.span(
+            self.pid(),
+            0,
+            &format!("launch {kernel}"),
+            "launch",
+            || self.now(),
+            vec![
+                ("module", module.into()),
+                ("kernel", kernel.into()),
+                ("grid", format!("{}x{}x{}", grid[0], grid[1], grid[2]).into()),
+                ("block", format!("{}x{}x{}", block[0], block[1], block[2]).into()),
+            ],
+        );
         let m = self.load_module(module)?;
         let launch_err =
             |error: ExecError| CudadevError::Launch { kernel: kernel.to_string(), error };
@@ -519,47 +784,82 @@ impl CudaDev {
                 let cycles = cpt * total_threads as f64;
                 let time_s = gpusim::timing::LAUNCH_OVERHEAD_S + cycles / device.props.clock_hz;
                 self.launch_hist.lock().insert(key, (count + 1, cpt));
-                let mut clk = self.clock.lock();
-                clk.kernel_s += time_s;
-                clk.launches += 1;
-                return Ok(LaunchStats {
+                let stats = LaunchStats {
                     blocks_total: (grid[0] as u64) * (grid[1] as u64) * (grid[2] as u64),
                     blocks_executed: 0,
                     kernel_cycles: cycles as u64,
                     time_s,
                     ..Default::default()
-                });
+                };
+                self.finish_launch(kernel, &stats);
+                return Ok(stats);
             }
             let cfg = LaunchConfig { grid, block, params };
             let stats = self
-                .retrying(|| {
+                .retrying("launch", || {
+                    device.set_trace_base(self.now());
                     gpusim::launch(&device, &m, kernel, &cfg, lib.as_ref(), self.cfg.exec_mode)
                 })
                 .map_err(|e| launch_err(self.latch(e)))?;
             let this_cpt = stats.kernel_cycles as f64 / total_threads.max(1) as f64;
             let new_cpt = if cpt > 0.0 { 0.7 * cpt + 0.3 * this_cpt } else { this_cpt };
             self.launch_hist.lock().insert(key, (count + 1, new_cpt));
-            let mut clk = self.clock.lock();
-            clk.kernel_s += stats.time_s;
-            clk.launches += 1;
+            self.finish_launch(kernel, &stats);
             return Ok(stats);
         }
 
         let cfg = LaunchConfig { grid, block, params };
         let stats = self
-            .retrying(|| {
+            .retrying("launch", || {
+                device.set_trace_base(self.now());
                 gpusim::launch(&device, &m, kernel, &cfg, lib.as_ref(), self.cfg.exec_mode)
             })
             .map_err(|e| launch_err(self.latch(e)))?;
-        let mut clk = self.clock.lock();
-        clk.kernel_s += stats.time_s;
-        clk.launches += 1;
+        self.finish_launch(kernel, &stats);
         Ok(stats)
     }
 
-    /// Reset the virtual clock (per-measurement runs).
+    /// Charge a completed launch to the clock and emit its kernel event
+    /// plus occupancy metrics.
+    fn finish_launch(&self, kernel: &str, stats: &LaunchStats) {
+        let (t0, pid) = {
+            let mut clk = self.clock.lock();
+            clk.kernel_s += stats.time_s;
+            clk.launches += 1;
+            (clk.total_s() - stats.time_s, self.pid())
+        };
+        let obs = &self.cfg.obs;
+        obs.tracer.complete(
+            pid,
+            0,
+            &format!("kernel {kernel}"),
+            "kernel",
+            t0,
+            stats.time_s,
+            vec![
+                ("cycles", stats.kernel_cycles.into()),
+                ("blocks", stats.blocks_total.into()),
+                ("resident_blocks", stats.resident_blocks.into()),
+                ("waves", stats.waves.into()),
+            ],
+        );
+        obs.metrics.incr(pid, "launches", 1);
+        obs.metrics.observe(pid, "kernel_cycles", stats.kernel_cycles);
+        if stats.waves > 1 {
+            // Blocks beyond the resident set had to wait for a wave slot —
+            // the occupancy-limited share of the grid.
+            obs.metrics.incr(
+                pid,
+                "occupancy_limited_blocks",
+                stats.blocks_total.saturating_sub(stats.resident_blocks),
+            );
+        }
+    }
+
+    /// Reset the virtual clock (per-measurement runs). Zeroes every
+    /// accumulator and counter, symmetric with [`DevClock::merge`].
     pub fn reset_clock(&self) {
-        *self.clock.lock() = DevClock::default();
+        self.clock.lock().reset();
     }
 
     pub fn kernel_dir(&self) -> &PathBuf {

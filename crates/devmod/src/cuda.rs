@@ -89,7 +89,13 @@ impl DeviceModule for CudaDev {
 
     fn record_memcpy(&self, seconds: f64, h2d_bytes: u64, d2h_bytes: u64) {
         let mut clk = self.clock.lock();
-        clk.memcpy_s += seconds;
+        // Attribute the transfer time to the direction that moved bytes
+        // (the baseline path always calls with exactly one side non-zero).
+        if d2h_bytes > 0 && h2d_bytes == 0 {
+            clk.d2h_s += seconds;
+        } else {
+            clk.h2d_s += seconds;
+        }
         clk.h2d_bytes += h2d_bytes;
         clk.d2h_bytes += d2h_bytes;
     }

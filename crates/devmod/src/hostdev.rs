@@ -34,6 +34,16 @@ impl HostDevice {
     pub fn rt(&self) -> &Arc<HostRt> {
         &self.rt
     }
+
+    /// Account one host-fallback execution of a target region. Fallback
+    /// bodies run on real host threads, so the wall-clock duration is
+    /// recorded as the host device's simulated fallback time (documented
+    /// substitution — the host has no cycle model).
+    pub fn record_fallback(&self, seconds: f64) {
+        let mut clk = self.clock.lock();
+        clk.fallback_s += seconds;
+        clk.fallbacks += 1;
+    }
 }
 
 impl Default for HostDevice {
@@ -127,7 +137,11 @@ impl DeviceModule for HostDevice {
 
     fn record_memcpy(&self, seconds: f64, h2d_bytes: u64, d2h_bytes: u64) {
         let mut clk = self.clock.lock();
-        clk.memcpy_s += seconds;
+        if d2h_bytes > 0 && h2d_bytes == 0 {
+            clk.d2h_s += seconds;
+        } else {
+            clk.h2d_s += seconds;
+        }
         clk.h2d_bytes += h2d_bytes;
         clk.d2h_bytes += d2h_bytes;
     }

@@ -106,6 +106,19 @@ impl DeviceRegistry {
         self.host.reset_clock();
     }
 
+    /// One profile row per offload device (`dev0`..) plus the host shim,
+    /// in device-number order — the rows of `obs::render_profile`.
+    pub fn profile_rows(&self) -> Vec<obs::ProfileRow> {
+        let mut rows: Vec<obs::ProfileRow> = self
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| d.clock().profile_row(&format!("dev{i}")))
+            .collect();
+        rows.push(self.host.clock().profile_row("host"));
+        rows
+    }
+
     /// Concatenated captured printf output across all offload devices.
     pub fn take_printf_output(&self) -> String {
         let mut out = String::new();
@@ -125,15 +138,22 @@ mod tests {
     use std::sync::atomic::AtomicBool;
     use vmcommon::MemArena;
 
-    /// A registry test double: available unless broken, fixed clock.
+    /// A registry test double: available unless broken, resettable clock.
     struct FakeDev {
         broken: AtomicBool,
-        kernel_s: f64,
+        clock: vmcommon::sync::Mutex<DevClock>,
     }
 
     impl FakeDev {
         fn new(kernel_s: f64) -> Arc<FakeDev> {
-            Arc::new(FakeDev { broken: AtomicBool::new(false), kernel_s })
+            FakeDev::seeded(DevClock { kernel_s, launches: 1, ..DevClock::default() })
+        }
+
+        fn seeded(clock: DevClock) -> Arc<FakeDev> {
+            Arc::new(FakeDev {
+                broken: AtomicBool::new(false),
+                clock: vmcommon::sync::Mutex::new(clock),
+            })
         }
     }
 
@@ -179,9 +199,11 @@ mod tests {
             })
         }
         fn clock(&self) -> DevClock {
-            DevClock { kernel_s: self.kernel_s, launches: 1, ..DevClock::default() }
+            *self.clock.lock()
         }
-        fn reset_clock(&self) {}
+        fn reset_clock(&self) {
+            self.clock.lock().reset();
+        }
         fn record_memcpy(&self, _s: f64, _h: u64, _d: u64) {}
         fn raw_device(&self) -> Option<Arc<gpusim::Device>> {
             None
@@ -236,5 +258,66 @@ mod tests {
         // The initial device's clock exists but stays empty.
         assert_eq!(reg.clock_of(2).unwrap().launches, 0);
         assert!(reg.clock_of(3).is_none());
+    }
+
+    /// Regression for the merge/reset asymmetry: `reset` must zero every
+    /// field `merge` accumulates (including retry/fault counters), so the
+    /// aggregate clock equals the sum of per-device clocks after a reset.
+    #[test]
+    fn reset_zeroes_every_merged_field() {
+        let busy = DevClock {
+            init_s: 0.1,
+            modload_s: 0.2,
+            kernel_s: 1.0,
+            h2d_s: 0.3,
+            d2h_s: 0.4,
+            retry_backoff_s: 0.5,
+            fallback_s: 0.6,
+            launches: 3,
+            h2d_bytes: 100,
+            d2h_bytes: 200,
+            jit_compiles: 1,
+            jit_cache_hits: 2,
+            jit_invalidations: 1,
+            retries: 4,
+            fallbacks: 2,
+        };
+        let reg = DeviceRegistry::new(vec![FakeDev::seeded(busy), FakeDev::seeded(busy)]);
+
+        let before = reg.aggregate_clock();
+        assert_eq!(before.retries, 8);
+        assert_eq!(before.fallbacks, 4);
+        assert!((before.total_s() - 2.0 * busy.total_s()).abs() < 1e-12);
+
+        reg.reset_clocks();
+
+        let after = reg.aggregate_clock();
+        assert_eq!(after.retries, 0, "reset must zero the retry counter");
+        assert_eq!(after.fallbacks, 0, "reset must zero the fallback counter");
+        assert_eq!(after.launches, 0);
+        assert_eq!(after.jit_compiles + after.jit_cache_hits + after.jit_invalidations, 0);
+        assert_eq!(after.h2d_bytes + after.d2h_bytes, 0);
+        assert_eq!(after.total_s(), 0.0);
+
+        // Aggregate == sum of per-device snapshots, before and after.
+        let mut summed = DevClock::default();
+        for i in 0..reg.num_devices() {
+            summed.merge(&reg.clock_of(i).unwrap());
+        }
+        assert_eq!(summed.retries, after.retries);
+        assert_eq!(summed.total_s(), after.total_s());
+    }
+
+    #[test]
+    fn profile_rows_cover_devices_and_host() {
+        let reg = two_dev_registry();
+        let rows = reg.profile_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].label, "dev0");
+        assert_eq!(rows[1].label, "dev1");
+        assert_eq!(rows[2].label, "host");
+        assert!((rows[0].kernel_s - 1.0).abs() < 1e-12);
+        assert!((rows[1].total_s() - 2.0).abs() < 1e-12);
+        assert_eq!(rows[2].total_s(), 0.0);
     }
 }

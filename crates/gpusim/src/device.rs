@@ -4,6 +4,7 @@ use vmcommon::addr::{self, Space};
 use vmcommon::sync::Mutex;
 use vmcommon::{BlockAllocator, MemArena};
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::barrier::BarrierTimeout;
@@ -130,6 +131,18 @@ pub struct DeviceStats {
     pub busy_time_s: f64,
 }
 
+/// Trace context installed by the driving module (cudadev): where
+/// in-kernel events (block completions, barrier parks, shared-memory stack
+/// depth) report to. `pid` is the device's trace-process number and
+/// `base_s` the simulated start time of the launch in flight, so warp
+/// cycle counts translate to absolute trace timestamps.
+#[derive(Clone)]
+pub struct DevTrace {
+    pub obs: Arc<obs::Obs>,
+    pub pid: u64,
+    pub base_s: f64,
+}
+
 /// The simulated GPU.
 pub struct Device {
     pub props: DeviceProps,
@@ -141,6 +154,9 @@ pub struct Device {
     pub printf_output: Mutex<String>,
     /// Deterministic fault-injection plan, if any.
     fault: Mutex<Option<Arc<FaultPlan>>>,
+    /// Fast gate for [`Device::trace`]: avoids the lock when not tracing.
+    trace_on: AtomicBool,
+    trace: Mutex<Option<DevTrace>>,
 }
 
 impl Device {
@@ -156,7 +172,32 @@ impl Device {
             stats: Mutex::new(DeviceStats::default()),
             printf_output: Mutex::new(String::new()),
             fault: Mutex::new(None),
+            trace_on: AtomicBool::new(false),
+            trace: Mutex::new(None),
         }
+    }
+
+    /// Install (or clear) the trace context in-kernel events report to.
+    pub fn set_trace(&self, t: Option<DevTrace>) {
+        self.trace_on.store(t.is_some(), Ordering::Release);
+        *self.trace.lock() = t;
+    }
+
+    /// Move the trace context's launch base time (called by the driver
+    /// before each launch so kernel events nest under the launch span).
+    pub fn set_trace_base(&self, base_s: f64) {
+        if let Some(t) = self.trace.lock().as_mut() {
+            t.base_s = base_s;
+        }
+    }
+
+    /// The current trace context, if tracing is on. One relaxed atomic
+    /// load when it is not.
+    pub fn trace(&self) -> Option<DevTrace> {
+        if !self.trace_on.load(Ordering::Acquire) {
+            return None;
+        }
+        self.trace.lock().clone()
     }
 
     /// Install (or clear) the fault-injection plan.

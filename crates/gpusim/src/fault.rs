@@ -126,6 +126,19 @@ impl FaultRule {
     }
 }
 
+impl std::fmt::Display for FaultRule {
+    /// The plan syntax this rule parses back from: `site@first[xN|x*]`
+    /// (a one-shot rule omits the `x1`, matching what `parse` accepts).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.site, self.first)?;
+        match self.times {
+            Some(1) => Ok(()),
+            Some(n) => write!(f, "x{n}"),
+            None => write!(f, "x*"),
+        }
+    }
+}
+
 /// A deterministic fault plan: a rule list plus per-site call counters.
 ///
 /// The plan is shared (`Arc`) between the test, the device and the driver
@@ -156,9 +169,20 @@ impl FaultPlan {
     /// silently disables injection.
     pub fn parse_for_device(text: &str, dev: u32) -> Result<FaultPlan, String> {
         let mut rules = Vec::new();
+        let mut seen: Vec<(u32, FaultSite)> = Vec::new();
         for part in text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             let (scope, rule) = parse_scoped_rule(part)?;
-            if scope.unwrap_or(0) == dev {
+            // Two rules for the same (device, site) would race on one call
+            // counter with no defined precedence — reject the plan.
+            let key = (scope.unwrap_or(0), rule.site);
+            if seen.contains(&key) {
+                return Err(format!(
+                    "fault rule `{part}`: duplicate rule for site `{}` on device {}",
+                    rule.site, key.0
+                ));
+            }
+            seen.push(key);
+            if key.0 == dev {
                 rules.push(rule);
             }
         }
@@ -218,6 +242,20 @@ impl FaultPlan {
 
     pub fn rules(&self) -> &[FaultRule] {
         &self.rules
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    /// The comma-separated plan syntax; `FaultPlan::parse` of the output
+    /// reproduces the rule list (for a single-device plan).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, rule) in self.rules.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{rule}")?;
+        }
+        Ok(())
     }
 }
 
@@ -350,6 +388,45 @@ mod tests {
         // Leading zeros and whitespace around the prefix are tolerated.
         assert_eq!(FaultPlan::parse_for_device("dev01:launch@1", 1).unwrap().rules().len(), 1);
         assert_eq!(FaultPlan::parse_for_device(" dev2:launch@1 ", 2).unwrap().rules().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_site_rules_are_rejected() {
+        // Same site twice on the same device: rejected no matter how the
+        // duplicate is spelled (unprefixed = dev0).
+        assert!(FaultPlan::parse("launch@1,launch@5x2").is_err());
+        assert!(FaultPlan::parse("launch@1,dev0:launch@5").is_err());
+        assert!(
+            FaultPlan::parse_for_device("dev1:h2d@1,dev1:h2d@2", 0).is_err(),
+            "duplicates are rejected even when scoped to another device"
+        );
+        // Same site on *different* devices is fine.
+        let ok = "dev0:launch@1,dev1:launch@1";
+        assert_eq!(FaultPlan::parse_for_device(ok, 0).unwrap().rules().len(), 1);
+        assert_eq!(FaultPlan::parse_for_device(ok, 1).unwrap().rules().len(), 1);
+        // Different sites on one device are fine too.
+        assert!(FaultPlan::parse("launch@1,h2d@1").is_ok());
+    }
+
+    #[test]
+    fn malformed_site_separator_is_rejected() {
+        // `devX@...` — a device prefix without `:` is not a site name.
+        assert!(FaultPlan::parse("dev0@1").is_err());
+        assert!(FaultPlan::parse("dev1@1x2").is_err());
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for text in ["launch@2x3", "alloc@1x*", "h2d@5", "launch@2x3,alloc@1x*,h2d@5"] {
+            let plan = FaultPlan::parse(text).unwrap();
+            assert_eq!(plan.to_string(), text, "Display is the canonical spelling");
+            let back = FaultPlan::parse(&plan.to_string()).unwrap();
+            assert_eq!(back.rules(), plan.rules(), "parse(Display) round-trips");
+        }
+        // Non-canonical spellings normalize: x1 is dropped, whitespace goes.
+        let plan = FaultPlan::parse(" launch@4x1 , d2h@2x2 ").unwrap();
+        assert_eq!(plan.to_string(), "launch@4,d2h@2x2");
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap().rules(), plan.rules());
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub struct LaunchStats {
     /// Modeled kernel duration in seconds (incl. launch overhead).
     pub time_s: f64,
     pub divergent_branches: u64,
+    /// Blocks resident simultaneously on the SMM (occupancy).
+    pub resident_blocks: u64,
+    /// Waves the grid needs at that residency: `ceil(total / resident)`.
+    pub waves: u64,
 }
 
 #[derive(Default)]
@@ -151,6 +155,24 @@ pub fn launch(
                     kfun.shared_size,
                 ) {
                     Ok(b) => {
+                        if let Some(t) = device.trace() {
+                            // One complete event per simulated block. All
+                            // start at the launch base — wave pipelining is
+                            // summarized by the launch span, not re-modeled
+                            // per block.
+                            t.obs.tracer.complete(
+                                t.pid,
+                                BLOCK_TRACK_BASE + lin % BLOCK_TRACKS,
+                                &format!("block {lin}"),
+                                "block",
+                                t.base_s,
+                                b.max_block_cycles as f64 / device.props.clock_hz,
+                                vec![
+                                    ("cycles", b.max_block_cycles.into()),
+                                    ("lane_insts", b.lane_insts.into()),
+                                ],
+                            );
+                        }
                         let mut a = accum.lock();
                         a.issue += b.issue;
                         a.transactions += b.transactions;
@@ -212,8 +234,16 @@ pub fn launch(
         kernel_cycles,
         time_s,
         divergent_branches: a.divergent,
+        resident_blocks: resident,
+        waves,
     })
 }
+
+/// Trace track (`tid`) layout within a device process: per-block events
+/// round-robin over a bounded set of tracks above the per-warp tracks the
+/// device library uses.
+const BLOCK_TRACK_BASE: u64 = 64;
+const BLOCK_TRACKS: u64 = 32;
 
 struct BlockResult {
     issue: u64,

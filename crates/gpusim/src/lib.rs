@@ -19,7 +19,7 @@ pub mod launch;
 pub mod timing;
 pub mod warp;
 
-pub use device::{Device, DeviceProps, DeviceStats, ExecError};
+pub use device::{DevTrace, Device, DeviceProps, DeviceStats, ExecError};
 pub use fault::{FaultPlan, FaultRule, FaultSite};
 pub use launch::{launch, ExecMode, LaunchConfig, LaunchStats};
 pub use warp::{iter_lanes, BlockCtx, BlockEnv, DeviceLib, LaneVec, NoLib, Warp};

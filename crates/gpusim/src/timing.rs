@@ -77,6 +77,21 @@ pub const MEMCPY_BYTES_PER_S: f64 = 3.4e9;
 /// Fixed per-memcpy overhead (seconds).
 pub const MEMCPY_OVERHEAD_S: f64 = 25e-6;
 
+/// One-time device initialization cost (seconds): context creation plus
+/// the runtime control-block allocation the lazy first offload performs.
+pub const DEVICE_INIT_S: f64 = 300e-6;
+
+/// Loading a prebuilt `.cubin` module (deserialize + verify).
+pub const MODULE_LOAD_CUBIN_S: f64 = 80e-6;
+
+/// JIT-assembling a `.sptx` module in PTX mode on a cache miss. Dominates
+/// the first-launch cost, which is exactly the PTX-vs-cubin gap the paper
+/// discusses.
+pub const JIT_COMPILE_S: f64 = 2.0e-3;
+
+/// Reloading a JIT-compiled module from the disk cache (cache hit).
+pub const JIT_CACHE_HIT_S: f64 = 150e-6;
+
 /// Maximum resident threads per SMM (occupancy limit).
 pub const MAX_THREADS_PER_SM: u32 = 2048;
 

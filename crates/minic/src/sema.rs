@@ -88,7 +88,7 @@ fn builtin_ret_ty(name: &str) -> Option<Ty> {
         | "omp_is_initial_device"
         | "omp_get_max_threads"
         | "omp_get_num_procs" => Ty::Int,
-        "omp_get_wtime" => Ty::Double,
+        "omp_get_wtime" | "omp_get_wtick" => Ty::Double,
         "__syncthreads" => Ty::Void,
         "atomicAdd" => Ty::Float,
         "atomicCAS" | "atomicExch" => Ty::Int,

@@ -1,0 +1,88 @@
+//! Observability substrate: span tracing, per-device metrics, and profile
+//! reports for the offload stack.
+//!
+//! Everything in this crate is driven by the *simulated* clocks — the
+//! `DevClock` accumulators the runtime already keeps — never by wall time,
+//! so traces are deterministic and comparable across machines. The two
+//! recorders are:
+//!
+//! * [`Tracer`] — a lock-cheap span/event recorder covering the offload
+//!   lifecycle (init, module load, H2D/D2H, launch, retries, faults, host
+//!   fallback) plus in-kernel master/worker events. Exports Chrome
+//!   trace-event JSON ([`Tracer::to_chrome_json`]), loadable in Perfetto,
+//!   with one trace "process" per device.
+//! * [`Metrics`] — per-device counters and log2-bucket histograms
+//!   (launches, bytes moved, retries by site, fallbacks, occupancy-limited
+//!   blocks).
+//!
+//! Both live behind an [`Obs`] handle that the runner threads through every
+//! layer. A disabled handle is a single relaxed atomic load per event, so
+//! instrumentation can stay unconditional in hot paths.
+//!
+//! Runtime control is environment-driven, parallel to `OMPI_FAULT_PLAN`:
+//! `OMPI_TRACE=path.json` enables the tracer and writes the trace when the
+//! runner is dropped; `OMPI_PROFILE=1` prints the per-device profile table
+//! (see [`profile::render_profile`]) to stderr.
+
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+pub use json::Json;
+pub use metrics::{Hist, Metrics};
+pub use profile::{render_profile, ProfileRow};
+pub use trace::{ArgValue, Phase, SpanId, TraceEvent, Tracer};
+
+/// The bundle of recorders threaded through the stack.
+pub struct Obs {
+    pub tracer: Tracer,
+    pub metrics: Metrics,
+}
+
+impl Obs {
+    /// A no-op handle: events are dropped at an atomic-load gate, metrics
+    /// still count (they are cheap and power the profile table).
+    pub fn disabled() -> Arc<Obs> {
+        Arc::new(Obs { tracer: Tracer::new(false), metrics: Metrics::default() })
+    }
+
+    /// A recording handle.
+    pub fn enabled() -> Arc<Obs> {
+        Arc::new(Obs { tracer: Tracer::new(true), metrics: Metrics::default() })
+    }
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Obs")
+            .field("tracing", &self.tracer.is_enabled())
+            .field("events", &self.tracer.len())
+            .finish()
+    }
+}
+
+/// Environment-variable controls, read once per runner.
+#[derive(Clone, Debug, Default)]
+pub struct ObsEnv {
+    /// `OMPI_TRACE=path.json`: write a Chrome trace here on runner drop.
+    pub trace_path: Option<PathBuf>,
+    /// `OMPI_PROFILE=1`: print the per-device profile table on runner drop.
+    pub profile: bool,
+}
+
+impl ObsEnv {
+    /// Read `OMPI_TRACE` / `OMPI_PROFILE` from the process environment.
+    pub fn from_env() -> ObsEnv {
+        let trace_path =
+            std::env::var("OMPI_TRACE").ok().filter(|s| !s.trim().is_empty()).map(PathBuf::from);
+        let profile = std::env::var("OMPI_PROFILE")
+            .map(|v| !v.trim().is_empty() && v.trim() != "0")
+            .unwrap_or(false);
+        ObsEnv { trace_path, profile }
+    }
+}

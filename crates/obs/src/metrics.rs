@@ -1,0 +1,134 @@
+//! Per-device counters and histograms.
+//!
+//! Keys are `(pid, name)` where `pid` matches the trace process numbering
+//! (device number; host shim = `num_devices`). Histograms use log2 buckets
+//! — bucket `i` counts values with bit-length `i` — which is plenty for the
+//! quantities tracked here (bytes per transfer, cycles per launch).
+
+use std::collections::BTreeMap;
+
+use vmcommon::sync::Mutex;
+
+/// A log2-bucket histogram.
+#[derive(Clone, Debug)]
+pub struct Hist {
+    pub count: u64,
+    pub sum: u64,
+    /// `buckets[i]` counts observations with bit-length `i` (0 → bucket 0).
+    pub buckets: [u64; 33],
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist { count: 0, sum: 0, buckets: [0; 33] }
+    }
+}
+
+impl Hist {
+    fn bucket(v: u64) -> usize {
+        ((u64::BITS - v.leading_zeros()) as usize).min(32)
+    }
+
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.buckets[Self::bucket(v)] += 1;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The metrics registry. Always-on: a counter bump is one short critical
+/// section on a `BTreeMap`, far off every hot path that matters here.
+#[derive(Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<(u64, String), u64>>,
+    hists: Mutex<BTreeMap<(u64, String), Hist>>,
+}
+
+impl Metrics {
+    pub fn incr(&self, pid: u64, name: &str, by: u64) {
+        if by == 0 {
+            return;
+        }
+        *self.counters.lock().entry((pid, name.to_string())).or_insert(0) += by;
+    }
+
+    pub fn observe(&self, pid: u64, name: &str, value: u64) {
+        self.hists.lock().entry((pid, name.to_string())).or_default().observe(value);
+    }
+
+    pub fn counter(&self, pid: u64, name: &str) -> u64 {
+        self.counters.lock().get(&(pid, name.to_string())).copied().unwrap_or(0)
+    }
+
+    pub fn hist(&self, pid: u64, name: &str) -> Option<Hist> {
+        self.hists.lock().get(&(pid, name.to_string())).cloned()
+    }
+
+    /// All counters for one device, name-sorted.
+    pub fn counters_for(&self, pid: u64) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .iter()
+            .filter(|((p, _), _)| *p == pid)
+            .map(|((_, name), v)| (name.clone(), *v))
+            .collect()
+    }
+
+    /// Plain-text dump of every counter and histogram, for reports.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ((pid, name), v) in self.counters.lock().iter() {
+            out.push_str(&format!("dev{pid} {name} = {v}\n"));
+        }
+        for ((pid, name), h) in self.hists.lock().iter() {
+            out.push_str(&format!(
+                "dev{pid} {name}: count={} sum={} mean={:.1}\n",
+                h.count,
+                h.sum,
+                h.mean()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_per_device() {
+        let m = Metrics::default();
+        m.incr(0, "launches", 2);
+        m.incr(1, "launches", 5);
+        m.incr(0, "launches", 1);
+        assert_eq!(m.counter(0, "launches"), 3);
+        assert_eq!(m.counter(1, "launches"), 5);
+        assert_eq!(m.counter(2, "launches"), 0);
+        assert_eq!(m.counters_for(0), vec![("launches".to_string(), 3)]);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let m = Metrics::default();
+        for v in [0u64, 1, 1, 7, 4096] {
+            m.observe(0, "bytes", v);
+        }
+        let h = m.hist(0, "bytes").unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 4105);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 2); // 1, 1
+        assert_eq!(h.buckets[3], 1); // 7
+        assert_eq!(h.buckets[13], 1); // 4096
+        assert!(m.hist(0, "other").is_none());
+    }
+}

@@ -53,7 +53,24 @@ pub fn build_variant(
     launch_sampling: bool,
     work_dir: &std::path::Path,
 ) -> Built {
-    let cfg = runner_config((app.footprint)(n), exec_mode, launch_sampling);
+    build_variant_obs(app, variant, n, exec_mode, launch_sampling, work_dir, None)
+}
+
+/// [`build_variant`] with an explicit observability sink: all runners built
+/// with the same `Arc<Obs>` record into one trace (the harness exports it
+/// once at the end).
+#[allow(clippy::too_many_arguments)]
+pub fn build_variant_obs(
+    app: &App,
+    variant: Variant,
+    n: u32,
+    exec_mode: ExecMode,
+    launch_sampling: bool,
+    work_dir: &std::path::Path,
+    obs: Option<std::sync::Arc<obs::Obs>>,
+) -> Built {
+    let mut cfg = runner_config((app.footprint)(n), exec_mode, launch_sampling);
+    cfg.obs = obs;
     let runner = match variant {
         Variant::OmpiCudadev => {
             let compiled = compile_omp(app, work_dir);
@@ -80,9 +97,9 @@ pub fn measure(app: &App, built: &Built, n: u32) -> Measurement {
         (0..registry.num_devices()).filter_map(|i| registry.clock_of(i)).collect::<Vec<_>>();
     Measurement {
         n,
-        time_s: clk.total_s(),
+        time_s: clk.offload_s(),
         kernel_s: clk.kernel_s,
-        memcpy_s: clk.memcpy_s,
+        memcpy_s: clk.memcpy_s(),
         launches: clk.launches,
         per_device,
     }

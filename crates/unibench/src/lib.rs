@@ -21,7 +21,9 @@ pub mod apps;
 pub mod harness;
 
 pub use apps::{all_apps, app_by_name, App};
-pub use harness::{build_variant, measure, validate_app, Built, Measurement, Variant};
+pub use harness::{
+    build_variant, build_variant_obs, measure, validate_app, Built, Measurement, Variant,
+};
 
 /// Allocate a guest f32 buffer on a machine's heap and fill it.
 pub fn alloc_f32(m: &Machine, data: &[f32]) -> IResult<Value> {

@@ -47,7 +47,7 @@ fn main() {
         "device time: {:.6}s (kernels {:.6}s + memcpy {:.6}s over {} launch(es))",
         clk.total_s(),
         clk.kernel_s,
-        clk.memcpy_s,
+        clk.memcpy_s(),
         clk.launches
     );
 }

@@ -5,10 +5,11 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== module size ratchet (crates/core/src, 900 lines) =="
+echo "== module size ratchet (crates/core/src + crates/obs/src, 900 lines) =="
 # The transform monolith was split into a pass pipeline; keep it split.
+# The obs crate starts split (trace/metrics/profile/json); keep it that way.
 oversized=0
-for f in $(find crates/core/src -name '*.rs'); do
+for f in $(find crates/core/src crates/obs/src -name '*.rs'); do
     lines=$(wc -l < "$f")
     if [ "$lines" -gt 900 ]; then
         echo "FAIL: $f has $lines lines (limit 900)"
