@@ -4,7 +4,12 @@
 //!
 //! Usage:
 //!   fig4 [--app NAME] [--sizes a,b,c] [--full] [--max-blocks N]
-//!        [--trace PATH] [--profile]
+//!        [--trace PATH] [--profile] [--mem SIZE]
+//!
+//! `--mem 32M` caps the OMPi variant's device arena below the working set,
+//! driving the memory governor's evict → stage → tile → fallback ladder
+//! (the CUDA baseline keeps its full arena: it manages raw device memory
+//! itself and has no governor to degrade through).
 //!
 //! By default every app runs over its paper sizes in sampled-simulation
 //! mode (see DESIGN.md for the sampling substitution). `--full` forces
@@ -16,7 +21,7 @@
 use std::sync::Arc;
 
 use gpusim::ExecMode;
-use unibench::{all_apps, app_by_name, build_variant_obs, measure, Variant};
+use unibench::{all_apps, app_by_name, build_variant_cfg, measure, runner_config, Variant};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,6 +31,7 @@ fn main() {
     let mut max_blocks = 4u32;
     let mut trace_path: Option<std::path::PathBuf> = None;
     let mut profile = false;
+    let mut mem_cap: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -53,6 +59,13 @@ fn main() {
             "--profile" => {
                 profile = true;
                 i += 1;
+            }
+            "--mem" => {
+                mem_cap = Some(vmcommon::fmt::parse_size(&args[i + 1]).unwrap_or_else(|e| {
+                    eprintln!("--mem: {e}");
+                    std::process::exit(2);
+                }));
+                i += 2;
             }
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -83,8 +96,14 @@ fn main() {
         for &n in &sizes {
             let mut row = Vec::new();
             for variant in [Variant::Cuda, Variant::OmpiCudadev] {
-                let built =
-                    build_variant_obs(&app, variant, n, mode, true, &work, Some(obs.clone()));
+                let mut cfg = runner_config((app.footprint)(n), mode, true);
+                cfg.obs = Some(obs.clone());
+                if variant == Variant::OmpiCudadev {
+                    if let Some(cap) = mem_cap {
+                        cfg.device_mem = (cap as usize).min(cfg.device_mem);
+                    }
+                }
+                let built = build_variant_cfg(&app, variant, &work, &cfg);
                 let m = measure(&app, &built, n);
                 if profile {
                     println!("# {} {} n={n}", app.name, variant.label());

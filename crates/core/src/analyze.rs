@@ -5,6 +5,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use minic::ast::build as b;
 use minic::ast::*;
 use minic::interp::{visit_child_exprs, visit_child_stmts, visit_stmt_exprs};
 use minic::omp::DirKind;
@@ -295,6 +296,187 @@ pub fn canonical_loop(s: &Stmt) -> TResult<(LoopInfo, Stmt)> {
         LoopInfo { var, var_ty, var_declared, lb, ub, inclusive, step: step_val, pos },
         (**body).clone(),
     ))
+}
+
+/// Shape analysis for memory-pressure tiling: the per-iteration byte row
+/// of a mapped buffer inside a distribute loop.
+///
+/// A buffer `buf` is *sliceable* along the distribute variable `dist` when
+/// every access indexes it as `dist*E + F` with
+///
+/// * `E` loop-invariant (it references no variable in `varying`) and
+///   identical across all accesses, and
+/// * `F` either absent or a single unscaled varying variable (an inner
+///   loop counter) — the row-major convention `F < E`. A bare `dist`
+///   index (`E` = 1) admits no `F` at all: `a[dist + 1]` reaches outside
+///   the row, so stencils are correctly rejected.
+///
+/// Then iterations `[lb, ub)` touch exactly elements `[lb*E, ub*E)`, so
+/// the governor can stream the buffer tile by tile with bit-identical
+/// results. Returns `E` in *elements* (the caller scales by the element
+/// size), or `None` when the buffer must stay resident.
+pub fn row_stride(body: &Stmt, buf: &str, dist: &str, varying: &BTreeSet<String>) -> Option<Expr> {
+    struct Scan<'a> {
+        buf: &'a str,
+        dist: &'a str,
+        varying: &'a BTreeSet<String>,
+        /// Pretty-printed form of the agreed-upon `E`, plus the Expr.
+        stride: Option<(String, Expr)>,
+        accesses: u32,
+        ok: bool,
+    }
+
+    fn is_ident(e: &Expr, name: &str) -> bool {
+        matches!(&e.kind, ExprKind::Ident(n, _) if n == name)
+    }
+
+    fn ident_name(e: &Expr) -> Option<&str> {
+        match &e.kind {
+            ExprKind::Ident(n, _) => Some(n.as_str()),
+            _ => None,
+        }
+    }
+
+    fn mentions(e: &Expr, name: &str) -> bool {
+        let mut found = is_ident(e, name);
+        visit_child_exprs(e, &mut |c| found |= mentions(c, name));
+        found
+    }
+
+    fn invariant(e: &Expr, varying: &BTreeSet<String>) -> bool {
+        let mut ok = match &e.kind {
+            ExprKind::Ident(n, Resolved::Local(_)) => !varying.contains(n),
+            // Globals / functions / calls: treat as varying (unknown).
+            ExprKind::Call { .. } => false,
+            _ => true,
+        };
+        visit_child_exprs(e, &mut |c| ok &= invariant(c, varying));
+        ok
+    }
+
+    /// Flatten an `a + b + c` chain into terms (any `-` disqualifies).
+    fn terms<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) -> bool {
+        match &e.kind {
+            ExprKind::Binary { op: BinOp::Add, lhs, rhs } => terms(lhs, out) && terms(rhs, out),
+            ExprKind::Binary { op: BinOp::Sub, .. } => false,
+            _ => {
+                out.push(e);
+                true
+            }
+        }
+    }
+
+    impl Scan<'_> {
+        fn index(&mut self, idx: &Expr) {
+            self.accesses += 1;
+            let mut ts = Vec::new();
+            if !terms(idx, &mut ts) {
+                self.ok = false;
+                return;
+            }
+            let (with_dist, rest): (Vec<&Expr>, Vec<&Expr>) =
+                ts.into_iter().partition(|t| mentions(t, self.dist));
+            let [dist_term] = with_dist[..] else {
+                self.ok = false; // zero or several dist-bearing terms
+                return;
+            };
+            // `dist * E` / `E * dist` / bare `dist`.
+            let (stride, bare) = match &dist_term.kind {
+                ExprKind::Binary { op: BinOp::Mul, lhs, rhs } if is_ident(lhs, self.dist) => {
+                    ((**rhs).clone(), false)
+                }
+                ExprKind::Binary { op: BinOp::Mul, lhs, rhs } if is_ident(rhs, self.dist) => {
+                    ((**lhs).clone(), false)
+                }
+                _ if is_ident(dist_term, self.dist) => (b::int(1), true),
+                _ => {
+                    self.ok = false;
+                    return;
+                }
+            };
+            if mentions(&stride, self.dist) || !invariant(&stride, self.varying) {
+                self.ok = false;
+                return;
+            }
+            match rest[..] {
+                [] => {}
+                // One unscaled inner counter, under the row-major
+                // convention `counter < E` — meaningless for a bare
+                // `dist` row.
+                [f] if !bare
+                    && ident_name(f)
+                        .is_some_and(|n| self.varying.contains(n) && n != self.dist) => {}
+                _ => {
+                    self.ok = false;
+                    return;
+                }
+            }
+            let key = minic::pretty::expr(&stride);
+            match &self.stride {
+                Some((k, _)) if *k != key => self.ok = false,
+                Some(_) => {}
+                None => self.stride = Some((key, stride)),
+            }
+        }
+
+        fn expr(&mut self, e: &Expr) {
+            match &e.kind {
+                ExprKind::Index { base, index } if is_ident(base, self.buf) => {
+                    self.index(index);
+                    self.expr(index);
+                    return;
+                }
+                // Any other appearance of the buffer (address-taken,
+                // passed to a call, pointer arithmetic): not sliceable.
+                ExprKind::Ident(n, _) if n == self.buf => {
+                    self.ok = false;
+                    return;
+                }
+                _ => {}
+            }
+            visit_child_exprs(e, &mut |c| self.expr(c));
+        }
+    }
+
+    let mut scan = Scan { buf, dist, varying, stride: None, accesses: 0, ok: true };
+    fn walk(s: &Stmt, scan: &mut Scan<'_>) {
+        visit_stmt_exprs(s, &mut |e| scan.expr(e));
+        visit_child_stmts(s, &mut |c| walk(c, scan));
+    }
+    walk(body, &mut scan);
+    if scan.ok && scan.accesses > 0 {
+        scan.stride.map(|(_, e)| e)
+    } else {
+        None
+    }
+}
+
+/// The variables of a region body whose value changes during execution —
+/// loop counters, locally declared variables, and assignment targets.
+/// Everything else (by-value parameters) is loop-invariant for the
+/// purposes of [`row_stride`].
+pub fn varying_vars(body: &Stmt, loop_vars: &[String]) -> BTreeSet<String> {
+    let mut out: BTreeSet<String> = loop_vars.iter().cloned().collect();
+    fn scan_expr(e: &Expr, out: &mut BTreeSet<String>) {
+        match &e.kind {
+            ExprKind::Assign { lhs, .. } | ExprKind::IncDec { expr: lhs, .. } => {
+                if let ExprKind::Ident(n, _) = &lhs.kind {
+                    out.insert(n.clone());
+                }
+            }
+            _ => {}
+        }
+        visit_child_exprs(e, &mut |c| scan_expr(c, out));
+    }
+    fn scan_stmt(s: &Stmt, out: &mut BTreeSet<String>) {
+        if let Stmt::Decl(d) = s {
+            out.insert(d.name.clone());
+        }
+        visit_stmt_exprs(s, &mut |e| scan_expr(e, out));
+        visit_child_stmts(s, &mut |c| scan_stmt(c, out));
+    }
+    scan_stmt(body, &mut out);
+    out
 }
 
 /// Collect the names of program-defined functions called (transitively)

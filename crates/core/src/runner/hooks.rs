@@ -1,104 +1,25 @@
-//! Execution of compiled applications: wires the host interpreter's hooks
-//! to the OMPi runtimes — `hostomp` for `ort_*` calls and the device
-//! registry for `__dev_*` offloading — exactly where OMPi's generated C
-//! would call its runtime libraries.
-//!
-//! Every `__dev_*` hook takes a leading device-id argument (the value the
-//! translator bound from the construct's `device()` clause); the
-//! [`DeviceRegistry`] resolves it to a [`DeviceModule`], so one runner can
-//! drive several simulated GPUs with independent clocks, fault plans, and
-//! broken-device latches.
+//! The runtime hook implementation: every `ort_*` (hostomp) and
+//! `__dev_*` (offload) call the translated program makes lands in
+//! [`OmpiHooks::call`], which dispatches through the device registry —
+//! including the memory governor's pressured-offload path and the
+//! OOM-annotated host fallback.
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use cudadev::{CudaDev, CudaDevConfig, CudadevError, DevClock, MapKind, RetryPolicy};
+use cudadev::{CudadevError, MapKind, PressureOutcome, TileParam};
 use devmod::{DeviceModule, DeviceRegistry};
-use gpusim::{ExecMode, FaultPlan};
 use hostomp::{HostRt, WsState};
-use minic::interp::{HookCtx, Hooks, IResult, Interp, InterpError, Machine};
+use minic::interp::{HookCtx, Hooks, IResult, Interp, InterpError};
 use vmcommon::sync::Mutex;
 use vmcommon::Value;
-
-use crate::driver::{CompiledApp, CompiledCudaApp};
 
 thread_local! {
     /// Current worksharing loop of this host thread.
     static LOOP_WS: RefCell<Option<Arc<WsState>>> = const { RefCell::new(None) };
     /// Current sections region (state, total).
     static SECT_WS: RefCell<Option<(Arc<WsState>, u64)>> = const { RefCell::new(None) };
-}
-
-/// Runner configuration.
-#[derive(Clone, Debug)]
-pub struct RunnerConfig {
-    /// Host guest-memory size.
-    pub host_mem: usize,
-    /// Device DRAM size (per device).
-    pub device_mem: usize,
-    /// Grid simulation mode.
-    pub exec_mode: ExecMode,
-    /// JIT cache directory (PTX mode), shared across devices.
-    pub jit_cache_dir: std::path::PathBuf,
-    /// Estimate repeated launches from earlier ones (see cudadev docs).
-    pub launch_sampling: bool,
-    /// Number of simulated offload devices in the registry.
-    pub num_devices: usize,
-    /// Deterministic fault-injection plan for device 0 (tests). `None`
-    /// falls back to the `OMPI_FAULT_PLAN` environment variable, whose
-    /// `devN:`-prefixed rules scope to device `N`. For programmatic
-    /// multi-device plans use [`RunnerConfig::fault_spec`] instead.
-    pub fault_plan: Option<Arc<FaultPlan>>,
-    /// Fault-plan source text with optional `devN:` prefixes, parsed once
-    /// per device. Takes precedence over [`RunnerConfig::fault_plan`].
-    pub fault_spec: Option<String>,
-    /// Retry policy for transient driver faults.
-    pub retry: RetryPolicy,
-    /// Explicit observability sink (tracer + metrics). `None` resolves the
-    /// `OMPI_TRACE` / `OMPI_PROFILE` environment variables: a set
-    /// `OMPI_TRACE` makes the runner write Chrome trace-event JSON there on
-    /// drop, and `OMPI_PROFILE=1` prints the per-device profile table to
-    /// stderr. An explicit sink suppresses both automatic outputs — the
-    /// caller owns export.
-    pub obs: Option<Arc<obs::Obs>>,
-}
-
-impl Default for RunnerConfig {
-    fn default() -> Self {
-        RunnerConfig {
-            host_mem: 256 << 20,
-            device_mem: 512 << 20,
-            exec_mode: ExecMode::Functional,
-            jit_cache_dir: std::env::temp_dir().join("ompi-jitcache"),
-            launch_sampling: false,
-            num_devices: 1,
-            fault_plan: None,
-            fault_spec: None,
-            retry: RetryPolicy::default(),
-            obs: None,
-        }
-    }
-}
-
-/// How a runner's observability was resolved (explicit sink vs env vars).
-struct ObsSetup {
-    obs: Arc<obs::Obs>,
-    /// Write the trace here on drop (env-var mode only).
-    trace_path: Option<std::path::PathBuf>,
-    /// Print the profile table to stderr on drop (env-var mode only).
-    profile: bool,
-}
-
-impl ObsSetup {
-    fn resolve(cfg: &RunnerConfig) -> ObsSetup {
-        if let Some(o) = &cfg.obs {
-            return ObsSetup { obs: o.clone(), trace_path: None, profile: false };
-        }
-        let env = obs::ObsEnv::from_env();
-        let obs = if env.trace_path.is_some() { obs::Obs::enabled() } else { obs::Obs::disabled() };
-        ObsSetup { obs, trace_path: env.trace_path, profile: env.profile }
-    }
 }
 
 /// The runtime hook implementation.
@@ -118,7 +39,11 @@ pub struct OmpiHooks {
     /// counter suffices even with several registered devices.
     region_commits: AtomicUsize,
     /// Trace + metrics sink shared with every device module.
-    obs: Arc<obs::Obs>,
+    pub(super) obs: Arc<obs::Obs>,
+    /// The current region's offload was declined by the memory governor
+    /// (OOM fallback) rather than lost to a device failure — decides the
+    /// `reason` recorded on the fallback span.
+    fb_oom: std::sync::atomic::AtomicBool,
     /// Wall-clock start of the fallback body currently executing (the host
     /// has no cycle model; its elapsed time becomes simulated fallback
     /// time — documented substitution).
@@ -126,7 +51,7 @@ pub struct OmpiHooks {
 }
 
 impl OmpiHooks {
-    fn new(
+    pub(super) fn new(
         registry: Arc<DeviceRegistry>,
         cuda_module: Option<String>,
         obs: Arc<obs::Obs>,
@@ -139,13 +64,14 @@ impl OmpiHooks {
             parallel_error: Mutex::new(None),
             region_commits: AtomicUsize::new(0),
             obs,
+            fb_oom: std::sync::atomic::AtomicBool::new(false),
             fb_start: Mutex::new(None),
         }
     }
 
     /// Trace pid of the host shim (one Chrome-trace "process" per device;
     /// the initial device comes after the offload devices).
-    fn host_pid(&self) -> u64 {
+    pub(super) fn host_pid(&self) -> u64 {
         self.registry.num_devices() as u64
     }
 
@@ -282,6 +208,7 @@ impl Hooks for OmpiHooks {
                 // on the resolved device's driver track.
                 let idx = self.registry.resolve_id(a(0).as_i64());
                 let construct = read_str(1)?;
+                self.fb_oom.store(false, Ordering::Relaxed);
                 self.obs.metrics.incr(idx as u64, "target_regions", 1);
                 if self.obs.tracer.is_enabled() {
                     self.obs.tracer.begin(
@@ -308,7 +235,13 @@ impl Hooks for OmpiHooks {
                 let from = self.registry.resolve_id(a(0).as_i64());
                 let host_pid = self.host_pid();
                 *self.fb_start.lock() = Some(std::time::Instant::now());
+                // Why are we here? `OomFallback` (the memory governor
+                // declined the region — the device is fine) vs a lost or
+                // unavailable device.
+                let oom = self.fb_oom.swap(false, Ordering::Relaxed);
+                let reason = if oom { "oom" } else { "device_lost" };
                 self.obs.metrics.incr(host_pid, "fallbacks", 1);
+                self.obs.metrics.incr(host_pid, &format!("fallbacks.{reason}"), 1);
                 if self.obs.tracer.is_enabled() {
                     self.obs.tracer.begin(
                         host_pid,
@@ -316,12 +249,17 @@ impl Hooks for OmpiHooks {
                         "host fallback",
                         "fallback",
                         self.sim_now(host_pid as usize),
-                        vec![("from_device", (from as u64).into())],
+                        vec![("from_device", (from as u64).into()), ("reason", reason.into())],
                     );
                 }
                 Ok(Some(Value::I32(0)))
             }
             "__dev_fb_end" => {
+                // The fallback body rewrote host memory; any device
+                // buffers still mapped (enclosing `target data`) are now
+                // stale and must be refreshed before the next launch that
+                // reads them.
+                resolve(0).mark_all_host_dirty();
                 let host_pid = self.host_pid();
                 if let Some(t0) = self.fb_start.lock().take() {
                     self.registry.host().record_fallback(t0.elapsed().as_secs_f64());
@@ -403,10 +341,12 @@ impl Hooks for OmpiHooks {
             }
             "__dev_offload" => {
                 // (dev, module, kernel, mw, ndims, tc0, tc1, tc2, teams,
-                // threads, kernel args…)
-                // Returns 1 when the kernel ran on the device, 0 when the
-                // device failed terminally (caller re-executes the region
-                // on the host).
+                // threads, tileable, (kernel arg, row_bytes)…)
+                // Returns 1 when the kernel ran on the device —
+                // monolithically or tiled by the memory governor — and 0
+                // when the region must re-execute on the host: terminal
+                // device failure, or an OOM fallback (the governor
+                // declined a region it cannot tile).
                 self.region_commits.store(0, Ordering::Relaxed);
                 let dev = resolve(0);
                 if dev.is_broken() {
@@ -419,6 +359,16 @@ impl Hooks for OmpiHooks {
                 let tcs = [a(5).as_i64(), a(6).as_i64(), a(7).as_i64()];
                 let teams = a(8).as_i64();
                 let threads = a(9).as_i64();
+                let tileable = a(10).is_truthy();
+                let pairs = args.get(11..).unwrap_or(&[]);
+                if pairs.len() % 2 != 0 {
+                    return Err(InterpError::Trap(
+                        "__dev_offload: launch arguments must come as (arg, row) pairs".into(),
+                    ));
+                }
+                let lvals: Vec<Value> = pairs.iter().step_by(2).copied().collect();
+                let rows: Vec<u64> =
+                    pairs.iter().skip(1).step_by(2).map(|v| v.as_i64().max(0) as u64).collect();
                 let m = match dev.load_module(&module) {
                     Ok(m) => m,
                     Err(e) => return self.degrade(&*dev, e).map(|_| Some(Value::I32(0))),
@@ -426,8 +376,65 @@ impl Hooks for OmpiHooks {
                 let kf = m.function(&kernel).ok_or_else(|| {
                     InterpError::Trap(format!("kernel `{kernel}` not in `{module}`"))
                 })?;
-                let params = self.prepare_params(&*dev, kf, &args[10..])?;
+                if lvals.len() != kf.params.len() {
+                    return Err(InterpError::Trap(format!(
+                        "kernel `{kernel}` takes {} parameters, offload provided {}",
+                        kf.params.len(),
+                        lvals.len()
+                    )));
+                }
                 let (grid, block) = Self::geometry(mw, ndims, tcs, teams, threads);
+                let haddrs: Vec<u64> = lvals
+                    .iter()
+                    .filter_map(|v| match v {
+                        Value::Ptr(h) => Some(*h),
+                        _ => None,
+                    })
+                    .collect();
+                if dev.has_pending_maps(&haddrs) {
+                    // Memory pressure: some mapped buffers have no device
+                    // copy. Hand the region to the governor, which tiles
+                    // the iteration space when the translator proved it
+                    // safe — or declines, making this an OOM fallback.
+                    let tparams: Vec<TileParam> = lvals
+                        .iter()
+                        .zip(&kf.params)
+                        .zip(&rows)
+                        .map(|((v, p), row)| match (v, p.ty) {
+                            (Value::Ptr(h), _) => TileParam::Buf { host: *h, row_bytes: *row },
+                            (_, sptx::ScalarTy::F32) => {
+                                TileParam::Scalar(v.as_f32().to_bits() as u64)
+                            }
+                            (_, sptx::ScalarTy::F64) => TileParam::Scalar(v.as_f64().to_bits()),
+                            (_, sptx::ScalarTy::I32) => TileParam::Scalar(v.as_i32() as u32 as u64),
+                            (_, sptx::ScalarTy::I64) => TileParam::Scalar(v.as_i64() as u64),
+                        })
+                        .collect();
+                    let total = tcs[0].max(0) as u64;
+                    let tileable = tileable && !mw && ndims <= 1;
+                    return match dev.offload_pressured(
+                        mem, &module, &kernel, tileable, total, grid, block, &tparams,
+                    ) {
+                        Ok(PressureOutcome::Ran) => {
+                            // Tiled results are already committed to host
+                            // memory: a later copy-back loss must trap, not
+                            // silently re-execute.
+                            self.region_commits.fetch_add(1, Ordering::Relaxed);
+                            Ok(Some(Value::I32(1)))
+                        }
+                        Ok(PressureOutcome::Declined) => {
+                            self.fb_oom.store(true, Ordering::Relaxed);
+                            Ok(Some(Value::I32(0)))
+                        }
+                        Err(e) => self.degrade(&*dev, e).map(|_| Some(Value::I32(0))),
+                    };
+                }
+                // Re-upload any device buffers a host fallback left stale
+                // (host-dirty under an enclosing `target data`).
+                if let Err(e) = dev.refresh_args(mem, &haddrs) {
+                    return self.degrade(&*dev, e).map(|_| Some(Value::I32(0)));
+                }
+                let params = self.prepare_params(&*dev, kf, &lvals)?;
                 match dev.launch(&module, &kernel, grid, block, params) {
                     Ok(_) => Ok(Some(Value::I32(1))),
                     Err(e) => self.degrade(&*dev, e).map(|_| Some(Value::I32(0))),
@@ -679,201 +686,5 @@ impl Hooks for OmpiHooks {
         dev.launch(&module, name, grid, block, params)
             .map_err(|e| InterpError::Trap(e.to_string()))?;
         Ok(())
-    }
-}
-
-/// A runnable application instance.
-pub struct Runner {
-    pub machine: Arc<Machine>,
-    pub hooks: Arc<OmpiHooks>,
-    hooks_dyn: Arc<dyn Hooks>,
-    /// Write the trace here on drop (`OMPI_TRACE` mode).
-    trace_path: Option<std::path::PathBuf>,
-    /// Print the profile table on drop (`OMPI_PROFILE` mode).
-    profile_on_drop: bool,
-}
-
-impl Runner {
-    /// Build the device registry for a kernel directory: `cfg.num_devices`
-    /// simulated GPUs, each with its own clock, broken-latch, and
-    /// device-scoped fault plan.
-    fn build_registry(
-        kernel_dir: &std::path::Path,
-        cfg: &RunnerConfig,
-        obs: &Arc<obs::Obs>,
-    ) -> IResult<Arc<DeviceRegistry>> {
-        let mut devices: Vec<Arc<dyn DeviceModule>> = Vec::with_capacity(cfg.num_devices);
-        for i in 0..cfg.num_devices {
-            let fault_plan = match &cfg.fault_spec {
-                Some(spec) => Some(Arc::new(
-                    FaultPlan::parse_for_device(spec, i as u32).map_err(InterpError::Trap)?,
-                )),
-                // An explicit pre-parsed plan has no device scoping; it
-                // belongs to device 0 (the only device before the registry
-                // existed). Other devices still honour `OMPI_FAULT_PLAN`
-                // through their `device_id`.
-                None if i == 0 => cfg.fault_plan.clone(),
-                None => None,
-            };
-            devices.push(Arc::new(CudaDev::new(CudaDevConfig {
-                device_id: i as u32,
-                global_mem: cfg.device_mem,
-                kernel_dir: kernel_dir.to_path_buf(),
-                jit_cache_dir: cfg.jit_cache_dir.clone(),
-                exec_mode: cfg.exec_mode,
-                launch_sampling: cfg.launch_sampling,
-                fault_plan,
-                retry: cfg.retry,
-                obs: obs.clone(),
-            })));
-        }
-        Ok(Arc::new(DeviceRegistry::new(devices)))
-    }
-
-    /// The one constructor: every application — OpenMP or pure CUDA — runs
-    /// against a registry-dispatched hook set; the only variation is
-    /// whether kernel launches resolve through a fixed CUDA module.
-    fn with_registry(
-        host: minic::ast::Program,
-        host_info: minic::sema::ProgramInfo,
-        registry: Arc<DeviceRegistry>,
-        cuda_module: Option<String>,
-        cfg: &RunnerConfig,
-        setup: ObsSetup,
-    ) -> IResult<Runner> {
-        let machine = Machine::new(host, host_info, cfg.host_mem)?;
-        let hooks = Arc::new(OmpiHooks::new(registry, cuda_module, setup.obs));
-        let hooks_dyn: Arc<dyn Hooks> = hooks.clone();
-        Ok(Runner {
-            machine,
-            hooks,
-            hooks_dyn,
-            trace_path: setup.trace_path,
-            profile_on_drop: setup.profile,
-        })
-    }
-
-    /// Instantiate a compiled OpenMP application.
-    pub fn new(app: &CompiledApp, cfg: &RunnerConfig) -> IResult<Runner> {
-        let setup = ObsSetup::resolve(cfg);
-        let registry = Self::build_registry(&app.kernel_dir, cfg, &setup.obs)?;
-        Self::with_registry(app.host.clone(), app.host_info.clone(), registry, None, cfg, setup)
-    }
-
-    /// Instantiate a compiled pure-CUDA application.
-    pub fn new_cuda(app: &CompiledCudaApp, cfg: &RunnerConfig) -> IResult<Runner> {
-        let setup = ObsSetup::resolve(cfg);
-        let registry = Self::build_registry(&app.kernel_dir, cfg, &setup.obs)?;
-        Self::with_registry(
-            app.host.clone(),
-            app.host_info.clone(),
-            registry,
-            Some(app.module_name.clone()),
-            cfg,
-            setup,
-        )
-    }
-
-    /// Call a guest function.
-    pub fn call(&self, name: &str, args: &[Value]) -> IResult<Value> {
-        let mut i = Interp::new(self.machine.clone(), self.hooks_dyn.clone())?;
-        i.call(name, args)
-    }
-
-    /// Run `main()`.
-    pub fn run_main(&self) -> IResult<Value> {
-        self.call("main", &[])
-    }
-
-    /// The device registry (per-device clocks, broken-latches, ICVs).
-    pub fn registry(&self) -> &Arc<DeviceRegistry> {
-        &self.hooks.registry
-    }
-
-    /// Number of registered offload devices.
-    pub fn num_devices(&self) -> usize {
-        self.hooks.registry.num_devices()
-    }
-
-    /// The accumulated virtual device time (the paper's reported metric),
-    /// summed over all offload devices — identical to the single device's
-    /// clock in default configurations.
-    pub fn dev_clock(&self) -> DevClock {
-        self.hooks.registry.aggregate_clock()
-    }
-
-    /// One offload device's virtual clock (`idx == num_devices()` reads
-    /// the host shim's clock).
-    pub fn dev_clock_of(&self, idx: usize) -> Option<DevClock> {
-        self.hooks.registry.clock_of(idx)
-    }
-
-    /// Reset the virtual device clocks (before a measured run).
-    pub fn reset_dev_clock(&self) {
-        self.hooks.registry.reset_clocks();
-    }
-
-    /// Whether a terminal device fault has latched device 0 broken
-    /// (subsequent target regions there execute on the host).
-    pub fn device_broken(&self) -> bool {
-        self.device_broken_at(0)
-    }
-
-    /// Whether a terminal device fault has latched device `idx` broken.
-    pub fn device_broken_at(&self, idx: usize) -> bool {
-        self.hooks.registry.device(idx).map(|d| d.is_broken()).unwrap_or(false)
-    }
-
-    /// Captured guest stdout.
-    pub fn take_output(&self) -> String {
-        self.machine.take_output()
-    }
-
-    /// Captured device printf output across all devices (empty if no
-    /// device ever came up).
-    pub fn take_device_output(&self) -> String {
-        self.hooks.registry.take_printf_output()
-    }
-
-    /// The observability sink this runner records into.
-    pub fn obs(&self) -> &Arc<obs::Obs> {
-        &self.hooks.obs
-    }
-
-    /// The per-device profile table (simulated time by phase), rendered.
-    pub fn profile_table(&self) -> String {
-        obs::render_profile(&self.hooks.registry.profile_rows())
-    }
-
-    /// Make sure every trace "process" carries a human-readable name
-    /// (first-wins: devices that came up already named themselves).
-    fn name_trace_processes(&self) {
-        let tracer = &self.hooks.obs.tracer;
-        for i in 0..self.hooks.registry.num_devices() {
-            tracer.set_process_name(i as u64, &format!("dev{i}"));
-        }
-        tracer.set_process_name(self.hooks.host_pid(), "host (initial device)");
-    }
-
-    /// Write the recorded trace as Chrome trace-event JSON.
-    pub fn write_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
-        self.name_trace_processes();
-        self.hooks.obs.tracer.write_json(path)
-    }
-}
-
-impl Drop for Runner {
-    /// Env-var mode export: `OMPI_TRACE` writes the trace JSON,
-    /// `OMPI_PROFILE` prints the profile table to stderr. Explicit
-    /// `RunnerConfig::obs` sinks skip both (the caller owns export).
-    fn drop(&mut self) {
-        if let Some(path) = self.trace_path.take() {
-            if let Err(e) = self.write_trace(&path) {
-                eprintln!("ompi: failed to write trace to {}: {e}", path.display());
-            }
-        }
-        if self.profile_on_drop {
-            eprintln!("{}", self.profile_table());
-        }
     }
 }

@@ -1,0 +1,302 @@
+//! Execution of compiled applications: wires the host interpreter's hooks
+//! to the OMPi runtimes — `hostomp` for `ort_*` calls and the device
+//! registry for `__dev_*` offloading — exactly where OMPi's generated C
+//! would call its runtime libraries.
+//!
+//! Every `__dev_*` hook takes a leading device-id argument (the value the
+//! translator bound from the construct's `device()` clause); the
+//! [`DeviceRegistry`] resolves it to a [`DeviceModule`], so one runner can
+//! drive several simulated GPUs with independent clocks, fault plans, and
+//! broken-device latches.
+
+use cudadev::{CudaDev, CudaDevConfig, DevClock, RetryPolicy};
+use devmod::{DeviceModule, DeviceRegistry};
+use gpusim::{ExecMode, FaultPlan};
+use minic::interp::{Hooks, IResult, Interp, InterpError, Machine};
+use std::sync::Arc;
+use vmcommon::Value;
+
+use crate::driver::{CompiledApp, CompiledCudaApp};
+
+mod hooks;
+
+pub use hooks::OmpiHooks;
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct RunnerConfig {
+    /// Host guest-memory size.
+    pub host_mem: usize,
+    /// Device DRAM size (per device).
+    pub device_mem: usize,
+    /// Grid simulation mode.
+    pub exec_mode: ExecMode,
+    /// JIT cache directory (PTX mode), shared across devices.
+    pub jit_cache_dir: std::path::PathBuf,
+    /// Estimate repeated launches from earlier ones (see cudadev docs).
+    pub launch_sampling: bool,
+    /// Number of simulated offload devices in the registry.
+    pub num_devices: usize,
+    /// Deterministic fault-injection plan for device 0 (tests). `None`
+    /// falls back to the `OMPI_FAULT_PLAN` environment variable, whose
+    /// `devN:`-prefixed rules scope to device `N`. For programmatic
+    /// multi-device plans use [`RunnerConfig::fault_spec`] instead.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Fault-plan source text with optional `devN:` prefixes, parsed once
+    /// per device. Takes precedence over [`RunnerConfig::fault_plan`].
+    pub fault_spec: Option<String>,
+    /// Retry policy for transient driver faults.
+    pub retry: RetryPolicy,
+    /// Explicit observability sink (tracer + metrics). `None` resolves the
+    /// `OMPI_TRACE` / `OMPI_PROFILE` environment variables: a set
+    /// `OMPI_TRACE` makes the runner write Chrome trace-event JSON there on
+    /// drop, and `OMPI_PROFILE=1` prints the per-device profile table to
+    /// stderr. An explicit sink suppresses both automatic outputs — the
+    /// caller owns export.
+    pub obs: Option<Arc<obs::Obs>>,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            host_mem: 256 << 20,
+            device_mem: 512 << 20,
+            exec_mode: ExecMode::Functional,
+            jit_cache_dir: std::env::temp_dir().join("ompi-jitcache"),
+            launch_sampling: false,
+            num_devices: 1,
+            fault_plan: None,
+            fault_spec: None,
+            retry: RetryPolicy::default(),
+            obs: None,
+        }
+    }
+}
+
+/// How a runner's observability was resolved (explicit sink vs env vars).
+struct ObsSetup {
+    obs: Arc<obs::Obs>,
+    /// Write the trace here on drop (env-var mode only).
+    trace_path: Option<std::path::PathBuf>,
+    /// Print the profile table to stderr on drop (env-var mode only).
+    profile: bool,
+}
+
+impl ObsSetup {
+    fn resolve(cfg: &RunnerConfig) -> ObsSetup {
+        if let Some(o) = &cfg.obs {
+            return ObsSetup { obs: o.clone(), trace_path: None, profile: false };
+        }
+        let env = obs::ObsEnv::from_env();
+        let obs = if env.trace_path.is_some() { obs::Obs::enabled() } else { obs::Obs::disabled() };
+        ObsSetup { obs, trace_path: env.trace_path, profile: env.profile }
+    }
+}
+
+/// A runnable application instance.
+pub struct Runner {
+    pub machine: Arc<Machine>,
+    pub hooks: Arc<OmpiHooks>,
+    hooks_dyn: Arc<dyn Hooks>,
+    /// Write the trace here on drop (`OMPI_TRACE` mode).
+    trace_path: Option<std::path::PathBuf>,
+    /// Print the profile table on drop (`OMPI_PROFILE` mode).
+    profile_on_drop: bool,
+}
+
+impl Runner {
+    /// Build the device registry for a kernel directory: `cfg.num_devices`
+    /// simulated GPUs, each with its own clock, broken-latch, and
+    /// device-scoped fault plan.
+    fn build_registry(
+        kernel_dir: &std::path::Path,
+        cfg: &RunnerConfig,
+        obs: &Arc<obs::Obs>,
+    ) -> IResult<Arc<DeviceRegistry>> {
+        let mut devices: Vec<Arc<dyn DeviceModule>> = Vec::with_capacity(cfg.num_devices);
+        for i in 0..cfg.num_devices {
+            let fault_plan = match &cfg.fault_spec {
+                Some(spec) => Some(Arc::new(
+                    FaultPlan::parse_for_device(spec, i as u32).map_err(InterpError::Trap)?,
+                )),
+                // An explicit pre-parsed plan has no device scoping; it
+                // belongs to device 0 (the only device before the registry
+                // existed). Other devices still honour `OMPI_FAULT_PLAN`
+                // through their `device_id`.
+                None if i == 0 => cfg.fault_plan.clone(),
+                None => None,
+            };
+            devices.push(Arc::new(CudaDev::new(CudaDevConfig {
+                device_id: i as u32,
+                global_mem: cfg.device_mem,
+                kernel_dir: kernel_dir.to_path_buf(),
+                jit_cache_dir: cfg.jit_cache_dir.clone(),
+                exec_mode: cfg.exec_mode,
+                launch_sampling: cfg.launch_sampling,
+                fault_plan,
+                retry: cfg.retry,
+                obs: obs.clone(),
+                ..CudaDevConfig::default()
+            })));
+        }
+        Ok(Arc::new(DeviceRegistry::new(devices)))
+    }
+
+    /// The one constructor: every application — OpenMP or pure CUDA — runs
+    /// against a registry-dispatched hook set; the only variation is
+    /// whether kernel launches resolve through a fixed CUDA module.
+    fn with_registry(
+        host: minic::ast::Program,
+        host_info: minic::sema::ProgramInfo,
+        registry: Arc<DeviceRegistry>,
+        cuda_module: Option<String>,
+        cfg: &RunnerConfig,
+        setup: ObsSetup,
+    ) -> IResult<Runner> {
+        let machine = Machine::new(host, host_info, cfg.host_mem)?;
+        let hooks = Arc::new(OmpiHooks::new(registry, cuda_module, setup.obs));
+        let hooks_dyn: Arc<dyn Hooks> = hooks.clone();
+        Ok(Runner {
+            machine,
+            hooks,
+            hooks_dyn,
+            trace_path: setup.trace_path,
+            profile_on_drop: setup.profile,
+        })
+    }
+
+    /// Instantiate a compiled OpenMP application.
+    ///
+    /// `OMPI_DEV_MEM=64M`-style values cap the per-device arena below the
+    /// configured [`RunnerConfig::device_mem`], exercising the memory
+    /// governor's degradation ladder (OpenMP path only — the CUDA baseline
+    /// manages raw device memory itself and would just crash).
+    pub fn new(app: &CompiledApp, cfg: &RunnerConfig) -> IResult<Runner> {
+        let mut cfg = cfg.clone();
+        if let Ok(s) = std::env::var("OMPI_DEV_MEM") {
+            let bytes = vmcommon::fmt::parse_size(&s)
+                .map_err(|e| InterpError::Trap(format!("OMPI_DEV_MEM: {e}")))?;
+            cfg.device_mem = bytes as usize;
+        }
+        let setup = ObsSetup::resolve(&cfg);
+        let registry = Self::build_registry(&app.kernel_dir, &cfg, &setup.obs)?;
+        Self::with_registry(app.host.clone(), app.host_info.clone(), registry, None, &cfg, setup)
+    }
+
+    /// Instantiate a compiled pure-CUDA application.
+    pub fn new_cuda(app: &CompiledCudaApp, cfg: &RunnerConfig) -> IResult<Runner> {
+        let setup = ObsSetup::resolve(cfg);
+        let registry = Self::build_registry(&app.kernel_dir, cfg, &setup.obs)?;
+        Self::with_registry(
+            app.host.clone(),
+            app.host_info.clone(),
+            registry,
+            Some(app.module_name.clone()),
+            cfg,
+            setup,
+        )
+    }
+
+    /// Call a guest function.
+    pub fn call(&self, name: &str, args: &[Value]) -> IResult<Value> {
+        let mut i = Interp::new(self.machine.clone(), self.hooks_dyn.clone())?;
+        i.call(name, args)
+    }
+
+    /// Run `main()`.
+    pub fn run_main(&self) -> IResult<Value> {
+        self.call("main", &[])
+    }
+
+    /// The device registry (per-device clocks, broken-latches, ICVs).
+    pub fn registry(&self) -> &Arc<DeviceRegistry> {
+        &self.hooks.registry
+    }
+
+    /// Number of registered offload devices.
+    pub fn num_devices(&self) -> usize {
+        self.hooks.registry.num_devices()
+    }
+
+    /// The accumulated virtual device time (the paper's reported metric),
+    /// summed over all offload devices — identical to the single device's
+    /// clock in default configurations.
+    pub fn dev_clock(&self) -> DevClock {
+        self.hooks.registry.aggregate_clock()
+    }
+
+    /// One offload device's virtual clock (`idx == num_devices()` reads
+    /// the host shim's clock).
+    pub fn dev_clock_of(&self, idx: usize) -> Option<DevClock> {
+        self.hooks.registry.clock_of(idx)
+    }
+
+    /// Reset the virtual device clocks (before a measured run).
+    pub fn reset_dev_clock(&self) {
+        self.hooks.registry.reset_clocks();
+    }
+
+    /// Whether a terminal device fault has latched device 0 broken
+    /// (subsequent target regions there execute on the host).
+    pub fn device_broken(&self) -> bool {
+        self.device_broken_at(0)
+    }
+
+    /// Whether a terminal device fault has latched device `idx` broken.
+    pub fn device_broken_at(&self, idx: usize) -> bool {
+        self.hooks.registry.device(idx).map(|d| d.is_broken()).unwrap_or(false)
+    }
+
+    /// Captured guest stdout.
+    pub fn take_output(&self) -> String {
+        self.machine.take_output()
+    }
+
+    /// Captured device printf output across all devices (empty if no
+    /// device ever came up).
+    pub fn take_device_output(&self) -> String {
+        self.hooks.registry.take_printf_output()
+    }
+
+    /// The observability sink this runner records into.
+    pub fn obs(&self) -> &Arc<obs::Obs> {
+        &self.hooks.obs
+    }
+
+    /// The per-device profile table (simulated time by phase), rendered.
+    pub fn profile_table(&self) -> String {
+        obs::render_profile(&self.hooks.registry.profile_rows())
+    }
+
+    /// Make sure every trace "process" carries a human-readable name
+    /// (first-wins: devices that came up already named themselves).
+    fn name_trace_processes(&self) {
+        let tracer = &self.hooks.obs.tracer;
+        for i in 0..self.hooks.registry.num_devices() {
+            tracer.set_process_name(i as u64, &format!("dev{i}"));
+        }
+        tracer.set_process_name(self.hooks.host_pid(), "host (initial device)");
+    }
+
+    /// Write the recorded trace as Chrome trace-event JSON.
+    pub fn write_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.name_trace_processes();
+        self.hooks.obs.tracer.write_json(path)
+    }
+}
+
+impl Drop for Runner {
+    /// Env-var mode export: `OMPI_TRACE` writes the trace JSON,
+    /// `OMPI_PROFILE` prints the profile table to stderr. Explicit
+    /// `RunnerConfig::obs` sinks skip both (the caller owns export).
+    fn drop(&mut self) {
+        if let Some(path) = self.trace_path.take() {
+            if let Err(e) = self.write_trace(&path) {
+                eprintln!("ompi: failed to write trace to {}: {e}", path.display());
+            }
+        }
+        if self.profile_on_drop {
+            eprintln!("{}", self.profile_table());
+        }
+    }
+}

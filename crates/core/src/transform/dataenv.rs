@@ -272,7 +272,10 @@ impl<'p> Translator<'p> {
         }
 
         // Launch: __dev_offload(dev, "module", "kernel", mw, ndims, tc0,
-        // tc1, tc2, teams, threads, args…).
+        // tc1, tc2, teams, threads, tileable, (arg, row_bytes)…). Each
+        // launch argument travels with its per-iteration byte stride so
+        // the memory governor can stream sliceable buffers tile by tile
+        // when they do not fit on the device (row 0 = scalar / resident).
         let ndims = if reg.combined { reg.loops.len() as i64 } else { 0 };
         let mut offload_args: Vec<Expr> = vec![
             dev(),
@@ -299,7 +302,11 @@ impl<'p> Translator<'p> {
                 None => b::int(0),
             },
         });
-        offload_args.extend(reg.launch_args.iter().cloned());
+        offload_args.push(b::int(reg.tileable as i64));
+        for (arg, row) in reg.launch_args.iter().zip(&reg.launch_rows) {
+            offload_args.push(arg.clone());
+            offload_args.push(long_cast(row.clone()));
+        }
         // `__dev_offload` returns 1 when the kernel ran on the device, 0 on
         // a terminal device failure — record the latter in the fallback
         // flag so the region re-executes on the host below.

@@ -16,7 +16,7 @@ use minic::types::Ty;
 
 use crate::analyze::*;
 
-use super::{err, HostCtx, MapItem, Translator, VarRole};
+use super::{err, long_cast, sizeof_expr, HostCtx, MapItem, Translator, VarRole};
 
 /// Everything the later passes need to know about one outlined region.
 pub(crate) struct OutlinedRegion {
@@ -41,6 +41,15 @@ pub(crate) struct OutlinedRegion {
     pub(crate) params: Vec<Param>,
     /// Host-side launch arguments matching `params`.
     pub(crate) launch_args: Vec<Expr>,
+    /// Per-launch-argument byte stride per distribute iteration (memory-
+    /// pressure tiling): non-zero when the shape analysis proved the
+    /// mapped buffer sliceable along the distribute loop, `0` when the
+    /// argument is a scalar or must stay resident.
+    pub(crate) launch_rows: Vec<Expr>,
+    /// Can the governor tile this region's iteration space under memory
+    /// pressure? (Combined 1-D unit-stride zero-based nest, no
+    /// reductions.)
+    pub(crate) tileable: bool,
     /// Mapped scalars written back through `__out_<name>` pointers
     /// (master/worker regions only).
     pub(crate) scalar_writebacks: Vec<String>,
@@ -218,6 +227,39 @@ impl<'p> Translator<'p> {
             }
         }
 
+        // Memory-pressure tiling: can the governor split this region's
+        // iteration space, and at what per-iteration byte stride does each
+        // mapped buffer argument slice? Only the combined 1-D unit-stride
+        // zero-based form preserves the iteration↔row correspondence the
+        // slice arithmetic depends on; reductions fold across tiles and
+        // are excluded.
+        let tileable = combined
+            && loops.len() == 1
+            && loops[0].step == 1
+            && !loops[0].inclusive
+            && loops[0].lb.const_int() == Some(0)
+            && !roles.iter().any(|(_, _, r)| matches!(r, VarRole::Reduction(_)));
+        let mut launch_rows: Vec<Expr> = if tileable {
+            let loop_vars: Vec<String> = loops.iter().map(|l| l.var.clone()).collect();
+            let varying = varying_vars(&inner_body, &loop_vars);
+            roles
+                .iter()
+                .map(|(name, _, role)| match role {
+                    VarRole::Mapped { param_ty: Ty::Ptr(pointee), .. } => {
+                        match row_stride(&inner_body, name, &loops[0].var, &varying) {
+                            Some(elems) => {
+                                b::bin(BinOp::Mul, long_cast(elems), sizeof_expr(pointee))
+                            }
+                            None => b::int(0),
+                        }
+                    }
+                    _ => b::int(0),
+                })
+                .collect()
+        } else {
+            roles.iter().map(|_| b::int(0)).collect()
+        };
+
         // Master/worker extras: scalar write-backs + the region body handed
         // to the master/worker pass.
         let mut scalar_writebacks: Vec<String> = Vec::new();
@@ -286,6 +328,12 @@ impl<'p> Translator<'p> {
         // `device()` routing: -1 selects the default-device ICV at run time.
         let dev_expr = dir.clause_device().cloned().unwrap_or_else(|| b::int(-1));
 
+        // Master/worker scalar write-backs appended launch arguments after
+        // the per-role rows were computed; they are scalars (row 0).
+        while launch_rows.len() < launch_args.len() {
+            launch_rows.push(b::int(0));
+        }
+
         Ok(OutlinedRegion {
             kid,
             module_name,
@@ -299,6 +347,8 @@ impl<'p> Translator<'p> {
             privates,
             params,
             launch_args,
+            launch_rows,
+            tileable,
             scalar_writebacks,
             mw_body,
             kprog,

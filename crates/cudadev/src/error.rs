@@ -20,6 +20,10 @@ pub enum CudadevError {
     /// A data-environment operation failed (alloc, H2D/D2H copy, map
     /// bookkeeping), after any retries.
     Data(ExecError),
+    /// `cuMemFree` rejected the pointer: double free or a pointer the
+    /// driver never handed out. A host-side bookkeeping bug, not a device
+    /// failure — the device stays usable.
+    InvalidFree { dev_ptr: u64 },
     /// Locating, decoding or verifying a kernel module failed.
     ModuleLoad { module: String, reason: String },
     /// JIT assembly/linking of a `.sptx` kernel failed.
@@ -66,6 +70,9 @@ impl std::fmt::Display for CudadevError {
             CudadevError::Init(e) => write!(f, "device initialization failed: {e}"),
             CudadevError::Broken => write!(f, "device is broken (latched by an earlier failure)"),
             CudadevError::Data(e) => write!(f, "device data operation failed: {e}"),
+            CudadevError::InvalidFree { dev_ptr } => {
+                write!(f, "invalid device free of {dev_ptr:#x} (double free or bad pointer)")
+            }
             CudadevError::ModuleLoad { module, reason } => {
                 write!(f, "loading kernel module `{module}` failed: {reason}")
             }

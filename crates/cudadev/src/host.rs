@@ -28,6 +28,10 @@ use crate::devlib::{exports, CudaDeviceLib, NUM_LOCKS};
 use crate::error::CudadevError;
 use crate::jit;
 
+mod governor;
+
+pub use governor::{PressureOutcome, TileParam};
+
 /// Mapping direction of one map clause.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MapKind {
@@ -47,6 +51,14 @@ struct MapEntry {
     refcount: u32,
     /// Copy back to host when the last reference is removed.
     copy_out: bool,
+    /// No device buffer could be allocated even after eviction: the host
+    /// copy stays authoritative and the governor either streams slices per
+    /// tile at offload time or declines the offload (OOM fallback).
+    pending: bool,
+    /// The host copy has been rewritten since the device copy was
+    /// uploaded (a host fallback ran under an enclosing `target data`):
+    /// skip copy-back, and re-upload before the next launch that uses it.
+    host_dirty: bool,
 }
 
 /// Accumulated virtual device time, broken down by offload phase — the
@@ -209,6 +221,10 @@ pub struct CudaDevConfig {
     pub fault_plan: Option<Arc<FaultPlan>>,
     /// Retry policy for transient driver faults.
     pub retry: RetryPolicy,
+    /// Staging-buffer bound for host↔device transfers: copies larger than
+    /// this are split into chunked transfers (the governor's "stage" rung),
+    /// capping peak transient usage on the shared 2 GB arena.
+    pub staging_bytes: u64,
     /// Observability sink: spans and counters for every driver operation.
     /// Disabled by default (a disabled tracer is one atomic load per
     /// event). The trace process number is `device_id`.
@@ -227,6 +243,7 @@ impl Default for CudaDevConfig {
             launch_sampling: false,
             fault_plan: None,
             retry: RetryPolicy::default(),
+            staging_bytes: 16 << 20,
             obs: obs::Obs::disabled(),
         }
     }
@@ -241,6 +258,11 @@ pub struct CudaDev {
     lib: Mutex<Option<Arc<CudaDeviceLib>>>,
     modules: Mutex<HashMap<String, Arc<sptx::Module>>>,
     maps: Mutex<HashMap<u64, MapEntry>>,
+    /// Unmapped-but-kept device buffers (the governor's LRU transfer
+    /// cache), keyed by host address. Evicted under allocation pressure.
+    cache: Mutex<HashMap<u64, governor::CacheEntry>>,
+    /// Monotone counter stamping cache entries for LRU ordering.
+    lru_tick: std::sync::atomic::AtomicU64,
     pub clock: Mutex<DevClock>,
     /// Per-kernel launch history for launch-level sampling:
     /// (launch count, recent cycles-per-thread estimate).
@@ -260,6 +282,8 @@ impl CudaDev {
             lib: Mutex::new(None),
             modules: Mutex::new(HashMap::new()),
             maps: Mutex::new(HashMap::new()),
+            cache: Mutex::new(HashMap::new()),
+            lru_tick: std::sync::atomic::AtomicU64::new(0),
             clock: Mutex::new(DevClock::default()),
             launch_hist: Mutex::new(HashMap::new()),
             broken: AtomicBool::new(false),
@@ -458,6 +482,13 @@ impl CudaDev {
     // ------------------------------------------------- data environment
 
     /// Enter a mapping for `[host_addr, host_addr+len)`.
+    ///
+    /// Under memory pressure this never fails with out-of-memory: the
+    /// governor first reuses / evicts cached buffers, and if the arena is
+    /// still too small it records a *pending* mapping (no device buffer,
+    /// host copy authoritative) whose fate — tiled streaming or host
+    /// fallback — is decided at offload time. Pending mappings report
+    /// device address 0.
     pub fn map(
         &self,
         host_mem: &MemArena,
@@ -475,8 +506,55 @@ impl CudaDev {
             return Ok(entry.dev_ptr);
         }
         let obs = &self.cfg.obs;
-        let dev_ptr =
-            self.retrying("alloc", || device.mem_alloc(len)).map_err(|e| self.latch(e))?;
+        let want_in = matches!(kind, MapKind::To | MapKind::ToFrom);
+        let mut need_h2d = want_in;
+
+        // Transfer-reuse: a cached buffer of the same shape skips the
+        // allocation, and — when its contents provably match the host copy
+        // — the upload too.
+        let dev_ptr = match self.cache_take(host_addr, len) {
+            Some(cached) => {
+                obs.metrics.incr(self.pid(), "cache.reuse", 1);
+                if want_in && self.cache_contents_match(host_mem, host_addr, len, &cached) {
+                    obs.tracer.instant(
+                        self.pid(),
+                        0,
+                        "transfer reuse",
+                        "mem",
+                        self.now(),
+                        vec![("bytes", len.into()), ("dev_ptr", cached.dev_ptr.into())],
+                    );
+                    obs.metrics.incr(self.pid(), "transfer_reuse", 1);
+                    need_h2d = false;
+                }
+                Some(cached.dev_ptr)
+            }
+            None => self.alloc_pressured(&device, len)?,
+        };
+        let Some(dev_ptr) = dev_ptr else {
+            // Out of memory even after eviction: pend the mapping.
+            maps.insert(
+                host_addr,
+                MapEntry {
+                    dev_ptr: 0,
+                    len,
+                    refcount: 1,
+                    copy_out: matches!(kind, MapKind::From | MapKind::ToFrom),
+                    pending: true,
+                    host_dirty: false,
+                },
+            );
+            obs.tracer.instant(
+                self.pid(),
+                0,
+                "map pending",
+                "pressure",
+                self.now(),
+                vec![("bytes", len.into()), ("host", host_addr.into())],
+            );
+            obs.metrics.incr(self.pid(), "maps_pending", 1);
+            return Ok(0);
+        };
         obs.tracer.instant(
             self.pid(),
             0,
@@ -486,27 +564,12 @@ impl CudaDev {
             vec![("bytes", len.into()), ("dev_ptr", dev_ptr.into())],
         );
         obs.metrics.observe(self.pid(), "alloc_bytes", len);
-        if matches!(kind, MapKind::To | MapKind::ToFrom) {
-            let _h2d = obs.tracer.span(
-                self.pid(),
-                0,
-                "h2d",
-                "memcpy",
-                || self.now(),
-                vec![("bytes", len.into())],
-            );
+        if need_h2d {
             let mut buf = vec![0u8; len as usize];
             host_mem
                 .read_bytes(vmcommon::addr::offset(host_addr), &mut buf)
                 .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
-            let t = self
-                .retrying("h2d", || device.memcpy_h2d(dev_ptr, &buf))
-                .map_err(|e| self.latch(e))?;
-            let mut clk = self.clock.lock();
-            clk.h2d_s += t;
-            clk.h2d_bytes += len;
-            drop(clk);
-            obs.metrics.incr(self.pid(), "h2d_bytes", len);
+            self.h2d_copy(&device, dev_ptr, &buf).map_err(|e| self.latch(e))?;
         }
         maps.insert(
             host_addr,
@@ -515,6 +578,8 @@ impl CudaDev {
                 len,
                 refcount: 1,
                 copy_out: matches!(kind, MapKind::From | MapKind::ToFrom),
+                pending: false,
+                host_dirty: false,
             },
         );
         Ok(dev_ptr)
@@ -540,39 +605,44 @@ impl CudaDev {
             return Ok(());
         }
         let entry = maps.remove(&host_addr).unwrap();
+        if entry.pending {
+            // Never had a device buffer; the host copy is already
+            // authoritative (tiled launches streamed results back as they
+            // ran, or a fallback recomputed them on the host).
+            return Ok(());
+        }
         let obs = &self.cfg.obs;
         let want_out = entry.copy_out || matches!(kind, MapKind::From | MapKind::ToFrom);
-        if want_out && kind != MapKind::Delete && kind != MapKind::Release {
-            let _d2h = obs.tracer.span(
-                self.pid(),
-                0,
-                "d2h",
-                "memcpy",
-                || self.now(),
-                vec![("bytes", entry.len.into())],
-            );
+        let mut synced: Option<Vec<u8>> = None;
+        if want_out
+            && kind != MapKind::Delete
+            && kind != MapKind::Release
+            // A dirty device copy is stale (the host recomputed the data in
+            // a fallback); copying it back would clobber the good results.
+            && !entry.host_dirty
+        {
             let mut buf = vec![0u8; entry.len as usize];
-            let t = self
-                .retrying("d2h", || device.memcpy_d2h(&mut buf, entry.dev_ptr))
-                .map_err(|e| self.latch(e))?;
+            self.d2h_copy(&device, entry.dev_ptr, &mut buf).map_err(|e| self.latch(e))?;
             host_mem
                 .write_bytes(vmcommon::addr::offset(host_addr), &buf)
                 .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
-            let mut clk = self.clock.lock();
-            clk.d2h_s += t;
-            clk.d2h_bytes += entry.len;
-            drop(clk);
-            obs.metrics.incr(self.pid(), "d2h_bytes", entry.len);
+            synced = Some(buf);
         }
-        device.mem_free(entry.dev_ptr).map_err(|e| self.latch(e))?;
-        obs.tracer.instant(
-            self.pid(),
-            0,
-            "free",
-            "mem",
-            self.now(),
-            vec![("bytes", entry.len.into()), ("dev_ptr", entry.dev_ptr.into())],
-        );
+        if kind == MapKind::Delete {
+            self.free_dev(&device, entry.dev_ptr)?;
+            obs.tracer.instant(
+                self.pid(),
+                0,
+                "free",
+                "mem",
+                self.now(),
+                vec![("bytes", entry.len.into()), ("dev_ptr", entry.dev_ptr.into())],
+            );
+        } else {
+            // Keep the buffer as an LRU cache entry for transfer reuse;
+            // the evict rung reclaims it under allocation pressure.
+            self.cache_insert(host_addr, &entry, synced);
+        }
         Ok(())
     }
 
@@ -585,56 +655,45 @@ impl CudaDev {
         to_device: bool,
     ) -> Result<(), CudadevError> {
         let device = self.try_device()?;
-        let maps = self.maps.lock();
-        let entry = maps.get(&host_addr).ok_or_else(|| {
+        let mut maps = self.maps.lock();
+        let entry = maps.get_mut(&host_addr).ok_or_else(|| {
             CudadevError::Data(ExecError::Trap(format!(
                 "target update of unmapped host address {host_addr:#x}"
             )))
         })?;
+        if entry.pending {
+            // No device buffer exists; the host copy is authoritative in
+            // both directions, so there is nothing to move.
+            return Ok(());
+        }
         let len = len.min(entry.len);
-        let obs = &self.cfg.obs;
-        let name = if to_device { "h2d" } else { "d2h" };
-        let _span = obs.tracer.span(
-            self.pid(),
-            0,
-            name,
-            "memcpy",
-            || self.now(),
-            vec![("bytes", len.into()), ("update", "true".into())],
-        );
         if to_device {
             let mut buf = vec![0u8; len as usize];
             host_mem
                 .read_bytes(vmcommon::addr::offset(host_addr), &mut buf)
                 .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
-            let t = self
-                .retrying("h2d", || device.memcpy_h2d(entry.dev_ptr, &buf))
-                .map_err(|e| self.latch(e))?;
-            let mut clk = self.clock.lock();
-            clk.h2d_s += t;
-            clk.h2d_bytes += len;
-            drop(clk);
-            obs.metrics.incr(self.pid(), "h2d_bytes", len);
+            self.h2d_copy(&device, entry.dev_ptr, &buf).map_err(|e| self.latch(e))?;
+            // The device copy is fresh again.
+            entry.host_dirty = false;
         } else {
+            if entry.host_dirty {
+                // The host side is newer (a fallback recomputed it);
+                // pulling the stale device copy would lose data.
+                return Ok(());
+            }
             let mut buf = vec![0u8; len as usize];
-            let t = self
-                .retrying("d2h", || device.memcpy_d2h(&mut buf, entry.dev_ptr))
-                .map_err(|e| self.latch(e))?;
+            self.d2h_copy(&device, entry.dev_ptr, &mut buf).map_err(|e| self.latch(e))?;
             host_mem
                 .write_bytes(vmcommon::addr::offset(host_addr), &buf)
                 .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
-            let mut clk = self.clock.lock();
-            clk.d2h_s += t;
-            clk.d2h_bytes += len;
-            drop(clk);
-            obs.metrics.incr(self.pid(), "d2h_bytes", len);
         }
         Ok(())
     }
 
     /// Parameter preparation: the device address for a mapped host address.
+    /// Pending mappings have no device buffer and report `None`.
     pub fn dev_addr(&self, host_addr: u64) -> Option<u64> {
-        self.maps.lock().get(&host_addr).map(|e| e.dev_ptr)
+        self.maps.lock().get(&host_addr).filter(|e| !e.pending).map(|e| e.dev_ptr)
     }
 
     /// Is anything mapped? (test/diagnostic helper)

@@ -1,0 +1,661 @@
+//! The device-memory **governor**: allocation failure on the (simulated)
+//! 2 GB shared arena degrades gracefully instead of killing the offload.
+//!
+//! Four rungs, tried in order, each traced as a `pressure` instant (with a
+//! `rung` argument) and counted as `pressure.<rung>` in the metrics:
+//!
+//! 1. **evict** — buffers whose mapping refcount dropped to zero are kept
+//!    as an LRU cache for transfer reuse; under pressure they are freed
+//!    (they were written back at unmap time, so eviction is just a free)
+//!    and the allocation is retried.
+//! 2. **stage** — host↔device copies larger than the configured staging
+//!    bound ([`super::CudaDevConfig::staging_bytes`]) are split into
+//!    chunked transfers, capping peak transient usage.
+//! 3. **tile** — a combined `target teams distribute parallel for` region
+//!    whose mapped arrays still don't fit runs as a sequence of smaller
+//!    grids: each tile streams the slices of oversized (*pending*) arrays
+//!    it touches, and the kernel observes the *logical* grid via
+//!    [`gpusim::TileView`], so `cudadev_get_distribute_chunk` computes the
+//!    same per-team bounds as the monolithic launch — results are
+//!    bit-identical.
+//! 4. **host fallback** — the region is declined ([`PressureOutcome::
+//!    Declined`]) and the runtime re-executes it on the host, annotated
+//!    with an `oom` reason distinct from `device_lost`.
+//!
+//! Slicing assumes the translator's conservative shape analysis: a buffer
+//! is sliceable only when every access indexes it as `i*stride + rest`
+//! with `i` the distribute-loop variable and `rest` an unscaled inner
+//! index — the row-major convention that `rest < stride`.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use gpusim::{Device, ExecError, LaunchConfig, TileView};
+use vmcommon::alloc::AllocError;
+use vmcommon::sched::static_block;
+use vmcommon::MemArena;
+
+use super::{CudaDev, MapEntry};
+use crate::error::CudadevError;
+
+/// One kernel parameter of a pressure-aware offload, as the runtime
+/// describes it to the governor.
+#[derive(Clone, Copy, Debug)]
+pub enum TileParam {
+    /// Raw scalar bits, passed through unchanged.
+    Scalar(u64),
+    /// A mapped buffer, identified by host address. `row_bytes` is the
+    /// byte stride per distribute-loop iteration when the translator
+    /// proved the buffer sliceable, 0 when it must stay resident.
+    Buf { host: u64, row_bytes: u64 },
+}
+
+/// What the governor did with a pressured offload request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PressureOutcome {
+    /// The region ran on the device (tiled); results are on the host side
+    /// for pending buffers and on the device for resident ones.
+    Ran,
+    /// The region cannot run under the current memory pressure; the
+    /// runtime must re-execute it on the host (OOM fallback).
+    Declined,
+}
+
+/// One cached (unmapped but not yet freed) device buffer.
+#[derive(Clone, Debug)]
+pub(super) struct CacheEntry {
+    pub dev_ptr: u64,
+    pub len: u64,
+    /// Hash of the buffer contents *as last synced with the host* (set
+    /// when the unmap copy-back ran, so device == host at insert time).
+    /// `None` when the device copy was never re-read — reuse must then
+    /// re-upload.
+    pub synced_hash: Option<u64>,
+    /// LRU stamp; smallest is evicted first.
+    pub tick: u64,
+}
+
+/// FNV-1a, enough to recognize "the host bytes have not changed since the
+/// last sync" for transfer reuse. Collisions only cost a skipped upload of
+/// stale data in an adversarial setting; for the deterministic benchmark
+/// workloads the hash is exact bookkeeping.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A pending buffer being streamed slice-by-slice during a tiled launch.
+struct SliceStream {
+    host_addr: u64,
+    row: u64,
+    len: u64,
+    param_idx: usize,
+    /// Device buffer sized for the largest tile, reused across tiles.
+    dev_ptr: u64,
+    /// Full host contents at tiling start (restored on mid-run failure so
+    /// a subsequent host fallback re-executes from pristine inputs).
+    pristine: Vec<u8>,
+}
+
+impl CudaDev {
+    /// Emit one `pressure` trace instant + counter for a ladder rung.
+    pub(super) fn pressure(&self, rung: &str, mut args: Vec<(&'static str, obs::ArgValue)>) {
+        let obs = &self.cfg.obs;
+        args.insert(0, ("rung", rung.into()));
+        obs.tracer.instant(self.pid(), 0, "pressure", "pressure", self.now(), args);
+        obs.metrics.incr(self.pid(), &format!("pressure.{rung}"), 1);
+    }
+
+    /// Free a device buffer, surfacing driver rejection as the typed
+    /// [`CudadevError::InvalidFree`] instead of an opaque data error.
+    pub(super) fn free_dev(&self, device: &Device, dev_ptr: u64) -> Result<(), CudadevError> {
+        match device.mem_free(dev_ptr) {
+            Ok(()) => Ok(()),
+            Err(ExecError::Alloc(AllocError::InvalidFree { .. })) => {
+                self.cfg.obs.metrics.incr(self.pid(), "invalid_frees", 1);
+                Err(CudadevError::InvalidFree { dev_ptr })
+            }
+            Err(e) => Err(CudadevError::Data(self.latch(e))),
+        }
+    }
+
+    // ------------------------------------------------ rung 1: evict (LRU)
+
+    /// Allocate `len` bytes, evicting cached buffers (LRU first) while the
+    /// arena is out of memory. `Ok(None)` means the arena cannot hold the
+    /// buffer even with an empty cache — the mapping goes pending.
+    pub(super) fn alloc_pressured(
+        &self,
+        device: &Arc<Device>,
+        len: u64,
+    ) -> Result<Option<u64>, CudadevError> {
+        loop {
+            match self.retrying("alloc", || device.mem_alloc(len)) {
+                Ok(p) => return Ok(Some(p)),
+                Err(ExecError::Alloc(AllocError::OutOfMemory { .. })) => {
+                    if !self.evict_lru(device)? {
+                        return Ok(None);
+                    }
+                }
+                Err(e) => return Err(CudadevError::Data(self.latch(e))),
+            }
+        }
+    }
+
+    /// Evict the least-recently-used cache entry. Returns false when the
+    /// cache is empty.
+    fn evict_lru(&self, device: &Arc<Device>) -> Result<bool, CudadevError> {
+        let victim = {
+            let mut cache = self.cache.lock();
+            let key = cache.iter().min_by_key(|(_, c)| c.tick).map(|(&k, _)| k);
+            key.and_then(|k| cache.remove(&k).map(|c| (k, c)))
+        };
+        let Some((host, c)) = victim else {
+            return Ok(false);
+        };
+        self.pressure("evict", vec![("bytes", c.len.into()), ("host", host.into())]);
+        self.cfg.obs.metrics.observe(self.pid(), "evicted_bytes", c.len);
+        self.free_dev(device, c.dev_ptr)?;
+        Ok(true)
+    }
+
+    /// Take a cached buffer of exactly this shape for reuse. A cached
+    /// buffer with a different length is stale (the program re-mapped the
+    /// address at another size) and is dropped here.
+    pub(super) fn cache_take(&self, host_addr: u64, len: u64) -> Option<CacheEntry> {
+        let mut cache = self.cache.lock();
+        match cache.get(&host_addr) {
+            Some(c) if c.len == len => cache.remove(&host_addr),
+            Some(_) => {
+                let c = cache.remove(&host_addr).unwrap();
+                drop(cache);
+                if let Ok(d) = self.try_device() {
+                    let _ = self.free_dev(&d, c.dev_ptr);
+                }
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Do the host bytes still match what the cached device buffer holds?
+    pub(super) fn cache_contents_match(
+        &self,
+        host_mem: &MemArena,
+        host_addr: u64,
+        len: u64,
+        cached: &CacheEntry,
+    ) -> bool {
+        let Some(expect) = cached.synced_hash else {
+            return false;
+        };
+        let mut buf = vec![0u8; len as usize];
+        if host_mem.read_bytes(vmcommon::addr::offset(host_addr), &mut buf).is_err() {
+            return false;
+        }
+        fnv64(&buf) == expect
+    }
+
+    /// Park an unmapped buffer in the LRU cache. `synced` carries the
+    /// bytes just copied back to the host (device == host), enabling a
+    /// hash-verified upload skip on the next map.
+    pub(super) fn cache_insert(&self, host_addr: u64, entry: &MapEntry, synced: Option<Vec<u8>>) {
+        let tick = self.lru_tick.fetch_add(1, Ordering::Relaxed);
+        let ce = CacheEntry {
+            dev_ptr: entry.dev_ptr,
+            len: entry.len,
+            synced_hash: synced.as_deref().map(fnv64),
+            tick,
+        };
+        self.cache.lock().insert(host_addr, ce);
+        self.cfg.obs.metrics.incr(self.pid(), "cache.insert", 1);
+    }
+
+    /// Bytes currently parked in the LRU cache (diagnostic).
+    pub fn cached_bytes(&self) -> u64 {
+        self.cache.lock().values().map(|c| c.len).sum()
+    }
+
+    /// Drop every cached buffer, freeing its device memory.
+    pub fn trim_cache(&self) -> Result<(), CudadevError> {
+        let drained: Vec<CacheEntry> = self.cache.lock().drain().map(|(_, c)| c).collect();
+        if drained.is_empty() {
+            return Ok(());
+        }
+        let device = self.try_device()?;
+        for c in drained {
+            self.free_dev(&device, c.dev_ptr)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------- rung 2: staged transfers
+
+    /// Host→device copy, chunked through the staging bound. Emits the
+    /// `h2d` span and charges the clock exactly like the unchunked path,
+    /// so small copies keep their historical trace/fault numbering.
+    pub(super) fn h2d_copy(
+        &self,
+        device: &Device,
+        dev_ptr: u64,
+        buf: &[u8],
+    ) -> Result<(), ExecError> {
+        let obs = &self.cfg.obs;
+        let len = buf.len() as u64;
+        let _span = obs.tracer.span(
+            self.pid(),
+            0,
+            "h2d",
+            "memcpy",
+            || self.now(),
+            vec![("bytes", len.into())],
+        );
+        let cap = self.staging_cap();
+        let mut total = 0.0;
+        if buf.len() > cap {
+            let chunks = buf.len().div_ceil(cap) as u64;
+            self.pressure(
+                "stage",
+                vec![("dir", "h2d".into()), ("bytes", len.into()), ("chunks", chunks.into())],
+            );
+            obs.metrics.incr(self.pid(), "staged_chunks", chunks);
+        }
+        for (i, chunk) in buf.chunks(cap).enumerate() {
+            let dst = dev_ptr + (i * cap) as u64;
+            total += self.retrying("h2d", || device.memcpy_h2d(dst, chunk))?;
+        }
+        let mut clk = self.clock.lock();
+        clk.h2d_s += total;
+        clk.h2d_bytes += len;
+        drop(clk);
+        obs.metrics.incr(self.pid(), "h2d_bytes", len);
+        Ok(())
+    }
+
+    /// Device→host copy into `buf`, chunked through the staging bound.
+    pub(super) fn d2h_copy(
+        &self,
+        device: &Device,
+        dev_ptr: u64,
+        buf: &mut [u8],
+    ) -> Result<(), ExecError> {
+        let obs = &self.cfg.obs;
+        let len = buf.len() as u64;
+        let _span = obs.tracer.span(
+            self.pid(),
+            0,
+            "d2h",
+            "memcpy",
+            || self.now(),
+            vec![("bytes", len.into())],
+        );
+        let cap = self.staging_cap();
+        let mut total = 0.0;
+        if buf.len() > cap {
+            let chunks = buf.len().div_ceil(cap) as u64;
+            self.pressure(
+                "stage",
+                vec![("dir", "d2h".into()), ("bytes", len.into()), ("chunks", chunks.into())],
+            );
+            obs.metrics.incr(self.pid(), "staged_chunks", chunks);
+        }
+        for (i, chunk) in buf.chunks_mut(cap).enumerate() {
+            let src = dev_ptr + (i * cap) as u64;
+            total += self.retrying("d2h", || device.memcpy_d2h(chunk, src))?;
+        }
+        let mut clk = self.clock.lock();
+        clk.d2h_s += total;
+        clk.d2h_bytes += len;
+        drop(clk);
+        obs.metrics.incr(self.pid(), "d2h_bytes", len);
+        Ok(())
+    }
+
+    fn staging_cap(&self) -> usize {
+        (self.cfg.staging_bytes.max(vmcommon::alloc::BlockAllocator::ALIGN)) as usize
+    }
+
+    // ----------------------------------------- dirty tracking (fallback)
+
+    /// After a host fallback ran under an enclosing `target data`, every
+    /// live device copy is stale: mark them so copy-back is skipped and
+    /// the next launch that uses them re-uploads first.
+    pub fn mark_all_host_dirty(&self) {
+        for e in self.maps.lock().values_mut() {
+            if !e.pending {
+                e.host_dirty = true;
+            }
+        }
+    }
+
+    /// Does any of these host addresses have a pending (buffer-less)
+    /// mapping?
+    pub fn has_pending(&self, host_addrs: &[u64]) -> bool {
+        let maps = self.maps.lock();
+        host_addrs.iter().any(|a| maps.get(a).is_some_and(|e| e.pending))
+    }
+
+    /// Re-upload any stale (host-dirty) device copies among `host_addrs`
+    /// before a launch reads them.
+    pub fn refresh_args(
+        &self,
+        host_mem: &MemArena,
+        host_addrs: &[u64],
+    ) -> Result<(), CudadevError> {
+        for &addr in host_addrs {
+            let (dev_ptr, len) = {
+                let maps = self.maps.lock();
+                match maps.get(&addr) {
+                    Some(e) if e.host_dirty && !e.pending => (e.dev_ptr, e.len),
+                    _ => continue,
+                }
+            };
+            let device = self.try_device()?;
+            let mut buf = vec![0u8; len as usize];
+            host_mem
+                .read_bytes(vmcommon::addr::offset(addr), &mut buf)
+                .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
+            self.h2d_copy(&device, dev_ptr, &buf).map_err(|e| self.latch(e))?;
+            self.cfg.obs.metrics.incr(self.pid(), "dirty_refresh", 1);
+            if let Some(e) = self.maps.lock().get_mut(&addr) {
+                e.host_dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Make host memory authoritative before an OOM-declined fallback:
+    /// copy every live (non-pending) device buffer back to the host.
+    /// Earlier regions of an enclosing `target data` may have left their
+    /// results device-side only (e.g. an `alloc`-mapped intermediate); the
+    /// fallback body reads them from host memory. Host-dirty entries are
+    /// skipped — there the host is already fresher.
+    fn sync_host(&self, host_mem: &MemArena) -> Result<(), CudadevError> {
+        let live: Vec<(u64, u64, u64)> = self
+            .maps
+            .lock()
+            .iter()
+            .filter(|(_, e)| !e.pending && !e.host_dirty)
+            .map(|(&h, e)| (h, e.dev_ptr, e.len))
+            .collect();
+        if live.is_empty() {
+            return Ok(());
+        }
+        let device = self.try_device()?;
+        let mut synced = 0u64;
+        for (host, dev_ptr, len) in live {
+            let mut buf = vec![0u8; len as usize];
+            self.d2h_copy(&device, dev_ptr, &mut buf).map_err(|e| self.latch(e))?;
+            host_mem
+                .write_bytes(vmcommon::addr::offset(host), &buf)
+                .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
+            synced += len;
+        }
+        self.cfg.obs.metrics.observe(self.pid(), "oom_sync_bytes", synced);
+        Ok(())
+    }
+
+    // -------------------------------------------------- rung 3/4: tiling
+
+    /// Run an offload whose data environment has pending (buffer-less)
+    /// mappings: tile the iteration space and stream slices when the
+    /// translator proved the region tileable, else decline so the runtime
+    /// falls back to the host (`rung=fallback`).
+    ///
+    /// `total` is the distribute trip count, `logical_grid`/`block` the
+    /// geometry the monolithic launch would use.
+    #[allow(clippy::too_many_arguments)]
+    pub fn offload_pressured(
+        &self,
+        host_mem: &MemArena,
+        module: &str,
+        kernel: &str,
+        tileable: bool,
+        total: u64,
+        logical_grid: [u32; 3],
+        block: [u32; 3],
+        params: &[TileParam],
+    ) -> Result<PressureOutcome, CudadevError> {
+        let device = self.try_device()?;
+        let lib = self.devlib()?;
+        let m = self.load_module(module)?;
+
+        let decline = |reason: &str| {
+            self.pressure(
+                "fallback",
+                vec![("kernel", kernel.into()), ("reason", reason.to_string().into())],
+            );
+            // The host is about to re-execute the region: make it
+            // authoritative first (device-side intermediates from earlier
+            // regions would otherwise be invisible to the fallback body).
+            self.sync_host(host_mem)?;
+            Ok(PressureOutcome::Declined)
+        };
+
+        // Resolve parameters: scalars pass through, resident buffers
+        // translate to device pointers, pending sliceable buffers become
+        // slice streams.
+        let mut vals = vec![0u64; params.len()];
+        let mut pending: Vec<(usize, u64, u64, u64)> = Vec::new(); // (param_idx, host, row, len)
+        let mut resident: Vec<u64> = Vec::new();
+        {
+            let maps = self.maps.lock();
+            for (i, p) in params.iter().enumerate() {
+                match *p {
+                    TileParam::Scalar(v) => vals[i] = v,
+                    TileParam::Buf { host, row_bytes } => match maps.get(&host) {
+                        Some(e) if !e.pending => {
+                            vals[i] = e.dev_ptr;
+                            resident.push(host);
+                        }
+                        Some(e) => pending.push((i, host, row_bytes, e.len)),
+                        None => {
+                            return Err(CudadevError::Data(ExecError::Trap(format!(
+                                "launch argument {host:#x} is not mapped"
+                            ))))
+                        }
+                    },
+                }
+            }
+        }
+        if pending.is_empty() {
+            // Nothing is actually pending; the caller should use the
+            // normal launch path. Treat as declined rather than guessing.
+            return decline("no pending buffers");
+        }
+        if !tileable {
+            return decline("region not tileable");
+        }
+        if logical_grid[1] != 1 || logical_grid[2] != 1 || total == 0 {
+            return decline("non-1d grid");
+        }
+        for &(_, _, row, len) in &pending {
+            if row == 0 {
+                return decline("unsliceable pending buffer");
+            }
+            if row.checked_mul(total) != Some(len) {
+                return decline("buffer shape does not match trip count");
+            }
+        }
+
+        // Tile sizing: the largest per-team iteration count bounds each
+        // slice, and the whole tile's slices must fit in the free arena
+        // with headroom.
+        let gx = logical_grid[0] as u64;
+        let per_team = total.div_ceil(gx);
+        let row_sum: u64 = pending.iter().map(|&(_, _, row, _)| row).sum();
+        let free = device.mem_free_bytes();
+        let budget = free - free / 8;
+        // Start from the budgeted estimate but always try at least one
+        // team per tile — the halve-on-OOM loop below is the arbiter of
+        // what actually fits.
+        let mut teams_per_tile = (budget / (row_sum * per_team).max(1)).clamp(1, gx);
+
+        // Refresh stale resident inputs before anything runs.
+        self.refresh_args(host_mem, &resident)?;
+
+        // Allocate the slice buffers once (max tile size), halving the
+        // tile on fragmentation, and reuse them across tiles.
+        let mut streams: Vec<SliceStream> = Vec::new();
+        'size: while teams_per_tile >= 1 {
+            // Each attempt starts from a clean slate.
+            for s in streams.drain(..) {
+                self.free_dev(&device, s.dev_ptr)?;
+            }
+            for &(param_idx, host, row, len) in &pending {
+                let cap = (teams_per_tile * per_team * row).min(len);
+                match self.retrying("alloc", || device.mem_alloc(cap)) {
+                    Ok(dev_ptr) => {
+                        streams.push(SliceStream {
+                            host_addr: host,
+                            row,
+                            len,
+                            param_idx,
+                            dev_ptr,
+                            pristine: Vec::new(),
+                        });
+                    }
+                    Err(ExecError::Alloc(AllocError::OutOfMemory { .. })) => {
+                        if !self.evict_lru(&device)? {
+                            teams_per_tile /= 2;
+                        }
+                        continue 'size; // retry: emptier arena or smaller tile
+                    }
+                    Err(e) => {
+                        for s in streams.drain(..) {
+                            self.free_dev(&device, s.dev_ptr)?;
+                        }
+                        return Err(CudadevError::Data(self.latch(e)));
+                    }
+                }
+            }
+            break 'size;
+        }
+        if teams_per_tile == 0 || streams.len() != pending.len() {
+            for s in streams.drain(..) {
+                self.free_dev(&device, s.dev_ptr)?;
+            }
+            return decline("slices do not fit even one team per tile");
+        }
+
+        // Snapshot pending host contents: if the device dies mid-tiling,
+        // the host copies are restored so the fallback re-executes the
+        // region from pristine inputs (tiles may have streamed partial
+        // results back already).
+        for s in &mut streams {
+            let mut buf = vec![0u8; s.len as usize];
+            host_mem
+                .read_bytes(vmcommon::addr::offset(s.host_addr), &mut buf)
+                .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
+            s.pristine = buf;
+        }
+
+        let ntiles = gx.div_ceil(teams_per_tile);
+        self.pressure(
+            "tile",
+            vec![
+                ("kernel", kernel.into()),
+                ("tiles", ntiles.into()),
+                ("teams_per_tile", teams_per_tile.into()),
+                ("pending_buffers", (pending.len() as u64).into()),
+            ],
+        );
+        self.cfg.obs.metrics.incr(self.pid(), "tile_launches", ntiles);
+
+        let result = self.run_tiles(
+            host_mem,
+            &device,
+            &m,
+            lib.as_ref(),
+            kernel,
+            total,
+            logical_grid,
+            block,
+            &mut vals,
+            &streams,
+            teams_per_tile,
+        );
+        if result.is_err() {
+            // Put the host copies back the way the region found them.
+            for s in &streams {
+                let _ = host_mem.write_bytes(vmcommon::addr::offset(s.host_addr), &s.pristine);
+            }
+        }
+        for s in &streams {
+            // Best-effort: on a lost device the frees may fail; the arena
+            // dies with the device.
+            let _ = self.free_dev(&device, s.dev_ptr);
+        }
+        result.map(|()| PressureOutcome::Ran)
+    }
+
+    /// The tile loop proper: upload slices, launch the windowed grid,
+    /// stream results back to the host.
+    #[allow(clippy::too_many_arguments)]
+    fn run_tiles(
+        &self,
+        host_mem: &MemArena,
+        device: &Arc<Device>,
+        m: &sptx::Module,
+        lib: &dyn gpusim::DeviceLib,
+        kernel: &str,
+        total: u64,
+        logical_grid: [u32; 3],
+        block: [u32; 3],
+        vals: &mut [u64],
+        streams: &[SliceStream],
+        teams_per_tile: u64,
+    ) -> Result<(), CudadevError> {
+        let gx = logical_grid[0] as u64;
+        let launch_err =
+            |error: ExecError| CudadevError::Launch { kernel: kernel.to_string(), error };
+        let mut t0 = 0u64;
+        while t0 < gx {
+            let t1 = (t0 + teams_per_tile).min(gx);
+            let (lb, _) = static_block(total, gx, t0);
+            let (_, ub) = static_block(total, gx, t1 - 1);
+            if lb >= ub {
+                t0 = t1;
+                continue; // teams with empty chunks do no work
+            }
+            for s in streams {
+                let lo = (lb * s.row).min(s.len);
+                let hi = (ub * s.row).min(s.len);
+                let mut buf = vec![0u8; (hi - lo) as usize];
+                host_mem
+                    .read_bytes(vmcommon::addr::offset(s.host_addr) + lo, &mut buf)
+                    .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
+                self.h2d_copy(device, s.dev_ptr, &buf).map_err(|e| self.latch(e))?;
+                // The kernel indexes the buffer from its logical base; the
+                // slice holds rows [lb, ub), so bias the base pointer back
+                // by the slice start. Intermediate wrap-around is fine:
+                // in-tile accesses land back inside the slice.
+                vals[s.param_idx] = s.dev_ptr.wrapping_sub(lo);
+            }
+            let cfg = LaunchConfig { grid: [(t1 - t0) as u32, 1, 1], block, params: vals.to_vec() };
+            let tile = TileView { team_base: t0, logical_grid };
+            let stats = self
+                .retrying("launch", || {
+                    device.set_trace_base(self.now());
+                    gpusim::launch_tiled(device, m, kernel, &cfg, lib, self.cfg.exec_mode, tile)
+                })
+                .map_err(|e| launch_err(self.latch(e)))?;
+            self.finish_launch(kernel, &stats);
+            for s in streams {
+                let lo = (lb * s.row).min(s.len);
+                let hi = (ub * s.row).min(s.len);
+                let mut buf = vec![0u8; (hi - lo) as usize];
+                self.d2h_copy(device, s.dev_ptr, &mut buf).map_err(|e| self.latch(e))?;
+                host_mem
+                    .write_bytes(vmcommon::addr::offset(s.host_addr) + lo, &buf)
+                    .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
+            }
+            t0 = t1;
+        }
+        Ok(())
+    }
+}

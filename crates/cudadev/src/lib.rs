@@ -16,4 +16,6 @@ pub use devlib::{
     exports, round_barrier_count, CudaDeviceLib, B1, B2, MW_BLOCK_THREADS, MW_WORKERS,
 };
 pub use error::CudadevError;
-pub use host::{CudaDev, CudaDevConfig, DevClock, MapKind, RetryPolicy};
+pub use host::{
+    CudaDev, CudaDevConfig, DevClock, MapKind, PressureOutcome, RetryPolicy, TileParam,
+};

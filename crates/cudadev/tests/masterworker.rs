@@ -338,6 +338,10 @@ fn data_environment_semantics() {
     dev.unmap(&host, host_addr, MapKind::From).unwrap();
     assert_eq!(dev.live_mappings(), 0);
     assert_eq!(f32::from_bits(host.load_u32(256).unwrap()), 123.0);
+    // The governor parks the zero-refcount buffer in its LRU cache for
+    // transfer reuse; trimming it must leave only the lock area.
+    assert_eq!(dev.cached_bytes(), 64, "unmapped buffer is cached, not freed");
+    dev.trim_cache().unwrap();
     assert_eq!(device.mem_in_use(), vmcommon::BlockAllocator::ALIGN, "only the lock area remains");
 }
 

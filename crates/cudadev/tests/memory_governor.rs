@@ -1,0 +1,189 @@
+//! Memory-governor tests: fragmentation-induced OOM at the allocator
+//! level, LRU eviction reclaiming contiguous arena space, chunked staging
+//! of oversized transfers, transfer reuse from the cache, and the typed
+//! `InvalidFree` error under fault injection.
+
+use std::sync::Arc;
+
+use cudadev::{CudaDev, CudaDevConfig, CudadevError, MapKind};
+use gpusim::fault::FaultPlan;
+use gpusim::ExecMode;
+use vmcommon::alloc::AllocError;
+use vmcommon::{addr, BlockAllocator, MemArena};
+
+fn dev_with(obs: Arc<obs::Obs>, tag: &str, f: impl FnOnce(&mut CudaDevConfig)) -> CudaDev {
+    let base = std::env::temp_dir().join(format!("cudadev-gov-{}-{tag}", std::process::id()));
+    let mut cfg = CudaDevConfig {
+        global_mem: 16 << 20,
+        kernel_dir: base.join("k"),
+        jit_cache_dir: base.join("j"),
+        exec_mode: ExecMode::Functional,
+        obs,
+        ..Default::default()
+    };
+    f(&mut cfg);
+    CudaDev::new(cfg)
+}
+
+fn counter(obs: &obs::Obs, name: &str) -> u64 {
+    obs.metrics.counter(0, name)
+}
+
+/// Interleaved alloc/free leaves the arena with plenty of total free space
+/// but no contiguous run large enough: the allocator must report OOM for
+/// the request, and freeing the separator block must coalesce the holes so
+/// the same request then succeeds. This is the failure mode the governor's
+/// evict rung exists to repair.
+#[test]
+fn fragmentation_causes_oom_despite_sufficient_total_free() {
+    let mut a = BlockAllocator::new(0, 4096);
+    let big1 = a.alloc(1024).unwrap();
+    let sep1 = a.alloc(256).unwrap();
+    let big2 = a.alloc(1024).unwrap();
+    let _sep2 = a.alloc(256).unwrap();
+    let _big3 = a.alloc(1024).unwrap();
+
+    a.free(big1).unwrap();
+    a.free(big2).unwrap();
+    assert!(a.bytes_free() >= 2048, "total free space covers the request");
+    assert!(a.largest_free() < 2048, "but no single hole does");
+    assert_eq!(a.alloc(2048), Err(AllocError::OutOfMemory { requested: 2048 }));
+
+    // Freeing the separator merges the two holes into one contiguous run.
+    a.free(sep1).unwrap();
+    assert!(a.largest_free() >= 2048, "coalescing must merge adjacent holes");
+    a.alloc(2048).expect("the coalesced hole satisfies the request");
+}
+
+/// The peak-usage watermark never decreases, and tracks the maximum
+/// bytes-in-use exactly across an interleaved alloc/free sequence.
+#[test]
+fn high_water_mark_is_monotone() {
+    let mut a = BlockAllocator::new(0, 1 << 20);
+    let mut peak = 0u64;
+    let mut live = Vec::new();
+    let sizes = [4096u64, 1024, 8192, 512, 2048, 16384];
+    for (i, &sz) in sizes.iter().enumerate() {
+        live.push(a.alloc(sz).unwrap());
+        peak = peak.max(a.bytes_in_use());
+        assert_eq!(a.high_water(), peak, "after alloc #{i}");
+        if i % 2 == 1 {
+            let prev = a.high_water();
+            a.free(live.remove(0)).unwrap();
+            assert_eq!(a.high_water(), prev, "free must never lower the watermark");
+        }
+    }
+    assert_eq!(a.high_water(), peak);
+}
+
+/// The evict rung: a zero-refcount buffer parked in the LRU cache still
+/// occupies the arena; when a new mapping cannot fit, the governor evicts
+/// it and retries, so the map succeeds instead of going pending.
+#[test]
+fn evict_reclaims_contiguous_arena_space() {
+    let obs = obs::Obs::enabled();
+    let dev = dev_with(obs.clone(), "evict", |cfg| cfg.global_mem = 1 << 20);
+    let host = MemArena::new(2 << 20);
+    let a = addr::make(addr::Space::Host, 256);
+    let b = addr::make(addr::Space::Host, 1 << 20);
+    let len = 600 << 10; // two of these cannot coexist in a 1 MiB arena
+
+    dev.map(&host, a, len, MapKind::To).unwrap();
+    dev.unmap(&host, a, MapKind::To).unwrap();
+    assert_eq!(dev.cached_bytes(), len, "unmapped buffer parks in the cache");
+
+    let d = dev.map(&host, b, len, MapKind::To).unwrap();
+    assert_ne!(d, 0, "the map must be resolved by eviction, not go pending");
+    assert_eq!(counter(&obs, "pressure.evict"), 1, "exactly one eviction");
+    assert_eq!(dev.cached_bytes(), 0, "the cached buffer was the victim");
+    assert_eq!(counter(&obs, "maps_pending"), 0);
+    dev.unmap(&host, b, MapKind::To).unwrap();
+}
+
+/// The stage rung: copies larger than the staging bound are split into
+/// bounded chunks — same bytes on the device, `staged_chunks` counted.
+#[test]
+fn oversized_transfers_are_staged_in_chunks() {
+    let obs = obs::Obs::enabled();
+    let dev = dev_with(obs.clone(), "stage", |cfg| cfg.staging_bytes = 4096);
+    let host = MemArena::new(1 << 20);
+    let base = 4096u64;
+    let words = 16384u64; // 64 KiB = 16 chunks of 4 KiB
+    for i in 0..words {
+        host.store_u32(base + 4 * i, i as u32).unwrap();
+    }
+    let ha = addr::make(addr::Space::Host, base);
+    let dp = dev.map(&host, ha, words * 4, MapKind::To).unwrap();
+
+    assert_eq!(counter(&obs, "pressure.stage"), 1);
+    assert_eq!(counter(&obs, "staged_chunks"), 16);
+
+    // The chunked upload must be byte-identical to a flat copy.
+    let mut raw = vec![0u8; (words * 4) as usize];
+    dev.device().memcpy_d2h(&mut raw, dp).unwrap();
+    for i in 0..words {
+        let v = u32::from_le_bytes(raw[(4 * i) as usize..(4 * i + 4) as usize].try_into().unwrap());
+        assert_eq!(v, i as u32, "word {i} survived staging");
+    }
+    dev.unmap(&host, ha, MapKind::To).unwrap();
+}
+
+/// Transfer reuse: re-mapping a host buffer whose cached device copy is
+/// provably in sync (the unmap copy-back recorded its hash) skips the
+/// upload entirely.
+#[test]
+fn remap_of_synced_buffer_skips_the_upload() {
+    let obs = obs::Obs::enabled();
+    let dev = dev_with(obs.clone(), "reuse", |cfg| cfg.global_mem = 1 << 20);
+    let host = MemArena::new(1 << 16);
+    let ha = addr::make(addr::Space::Host, 256);
+    for i in 0..64u64 {
+        host.store_u32(256 + 4 * i, i as u32).unwrap();
+    }
+
+    dev.map(&host, ha, 256, MapKind::ToFrom).unwrap();
+    dev.unmap(&host, ha, MapKind::From).unwrap(); // copy-back records the hash
+    let h2d_before = dev.clock.lock().h2d_bytes;
+
+    dev.map(&host, ha, 256, MapKind::To).unwrap();
+    assert_eq!(counter(&obs, "cache.reuse"), 1);
+    assert_eq!(counter(&obs, "transfer_reuse"), 1, "contents match: no re-upload");
+    assert_eq!(dev.clock.lock().h2d_bytes, h2d_before, "no h2d traffic on reuse");
+
+    // Mutating the host copy invalidates the proof: the next cycle must
+    // re-upload instead of trusting the stale cache entry.
+    dev.unmap(&host, ha, MapKind::To).unwrap();
+    host.store_u32(256, 0xdead_beef).unwrap();
+    dev.map(&host, ha, 256, MapKind::To).unwrap();
+    assert_eq!(counter(&obs, "transfer_reuse"), 1, "stale contents must not reuse");
+    assert!(dev.clock.lock().h2d_bytes > h2d_before, "the changed buffer re-uploads");
+    dev.unmap(&host, ha, MapKind::To).unwrap();
+}
+
+/// An injected `free@1` fault surfaces as the typed `InvalidFree` error —
+/// a host bookkeeping bug, not a device failure — so the device stays
+/// usable and the rejection is counted.
+#[test]
+fn injected_invalid_free_is_typed_and_non_fatal() {
+    let obs = obs::Obs::enabled();
+    let dev = dev_with(obs.clone(), "invfree", |cfg| {
+        cfg.fault_plan = Some(Arc::new(FaultPlan::parse("free@1").unwrap()));
+    });
+    let host = MemArena::new(1 << 16);
+    let ha = addr::make(addr::Space::Host, 256);
+
+    dev.map(&host, ha, 512, MapKind::To).unwrap();
+    dev.unmap(&host, ha, MapKind::To).unwrap();
+    let err = dev.trim_cache().expect_err("the injected fault must surface");
+    assert!(
+        matches!(err, CudadevError::InvalidFree { dev_ptr } if dev_ptr != 0),
+        "typed InvalidFree with the rejected pointer, got: {err}"
+    );
+    assert_eq!(counter(&obs, "invalid_frees"), 1);
+    assert!(!dev.is_broken(), "an invalid free must not latch the device");
+
+    // The device keeps working: a fresh map/unmap/trim cycle is clean.
+    dev.map(&host, ha, 512, MapKind::To).unwrap();
+    dev.unmap(&host, ha, MapKind::To).unwrap();
+    dev.trim_cache().expect("only call #1 was poisoned");
+}

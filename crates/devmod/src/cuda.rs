@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use cudadev::{CudaDev, CudadevError, DevClock, MapKind};
+use cudadev::{CudaDev, CudadevError, DevClock, MapKind, PressureOutcome, TileParam};
 use gpusim::LaunchStats;
 use vmcommon::MemArena;
 
@@ -62,6 +62,34 @@ impl DeviceModule for CudaDev {
 
     fn dev_addr(&self, host_addr: u64) -> Option<u64> {
         CudaDev::dev_addr(self, host_addr)
+    }
+
+    fn has_pending_maps(&self, host_addrs: &[u64]) -> bool {
+        CudaDev::has_pending(self, host_addrs)
+    }
+
+    fn mark_all_host_dirty(&self) {
+        CudaDev::mark_all_host_dirty(self)
+    }
+
+    fn refresh_args(&self, host_mem: &MemArena, host_addrs: &[u64]) -> Result<(), CudadevError> {
+        CudaDev::refresh_args(self, host_mem, host_addrs)
+    }
+
+    fn offload_pressured(
+        &self,
+        host_mem: &MemArena,
+        module: &str,
+        kernel: &str,
+        tileable: bool,
+        total: u64,
+        grid: [u32; 3],
+        block: [u32; 3],
+        params: &[TileParam],
+    ) -> Result<PressureOutcome, CudadevError> {
+        CudaDev::offload_pressured(
+            self, host_mem, module, kernel, tileable, total, grid, block, params,
+        )
     }
 
     fn load_module(&self, name: &str) -> Result<Arc<sptx::Module>, CudadevError> {

@@ -20,7 +20,7 @@
 
 use std::sync::Arc;
 
-use cudadev::{CudadevError, DevClock, MapKind};
+use cudadev::{CudadevError, DevClock, MapKind, PressureOutcome, TileParam};
 use gpusim::LaunchStats;
 use vmcommon::MemArena;
 
@@ -84,7 +84,46 @@ pub trait DeviceModule: Send + Sync {
     ) -> Result<(), CudadevError>;
 
     /// Parameter preparation: the device address for a mapped host address.
+    /// `None` for unmapped addresses *and* for pending mappings (entered
+    /// under memory pressure without a device buffer).
     fn dev_addr(&self, host_addr: u64) -> Option<u64>;
+
+    /// Does any of these host addresses have a *pending* mapping — entered
+    /// into the data environment under memory pressure, with the host copy
+    /// still authoritative? Such regions must go through
+    /// [`DeviceModule::offload_pressured`].
+    fn has_pending_maps(&self, _host_addrs: &[u64]) -> bool {
+        false
+    }
+
+    /// Mark every live device buffer stale because a host fallback just
+    /// rewrote the host copies under an enclosing `target data`.
+    fn mark_all_host_dirty(&self) {}
+
+    /// Re-upload stale (host-dirty) device buffers among `host_addrs`
+    /// before a launch reads them.
+    fn refresh_args(&self, _host_mem: &MemArena, _host_addrs: &[u64]) -> Result<(), CudadevError> {
+        Ok(())
+    }
+
+    /// Run an offload whose data environment has pending mappings by
+    /// tiling the iteration space (memory-pressure rung 3), or decline so
+    /// the runtime falls back to the host (rung 4). The default declines:
+    /// only devices with a real memory governor can tile.
+    #[allow(clippy::too_many_arguments)]
+    fn offload_pressured(
+        &self,
+        _host_mem: &MemArena,
+        _module: &str,
+        _kernel: &str,
+        _tileable: bool,
+        _total: u64,
+        _grid: [u32; 3],
+        _block: [u32; 3],
+        _params: &[TileParam],
+    ) -> Result<PressureOutcome, CudadevError> {
+        Ok(PressureOutcome::Declined)
+    }
 
     /// Loading phase: find and load the kernel module `name`.
     fn load_module(&self, name: &str) -> Result<Arc<sptx::Module>, CudadevError>;

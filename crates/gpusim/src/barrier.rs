@@ -46,9 +46,26 @@ pub struct NamedBarrier {
     cv: Condvar,
 }
 
-/// How long a simulated barrier may block host-side before we declare the
-/// guest deadlocked.
+/// Default for how long a simulated barrier may block host-side before we
+/// declare the guest deadlocked.
 pub const BARRIER_HOST_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The effective host-side deadlock timeout: `OMPI_BARRIER_TIMEOUT_MS`
+/// (milliseconds) when set and parseable, else [`BARRIER_HOST_TIMEOUT`].
+/// Read once per process; tests that need a short timeout (so a deadlock
+/// regression fails in ~200 ms instead of stalling 30 s) set the variable
+/// before the first barrier wait.
+pub fn barrier_host_timeout() -> Duration {
+    static TIMEOUT: std::sync::OnceLock<Duration> = std::sync::OnceLock::new();
+    *TIMEOUT.get_or_init(|| {
+        std::env::var("OMPI_BARRIER_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .map(Duration::from_millis)
+            .unwrap_or(BARRIER_HOST_TIMEOUT)
+    })
+}
 
 impl NamedBarrier {
     pub fn new(id: u32) -> NamedBarrier {
@@ -77,7 +94,7 @@ impl NamedBarrier {
         }
         let gen = st.generation;
         loop {
-            if self.cv.wait_for(&mut st, BARRIER_HOST_TIMEOUT).timed_out() {
+            if self.cv.wait_for(&mut st, barrier_host_timeout()).timed_out() {
                 let arrived = st.arrived;
                 // Undo our arrival so a late retry does not double-count.
                 st.arrived = st.arrived.saturating_sub(timing::WARP_SIZE);

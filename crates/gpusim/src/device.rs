@@ -222,13 +222,37 @@ impl Device {
     /// `cuMemAlloc`: allocate device memory, returning a tagged device
     /// pointer.
     pub fn mem_alloc(&self, size: u64) -> Result<u64, ExecError> {
+        if self.fault_check(FaultSite::Arena).is_err() {
+            // Arena pressure fired: permanently reserve about half of the
+            // free memory (in whatever fragmented chunks are available) so
+            // this and later allocations run closer to the wall.
+            self.reserve_arena_pressure();
+        }
         self.fault_check(FaultSite::Alloc)?;
         let off = self.alloc.lock().alloc(size)?;
         Ok(addr::make(Space::Global, off))
     }
 
+    /// Leak allocations totalling ~half the currently-free bytes. The
+    /// blocks are never freed, simulating another tenant of the shared
+    /// arena (the Jetson board's CPU side) claiming memory mid-run.
+    fn reserve_arena_pressure(&self) {
+        let mut a = self.alloc.lock();
+        let mut want = a.bytes_free() / 2;
+        while want >= BlockAllocator::ALIGN {
+            let chunk = want.min(a.largest_free());
+            if chunk < BlockAllocator::ALIGN || a.alloc(chunk).is_err() {
+                break;
+            }
+            want -= chunk;
+        }
+    }
+
     /// `cuMemFree`.
     pub fn mem_free(&self, ptr: u64) -> Result<(), ExecError> {
+        self.fault_check(FaultSite::Free).map_err(|_| {
+            ExecError::Alloc(vmcommon::alloc::AllocError::InvalidFree { offset: addr::offset(ptr) })
+        })?;
         if addr::space(ptr) != Some(Space::Global) {
             return Err(ExecError::Trap(format!("cuMemFree of non-device pointer {ptr:#x}")));
         }
@@ -239,6 +263,21 @@ impl Device {
     /// Bytes currently allocated on the device.
     pub fn mem_in_use(&self) -> u64 {
         self.alloc.lock().bytes_in_use()
+    }
+
+    /// Total free bytes in the global arena (possibly fragmented).
+    pub fn mem_free_bytes(&self) -> u64 {
+        self.alloc.lock().bytes_free()
+    }
+
+    /// Largest contiguous free block in the global arena.
+    pub fn mem_largest_free(&self) -> u64 {
+        self.alloc.lock().largest_free()
+    }
+
+    /// Peak bytes allocated since device creation.
+    pub fn mem_high_water(&self) -> u64 {
+        self.alloc.lock().high_water()
     }
 
     /// `cuMemcpyHtoD`: copy from a host buffer into device memory.

@@ -53,10 +53,17 @@ pub enum FaultSite {
     Launch,
     /// JIT disk-cache read: the cached artifact decodes as garbage.
     JitCache,
+    /// Arena pressure: when fired, the device permanently reserves about
+    /// half of its currently-free global memory, shrinking what later
+    /// allocations can get (simulates a shared 2 GB board filling up
+    /// mid-run). Never an error by itself — it only makes `alloc` harder.
+    Arena,
+    /// `cuMemFree`: the free is rejected as an invalid/double free.
+    Free,
 }
 
 impl FaultSite {
-    pub const ALL: [FaultSite; 7] = [
+    pub const ALL: [FaultSite; 9] = [
         FaultSite::Init,
         FaultSite::Alloc,
         FaultSite::H2D,
@@ -64,6 +71,8 @@ impl FaultSite {
         FaultSite::ModuleLoad,
         FaultSite::Launch,
         FaultSite::JitCache,
+        FaultSite::Arena,
+        FaultSite::Free,
     ];
 
     fn index(self) -> usize {
@@ -75,6 +84,8 @@ impl FaultSite {
             FaultSite::ModuleLoad => 4,
             FaultSite::Launch => 5,
             FaultSite::JitCache => 6,
+            FaultSite::Arena => 7,
+            FaultSite::Free => 8,
         }
     }
 
@@ -88,6 +99,8 @@ impl FaultSite {
             FaultSite::ModuleLoad => "modload",
             FaultSite::Launch => "launch",
             FaultSite::JitCache => "jitcache",
+            FaultSite::Arena => "arena",
+            FaultSite::Free => "free",
         }
     }
 
@@ -289,7 +302,10 @@ fn parse_scoped_rule(part: &str) -> Result<(Option<u32>, FaultRule), String> {
                 .trim()
                 .parse()
                 .map_err(|_| format!("fault rule `{part}`: bad repeat count `{n}`"))?;
-            (f, Some(n.max(1)))
+            if n == 0 {
+                return Err(format!("fault rule `{part}`: repeat count must be at least 1"));
+            }
+            (f, Some(n))
         }
     };
     let first: u64 = first
@@ -327,6 +343,45 @@ mod tests {
         assert!(FaultPlan::parse("launch@0").is_err(), "call numbers are 1-based");
         assert!(FaultPlan::parse("launch@1xbad").is_err());
         assert!(FaultPlan::parse("").unwrap().rules().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_zero_repeat_count() {
+        // `x0` used to be silently clamped to `x1`; it must be an error.
+        let err = FaultPlan::parse("launch@1x0").unwrap_err();
+        assert!(err.contains("repeat count"), "descriptive message, got: {err}");
+        assert!(FaultPlan::parse("dev1:h2d@2x0").is_err(), "scoped rules validate too");
+        assert!(FaultPlan::parse("launch@1x00").is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        // Each class of malformation names the offending part.
+        for (bad, needle) in [
+            ("nosite@1", "unknown site"),
+            ("devz:launch@1", "device prefix"),
+            ("launch@1x0", "repeat count"),
+            ("launch@0", "1-based"),
+            ("launch@", "call number"),
+        ] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert!(err.contains(needle), "`{bad}` error should mention `{needle}`, got: {err}");
+        }
+    }
+
+    #[test]
+    fn memory_sites_parse() {
+        let p = FaultPlan::parse("arena@2,free@1x*").unwrap();
+        assert_eq!(
+            p.rules(),
+            &[
+                FaultRule { site: FaultSite::Arena, first: 2, times: Some(1) },
+                FaultRule { site: FaultSite::Free, first: 1, times: None },
+            ]
+        );
+        assert!(p.check(FaultSite::Arena).is_ok());
+        assert!(p.check(FaultSite::Arena).is_err());
+        assert!(p.check(FaultSite::Free).is_err());
     }
 
     #[test]

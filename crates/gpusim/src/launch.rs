@@ -18,6 +18,20 @@ pub struct LaunchConfig {
     pub params: Vec<u64>,
 }
 
+/// A tiled launch window: run `cfg.grid` physical blocks as the slice of a
+/// larger *logical* grid starting at (linear) team `team_base`. Each block
+/// observes the logical grid as `%nctaid` and its absolute logical position
+/// as `%ctaid`, so `cudadev_get_distribute_chunk` computes exactly the
+/// chunk bounds the monolithic launch would — the memory governor relies
+/// on this to keep tiled offloads bit-identical to untiled ones.
+#[derive(Clone, Copy, Debug)]
+pub struct TileView {
+    /// Linear index (in the logical grid) of this tile's first block.
+    pub team_base: u64,
+    /// The full grid the kernel believes it was launched with.
+    pub logical_grid: [u32; 3],
+}
+
 /// How much of the grid to actually simulate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExecMode {
@@ -69,6 +83,32 @@ pub fn launch(
     cfg: &LaunchConfig,
     lib: &dyn DeviceLib,
     mode: ExecMode,
+) -> Result<LaunchStats, ExecError> {
+    launch_view(device, module, kernel, cfg, lib, mode, None)
+}
+
+/// Launch `cfg.grid` blocks as a window of a larger logical grid (see
+/// [`TileView`]).
+pub fn launch_tiled(
+    device: &Device,
+    module: &sptx::Module,
+    kernel: &str,
+    cfg: &LaunchConfig,
+    lib: &dyn DeviceLib,
+    mode: ExecMode,
+    tile: TileView,
+) -> Result<LaunchStats, ExecError> {
+    launch_view(device, module, kernel, cfg, lib, mode, Some(tile))
+}
+
+fn launch_view(
+    device: &Device,
+    module: &sptx::Module,
+    kernel: &str,
+    cfg: &LaunchConfig,
+    lib: &dyn DeviceLib,
+    mode: ExecMode,
+    tile: Option<TileView>,
 ) -> Result<LaunchStats, ExecError> {
     device.fault_check(crate::fault::FaultSite::Launch)?;
     let kidx = module
@@ -153,6 +193,7 @@ pub fn launch(
                     lin,
                     threads_per_block as u32,
                     kfun.shared_size,
+                    tile,
                 ) {
                     Ok(b) => {
                         if let Some(t) = device.trace() {
@@ -266,17 +307,25 @@ fn run_block(
     lin_block: u64,
     nthreads: u32,
     shared_static: u64,
+    tile: Option<TileView>,
 ) -> Result<BlockResult, ExecError> {
-    let gx = cfg.grid[0] as u64;
-    let gy = cfg.grid[1] as u64;
-    let ctaid =
-        [(lin_block % gx) as u32, ((lin_block / gx) % gy) as u32, (lin_block / (gx * gy)) as u32];
+    // Under a tiled launch the block takes its identity (and the grid
+    // shape it reports) from the logical grid, not the physical window.
+    let logical_grid = tile.map_or(cfg.grid, |t| t.logical_grid);
+    let lin_logical = tile.map_or(lin_block, |t| t.team_base + lin_block);
+    let gx = logical_grid[0] as u64;
+    let gy = logical_grid[1] as u64;
+    let ctaid = [
+        (lin_logical % gx) as u32,
+        ((lin_logical / gx) % gy) as u32,
+        (lin_logical / (gx * gy)) as u32,
+    ];
     let env = BlockEnv {
         device,
         module,
         lib,
         ctx: BlockCtx::new(timing::SHARED_MEM_PER_BLOCK as usize),
-        grid_dim: cfg.grid,
+        grid_dim: logical_grid,
         block_dim: cfg.block,
         ctaid,
         nthreads,

@@ -21,7 +21,7 @@ pub mod warp;
 
 pub use device::{DevTrace, Device, DeviceProps, DeviceStats, ExecError};
 pub use fault::{FaultPlan, FaultRule, FaultSite};
-pub use launch::{launch, ExecMode, LaunchConfig, LaunchStats};
+pub use launch::{launch, launch_tiled, ExecMode, LaunchConfig, LaunchStats, TileView};
 pub use warp::{iter_lanes, BlockCtx, BlockEnv, DeviceLib, LaneVec, NoLib, Warp};
 
 /// Block `ext` slot holding the dynamic shared-memory stack pointer

@@ -1,0 +1,46 @@
+//! The host-side barrier deadlock timeout is configurable via
+//! `OMPI_BARRIER_TIMEOUT_MS`, so a deadlocked guest fails the suite in
+//! ~200 ms instead of stalling for the 30 s production default.
+//!
+//! This lives in its own integration-test binary (own process): the
+//! timeout is latched on first use, so the variable must be set before any
+//! barrier wait in the process.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gpusim::barrier::{barrier_host_timeout, NamedBarrier};
+
+#[test]
+fn deadlocked_barrier_times_out_quickly() {
+    std::env::set_var("OMPI_BARRIER_TIMEOUT_MS", "200");
+    assert_eq!(barrier_host_timeout().as_millis(), 200);
+
+    // One warp arrives at a barrier expecting two warps (64 threads); the
+    // second warp never comes — a guest deadlock.
+    let b = Arc::new(NamedBarrier::new(3));
+    let start = Instant::now();
+    let mut cycles = 0u64;
+    let err = b.sync(64, &mut cycles).expect_err("lone warp must time out");
+    let waited = start.elapsed();
+
+    assert_eq!(err.barrier, 3);
+    assert_eq!(err.expected_threads, 64);
+    assert_eq!(err.arrived_threads, 32);
+    assert!(waited.as_millis() >= 180, "returned before the timeout: {waited:?}");
+    assert!(
+        waited.as_secs() < 5,
+        "timeout not shortened by OMPI_BARRIER_TIMEOUT_MS: waited {waited:?}"
+    );
+
+    // The failed arrival was undone, so a matching second warp can still
+    // complete the barrier afterwards.
+    let b2 = b.clone();
+    let t = std::thread::spawn(move || {
+        let mut c = 0u64;
+        b2.sync(64, &mut c).map(|_| c)
+    });
+    let mut c = 0u64;
+    b.sync(64, &mut c).expect("retry after timeout must succeed");
+    t.join().unwrap().expect("peer warp must be released");
+}

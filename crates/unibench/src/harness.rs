@@ -71,14 +71,26 @@ pub fn build_variant_obs(
 ) -> Built {
     let mut cfg = runner_config((app.footprint)(n), exec_mode, launch_sampling);
     cfg.obs = obs;
+    build_variant_cfg(app, variant, work_dir, &cfg)
+}
+
+/// [`build_variant`] with a caller-supplied runner configuration — the
+/// memory-pressure paths (fig4's `--mem`, the golden tests) cap
+/// `device_mem` below the app footprint to exercise the governor.
+pub fn build_variant_cfg(
+    app: &App,
+    variant: Variant,
+    work_dir: &std::path::Path,
+    cfg: &ompi_core::RunnerConfig,
+) -> Built {
     let runner = match variant {
         Variant::OmpiCudadev => {
             let compiled = compile_omp(app, work_dir);
-            Runner::new(&compiled, &cfg).expect("runner")
+            Runner::new(&compiled, cfg).expect("runner")
         }
         Variant::Cuda => {
             let compiled = compile_cuda(app, work_dir);
-            Runner::new_cuda(&compiled, &cfg).expect("runner")
+            Runner::new_cuda(&compiled, cfg).expect("runner")
         }
     };
     Built { runner, variant }

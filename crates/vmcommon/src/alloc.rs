@@ -113,6 +113,16 @@ impl BlockAllocator {
         self.high_water
     }
 
+    /// Total free bytes (may be fragmented across blocks).
+    pub fn bytes_free(&self) -> u64 {
+        self.free.values().sum()
+    }
+
+    /// Size of the largest contiguous free block.
+    pub fn largest_free(&self) -> u64 {
+        self.free.values().copied().max().unwrap_or(0)
+    }
+
     /// Number of live allocations.
     pub fn live_blocks(&self) -> usize {
         self.live.len()

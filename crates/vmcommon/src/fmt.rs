@@ -176,12 +176,53 @@ pub fn format(spec: &str, args: &[FmtArg]) -> String {
     out
 }
 
+/// Parse a human-readable byte size: a decimal count with an optional
+/// `K`/`M`/`G` suffix (binary units, case-insensitive, optional trailing
+/// `B`/`iB`). Used for `OMPI_DEV_MEM=64M`-style environment knobs.
+pub fn parse_size(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    if t.is_empty() {
+        return Err("empty size".into());
+    }
+    let digits: String = t.chars().take_while(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return Err(format!("size '{t}' must start with a number"));
+    }
+    let n: u64 = digits.parse().map_err(|_| format!("size '{t}' out of range"))?;
+    let suffix = t[digits.len()..].trim().to_ascii_lowercase();
+    let shift = match suffix.as_str() {
+        "" | "b" => 0,
+        "k" | "kb" | "kib" => 10,
+        "m" | "mb" | "mib" => 20,
+        "g" | "gb" | "gib" => 30,
+        other => return Err(format!("unknown size suffix '{other}' in '{t}'")),
+    };
+    n.checked_shl(shift).filter(|v| v >> shift == n).ok_or(format!("size '{t}' overflows"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn v(x: impl Into<Value>) -> FmtArg {
         FmtArg::Val(x.into())
+    }
+
+    #[test]
+    fn parse_size_accepts_binary_suffixes() {
+        assert_eq!(parse_size("64M"), Ok(64 << 20));
+        assert_eq!(parse_size("2g"), Ok(2 << 30));
+        assert_eq!(parse_size("512KiB"), Ok(512 << 10));
+        assert_eq!(parse_size("1024"), Ok(1024));
+        assert_eq!(parse_size(" 16 MB "), Ok(16 << 20));
+    }
+
+    #[test]
+    fn parse_size_rejects_garbage() {
+        assert!(parse_size("").is_err());
+        assert!(parse_size("M").is_err());
+        assert!(parse_size("12X").is_err());
+        assert!(parse_size("99999999999999999999").is_err());
     }
 
     #[test]
