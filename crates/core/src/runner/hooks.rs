@@ -209,6 +209,9 @@ impl Hooks for OmpiHooks {
                 let idx = self.registry.resolve_id(a(0).as_i64());
                 let construct = read_str(1)?;
                 self.fb_oom.store(false, Ordering::Relaxed);
+                if let Some(dev) = self.registry.device(idx) {
+                    dev.stream_region_begin();
+                }
                 self.obs.metrics.incr(idx as u64, "target_regions", 1);
                 if self.obs.tracer.is_enabled() {
                     self.obs.tracer.begin(
@@ -227,6 +230,18 @@ impl Hooks for OmpiHooks {
                 if self.obs.tracer.is_enabled() {
                     self.obs.tracer.end_track(idx as u64, 0, self.sim_now(idx));
                 }
+                // A synchronization point unless the region was marked
+                // `nowait` (the span end above reads only flushed time, so
+                // it does not force a drain either way).
+                if let Some(dev) = self.registry.device(idx) {
+                    dev.stream_region_end();
+                }
+                Ok(Some(Value::I32(0)))
+            }
+            "__dev_taskwait" => {
+                // Wait for all queued device work (the `nowait` target
+                // regions still in flight on the command streams).
+                self.registry.sync_streams();
                 Ok(Some(Value::I32(0)))
             }
             "__dev_fb_begin" => {
@@ -341,7 +356,7 @@ impl Hooks for OmpiHooks {
             }
             "__dev_offload" => {
                 // (dev, module, kernel, mw, ndims, tc0, tc1, tc2, teams,
-                // threads, tileable, (kernel arg, row_bytes)…)
+                // threads, tileable, nowait, (kernel arg, row_bytes)…)
                 // Returns 1 when the kernel ran on the device —
                 // monolithically or tiled by the memory governor — and 0
                 // when the region must re-execute on the host: terminal
@@ -360,7 +375,12 @@ impl Hooks for OmpiHooks {
                 let teams = a(8).as_i64();
                 let threads = a(9).as_i64();
                 let tileable = a(10).is_truthy();
-                let pairs = args.get(11..).unwrap_or(&[]);
+                if a(11).is_truthy() {
+                    // `nowait`: the region's queued async work may outlive
+                    // region end (drained at `taskwait` or the next report).
+                    dev.stream_mark_nowait();
+                }
+                let pairs = args.get(12..).unwrap_or(&[]);
                 if pairs.len() % 2 != 0 {
                     return Err(InterpError::Trap(
                         "__dev_offload: launch arguments must come as (arg, row) pairs".into(),

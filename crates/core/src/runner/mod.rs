@@ -37,6 +37,10 @@ pub struct RunnerConfig {
     pub launch_sampling: bool,
     /// Number of simulated offload devices in the registry.
     pub num_devices: usize,
+    /// Async command streams: transfers and launches are scheduled on
+    /// per-region streams whose copy and compute engines overlap on the
+    /// simulated clock (results stay bit-identical — execution is eager).
+    pub async_streams: bool,
     /// Deterministic fault-injection plan for device 0 (tests). `None`
     /// falls back to the `OMPI_FAULT_PLAN` environment variable, whose
     /// `devN:`-prefixed rules scope to device `N`. For programmatic
@@ -65,6 +69,7 @@ impl Default for RunnerConfig {
             jit_cache_dir: std::env::temp_dir().join("ompi-jitcache"),
             launch_sampling: false,
             num_devices: 1,
+            async_streams: false,
             fault_plan: None,
             fault_spec: None,
             retry: RetryPolicy::default(),
@@ -133,6 +138,7 @@ impl Runner {
                 jit_cache_dir: cfg.jit_cache_dir.clone(),
                 exec_mode: cfg.exec_mode,
                 launch_sampling: cfg.launch_sampling,
+                async_streams: cfg.async_streams,
                 fault_plan,
                 retry: cfg.retry,
                 obs: obs.clone(),
@@ -177,6 +183,9 @@ impl Runner {
             let bytes = vmcommon::fmt::parse_size(&s)
                 .map_err(|e| InterpError::Trap(format!("OMPI_DEV_MEM: {e}")))?;
             cfg.device_mem = bytes as usize;
+        }
+        if let Ok(s) = std::env::var("OMPI_ASYNC") {
+            cfg.async_streams = s != "0" && !s.is_empty();
         }
         let setup = ObsSetup::resolve(&cfg);
         let registry = Self::build_registry(&app.kernel_dir, &cfg, &setup.obs)?;

@@ -272,7 +272,8 @@ impl<'p> Translator<'p> {
         }
 
         // Launch: __dev_offload(dev, "module", "kernel", mw, ndims, tc0,
-        // tc1, tc2, teams, threads, tileable, (arg, row_bytes)…). Each
+        // tc1, tc2, teams, threads, tileable, nowait, (arg, row_bytes)…).
+        // Each
         // launch argument travels with its per-iteration byte stride so
         // the memory governor can stream sliceable buffers tile by tile
         // when they do not fit on the device (row 0 = scalar / resident).
@@ -303,6 +304,7 @@ impl<'p> Translator<'p> {
             },
         });
         offload_args.push(b::int(reg.tileable as i64));
+        offload_args.push(b::int(dir.clause_nowait() as i64));
         for (arg, row) in reg.launch_args.iter().zip(&reg.launch_rows) {
             offload_args.push(arg.clone());
             offload_args.push(long_cast(row.clone()));

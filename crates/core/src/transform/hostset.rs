@@ -64,6 +64,10 @@ impl<'p> Translator<'p> {
                 ]))
             }
             DirKind::Barrier => Ok(b::expr_stmt(b::call("ort_barrier", vec![]))),
+            // `taskwait`: in this subset, tasks-with-dependences are the
+            // `nowait` target regions queued on device command streams —
+            // waiting means draining every device's streams.
+            DirKind::Taskwait => Ok(b::expr_stmt(b::call("__dev_taskwait", vec![b::int(-1)]))),
             DirKind::Teams
             | DirKind::TeamsDistribute
             | DirKind::TeamsDistributeParallelFor

@@ -24,6 +24,10 @@ pub enum CudadevError {
     /// driver never handed out. A host-side bookkeeping bug, not a device
     /// failure — the device stays usable.
     InvalidFree { dev_ptr: u64 },
+    /// An unmap/update referenced a host address with no live mapping
+    /// (never mapped, or already unmapped/evicted). A host-side
+    /// bookkeeping error, not a device failure — the device stays usable.
+    NotMapped { host_addr: u64 },
     /// Locating, decoding or verifying a kernel module failed.
     ModuleLoad { module: String, reason: String },
     /// JIT assembly/linking of a `.sptx` kernel failed.
@@ -72,6 +76,9 @@ impl std::fmt::Display for CudadevError {
             CudadevError::Data(e) => write!(f, "device data operation failed: {e}"),
             CudadevError::InvalidFree { dev_ptr } => {
                 write!(f, "invalid device free of {dev_ptr:#x} (double free or bad pointer)")
+            }
+            CudadevError::NotMapped { host_addr } => {
+                write!(f, "host address {host_addr:#x} has no live device mapping")
             }
             CudadevError::ModuleLoad { module, reason } => {
                 write!(f, "loading kernel module `{module}` failed: {reason}")

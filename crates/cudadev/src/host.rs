@@ -29,8 +29,10 @@ use crate::error::CudadevError;
 use crate::jit;
 
 mod governor;
+mod stream;
 
 pub use governor::{PressureOutcome, TileParam};
+pub use stream::STREAM_TRACK_BASE;
 
 /// Mapping direction of one map clause.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,6 +86,13 @@ pub struct DevClock {
     /// Host time re-executing regions after this device failed terminally
     /// (only the host shim's clock accumulates this; see DESIGN.md §7).
     pub fallback_s: f64,
+    /// Simulated time saved by the async command streams: the share of
+    /// copy/kernel busy time hidden behind other engines' work (copy and
+    /// compute engines overlapping, or concurrent `nowait` regions).
+    /// Subtracted by [`DevClock::total_s`]/[`DevClock::offload_s`] so the
+    /// clock reads elapsed simulated time, not summed busy time. Always 0
+    /// in synchronous mode.
+    pub overlap_s: f64,
     pub launches: u64,
     pub h2d_bytes: u64,
     pub d2h_bytes: u64,
@@ -104,13 +113,14 @@ impl DevClock {
     }
 
     /// The paper's reported metric: kernel time plus required memory
-    /// operations.
+    /// operations (elapsed — overlapped async work is counted once).
     pub fn offload_s(&self) -> f64 {
-        self.kernel_s + self.memcpy_s()
+        self.kernel_s + self.memcpy_s() - self.overlap_s
     }
 
-    /// Sum of every tracked time category; the per-device profile table's
-    /// columns add up to exactly this.
+    /// Every tracked time category, minus the share hidden by async
+    /// overlap; the per-device profile table's columns add up to exactly
+    /// this.
     pub fn total_s(&self) -> f64 {
         self.init_s
             + self.modload_s
@@ -119,6 +129,7 @@ impl DevClock {
             + self.d2h_s
             + self.retry_backoff_s
             + self.fallback_s
+            - self.overlap_s
     }
 
     /// Fold another clock into this one (registry-level aggregation over
@@ -131,6 +142,7 @@ impl DevClock {
         self.d2h_s += other.d2h_s;
         self.retry_backoff_s += other.retry_backoff_s;
         self.fallback_s += other.fallback_s;
+        self.overlap_s += other.overlap_s;
         self.launches += other.launches;
         self.h2d_bytes += other.h2d_bytes;
         self.d2h_bytes += other.d2h_bytes;
@@ -159,6 +171,7 @@ impl DevClock {
             d2h_s: self.d2h_s,
             retry_backoff_s: self.retry_backoff_s,
             fallback_s: self.fallback_s,
+            overlap_s: self.overlap_s,
             launches: self.launches,
             retries: self.retries,
             fallbacks: self.fallbacks,
@@ -225,6 +238,13 @@ pub struct CudaDevConfig {
     /// this are split into chunked transfers (the governor's "stage" rung),
     /// capping peak transient usage on the shared 2 GB arena.
     pub staging_bytes: u64,
+    /// Async command streams: transfers and launches inside a target
+    /// region are queued on per-region streams and scheduled on a copy
+    /// engine and a compute engine that overlap on the simulated clock
+    /// (see `host::stream`). Execution stays eager — results are
+    /// bit-identical to synchronous mode; only the virtual timeline (and
+    /// `DevClock::overlap_s`) changes.
+    pub async_streams: bool,
     /// Observability sink: spans and counters for every driver operation.
     /// Disabled by default (a disabled tracer is one atomic load per
     /// event). The trace process number is `device_id`.
@@ -244,6 +264,7 @@ impl Default for CudaDevConfig {
             fault_plan: None,
             retry: RetryPolicy::default(),
             staging_bytes: 16 << 20,
+            async_streams: false,
             obs: obs::Obs::disabled(),
         }
     }
@@ -267,6 +288,8 @@ pub struct CudaDev {
     /// Per-kernel launch history for launch-level sampling:
     /// (launch count, recent cycles-per-thread estimate).
     launch_hist: Mutex<HashMap<String, (u64, f64)>>,
+    /// Async command-stream state (engines, streams, pending busy time).
+    streams: stream::AsyncState,
     /// Latched by the first terminal device failure: every subsequent
     /// operation fails fast with [`CudadevError::Broken`] so the runtime
     /// skips the dead device and runs on the host instead.
@@ -286,6 +309,7 @@ impl CudaDev {
             lru_tick: std::sync::atomic::AtomicU64::new(0),
             clock: Mutex::new(DevClock::default()),
             launch_hist: Mutex::new(HashMap::new()),
+            streams: stream::AsyncState::default(),
             broken: AtomicBool::new(false),
         }
     }
@@ -594,17 +618,18 @@ impl CudaDev {
     ) -> Result<(), CudadevError> {
         let device = self.try_device()?;
         let mut maps = self.maps.lock();
-        let entry = maps.get_mut(&host_addr).ok_or_else(|| {
-            CudadevError::Data(ExecError::Trap(format!(
-                "unmap of unmapped host address {host_addr:#x}"
-            )))
-        })?;
+        // Typed error (not a trap, not a panic) for addresses with no live
+        // mapping — never mapped, already unmapped, or evicted. The device
+        // stays usable; the runtime decides whether that is a program bug.
+        let Some(mut entry) = maps.remove(&host_addr) else {
+            return Err(CudadevError::NotMapped { host_addr });
+        };
         entry.refcount = entry.refcount.saturating_sub(1);
-        let delete_now = kind == MapKind::Delete || entry.refcount == 0;
-        if !delete_now {
+        if kind != MapKind::Delete && entry.refcount > 0 {
+            // Other references keep the mapping alive.
+            maps.insert(host_addr, entry);
             return Ok(());
         }
-        let entry = maps.remove(&host_addr).unwrap();
         if entry.pending {
             // Never had a device buffer; the host copy is already
             // authoritative (tiled launches streamed results back as they
@@ -656,11 +681,7 @@ impl CudaDev {
     ) -> Result<(), CudadevError> {
         let device = self.try_device()?;
         let mut maps = self.maps.lock();
-        let entry = maps.get_mut(&host_addr).ok_or_else(|| {
-            CudadevError::Data(ExecError::Trap(format!(
-                "target update of unmapped host address {host_addr:#x}"
-            )))
-        })?;
+        let entry = maps.get_mut(&host_addr).ok_or(CudadevError::NotMapped { host_addr })?;
         if entry.pending {
             // No device buffer exists; the host copy is authoritative in
             // both directions, so there is nothing to move.
@@ -856,7 +877,7 @@ impl CudaDev {
             let cfg = LaunchConfig { grid, block, params };
             let stats = self
                 .retrying("launch", || {
-                    device.set_trace_base(self.now());
+                    device.set_trace_base(self.launch_base());
                     gpusim::launch(&device, &m, kernel, &cfg, lib.as_ref(), self.cfg.exec_mode)
                 })
                 .map_err(|e| launch_err(self.latch(e)))?;
@@ -870,7 +891,7 @@ impl CudaDev {
         let cfg = LaunchConfig { grid, block, params };
         let stats = self
             .retrying("launch", || {
-                device.set_trace_base(self.now());
+                device.set_trace_base(self.launch_base());
                 gpusim::launch(&device, &m, kernel, &cfg, lib.as_ref(), self.cfg.exec_mode)
             })
             .map_err(|e| launch_err(self.latch(e)))?;
@@ -878,9 +899,24 @@ impl CudaDev {
         Ok(stats)
     }
 
+    /// Trace base for an eager kernel simulation: the synchronous clock,
+    /// or — on an async stream — where the compute engine would schedule
+    /// the kernel, so in-kernel block events line up with the stream span.
+    fn launch_base(&self) -> f64 {
+        match self.async_stream() {
+            Some(s) => self.async_kernel_base(s),
+            None => self.now(),
+        }
+    }
+
     /// Charge a completed launch to the clock and emit its kernel event
-    /// plus occupancy metrics.
+    /// plus occupancy metrics. On an async stream the launch is queued on
+    /// the stream engine instead and charged at the next flush.
     fn finish_launch(&self, kernel: &str, stats: &LaunchStats) {
+        if let Some(s) = self.async_stream() {
+            self.async_finish_launch(s, kernel, stats);
+            return;
+        }
         let (t0, pid) = {
             let mut clk = self.clock.lock();
             clk.kernel_s += stats.time_s;
@@ -916,8 +952,10 @@ impl CudaDev {
     }
 
     /// Reset the virtual clock (per-measurement runs). Zeroes every
-    /// accumulator and counter, symmetric with [`DevClock::merge`].
+    /// accumulator and counter, symmetric with [`DevClock::merge`], and
+    /// discards the async stream schedule along with it.
     pub fn reset_clock(&self) {
+        self.streams.reset();
         self.clock.lock().reset();
     }
 

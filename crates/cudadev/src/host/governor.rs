@@ -237,7 +237,9 @@ impl CudaDev {
 
     /// Host→device copy, chunked through the staging bound. Emits the
     /// `h2d` span and charges the clock exactly like the unchunked path,
-    /// so small copies keep their historical trace/fault numbering.
+    /// so small copies keep their historical trace/fault numbering. On an
+    /// async stream the copy still executes eagerly, but its simulated
+    /// time is queued on the copy engine and drawn on the stream's track.
     pub(super) fn h2d_copy(
         &self,
         device: &Device,
@@ -246,14 +248,17 @@ impl CudaDev {
     ) -> Result<(), ExecError> {
         let obs = &self.cfg.obs;
         let len = buf.len() as u64;
-        let _span = obs.tracer.span(
-            self.pid(),
-            0,
-            "h2d",
-            "memcpy",
-            || self.now(),
-            vec![("bytes", len.into())],
-        );
+        let async_stream = self.async_stream();
+        let _span = async_stream.is_none().then(|| {
+            obs.tracer.span(
+                self.pid(),
+                0,
+                "h2d",
+                "memcpy",
+                || self.now(),
+                vec![("bytes", len.into())],
+            )
+        });
         let cap = self.staging_cap();
         let mut total = 0.0;
         if buf.len() > cap {
@@ -269,9 +274,17 @@ impl CudaDev {
             total += self.retrying("h2d", || device.memcpy_h2d(dst, chunk))?;
         }
         let mut clk = self.clock.lock();
-        clk.h2d_s += total;
         clk.h2d_bytes += len;
-        drop(clk);
+        match async_stream {
+            Some(s) => {
+                drop(clk);
+                self.async_copy(s, /*h2d*/ true, total, len);
+            }
+            None => {
+                clk.h2d_s += total;
+                drop(clk);
+            }
+        }
         obs.metrics.incr(self.pid(), "h2d_bytes", len);
         Ok(())
     }
@@ -285,14 +298,17 @@ impl CudaDev {
     ) -> Result<(), ExecError> {
         let obs = &self.cfg.obs;
         let len = buf.len() as u64;
-        let _span = obs.tracer.span(
-            self.pid(),
-            0,
-            "d2h",
-            "memcpy",
-            || self.now(),
-            vec![("bytes", len.into())],
-        );
+        let async_stream = self.async_stream();
+        let _span = async_stream.is_none().then(|| {
+            obs.tracer.span(
+                self.pid(),
+                0,
+                "d2h",
+                "memcpy",
+                || self.now(),
+                vec![("bytes", len.into())],
+            )
+        });
         let cap = self.staging_cap();
         let mut total = 0.0;
         if buf.len() > cap {
@@ -308,9 +324,17 @@ impl CudaDev {
             total += self.retrying("d2h", || device.memcpy_d2h(chunk, src))?;
         }
         let mut clk = self.clock.lock();
-        clk.d2h_s += total;
         clk.d2h_bytes += len;
-        drop(clk);
+        match async_stream {
+            Some(s) => {
+                drop(clk);
+                self.async_copy(s, /*h2d*/ false, total, len);
+            }
+            None => {
+                clk.d2h_s += total;
+                drop(clk);
+            }
+        }
         obs.metrics.incr(self.pid(), "d2h_bytes", len);
         Ok(())
     }
@@ -489,7 +513,15 @@ impl CudaDev {
         let per_team = total.div_ceil(gx);
         let row_sum: u64 = pending.iter().map(|&(_, _, row, _)| row).sum();
         let free = device.mem_free_bytes();
-        let budget = free - free / 8;
+        let mut budget = free - free / 8;
+        if self.async_stream().is_some() {
+            // Async mode wants a second buffer set for double-buffered
+            // tiling: size the tile to half the budget so both sets fit.
+            // (If the alt allocation still fails the loop degrades to
+            // single-buffered tiles — smaller than they could have been,
+            // but correct.)
+            budget /= 2;
+        }
         // Start from the budgeted estimate but always try at least one
         // team per tile — the halve-on-OOM loop below is the arbiter of
         // what actually fits.
@@ -499,44 +531,49 @@ impl CudaDev {
         self.refresh_args(host_mem, &resident)?;
 
         // Allocate the slice buffers once (max tile size), halving the
-        // tile on fragmentation, and reuse them across tiles.
+        // tile on fragmentation, and reuse them across tiles. In async
+        // mode a second (alt) buffer set is allocated in the same loop so
+        // both sets shrink together: double-buffered tiling needs tile
+        // k+1's slices live while tile k's are still in flight. The alt
+        // set is best-effort — at one team per tile the loop settles for
+        // single buffering rather than declining the region.
+        let want_alt = self.async_stream().is_some();
         let mut streams: Vec<SliceStream> = Vec::new();
+        let mut alt_streams: Vec<SliceStream> = Vec::new();
         'size: while teams_per_tile >= 1 {
             // Each attempt starts from a clean slate.
-            for s in streams.drain(..) {
+            for s in streams.drain(..).chain(alt_streams.drain(..)) {
                 self.free_dev(&device, s.dev_ptr)?;
             }
-            for &(param_idx, host, row, len) in &pending {
-                let cap = (teams_per_tile * per_team * row).min(len);
-                match self.retrying("alloc", || device.mem_alloc(cap)) {
-                    Ok(dev_ptr) => {
-                        streams.push(SliceStream {
-                            host_addr: host,
-                            row,
-                            len,
-                            param_idx,
-                            dev_ptr,
-                            pristine: Vec::new(),
-                        });
+            match self.try_alloc_set(&device, &pending, teams_per_tile, per_team)? {
+                Some(set) => streams = set,
+                None => {
+                    if !self.evict_lru(&device)? {
+                        teams_per_tile /= 2;
                     }
-                    Err(ExecError::Alloc(AllocError::OutOfMemory { .. })) => {
-                        if !self.evict_lru(&device)? {
+                    continue 'size; // retry: emptier arena or smaller tile
+                }
+            }
+            if want_alt && teams_per_tile < gx {
+                match self.try_alloc_set(&device, &pending, teams_per_tile, per_team)? {
+                    Some(set) => alt_streams = set,
+                    None => {
+                        if self.evict_lru(&device)? {
+                            continue 'size;
+                        }
+                        if teams_per_tile > 1 {
                             teams_per_tile /= 2;
+                            continue 'size;
                         }
-                        continue 'size; // retry: emptier arena or smaller tile
-                    }
-                    Err(e) => {
-                        for s in streams.drain(..) {
-                            self.free_dev(&device, s.dev_ptr)?;
-                        }
-                        return Err(CudadevError::Data(self.latch(e)));
+                        // Nothing evictable and already at one team per
+                        // tile: settle for single buffering.
                     }
                 }
             }
             break 'size;
         }
         if teams_per_tile == 0 || streams.len() != pending.len() {
-            for s in streams.drain(..) {
+            for s in streams.drain(..).chain(alt_streams.drain(..)) {
                 self.free_dev(&device, s.dev_ptr)?;
             }
             return decline("slices do not fit even one team per tile");
@@ -566,6 +603,20 @@ impl CudaDev {
         );
         self.cfg.obs.metrics.incr(self.pid(), "tile_launches", ntiles);
 
+        // Double buffering (async mode): the second buffer set on a second
+        // stream lets tile k+1 upload — and tile k−1 download — while
+        // tile k computes. Without the alt set the serial loop still runs
+        // correctly, just with no overlap.
+        let alt: Option<(Vec<SliceStream>, [usize; 2])> = match self.async_stream() {
+            Some(sid) if !alt_streams.is_empty() => {
+                Some((std::mem::take(&mut alt_streams), [sid, self.new_stream()]))
+            }
+            _ => None,
+        };
+        if alt.is_some() {
+            self.cfg.obs.metrics.incr(self.pid(), "tile_double_buffered", 1);
+        }
+
         let result = self.run_tiles(
             host_mem,
             &device,
@@ -577,6 +628,7 @@ impl CudaDev {
             block,
             &mut vals,
             &streams,
+            alt.as_ref().map(|(a, sids)| (a.as_slice(), *sids)),
             teams_per_tile,
         );
         if result.is_err() {
@@ -585,7 +637,7 @@ impl CudaDev {
                 let _ = host_mem.write_bytes(vmcommon::addr::offset(s.host_addr), &s.pristine);
             }
         }
-        for s in &streams {
+        for s in streams.iter().chain(alt.iter().flat_map(|(a, _)| a.iter())) {
             // Best-effort: on a lost device the frees may fail; the arena
             // dies with the device.
             let _ = self.free_dev(&device, s.dev_ptr);
@@ -593,8 +645,52 @@ impl CudaDev {
         result.map(|()| PressureOutcome::Ran)
     }
 
+    /// Try to allocate one full slice-buffer set for a tile of
+    /// `teams_per_tile` teams. `Ok(None)` means the set does not fit
+    /// (partial allocations freed — the caller evicts or shrinks the
+    /// tile); other allocation failures propagate.
+    fn try_alloc_set(
+        &self,
+        device: &Arc<Device>,
+        pending: &[(usize, u64, u64, u64)],
+        teams_per_tile: u64,
+        per_team: u64,
+    ) -> Result<Option<Vec<SliceStream>>, CudadevError> {
+        let mut out: Vec<SliceStream> = Vec::with_capacity(pending.len());
+        for &(param_idx, host, row, len) in pending {
+            let cap = (teams_per_tile * per_team * row).min(len);
+            match self.retrying("alloc", || device.mem_alloc(cap)) {
+                Ok(dev_ptr) => out.push(SliceStream {
+                    host_addr: host,
+                    row,
+                    len,
+                    param_idx,
+                    dev_ptr,
+                    pristine: Vec::new(),
+                }),
+                Err(ExecError::Alloc(AllocError::OutOfMemory { .. })) => {
+                    for s in out {
+                        self.free_dev(device, s.dev_ptr)?;
+                    }
+                    return Ok(None);
+                }
+                Err(e) => {
+                    for s in out {
+                        self.free_dev(device, s.dev_ptr)?;
+                    }
+                    return Err(CudadevError::Data(self.latch(e)));
+                }
+            }
+        }
+        Ok(Some(out))
+    }
+
     /// The tile loop proper: upload slices, launch the windowed grid,
-    /// stream results back to the host.
+    /// stream results back to the host. With an `alt` buffer set (async
+    /// mode) the loop is software-pipelined: tile k+1's upload is queued
+    /// before tile k's launch, so on the virtual timeline the copy engine
+    /// fills the next tile's slices (and drains the previous tile's
+    /// results) while the compute engine runs the current tile.
     #[allow(clippy::too_many_arguments)]
     fn run_tiles(
         &self,
@@ -608,54 +704,151 @@ impl CudaDev {
         block: [u32; 3],
         vals: &mut [u64],
         streams: &[SliceStream],
+        alt: Option<(&[SliceStream], [usize; 2])>,
         teams_per_tile: u64,
     ) -> Result<(), CudadevError> {
         let gx = logical_grid[0] as u64;
-        let launch_err =
-            |error: ExecError| CudadevError::Launch { kernel: kernel.to_string(), error };
+        // Tile windows [t0, t1) with their iteration bounds; teams with
+        // empty chunks do no work.
+        let mut tiles: Vec<(u64, u64, u64, u64)> = Vec::new();
         let mut t0 = 0u64;
         while t0 < gx {
             let t1 = (t0 + teams_per_tile).min(gx);
             let (lb, _) = static_block(total, gx, t0);
             let (_, ub) = static_block(total, gx, t1 - 1);
-            if lb >= ub {
-                t0 = t1;
-                continue; // teams with empty chunks do no work
-            }
-            for s in streams {
-                let lo = (lb * s.row).min(s.len);
-                let hi = (ub * s.row).min(s.len);
-                let mut buf = vec![0u8; (hi - lo) as usize];
-                host_mem
-                    .read_bytes(vmcommon::addr::offset(s.host_addr) + lo, &mut buf)
-                    .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
-                self.h2d_copy(device, s.dev_ptr, &buf).map_err(|e| self.latch(e))?;
-                // The kernel indexes the buffer from its logical base; the
-                // slice holds rows [lb, ub), so bias the base pointer back
-                // by the slice start. Intermediate wrap-around is fine:
-                // in-tile accesses land back inside the slice.
-                vals[s.param_idx] = s.dev_ptr.wrapping_sub(lo);
-            }
-            let cfg = LaunchConfig { grid: [(t1 - t0) as u32, 1, 1], block, params: vals.to_vec() };
-            let tile = TileView { team_base: t0, logical_grid };
-            let stats = self
-                .retrying("launch", || {
-                    device.set_trace_base(self.now());
-                    gpusim::launch_tiled(device, m, kernel, &cfg, lib, self.cfg.exec_mode, tile)
-                })
-                .map_err(|e| launch_err(self.latch(e)))?;
-            self.finish_launch(kernel, &stats);
-            for s in streams {
-                let lo = (lb * s.row).min(s.len);
-                let hi = (ub * s.row).min(s.len);
-                let mut buf = vec![0u8; (hi - lo) as usize];
-                self.d2h_copy(device, s.dev_ptr, &mut buf).map_err(|e| self.latch(e))?;
-                host_mem
-                    .write_bytes(vmcommon::addr::offset(s.host_addr) + lo, &buf)
-                    .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
+            if lb < ub {
+                tiles.push((t0, t1, lb, ub));
             }
             t0 = t1;
         }
+        let Some((alt_streams, sids)) = alt else {
+            // Single-buffered: strictly serial — every tile reuses the one
+            // buffer set, so its upload must wait for the previous
+            // download anyway.
+            for &(t0, t1, lb, ub) in &tiles {
+                self.upload_tile(host_mem, device, streams, lb, ub)?;
+                self.launch_tile(
+                    device,
+                    m,
+                    lib,
+                    kernel,
+                    vals,
+                    streams,
+                    logical_grid,
+                    block,
+                    (t0, t1, lb),
+                )?;
+                self.download_tile(host_mem, device, streams, lb, ub)?;
+            }
+            return Ok(());
+        };
+        // Double-buffered: tile k lives on buffer set / stream k % 2. A
+        // stream serializes its own operations, so tile k+2's upload waits
+        // for tile k's download (same buffers, same stream) automatically.
+        let bufs = [streams, alt_streams];
+        for (k, &(t0, t1, lb, ub)) in tiles.iter().enumerate() {
+            if k == 0 {
+                let _g = self.override_stream(sids[0]);
+                self.upload_tile(host_mem, device, bufs[0], lb, ub)?;
+            }
+            if let Some(&(_, _, nlb, nub)) = tiles.get(k + 1) {
+                let _g = self.override_stream(sids[(k + 1) % 2]);
+                self.upload_tile(host_mem, device, bufs[(k + 1) % 2], nlb, nub)?;
+            }
+            let _g = self.override_stream(sids[k % 2]);
+            self.launch_tile(
+                device,
+                m,
+                lib,
+                kernel,
+                vals,
+                bufs[k % 2],
+                logical_grid,
+                block,
+                (t0, t1, lb),
+            )?;
+            self.download_tile(host_mem, device, bufs[k % 2], lb, ub)?;
+        }
+        Ok(())
+    }
+
+    /// Upload the slice rows `[lb, ub)` of every buffer in `bufs`.
+    fn upload_tile(
+        &self,
+        host_mem: &MemArena,
+        device: &Arc<Device>,
+        bufs: &[SliceStream],
+        lb: u64,
+        ub: u64,
+    ) -> Result<(), CudadevError> {
+        for s in bufs {
+            let lo = (lb * s.row).min(s.len);
+            let hi = (ub * s.row).min(s.len);
+            let mut buf = vec![0u8; (hi - lo) as usize];
+            host_mem
+                .read_bytes(vmcommon::addr::offset(s.host_addr) + lo, &mut buf)
+                .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
+            self.h2d_copy(device, s.dev_ptr, &buf).map_err(|e| self.latch(e))?;
+        }
+        Ok(())
+    }
+
+    /// Stream the slice rows `[lb, ub)` of every buffer back to the host.
+    fn download_tile(
+        &self,
+        host_mem: &MemArena,
+        device: &Arc<Device>,
+        bufs: &[SliceStream],
+        lb: u64,
+        ub: u64,
+    ) -> Result<(), CudadevError> {
+        for s in bufs {
+            let lo = (lb * s.row).min(s.len);
+            let hi = (ub * s.row).min(s.len);
+            let mut buf = vec![0u8; (hi - lo) as usize];
+            self.d2h_copy(device, s.dev_ptr, &mut buf).map_err(|e| self.latch(e))?;
+            host_mem
+                .write_bytes(vmcommon::addr::offset(s.host_addr) + lo, &buf)
+                .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
+        }
+        Ok(())
+    }
+
+    /// Launch one tile's windowed grid from the buffer set in `bufs`;
+    /// `window` is `(t0, t1, lb)`.
+    #[allow(clippy::too_many_arguments)]
+    fn launch_tile(
+        &self,
+        device: &Arc<Device>,
+        m: &sptx::Module,
+        lib: &dyn gpusim::DeviceLib,
+        kernel: &str,
+        vals: &mut [u64],
+        bufs: &[SliceStream],
+        logical_grid: [u32; 3],
+        block: [u32; 3],
+        window: (u64, u64, u64),
+    ) -> Result<(), CudadevError> {
+        let (t0, t1, lb) = window;
+        for s in bufs {
+            // The kernel indexes the buffer from its logical base; the
+            // slice holds rows [lb, ub), so bias the base pointer back by
+            // the slice start. Intermediate wrap-around is fine: in-tile
+            // accesses land back inside the slice.
+            vals[s.param_idx] = s.dev_ptr.wrapping_sub((lb * s.row).min(s.len));
+        }
+        let cfg = LaunchConfig { grid: [(t1 - t0) as u32, 1, 1], block, params: vals.to_vec() };
+        let tile = TileView { team_base: t0, logical_grid };
+        let stats = self
+            .retrying("launch", || {
+                device.set_trace_base(self.launch_base());
+                gpusim::launch_tiled(device, m, kernel, &cfg, lib, self.cfg.exec_mode, tile)
+            })
+            .map_err(|e| CudadevError::Launch {
+                kernel: kernel.to_string(),
+                error: self.latch(e),
+            })?;
+        self.finish_launch(kernel, &stats);
         Ok(())
     }
 }

@@ -160,6 +160,31 @@ fn remap_of_synced_buffer_skips_the_upload() {
     dev.unmap(&host, ha, MapKind::To).unwrap();
 }
 
+/// Unmapping or updating an address with no live mapping is a typed
+/// `NotMapped` error — a host bookkeeping bug, not a device failure — so
+/// the device stays usable and the address survives into the diagnostic.
+#[test]
+fn unmap_and_update_of_unmapped_address_are_typed_errors() {
+    let dev = dev_with(obs::Obs::disabled(), "notmapped", |_| {});
+    let host = MemArena::new(1 << 16);
+    let never_mapped = addr::make(addr::Space::Host, 256);
+
+    let err = dev.unmap(&host, never_mapped, MapKind::From).expect_err("nothing is mapped");
+    assert!(
+        matches!(err, CudadevError::NotMapped { host_addr } if host_addr == never_mapped),
+        "typed NotMapped with the offending address, got: {err}"
+    );
+    let err = dev.update(&host, never_mapped, 64, true).expect_err("still nothing mapped");
+    assert!(matches!(err, CudadevError::NotMapped { .. }), "update path too, got: {err}");
+    assert!(!dev.is_broken(), "a bookkeeping error must not latch the device");
+
+    // Double-unmap: the first releases the mapping, the second is typed.
+    dev.map(&host, never_mapped, 512, MapKind::To).unwrap();
+    dev.unmap(&host, never_mapped, MapKind::Delete).unwrap();
+    let err = dev.unmap(&host, never_mapped, MapKind::Delete).expect_err("already unmapped");
+    assert!(matches!(err, CudadevError::NotMapped { .. }));
+}
+
 /// An injected `free@1` fault surfaces as the typed `InvalidFree` error —
 /// a host bookkeeping bug, not a device failure — so the device stays
 /// usable and the rejection is counted.

@@ -107,7 +107,28 @@ impl DeviceModule for CudaDev {
         CudaDev::launch(self, module, kernel, grid, block, params)
     }
 
+    fn stream_region_begin(&self) {
+        CudaDev::stream_region_begin(self)
+    }
+
+    fn stream_mark_nowait(&self) {
+        CudaDev::stream_mark_nowait(self)
+    }
+
+    fn stream_region_end(&self) {
+        CudaDev::stream_region_end(self)
+    }
+
+    fn stream_sync(&self) {
+        CudaDev::stream_sync(self)
+    }
+
     fn clock(&self) -> DevClock {
+        // Deliberately *not* a synchronization point: only flushed time is
+        // visible, so tracing and `omp_get_wtime` reads between `nowait`
+        // regions do not drain the command streams. Reports that need the
+        // queued work accounted call `stream_sync` first (the registry's
+        // aggregate/profile paths do).
         *self.clock.lock()
     }
 

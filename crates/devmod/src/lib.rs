@@ -138,6 +138,21 @@ pub trait DeviceModule: Send + Sync {
         params: Vec<u64>,
     ) -> Result<LaunchStats, CudadevError>;
 
+    /// A target region on this device begins (async command streams give
+    /// the region its own stream; other modules need not care).
+    fn stream_region_begin(&self) {}
+
+    /// The current target region carries `nowait`: its queued async work
+    /// may outlive region end.
+    fn stream_mark_nowait(&self) {}
+
+    /// A target region on this device ends (a synchronization point unless
+    /// the region was marked `nowait`).
+    fn stream_region_end(&self) {}
+
+    /// Drain all queued async work (`taskwait`).
+    fn stream_sync(&self) {}
+
     /// Snapshot of the accumulated virtual device time.
     fn clock(&self) -> DevClock;
 

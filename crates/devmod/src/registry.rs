@@ -94,9 +94,18 @@ impl DeviceRegistry {
     pub fn aggregate_clock(&self) -> DevClock {
         let mut total = DevClock::default();
         for d in &self.devices {
+            d.stream_sync();
             total.merge(&d.clock());
         }
         total
+    }
+
+    /// `taskwait`: drain every device's queued async command-stream work.
+    pub fn sync_streams(&self) {
+        for d in &self.devices {
+            d.stream_sync();
+        }
+        self.host.stream_sync();
     }
 
     pub fn reset_clocks(&self) {
@@ -113,7 +122,10 @@ impl DeviceRegistry {
             .devices
             .iter()
             .enumerate()
-            .map(|(i, d)| d.clock().profile_row(&format!("dev{i}")))
+            .map(|(i, d)| {
+                d.stream_sync();
+                d.clock().profile_row(&format!("dev{i}"))
+            })
             .collect();
         rows.push(self.host.clock().profile_row("host"));
         rows
@@ -273,6 +285,7 @@ mod tests {
             d2h_s: 0.4,
             retry_backoff_s: 0.5,
             fallback_s: 0.6,
+            overlap_s: 0.05,
             launches: 3,
             h2d_bytes: 100,
             d2h_bytes: 200,

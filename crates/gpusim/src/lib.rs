@@ -16,12 +16,14 @@ pub mod barrier;
 pub mod device;
 pub mod fault;
 pub mod launch;
+pub mod stream;
 pub mod timing;
 pub mod warp;
 
 pub use device::{DevTrace, Device, DeviceProps, DeviceStats, ExecError};
 pub use fault::{FaultPlan, FaultRule, FaultSite};
 pub use launch::{launch, launch_tiled, ExecMode, LaunchConfig, LaunchStats, TileView};
+pub use stream::{EngineKind, EventId, OpSchedule, StreamEngine};
 pub use warp::{iter_lanes, BlockCtx, BlockEnv, DeviceLib, LaneVec, NoLib, Warp};
 
 /// Block `ext` slot holding the dynamic shared-memory stack pointer

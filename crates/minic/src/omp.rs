@@ -35,6 +35,7 @@ pub enum DirKind {
     Master,
     Critical,
     Barrier,
+    Taskwait,
     DeclareTarget,
     EndDeclareTarget,
 }
@@ -58,6 +59,7 @@ impl DirKind {
         matches!(
             self,
             DirKind::Barrier
+                | DirKind::Taskwait
                 | DirKind::TargetEnterData
                 | DirKind::TargetExitData
                 | DirKind::TargetUpdate
@@ -109,6 +111,7 @@ impl DirKind {
             DirKind::Master => "master",
             DirKind::Critical => "critical",
             DirKind::Barrier => "barrier",
+            DirKind::Taskwait => "taskwait",
             DirKind::DeclareTarget => "declare target",
             DirKind::EndDeclareTarget => "end declare target",
         }

@@ -925,6 +925,7 @@ impl Parser {
             "master",
             "critical",
             "barrier",
+            "taskwait",
             "declare",
             "end",
         ];
@@ -961,7 +962,7 @@ impl Parser {
                                 )
                         }
                         "target" | "sections" | "section" | "single" | "master" | "critical"
-                        | "barrier" => words.is_empty(),
+                        | "barrier" | "taskwait" => words.is_empty(),
                         "declare" | "end" => {
                             words.is_empty() || words.last().map(|w| w.as_str()) == Some("end")
                         }
@@ -1020,6 +1021,7 @@ impl Parser {
             "master" => DirKind::Master,
             "critical" => DirKind::Critical,
             "barrier" => DirKind::Barrier,
+            "taskwait" => DirKind::Taskwait,
             "declare target" => DirKind::DeclareTarget,
             "end declare target" => DirKind::EndDeclareTarget,
             other => return Err(self.err(format!("unknown OpenMP directive `{other}`"))),

@@ -4,7 +4,9 @@
 
 /// One device's time breakdown. The seven time columns are exactly the
 /// `DevClock` accumulators, so a row's [`ProfileRow::total_s`] equals the
-/// device clock's `total_s()`.
+/// device clock's `total_s()`: the phase columns keep full attribution
+/// (what each engine was busy doing) while `overlap_s` — time where async
+/// streams ran a copy under a kernel — is subtracted once from the total.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ProfileRow {
     pub label: String,
@@ -15,13 +17,15 @@ pub struct ProfileRow {
     pub d2h_s: f64,
     pub retry_backoff_s: f64,
     pub fallback_s: f64,
+    pub overlap_s: f64,
     pub launches: u64,
     pub retries: u64,
     pub fallbacks: u64,
 }
 
 impl ProfileRow {
-    /// Sum of every time column — the device's aggregate simulated time.
+    /// Sum of every time column, minus the transfer/compute overlap — the
+    /// device's aggregate simulated (wall) time.
     pub fn total_s(&self) -> f64 {
         self.init_s
             + self.modload_s
@@ -30,6 +34,7 @@ impl ProfileRow {
             + self.d2h_s
             + self.retry_backoff_s
             + self.fallback_s
+            - self.overlap_s
     }
 }
 
@@ -44,6 +49,7 @@ pub fn render_profile(rows: &[ProfileRow]) -> String {
         "d2h",
         "retry",
         "fallback",
+        "overlap",
         "total",
         "launches",
         "retries",
@@ -60,6 +66,7 @@ pub fn render_profile(rows: &[ProfileRow]) -> String {
             ms(r.d2h_s),
             ms(r.retry_backoff_s),
             ms(r.fallback_s),
+            ms(r.overlap_s),
             ms(r.total_s()),
             r.launches.to_string(),
             r.retries.to_string(),
@@ -117,6 +124,8 @@ mod tests {
             ..ProfileRow::default()
         };
         assert!((r.total_s() - 28.0).abs() < 1e-12);
+        let overlapped = ProfileRow { overlap_s: 2.5, ..r };
+        assert!((overlapped.total_s() - 25.5).abs() < 1e-12);
     }
 
     #[test]
@@ -131,7 +140,9 @@ mod tests {
             },
         ];
         let text = render_profile(&rows);
-        for col in ["init", "modload", "h2d", "kernel", "d2h", "retry", "fallback", "total"] {
+        for col in
+            ["init", "modload", "h2d", "kernel", "d2h", "retry", "fallback", "overlap", "total"]
+        {
             assert!(text.contains(col), "missing column {col}:\n{text}");
         }
         assert!(text.contains("dev0"));

@@ -119,6 +119,7 @@ pub struct Tracer {
     enabled: AtomicBool,
     events: Mutex<Vec<TraceEvent>>,
     named_pids: Mutex<BTreeSet<u64>>,
+    named_tids: Mutex<BTreeSet<(u64, u64)>>,
 }
 
 impl Tracer {
@@ -127,6 +128,7 @@ impl Tracer {
             enabled: AtomicBool::new(enabled),
             events: Mutex::new(Vec::new()),
             named_pids: Mutex::new(BTreeSet::new()),
+            named_tids: Mutex::new(BTreeSet::new()),
         }
     }
 
@@ -265,6 +267,24 @@ impl Tracer {
             cat: "__metadata",
             pid,
             tid: 0,
+            ts_s: 0.0,
+            dur_s: 0.0,
+            args: vec![("name", ArgValue::Str(name.to_string()))],
+        });
+    }
+
+    /// Name a track within a process (e.g. a command stream). First caller
+    /// wins, like [`Tracer::set_process_name`].
+    pub fn set_thread_name(&self, pid: u64, tid: u64, name: &str) {
+        if !self.is_enabled() || !self.named_tids.lock().insert((pid, tid)) {
+            return;
+        }
+        self.events.lock().push(TraceEvent {
+            ph: Phase::Metadata,
+            name: "thread_name".to_string(),
+            cat: "__metadata",
+            pid,
+            tid,
             ts_s: 0.0,
             dur_s: 0.0,
             args: vec![("name", ArgValue::Str(name.to_string()))],

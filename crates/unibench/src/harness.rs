@@ -39,9 +39,28 @@ pub struct Measurement {
     pub time_s: f64,
     pub kernel_s: f64,
     pub memcpy_s: f64,
+    /// Simulated time hidden by async transfer/compute overlap (0 in
+    /// synchronous mode).
+    pub overlap_s: f64,
     pub launches: u64,
     /// Per-device clock snapshots (registry order, one per offload device).
     pub per_device: Vec<cudadev::DevClock>,
+    /// Order- and bit-exact FNV-1a hash of the output vector — async and
+    /// sync runs of the same app must agree on it.
+    pub checksum: u64,
+}
+
+/// FNV-1a over the outputs' IEEE bit patterns: a cheap bit-exact
+/// fingerprint for comparing async against sync runs.
+pub fn output_checksum(xs: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in xs {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 /// Compile one variant of an app and instantiate a runner sized for `n`.
@@ -101,7 +120,7 @@ pub fn build_variant_cfg(
 pub fn measure(app: &App, built: &Built, n: u32) -> Measurement {
     let registry = built.runner.registry();
     registry.reset_clocks();
-    run_once(app, &built.runner, n).unwrap_or_else(|e| {
+    let out = run_once(app, &built.runner, n).unwrap_or_else(|e| {
         panic!("{} ({}) failed at n={n}: {e}", app.name, built.variant.label())
     });
     let clk = registry.aggregate_clock();
@@ -112,8 +131,10 @@ pub fn measure(app: &App, built: &Built, n: u32) -> Measurement {
         time_s: clk.offload_s(),
         kernel_s: clk.kernel_s,
         memcpy_s: clk.memcpy_s(),
+        overlap_s: clk.overlap_s,
         launches: clk.launches,
         per_device,
+        checksum: output_checksum(&out),
     }
 }
 

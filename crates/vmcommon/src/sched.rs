@@ -46,14 +46,25 @@ impl DynamicState {
         DynamicState { next: AtomicU64::new(0) }
     }
 
-    /// Claim the next chunk; `None` when the space is exhausted.
+    /// Claim the next chunk; `None` when the space is exhausted. Once
+    /// exhausted the counter stops advancing, so a worker spinning on an
+    /// empty schedule cannot creep `next` toward u64 wraparound.
     pub fn next_chunk(&self, total: u64, chunk: u64) -> Option<(u64, u64)> {
         let chunk = chunk.max(1);
-        let start = self.next.fetch_add(chunk, Ordering::AcqRel);
-        if start >= total {
-            return None;
+        loop {
+            let start = self.next.load(Ordering::Acquire);
+            if start >= total {
+                return None;
+            }
+            let end = start.saturating_add(chunk).min(total);
+            if self
+                .next
+                .compare_exchange_weak(start, end, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some((start, end));
+            }
         }
-        Some((start, (start + chunk).min(total)))
     }
 }
 
@@ -96,15 +107,18 @@ pub fn trip_count(lb: i64, ub: i64, step: i64, inclusive: bool) -> u64 {
     if step == 0 {
         return 0;
     }
-    let (lo, hi, st) = if step > 0 {
-        (lb, ub + if inclusive { 1 } else { 0 }, step)
+    // Widen to i128: `ub + 1` overflows i64 for inclusive loops ending at
+    // i64::MAX, and `-step` overflows for step == i64::MIN.
+    let inc = inclusive as i128;
+    let (lo, hi, st): (i128, i128, i128) = if step > 0 {
+        (lb as i128, ub as i128 + inc, step as i128)
     } else {
-        (ub - if inclusive { 1 } else { 0 }, lb, -step)
+        (ub as i128 - inc, lb as i128, -(step as i128))
     };
     if lo >= hi {
         0
     } else {
-        ((hi - lo) as u64).div_ceil(st as u64)
+        ((hi - lo) as u128).div_ceil(st as u128).min(u64::MAX as u128) as u64
     }
 }
 
@@ -131,6 +145,41 @@ mod tests {
         assert_eq!(trip_count(10, 0, -1, false), 10);
         assert_eq!(trip_count(10, 0, -2, true), 6);
         assert_eq!(trip_count(5, 5, 1, false), 0);
+    }
+
+    /// Boundary inputs that used to overflow i64 arithmetic.
+    #[test]
+    fn trip_count_boundaries() {
+        // `ub + 1` would overflow for an inclusive loop ending at i64::MAX.
+        assert_eq!(trip_count(i64::MAX - 5, i64::MAX, 1, true), 6);
+        assert_eq!(trip_count(i64::MAX - 9, i64::MAX, 3, true), 4);
+        // `-step` would overflow for step == i64::MIN.
+        assert_eq!(trip_count(10, 0, i64::MIN, false), 1);
+        assert_eq!(trip_count(i64::MAX, i64::MIN, i64::MIN, true), 2);
+        // Span wider than i64; the inclusive case exceeds u64 and is capped.
+        assert_eq!(trip_count(i64::MIN, i64::MAX, 1, false), u64::MAX);
+        assert_eq!(trip_count(i64::MIN, i64::MAX, 1, true), u64::MAX);
+        // Empty/degenerate spaces are still empty.
+        assert_eq!(trip_count(i64::MAX, i64::MAX, 1, false), 0);
+        assert_eq!(trip_count(i64::MIN, i64::MIN, -1, false), 0);
+    }
+
+    /// Once the space is exhausted, polling must not advance the counter
+    /// (regression: unconditional fetch_add crept toward u64 wraparound).
+    #[test]
+    fn dynamic_exhausted_does_not_advance() {
+        let st = DynamicState::new();
+        while st.next_chunk(100, 7).is_some() {}
+        let settled = st.next.load(Ordering::Acquire);
+        assert_eq!(settled, 100, "end of last chunk is clamped to total");
+        for _ in 0..10_000 {
+            assert!(st.next_chunk(100, 7).is_none());
+        }
+        assert_eq!(st.next.load(Ordering::Acquire), settled, "exhausted polls must not advance");
+        // Huge chunks saturate instead of wrapping.
+        let st = DynamicState::new();
+        assert_eq!(st.next_chunk(u64::MAX, u64::MAX), Some((0, u64::MAX)));
+        assert!(st.next_chunk(u64::MAX, u64::MAX).is_none());
     }
 
     #[test]
@@ -236,6 +285,43 @@ mod tests {
                 }
             }
             assert!(seen.iter().all(|&x| x));
+        }
+    }
+
+    /// Guided scheduling covers the space exactly once even under
+    /// concurrent claimants (the sequential `guided_cover` below cannot
+    /// catch CAS races).
+    #[test]
+    fn guided_concurrent_cover() {
+        for seed in 0..24u64 {
+            let mut rng = XorShift64::new(seed);
+            let total = rng.range_u64(1, 3000);
+            let minc = rng.range_u64(1, 30);
+            let nthr = rng.range_u64(2, 8);
+            let st = GuidedState::new();
+            let claimed: Vec<(u64, u64)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..nthr)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut mine = Vec::new();
+                            while let Some(c) = st.next_chunk(total, nthr, minc) {
+                                mine.push(c);
+                            }
+                            mine
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            });
+            let mut seen = vec![false; total as usize];
+            for (s, e) in claimed {
+                assert!(s < e && e <= total);
+                for i in s..e {
+                    assert!(!seen[i as usize], "iteration {i} assigned twice");
+                    seen[i as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&x| x), "guided chunks must cover the space");
         }
     }
 
