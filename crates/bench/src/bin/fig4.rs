@@ -5,6 +5,16 @@
 //! Usage:
 //!   fig4 [--app NAME] [--sizes a,b,c] [--full] [--max-blocks N]
 //!        [--trace PATH] [--profile] [--mem SIZE] [--async]
+//!        [--chaos-seed N]
+//!
+//! `--chaos-seed N` runs the OMPi variant under the chaos fault plan
+//! `chaos:N` (see `gpusim::FaultPlan::chaos`): a seeded random mix of
+//! transient faults, hangs and terminal failures that exercises the
+//! watchdog / reset-and-replay / circuit-breaker recovery path while
+//! keeping results bit-identical. Combine with `--trace` to inspect the
+//! `recovery.reset` and `breaker.probe` events on the timeline. The CUDA
+//! baseline is left un-faulted — it has no recovery runtime to degrade
+//! through.
 //!
 //! `--mem 32M` caps the OMPi variant's device arena below the working set,
 //! driving the memory governor's evict → stage → tile → fallback ladder
@@ -41,6 +51,7 @@ fn main() {
     let mut profile = false;
     let mut mem_cap: Option<u64> = None;
     let mut async_streams = false;
+    let mut chaos_seed: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -80,6 +91,10 @@ fn main() {
                 async_streams = true;
                 i += 1;
             }
+            "--chaos-seed" => {
+                chaos_seed = Some(args[i + 1].parse().expect("chaos-seed"));
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
@@ -116,6 +131,9 @@ fn main() {
                         cfg.device_mem = (cap as usize).min(cfg.device_mem);
                     }
                     cfg.async_streams = async_streams;
+                    if let Some(seed) = chaos_seed {
+                        cfg.fault_spec = Some(format!("chaos:{seed}"));
+                    }
                 }
                 let built = build_variant_cfg(&app, variant, &work, &cfg);
                 let m = measure(&app, &built, n);

@@ -455,7 +455,7 @@ impl Hooks for OmpiHooks {
                     return self.degrade(&*dev, e).map(|_| Some(Value::I32(0)));
                 }
                 let params = self.prepare_params(&*dev, kf, &lvals)?;
-                match dev.launch(&module, &kernel, grid, block, params) {
+                match dev.launch(mem, &module, &kernel, grid, block, params) {
                     Ok(_) => Ok(Some(Value::I32(1))),
                     Err(e) => self.degrade(&*dev, e).map(|_| Some(Value::I32(0))),
                 }
@@ -671,7 +671,7 @@ impl Hooks for OmpiHooks {
         grid: [u32; 3],
         block: [u32; 3],
         args: &[Value],
-        _ctx: &HookCtx<'_>,
+        ctx: &HookCtx<'_>,
     ) -> IResult<()> {
         let module = self
             .cuda_module
@@ -703,7 +703,7 @@ impl Hooks for OmpiHooks {
                 args.len()
             )));
         }
-        dev.launch(&module, name, grid, block, params)
+        dev.launch(ctx.mem(), &module, name, grid, block, params)
             .map_err(|e| InterpError::Trap(e.to_string()))?;
         Ok(())
     }

@@ -51,6 +51,13 @@ pub struct RunnerConfig {
     pub fault_spec: Option<String>,
     /// Retry policy for transient driver faults.
     pub retry: RetryPolicy,
+    /// Watchdog deadline for kernels and transfers: a hung operation is
+    /// declared timed out after this much simulated waiting and handed to
+    /// the recovery manager (`OMPI_LAUNCH_TIMEOUT_MS`).
+    pub launch_timeout: std::time::Duration,
+    /// How many consecutive reset-and-replay attempts may fail before a
+    /// device latches permanently broken (`OMPI_MAX_RESETS`).
+    pub max_resets: u32,
     /// Explicit observability sink (tracer + metrics). `None` resolves the
     /// `OMPI_TRACE` / `OMPI_PROFILE` environment variables: a set
     /// `OMPI_TRACE` makes the runner write Chrome trace-event JSON there on
@@ -73,6 +80,8 @@ impl Default for RunnerConfig {
             fault_plan: None,
             fault_spec: None,
             retry: RetryPolicy::default(),
+            launch_timeout: std::time::Duration::from_millis(250),
+            max_resets: 3,
             obs: None,
         }
     }
@@ -118,11 +127,20 @@ impl Runner {
         cfg: &RunnerConfig,
         obs: &Arc<obs::Obs>,
     ) -> IResult<Arc<DeviceRegistry>> {
+        // Validate `OMPI_FAULT_PLAN` eagerly: lazy device initialization
+        // reports any init error as "device unavailable" (host fallback),
+        // which would silently turn a malformed plan into a fault-free
+        // run. A bad plan must fail construction loudly instead.
+        if cfg.fault_spec.is_none() && cfg.fault_plan.is_none() {
+            FaultPlan::from_env()
+                .map_err(|e| InterpError::Trap(format!("OMPI_FAULT_PLAN: {e}")))?;
+        }
         let mut devices: Vec<Arc<dyn DeviceModule>> = Vec::with_capacity(cfg.num_devices);
         for i in 0..cfg.num_devices {
             let fault_plan = match &cfg.fault_spec {
                 Some(spec) => Some(Arc::new(
-                    FaultPlan::parse_for_device(spec, i as u32).map_err(InterpError::Trap)?,
+                    FaultPlan::parse_for_device(spec, i as u32)
+                        .map_err(|e| InterpError::Trap(format!("fault plan: {e}")))?,
                 )),
                 // An explicit pre-parsed plan has no device scoping; it
                 // belongs to device 0 (the only device before the registry
@@ -141,6 +159,8 @@ impl Runner {
                 async_streams: cfg.async_streams,
                 fault_plan,
                 retry: cfg.retry,
+                launch_timeout: cfg.launch_timeout,
+                max_resets: cfg.max_resets,
                 obs: obs.clone(),
                 ..CudaDevConfig::default()
             })));
@@ -186,6 +206,19 @@ impl Runner {
         }
         if let Ok(s) = std::env::var("OMPI_ASYNC") {
             cfg.async_streams = s != "0" && !s.is_empty();
+        }
+        if let Ok(s) = std::env::var("OMPI_LAUNCH_TIMEOUT_MS") {
+            let ms: u64 = s
+                .trim()
+                .parse()
+                .map_err(|_| InterpError::Trap(format!("OMPI_LAUNCH_TIMEOUT_MS: `{s}`")))?;
+            cfg.launch_timeout = std::time::Duration::from_millis(ms);
+        }
+        if let Ok(s) = std::env::var("OMPI_MAX_RESETS") {
+            cfg.max_resets = s
+                .trim()
+                .parse()
+                .map_err(|_| InterpError::Trap(format!("OMPI_MAX_RESETS: `{s}`")))?;
         }
         let setup = ObsSetup::resolve(&cfg);
         let registry = Self::build_registry(&app.kernel_dir, &cfg, &setup.obs)?;

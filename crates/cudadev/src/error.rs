@@ -34,6 +34,10 @@ pub enum CudadevError {
     Jit { module: String, reason: String },
     /// A kernel launch failed, after any retries.
     Launch { kernel: String, error: ExecError },
+    /// The watchdog expired an operation that exceeded its deadline
+    /// (`OMPI_LAUNCH_TIMEOUT_MS`) and recovery could not bring the device
+    /// back within the reset budget. Equivalent to a lost device.
+    Timeout { site: String, deadline_ms: u64 },
 }
 
 impl CudadevError {
@@ -52,9 +56,10 @@ impl CudadevError {
         matches!(
             self,
             CudadevError::Broken
-                | CudadevError::Init(ExecError::DeviceLost(_))
-                | CudadevError::Data(ExecError::DeviceLost(_))
-                | CudadevError::Launch { error: ExecError::DeviceLost(_), .. }
+                | CudadevError::Timeout { .. }
+                | CudadevError::Init(ExecError::DeviceLost(_) | ExecError::Hang(_))
+                | CudadevError::Data(ExecError::DeviceLost(_) | ExecError::Hang(_))
+                | CudadevError::Launch { error: ExecError::DeviceLost(_) | ExecError::Hang(_), .. }
         )
     }
 
@@ -88,6 +93,13 @@ impl std::fmt::Display for CudadevError {
             }
             CudadevError::Launch { kernel, error } => {
                 write!(f, "launch of kernel `{kernel}` failed: {error}")
+            }
+            CudadevError::Timeout { site, deadline_ms } => {
+                write!(
+                    f,
+                    "watchdog timeout: `{site}` exceeded its {deadline_ms} ms deadline and \
+                     recovery exhausted the reset budget"
+                )
             }
         }
     }

@@ -29,9 +29,11 @@ use crate::error::CudadevError;
 use crate::jit;
 
 mod governor;
+mod recovery;
 mod stream;
 
 pub use governor::{PressureOutcome, TileParam};
+pub use recovery::BreakerState;
 pub use stream::STREAM_TRACK_BASE;
 
 /// Mapping direction of one map clause.
@@ -61,6 +63,11 @@ struct MapEntry {
     /// uploaded (a host fallback ran under an enclosing `target data`):
     /// skip copy-back, and re-upload before the next launch that uses it.
     host_dirty: bool,
+    /// The device copy is newer than the host copy (a kernel wrote it and
+    /// no copy-back has happened yet). Recovery must salvage such buffers
+    /// to the host before resetting the device, or replay would resurrect
+    /// pre-kernel data.
+    device_dirty: bool,
 }
 
 /// Accumulated virtual device time, broken down by offload phase — the
@@ -249,6 +256,14 @@ pub struct CudaDevConfig {
     /// Disabled by default (a disabled tracer is one atomic load per
     /// event). The trace process number is `device_id`.
     pub obs: Arc<obs::Obs>,
+    /// Watchdog deadline for kernels and transfers: a hung operation is
+    /// declared timed out after this much *simulated* waiting and handed
+    /// to the recovery manager (`OMPI_LAUNCH_TIMEOUT_MS`).
+    pub launch_timeout: Duration,
+    /// Reset budget of the recovery circuit breaker: how many consecutive
+    /// reset-and-replay attempts may fail before the device latches
+    /// permanently broken (`OMPI_MAX_RESETS`).
+    pub max_resets: u32,
 }
 
 impl Default for CudaDevConfig {
@@ -266,6 +281,8 @@ impl Default for CudaDevConfig {
             staging_bytes: 16 << 20,
             async_streams: false,
             obs: obs::Obs::disabled(),
+            launch_timeout: Duration::from_millis(250),
+            max_resets: 3,
         }
     }
 }
@@ -290,7 +307,12 @@ pub struct CudaDev {
     launch_hist: Mutex<HashMap<String, (u64, f64)>>,
     /// Async command-stream state (engines, streams, pending busy time).
     streams: stream::AsyncState,
-    /// Latched by the first terminal device failure: every subsequent
+    /// Recovery circuit breaker: reset budget and health state (see
+    /// `host::recovery`). The `broken` latch below is only set once this
+    /// breaker gives up.
+    recovery: Mutex<recovery::RecoveryCtl>,
+    /// Latched when the recovery breaker exhausts its reset budget (or the
+    /// failure is unrecoverable, e.g. a lost copy-back): every subsequent
     /// operation fails fast with [`CudadevError::Broken`] so the runtime
     /// skips the dead device and runs on the host instead.
     broken: AtomicBool,
@@ -310,6 +332,7 @@ impl CudaDev {
             clock: Mutex::new(DevClock::default()),
             launch_hist: Mutex::new(HashMap::new()),
             streams: stream::AsyncState::default(),
+            recovery: Mutex::new(recovery::RecoveryCtl::default()),
             broken: AtomicBool::new(false),
         }
     }
@@ -354,25 +377,44 @@ impl CudaDev {
         let obs = &self.cfg.obs;
         let init_span =
             obs.tracer.span(self.pid(), 0, "device init", "init", || self.now(), vec![]);
-        let plan = self
-            .cfg
-            .fault_plan
-            .clone()
-            .or_else(|| FaultPlan::from_env_for_device(self.cfg.device_id).map(Arc::new));
+        let plan = match self.cfg.fault_plan.clone() {
+            Some(p) => Some(p),
+            // A malformed OMPI_FAULT_PLAN is a typed, surfaced error —
+            // never a panic, never a silent fault-free run.
+            None => match FaultPlan::from_env_for_device(self.cfg.device_id) {
+                Ok(p) => p.map(Arc::new),
+                Err(e) => {
+                    return Err(CudadevError::Init(ExecError::Trap(format!(
+                        "OMPI_FAULT_PLAN: {e}"
+                    ))))
+                }
+            },
+        };
         if let Some(p) = &plan {
             if let Err(e) = p.check(FaultSite::Init) {
-                obs.tracer.instant(
-                    self.pid(),
-                    0,
-                    "fault",
-                    "fault",
-                    self.now(),
-                    vec![("site", "init".into()), ("error", e.to_string().into())],
-                );
-                if !e.is_transient() {
-                    self.latch_broken(&e);
+                if e.is_terminal() {
+                    // No device exists yet, so recovery has nothing to
+                    // reset or replay; the breaker still paces re-probes of
+                    // the init until its budget runs out.
+                    let p = p.clone();
+                    self.recover_terminal::<()>(None, None, "init", &[], e, || {
+                        p.check(FaultSite::Init)
+                    })
+                    .map_err(|e| match e {
+                        CudadevError::Data(e) => CudadevError::Init(e),
+                        e => e,
+                    })?;
+                } else {
+                    obs.tracer.instant(
+                        self.pid(),
+                        0,
+                        "fault",
+                        "fault",
+                        self.now(),
+                        vec![("site", "init".into()), ("error", e.to_string().into())],
+                    );
+                    return Err(CudadevError::Init(e));
                 }
-                return Err(CudadevError::Init(e));
             }
         }
         let d = Arc::new(Device::new(self.cfg.global_mem));
@@ -384,12 +426,15 @@ impl CudaDev {
         // words).
         let lock_area = match self.retrying("init", || d.mem_alloc(NUM_LOCKS * 4)) {
             Ok(a) => a,
-            Err(e) => {
-                if matches!(e, ExecError::DeviceLost(_)) {
-                    self.latch_broken(&e);
-                }
-                return Err(CudadevError::Init(e));
-            }
+            Err(e) if e.is_terminal() => self
+                .recover_terminal(Some(&d), None, "init", &[], e, || {
+                    self.retrying("init", || d.mem_alloc(NUM_LOCKS * 4))
+                })
+                .map_err(|e| match e {
+                    CudadevError::Data(e) => CudadevError::Init(e),
+                    e => e,
+                })?,
+            Err(e) => return Err(CudadevError::Init(e)),
         };
         *self.lib.lock() = Some(Arc::new(CudaDeviceLib::new(lock_area)));
         *slot = Some(d.clone());
@@ -478,17 +523,27 @@ impl CudaDev {
         }
     }
 
-    /// Post-process a driver result: terminal failures latch the device
-    /// broken.
-    fn latch(&self, e: ExecError) -> ExecError {
-        if matches!(e, ExecError::DeviceLost(_)) {
+    /// Post-process a driver result at a site where recovery cannot help
+    /// (e.g. a copy-back whose device-side results are already lost):
+    /// terminal failures latch the device broken. A hang is first booked
+    /// as a watchdog timeout so the stall is visible and charged.
+    fn latch(&self, site: &str, e: ExecError) -> ExecError {
+        if matches!(e, ExecError::Hang(_)) {
+            self.charge_watchdog(site);
+        }
+        if e.is_terminal() {
             self.latch_broken(&e);
         }
         e
     }
 
     /// Latch the device broken, leaving a trace instant the first time.
+    /// Queued async stream work is drained first: its virtual time is
+    /// charged and the stream state cleared, so the host fallback that
+    /// follows starts from a quiesced device rather than re-executing next
+    /// to still-pending transfers.
     fn latch_broken(&self, e: &ExecError) {
+        self.streams.drain_and_clear(&self.clock);
         if !self.is_broken() {
             self.cfg.obs.tracer.instant(
                 self.pid(),
@@ -499,6 +554,7 @@ impl CudaDev {
                 vec![("error", e.to_string().into())],
             );
             self.cfg.obs.metrics.incr(self.pid(), "broken", 1);
+            self.set_breaker(BreakerState::Latched);
         }
         self.mark_broken();
     }
@@ -521,14 +577,20 @@ impl CudaDev {
         kind: MapKind,
     ) -> Result<u64, CudadevError> {
         let device = self.try_device()?;
-        let mut maps = self.maps.lock();
-        if let Some(entry) = maps.get_mut(&host_addr) {
-            entry.refcount += 1;
-            if matches!(kind, MapKind::From | MapKind::ToFrom) {
-                entry.copy_out = true;
+        {
+            let mut maps = self.maps.lock();
+            if let Some(entry) = maps.get_mut(&host_addr) {
+                entry.refcount += 1;
+                if matches!(kind, MapKind::From | MapKind::ToFrom) {
+                    entry.copy_out = true;
+                }
+                return Ok(entry.dev_ptr);
             }
-            return Ok(entry.dev_ptr);
         }
+        // The maps lock is NOT held across the allocation and upload
+        // below: a terminal failure there enters the recovery manager,
+        // which needs the map table to salvage and replay. Regions execute
+        // sequentially on the host thread, so nothing races the gap.
         let obs = &self.cfg.obs;
         let want_in = matches!(kind, MapKind::To | MapKind::ToFrom);
         let mut need_h2d = want_in;
@@ -553,11 +615,26 @@ impl CudaDev {
                 }
                 Some(cached.dev_ptr)
             }
-            None => self.alloc_pressured(&device, len)?,
+            None => match self.alloc_pressured(&device, len) {
+                Ok(p) => p,
+                Err(e) => {
+                    let Some(ex) = e.exec_error().filter(|x| x.is_terminal()).cloned() else {
+                        return Err(e);
+                    };
+                    Some(self.recover_terminal(
+                        Some(&device),
+                        Some(host_mem),
+                        "alloc",
+                        &[],
+                        ex,
+                        || self.retrying("alloc", || device.mem_alloc(len)),
+                    )?)
+                }
+            },
         };
         let Some(dev_ptr) = dev_ptr else {
             // Out of memory even after eviction: pend the mapping.
-            maps.insert(
+            self.maps.lock().insert(
                 host_addr,
                 MapEntry {
                     dev_ptr: 0,
@@ -566,6 +643,7 @@ impl CudaDev {
                     copy_out: matches!(kind, MapKind::From | MapKind::ToFrom),
                     pending: true,
                     host_dirty: false,
+                    device_dirty: false,
                 },
             );
             obs.tracer.instant(
@@ -593,9 +671,25 @@ impl CudaDev {
             host_mem
                 .read_bytes(vmcommon::addr::offset(host_addr), &mut buf)
                 .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
-            self.h2d_copy(&device, dev_ptr, &buf).map_err(|e| self.latch(e))?;
+            if let Err(e) = self.h2d_copy(&device, dev_ptr, &buf) {
+                if e.is_terminal() {
+                    // The buffer just allocated is not in the map table
+                    // yet; `extra` keeps it alive (at the same address)
+                    // across the reset so the probe can re-upload into it.
+                    self.recover_terminal(
+                        Some(&device),
+                        Some(host_mem),
+                        "h2d",
+                        &[(dev_ptr, len)],
+                        e,
+                        || self.h2d_copy(&device, dev_ptr, &buf),
+                    )?;
+                } else {
+                    return Err(CudadevError::Data(e));
+                }
+            }
         }
-        maps.insert(
+        self.maps.lock().insert(
             host_addr,
             MapEntry {
                 dev_ptr,
@@ -604,6 +698,7 @@ impl CudaDev {
                 copy_out: matches!(kind, MapKind::From | MapKind::ToFrom),
                 pending: false,
                 host_dirty: false,
+                device_dirty: false,
             },
         );
         Ok(dev_ptr)
@@ -647,7 +742,7 @@ impl CudaDev {
             && !entry.host_dirty
         {
             let mut buf = vec![0u8; entry.len as usize];
-            self.d2h_copy(&device, entry.dev_ptr, &mut buf).map_err(|e| self.latch(e))?;
+            self.d2h_copy(&device, entry.dev_ptr, &mut buf).map_err(|e| self.latch("d2h", e))?;
             host_mem
                 .write_bytes(vmcommon::addr::offset(host_addr), &buf)
                 .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
@@ -693,9 +788,10 @@ impl CudaDev {
             host_mem
                 .read_bytes(vmcommon::addr::offset(host_addr), &mut buf)
                 .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
-            self.h2d_copy(&device, entry.dev_ptr, &buf).map_err(|e| self.latch(e))?;
-            // The device copy is fresh again.
+            self.h2d_copy(&device, entry.dev_ptr, &buf).map_err(|e| self.latch("h2d", e))?;
+            // The device copy is fresh again — both sides agree.
             entry.host_dirty = false;
+            entry.device_dirty = false;
         } else {
             if entry.host_dirty {
                 // The host side is newer (a fallback recomputed it);
@@ -703,10 +799,14 @@ impl CudaDev {
                 return Ok(());
             }
             let mut buf = vec![0u8; len as usize];
-            self.d2h_copy(&device, entry.dev_ptr, &mut buf).map_err(|e| self.latch(e))?;
+            self.d2h_copy(&device, entry.dev_ptr, &mut buf).map_err(|e| self.latch("d2h", e))?;
             host_mem
                 .write_bytes(vmcommon::addr::offset(host_addr), &buf)
                 .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
+            if len == entry.len {
+                // The host now holds everything the kernel wrote.
+                entry.device_dirty = false;
+            }
         }
         Ok(())
     }
@@ -743,7 +843,7 @@ impl CudaDev {
             vec![("module", name.into())],
         );
         self.retrying("modload", || device.fault_check(FaultSite::ModuleLoad))
-            .map_err(|e| self.latch(e))
+            .map_err(|e| self.latch("modload", e))
             .map_err(|e| load_err(e.to_string()))?;
         let cubin_path = self.cfg.kernel_dir.join(format!("{name}.cubin"));
         let sptx_path = self.cfg.kernel_dir.join(format!("{name}.sptx"));
@@ -816,9 +916,12 @@ impl CudaDev {
     }
 
     /// Launch phase (`cuLaunchKernel`): run `kernel` from module `module`
-    /// with raw parameter bits.
+    /// with raw parameter bits. `host_mem` is the host arena backing the
+    /// mapped data environment — the recovery manager replays device
+    /// buffers from it if the launch dies terminally.
     pub fn launch(
         &self,
+        host_mem: &MemArena,
         module: &str,
         kernel: &str,
         grid: [u32; 3],
@@ -875,12 +978,25 @@ impl CudaDev {
                 return Ok(stats);
             }
             let cfg = LaunchConfig { grid, block, params };
-            let stats = self
-                .retrying("launch", || {
-                    device.set_trace_base(self.launch_base());
-                    gpusim::launch(&device, &m, kernel, &cfg, lib.as_ref(), self.cfg.exec_mode)
-                })
-                .map_err(|e| launch_err(self.latch(e)))?;
+            let mut run = || {
+                device.set_trace_base(self.launch_base());
+                gpusim::launch(&device, &m, kernel, &cfg, lib.as_ref(), self.cfg.exec_mode)
+            };
+            let stats = match self.retrying("launch", &mut run) {
+                Ok(s) => s,
+                Err(e) if e.is_terminal() => self
+                    .recover_terminal(Some(&device), Some(host_mem), "launch", &[], e, || {
+                        self.retrying("launch", &mut run)
+                    })
+                    .map_err(|err| match err {
+                        CudadevError::Data(error) => {
+                            CudadevError::Launch { kernel: kernel.to_string(), error }
+                        }
+                        err => err,
+                    })?,
+                Err(e) => return Err(launch_err(e)),
+            };
+            self.mark_device_dirty_params(&cfg.params);
             let this_cpt = stats.kernel_cycles as f64 / total_threads.max(1) as f64;
             let new_cpt = if cpt > 0.0 { 0.7 * cpt + 0.3 * this_cpt } else { this_cpt };
             self.launch_hist.lock().insert(key, (count + 1, new_cpt));
@@ -889,14 +1005,39 @@ impl CudaDev {
         }
 
         let cfg = LaunchConfig { grid, block, params };
-        let stats = self
-            .retrying("launch", || {
-                device.set_trace_base(self.launch_base());
-                gpusim::launch(&device, &m, kernel, &cfg, lib.as_ref(), self.cfg.exec_mode)
-            })
-            .map_err(|e| launch_err(self.latch(e)))?;
+        let mut run = || {
+            device.set_trace_base(self.launch_base());
+            gpusim::launch(&device, &m, kernel, &cfg, lib.as_ref(), self.cfg.exec_mode)
+        };
+        let stats = match self.retrying("launch", &mut run) {
+            Ok(s) => s,
+            Err(e) if e.is_terminal() => self
+                .recover_terminal(Some(&device), Some(host_mem), "launch", &[], e, || {
+                    self.retrying("launch", &mut run)
+                })
+                .map_err(|err| match err {
+                    CudadevError::Data(error) => {
+                        CudadevError::Launch { kernel: kernel.to_string(), error }
+                    }
+                    err => err,
+                })?,
+            Err(e) => return Err(launch_err(e)),
+        };
+        self.mark_device_dirty_params(&cfg.params);
         self.finish_launch(kernel, &stats);
         Ok(stats)
+    }
+
+    /// After a simulated kernel actually ran, every mapped buffer it was
+    /// handed may have been written: mark them device-dirty so recovery
+    /// salvages them before any reset.
+    fn mark_device_dirty_params(&self, params: &[u64]) {
+        let mut maps = self.maps.lock();
+        for e in maps.values_mut() {
+            if !e.pending && params.contains(&e.dev_ptr) {
+                e.device_dirty = true;
+            }
+        }
     }
 
     /// Trace base for an eager kernel simulation: the synchronous clock,

@@ -119,7 +119,7 @@ impl CudaDev {
                 self.cfg.obs.metrics.incr(self.pid(), "invalid_frees", 1);
                 Err(CudadevError::InvalidFree { dev_ptr })
             }
-            Err(e) => Err(CudadevError::Data(self.latch(e))),
+            Err(e) => Err(CudadevError::Data(self.latch("free", e))),
         }
     }
 
@@ -128,6 +128,8 @@ impl CudaDev {
     /// Allocate `len` bytes, evicting cached buffers (LRU first) while the
     /// arena is out of memory. `Ok(None)` means the arena cannot hold the
     /// buffer even with an empty cache — the mapping goes pending.
+    /// Terminal failures are returned raw (no latch): the caller — `map`
+    /// — hands them to the recovery manager.
     pub(super) fn alloc_pressured(
         &self,
         device: &Arc<Device>,
@@ -141,7 +143,7 @@ impl CudaDev {
                         return Ok(None);
                     }
                 }
-                Err(e) => return Err(CudadevError::Data(self.latch(e))),
+                Err(e) => return Err(CudadevError::Data(e)),
             }
         }
     }
@@ -383,10 +385,11 @@ impl CudaDev {
             host_mem
                 .read_bytes(vmcommon::addr::offset(addr), &mut buf)
                 .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
-            self.h2d_copy(&device, dev_ptr, &buf).map_err(|e| self.latch(e))?;
+            self.h2d_copy(&device, dev_ptr, &buf).map_err(|e| self.latch("h2d", e))?;
             self.cfg.obs.metrics.incr(self.pid(), "dirty_refresh", 1);
             if let Some(e) = self.maps.lock().get_mut(&addr) {
                 e.host_dirty = false;
+                e.device_dirty = false;
             }
         }
         Ok(())
@@ -413,10 +416,14 @@ impl CudaDev {
         let mut synced = 0u64;
         for (host, dev_ptr, len) in live {
             let mut buf = vec![0u8; len as usize];
-            self.d2h_copy(&device, dev_ptr, &mut buf).map_err(|e| self.latch(e))?;
+            self.d2h_copy(&device, dev_ptr, &mut buf).map_err(|e| self.latch("d2h", e))?;
             host_mem
                 .write_bytes(vmcommon::addr::offset(host), &buf)
                 .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
+            if let Some(e) = self.maps.lock().get_mut(&host) {
+                // The host copy is now current.
+                e.device_dirty = false;
+            }
             synced += len;
         }
         self.cfg.obs.metrics.observe(self.pid(), "oom_sync_bytes", synced);
@@ -636,6 +643,15 @@ impl CudaDev {
             for s in &streams {
                 let _ = host_mem.write_bytes(vmcommon::addr::offset(s.host_addr), &s.pristine);
             }
+        } else {
+            // Resident buffers may have been written by the tiled kernel
+            // and have no streamed copy-back; salvage them on any reset.
+            let mut maps = self.maps.lock();
+            for h in &resident {
+                if let Some(e) = maps.get_mut(h) {
+                    e.device_dirty = true;
+                }
+            }
         }
         for s in streams.iter().chain(alt.iter().flat_map(|(a, _)| a.iter())) {
             // Best-effort: on a lost device the frees may fail; the arena
@@ -678,7 +694,7 @@ impl CudaDev {
                     for s in out {
                         self.free_dev(device, s.dev_ptr)?;
                     }
-                    return Err(CudadevError::Data(self.latch(e)));
+                    return Err(CudadevError::Data(self.latch("alloc", e)));
                 }
             }
         }
@@ -788,7 +804,7 @@ impl CudaDev {
             host_mem
                 .read_bytes(vmcommon::addr::offset(s.host_addr) + lo, &mut buf)
                 .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
-            self.h2d_copy(device, s.dev_ptr, &buf).map_err(|e| self.latch(e))?;
+            self.h2d_copy(device, s.dev_ptr, &buf).map_err(|e| self.latch("h2d", e))?;
         }
         Ok(())
     }
@@ -806,7 +822,7 @@ impl CudaDev {
             let lo = (lb * s.row).min(s.len);
             let hi = (ub * s.row).min(s.len);
             let mut buf = vec![0u8; (hi - lo) as usize];
-            self.d2h_copy(device, s.dev_ptr, &mut buf).map_err(|e| self.latch(e))?;
+            self.d2h_copy(device, s.dev_ptr, &mut buf).map_err(|e| self.latch("d2h", e))?;
             host_mem
                 .write_bytes(vmcommon::addr::offset(s.host_addr) + lo, &buf)
                 .map_err(|e| CudadevError::Data(ExecError::Mem(e)))?;
@@ -846,7 +862,7 @@ impl CudaDev {
             })
             .map_err(|e| CudadevError::Launch {
                 kernel: kernel.to_string(),
-                error: self.latch(e),
+                error: self.latch("launch", e),
             })?;
         self.finish_launch(kernel, &stats);
         Ok(())

@@ -84,6 +84,20 @@ impl AsyncState {
     pub(super) fn reset(&self) {
         *self.inner.lock() = Inner::default();
     }
+
+    /// Quiesce the streams before a device reset or a broken-latch: charge
+    /// all queued busy time to the clock, then drop the open region, any
+    /// stream override and a pending `nowait` marker. Queued work was
+    /// executed eagerly, so draining loses no results — but a host
+    /// fallback (or a replayed launch) must not find half a region still
+    /// scheduled on the engines.
+    pub(super) fn drain_and_clear(&self, clock: &Mutex<DevClock>) {
+        let mut inner = self.inner.lock();
+        inner.flush(clock);
+        inner.region = None;
+        inner.overridden = None;
+        inner.nowait = false;
+    }
 }
 
 /// Scoped stream override: restores the previous routing on drop, so

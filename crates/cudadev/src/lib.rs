@@ -17,5 +17,6 @@ pub use devlib::{
 };
 pub use error::CudadevError;
 pub use host::{
-    CudaDev, CudaDevConfig, DevClock, MapKind, PressureOutcome, RetryPolicy, TileParam,
+    BreakerState, CudaDev, CudaDevConfig, DevClock, MapKind, PressureOutcome, RetryPolicy,
+    TileParam,
 };

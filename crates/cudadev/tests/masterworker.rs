@@ -12,6 +12,13 @@ fn compile(src: &str, name: &str) -> sptx::Module {
     m
 }
 
+/// A tiny host arena for `launch` calls: these tests drive raw device
+/// buffers (no mapped data environment), so recovery has nothing to
+/// replay from it.
+fn host_arena() -> vmcommon::MemArena {
+    vmcommon::MemArena::new(4096)
+}
+
 fn fresh_dev() -> CudaDev {
     let base = std::env::temp_dir().join(format!("cudadev-mw-{}-{:p}", std::process::id(), &()));
     CudaDev::new(CudaDevConfig {
@@ -59,12 +66,13 @@ __global__ void kernelFunc0(int *x) {
 }
 "#;
     let dev = fresh_dev();
+    let hm = host_arena();
     let m = compile(src, "fig3");
     dev.register_module(m);
     let d = dev.device();
     let x = d.mem_alloc(4 * 96).unwrap();
     d.memset_d8(x, 0, 4 * 96).unwrap();
-    dev.launch("fig3", "kernelFunc0", [1, 1, 1], [MW_BLOCK_THREADS, 1, 1], vec![x])
+    dev.launch(&hm, "fig3", "kernelFunc0", [1, 1, 1], [MW_BLOCK_THREADS, 1, 1], vec![x])
         .expect("master/worker launch");
     let mut raw = vec![0u8; 4 * 96];
     d.memcpy_d2h(&mut raw, x).unwrap();
@@ -105,10 +113,11 @@ __global__ void k(int *x) {
 }
 "#;
     let dev = fresh_dev();
+    let hm = host_arena();
     dev.register_module(compile(src, "two_regions"));
     let d = dev.device();
     let x = d.mem_alloc(4 * 96).unwrap();
-    dev.launch("two_regions", "k", [1, 1, 1], [128, 1, 1], vec![x]).unwrap();
+    dev.launch(&hm, "two_regions", "k", [1, 1, 1], [128, 1, 1], vec![x]).unwrap();
     let mut raw = vec![0u8; 4 * 96];
     d.memcpy_d2h(&mut raw, x).unwrap();
     for t in 0..96usize {
@@ -142,11 +151,12 @@ __global__ void k(int *x) {
 }
 "#;
     let dev = fresh_dev();
+    let hm = host_arena();
     dev.register_module(compile(src, "partial"));
     let d = dev.device();
     let x = d.mem_alloc(4 * 96).unwrap();
     d.memset_d8(x, 0xff, 4 * 96).unwrap();
-    dev.launch("partial", "k", [1, 1, 1], [128, 1, 1], vec![x]).unwrap();
+    dev.launch(&hm, "partial", "k", [1, 1, 1], [128, 1, 1], vec![x]).unwrap();
     let mut raw = vec![0u8; 4 * 96];
     d.memcpy_d2h(&mut raw, x).unwrap();
     for t in 0..96usize {
@@ -177,12 +187,13 @@ __global__ void cover(int *hits, long total) {
 }
 "#;
     let dev = fresh_dev();
+    let hm = host_arena();
     dev.register_module(compile(src, "cover"));
     let d = dev.device();
     let total = 1000u64;
     let hits = d.mem_alloc(4 * total).unwrap();
     d.memset_d8(hits, 0, 4 * total).unwrap();
-    dev.launch("cover", "cover", [4, 1, 1], [64, 1, 1], vec![hits, total]).unwrap();
+    dev.launch(&hm, "cover", "cover", [4, 1, 1], [64, 1, 1], vec![hits, total]).unwrap();
     let mut raw = vec![0u8; 4 * total as usize];
     d.memcpy_d2h(&mut raw, hits).unwrap();
     for i in 0..total as usize {
@@ -208,13 +219,14 @@ __global__ void dynk(int *hits, long total) {
 }
 "#;
     let dev = fresh_dev();
+    let hm = host_arena();
     dev.register_module(compile(src, "dynk"));
     let d = dev.device();
     let total = 500u64;
     let hits = d.mem_alloc(4 * total).unwrap();
     d.memset_d8(hits, 0, 4 * total).unwrap();
     // Single block: the dynamic counter is per-block state.
-    dev.launch("dynk", "dynk", [1, 1, 1], [128, 1, 1], vec![hits, total]).unwrap();
+    dev.launch(&hm, "dynk", "dynk", [1, 1, 1], [128, 1, 1], vec![hits, total]).unwrap();
     let mut raw = vec![0u8; 4 * total as usize];
     d.memcpy_d2h(&mut raw, hits).unwrap();
     for i in 0..total as usize {
@@ -236,11 +248,12 @@ __global__ void crit(int *acc) {
 }
 "#;
     let dev = fresh_dev();
+    let hm = host_arena();
     dev.register_module(compile(src, "crit"));
     let d = dev.device();
     let acc = d.mem_alloc(4).unwrap();
     d.memset_d8(acc, 0, 4).unwrap();
-    dev.launch("crit", "crit", [2, 1, 1], [64, 1, 1], vec![acc]).unwrap();
+    dev.launch(&hm, "crit", "crit", [2, 1, 1], [64, 1, 1], vec![acc]).unwrap();
     let mut raw = [0u8; 4];
     d.memcpy_d2h(&mut raw, acc).unwrap();
     // One increment per *warp* (lockstep lanes share the critical section,
@@ -266,11 +279,12 @@ __global__ void sec(int *who) {
 }
 "#;
     let dev = fresh_dev();
+    let hm = host_arena();
     dev.register_module(compile(src, "sec"));
     let d = dev.device();
     let who = d.mem_alloc(4 * 4).unwrap();
     d.memset_d8(who, 0xff, 16).unwrap();
-    dev.launch("sec", "sec", [1, 1, 1], [128, 1, 1], vec![who]).unwrap();
+    dev.launch(&hm, "sec", "sec", [1, 1, 1], [128, 1, 1], vec![who]).unwrap();
     let mut raw = vec![0u8; 16];
     d.memcpy_d2h(&mut raw, who).unwrap();
     let winners: Vec<i32> =
@@ -292,11 +306,12 @@ __global__ void sing(int *count) {
 }
 "#;
     let dev = fresh_dev();
+    let hm = host_arena();
     dev.register_module(compile(src, "sing"));
     let d = dev.device();
     let count = d.mem_alloc(4).unwrap();
     d.memset_d8(count, 0, 4).unwrap();
-    dev.launch("sing", "sing", [1, 1, 1], [128, 1, 1], vec![count]).unwrap();
+    dev.launch(&hm, "sing", "sing", [1, 1, 1], [128, 1, 1], vec![count]).unwrap();
     let mut raw = [0u8; 4];
     d.memcpy_d2h(&mut raw, count).unwrap();
     assert_eq!(i32::from_le_bytes(raw), 1);
@@ -380,8 +395,9 @@ fn load_module_from_disk_both_modes() {
     let d = dev.device();
     let a = d.mem_alloc(4 * 32).unwrap();
 
-    dev.launch("mod_cubin", "k", [1, 1, 1], [32, 1, 1], vec![a]).unwrap();
-    dev.launch("mod_ptx", "k", [1, 1, 1], [32, 1, 1], vec![a]).unwrap();
+    let hm = host_arena();
+    dev.launch(&hm, "mod_cubin", "k", [1, 1, 1], [32, 1, 1], vec![a]).unwrap();
+    dev.launch(&hm, "mod_ptx", "k", [1, 1, 1], [32, 1, 1], vec![a]).unwrap();
     let clk = dev.clock.lock();
     assert_eq!(clk.jit_compiles, 1, "PTX path must JIT once");
     assert_eq!(clk.launches, 2);

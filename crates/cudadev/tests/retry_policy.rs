@@ -1,0 +1,107 @@
+//! Property tests for the transient-retry backoff schedule — hand-rolled
+//! generation (a seeded xorshift over random policies), no external
+//! property-testing dependency.
+//!
+//! For every policy the schedule `delay(1) .. delay(max_retries)` must be
+//! (1) monotone non-decreasing, (2) capped at `max_delay_ms`, and
+//! (3) bounded in total: the whole retry budget terminates within
+//! `max_retries * max_delay_ms` of simulated waiting.
+
+use std::time::Duration;
+
+use cudadev::RetryPolicy;
+
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> XorShift64 {
+        XorShift64(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform-ish draw in `0..=max`.
+    fn upto(&mut self, max: u64) -> u64 {
+        self.next() % (max + 1)
+    }
+}
+
+fn random_policy(rng: &mut XorShift64) -> RetryPolicy {
+    RetryPolicy {
+        max_retries: rng.upto(20) as u32,
+        base_delay_ms: rng.upto(50),
+        max_delay_ms: rng.upto(200),
+    }
+}
+
+#[test]
+fn backoff_schedule_is_monotone_capped_and_bounded() {
+    let mut rng = XorShift64::new(0x5eed_0f2e_7279_a100);
+    for case in 0..1000 {
+        let p = random_policy(&mut rng);
+        let delays: Vec<Duration> = (1..=p.max_retries).map(|k| p.delay(k)).collect();
+
+        for (i, w) in delays.windows(2).enumerate() {
+            assert!(
+                w[0] <= w[1],
+                "case {case} {p:?}: delay({}) = {:?} > delay({}) = {:?}",
+                i + 1,
+                w[0],
+                i + 2,
+                w[1]
+            );
+        }
+        for (i, d) in delays.iter().enumerate() {
+            assert!(
+                d.as_millis() as u64 <= p.max_delay_ms,
+                "case {case} {p:?}: delay({}) = {d:?} exceeds the cap",
+                i + 1
+            );
+        }
+        let total: Duration = delays.iter().sum();
+        assert!(
+            total <= Duration::from_millis(p.max_retries as u64 * p.max_delay_ms),
+            "case {case} {p:?}: total backoff {total:?} exceeds the budget"
+        );
+    }
+}
+
+/// The shift that grows the delay saturates: absurdly large attempt
+/// numbers neither overflow nor shrink the delay back down.
+#[test]
+fn backoff_saturates_for_large_attempt_numbers() {
+    let mut rng = XorShift64::new(0xdead_5eed);
+    for _ in 0..200 {
+        let p = random_policy(&mut rng);
+        let plateau = p.delay(17);
+        for attempt in [18, 100, 1 << 20, u32::MAX] {
+            assert_eq!(p.delay(attempt), plateau, "{p:?}: delay must plateau, not wrap");
+        }
+        assert!(plateau.as_millis() as u64 <= p.max_delay_ms);
+    }
+}
+
+/// Degenerate corners hold exactly: a zero-retry policy has an empty
+/// schedule, and a zero-cap policy never waits at all.
+#[test]
+fn backoff_degenerate_policies() {
+    let none = RetryPolicy { max_retries: 0, base_delay_ms: 5, max_delay_ms: 50 };
+    assert_eq!((1..=none.max_retries).count(), 0);
+
+    let capped = RetryPolicy { max_retries: 8, base_delay_ms: 9, max_delay_ms: 0 };
+    for k in 1..=capped.max_retries {
+        assert_eq!(capped.delay(k), Duration::ZERO);
+    }
+
+    let free = RetryPolicy { max_retries: 8, base_delay_ms: 0, max_delay_ms: 100 };
+    for k in 1..=free.max_retries {
+        assert_eq!(free.delay(k), Duration::ZERO, "zero base never backs off");
+    }
+}

@@ -27,6 +27,10 @@ impl DeviceModule for CudaDev {
         CudaDev::is_broken(self)
     }
 
+    fn breaker_state(&self) -> cudadev::BreakerState {
+        CudaDev::breaker_state(self)
+    }
+
     fn mark_broken(&self) {
         CudaDev::mark_broken(self)
     }
@@ -98,13 +102,14 @@ impl DeviceModule for CudaDev {
 
     fn launch(
         &self,
+        host_mem: &MemArena,
         module: &str,
         kernel: &str,
         grid: [u32; 3],
         block: [u32; 3],
         params: Vec<u64>,
     ) -> Result<LaunchStats, CudadevError> {
-        CudaDev::launch(self, module, kernel, grid, block, params)
+        CudaDev::launch(self, host_mem, module, kernel, grid, block, params)
     }
 
     fn stream_region_begin(&self) {

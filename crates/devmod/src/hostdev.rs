@@ -115,6 +115,7 @@ impl DeviceModule for HostDevice {
 
     fn launch(
         &self,
+        _host_mem: &MemArena,
         _module: &str,
         kernel: &str,
         _grid: [u32; 3],

@@ -20,7 +20,7 @@
 
 use std::sync::Arc;
 
-use cudadev::{CudadevError, DevClock, MapKind, PressureOutcome, TileParam};
+use cudadev::{BreakerState, CudadevError, DevClock, MapKind, PressureOutcome, TileParam};
 use gpusim::LaunchStats;
 use vmcommon::MemArena;
 
@@ -56,6 +56,17 @@ pub trait DeviceModule: Send + Sync {
 
     /// Has a terminal failure latched this device broken?
     fn is_broken(&self) -> bool;
+
+    /// Health state of the device's recovery circuit breaker. Modules
+    /// without a recovery manager report the latch directly: broken maps
+    /// to `Latched`, everything else to `Closed`.
+    fn breaker_state(&self) -> BreakerState {
+        if self.is_broken() {
+            BreakerState::Latched
+        } else {
+            BreakerState::Closed
+        }
+    }
 
     /// Latch the device broken; all further operations fail fast.
     fn mark_broken(&self);
@@ -128,9 +139,13 @@ pub trait DeviceModule: Send + Sync {
     /// Loading phase: find and load the kernel module `name`.
     fn load_module(&self, name: &str) -> Result<Arc<sptx::Module>, CudadevError>;
 
-    /// Launch phase (`cuLaunchKernel`).
+    /// Launch phase (`cuLaunchKernel`). `host_mem` backs the mapped data
+    /// environment; a module with a recovery manager replays device
+    /// buffers from it when the launch dies terminally.
+    #[allow(clippy::too_many_arguments)]
     fn launch(
         &self,
+        host_mem: &MemArena,
         module: &str,
         kernel: &str,
         grid: [u32; 3],

@@ -199,6 +199,7 @@ mod tests {
         }
         fn launch(
             &self,
+            _mem: &MemArena,
             _m: &str,
             k: &str,
             _g: [u32; 3],

@@ -65,12 +65,22 @@ pub enum ExecError {
     Transient(String),
     /// The device is gone for good; retrying is pointless.
     DeviceLost(String),
+    /// The operation never completes. In-place retry is pointless; the
+    /// host driver's watchdog converts this into a timeout and attempts
+    /// reset-and-replay recovery.
+    Hang(String),
 }
 
 impl ExecError {
     /// Is this error worth retrying?
     pub fn is_transient(&self) -> bool {
         matches!(self, ExecError::Transient(_))
+    }
+
+    /// Does this error mean the device can make no further progress
+    /// without intervention (reset-and-replay, or the broken latch)?
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, ExecError::DeviceLost(_) | ExecError::Hang(_))
     }
 }
 
@@ -93,6 +103,7 @@ impl std::fmt::Display for ExecError {
             ExecError::BadLaunch(m) => write!(f, "invalid launch: {m}"),
             ExecError::Transient(m) => write!(f, "transient device fault: {m}"),
             ExecError::DeviceLost(m) => write!(f, "device lost: {m}"),
+            ExecError::Hang(m) => write!(f, "device hang: {m}"),
         }
     }
 }
@@ -248,6 +259,28 @@ impl Device {
         }
     }
 
+    /// Device reset (`cuDevicePrimaryCtxReset`): drop the allocator state
+    /// so all device allocations are gone. The fault plan (and its call
+    /// counters), cumulative stats and trace context survive — a reset
+    /// clears the device, not the experiment. Arena contents are left as
+    /// garbage; the recovery manager re-reserves and re-uploads what it
+    /// needs via [`Device::reserve_at`].
+    pub fn reset(&self) {
+        *self.alloc.lock() = BlockAllocator::new(256, self.global.size() as u64 - 256);
+    }
+
+    /// Re-reserve `size` bytes at the exact device address `ptr` after a
+    /// [`Device::reset`]. Driver-internal bookkeeping reconstruction, not
+    /// a guest-visible API call — it does not consult the fault plan, so
+    /// replay never perturbs call numbering.
+    pub fn reserve_at(&self, ptr: u64, size: u64) -> Result<(), ExecError> {
+        if addr::space(ptr) != Some(Space::Global) {
+            return Err(ExecError::Trap(format!("reserve of non-device pointer {ptr:#x}")));
+        }
+        self.alloc.lock().alloc_at(addr::offset(ptr), size)?;
+        Ok(())
+    }
+
     /// `cuMemFree`.
     pub fn mem_free(&self, ptr: u64) -> Result<(), ExecError> {
         self.fault_check(FaultSite::Free).map_err(|_| {
@@ -377,6 +410,30 @@ mod tests {
     fn oom_reported() {
         let d = Device::new(1 << 16);
         assert!(d.mem_alloc(1 << 20).is_err());
+    }
+
+    /// After a reset, every prior allocation is gone and `reserve_at`
+    /// brings blocks back at their exact old addresses — the basis of the
+    /// recovery manager's mapping replay.
+    #[test]
+    fn reset_then_reserve_at_restores_addresses() {
+        let d = Device::new(1 << 20);
+        let a = d.mem_alloc(1000).unwrap();
+        let b = d.mem_alloc(4096).unwrap();
+        d.mem_free(a).unwrap();
+        let in_use = d.mem_in_use();
+
+        d.reset();
+        assert_eq!(d.mem_in_use(), 0, "reset clears all allocations");
+        d.reserve_at(b, 4096).unwrap();
+        assert_eq!(d.mem_in_use(), in_use, "the layout is reconstructible");
+        // The reserved block is a real allocation again: readable, and
+        // freeable exactly once.
+        d.memcpy_h2d(b, &[7u8; 16]).unwrap();
+        d.mem_free(b).unwrap();
+        assert!(d.mem_free(b).is_err());
+        // A hole that was free before the reset is allocatable.
+        assert_eq!(d.mem_alloc(1000).unwrap(), a);
     }
 
     #[test]

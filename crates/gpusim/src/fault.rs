@@ -5,7 +5,7 @@
 //! Plans are deterministic: the `n`-th call to a site always behaves the
 //! same for a given plan, so robustness tests are exactly reproducible.
 //!
-//! Rules come in two flavours, mirroring real driver failure modes:
+//! Rules come in three flavours, mirroring real driver failure modes:
 //!
 //! * **transient** — a bounded run of failing calls (`times` finite), e.g.
 //!   a launch that fails twice and then succeeds. Surfaced as
@@ -13,10 +13,13 @@
 //! * **terminal** — the site fails forever (`times == None`), e.g. a dead
 //!   device. Surfaced as [`ExecError::DeviceLost`] so callers give up and
 //!   fall back to the host.
+//! * **hang** — the call never completes. Surfaced as [`ExecError::Hang`];
+//!   the host driver's watchdog converts it into a timeout and attempts
+//!   reset-and-replay recovery.
 //!
 //! The compact plan syntax (also accepted from the `OMPI_FAULT_PLAN`
 //! environment variable) is a comma-separated list of
-//! `[devN:]site@first[xCOUNT|x*]`:
+//! `[devN:][hang@]site[@first[xCOUNT|x*]]`:
 //!
 //! ```text
 //! launch@2x3        calls 2,3,4 to `launch` fail transiently
@@ -25,7 +28,13 @@
 //! launch@2x3,h2d@5  both of the above
 //! dev1:launch@1x*   device 1's launches fail terminally; other devices
 //!                   are untouched
+//! hang@launch       the first launch hangs (watchdog timeout)
+//! hang@h2d@2x2      H2D copies 2 and 3 hang
 //! ```
+//!
+//! A plan of the form `chaos:<seed>` instead generates a seeded random —
+//! but completion-safe — rule mix via [`FaultPlan::chaos`]; see the chaos
+//! soak harness.
 //!
 //! In a multi-device registry each device materializes its own plan with
 //! [`FaultPlan::parse_for_device`]: `devN:` rules apply only to device `N`,
@@ -33,6 +42,8 @@
 //! single-device plans backward compatible.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use vmcommon::rng::XorShift64;
 
 use crate::device::ExecError;
 
@@ -115,6 +126,15 @@ impl std::fmt::Display for FaultSite {
     }
 }
 
+/// What a firing rule does to the call: fail it with an error, or never
+/// complete it (the host watchdog turns hangs into timeouts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FaultKind {
+    #[default]
+    Error,
+    Hang,
+}
+
 /// One injection rule: calls `first .. first+times` (1-based, half-open in
 /// count) to `site` fail. `times == None` means "forever" — a terminal
 /// fault.
@@ -125,6 +145,8 @@ pub struct FaultRule {
     pub first: u64,
     /// How many consecutive calls fail; `None` = all subsequent calls.
     pub times: Option<u64>,
+    /// Error out, or hang until the watchdog fires.
+    pub kind: FaultKind,
 }
 
 impl FaultRule {
@@ -137,12 +159,25 @@ impl FaultRule {
     pub fn is_terminal(&self) -> bool {
         self.times.is_none()
     }
+
+    /// Hang rules stall the call instead of erroring it.
+    pub fn is_hang(&self) -> bool {
+        self.kind == FaultKind::Hang
+    }
 }
 
 impl std::fmt::Display for FaultRule {
-    /// The plan syntax this rule parses back from: `site@first[xN|x*]`
-    /// (a one-shot rule omits the `x1`, matching what `parse` accepts).
+    /// The plan syntax this rule parses back from:
+    /// `[hang@]site[@first[xN|x*]]` (a one-shot rule omits the `x1`, and a
+    /// one-shot hang on the first call omits the whole `@first` spec,
+    /// matching what `parse` accepts).
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_hang() {
+            f.write_str("hang@")?;
+            if (self.first, self.times) == (1, Some(1)) {
+                return write!(f, "{}", self.site);
+            }
+        }
         write!(f, "{}@{}", self.site, self.first)?;
         match self.times {
             Some(1) => Ok(()),
@@ -151,6 +186,69 @@ impl std::fmt::Display for FaultRule {
         }
     }
 }
+
+/// A malformed fault plan, with the offending part preserved so the
+/// runner can surface a precise message instead of aborting mid-parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// A `pre:` prefix that is not `devN:`.
+    BadDevicePrefix { part: String, prefix: String },
+    /// No `@` between the site name and the call number.
+    MissingSeparator { part: String },
+    /// A site name that is not in [`FaultSite::ALL`].
+    UnknownSite { part: String, site: String },
+    /// An `xN` repeat count that is not a number.
+    BadRepeatCount { part: String, count: String },
+    /// `x0`: a repeat count of zero.
+    ZeroRepeatCount { part: String },
+    /// An `@first` call number that is not a number.
+    BadCallNumber { part: String, number: String },
+    /// `@0`: call numbers are 1-based.
+    ZeroCallNumber { part: String },
+    /// Two rules for the same site on the same device.
+    DuplicateRule { part: String, site: FaultSite, device: u32 },
+    /// A `chaos:<seed>` plan whose seed is not an unsigned integer.
+    BadChaosSeed { seed: String },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::BadDevicePrefix { part, prefix } => {
+                write!(f, "fault rule `{part}`: bad device prefix `{prefix}:` (expected `devN:`)")
+            }
+            FaultPlanError::MissingSeparator { part } => {
+                write!(f, "fault rule `{part}`: expected `site@first[xN|x*]`")
+            }
+            FaultPlanError::UnknownSite { part, site } => {
+                write!(f, "fault rule `{part}`: unknown site `{site}`")
+            }
+            FaultPlanError::BadRepeatCount { part, count } => {
+                write!(f, "fault rule `{part}`: bad repeat count `{count}`")
+            }
+            FaultPlanError::ZeroRepeatCount { part } => {
+                write!(f, "fault rule `{part}`: repeat count must be at least 1")
+            }
+            FaultPlanError::BadCallNumber { part, number } => {
+                write!(f, "fault rule `{part}`: bad call number `{number}`")
+            }
+            FaultPlanError::ZeroCallNumber { part } => {
+                write!(f, "fault rule `{part}`: call numbers are 1-based")
+            }
+            FaultPlanError::DuplicateRule { part, site, device } => {
+                write!(
+                    f,
+                    "fault rule `{part}`: duplicate rule for site `{site}` on device {device}"
+                )
+            }
+            FaultPlanError::BadChaosSeed { seed } => {
+                write!(f, "fault plan `chaos:{seed}`: seed must be an unsigned integer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 /// A deterministic fault plan: a rule list plus per-site call counters.
 ///
@@ -171,7 +269,7 @@ impl FaultPlan {
 
     /// Parse the compact plan syntax (see module docs) for the default
     /// device: `devN:` rules other than `dev0:` are validated but dropped.
-    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+    pub fn parse(text: &str) -> Result<FaultPlan, FaultPlanError> {
         FaultPlan::parse_for_device(text, 0)
     }
 
@@ -179,8 +277,16 @@ impl FaultPlan {
     /// device `dev`: rules prefixed `dev<N>:` apply to device `N`,
     /// unprefixed rules apply to the default device (device 0). Every part
     /// is validated even when it targets another device, so a typo never
-    /// silently disables injection.
-    pub fn parse_for_device(text: &str, dev: u32) -> Result<FaultPlan, String> {
+    /// silently disables injection. A `chaos:<seed>` plan instead expands
+    /// to [`FaultPlan::chaos`] for this device.
+    pub fn parse_for_device(text: &str, dev: u32) -> Result<FaultPlan, FaultPlanError> {
+        if let Some(seed) = text.trim().strip_prefix("chaos:") {
+            let seed: u64 = seed
+                .trim()
+                .parse()
+                .map_err(|_| FaultPlanError::BadChaosSeed { seed: seed.trim().into() })?;
+            return Ok(FaultPlan::chaos(seed, dev));
+        }
         let mut rules = Vec::new();
         let mut seen: Vec<(u32, FaultSite)> = Vec::new();
         for part in text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
@@ -189,10 +295,11 @@ impl FaultPlan {
             // counter with no defined precedence — reject the plan.
             let key = (scope.unwrap_or(0), rule.site);
             if seen.contains(&key) {
-                return Err(format!(
-                    "fault rule `{part}`: duplicate rule for site `{}` on device {}",
-                    rule.site, key.0
-                ));
+                return Err(FaultPlanError::DuplicateRule {
+                    part: part.into(),
+                    site: rule.site,
+                    device: key.0,
+                });
             }
             seen.push(key);
             if key.0 == dev {
@@ -203,25 +310,74 @@ impl FaultPlan {
     }
 
     /// Plan from the `OMPI_FAULT_PLAN` environment variable, if set.
-    /// A malformed plan aborts loudly rather than silently running
-    /// fault-free.
-    pub fn from_env() -> Option<FaultPlan> {
+    /// `Ok(None)` when the variable is unset or empty; a malformed plan is
+    /// a typed error for the caller to surface (never a silent fault-free
+    /// run).
+    pub fn from_env() -> Result<Option<FaultPlan>, FaultPlanError> {
         FaultPlan::from_env_for_device(0)
     }
 
     /// Per-device variant of [`FaultPlan::from_env`]: the plan a registry
-    /// device `dev` derives from `OMPI_FAULT_PLAN`. `None` when the
+    /// device `dev` derives from `OMPI_FAULT_PLAN`. `Ok(None)` when the
     /// variable is unset, empty, or has no rules for this device.
-    pub fn from_env_for_device(dev: u32) -> Option<FaultPlan> {
-        let text = std::env::var("OMPI_FAULT_PLAN").ok()?;
+    pub fn from_env_for_device(dev: u32) -> Result<Option<FaultPlan>, FaultPlanError> {
+        let Ok(text) = std::env::var("OMPI_FAULT_PLAN") else { return Ok(None) };
         if text.trim().is_empty() {
-            return None;
+            return Ok(None);
         }
         match FaultPlan::parse_for_device(&text, dev) {
-            Ok(p) if p.rules.is_empty() => None,
-            Ok(p) => Some(p),
-            Err(e) => panic!("OMPI_FAULT_PLAN: {e}"),
+            Ok(p) if p.rules.is_empty() => Ok(None),
+            other => other.map(Some),
         }
+    }
+
+    /// A seeded random — but *completion-safe* — plan for the chaos soak
+    /// harness (`OMPI_FAULT_PLAN=chaos:<seed>`): 2–4 rules, at most one
+    /// per site, drawn so that every run still completes with bit-exact
+    /// results. Concretely:
+    ///
+    /// * transient windows stay within the default retry budget (≤ 3),
+    /// * hang windows stay under the default reset budget (≤ 2 in a row),
+    ///   so reset-and-replay recovers them,
+    /// * terminal rules fire from call #1 only — the device never commits
+    ///   partial work, so the whole app cleanly degrades to the host — and
+    ///   never on `d2h`, whose mid-run loss could strand a partial commit
+    ///   as a (deliberate) hard error,
+    /// * arena-pressure rules only shrink memory, pushing runs down the
+    ///   governor's degradation ladder.
+    ///
+    /// The device id is folded into the seed so a multi-device registry
+    /// does not replay one device's plan on all of them.
+    pub fn chaos(seed: u64, dev: u32) -> FaultPlan {
+        let mut rng = XorShift64::new(seed ^ (dev as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let n_rules = 2 + rng.below(3);
+        let mut rules: Vec<FaultRule> = Vec::new();
+        for _ in 0..n_rules {
+            let roll = rng.below(100);
+            let (kind, site, first, times) = if roll < 40 {
+                let site = [
+                    FaultSite::Launch,
+                    FaultSite::H2D,
+                    FaultSite::D2H,
+                    FaultSite::Alloc,
+                    FaultSite::ModuleLoad,
+                ];
+                (FaultKind::Error, *rng.pick(&site), rng.range_u64(1, 7), Some(rng.range_u64(1, 4)))
+            } else if roll < 70 {
+                let site = [FaultSite::Launch, FaultSite::H2D, FaultSite::Alloc];
+                (FaultKind::Hang, *rng.pick(&site), rng.range_u64(1, 5), Some(rng.range_u64(1, 3)))
+            } else if roll < 85 {
+                (FaultKind::Error, FaultSite::Arena, rng.range_u64(1, 4), Some(rng.range_u64(1, 3)))
+            } else {
+                let site = [FaultSite::Launch, FaultSite::H2D, FaultSite::Alloc, FaultSite::Init];
+                (FaultKind::Error, *rng.pick(&site), 1, None)
+            };
+            if rules.iter().any(|r| r.site == site) {
+                continue;
+            }
+            rules.push(FaultRule { site, first, times, kind });
+        }
+        FaultPlan::new(rules)
     }
 
     /// Record one call to `site` and return the injected error, if any.
@@ -232,6 +388,9 @@ impl FaultPlan {
         let n = self.counters[site.index()].fetch_add(1, Ordering::AcqRel) + 1;
         for rule in &self.rules {
             if rule.site == site && rule.fires(n) {
+                if rule.is_hang() {
+                    return Err(ExecError::Hang(format!("injected hang: {site} call #{n}")));
+                }
                 let msg = format!("injected fault: {site} call #{n}");
                 return Err(if rule.is_terminal() {
                     ExecError::DeviceLost(msg)
@@ -272,9 +431,9 @@ impl std::fmt::Display for FaultPlan {
     }
 }
 
-/// Parse one `[devN:]site@first[xN|x*]` part into its device scope
-/// (`None` = unprefixed, i.e. the default device) and rule.
-fn parse_scoped_rule(part: &str) -> Result<(Option<u32>, FaultRule), String> {
+/// Parse one `[devN:][hang@]site[@first[xN|x*]]` part into its device
+/// scope (`None` = unprefixed, i.e. the default device) and rule.
+fn parse_scoped_rule(part: &str) -> Result<(Option<u32>, FaultRule), FaultPlanError> {
     let (scope, body) = match part.split_once(':') {
         Some((pre, rest)) => {
             let id = pre
@@ -282,28 +441,40 @@ fn parse_scoped_rule(part: &str) -> Result<(Option<u32>, FaultRule), String> {
                 .strip_prefix("dev")
                 .filter(|n| !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()))
                 .and_then(|n| n.parse::<u32>().ok())
-                .ok_or_else(|| {
-                    format!("fault rule `{part}`: bad device prefix `{pre}:` (expected `devN:`)")
+                .ok_or_else(|| FaultPlanError::BadDevicePrefix {
+                    part: part.into(),
+                    prefix: pre.into(),
                 })?;
             (Some(id), rest)
         }
         None => (None, part),
     };
-    let (site, rest) = body
-        .split_once('@')
-        .ok_or_else(|| format!("fault rule `{part}`: expected `site@first[xN|x*]`"))?;
+    let (kind, body) = match body.trim().strip_prefix("hang@") {
+        Some(rest) => (FaultKind::Hang, rest),
+        None => (FaultKind::Error, body),
+    };
+    let (site, rest) = match body.split_once('@') {
+        Some((site, rest)) => (site, Some(rest)),
+        // A bare site is only valid for hangs: `hang@launch` means "the
+        // first call hangs, once". Error rules keep requiring a spec.
+        None if kind == FaultKind::Hang => (body, None),
+        None => return Err(FaultPlanError::MissingSeparator { part: part.into() }),
+    };
     let site = FaultSite::from_name(site.trim())
-        .ok_or_else(|| format!("fault rule `{part}`: unknown site `{site}`"))?;
+        .ok_or_else(|| FaultPlanError::UnknownSite { part: part.into(), site: site.into() })?;
+    let Some(rest) = rest else {
+        return Ok((scope, FaultRule { site, first: 1, times: Some(1), kind }));
+    };
     let (first, times) = match rest.split_once('x') {
         None => (rest, Some(1)),
         Some((f, "*")) => (f, None),
         Some((f, n)) => {
-            let n: u64 = n
-                .trim()
-                .parse()
-                .map_err(|_| format!("fault rule `{part}`: bad repeat count `{n}`"))?;
+            let n: u64 = n.trim().parse().map_err(|_| FaultPlanError::BadRepeatCount {
+                part: part.into(),
+                count: n.into(),
+            })?;
             if n == 0 {
-                return Err(format!("fault rule `{part}`: repeat count must be at least 1"));
+                return Err(FaultPlanError::ZeroRepeatCount { part: part.into() });
             }
             (f, Some(n))
         }
@@ -311,16 +482,20 @@ fn parse_scoped_rule(part: &str) -> Result<(Option<u32>, FaultRule), String> {
     let first: u64 = first
         .trim()
         .parse()
-        .map_err(|_| format!("fault rule `{part}`: bad call number `{first}`"))?;
+        .map_err(|_| FaultPlanError::BadCallNumber { part: part.into(), number: first.into() })?;
     if first == 0 {
-        return Err(format!("fault rule `{part}`: call numbers are 1-based"));
+        return Err(FaultPlanError::ZeroCallNumber { part: part.into() });
     }
-    Ok((scope, FaultRule { site, first, times }))
+    Ok((scope, FaultRule { site, first, times, kind }))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn rule(site: FaultSite, first: u64, times: Option<u64>) -> FaultRule {
+        FaultRule { site, first, times, kind: FaultKind::Error }
+    }
 
     #[test]
     fn parse_compact_syntax() {
@@ -328,11 +503,48 @@ mod tests {
         assert_eq!(
             p.rules(),
             &[
-                FaultRule { site: FaultSite::Launch, first: 2, times: Some(3) },
-                FaultRule { site: FaultSite::Alloc, first: 1, times: None },
-                FaultRule { site: FaultSite::H2D, first: 5, times: Some(1) },
+                rule(FaultSite::Launch, 2, Some(3)),
+                rule(FaultSite::Alloc, 1, None),
+                rule(FaultSite::H2D, 5, Some(1)),
             ]
         );
+    }
+
+    #[test]
+    fn parse_hang_rules() {
+        let p = FaultPlan::parse("hang@launch, hang@h2d@2x2, dev1:hang@alloc@3x*").unwrap();
+        assert_eq!(
+            p.rules(),
+            &[
+                FaultRule {
+                    site: FaultSite::Launch,
+                    first: 1,
+                    times: Some(1),
+                    kind: FaultKind::Hang
+                },
+                FaultRule { site: FaultSite::H2D, first: 2, times: Some(2), kind: FaultKind::Hang },
+            ]
+        );
+        let p1 = FaultPlan::parse_for_device("dev1:hang@alloc@3x*", 1).unwrap();
+        assert_eq!(
+            p1.rules(),
+            &[FaultRule { site: FaultSite::Alloc, first: 3, times: None, kind: FaultKind::Hang }]
+        );
+        // A bare site without a hang prefix still needs its `@first` spec.
+        assert!(FaultPlan::parse("launch").is_err());
+        assert!(FaultPlan::parse("hang@nosite").is_err());
+        assert!(FaultPlan::parse("hang@launch@0").is_err());
+    }
+
+    #[test]
+    fn hang_rules_surface_as_hang_errors() {
+        let p = FaultPlan::parse("hang@launch@2").unwrap();
+        assert!(p.check(FaultSite::Launch).is_ok());
+        let e = p.check(FaultSite::Launch).unwrap_err();
+        assert!(matches!(e, ExecError::Hang(_)), "expected a hang, got {e}");
+        assert!(!e.is_transient(), "hangs are not retryable in place");
+        assert!(e.is_terminal(), "hangs need watchdog intervention");
+        assert!(p.check(FaultSite::Launch).is_ok(), "one-shot hang window closes");
     }
 
     #[test]
@@ -349,7 +561,7 @@ mod tests {
     fn parse_rejects_zero_repeat_count() {
         // `x0` used to be silently clamped to `x1`; it must be an error.
         let err = FaultPlan::parse("launch@1x0").unwrap_err();
-        assert!(err.contains("repeat count"), "descriptive message, got: {err}");
+        assert!(err.to_string().contains("repeat count"), "descriptive message, got: {err}");
         assert!(FaultPlan::parse("dev1:h2d@2x0").is_err(), "scoped rules validate too");
         assert!(FaultPlan::parse("launch@1x00").is_err());
     }
@@ -364,9 +576,75 @@ mod tests {
             ("launch@0", "1-based"),
             ("launch@", "call number"),
         ] {
-            let err = FaultPlan::parse(bad).unwrap_err();
+            let err = FaultPlan::parse(bad).unwrap_err().to_string();
             assert!(err.contains(needle), "`{bad}` error should mention `{needle}`, got: {err}");
         }
+    }
+
+    /// The parse error is a typed value, not a bare string: callers can
+    /// match on the malformation class and the offending part survives.
+    #[test]
+    fn parse_errors_are_typed() {
+        assert_eq!(
+            FaultPlan::parse("launch@").unwrap_err(),
+            FaultPlanError::BadCallNumber { part: "launch@".into(), number: "".into() }
+        );
+        assert_eq!(
+            FaultPlan::parse("launch@1xz").unwrap_err(),
+            FaultPlanError::BadRepeatCount { part: "launch@1xz".into(), count: "z".into() }
+        );
+        assert_eq!(
+            FaultPlan::parse("h2d@5, nosite@1").unwrap_err(),
+            FaultPlanError::UnknownSite { part: "nosite@1".into(), site: "nosite".into() }
+        );
+        assert_eq!(
+            FaultPlan::parse("launch@1, launch@2").unwrap_err(),
+            FaultPlanError::DuplicateRule {
+                part: "launch@2".into(),
+                site: FaultSite::Launch,
+                device: 0
+            }
+        );
+        assert_eq!(
+            FaultPlan::parse("chaos:pi").unwrap_err(),
+            FaultPlanError::BadChaosSeed { seed: "pi".into() }
+        );
+    }
+
+    /// Chaos plans are deterministic per (seed, device) and only contain
+    /// completion-safe rules (see `FaultPlan::chaos`).
+    #[test]
+    fn chaos_plans_are_deterministic_and_safe() {
+        for seed in 0..200u64 {
+            let p = FaultPlan::chaos(seed, 0);
+            let q = FaultPlan::parse_for_device(&format!("chaos:{seed}"), 0).unwrap();
+            assert_eq!(p.rules(), q.rules(), "seed {seed}: parse must reproduce chaos()");
+            assert!(!p.rules().is_empty(), "seed {seed}: at least one rule");
+            assert!(p.rules().len() <= 4, "seed {seed}: at most four rules");
+            for r in p.rules() {
+                let sites: Vec<_> = p.rules().iter().filter(|o| o.site == r.site).collect();
+                assert_eq!(sites.len(), 1, "seed {seed}: one rule per site");
+                match (r.kind, r.times) {
+                    (FaultKind::Hang, Some(t)) => assert!(t <= 2, "seed {seed}: hang window"),
+                    (FaultKind::Hang, None) => panic!("seed {seed}: terminal hangs are unsafe"),
+                    (FaultKind::Error, Some(t)) => {
+                        assert!(t <= 3, "seed {seed}: transient window exceeds retry budget")
+                    }
+                    (FaultKind::Error, None) => {
+                        assert_eq!(r.first, 1, "seed {seed}: terminal rules fire from call #1");
+                        assert_ne!(
+                            r.site,
+                            FaultSite::D2H,
+                            "seed {seed}: terminal d2h strands partial commits"
+                        );
+                    }
+                }
+            }
+        }
+        // Distinct devices get distinct plans for the same seed (usually).
+        let differs =
+            (0..32u64).any(|s| FaultPlan::chaos(s, 0).rules() != FaultPlan::chaos(s, 1).rules());
+        assert!(differs, "device id must be folded into the chaos seed");
     }
 
     #[test]
@@ -374,10 +652,7 @@ mod tests {
         let p = FaultPlan::parse("arena@2,free@1x*").unwrap();
         assert_eq!(
             p.rules(),
-            &[
-                FaultRule { site: FaultSite::Arena, first: 2, times: Some(1) },
-                FaultRule { site: FaultSite::Free, first: 1, times: None },
-            ]
+            &[rule(FaultSite::Arena, 2, Some(1)), rule(FaultSite::Free, 1, None)]
         );
         assert!(p.check(FaultSite::Arena).is_ok());
         assert!(p.check(FaultSite::Arena).is_err());
@@ -418,13 +693,10 @@ mod tests {
         let p0 = FaultPlan::parse_for_device(text, 0).unwrap();
         assert_eq!(
             p0.rules(),
-            &[
-                FaultRule { site: FaultSite::Launch, first: 2, times: Some(3) },
-                FaultRule { site: FaultSite::H2D, first: 5, times: Some(1) },
-            ]
+            &[rule(FaultSite::Launch, 2, Some(3)), rule(FaultSite::H2D, 5, Some(1))]
         );
         let p1 = FaultPlan::parse_for_device(text, 1).unwrap();
-        assert_eq!(p1.rules(), &[FaultRule { site: FaultSite::Alloc, first: 1, times: None }]);
+        assert_eq!(p1.rules(), &[rule(FaultSite::Alloc, 1, None)]);
         assert!(FaultPlan::parse_for_device(text, 2).unwrap().rules().is_empty());
         // `parse` keeps its historical meaning: the default device's view.
         assert_eq!(FaultPlan::parse(text).unwrap().rules(), p0.rules());
@@ -472,7 +744,15 @@ mod tests {
 
     #[test]
     fn display_round_trips_through_parse() {
-        for text in ["launch@2x3", "alloc@1x*", "h2d@5", "launch@2x3,alloc@1x*,h2d@5"] {
+        for text in [
+            "launch@2x3",
+            "alloc@1x*",
+            "h2d@5",
+            "launch@2x3,alloc@1x*,h2d@5",
+            "hang@launch",
+            "hang@h2d@2x2",
+            "hang@alloc@1x2,launch@3",
+        ] {
             let plan = FaultPlan::parse(text).unwrap();
             assert_eq!(plan.to_string(), text, "Display is the canonical spelling");
             let back = FaultPlan::parse(&plan.to_string()).unwrap();

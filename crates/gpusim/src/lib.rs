@@ -21,7 +21,7 @@ pub mod timing;
 pub mod warp;
 
 pub use device::{DevTrace, Device, DeviceProps, DeviceStats, ExecError};
-pub use fault::{FaultPlan, FaultRule, FaultSite};
+pub use fault::{FaultKind, FaultPlan, FaultPlanError, FaultRule, FaultSite};
 pub use launch::{launch, launch_tiled, ExecMode, LaunchConfig, LaunchStats, TileView};
 pub use stream::{EngineKind, EventId, OpSchedule, StreamEngine};
 pub use warp::{iter_lanes, BlockCtx, BlockEnv, DeviceLib, LaneVec, NoLib, Warp};

@@ -77,6 +77,38 @@ impl BlockAllocator {
         Ok(off)
     }
 
+    /// Reserve `size` bytes at exactly `offset` (rounded up to the
+    /// granularity). Used to reconstruct a prior layout — e.g. replaying
+    /// device mappings after a reset — where every block must come back at
+    /// its original address so outstanding pointers stay valid. Fails with
+    /// `OutOfMemory` if the range is not entirely free, and `InvalidFree`
+    /// if `offset` is not aligned to the granularity.
+    pub fn alloc_at(&mut self, offset: u64, size: u64) -> Result<(), AllocError> {
+        if !offset.is_multiple_of(Self::ALIGN) {
+            return Err(AllocError::InvalidFree { offset });
+        }
+        let need = size.max(1).next_multiple_of(Self::ALIGN);
+        // The free block containing `offset`, if any.
+        let slot = self
+            .free
+            .range(..=offset)
+            .next_back()
+            .map(|(&off, &flen)| (off, flen))
+            .filter(|&(off, flen)| offset + need <= off + flen);
+        let (off, flen) = slot.ok_or(AllocError::OutOfMemory { requested: size })?;
+        self.free.remove(&off);
+        if offset > off {
+            self.free.insert(off, offset - off);
+        }
+        let tail = (off + flen) - (offset + need);
+        if tail > 0 {
+            self.free.insert(offset + need, tail);
+        }
+        self.live.insert(offset, need);
+        self.high_water = self.high_water.max(self.bytes_in_use());
+        Ok(())
+    }
+
     /// Free a block previously returned by [`BlockAllocator::alloc`].
     pub fn free(&mut self, offset: u64) -> Result<(), AllocError> {
         let len = self.live.remove(&offset).ok_or(AllocError::InvalidFree { offset })?;
@@ -189,6 +221,49 @@ mod tests {
     fn start_is_aligned() {
         let a = BlockAllocator::new(17, 4096);
         assert_eq!(a.range_start() % BlockAllocator::ALIGN, 0);
+    }
+
+    /// `alloc_at` reconstructs an arbitrary prior layout on a fresh
+    /// allocator: every block comes back at its original offset and the
+    /// allocator behaves identically afterwards.
+    #[test]
+    fn alloc_at_replays_a_layout() {
+        let mut a = BlockAllocator::new(0, 64 * 1024);
+        let x = a.alloc(300).unwrap();
+        let y = a.alloc(1000).unwrap();
+        let z = a.alloc(1).unwrap();
+        a.free(y).unwrap();
+        let live: Vec<(u64, u64)> = [(x, 300), (z, 1)].into();
+
+        let mut b = BlockAllocator::new(0, 64 * 1024);
+        for &(off, len) in &live {
+            b.alloc_at(off, len).unwrap();
+        }
+        assert_eq!(b.block_size(x), a.block_size(x));
+        assert_eq!(b.block_size(z), a.block_size(z));
+        assert_eq!(b.bytes_in_use(), a.bytes_in_use());
+        // The hole left by `y` is allocatable again, first-fit as before.
+        assert_eq!(b.alloc(1000).unwrap(), y);
+    }
+
+    #[test]
+    fn alloc_at_rejects_overlap_and_misalignment() {
+        let mut a = BlockAllocator::new(0, 4096);
+        let x = a.alloc(512).unwrap();
+        assert_eq!(
+            a.alloc_at(x, 256),
+            Err(AllocError::OutOfMemory { requested: 256 }),
+            "range already live"
+        );
+        assert_eq!(
+            a.alloc_at(x + 256, 256),
+            Err(AllocError::OutOfMemory { requested: 256 }),
+            "tail of a live block"
+        );
+        assert!(a.alloc_at(13, 10).is_err(), "unaligned offset");
+        assert!(a.alloc_at(4096, 256).is_err(), "past the end");
+        a.alloc_at(1024, 256).unwrap();
+        assert!(a.free(1024).is_ok());
     }
 
     /// Random alloc/free sequences never hand out overlapping blocks and

@@ -53,10 +53,10 @@ pub use sptx;
 pub use unibench;
 pub use vmcommon;
 
-pub use cudadev::{CudadevError, DevClock, RetryPolicy};
+pub use cudadev::{BreakerState, CudadevError, DevClock, RetryPolicy};
 pub use devmod::{DeviceKind, DeviceModule, DeviceRegistry, HostDevice};
 pub use gpusim::ExecMode;
-pub use gpusim::{FaultPlan, FaultRule, FaultSite};
+pub use gpusim::{FaultKind, FaultPlan, FaultPlanError, FaultRule, FaultSite};
 pub use nvccsim::BinMode;
 pub use ompi_core::{CompiledApp, CudaCc, Ompicc, Runner, RunnerConfig};
 pub use vmcommon::Value;

@@ -1,0 +1,81 @@
+//! Chaos soak harness: every UniBench app is driven through seeded random
+//! fault plans (`chaos:<seed>`, see `gpusim::FaultPlan::chaos`) mixing
+//! transient faults, hangs, arena corruption and terminal failures — and
+//! every run must be **bit-identical** to the fault-free baseline, whether
+//! it survived on the device (recovery), degraded through the governor, or
+//! fell back to the host.
+//!
+//! The generator is completion-safe by construction: hang windows stay
+//! under the reset budget, `d2h` is never terminal (that would be a
+//! legitimate partial-commit hard error), and at most one rule per site.
+//! So any result difference — or any error — is a recovery bug.
+
+use ompi_nano::unibench::{app_by_name, compile_omp, run_once, runner_config};
+use ompi_nano::{ExecMode, Runner, RunnerConfig};
+
+/// Fixed seeds chosen for coverage of the rule space (see the generator's
+/// kind mix): terminal launch/init, hangs at launch/h2d/alloc, terminal
+/// h2d/alloc, arena corruption, and plain transient bursts.
+const SEEDS: [u64; 6] = [0, 3, 16, 25, 34, 50];
+
+const APPS: [&str; 6] = ["3dconv", "bicg", "atax", "mvt", "gemm", "gramschmidt"];
+
+fn work(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("ompinano-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// The soak itself: 6 apps x 6 seeds, each compared bit-for-bit against
+/// the app's fault-free output from the same compiled binary.
+#[test]
+fn chaos_soak_is_bit_identical_across_apps_and_seeds() {
+    for name in APPS {
+        let app = app_by_name(name).expect("unibench app");
+        let n = app.test_size;
+        let compiled = compile_omp(&app, &work(name));
+        let cfg = runner_config((app.footprint)(n), ExecMode::Functional, false);
+
+        let baseline_runner = Runner::new(&compiled, &cfg).unwrap();
+        let baseline = run_once(&app, &baseline_runner, n)
+            .unwrap_or_else(|e| panic!("{name} fault-free baseline failed: {e}"));
+
+        for seed in SEEDS {
+            let chaos_cfg =
+                RunnerConfig { fault_spec: Some(format!("chaos:{seed}")), ..cfg.clone() };
+            let runner = Runner::new(&compiled, &chaos_cfg).unwrap();
+            let out = run_once(&app, &runner, n)
+                .unwrap_or_else(|e| panic!("{name} chaos:{seed} errored: {e}"));
+            assert_eq!(out.len(), baseline.len(), "{name} chaos:{seed}: output length");
+            for (i, (c, b)) in out.iter().zip(&baseline).enumerate() {
+                assert_eq!(
+                    c.to_bits(),
+                    b.to_bits(),
+                    "{name} chaos:{seed}: output[{i}] differs ({c} vs baseline {b})"
+                );
+            }
+        }
+    }
+}
+
+/// A hang-heavy seed (3 -> `hang@launch,...`) must actually exercise the
+/// recovery machinery, not just happen to pass: the soak asserts at least
+/// one device reset was performed and the run stayed on the device.
+#[test]
+fn chaos_hang_seed_exercises_reset_and_replay() {
+    let app = app_by_name("atax").expect("atax");
+    let n = app.test_size;
+    let compiled = compile_omp(&app, &work("atax-obs"));
+    let obs = obs::Obs::enabled();
+    let mut cfg = runner_config((app.footprint)(n), ExecMode::Functional, false);
+    cfg.fault_spec = Some("chaos:3".into());
+    cfg.obs = Some(obs.clone());
+    let runner = Runner::new(&compiled, &cfg).unwrap();
+    run_once(&app, &runner, n).unwrap_or_else(|e| panic!("atax chaos:3 errored: {e}"));
+    assert!(
+        obs.metrics.counter(0, "recovery.reset") >= 1,
+        "seed 3 hangs the first launch; the watchdog must reset the device"
+    );
+    assert!(obs.metrics.counter(0, "recovery.probe") >= 1, "each reset half-open-probes");
+    assert!(!runner.device_broken(), "a one-shot hang must be recovered, not latched");
+}

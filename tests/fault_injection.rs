@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use ompi_nano::unibench::{app_by_name, compile_omp, run_once, runner_config};
-use ompi_nano::{BinMode, ExecMode, FaultPlan, Ompicc, Runner, RunnerConfig, Value};
+use ompi_nano::{BinMode, BreakerState, ExecMode, FaultPlan, Ompicc, Runner, RunnerConfig, Value};
 
 /// The paper's Fig. 1 SAXPY; `main` returns the number of wrong elements,
 /// so `I32(0)` proves the computed `y` is bit-identical to the host-side
@@ -184,6 +184,155 @@ fn host_fallback_bit_identical_for_unibench_app() {
             "output[{i}] differs: device {d} vs host fallback {h}"
         );
     }
+}
+
+/// The recovery tentpole: a kernel that hangs once at launch is detected
+/// by the watchdog, the device is reset, the data environment is replayed,
+/// and the half-open probe re-runs the launch — on the *device*, never the
+/// host. `main` returning `I32(0)` proves the re-executed region is
+/// bit-identical to a fault-free run.
+#[test]
+fn hang_at_launch_recovers_via_reset_and_replay() {
+    let app = Ompicc::new(work("hang-launch")).compile(SAXPY).unwrap();
+    let obs = obs::Obs::enabled();
+    let cfg = RunnerConfig {
+        fault_plan: plan("hang@launch"),
+        obs: Some(obs.clone()),
+        ..Default::default()
+    };
+    let runner = Runner::new(&app, &cfg).unwrap();
+    assert_eq!(runner.run_main().unwrap(), Value::I32(0));
+    assert!(!runner.device_broken(), "a recovered hang must not latch the device");
+    let clk = runner.dev_clock();
+    assert!(clk.launches >= 1, "the probed launch must complete on the device");
+    let host_clk = runner.dev_clock_of(runner.num_devices()).unwrap();
+    assert_eq!(host_clk.fallbacks, 0, "successful recovery must never fall back to the host");
+    assert!(
+        clk.retry_backoff_s > 0.0,
+        "the watchdog deadline and breaker cool-down are simulated waiting"
+    );
+    assert!(obs.metrics.counter(0, "recovery.reset") >= 1, "a device reset must be recorded");
+    assert!(obs.metrics.counter(0, "recovery.replayed") >= 1, "mappings must be replayed");
+    assert!(obs.metrics.counter(0, "timeouts.launch") >= 1, "the watchdog timeout is counted");
+    assert!(obs.metrics.counter(0, "recovery.recovered") >= 1);
+    let dev = runner.registry().device(0).unwrap().clone();
+    assert_eq!(dev.breaker_state(), BreakerState::Closed, "a successful probe closes the breaker");
+}
+
+/// A hang that never clears exhausts the breaker's reset budget: every
+/// reset's probe hangs again, the breaker latches, and only *then* does the
+/// old permanent broken-latch (and host fallback) engage. Host memory is
+/// still pre-kernel, so the fallback result is still correct.
+#[test]
+fn persistent_hang_exhausts_reset_budget_and_latches() {
+    let app = Ompicc::new(work("hang-persistent")).compile(SAXPY).unwrap();
+    let obs = obs::Obs::enabled();
+    let cfg = RunnerConfig {
+        fault_plan: plan("hang@launch@1x*"),
+        obs: Some(obs.clone()),
+        ..Default::default()
+    };
+    let runner = Runner::new(&app, &cfg).unwrap();
+    assert_eq!(runner.run_main().unwrap(), Value::I32(0), "host fallback must still be correct");
+    assert!(runner.device_broken(), "an exhausted reset budget latches the device");
+    let dev = runner.registry().device(0).unwrap().clone();
+    assert_eq!(dev.breaker_state(), BreakerState::Latched);
+    assert_eq!(runner.dev_clock().launches, 0, "no launch ever completed");
+    assert_eq!(
+        obs.metrics.counter(0, "recovery.reset"),
+        u64::from(RunnerConfig::default().max_resets),
+        "the full reset budget must be spent before latching"
+    );
+    assert!(obs.metrics.counter(0, "breaker.state.latched") >= 1);
+    assert!(obs.metrics.counter(0, "recovery.probe") >= 1, "each reset half-opens and probes");
+}
+
+/// A two-call hang window: the first probe after a reset hangs *again*, so
+/// recovery has to loop (reset #2, second cool-down) before the breaker
+/// closes — still within the default budget of three, still no fallback.
+#[test]
+fn repeated_hang_within_budget_recovers_on_second_reset() {
+    let obs = obs::Obs::enabled();
+    let app = Ompicc::new(work("hang-twice")).compile(SAXPY).unwrap();
+    let cfg = RunnerConfig {
+        fault_plan: plan("hang@launch@1x2"),
+        obs: Some(obs.clone()),
+        ..Default::default()
+    };
+    let runner = Runner::new(&app, &cfg).unwrap();
+    assert_eq!(runner.run_main().unwrap(), Value::I32(0));
+    assert!(!runner.device_broken());
+    assert_eq!(runner.dev_clock_of(runner.num_devices()).unwrap().fallbacks, 0);
+    assert!(obs.metrics.counter(0, "recovery.reset") >= 2, "both hangs cost a reset");
+    assert!(obs.metrics.counter(0, "recovery.recovered") >= 1);
+    let dev = runner.registry().device(0).unwrap().clone();
+    assert_eq!(dev.breaker_state(), BreakerState::Closed);
+}
+
+/// Malformed `OMPI_FAULT_PLAN`-style specs surface as typed, descriptive
+/// configuration errors from `Runner::new` — not as silently disabled
+/// injection and not as a panic.
+#[test]
+fn malformed_fault_plans_surface_typed_errors() {
+    let app = Ompicc::new(work("bad-plan")).compile(SAXPY).unwrap();
+    for (spec, needle) in [
+        ("launch@", "bad call number"),
+        ("launch@0", "call numbers are 1-based"),
+        ("launch@1x0", "repeat count must be at least 1"),
+        ("launch@1xzz", "bad repeat count"),
+        ("warp@1x2", "unknown site `warp`"),
+        ("launch", "expected `site@first"),
+        ("dev9z:launch@1", "bad device prefix"),
+        ("chaos:banana", "seed must be an unsigned integer"),
+    ] {
+        let cfg = RunnerConfig { fault_spec: Some(spec.into()), ..Default::default() };
+        let err = Runner::new(&app, &cfg)
+            .err()
+            .unwrap_or_else(|| panic!("spec `{spec}` must be rejected"));
+        assert!(
+            err.to_string().contains(needle),
+            "spec `{spec}`: expected diagnostic containing `{needle}`, got: {err}"
+        );
+    }
+}
+
+/// Two `nowait` regions on async streams, then the device dies terminally
+/// at the second region's launch: the pending stream work must be drained
+/// (not deadlocked, not replayed against a dead arena) before the host
+/// fallback, and both regions' results stay correct.
+#[test]
+fn terminal_fault_with_pending_nowait_streams_drains_and_falls_back() {
+    const NOWAIT_TWO_REGIONS: &str = r#"
+int main() {
+    int n = 2048;
+    float a[2048]; float b[2048];
+    for (int i = 0; i < n; i++) { a[i] = 1.0f; b[i] = 2.0f; }
+    #pragma omp target teams distribute parallel for nowait map(tofrom: a[0:n])
+    for (int i = 0; i < n; i++)
+        a[i] = 2.0f * a[i] + 1.0f;
+    #pragma omp target teams distribute parallel for nowait map(tofrom: b[0:n])
+    for (int i = 0; i < n; i++)
+        b[i] = 2.0f * b[i] + 1.0f;
+    #pragma omp taskwait
+    for (int i = 0; i < n; i++) {
+        if (a[i] != 3.0f) return 1;
+        if (b[i] != 5.0f) return 2;
+    }
+    return 0;
+}
+"#;
+    let app = Ompicc::new(work("nowait-terminal")).compile(NOWAIT_TWO_REGIONS).unwrap();
+    // Launch #1 (first region) succeeds; from launch #2 on, the device is
+    // lost — every reset probe re-fires the fault, so the breaker latches
+    // with region 1's stream work still queued on the virtual timeline.
+    let cfg =
+        RunnerConfig { async_streams: true, fault_plan: plan("launch@2x*"), ..Default::default() };
+    let runner = Runner::new(&app, &cfg).unwrap();
+    assert_eq!(runner.run_main().unwrap(), Value::I32(0), "both regions must still be correct");
+    assert!(runner.device_broken());
+    assert_eq!(runner.dev_clock().launches, 1, "only the first region's launch completed");
+    let host_clk = runner.dev_clock_of(runner.num_devices()).unwrap();
+    assert!(host_clk.fallbacks >= 1, "the second region must re-execute on the host");
 }
 
 /// An injected JIT-cache corruption is detected on reload, invalidated and
