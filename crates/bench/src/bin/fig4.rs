@@ -5,7 +5,18 @@
 //! Usage:
 //!   fig4 [--app NAME] [--sizes a,b,c] [--full] [--max-blocks N]
 //!        [--trace PATH] [--profile] [--mem SIZE] [--async]
-//!        [--chaos-seed N]
+//!        [--chaos-seed N] [--engine vm|walker] [--json PATH] [--quick]
+//!
+//! `--engine` selects the minic execution engine for every machine in the
+//! run (guest `run()` driver, host-fallback, replay): the register
+//! bytecode VM (default) or the tree-walking oracle. Checksums and
+//! simulated clocks are bit-identical between the two; only wall time
+//! differs. `--json PATH` additionally writes a machine-readable
+//! perf-trajectory artifact (wall-clock + simulated-clock per app and
+//! variant, including a host-sequential series at each app's
+//! `bench_size`) for the CI bench-smoke regression gate. `--quick` runs
+//! the device series at each app's test size instead of the paper sizes —
+//! the configuration the committed baseline and CI use.
 //!
 //! `--chaos-seed N` runs the OMPi variant under the chaos fault plan
 //! `chaos:N` (see `gpusim::FaultPlan::chaos`): a seeded random mix of
@@ -39,7 +50,24 @@
 use std::sync::Arc;
 
 use gpusim::ExecMode;
-use unibench::{all_apps, app_by_name, build_variant_cfg, measure, runner_config, Variant};
+use unibench::{
+    all_apps, app_by_name, build_variant_cfg, host_machine, measure, output_checksum,
+    run_host_once, runner_config, Variant,
+};
+
+/// One measured point for the `--json` artifact.
+struct JsonRow {
+    app: &'static str,
+    variant: &'static str,
+    n: u32,
+    wall_s: f64,
+    sim_s: f64,
+    kernel_s: f64,
+    memcpy_s: f64,
+    launches: u64,
+    checksum: u64,
+    vm_instructions: u64,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +80,9 @@ fn main() {
     let mut mem_cap: Option<u64> = None;
     let mut async_streams = false;
     let mut chaos_seed: Option<u64> = None;
+    let mut engine = "vm".to_string();
+    let mut json_path: Option<std::path::PathBuf> = None;
+    let mut quick = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -95,12 +126,32 @@ fn main() {
                 chaos_seed = Some(args[i + 1].parse().expect("chaos-seed"));
                 i += 2;
             }
+            "--engine" => {
+                engine = args[i + 1].clone();
+                if engine != "vm" && engine != "walker" {
+                    eprintln!("--engine: expected `vm` or `walker`, got `{engine}`");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            "--json" => {
+                json_path = Some(std::path::PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
             }
         }
     }
+    // Every Machine built after this point (runner, host-fallback, replay,
+    // host-sequential series) picks the engine up at construction.
+    std::env::set_var("OMPI_ENGINE", &engine);
+
     let obs =
         if trace_path.is_some() || profile { obs::Obs::enabled() } else { obs::Obs::disabled() };
 
@@ -116,9 +167,16 @@ fn main() {
     };
 
     println!("# Fig. 4 reproduction — simulated Jetson Nano 2GB (sm_53, 128-core Maxwell)");
-    println!("# mode: {:?}; times are simulated seconds (kernel + memory operations)\n", mode);
+    println!("# mode: {:?}; engine: {engine}; times are simulated seconds (kernel + memory operations)\n", mode);
+    let mut rows: Vec<JsonRow> = Vec::new();
     for app in apps {
-        let sizes: Vec<u32> = sizes_override.clone().unwrap_or_else(|| app.paper_sizes.to_vec());
+        let sizes: Vec<u32> = sizes_override.clone().unwrap_or_else(|| {
+            if quick {
+                vec![app.test_size]
+            } else {
+                app.paper_sizes.to_vec()
+            }
+        });
         println!("## {}", app.name);
         println!("{:>8}  {:>14}  {:>14}  {:>8}", "size", "CUDA [s]", "OMPi [s]", "OMPi/CUDA");
         for &n in &sizes {
@@ -136,7 +194,27 @@ fn main() {
                     }
                 }
                 let built = build_variant_cfg(&app, variant, &work, &cfg);
+                // Runner::call drains the machine's VM counters into obs
+                // metrics at the host-shim pid; the delta is this run's.
+                let pid = built.runner.registry().num_devices() as u64;
+                let insns0 = obs.metrics.counter(pid, "vm.instructions");
+                let t0 = std::time::Instant::now();
                 let m = measure(&app, &built, n);
+                let wall_s = t0.elapsed().as_secs_f64();
+                if json_path.is_some() {
+                    rows.push(JsonRow {
+                        app: app.name,
+                        variant: if variant == Variant::Cuda { "cuda" } else { "ompi" },
+                        n,
+                        wall_s,
+                        sim_s: m.time_s,
+                        kernel_s: m.kernel_s,
+                        memcpy_s: m.memcpy_s,
+                        launches: m.launches,
+                        checksum: m.checksum,
+                        vm_instructions: obs.metrics.counter(pid, "vm.instructions") - insns0,
+                    });
+                }
                 println!(
                     "# checksum {} n={n} {} {:#018x}",
                     app.name,
@@ -181,7 +259,45 @@ fn main() {
                 row[1] / row[0].max(1e-12)
             );
         }
+        if json_path.is_some() {
+            // Host-sequential series: the guest program executed directly
+            // (no translation, no device) — the engine's raw throughput,
+            // which the bench-smoke CI gate watches for regressions.
+            let n = app.bench_size;
+            let m = host_machine(&app, n).unwrap();
+            let t0 = std::time::Instant::now();
+            let out = run_host_once(&app, &m, n)
+                .unwrap_or_else(|e| panic!("{} host-seq failed at n={n}: {e}", app.name));
+            let wall_s = t0.elapsed().as_secs_f64();
+            let checksum = output_checksum(&out);
+            println!(
+                "# checksum {} n={n} host-seq {:#018x}  ({wall_s:.3}s wall)",
+                app.name, checksum
+            );
+            rows.push(JsonRow {
+                app: app.name,
+                variant: "host-seq",
+                n,
+                wall_s,
+                sim_s: 0.0,
+                kernel_s: 0.0,
+                memcpy_s: 0.0,
+                launches: 0,
+                checksum,
+                vm_instructions: m.drain_vm_counters().instructions,
+            });
+        }
         println!();
+    }
+
+    if let Some(path) = &json_path {
+        match std::fs::write(path, render_json(&engine, &format!("{mode:?}"), &rows)) {
+            Ok(()) => eprintln!("# perf trajectory written to {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
 
     if let Some(path) = trace_path {
@@ -193,6 +309,36 @@ fn main() {
             }
         }
     }
+}
+
+/// Hand-rolled JSON for the `BENCH_fig4.json` perf-trajectory artifact —
+/// no serde in the tree, and the shape is flat enough not to want it.
+fn render_json(engine: &str, mode: &str, rows: &[JsonRow]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"schema\": \"ompi-nano/fig4/v1\",\n");
+    s.push_str(&format!("  \"engine\": \"{engine}\",\n"));
+    s.push_str(&format!("  \"mode\": \"{}\",\n", mode.replace('"', "")));
+    s.push_str("  \"series\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"app\": \"{}\", \"variant\": \"{}\", \"n\": {}, \"wall_s\": {:.6}, \
+             \"sim_s\": {:.9}, \"kernel_s\": {:.9}, \"memcpy_s\": {:.9}, \"launches\": {}, \
+             \"vm_instructions\": {}, \"checksum\": \"{:#018x}\"}}{}\n",
+            r.app,
+            r.variant,
+            r.n,
+            r.wall_s,
+            r.sim_s,
+            r.kernel_s,
+            r.memcpy_s,
+            r.launches,
+            r.vm_instructions,
+            r.checksum,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
 }
 
 /// Export the combined trace of every run. Runners named their own device

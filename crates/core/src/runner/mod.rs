@@ -242,7 +242,25 @@ impl Runner {
     /// Call a guest function.
     pub fn call(&self, name: &str, args: &[Value]) -> IResult<Value> {
         let mut i = Interp::new(self.machine.clone(), self.hooks_dyn.clone())?;
-        i.call(name, args)
+        let r = i.call(name, args);
+        self.record_vm_counters();
+        r
+    }
+
+    /// Drain the machine's VM dispatch counters into the obs metrics
+    /// (`vm.instructions`, `vm.dispatch.*` on the host shim's pid).
+    fn record_vm_counters(&self) {
+        let c = self.machine.drain_vm_counters();
+        if c.is_zero() {
+            return;
+        }
+        let pid = self.hooks.host_pid();
+        self.obs().metrics.incr(pid, "vm.instructions", c.instructions);
+        for (cat, &n) in minic::bytecode::OP_CATS.iter().zip(&c.dispatch) {
+            if n != 0 {
+                self.obs().metrics.incr(pid, &format!("vm.dispatch.{cat}"), n);
+            }
+        }
     }
 
     /// Run `main()`.

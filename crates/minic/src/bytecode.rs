@@ -1,0 +1,407 @@
+//! Register bytecode for the mini-C host VM.
+//!
+//! [`crate::compile`] lowers an analyzed [`crate::ast::Program`] into one
+//! [`Chunk`] per function; [`crate::vm::Vm`] executes them. The design
+//! goals, in order: bit-identical results with the tree-walking oracle
+//! ([`crate::walker`]), then dispatch economy for the array-index / FMA
+//! shapes that dominate the UniBench loop nests.
+//!
+//! Key decisions:
+//!
+//! * **Registers, not a stack.** Operands are `Value` registers in a frame
+//!   window; scalar locals whose address is never taken live directly in
+//!   registers (slot resolution happens at compile time from
+//!   `sema::FrameInfo`), so the gemm inner loop touches guest memory only
+//!   for the actual array elements.
+//! * **Fused addressing.** `LoadIdx`/`StoreIdx` compute
+//!   `base + idx * stride`, null-check the base and access memory in one
+//!   dispatch — the walker needs three visits and two typed-memory calls
+//!   for the same shape. `FmaAssign` fuses `acc op= a * b` on a
+//!   register-resident accumulator.
+//! * **Everything slow stays a single op.** Calls, printf, kernel
+//!   launches and traps carry pool indices; the pools live in
+//!   [`CompiledProgram`].
+
+use crate::ast::BinOp;
+use vmcommon::Value;
+
+/// Register index within a chunk's frame window.
+pub type R = u16;
+
+/// Compact scalar type kind for typed memory access and conversions.
+/// `Dim3X` stores the x component only (the walker's scalar-store
+/// behaviour for whole-`dim3` assignment); loads of `dim3` are compiled
+/// to traps instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TyK {
+    Char,
+    Int,
+    Long,
+    Float,
+    Double,
+    Ptr,
+    Dim3X,
+}
+
+/// One bytecode instruction.
+///
+/// `off` fields are byte offsets added to a base address; `stride` fields
+/// are element strides for scaled indexing (the `D` variants read the
+/// stride from a register for VLA-typed pointers). Jump targets are
+/// absolute instruction indices.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// `regs[dst] = consts[idx]`.
+    Const {
+        dst: R,
+        idx: u32,
+    },
+    Mov {
+        dst: R,
+        src: R,
+    },
+    /// `regs[dst] = convert(regs[src], ty)` (C cast semantics).
+    Conv {
+        dst: R,
+        src: R,
+        ty: TyK,
+    },
+    /// Address of a frame slot: `regs[dst] = Ptr(frame_base + off)`.
+    FrameAddr {
+        dst: R,
+        off: u32,
+    },
+    /// Typed load/store of a frame slot at a static offset.
+    LoadSlot {
+        dst: R,
+        off: u32,
+        ty: TyK,
+    },
+    StoreSlot {
+        off: u32,
+        src: R,
+        ty: TyK,
+    },
+    /// Typed load/store at a static absolute address (`consts[at]` is a
+    /// `Ptr`): globals.
+    LoadAbs {
+        dst: R,
+        at: u32,
+        ty: TyK,
+    },
+    StoreAbs {
+        at: u32,
+        src: R,
+        ty: TyK,
+    },
+    /// Typed load/store through a pointer register (+ static byte offset).
+    /// Null base traps like the walker's lvalue path.
+    Load {
+        dst: R,
+        addr: R,
+        off: u32,
+        ty: TyK,
+    },
+    Store {
+        addr: R,
+        off: u32,
+        src: R,
+        ty: TyK,
+    },
+    /// Fused `base[idx]` element access: address `base + idx * stride`,
+    /// base null-checked.
+    LoadIdx {
+        dst: R,
+        base: R,
+        idx: R,
+        stride: u32,
+        ty: TyK,
+    },
+    StoreIdx {
+        base: R,
+        idx: R,
+        stride: u32,
+        src: R,
+        ty: TyK,
+    },
+    /// Fused element *address* (nested arrays, `&a[i]`).
+    AddrIdx {
+        dst: R,
+        base: R,
+        idx: R,
+        stride: u32,
+    },
+    LoadIdxD {
+        dst: R,
+        base: R,
+        idx: R,
+        stride: R,
+        ty: TyK,
+    },
+    StoreIdxD {
+        base: R,
+        idx: R,
+        stride: R,
+        src: R,
+        ty: TyK,
+    },
+    AddrIdxD {
+        dst: R,
+        base: R,
+        idx: R,
+        stride: R,
+    },
+    /// Explicit null check (kept when the index expression is impure so
+    /// the walker's check-before-index evaluation order is preserved).
+    ChkNull {
+        src: R,
+    },
+    /// VLA stride step: trap on negative extent, then
+    /// `regs[dst] = I64(extent * elem)`.
+    Stride {
+        dst: R,
+        extent: R,
+        elem: u32,
+    },
+    StrideD {
+        dst: R,
+        extent: R,
+        elem: R,
+    },
+    /// `regs[dst] = apply_binop(op, regs[a], stride, regs[b])` — the full
+    /// C semantics of the walker (pointer±int with stride, f32-preserving
+    /// float ops, wrapping integer ops, div/rem-by-zero traps).
+    Bin {
+        op: BinOp,
+        dst: R,
+        a: R,
+        b: R,
+        stride: u32,
+    },
+    BinD {
+        op: BinOp,
+        dst: R,
+        a: R,
+        b: R,
+        stride: R,
+    },
+    /// Pointer difference `(a - b) / stride`.
+    PtrDiff {
+        dst: R,
+        a: R,
+        b: R,
+        stride: u32,
+    },
+    PtrDiffD {
+        dst: R,
+        a: R,
+        b: R,
+        stride: R,
+    },
+    /// Fused `regs[dst] = convert(regs[dst] + regs[a] * regs[b], ty)`
+    /// with exactly the walker's two-step `apply_binop` rounding.
+    FmaAssign {
+        dst: R,
+        a: R,
+        b: R,
+        ty: TyK,
+    },
+    Neg {
+        dst: R,
+        src: R,
+    },
+    /// Logical not: `I32(!truthy)`.
+    NotL {
+        dst: R,
+        src: R,
+    },
+    BitNot {
+        dst: R,
+        src: R,
+    },
+    /// `I32(is_truthy)` — materializes `&&`/`||` results.
+    Truth {
+        dst: R,
+        src: R,
+    },
+    Jmp {
+        to: u32,
+    },
+    /// Jump if falsy / truthy.
+    Jz {
+        cond: R,
+        to: u32,
+    },
+    Jnz {
+        cond: R,
+        to: u32,
+    },
+    /// Return `regs[src]` (already converted to the declared return type).
+    Ret {
+        src: R,
+    },
+    /// Call chunk `func` with `nargs` consecutive registers from `abase`.
+    Call {
+        dst: R,
+        func: u32,
+        abase: R,
+        nargs: u8,
+    },
+    /// Call builtin `rt::BUILTINS[which]`.
+    CallBuiltin {
+        dst: R,
+        which: u16,
+        abase: R,
+        nargs: u8,
+    },
+    /// Call through [`crate::interp::Hooks`]; `name` indexes the string
+    /// pool. Traps "unknown function" if the hook declines.
+    CallHook {
+        dst: R,
+        name: u32,
+        abase: R,
+        nargs: u8,
+    },
+    /// printf with a static format string (`strs[fmt]`); `nargs` is the
+    /// number of evaluated (conversion-matched) arguments.
+    Printf {
+        dst: R,
+        fmt: u32,
+        abase: R,
+        nargs: u8,
+    },
+    /// printf with a runtime format pointer.
+    PrintfD {
+        dst: R,
+        fmt: R,
+        abase: R,
+        nargs: u8,
+    },
+    /// CUDA-dialect kernel launch: `gb` is the first of six consecutive
+    /// registers holding grid.xyz / block.xyz.
+    Launch {
+        name: u32,
+        gb: R,
+        abase: R,
+        nargs: u8,
+    },
+    /// Launch-config component: `regs[dst] = I64(max(src, 1) as u32)`.
+    DimFix {
+        dst: R,
+        src: R,
+    },
+    /// Load/store the three `u32` components of a `dim3` frame slot into
+    /// three consecutive registers (as I64).
+    Dim3Load {
+        dst3: R,
+        off: u32,
+    },
+    Dim3Store {
+        off: u32,
+        src3: R,
+    },
+    /// Unconditional trap with message `strs[msg]` (compile-time-known
+    /// error paths: unresolved identifiers, bad casts, …).
+    Trap {
+        msg: u32,
+    },
+}
+
+/// How an incoming argument binds to the callee frame.
+#[derive(Clone, Debug)]
+pub enum ParamSpec {
+    /// Register-resident scalar: `regs[reg] = convert(arg, ty)`.
+    Reg { reg: R, ty: TyK },
+    /// Memory-resident (address-taken) parameter: typed store at the
+    /// frame offset.
+    Mem { off: u32, ty: TyK },
+}
+
+/// A compiled function.
+#[derive(Clone, Debug)]
+pub struct Chunk {
+    pub name: String,
+    /// Register window size.
+    pub nregs: u16,
+    /// Guest-stack frame size (identical to the walker's `FrameInfo::size`
+    /// so stack-exhaustion behaviour is unchanged).
+    pub frame_size: u64,
+    pub params: Vec<ParamSpec>,
+    /// Registers zero-initialized at entry to the typed zero of their
+    /// slot (matching a typed load from zeroed frame memory).
+    pub zero_init: Vec<(R, TyK)>,
+    pub code: Vec<Op>,
+}
+
+/// The whole program in bytecode form, plus its pools.
+#[derive(Clone, Debug, Default)]
+pub struct CompiledProgram {
+    pub chunks: Vec<Chunk>,
+    /// Function name → chunk index.
+    pub fn_chunk: std::collections::HashMap<String, u32>,
+    /// Synthetic chunk running global initializers (guarded by the
+    /// machine's `globals_ready` flag, like the walker).
+    pub init_chunk: Option<u32>,
+    pub consts: Vec<Value>,
+    pub strs: Vec<String>,
+}
+
+/// Dispatch categories for the `vm.dispatch.*` observability counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpCat {
+    Mem = 0,
+    Idx = 1,
+    Alu = 2,
+    Ctrl = 3,
+    Call = 4,
+    Misc = 5,
+}
+
+pub const OP_CATS: [&str; 6] = ["mem", "idx", "alu", "ctrl", "call", "misc"];
+
+impl Op {
+    /// Category for the dispatch counters.
+    #[inline]
+    pub fn cat(&self) -> OpCat {
+        use Op::*;
+        match self {
+            LoadSlot { .. }
+            | StoreSlot { .. }
+            | LoadAbs { .. }
+            | StoreAbs { .. }
+            | Load { .. }
+            | Store { .. }
+            | Dim3Load { .. }
+            | Dim3Store { .. } => OpCat::Mem,
+            LoadIdx { .. }
+            | StoreIdx { .. }
+            | AddrIdx { .. }
+            | LoadIdxD { .. }
+            | StoreIdxD { .. }
+            | AddrIdxD { .. } => OpCat::Idx,
+            Conv { .. }
+            | Bin { .. }
+            | BinD { .. }
+            | PtrDiff { .. }
+            | PtrDiffD { .. }
+            | FmaAssign { .. }
+            | Neg { .. }
+            | NotL { .. }
+            | BitNot { .. }
+            | Truth { .. }
+            | Stride { .. }
+            | StrideD { .. }
+            | DimFix { .. } => OpCat::Alu,
+            Jmp { .. } | Jz { .. } | Jnz { .. } | Ret { .. } => OpCat::Ctrl,
+            Call { .. }
+            | CallBuiltin { .. }
+            | CallHook { .. }
+            | Printf { .. }
+            | PrintfD { .. }
+            | Launch { .. } => OpCat::Call,
+            Const { .. } | Mov { .. } | FrameAddr { .. } | ChkNull { .. } | Trap { .. } => {
+                OpCat::Misc
+            }
+        }
+    }
+}

@@ -1,39 +1,95 @@
-//! Tree-walking interpreter for host-side mini-C programs.
+//! Host-side execution of mini-C programs: the [`Machine`] (linked
+//! program image + guest memory) and the [`Interp`] execution façade.
 //!
 //! This stands in for "compile the translated C with gcc and run it on the
 //! A57 cores": the OMPi translator rewrites OpenMP constructs into plain C
-//! plus runtime calls, and this interpreter executes that C faithfully,
+//! plus runtime calls, and this layer executes that C faithfully,
 //! delegating every unknown function to pluggable [`Hooks`] (the OMPi host
 //! runtime: `hostomp` + `cudadev`).
 //!
+//! Two engines implement the same semantics:
+//!
+//! * [`crate::vm::Vm`] — the production engine: programs are compiled once
+//!   per machine to register bytecode ([`crate::compile`] →
+//!   [`crate::bytecode`]) and dispatched from a flat instruction array.
+//! * [`crate::walker::TreeWalker`] — the original tree-walking
+//!   interpreter, retained as the differential-test oracle.
+//!
+//! [`Interp::new`] picks the engine from the machine (default VM; the
+//! `OMPI_ENGINE=walker` environment variable or [`Machine::set_engine`]
+//! selects the oracle). Both engines produce bit-identical results — same
+//! values, same traps, same output — which the differential tests assert.
+//!
 //! All program state lives in a guest [`MemArena`], so `&x`, pointer
 //! arithmetic and byte-exact `memcpy` to the simulated device all behave
-//! like real C. The interpreter is thread-safe: host `parallel` regions run
-//! one `Interp` per OS thread over the shared arena.
+//! like real C. Execution is thread-safe: host `parallel` regions run one
+//! `Interp` per OS thread over the shared arena.
 //!
 //! Untranslated OpenMP programs can also be executed directly: directives
 //! are then ignored (a legal single-thread OpenMP execution), which provides
 //! the sequential reference behaviour used by differential tests.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use vmcommon::addr::{self, Space};
 use vmcommon::alloc::AllocError;
-use vmcommon::fmt::FmtArg;
 use vmcommon::sync::Mutex;
 use vmcommon::{BlockAllocator, MemArena, MemError, Value};
 
 use crate::ast::*;
+use crate::bytecode::CompiledProgram;
 use crate::sema::ProgramInfo;
-use crate::types::{ArrayLen, Ty};
+
+pub use crate::rt::convert;
+
+/// Which frontend stage rejected the program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrontendStage {
+    Parse,
+    Sema,
+}
+
+/// A parse or semantic-analysis failure, with its source position intact
+/// (previously these were flattened into an untyped `Trap` string).
+#[derive(Clone, Debug)]
+pub struct FrontendError {
+    pub stage: FrontendStage,
+    pub line: u32,
+    pub col: u32,
+    pub msg: String,
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stage = match self.stage {
+            FrontendStage::Parse => "parse",
+            FrontendStage::Sema => "semantic",
+        };
+        write!(f, "{stage} error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl From<crate::parser::ParseError> for FrontendError {
+    fn from(e: crate::parser::ParseError) -> Self {
+        FrontendError { stage: FrontendStage::Parse, line: e.pos.line, col: e.pos.col, msg: e.msg }
+    }
+}
+
+impl From<crate::sema::SemaError> for FrontendError {
+    fn from(e: crate::sema::SemaError) -> Self {
+        FrontendError { stage: FrontendStage::Sema, line: e.pos.line, col: e.pos.col, msg: e.msg }
+    }
+}
 
 /// Runtime error raised by guest execution.
 #[derive(Clone, Debug)]
 pub enum InterpError {
     Mem(MemError),
     Alloc(AllocError),
+    /// The program never started: parse or sema rejected it.
+    Frontend(FrontendError),
     /// Any other guest misbehaviour (unknown function, bad cast, …).
     Trap(String),
 }
@@ -43,6 +99,7 @@ impl std::fmt::Display for InterpError {
         match self {
             InterpError::Mem(e) => write!(f, "memory fault: {e}"),
             InterpError::Alloc(e) => write!(f, "allocation fault: {e}"),
+            InterpError::Frontend(e) => write!(f, "{e}"),
             InterpError::Trap(m) => write!(f, "trap: {m}"),
         }
     }
@@ -59,6 +116,12 @@ impl From<MemError> for InterpError {
 impl From<AllocError> for InterpError {
     fn from(e: AllocError) -> Self {
         InterpError::Alloc(e)
+    }
+}
+
+impl From<FrontendError> for InterpError {
+    fn from(e: FrontendError) -> Self {
+        InterpError::Frontend(e)
     }
 }
 
@@ -115,6 +178,32 @@ impl<'a> HookCtx<'a> {
 /// Where `printf` and friends write.
 pub type OutputSink = dyn Fn(&str) + Send + Sync;
 
+/// Which execution engine an [`Interp`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Register bytecode VM (production default).
+    Vm,
+    /// Tree-walking oracle.
+    Walker,
+}
+
+/// Totals drained from a machine's VM dispatch counters
+/// (see [`Machine::drain_vm_counters`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VmCounters {
+    /// Instructions dispatched.
+    pub instructions: u64,
+    /// Per-category dispatch counts, indexed like
+    /// [`crate::bytecode::OP_CATS`].
+    pub dispatch: [u64; 6],
+}
+
+impl VmCounters {
+    pub fn is_zero(&self) -> bool {
+        self.instructions == 0 && self.dispatch.iter().all(|&c| c == 0)
+    }
+}
+
 /// A linked, executable program image plus its guest memory.
 pub struct Machine {
     pub prog: Program,
@@ -122,7 +211,7 @@ pub struct Machine {
     pub mem: MemArena,
     pub heap: Mutex<BlockAllocator>,
     /// Global-variable addresses, indexed like `ProgramInfo::globals`.
-    global_addrs: Vec<u64>,
+    pub(crate) global_addrs: Vec<u64>,
     /// Interned string literals.
     rodata: HashMap<String, u64>,
     /// Function name → item index (definitions only).
@@ -131,11 +220,17 @@ pub struct Machine {
     output: Mutex<Option<Box<OutputSink>>>,
     /// Captured output.
     pub captured: Mutex<String>,
-    globals_ready: AtomicBool,
+    pub(crate) globals_ready: AtomicBool,
+    /// Engine for new [`Interp`]s: 0 = VM, 1 = walker.
+    engine: AtomicU8,
+    /// Lazily compiled bytecode image (built on first VM execution).
+    compiled: OnceLock<CompiledProgram>,
+    /// VM observability: instructions dispatched, then per-category counts.
+    vm_counters: [AtomicU64; 7],
 }
 
 /// Per-interp stack size (bytes).
-const STACK_SIZE: u64 = 4 << 20;
+pub(crate) const STACK_SIZE: u64 = 4 << 20;
 
 impl Machine {
     /// Build a machine for an analyzed program with `mem_bytes` of guest
@@ -180,6 +275,11 @@ impl Machine {
             }
         }
 
+        let engine = match std::env::var("OMPI_ENGINE").as_deref() {
+            Ok("walker") => Engine::Walker,
+            _ => Engine::Vm,
+        };
+
         Ok(Arc::new(Machine {
             prog,
             info,
@@ -191,6 +291,9 @@ impl Machine {
             output: Mutex::new(None),
             captured: Mutex::new(String::new()),
             globals_ready: AtomicBool::new(false),
+            engine: AtomicU8::new(engine as u8),
+            compiled: OnceLock::new(),
+            vm_counters: Default::default(),
         }))
     }
 
@@ -200,8 +303,8 @@ impl Machine {
     }
 
     pub fn from_source_with_mem(src: &str, mem_bytes: usize) -> IResult<Arc<Machine>> {
-        let mut prog = crate::parser::parse(src).map_err(|e| InterpError::Trap(e.to_string()))?;
-        let info = crate::sema::analyze(&mut prog).map_err(|e| InterpError::Trap(e.to_string()))?;
+        let mut prog = crate::parser::parse(src).map_err(FrontendError::from)?;
+        let info = crate::sema::analyze(&mut prog).map_err(FrontendError::from)?;
         Machine::new(prog, info, mem_bytes)
     }
 
@@ -209,6 +312,11 @@ impl Machine {
     pub fn global_addr(&self, name: &str) -> Option<u64> {
         let i = self.info.globals.iter().position(|g| g.name == name)?;
         Some(self.global_addrs[i])
+    }
+
+    /// Guest address of an interned string literal.
+    pub(crate) fn rodata_addr(&self, s: &str) -> Option<u64> {
+        self.rodata.get(s).copied()
     }
 
     /// The function definition item, by name.
@@ -219,12 +327,53 @@ impl Machine {
         })
     }
 
+    /// Engine used by new [`Interp`]s on this machine.
+    pub fn engine(&self) -> Engine {
+        if self.engine.load(Ordering::Relaxed) == Engine::Walker as u8 {
+            Engine::Walker
+        } else {
+            Engine::Vm
+        }
+    }
+
+    /// Override the execution engine (tests, A/B measurement). Affects
+    /// [`Interp`]s created after the call.
+    pub fn set_engine(&self, engine: Engine) {
+        self.engine.store(engine as u8, Ordering::Relaxed);
+    }
+
+    /// The bytecode image, compiled on first use.
+    pub(crate) fn compiled(&self) -> &CompiledProgram {
+        self.compiled.get_or_init(|| crate::compile::compile(self))
+    }
+
+    /// Add a VM execution's dispatch counts (flushed once per top-level
+    /// guest call, not per instruction).
+    pub(crate) fn add_vm_counters(&self, instructions: u64, dispatch: &[u64; 6]) {
+        self.vm_counters[0].fetch_add(instructions, Ordering::Relaxed);
+        for (slot, &n) in self.vm_counters[1..].iter().zip(dispatch) {
+            slot.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Take the accumulated VM dispatch counters (resets them to zero).
+    pub fn drain_vm_counters(&self) -> VmCounters {
+        let mut c = VmCounters {
+            instructions: self.vm_counters[0].swap(0, Ordering::Relaxed),
+            ..Default::default()
+        };
+        for (out, slot) in c.dispatch.iter_mut().zip(&self.vm_counters[1..]) {
+            *out = slot.swap(0, Ordering::Relaxed);
+        }
+        c
+    }
+
     /// Install a live output sink for `printf` (output is captured too).
     pub fn set_output(&self, sink: Box<OutputSink>) {
         *self.output.lock() = Some(sink);
     }
 
-    fn emit(&self, s: &str) {
+    pub(crate) fn emit(&self, s: &str) {
         if let Some(sink) = self.output.lock().as_ref() {
             sink(s);
         }
@@ -359,82 +508,23 @@ pub fn visit_child_stmts(s: &Stmt, f: &mut dyn FnMut(&Stmt)) {
     }
 }
 
-enum Flow {
-    Normal,
-    Break,
-    Continue,
-    Return(Value),
-}
-
 /// An execution context: one per OS thread, with its own guest stack.
-pub struct Interp {
-    machine: Arc<Machine>,
-    hooks: Arc<dyn Hooks>,
-    stack_block: u64,
-    sp: u64,
-    /// Base address of the current frame.
-    frame_base: u64,
-    /// Slot offsets of the current function's frame.
-    frame: *const crate::sema::FrameInfo,
-    depth: u32,
+///
+/// A façade over the machine-selected engine; all production callers
+/// (`core` runner, `hostomp` teams, `cudadev` replay) go through this.
+pub enum Interp {
+    Vm(crate::vm::Vm),
+    Walker(crate::walker::TreeWalker),
 }
-
-// SAFETY: `frame` points into `machine.prog`, which is kept alive by the
-// `Arc<Machine>` held alongside it and is never mutated after construction.
-unsafe impl Send for Interp {}
 
 impl Interp {
-    /// Create an interpreter with a fresh guest stack. Runs global
-    /// initializers on first creation per machine.
+    /// Create an execution context with a fresh guest stack, using the
+    /// machine's configured [`Engine`]. Runs global initializers on first
+    /// creation per machine.
     pub fn new(machine: Arc<Machine>, hooks: Arc<dyn Hooks>) -> IResult<Interp> {
-        let stack_block = machine.heap.lock().alloc(STACK_SIZE)?;
-        let mut it = Interp {
-            machine,
-            hooks,
-            stack_block,
-            sp: stack_block,
-            frame_base: stack_block,
-            frame: std::ptr::null(),
-            depth: 0,
-        };
-        it.init_globals_once()?;
-        Ok(it)
-    }
-
-    fn init_globals_once(&mut self) -> IResult<()> {
-        if self.machine.globals_ready.swap(true, Ordering::SeqCst) {
-            return Ok(());
-        }
-        // Evaluate global initializers in a synthetic frame.
-        let globals: Vec<(usize, Ty, Init)> = self
-            .machine
-            .info
-            .globals
-            .iter()
-            .enumerate()
-            .filter_map(|(i, g)| g.init.clone().map(|init| (i, g.ty.clone(), init)))
-            .collect();
-        for (i, ty, init) in globals {
-            let base = self.machine.global_addrs[i];
-            self.store_init(base, &ty, &init)?;
-        }
-        Ok(())
-    }
-
-    fn store_init(&mut self, base: u64, ty: &Ty, init: &Init) -> IResult<()> {
-        match (ty, init) {
-            (Ty::Array(elem, _), Init::List(list)) => {
-                let esz = self.sizeof_rt(elem)?;
-                for (i, it) in list.iter().enumerate() {
-                    self.store_init(base + i as u64 * esz, elem, it)?;
-                }
-                Ok(())
-            }
-            (_, Init::Expr(e)) => {
-                let v = self.eval(e)?;
-                self.store_typed(base, ty, v)
-            }
-            (_, Init::List(_)) => Err(InterpError::Trap("brace initializer on scalar".into())),
+        match machine.engine() {
+            Engine::Vm => Ok(Interp::Vm(crate::vm::Vm::new(machine, hooks)?)),
+            Engine::Walker => Ok(Interp::Walker(crate::walker::TreeWalker::new(machine, hooks)?)),
         }
     }
 
@@ -445,1037 +535,9 @@ impl Interp {
 
     /// Call a guest function by name.
     pub fn call(&mut self, name: &str, args: &[Value]) -> IResult<Value> {
-        let idx = *self
-            .machine
-            .fn_defs
-            .get(name)
-            .ok_or_else(|| InterpError::Trap(format!("undefined function `{name}`")))?;
-        let fd: &FuncDef = match &self.machine.prog.items[idx] {
-            Item::Func(f) => f,
-            _ => unreachable!(),
-        };
-        // SAFETY: see `Interp::frame` field comment — borrows from the Arc'd
-        // immutable program.
-        let fd: &'static FuncDef = unsafe { std::mem::transmute(fd) };
-        self.call_def(fd, args)
-    }
-
-    fn call_def(&mut self, fd: &FuncDef, args: &[Value]) -> IResult<Value> {
-        if self.depth > 200 {
-            return Err(InterpError::Trap("guest stack overflow (recursion too deep)".into()));
+        match self {
+            Interp::Vm(v) => v.call(name, args),
+            Interp::Walker(w) => w.call(name, args),
         }
-        if args.len() != fd.sig.params.len() {
-            return Err(InterpError::Trap(format!(
-                "call to `{}` with {} args (expected {})",
-                fd.sig.name,
-                args.len(),
-                fd.sig.params.len()
-            )));
-        }
-        let saved_sp = self.sp;
-        let saved_base = self.frame_base;
-        let saved_frame = self.frame;
-        let base = self.sp.next_multiple_of(16);
-        if base + fd.frame.size > self.stack_block + STACK_SIZE {
-            return Err(InterpError::Trap("guest stack exhausted".into()));
-        }
-        self.frame_base = base;
-        self.sp = base + fd.frame.size;
-        self.frame = &fd.frame;
-        self.depth += 1;
-
-        for (p, v) in fd.sig.params.iter().zip(args) {
-            let slot = &fd.frame.slots[p.slot as usize];
-            let a = addr::offset(self.frame_base) + slot.offset;
-            let a = addr::make(Space::Host, a);
-            self.store_typed(a, &slot.ty, *v)?;
-        }
-
-        let mut ret = Value::I32(0);
-        match self.exec_block_stmts(&fd.body.stmts)? {
-            Flow::Return(v) => ret = v,
-            Flow::Normal => {}
-            Flow::Break | Flow::Continue => {
-                return Err(InterpError::Trap("break/continue escaped function body".into()))
-            }
-        }
-        self.depth -= 1;
-        self.sp = saved_sp;
-        self.frame_base = saved_base;
-        self.frame = saved_frame;
-        // Convert the return value to the declared type.
-        Ok(convert(ret, &fd.sig.ret))
-    }
-
-    fn frame_info(&self) -> &crate::sema::FrameInfo {
-        // SAFETY: set in call_def; valid for the duration of the call.
-        unsafe { &*self.frame }
-    }
-
-    fn slot_addr(&self, slot: u32) -> u64 {
-        let s = &self.frame_info().slots[slot as usize];
-        addr::make(Space::Host, addr::offset(self.frame_base) + s.offset)
-    }
-
-    // ------------------------------------------------------- statements
-
-    fn exec_block_stmts(&mut self, stmts: &[Stmt]) -> IResult<Flow> {
-        for s in stmts {
-            match self.exec(s)? {
-                Flow::Normal => {}
-                other => return Ok(other),
-            }
-        }
-        Ok(Flow::Normal)
-    }
-
-    fn exec(&mut self, s: &Stmt) -> IResult<Flow> {
-        match s {
-            Stmt::Block(b) => self.exec_block_stmts(&b.stmts),
-            Stmt::Empty => Ok(Flow::Normal),
-            Stmt::Decl(d) => {
-                if let Some(init) = &d.init {
-                    let a = self.slot_addr(d.slot);
-                    let ty = self.frame_info().slots[d.slot as usize].ty.clone();
-                    match (&ty, init) {
-                        (Ty::Dim3, Init::Expr(e)) => {
-                            let dims = self.eval_dim3(e)?;
-                            self.machine.mem.store_u32(addr::offset(a), dims[0])?;
-                            self.machine.mem.store_u32(addr::offset(a) + 4, dims[1])?;
-                            self.machine.mem.store_u32(addr::offset(a) + 8, dims[2])?;
-                        }
-                        _ => self.store_init(a, &ty, init)?,
-                    }
-                }
-                Ok(Flow::Normal)
-            }
-            Stmt::Expr(e) => {
-                self.eval(e)?;
-                Ok(Flow::Normal)
-            }
-            Stmt::If { cond, then_s, else_s } => {
-                if self.eval(cond)?.is_truthy() {
-                    self.exec(then_s)
-                } else if let Some(e) = else_s {
-                    self.exec(e)
-                } else {
-                    Ok(Flow::Normal)
-                }
-            }
-            Stmt::While { cond, body } => {
-                while self.eval(cond)?.is_truthy() {
-                    match self.exec(body)? {
-                        Flow::Break => break,
-                        Flow::Return(v) => return Ok(Flow::Return(v)),
-                        _ => {}
-                    }
-                }
-                Ok(Flow::Normal)
-            }
-            Stmt::DoWhile { body, cond } => {
-                loop {
-                    match self.exec(body)? {
-                        Flow::Break => break,
-                        Flow::Return(v) => return Ok(Flow::Return(v)),
-                        _ => {}
-                    }
-                    if !self.eval(cond)?.is_truthy() {
-                        break;
-                    }
-                }
-                Ok(Flow::Normal)
-            }
-            Stmt::For { init, cond, step, body } => {
-                if let Some(i) = init {
-                    self.exec(i)?;
-                }
-                loop {
-                    if let Some(c) = cond {
-                        if !self.eval(c)?.is_truthy() {
-                            break;
-                        }
-                    }
-                    match self.exec(body)? {
-                        Flow::Break => break,
-                        Flow::Return(v) => return Ok(Flow::Return(v)),
-                        _ => {}
-                    }
-                    if let Some(st) = step {
-                        self.eval(st)?;
-                    }
-                }
-                Ok(Flow::Normal)
-            }
-            Stmt::Return(e) => {
-                let v = match e {
-                    Some(e) => self.eval(e)?,
-                    None => Value::I32(0),
-                };
-                Ok(Flow::Return(v))
-            }
-            Stmt::Break => Ok(Flow::Break),
-            Stmt::Continue => Ok(Flow::Continue),
-            Stmt::Omp(o) => {
-                // Directives reaching the interpreter execute their body
-                // sequentially (a valid 1-thread OpenMP execution). This is
-                // the untranslated / host-fallback path.
-                if let Some(b) = &o.body {
-                    if o.dir.kind == crate::omp::DirKind::Sections {
-                        // All sections run in order.
-                        return self.exec(b);
-                    }
-                    self.exec(b)
-                } else {
-                    Ok(Flow::Normal)
-                }
-            }
-        }
-    }
-
-    // ------------------------------------------------------ expressions
-
-    fn eval(&mut self, e: &Expr) -> IResult<Value> {
-        match &e.kind {
-            ExprKind::IntLit(v) => Ok(Value::I32(*v as i32)),
-            ExprKind::FloatLit(v, true) => Ok(Value::F32(*v as f32)),
-            ExprKind::FloatLit(v, false) => Ok(Value::F64(*v)),
-            ExprKind::StrLit(s) => Ok(Value::Ptr(
-                *self
-                    .machine
-                    .rodata
-                    .get(s)
-                    .ok_or_else(|| InterpError::Trap("unregistered string literal".into()))?,
-            )),
-            ExprKind::Ident(name, resolved) => match resolved {
-                Resolved::Local(slot) => {
-                    let a = self.slot_addr(*slot);
-                    let ty = self.frame_info().slots[*slot as usize].ty.clone();
-                    if ty.is_array() {
-                        Ok(Value::Ptr(a))
-                    } else {
-                        self.load_typed(a, &ty)
-                    }
-                }
-                Resolved::Global(i) => {
-                    let a = self.machine.global_addrs[*i as usize];
-                    let ty = self.machine.info.globals[*i as usize].ty.clone();
-                    if ty.is_array() {
-                        Ok(Value::Ptr(a))
-                    } else {
-                        self.load_typed(a, &ty)
-                    }
-                }
-                Resolved::Func => {
-                    // Function designators evaluate to an opaque id; the
-                    // runtime resolves them by name at registration time.
-                    Err(InterpError::Trap(format!("function `{name}` used as a value on the host")))
-                }
-                Resolved::CudaBuiltin(_) => {
-                    Err(InterpError::Trap(format!("CUDA builtin `{name}` referenced in host code")))
-                }
-                Resolved::Unresolved => Err(InterpError::Trap(format!(
-                    "unresolved identifier `{name}` (sema not run?)"
-                ))),
-            },
-            ExprKind::Call { callee, args } => self.eval_call(callee, args),
-            ExprKind::KernelLaunch { callee, grid, block, args } => {
-                let g = self.eval_dim3(grid)?;
-                let b = self.eval_dim3(block)?;
-                let mut vals = Vec::with_capacity(args.len());
-                for a in args {
-                    vals.push(self.eval(a)?);
-                }
-                let hooks = self.hooks.clone();
-                let ctx = HookCtx { machine: &self.machine, hooks: &self.hooks };
-                hooks.kernel_launch(callee, g, b, &vals, &ctx)?;
-                Ok(Value::I32(0))
-            }
-            ExprKind::Dim3 { .. } => {
-                let d = self.eval_dim3(e)?;
-                // A dim3 rvalue only appears in launch config position;
-                // encode x for the rare scalar context.
-                Ok(Value::I32(d[0] as i32))
-            }
-            ExprKind::Member { .. } => {
-                let (a, ty) = self.lvalue(e)?;
-                self.load_typed(a, &ty)
-            }
-            ExprKind::Index { .. } => {
-                let (a, ty) = self.lvalue(e)?;
-                if ty.is_array() {
-                    Ok(Value::Ptr(a))
-                } else {
-                    self.load_typed(a, &ty)
-                }
-            }
-            ExprKind::Unary { op, expr } => match op {
-                UnOp::Neg => Ok(match self.eval(expr)? {
-                    Value::I32(v) => Value::I32(v.wrapping_neg()),
-                    Value::I64(v) => Value::I64(v.wrapping_neg()),
-                    Value::F32(v) => Value::F32(-v),
-                    Value::F64(v) => Value::F64(-v),
-                    Value::Ptr(v) => Value::I64(-(v as i64)),
-                }),
-                UnOp::Not => Ok(Value::I32(!self.eval(expr)?.is_truthy() as i32)),
-                UnOp::BitNot => Ok(match self.eval(expr)? {
-                    Value::I64(v) => Value::I64(!v),
-                    v => Value::I32(!v.as_i32()),
-                }),
-                UnOp::Deref => {
-                    let (a, ty) = self.lvalue(e)?;
-                    if ty.is_array() {
-                        Ok(Value::Ptr(a))
-                    } else {
-                        self.load_typed(a, &ty)
-                    }
-                }
-                UnOp::Addr => {
-                    let (a, _) = self.lvalue(expr)?;
-                    Ok(Value::Ptr(a))
-                }
-            },
-            ExprKind::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs),
-            ExprKind::Assign { op, lhs, rhs } => {
-                let (a, ty) = self.lvalue(lhs)?;
-                let v = match op {
-                    None => self.eval(rhs)?,
-                    Some(op) => {
-                        let cur = self.load_typed(a, &ty)?;
-                        let stride = self.ptr_stride(lhs)?;
-                        let rval = self.eval(rhs)?;
-                        self.apply_binop(*op, cur, stride, rval)?
-                    }
-                };
-                let v = convert(v, &ty);
-                self.store_typed(a, &ty, v)?;
-                Ok(v)
-            }
-            ExprKind::IncDec { pre, inc, expr } => {
-                let (a, ty) = self.lvalue(expr)?;
-                let old = self.load_typed(a, &ty)?;
-                let stride = self.ptr_stride(expr)?;
-                let delta = Value::I64(if *inc { 1 } else { -1 });
-                let new = self.apply_binop(BinOp::Add, old, stride, delta)?;
-                let new = convert(new, &ty);
-                self.store_typed(a, &ty, new)?;
-                Ok(if *pre { new } else { old })
-            }
-            ExprKind::Ternary { cond, then_e, else_e } => {
-                if self.eval(cond)?.is_truthy() {
-                    self.eval(then_e)
-                } else {
-                    self.eval(else_e)
-                }
-            }
-            ExprKind::Cast { ty, expr } => {
-                let v = self.eval(expr)?;
-                Ok(convert(v, ty))
-            }
-            ExprKind::SizeofTy(ty) => Ok(Value::I64(self.sizeof_rt(ty)? as i64)),
-            ExprKind::SizeofExpr(inner) => Ok(Value::I64(self.sizeof_rt(&inner.ty)? as i64)),
-            ExprKind::Comma(a, b) => {
-                self.eval(a)?;
-                self.eval(b)
-            }
-        }
-    }
-
-    /// Evaluate a grid/block configuration expression: a `dim3` value, a
-    /// `dim3` variable, or a bare integer.
-    pub fn eval_dim3(&mut self, e: &Expr) -> IResult<[u32; 3]> {
-        match &e.kind {
-            ExprKind::Dim3 { x, y, z } => {
-                let xv = self.eval(x)?.as_i64().max(1) as u32;
-                let yv = match y {
-                    Some(y) => self.eval(y)?.as_i64().max(1) as u32,
-                    None => 1,
-                };
-                let zv = match z {
-                    Some(z) => self.eval(z)?.as_i64().max(1) as u32,
-                    None => 1,
-                };
-                Ok([xv, yv, zv])
-            }
-            ExprKind::Ident(_, Resolved::Local(slot))
-                if self.frame_info().slots[*slot as usize].ty == Ty::Dim3 =>
-            {
-                let a = addr::offset(self.slot_addr(*slot));
-                Ok([
-                    self.machine.mem.load_u32(a)?,
-                    self.machine.mem.load_u32(a + 4)?,
-                    self.machine.mem.load_u32(a + 8)?,
-                ])
-            }
-            _ => {
-                let v = self.eval(e)?.as_i64().max(1) as u32;
-                Ok([v, 1, 1])
-            }
-        }
-    }
-
-    /// Stride for pointer arithmetic on `e` (1 for non-pointers).
-    fn ptr_stride(&mut self, e: &Expr) -> IResult<u64> {
-        match e.ty.decayed() {
-            Ty::Ptr(inner) => self.sizeof_rt(&inner),
-            _ => Ok(1),
-        }
-    }
-
-    fn eval_binary(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> IResult<Value> {
-        // Short-circuit logicals.
-        if op == BinOp::LogAnd {
-            return Ok(Value::I32(
-                (self.eval(lhs)?.is_truthy() && self.eval(rhs)?.is_truthy()) as i32,
-            ));
-        }
-        if op == BinOp::LogOr {
-            return Ok(Value::I32(
-                (self.eval(lhs)?.is_truthy() || self.eval(rhs)?.is_truthy()) as i32,
-            ));
-        }
-        let lv = self.eval(lhs)?;
-        let rv = self.eval(rhs)?;
-        // Pointer arithmetic uses the pointer operand's stride.
-        let lt = lhs.ty.decayed();
-        let rt = rhs.ty.decayed();
-        if lt.is_ptr() && rt.is_ptr() && op == BinOp::Sub {
-            let stride = self.ptr_stride(lhs)?.max(1);
-            return Ok(Value::I64((lv.as_ptr() as i64 - rv.as_ptr() as i64) / stride as i64));
-        }
-        let stride = if lt.is_ptr() {
-            self.ptr_stride(lhs)?
-        } else if rt.is_ptr() {
-            self.ptr_stride(rhs)?
-        } else {
-            1
-        };
-        self.apply_binop(op, lv, stride, rv)
-    }
-
-    fn apply_binop(&self, op: BinOp, lv: Value, lstride: u64, rv: Value) -> IResult<Value> {
-        use BinOp::*;
-        // Pointer ± integer.
-        if let Value::Ptr(p) = lv {
-            if matches!(op, Add | Sub) {
-                let off = rv.as_i64() * lstride as i64;
-                let np = if op == Add { (p as i64 + off) as u64 } else { (p as i64 - off) as u64 };
-                return Ok(Value::Ptr(np));
-            }
-        }
-        if let Value::Ptr(p) = rv {
-            if op == Add {
-                let off = lv.as_i64() * lstride as i64;
-                return Ok(Value::Ptr((p as i64 + off) as u64));
-            }
-        }
-        let float = matches!(lv, Value::F32(_) | Value::F64(_))
-            || matches!(rv, Value::F32(_) | Value::F64(_));
-        let both_f32 = matches!(lv, Value::F32(_) | Value::I32(_) | Value::I64(_))
-            && matches!(rv, Value::F32(_) | Value::I32(_) | Value::I64(_))
-            && (matches!(lv, Value::F32(_)) || matches!(rv, Value::F32(_)));
-        if float {
-            let a = lv.as_f64();
-            let b = rv.as_f64();
-            let r = match op {
-                Add => a + b,
-                Sub => a - b,
-                Mul => a * b,
-                Div => a / b,
-                Rem => a % b,
-                Lt => return Ok(Value::I32((a < b) as i32)),
-                Gt => return Ok(Value::I32((a > b) as i32)),
-                Le => return Ok(Value::I32((a <= b) as i32)),
-                Ge => return Ok(Value::I32((a >= b) as i32)),
-                Eq => return Ok(Value::I32((a == b) as i32)),
-                Ne => return Ok(Value::I32((a != b) as i32)),
-                _ => return Err(InterpError::Trap(format!("bitwise op {op:?} on float"))),
-            };
-            // Preserve f32 semantics when no f64 operand participates.
-            if both_f32 {
-                return Ok(Value::F32(lv.as_f32().pseudo_op(op, rv.as_f32())));
-            }
-            return Ok(Value::F64(r));
-        }
-        let wide = matches!(lv, Value::I64(_) | Value::Ptr(_))
-            || matches!(rv, Value::I64(_) | Value::Ptr(_));
-        let a = lv.as_i64();
-        let b = rv.as_i64();
-        let r: i64 = match op {
-            Add => a.wrapping_add(b),
-            Sub => a.wrapping_sub(b),
-            Mul => a.wrapping_mul(b),
-            Div => {
-                if b == 0 {
-                    return Err(InterpError::Trap("integer division by zero".into()));
-                }
-                a.wrapping_div(b)
-            }
-            Rem => {
-                if b == 0 {
-                    return Err(InterpError::Trap("integer remainder by zero".into()));
-                }
-                a.wrapping_rem(b)
-            }
-            Shl => a.wrapping_shl(b as u32),
-            Shr => a.wrapping_shr(b as u32),
-            BitAnd => a & b,
-            BitOr => a | b,
-            BitXor => a ^ b,
-            Lt => return Ok(Value::I32((a < b) as i32)),
-            Gt => return Ok(Value::I32((a > b) as i32)),
-            Le => return Ok(Value::I32((a <= b) as i32)),
-            Ge => return Ok(Value::I32((a >= b) as i32)),
-            Eq => return Ok(Value::I32((a == b) as i32)),
-            Ne => return Ok(Value::I32((a != b) as i32)),
-            LogAnd | LogOr => unreachable!("handled above"),
-        };
-        Ok(if wide { Value::I64(r) } else { Value::I32(r as i32) })
-    }
-
-    // ---------------------------------------------------------- lvalues
-
-    fn lvalue(&mut self, e: &Expr) -> IResult<(u64, Ty)> {
-        match &e.kind {
-            ExprKind::Ident(name, resolved) => match resolved {
-                Resolved::Local(slot) => {
-                    Ok((self.slot_addr(*slot), self.frame_info().slots[*slot as usize].ty.clone()))
-                }
-                Resolved::Global(i) => Ok((
-                    self.machine.global_addrs[*i as usize],
-                    self.machine.info.globals[*i as usize].ty.clone(),
-                )),
-                _ => Err(InterpError::Trap(format!("`{name}` is not an lvalue"))),
-            },
-            ExprKind::Unary { op: UnOp::Deref, expr } => {
-                let p = self.eval(expr)?.as_ptr();
-                if p == 0 {
-                    return Err(InterpError::Mem(MemError::Null));
-                }
-                let ty = match expr.ty.decayed() {
-                    Ty::Ptr(inner) => *inner,
-                    other => {
-                        return Err(InterpError::Trap(format!("deref of non-pointer {other}")))
-                    }
-                };
-                Ok((p, ty))
-            }
-            ExprKind::Index { base, index } => {
-                let bv = self.eval(base)?;
-                let p = bv.as_ptr();
-                if p == 0 {
-                    return Err(InterpError::Mem(MemError::Null));
-                }
-                let elem = match base.ty.decayed() {
-                    Ty::Ptr(inner) => *inner,
-                    other => {
-                        return Err(InterpError::Trap(format!("index of non-pointer {other}")))
-                    }
-                };
-                let stride = self.sizeof_rt(&elem)?;
-                let i = self.eval(index)?.as_i64();
-                Ok(((p as i64 + i * stride as i64) as u64, elem))
-            }
-            ExprKind::Member { base, field } => {
-                let (a, ty) = self.lvalue(base)?;
-                if ty != Ty::Dim3 {
-                    return Err(InterpError::Trap(format!("member access on {ty}")));
-                }
-                let off = match field.as_str() {
-                    "x" => 0,
-                    "y" => 4,
-                    "z" => 8,
-                    _ => return Err(InterpError::Trap(format!("dim3 has no member {field}"))),
-                };
-                Ok((a + off, Ty::Int))
-            }
-            ExprKind::Cast { expr, .. } => self.lvalue(expr),
-            _ => Err(InterpError::Trap("expression is not an lvalue".into())),
-        }
-    }
-
-    /// Runtime sizeof, evaluating VLA extents in the current frame.
-    fn sizeof_rt(&mut self, ty: &Ty) -> IResult<u64> {
-        match ty {
-            Ty::Array(elem, len) => {
-                let n = match len {
-                    ArrayLen::Const(n) => *n,
-                    ArrayLen::Expr(e) => {
-                        let v = self.eval(e)?.as_i64();
-                        if v < 0 {
-                            return Err(InterpError::Trap("negative VLA extent".into()));
-                        }
-                        v as u64
-                    }
-                    ArrayLen::Unspec => {
-                        return Err(InterpError::Trap("sizeof of unsized array".into()))
-                    }
-                };
-                Ok(self.sizeof_rt(elem)? * n)
-            }
-            other => other
-                .size()
-                .ok_or_else(|| InterpError::Trap(format!("sizeof of unsized type {other}"))),
-        }
-    }
-
-    // ------------------------------------------------------ typed memory
-
-    pub fn load_typed(&self, a: u64, ty: &Ty) -> IResult<Value> {
-        let mem = self.resolve_space(a)?;
-        let off = addr::offset(a);
-        Ok(match ty {
-            Ty::Char => Value::I32(mem.load_u8(off)? as i8 as i32),
-            Ty::Int => Value::I32(mem.load_u32(off)? as i32),
-            Ty::Long => Value::I64(mem.load_u64(off)? as i64),
-            Ty::Float => Value::F32(f32::from_bits(mem.load_u32(off)?)),
-            Ty::Double => Value::F64(f64::from_bits(mem.load_u64(off)?)),
-            Ty::Ptr(_) => Value::Ptr(mem.load_u64(off)?),
-            other => return Err(InterpError::Trap(format!("cannot load value of type {other}"))),
-        })
-    }
-
-    pub fn store_typed(&self, a: u64, ty: &Ty, v: Value) -> IResult<()> {
-        let mem = self.resolve_space(a)?;
-        let off = addr::offset(a);
-        match ty {
-            Ty::Char => mem.store_u8(off, v.as_i64() as u8)?,
-            Ty::Int => mem.store_u32(off, v.as_i32() as u32)?,
-            Ty::Long => mem.store_u64(off, v.as_i64() as u64)?,
-            Ty::Float => mem.store_u32(off, v.as_f32().to_bits())?,
-            Ty::Double => mem.store_u64(off, v.as_f64().to_bits())?,
-            Ty::Ptr(_) => mem.store_u64(off, v.as_ptr())?,
-            Ty::Dim3 => {
-                // Stored elementwise via eval_dim3 paths; scalar store sets x.
-                mem.store_u32(off, v.as_i64() as u32)?;
-            }
-            other => return Err(InterpError::Trap(format!("cannot store value of type {other}"))),
-        }
-        Ok(())
-    }
-
-    fn resolve_space(&self, a: u64) -> IResult<&MemArena> {
-        match addr::space(a) {
-            Some(Space::Host) => Ok(&self.machine.mem),
-            _ => Err(InterpError::Mem(MemError::BadSpace { addr: a })),
-        }
-    }
-
-    // ----------------------------------------------------------- calls
-
-    fn eval_call(&mut self, callee: &str, args: &[Expr]) -> IResult<Value> {
-        // Guest-defined function?
-        if self.machine.fn_defs.contains_key(callee) {
-            let mut vals = Vec::with_capacity(args.len());
-            for a in args {
-                vals.push(self.eval(a)?);
-            }
-            return self.call(callee, &vals);
-        }
-        // printf needs raw format access.
-        if callee == "printf" {
-            return self.do_printf(args);
-        }
-        let mut vals = Vec::with_capacity(args.len());
-        for a in args {
-            vals.push(self.eval(a)?);
-        }
-        if let Some(v) = self.builtin(callee, &vals)? {
-            return Ok(v);
-        }
-        let hooks = self.hooks.clone();
-        let ctx = HookCtx { machine: &self.machine, hooks: &self.hooks };
-        if let Some(v) = hooks.call(callee, &vals, &ctx)? {
-            return Ok(v);
-        }
-        Err(InterpError::Trap(format!("unknown function `{callee}`")))
-    }
-
-    fn do_printf(&mut self, args: &[Expr]) -> IResult<Value> {
-        if args.is_empty() {
-            return Err(InterpError::Trap("printf needs a format".into()));
-        }
-        let fmt = match &args[0].kind {
-            ExprKind::StrLit(s) => s.clone(),
-            _ => {
-                let p = self.eval(&args[0])?.as_ptr();
-                self.machine.mem.read_cstr(addr::offset(p))?
-            }
-        };
-        let mut fargs = Vec::new();
-        for (a, spec_is_str) in args[1..].iter().zip(printf_arg_kinds(&fmt)) {
-            let v = self.eval(a)?;
-            if spec_is_str {
-                let s = self.machine.mem.read_cstr(addr::offset(v.as_ptr()))?;
-                fargs.push(FmtArg::Str(s));
-            } else {
-                fargs.push(FmtArg::Val(v));
-            }
-        }
-        let out = vmcommon::fmt::format(&fmt, &fargs);
-        let n = out.len();
-        self.machine.emit(&out);
-        Ok(Value::I32(n as i32))
-    }
-
-    fn builtin(&mut self, name: &str, args: &[Value]) -> IResult<Option<Value>> {
-        let a0 = || args.first().copied().unwrap_or(Value::I32(0));
-        let a1 = || args.get(1).copied().unwrap_or(Value::I32(0));
-        Ok(Some(match name {
-            "sqrt" => Value::F64(a0().as_f64().sqrt()),
-            "sqrtf" => Value::F32(a0().as_f32().sqrt()),
-            "fabs" => Value::F64(a0().as_f64().abs()),
-            "fabsf" => Value::F32(a0().as_f32().abs()),
-            "pow" => Value::F64(a0().as_f64().powf(a1().as_f64())),
-            "powf" => Value::F32(a0().as_f32().powf(a1().as_f32())),
-            "exp" => Value::F64(a0().as_f64().exp()),
-            "expf" => Value::F32(a0().as_f32().exp()),
-            "log" => Value::F64(a0().as_f64().ln()),
-            "logf" => Value::F32(a0().as_f32().ln()),
-            "sin" => Value::F64(a0().as_f64().sin()),
-            "cos" => Value::F64(a0().as_f64().cos()),
-            "floor" => Value::F64(a0().as_f64().floor()),
-            "ceil" => Value::F64(a0().as_f64().ceil()),
-            "fmax" => Value::F64(a0().as_f64().max(a1().as_f64())),
-            "fmin" => Value::F64(a0().as_f64().min(a1().as_f64())),
-            "fmaxf" => Value::F32(a0().as_f32().max(a1().as_f32())),
-            "fminf" => Value::F32(a0().as_f32().min(a1().as_f32())),
-            "abs" => Value::I32(a0().as_i32().wrapping_abs()),
-            "malloc" => {
-                let size = a0().as_i64().max(0) as u64;
-                let off = self.machine.heap.lock().alloc(size)?;
-                Value::Ptr(addr::make(Space::Host, off))
-            }
-            "free" => {
-                let p = a0().as_ptr();
-                if p != 0 {
-                    self.machine.heap.lock().free(addr::offset(p))?;
-                }
-                Value::I32(0)
-            }
-            "memset" => {
-                let p = addr::offset(a0().as_ptr());
-                let byte = a1().as_i32() as u8;
-                let len = args.get(2).copied().unwrap_or(Value::I32(0)).as_i64() as u64;
-                for i in 0..len {
-                    self.machine.mem.store_u8(p + i, byte)?;
-                }
-                a0()
-            }
-            "exit" => {
-                return Err(InterpError::Trap(format!("guest called exit({})", a0().as_i32())))
-            }
-            _ => return Ok(None),
-        }))
-    }
-}
-
-impl Drop for Interp {
-    fn drop(&mut self) {
-        let _ = self.machine.heap.lock().free(self.stack_block);
-    }
-}
-
-/// For each conversion in a printf format: does it consume a string?
-fn printf_arg_kinds(fmt: &str) -> Vec<bool> {
-    let mut out = Vec::new();
-    let mut chars = fmt.chars().peekable();
-    while let Some(c) = chars.next() {
-        if c != '%' {
-            continue;
-        }
-        if chars.peek() == Some(&'%') {
-            chars.next();
-            continue;
-        }
-        // Skip flags/width/precision/length.
-        let mut conv = None;
-        for c in chars.by_ref() {
-            if c.is_ascii_alphabetic() && !matches!(c, 'l' | 'z' | 'h') {
-                conv = Some(c);
-                break;
-            }
-        }
-        if let Some(conv) = conv {
-            out.push(conv == 's');
-        }
-    }
-    out
-}
-
-/// Convert a value to a C type (cast semantics).
-pub fn convert(v: Value, ty: &Ty) -> Value {
-    match ty {
-        Ty::Char => Value::I32(v.as_i64() as i8 as i32),
-        Ty::Int => Value::I32(v.as_i32()),
-        Ty::Long => Value::I64(v.as_i64()),
-        Ty::Float => Value::F32(v.as_f32()),
-        Ty::Double => Value::F64(v.as_f64()),
-        Ty::Ptr(_) => Value::Ptr(v.as_ptr()),
-        _ => v,
-    }
-}
-
-/// f32 helper so `f32 op f32` keeps single-precision rounding.
-trait PseudoOp {
-    fn pseudo_op(self, op: BinOp, rhs: Self) -> Self;
-}
-
-impl PseudoOp for f32 {
-    fn pseudo_op(self, op: BinOp, rhs: f32) -> f32 {
-        match op {
-            BinOp::Add => self + rhs,
-            BinOp::Sub => self - rhs,
-            BinOp::Mul => self * rhs,
-            BinOp::Div => self / rhs,
-            BinOp::Rem => self % rhs,
-            _ => f32::NAN,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn run(src: &str) -> (Arc<Machine>, Value) {
-        let m = Machine::from_source(src).unwrap();
-        let mut i = Interp::new(m.clone(), Arc::new(NoHooks)).unwrap();
-        let v = i.run_main().unwrap();
-        (m, v)
-    }
-
-    #[test]
-    fn arithmetic_and_control_flow() {
-        let (_, v) =
-            run("int main() { int s = 0; for (int i = 1; i <= 10; i++) s += i; return s; }");
-        assert_eq!(v, Value::I32(55));
-    }
-
-    #[test]
-    fn while_break_continue() {
-        let (_, v) = run(
-            "int main() { int s = 0; int i = 0; while (1) { i++; if (i > 10) break; if (i % 2) continue; s += i; } return s; }",
-        );
-        assert_eq!(v, Value::I32(30));
-    }
-
-    #[test]
-    fn functions_and_recursion() {
-        let (_, v) = run("int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } int main() { return fib(10); }");
-        assert_eq!(v, Value::I32(55));
-    }
-
-    #[test]
-    fn arrays_pointers_addressof() {
-        let (_, v) = run(r#"
-void twice(int *p) { *p = *p * 2; }
-int main() {
-    int a[4];
-    for (int i = 0; i < 4; i++) a[i] = i + 1;
-    twice(&a[2]);
-    int *p = a;
-    return p[0] + p[1] + p[2] + p[3];
-}
-"#);
-        assert_eq!(v, Value::I32(1 + 2 + 6 + 4));
-    }
-
-    #[test]
-    fn two_d_arrays() {
-        let (_, v) = run(r#"
-int main() {
-    int m[3][4];
-    for (int i = 0; i < 3; i++)
-        for (int j = 0; j < 4; j++)
-            m[i][j] = i * 10 + j;
-    return m[2][3];
-}
-"#);
-        assert_eq!(v, Value::I32(23));
-    }
-
-    #[test]
-    fn vla_param_indexing() {
-        let (_, v) = run(r#"
-int get(int n, int a[n][n], int i, int j) { return a[i][j]; }
-int main() {
-    int m[3][3];
-    m[1][2] = 42;
-    return get(3, m, 1, 2);
-}
-"#);
-        assert_eq!(v, Value::I32(42));
-    }
-
-    #[test]
-    fn float_precision_f32() {
-        // f32 arithmetic must round to single precision.
-        let (_, v) =
-            run("int main() { float a = 16777216.0f; float b = a + 1.0f; return b == a; }");
-        assert_eq!(v, Value::I32(1));
-    }
-
-    #[test]
-    fn printf_capture() {
-        let (m, _) = run(r#"int main() { printf("x=%d y=%5.2f %s\n", 3, 1.5, "hi"); return 0; }"#);
-        assert_eq!(m.take_output(), "x=3 y= 1.50 hi\n");
-    }
-
-    #[test]
-    fn malloc_free() {
-        let (_, v) = run(r#"
-int main() {
-    float *p = (float *) malloc(16 * sizeof(float));
-    for (int i = 0; i < 16; i++) p[i] = (float) i;
-    float s = 0.0f;
-    for (int i = 0; i < 16; i++) s += p[i];
-    free(p);
-    return (int) s;
-}
-"#);
-        assert_eq!(v, Value::I32(120));
-    }
-
-    #[test]
-    fn globals_with_initializers() {
-        let (_, v) = run("int g = 7; int arr[3] = {1, 2, 3}; int main() { return g + arr[1]; }");
-        assert_eq!(v, Value::I32(9));
-    }
-
-    #[test]
-    fn ternary_and_logical() {
-        let (_, v) = run(
-            "int main() { int a = 5; int b = 3; return (a > b ? a : b) + (a && b) + (0 || 0); }",
-        );
-        assert_eq!(v, Value::I32(6));
-    }
-
-    #[test]
-    fn pointer_arithmetic_strided() {
-        let (_, v) = run(r#"
-int main() {
-    double d[4];
-    d[0] = 1.5; d[1] = 2.5; d[2] = 3.5; d[3] = 4.5;
-    double *p = d + 1;
-    p++;
-    return (int)(*p * 2.0);
-}
-"#);
-        assert_eq!(v, Value::I32(7));
-    }
-
-    #[test]
-    fn omp_pragmas_ignored_sequentially() {
-        // Directly executing an OpenMP program = 1-thread semantics.
-        let (_, v) = run(r#"
-int main() {
-    int s = 0;
-    #pragma omp parallel for reduction(+: s)
-    for (int i = 0; i < 10; i++)
-        s += i;
-    return s;
-}
-"#);
-        assert_eq!(v, Value::I32(45));
-    }
-
-    #[test]
-    fn null_deref_traps() {
-        let m = Machine::from_source("int main() { int *p = (int*)0; return *p; }").unwrap();
-        let mut i = Interp::new(m, Arc::new(NoHooks)).unwrap();
-        assert!(i.run_main().is_err());
-    }
-
-    #[test]
-    fn division_by_zero_traps() {
-        let m = Machine::from_source("int main() { int z = 0; return 4 / z; }").unwrap();
-        let mut i = Interp::new(m, Arc::new(NoHooks)).unwrap();
-        assert!(i.run_main().is_err());
-    }
-
-    #[test]
-    fn hooks_receive_unknown_calls() {
-        struct H;
-        impl Hooks for H {
-            fn call(
-                &self,
-                name: &str,
-                args: &[Value],
-                _ctx: &HookCtx<'_>,
-            ) -> IResult<Option<Value>> {
-                if name == "magic" {
-                    Ok(Some(Value::I32(args[0].as_i32() * 10)))
-                } else {
-                    Ok(None)
-                }
-            }
-        }
-        let m = Machine::from_source("int main() { return magic(4); }").unwrap();
-        let mut i = Interp::new(m, Arc::new(H)).unwrap();
-        assert_eq!(i.run_main().unwrap(), Value::I32(40));
-    }
-
-    #[test]
-    fn hook_can_reenter_guest() {
-        struct H;
-        impl Hooks for H {
-            fn call(
-                &self,
-                name: &str,
-                _args: &[Value],
-                ctx: &HookCtx<'_>,
-            ) -> IResult<Option<Value>> {
-                if name == "call_twice" {
-                    let a = ctx.call_guest("work", &[Value::I32(1)])?;
-                    let b = ctx.call_guest("work", &[Value::I32(2)])?;
-                    Ok(Some(Value::I32(a.as_i32() + b.as_i32())))
-                } else {
-                    Ok(None)
-                }
-            }
-        }
-        let m = Machine::from_source(
-            "int work(int x) { return x * 100; } int main() { return call_twice(); }",
-        )
-        .unwrap();
-        let mut i = Interp::new(m, Arc::new(H)).unwrap();
-        assert_eq!(i.run_main().unwrap(), Value::I32(300));
-    }
-
-    #[test]
-    fn dim3_variables() {
-        let (_, v) = run("int main() { dim3 b(32, 8); return b.x + b.y + b.z; }");
-        assert_eq!(v, Value::I32(41));
-    }
-
-    #[test]
-    fn concurrent_interps_share_memory() {
-        let m = Machine::from_source(
-            "int counter; void bump() { counter = counter + 1; } int main() { return 0; }",
-        )
-        .unwrap();
-        // Serialize bumps via per-thread interps (atomicity is not the point;
-        // each thread writes disjoint slots here).
-        let g = m.global_addr("counter").unwrap();
-        std::thread::scope(|s| {
-            for _ in 0..4 {
-                let m = m.clone();
-                s.spawn(move || {
-                    let mut i = Interp::new(m, Arc::new(NoHooks)).unwrap();
-                    i.call("bump", &[]).unwrap();
-                });
-            }
-        });
-        // At least one bump landed; memory is shared and valid.
-        let v = m.mem.load_u32(vmcommon::addr::offset(g)).unwrap();
-        assert!((1..=4).contains(&v));
-    }
-
-    #[test]
-    fn sizeof_expressions() {
-        let (_, v) = run(
-            "int main() { float x[10]; return (int)(sizeof(x) + sizeof(long) + sizeof(float*)); }",
-        );
-        assert_eq!(v, Value::I32(40 + 8 + 8));
     }
 }

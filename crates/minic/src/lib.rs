@@ -1,9 +1,10 @@
 //! `minic` — the C-subset frontend of the OMPi reproduction.
 //!
 //! Provides the lexer, parser, OpenMP directive representation, semantic
-//! analysis, pretty-printer and a thread-safe tree-walking interpreter for
-//! *host* programs. The dialect covers the C that the paper's benchmark
-//! suite and the OMPi-generated code need:
+//! analysis, pretty-printer and a thread-safe executor for *host* programs
+//! (a register bytecode VM, plus the original tree-walking interpreter as
+//! a differential-test oracle). The dialect covers the C that the paper's
+//! benchmark suite and the OMPi-generated code need:
 //!
 //! * scalar types `char`/`int`/`long`/`float`/`double`, pointers, multi-dim
 //!   arrays (constant and VLA-parameter extents), full declarator syntax
@@ -17,14 +18,19 @@
 //!   `kernel<<<grid, block>>>(…)` launches.
 
 pub mod ast;
+pub mod bytecode;
+pub mod compile;
 pub mod interp;
 pub mod lexer;
 pub mod omp;
 pub mod parser;
 pub mod pretty;
+pub mod rt;
 pub mod sema;
 pub mod token;
 pub mod types;
+pub mod vm;
+pub mod walker;
 
 pub use ast::{Expr, ExprKind, FuncDef, Item, Program, Stmt};
 pub use parser::{parse, ParseError};

@@ -1,0 +1,238 @@
+//! Runtime semantics shared by the bytecode VM and the tree-walking
+//! oracle: value conversions, the full C binary-operator semantics,
+//! printf argument classification, and the builtin function table.
+//!
+//! Keeping these in one place is what makes the "bit-identical results"
+//! contract between [`crate::vm`] and [`crate::walker`] checkable: both
+//! engines call the same functions for every arithmetic step.
+
+use vmcommon::addr::{self, Space};
+use vmcommon::fmt::FmtArg;
+use vmcommon::Value;
+
+use crate::ast::BinOp;
+use crate::interp::{IResult, InterpError, Machine};
+use crate::types::Ty;
+
+/// Convert a value to a C type (cast semantics).
+pub fn convert(v: Value, ty: &Ty) -> Value {
+    match ty {
+        Ty::Char => Value::I32(v.as_i64() as i8 as i32),
+        Ty::Int => Value::I32(v.as_i32()),
+        Ty::Long => Value::I64(v.as_i64()),
+        Ty::Float => Value::F32(v.as_f32()),
+        Ty::Double => Value::F64(v.as_f64()),
+        Ty::Ptr(_) => Value::Ptr(v.as_ptr()),
+        _ => v,
+    }
+}
+
+/// f32 helper so `f32 op f32` keeps single-precision rounding.
+trait PseudoOp {
+    fn pseudo_op(self, op: BinOp, rhs: Self) -> Self;
+}
+
+impl PseudoOp for f32 {
+    fn pseudo_op(self, op: BinOp, rhs: f32) -> f32 {
+        match op {
+            BinOp::Add => self + rhs,
+            BinOp::Sub => self - rhs,
+            BinOp::Mul => self * rhs,
+            BinOp::Div => self / rhs,
+            BinOp::Rem => self % rhs,
+            _ => f32::NAN,
+        }
+    }
+}
+
+/// The full C binary-operator semantics over runtime values: pointer±int
+/// with the pointer operand's stride, f32-preserving float arithmetic,
+/// wrapping integer arithmetic, div/rem-by-zero traps. `lstride` is the
+/// stride of whichever operand is pointer-typed (1 otherwise).
+#[inline]
+pub fn apply_binop(op: BinOp, lv: Value, lstride: u64, rv: Value) -> IResult<Value> {
+    use BinOp::*;
+    // Pointer ± integer.
+    if let Value::Ptr(p) = lv {
+        if matches!(op, Add | Sub) {
+            let off = rv.as_i64() * lstride as i64;
+            let np = if op == Add { (p as i64 + off) as u64 } else { (p as i64 - off) as u64 };
+            return Ok(Value::Ptr(np));
+        }
+    }
+    if let Value::Ptr(p) = rv {
+        if op == Add {
+            let off = lv.as_i64() * lstride as i64;
+            return Ok(Value::Ptr((p as i64 + off) as u64));
+        }
+    }
+    let float =
+        matches!(lv, Value::F32(_) | Value::F64(_)) || matches!(rv, Value::F32(_) | Value::F64(_));
+    let both_f32 = matches!(lv, Value::F32(_) | Value::I32(_) | Value::I64(_))
+        && matches!(rv, Value::F32(_) | Value::I32(_) | Value::I64(_))
+        && (matches!(lv, Value::F32(_)) || matches!(rv, Value::F32(_)));
+    if float {
+        let a = lv.as_f64();
+        let b = rv.as_f64();
+        let r = match op {
+            Add => a + b,
+            Sub => a - b,
+            Mul => a * b,
+            Div => a / b,
+            Rem => a % b,
+            Lt => return Ok(Value::I32((a < b) as i32)),
+            Gt => return Ok(Value::I32((a > b) as i32)),
+            Le => return Ok(Value::I32((a <= b) as i32)),
+            Ge => return Ok(Value::I32((a >= b) as i32)),
+            Eq => return Ok(Value::I32((a == b) as i32)),
+            Ne => return Ok(Value::I32((a != b) as i32)),
+            _ => return Err(InterpError::Trap(format!("bitwise op {op:?} on float"))),
+        };
+        // Preserve f32 semantics when no f64 operand participates.
+        if both_f32 {
+            return Ok(Value::F32(lv.as_f32().pseudo_op(op, rv.as_f32())));
+        }
+        return Ok(Value::F64(r));
+    }
+    let wide =
+        matches!(lv, Value::I64(_) | Value::Ptr(_)) || matches!(rv, Value::I64(_) | Value::Ptr(_));
+    let a = lv.as_i64();
+    let b = rv.as_i64();
+    let r: i64 = match op {
+        Add => a.wrapping_add(b),
+        Sub => a.wrapping_sub(b),
+        Mul => a.wrapping_mul(b),
+        Div => {
+            if b == 0 {
+                return Err(InterpError::Trap("integer division by zero".into()));
+            }
+            a.wrapping_div(b)
+        }
+        Rem => {
+            if b == 0 {
+                return Err(InterpError::Trap("integer remainder by zero".into()));
+            }
+            a.wrapping_rem(b)
+        }
+        Shl => a.wrapping_shl(b as u32),
+        Shr => a.wrapping_shr(b as u32),
+        BitAnd => a & b,
+        BitOr => a | b,
+        BitXor => a ^ b,
+        Lt => return Ok(Value::I32((a < b) as i32)),
+        Gt => return Ok(Value::I32((a > b) as i32)),
+        Le => return Ok(Value::I32((a <= b) as i32)),
+        Ge => return Ok(Value::I32((a >= b) as i32)),
+        Eq => return Ok(Value::I32((a == b) as i32)),
+        Ne => return Ok(Value::I32((a != b) as i32)),
+        LogAnd | LogOr => unreachable!("short-circuit forms are lowered before apply_binop"),
+    };
+    Ok(if wide { Value::I64(r) } else { Value::I32(r as i32) })
+}
+
+/// For each conversion in a printf format: does it consume a string?
+pub fn printf_arg_kinds(fmt: &str) -> Vec<bool> {
+    let mut out = Vec::new();
+    let mut chars = fmt.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            continue;
+        }
+        if chars.peek() == Some(&'%') {
+            chars.next();
+            continue;
+        }
+        // Skip flags/width/precision/length.
+        let mut conv = None;
+        for c in chars.by_ref() {
+            if c.is_ascii_alphabetic() && !matches!(c, 'l' | 'z' | 'h') {
+                conv = Some(c);
+                break;
+            }
+        }
+        if let Some(conv) = conv {
+            out.push(conv == 's');
+        }
+    }
+    out
+}
+
+/// Format and emit a printf call whose arguments are already evaluated
+/// (the argument list is zipped against the conversion kinds, exactly
+/// like the walker). Returns the printf result value.
+pub fn do_printf(m: &Machine, fmt: &str, args: &[Value]) -> IResult<Value> {
+    let mut fargs = Vec::new();
+    for (v, spec_is_str) in args.iter().zip(printf_arg_kinds(fmt)) {
+        if spec_is_str {
+            let s = m.mem.read_cstr(addr::offset(v.as_ptr()))?;
+            fargs.push(FmtArg::Str(s));
+        } else {
+            fargs.push(FmtArg::Val(*v));
+        }
+    }
+    let out = vmcommon::fmt::format(fmt, &fargs);
+    let n = out.len();
+    m.emit(&out);
+    Ok(Value::I32(n as i32))
+}
+
+/// Builtin host functions, indexable by [`Op::CallBuiltin`]'s `which`.
+pub const BUILTINS: &[&str] = &[
+    "sqrt", "sqrtf", "fabs", "fabsf", "pow", "powf", "exp", "expf", "log", "logf", "sin", "cos",
+    "floor", "ceil", "fmax", "fmin", "fmaxf", "fminf", "abs", "malloc", "free", "memset", "exit",
+];
+
+pub fn builtin_index(name: &str) -> Option<u16> {
+    BUILTINS.iter().position(|b| *b == name).map(|i| i as u16)
+}
+
+/// Execute builtin `which` (an index into [`BUILTINS`]). Missing
+/// arguments default to `I32(0)`, as in the walker.
+pub fn call_builtin(m: &Machine, which: u16, args: &[Value]) -> IResult<Value> {
+    let a0 = || args.first().copied().unwrap_or(Value::I32(0));
+    let a1 = || args.get(1).copied().unwrap_or(Value::I32(0));
+    Ok(match BUILTINS[which as usize] {
+        "sqrt" => Value::F64(a0().as_f64().sqrt()),
+        "sqrtf" => Value::F32(a0().as_f32().sqrt()),
+        "fabs" => Value::F64(a0().as_f64().abs()),
+        "fabsf" => Value::F32(a0().as_f32().abs()),
+        "pow" => Value::F64(a0().as_f64().powf(a1().as_f64())),
+        "powf" => Value::F32(a0().as_f32().powf(a1().as_f32())),
+        "exp" => Value::F64(a0().as_f64().exp()),
+        "expf" => Value::F32(a0().as_f32().exp()),
+        "log" => Value::F64(a0().as_f64().ln()),
+        "logf" => Value::F32(a0().as_f32().ln()),
+        "sin" => Value::F64(a0().as_f64().sin()),
+        "cos" => Value::F64(a0().as_f64().cos()),
+        "floor" => Value::F64(a0().as_f64().floor()),
+        "ceil" => Value::F64(a0().as_f64().ceil()),
+        "fmax" => Value::F64(a0().as_f64().max(a1().as_f64())),
+        "fmin" => Value::F64(a0().as_f64().min(a1().as_f64())),
+        "fmaxf" => Value::F32(a0().as_f32().max(a1().as_f32())),
+        "fminf" => Value::F32(a0().as_f32().min(a1().as_f32())),
+        "abs" => Value::I32(a0().as_i32().wrapping_abs()),
+        "malloc" => {
+            let size = a0().as_i64().max(0) as u64;
+            let off = m.heap.lock().alloc(size)?;
+            Value::Ptr(addr::make(Space::Host, off))
+        }
+        "free" => {
+            let p = a0().as_ptr();
+            if p != 0 {
+                m.heap.lock().free(addr::offset(p))?;
+            }
+            Value::I32(0)
+        }
+        "memset" => {
+            let p = addr::offset(a0().as_ptr());
+            let byte = a1().as_i32() as u8;
+            let len = args.get(2).copied().unwrap_or(Value::I32(0)).as_i64() as u64;
+            for i in 0..len {
+                m.mem.store_u8(p + i, byte)?;
+            }
+            a0()
+        }
+        "exit" => return Err(InterpError::Trap(format!("guest called exit({})", a0().as_i32()))),
+        other => unreachable!("unhandled builtin {other}"),
+    })
+}

@@ -1,0 +1,542 @@
+//! The register bytecode VM — the production host executor.
+//!
+//! Executes [`crate::bytecode::CompiledProgram`] images produced by
+//! [`crate::compile`]. Semantics are bit-identical to the tree-walking
+//! oracle ([`crate::walker`]): every arithmetic step goes through the
+//! shared [`crate::rt`] helpers, typed memory access replicates the
+//! walker's `load_typed`/`store_typed` byte-for-byte, and trap conditions
+//! carry the walker's exact messages. Only dispatch cost differs.
+//!
+//! Execution model: one `Value` register window per guest call (the
+//! compiler pre-resolves scalar locals into window slots), a guest-memory
+//! stack frame identical to the walker's for address-taken and aggregate
+//! locals, and guest-to-guest calls on an explicit [`Frame`] stack —
+//! guest recursion must not consume host stack, whose debug-build frames
+//! would overflow well before the guest's 200-frame limit. Dispatch and
+//! instruction counts accumulate locally and flush to the machine's
+//! atomic counters when the top-level call returns (see `obs`'s `vm.*`
+//! metrics).
+
+use std::sync::Arc;
+
+use vmcommon::addr::{self, Space};
+use vmcommon::{MemArena, MemError, Value};
+
+use crate::ast::BinOp;
+use crate::bytecode::{CompiledProgram, Op, ParamSpec, TyK};
+use crate::interp::{HookCtx, Hooks, IResult, InterpError, Machine, STACK_SIZE};
+use crate::rt;
+
+/// An execution context: one per OS thread, with its own guest stack.
+pub struct Vm {
+    machine: Arc<Machine>,
+    hooks: Arc<dyn Hooks>,
+    stack_block: u64,
+    sp: u64,
+    depth: u32,
+    /// Instructions retired since the last flush.
+    instructions: u64,
+    /// Dispatch counts by [`crate::bytecode::OpCat`].
+    dispatch: [u64; 6],
+}
+
+impl Vm {
+    /// Create a VM with a fresh guest stack. Compiles the program and runs
+    /// global initializers on first creation per machine.
+    pub fn new(machine: Arc<Machine>, hooks: Arc<dyn Hooks>) -> IResult<Vm> {
+        let stack_block = machine.heap.lock().alloc(STACK_SIZE)?;
+        let mut vm = Vm {
+            machine,
+            hooks,
+            stack_block,
+            sp: stack_block,
+            depth: 0,
+            instructions: 0,
+            dispatch: [0; 6],
+        };
+        vm.init_globals_once()?;
+        Ok(vm)
+    }
+
+    fn init_globals_once(&mut self) -> IResult<()> {
+        if self.machine.globals_ready.swap(true, std::sync::atomic::Ordering::SeqCst) {
+            return Ok(());
+        }
+        let machine = self.machine.clone();
+        let prog = machine.compiled();
+        if let Some(idx) = prog.init_chunk {
+            let r = self.call_chunk(prog, idx, &[]);
+            self.flush_counters();
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Run `main` (or any entry) with no arguments.
+    pub fn run_main(&mut self) -> IResult<Value> {
+        self.call("main", &[])
+    }
+
+    /// Call a guest function by name.
+    pub fn call(&mut self, name: &str, args: &[Value]) -> IResult<Value> {
+        let machine = self.machine.clone();
+        let prog = machine.compiled();
+        let idx = match prog.fn_chunk.get(name) {
+            Some(&i) => i,
+            None => return Err(InterpError::Trap(format!("undefined function `{name}`"))),
+        };
+        let r = self.call_chunk(prog, idx, args);
+        self.flush_counters();
+        r
+    }
+
+    fn flush_counters(&mut self) {
+        if self.instructions != 0 {
+            self.machine.add_vm_counters(self.instructions, &self.dispatch);
+            self.instructions = 0;
+            self.dispatch = [0; 6];
+        }
+    }
+
+    fn call_chunk(&mut self, prog: &CompiledProgram, idx: u32, args: &[Value]) -> IResult<Value> {
+        // An error abandons every frame entered since this call (guest
+        // state is about to be reported broken anyway) — restore the
+        // stack pointer and depth wholesale.
+        let (sp0, depth0) = (self.sp, self.depth);
+        let r = self.run(prog, idx, args);
+        if r.is_err() {
+            self.sp = sp0;
+            self.depth = depth0;
+        }
+        r
+    }
+
+    /// Enter a guest frame: checks, guest-stack reservation, register
+    /// window setup, parameter binding. On error the caller unwinds
+    /// `sp`/`depth` (see `call_chunk`).
+    fn new_frame(
+        &mut self,
+        prog: &CompiledProgram,
+        idx: u32,
+        args: &[Value],
+        ret_dst: u16,
+    ) -> IResult<Frame> {
+        // Same order as the walker's `call_def`: depth first, then argc.
+        if self.depth > 200 {
+            return Err(InterpError::Trap("guest stack overflow (recursion too deep)".into()));
+        }
+        let chunk = &prog.chunks[idx as usize];
+        if args.len() != chunk.params.len() {
+            return Err(InterpError::Trap(format!(
+                "call to `{}` with {} args (expected {})",
+                chunk.name,
+                args.len(),
+                chunk.params.len()
+            )));
+        }
+        let saved_sp = self.sp;
+        let base = self.sp.next_multiple_of(16);
+        if base + chunk.frame_size > self.stack_block + STACK_SIZE {
+            return Err(InterpError::Trap("guest stack exhausted".into()));
+        }
+        self.sp = base + chunk.frame_size;
+        self.depth += 1;
+
+        let mut regs: Vec<Value> = vec![Value::I32(0); chunk.nregs as usize];
+        for &(r, ty) in &chunk.zero_init {
+            regs[r as usize] = zero_k(ty);
+        }
+        for (spec, v) in chunk.params.iter().zip(args) {
+            match spec {
+                ParamSpec::Reg { reg, ty } => regs[*reg as usize] = convert_k(*v, *ty),
+                ParamSpec::Mem { off, ty } => {
+                    let a = addr::make(Space::Host, addr::offset(base) + *off as u64);
+                    store_k(&self.machine, a, *ty, *v)?;
+                }
+            }
+        }
+        Ok(Frame { chunk: idx, pc: 0, base, saved_sp, ret_dst, regs })
+    }
+
+    /// The dispatch loop, over an explicit guest call stack.
+    fn run(&mut self, prog: &CompiledProgram, idx: u32, args: &[Value]) -> IResult<Value> {
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut cur = self.new_frame(prog, idx, args, 0)?;
+        let machine = self.machine.clone();
+        let mem = &machine.mem;
+        'frame: loop {
+            let chunk = &prog.chunks[cur.chunk as usize];
+            let code = &chunk.code;
+            let frame_off = addr::offset(cur.base);
+            let mut pc = cur.pc;
+            let regs = &mut cur.regs;
+            loop {
+                let op = &code[pc];
+                self.instructions += 1;
+                self.dispatch[op.cat() as usize] += 1;
+                match op {
+                    Op::Const { dst, idx } => {
+                        regs[*dst as usize] = prog.consts[*idx as usize];
+                    }
+                    Op::Mov { dst, src } => regs[*dst as usize] = regs[*src as usize],
+                    Op::Conv { dst, src, ty } => {
+                        regs[*dst as usize] = convert_k(regs[*src as usize], *ty);
+                    }
+                    Op::FrameAddr { dst, off } => {
+                        regs[*dst as usize] =
+                            Value::Ptr(addr::make(Space::Host, frame_off + *off as u64));
+                    }
+                    Op::LoadSlot { dst, off, ty } => {
+                        regs[*dst as usize] = load_arena(mem, frame_off + *off as u64, *ty)?;
+                    }
+                    Op::StoreSlot { off, src, ty } => {
+                        store_arena(mem, frame_off + *off as u64, *ty, regs[*src as usize])?;
+                    }
+                    Op::LoadAbs { dst, at, ty } => {
+                        let a = prog.consts[*at as usize].as_ptr();
+                        regs[*dst as usize] = load_k(&machine, a, *ty)?;
+                    }
+                    Op::StoreAbs { at, src, ty } => {
+                        let a = prog.consts[*at as usize].as_ptr();
+                        store_k(&self.machine, a, *ty, regs[*src as usize])?;
+                    }
+                    Op::Load { dst, addr, off, ty } => {
+                        let p = regs[*addr as usize].as_ptr();
+                        if p == 0 {
+                            return Err(InterpError::Mem(MemError::Null));
+                        }
+                        regs[*dst as usize] = load_k(&machine, p + *off as u64, *ty)?;
+                    }
+                    Op::Store { addr, off, src, ty } => {
+                        let p = regs[*addr as usize].as_ptr();
+                        if p == 0 {
+                            return Err(InterpError::Mem(MemError::Null));
+                        }
+                        store_k(&machine, p + *off as u64, *ty, regs[*src as usize])?;
+                    }
+                    Op::LoadIdx { dst, base, idx, stride, ty } => {
+                        let a =
+                            idx_addr(regs[*base as usize], regs[*idx as usize], *stride as u64)?;
+                        regs[*dst as usize] = load_k(&machine, a, *ty)?;
+                    }
+                    Op::StoreIdx { base, idx, stride, src, ty } => {
+                        let a =
+                            idx_addr(regs[*base as usize], regs[*idx as usize], *stride as u64)?;
+                        store_k(&self.machine, a, *ty, regs[*src as usize])?;
+                    }
+                    Op::AddrIdx { dst, base, idx, stride } => {
+                        let a =
+                            idx_addr(regs[*base as usize], regs[*idx as usize], *stride as u64)?;
+                        regs[*dst as usize] = Value::Ptr(a);
+                    }
+                    Op::LoadIdxD { dst, base, idx, stride, ty } => {
+                        let s = regs[*stride as usize].as_i64() as u64;
+                        let a = idx_addr(regs[*base as usize], regs[*idx as usize], s)?;
+                        regs[*dst as usize] = load_k(&machine, a, *ty)?;
+                    }
+                    Op::StoreIdxD { base, idx, stride, src, ty } => {
+                        let s = regs[*stride as usize].as_i64() as u64;
+                        let a = idx_addr(regs[*base as usize], regs[*idx as usize], s)?;
+                        store_k(&self.machine, a, *ty, regs[*src as usize])?;
+                    }
+                    Op::AddrIdxD { dst, base, idx, stride } => {
+                        let s = regs[*stride as usize].as_i64() as u64;
+                        let a = idx_addr(regs[*base as usize], regs[*idx as usize], s)?;
+                        regs[*dst as usize] = Value::Ptr(a);
+                    }
+                    Op::ChkNull { src } => {
+                        if regs[*src as usize].as_ptr() == 0 {
+                            return Err(InterpError::Mem(MemError::Null));
+                        }
+                    }
+                    Op::Stride { dst, extent, elem } => {
+                        let n = regs[*extent as usize].as_i64();
+                        if n < 0 {
+                            return Err(InterpError::Trap("negative VLA extent".into()));
+                        }
+                        regs[*dst as usize] = Value::I64((*elem as u64 * n as u64) as i64);
+                    }
+                    Op::StrideD { dst, extent, elem } => {
+                        let n = regs[*extent as usize].as_i64();
+                        if n < 0 {
+                            return Err(InterpError::Trap("negative VLA extent".into()));
+                        }
+                        let e = regs[*elem as usize].as_i64() as u64;
+                        regs[*dst as usize] = Value::I64((e * n as u64) as i64);
+                    }
+                    Op::Bin { op, dst, a, b, stride } => {
+                        regs[*dst as usize] = rt::apply_binop(
+                            *op,
+                            regs[*a as usize],
+                            *stride as u64,
+                            regs[*b as usize],
+                        )?;
+                    }
+                    Op::BinD { op, dst, a, b, stride } => {
+                        let s = regs[*stride as usize].as_i64() as u64;
+                        regs[*dst as usize] =
+                            rt::apply_binop(*op, regs[*a as usize], s, regs[*b as usize])?;
+                    }
+                    Op::PtrDiff { dst, a, b, stride } => {
+                        let s = (*stride as u64).max(1);
+                        let d =
+                            regs[*a as usize].as_ptr() as i64 - regs[*b as usize].as_ptr() as i64;
+                        regs[*dst as usize] = Value::I64(d / s as i64);
+                    }
+                    Op::PtrDiffD { dst, a, b, stride } => {
+                        let s = (regs[*stride as usize].as_i64() as u64).max(1);
+                        let d =
+                            regs[*a as usize].as_ptr() as i64 - regs[*b as usize].as_ptr() as i64;
+                        regs[*dst as usize] = Value::I64(d / s as i64);
+                    }
+                    Op::FmaAssign { dst, a, b, ty } => {
+                        // Exactly the walker's compound-assign: rhs product,
+                        // then accumulate, then convert — two rounding steps.
+                        let t =
+                            rt::apply_binop(BinOp::Mul, regs[*a as usize], 1, regs[*b as usize])?;
+                        let s = rt::apply_binop(BinOp::Add, regs[*dst as usize], 1, t)?;
+                        regs[*dst as usize] = convert_k(s, *ty);
+                    }
+                    Op::Neg { dst, src } => {
+                        regs[*dst as usize] = match regs[*src as usize] {
+                            Value::I32(v) => Value::I32(v.wrapping_neg()),
+                            Value::I64(v) => Value::I64(v.wrapping_neg()),
+                            Value::F32(v) => Value::F32(-v),
+                            Value::F64(v) => Value::F64(-v),
+                            Value::Ptr(v) => Value::I64(-(v as i64)),
+                        };
+                    }
+                    Op::NotL { dst, src } => {
+                        regs[*dst as usize] = Value::I32(!regs[*src as usize].is_truthy() as i32);
+                    }
+                    Op::BitNot { dst, src } => {
+                        regs[*dst as usize] = match regs[*src as usize] {
+                            Value::I64(v) => Value::I64(!v),
+                            v => Value::I32(!v.as_i32()),
+                        };
+                    }
+                    Op::Truth { dst, src } => {
+                        regs[*dst as usize] = Value::I32(regs[*src as usize].is_truthy() as i32);
+                    }
+                    Op::Jmp { to } => {
+                        pc = *to as usize;
+                        continue;
+                    }
+                    Op::Jz { cond, to } => {
+                        if !regs[*cond as usize].is_truthy() {
+                            pc = *to as usize;
+                            continue;
+                        }
+                    }
+                    Op::Jnz { cond, to } => {
+                        if regs[*cond as usize].is_truthy() {
+                            pc = *to as usize;
+                            continue;
+                        }
+                    }
+                    Op::Ret { src } => {
+                        let v = regs[*src as usize];
+                        self.sp = cur.saved_sp;
+                        self.depth -= 1;
+                        match frames.pop() {
+                            None => return Ok(v),
+                            Some(parent) => {
+                                let dst = cur.ret_dst as usize;
+                                cur = parent;
+                                cur.regs[dst] = v;
+                                continue 'frame;
+                            }
+                        }
+                    }
+                    Op::Call { dst, func, abase, nargs } => {
+                        let a = *abase as usize;
+                        let args: Vec<Value> = regs[a..a + *nargs as usize].to_vec();
+                        cur.pc = pc + 1;
+                        let callee = self.new_frame(prog, *func, &args, *dst)?;
+                        frames.push(std::mem::replace(&mut cur, callee));
+                        continue 'frame;
+                    }
+                    Op::CallBuiltin { dst, which, abase, nargs } => {
+                        let a = *abase as usize;
+                        regs[*dst as usize] =
+                            rt::call_builtin(&machine, *which, &regs[a..a + *nargs as usize])?;
+                    }
+                    Op::CallHook { dst, name, abase, nargs } => {
+                        let name = &prog.strs[*name as usize];
+                        let a = *abase as usize;
+                        let hooks = self.hooks.clone();
+                        let ctx = HookCtx { machine: &machine, hooks: &self.hooks };
+                        match hooks.call(name, &regs[a..a + *nargs as usize], &ctx)? {
+                            Some(v) => regs[*dst as usize] = v,
+                            None => {
+                                return Err(InterpError::Trap(format!("unknown function `{name}`")))
+                            }
+                        }
+                    }
+                    Op::Printf { dst, fmt, abase, nargs } => {
+                        let fmt = &prog.strs[*fmt as usize];
+                        let a = *abase as usize;
+                        regs[*dst as usize] =
+                            rt::do_printf(&machine, fmt, &regs[a..a + *nargs as usize])?;
+                    }
+                    Op::PrintfD { dst, fmt, abase, nargs } => {
+                        let p = regs[*fmt as usize].as_ptr();
+                        let fmt = machine.mem.read_cstr(addr::offset(p))?;
+                        let a = *abase as usize;
+                        let avail = &regs[a..a + *nargs as usize];
+                        let n = rt::printf_arg_kinds(&fmt).len().min(avail.len());
+                        regs[*dst as usize] = rt::do_printf(&machine, &fmt, &avail[..n])?;
+                    }
+                    Op::Launch { name, gb, abase, nargs } => {
+                        let name = &prog.strs[*name as usize];
+                        let g = dim3_from(regs, *gb);
+                        let b = dim3_from(regs, *gb + 3);
+                        let a = *abase as usize;
+                        let hooks = self.hooks.clone();
+                        let ctx = HookCtx { machine: &machine, hooks: &self.hooks };
+                        hooks.kernel_launch(name, g, b, &regs[a..a + *nargs as usize], &ctx)?;
+                    }
+                    Op::DimFix { dst, src } => {
+                        regs[*dst as usize] =
+                            Value::I64(regs[*src as usize].as_i64().max(1) as u32 as i64);
+                    }
+                    Op::Dim3Load { dst3, off } => {
+                        let a = frame_off + *off as u64;
+                        for k in 0..3u64 {
+                            regs[(*dst3 + k as u16) as usize] =
+                                Value::I64(mem.load_u32(a + 4 * k)? as i64);
+                        }
+                    }
+                    Op::Dim3Store { off, src3 } => {
+                        let a = frame_off + *off as u64;
+                        for k in 0..3u64 {
+                            let v = regs[(*src3 + k as u16) as usize].as_i64() as u32;
+                            mem.store_u32(a + 4 * k, v)?;
+                        }
+                    }
+                    Op::Trap { msg } => {
+                        return Err(InterpError::Trap(prog.strs[*msg as usize].clone()))
+                    }
+                }
+                pc += 1;
+            }
+        }
+    }
+}
+
+/// One live guest frame on the explicit call stack.
+struct Frame {
+    chunk: u32,
+    /// Resumption point in the chunk (the op after the pending `Call`).
+    pc: usize,
+    /// Guest frame base address.
+    base: u64,
+    /// `sp` to restore when this frame returns.
+    saved_sp: u64,
+    /// Caller register receiving the return value.
+    ret_dst: u16,
+    regs: Vec<Value>,
+}
+
+impl Drop for Vm {
+    fn drop(&mut self) {
+        let _ = self.machine.heap.lock().free(self.stack_block);
+    }
+}
+
+/// Fused element address: the walker's `(p + i * stride)` with its null
+/// check at lvalue time.
+#[inline]
+fn idx_addr(base: Value, idx: Value, stride: u64) -> IResult<u64> {
+    let p = base.as_ptr();
+    if p == 0 {
+        return Err(InterpError::Mem(MemError::Null));
+    }
+    Ok((p as i64 + idx.as_i64() * stride as i64) as u64)
+}
+
+/// [`rt::convert`] over the compact type kind (identical per-type rules).
+#[inline]
+fn convert_k(v: Value, ty: TyK) -> Value {
+    match ty {
+        TyK::Char => Value::I32(v.as_i64() as i8 as i32),
+        TyK::Int => Value::I32(v.as_i32()),
+        TyK::Long => Value::I64(v.as_i64()),
+        TyK::Float => Value::F32(v.as_f32()),
+        TyK::Double => Value::F64(v.as_f64()),
+        TyK::Ptr => Value::Ptr(v.as_ptr()),
+        // Whole-dim3 assignment converts like the walker: identity.
+        TyK::Dim3X => v,
+    }
+}
+
+/// The typed zero a fresh frame slot would load as.
+fn zero_k(ty: TyK) -> Value {
+    match ty {
+        TyK::Char | TyK::Int => Value::I32(0),
+        TyK::Long => Value::I64(0),
+        TyK::Float => Value::F32(0.0),
+        TyK::Double => Value::F64(0.0),
+        TyK::Ptr => Value::Ptr(0),
+        TyK::Dim3X => Value::I32(0),
+    }
+}
+
+/// The walker's `resolve_space`: host addresses only.
+#[inline]
+fn resolve(m: &Machine, a: u64) -> IResult<&MemArena> {
+    match addr::space(a) {
+        Some(Space::Host) => Ok(&m.mem),
+        _ => Err(InterpError::Mem(MemError::BadSpace { addr: a })),
+    }
+}
+
+/// The walker's `load_typed`, keyed by [`TyK`].
+#[inline]
+fn load_k(m: &Machine, a: u64, ty: TyK) -> IResult<Value> {
+    let mem = resolve(m, a)?;
+    load_arena(mem, addr::offset(a), ty)
+}
+
+#[inline]
+fn load_arena(mem: &MemArena, off: u64, ty: TyK) -> IResult<Value> {
+    Ok(match ty {
+        TyK::Char => Value::I32(mem.load_u8(off)? as i8 as i32),
+        TyK::Int => Value::I32(mem.load_u32(off)? as i32),
+        TyK::Long => Value::I64(mem.load_u64(off)? as i64),
+        TyK::Float => Value::F32(f32::from_bits(mem.load_u32(off)?)),
+        TyK::Double => Value::F64(f64::from_bits(mem.load_u64(off)?)),
+        TyK::Ptr => Value::Ptr(mem.load_u64(off)?),
+        TyK::Dim3X => return Err(InterpError::Trap("cannot load value of type dim3".into())),
+    })
+}
+
+/// The walker's `store_typed`, keyed by [`TyK`] (`Dim3X` stores the x
+/// component, matching whole-`dim3` scalar stores).
+#[inline]
+fn store_k(m: &Machine, a: u64, ty: TyK, v: Value) -> IResult<()> {
+    let mem = resolve(m, a)?;
+    store_arena(mem, addr::offset(a), ty, v)
+}
+
+#[inline]
+fn store_arena(mem: &MemArena, off: u64, ty: TyK, v: Value) -> IResult<()> {
+    match ty {
+        TyK::Char => mem.store_u8(off, v.as_i64() as u8)?,
+        TyK::Int => mem.store_u32(off, v.as_i32() as u32)?,
+        TyK::Long => mem.store_u64(off, v.as_i64() as u64)?,
+        TyK::Float => mem.store_u32(off, v.as_f32().to_bits())?,
+        TyK::Double => mem.store_u64(off, v.as_f64().to_bits())?,
+        TyK::Ptr => mem.store_u64(off, v.as_ptr())?,
+        TyK::Dim3X => mem.store_u32(off, v.as_i64() as u32)?,
+    }
+    Ok(())
+}
+
+fn dim3_from(regs: &[Value], at: u16) -> [u32; 3] {
+    [
+        regs[at as usize].as_i64() as u32,
+        regs[at as usize + 1].as_i64() as u32,
+        regs[at as usize + 2].as_i64() as u32,
+    ]
+}

@@ -1,0 +1,462 @@
+//! Host-execution semantics, run on BOTH engines (bytecode VM and the
+//! tree-walking oracle). Every case asserts the same result for each
+//! engine, so this suite is also a fine-grained differential harness for
+//! the compiler/VM against the executable specification.
+
+use std::sync::Arc;
+
+use minic::interp::{Engine, HookCtx, Hooks, IResult, Interp, Machine, NoHooks};
+use vmcommon::Value;
+
+const ENGINES: [Engine; 2] = [Engine::Vm, Engine::Walker];
+
+/// Run `main` under one engine on a fresh machine.
+fn run_on(engine: Engine, src: &str) -> (Arc<Machine>, Value) {
+    let m = Machine::from_source(src).unwrap();
+    m.set_engine(engine);
+    let mut i = Interp::new(m.clone(), Arc::new(NoHooks)).unwrap();
+    let v = i.run_main().unwrap();
+    (m, v)
+}
+
+/// Assert `main` returns `want` and prints `out` under both engines.
+fn check(src: &str, want: Value, out: &str) {
+    for e in ENGINES {
+        let (m, v) = run_on(e, src);
+        assert_eq!(v, want, "return value under {e:?}");
+        assert_eq!(m.take_output(), out, "output under {e:?}");
+    }
+}
+
+fn check_ret(src: &str, want: i32) {
+    check(src, Value::I32(want), "");
+}
+
+/// Assert `main` fails with the SAME error string under both engines.
+fn check_err(src: &str) {
+    let mut msgs = Vec::new();
+    for e in ENGINES {
+        let m = Machine::from_source(src).unwrap();
+        m.set_engine(e);
+        let mut i = Interp::new(m, Arc::new(NoHooks)).unwrap();
+        msgs.push(i.run_main().unwrap_err().to_string());
+    }
+    assert_eq!(msgs[0], msgs[1], "vm and walker error messages differ");
+}
+
+#[test]
+fn arithmetic_and_control_flow() {
+    check_ret("int main() { int s = 0; for (int i = 1; i <= 10; i++) s += i; return s; }", 55);
+}
+
+#[test]
+fn while_break_continue() {
+    check_ret(
+        "int main() { int s = 0; int i = 0; while (1) { i++; if (i > 10) break; if (i % 2) continue; s += i; } return s; }",
+        30,
+    );
+}
+
+#[test]
+fn do_while() {
+    check_ret(
+        "int main() { int s = 0; int i = 0; do { s += i; i++; } while (i < 5); return s; }",
+        10,
+    );
+}
+
+#[test]
+fn functions_and_recursion() {
+    check_ret(
+        "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } int main() { return fib(10); }",
+        55,
+    );
+}
+
+#[test]
+fn arrays_pointers_addressof() {
+    check_ret(
+        r#"
+void twice(int *p) { *p = *p * 2; }
+int main() {
+    int a[4];
+    for (int i = 0; i < 4; i++) a[i] = i + 1;
+    twice(&a[2]);
+    int *p = a;
+    return p[0] + p[1] + p[2] + p[3];
+}
+"#,
+        1 + 2 + 6 + 4,
+    );
+}
+
+#[test]
+fn two_d_arrays() {
+    check_ret(
+        r#"
+int main() {
+    int m[3][4];
+    for (int i = 0; i < 3; i++)
+        for (int j = 0; j < 4; j++)
+            m[i][j] = i * 10 + j;
+    return m[2][3];
+}
+"#,
+        23,
+    );
+}
+
+#[test]
+fn vla_param_indexing() {
+    check_ret(
+        r#"
+int get(int n, int a[n][n], int i, int j) { return a[i][j]; }
+int main() {
+    int m[3][3];
+    m[1][2] = 42;
+    return get(3, m, 1, 2);
+}
+"#,
+        42,
+    );
+}
+
+#[test]
+fn float_precision_f32() {
+    // f32 arithmetic must round to single precision.
+    check_ret("int main() { float a = 16777216.0f; float b = a + 1.0f; return b == a; }", 1);
+}
+
+#[test]
+fn fma_shape_rounds_in_two_steps() {
+    // `acc += a * b` must round the product, then the sum — not fuse into
+    // one higher-precision step.
+    check_ret(
+        r#"
+int main() {
+    float acc = 16777216.0f;
+    float a = 0.5f;
+    float b = 1.0f;
+    acc += a * b;
+    return acc == 16777216.0f;
+}
+"#,
+        1,
+    );
+}
+
+#[test]
+fn printf_capture() {
+    check(
+        r#"int main() { printf("x=%d y=%5.2f %s\n", 3, 1.5, "hi"); return 0; }"#,
+        Value::I32(0),
+        "x=3 y= 1.50 hi\n",
+    );
+}
+
+#[test]
+fn printf_surplus_args_not_evaluated() {
+    // The zip against the conversion list means g() must never run.
+    check(
+        r#"
+int g() { printf("BOOM"); return 1; }
+int main() { printf("n=%d\n", 7, g()); return 0; }
+"#,
+        Value::I32(0),
+        "n=7\n",
+    );
+}
+
+#[test]
+fn malloc_free() {
+    check_ret(
+        r#"
+int main() {
+    float *p = (float *) malloc(16 * sizeof(float));
+    for (int i = 0; i < 16; i++) p[i] = (float) i;
+    float s = 0.0f;
+    for (int i = 0; i < 16; i++) s += p[i];
+    free(p);
+    return (int) s;
+}
+"#,
+        120,
+    );
+}
+
+#[test]
+fn globals_with_initializers() {
+    check_ret("int g = 7; int arr[3] = {1, 2, 3}; int main() { return g + arr[1]; }", 9);
+}
+
+#[test]
+fn ternary_and_logical() {
+    check_ret(
+        "int main() { int a = 5; int b = 3; return (a > b ? a : b) + (a && b) + (0 || 0); }",
+        6,
+    );
+}
+
+#[test]
+fn short_circuit_skips_side_effects() {
+    check(
+        r#"
+int noisy() { printf("x"); return 1; }
+int main() {
+    int a = 0 && noisy();
+    int b = 1 || noisy();
+    return a + b;
+}
+"#,
+        Value::I32(1),
+        "",
+    );
+}
+
+#[test]
+fn pointer_arithmetic_strided() {
+    check_ret(
+        r#"
+int main() {
+    double d[4];
+    d[0] = 1.5; d[1] = 2.5; d[2] = 3.5; d[3] = 4.5;
+    double *p = d + 1;
+    p++;
+    return (int)(*p * 2.0);
+}
+"#,
+        7,
+    );
+}
+
+#[test]
+fn pointer_difference() {
+    check_ret(
+        r#"
+int main() {
+    double d[8];
+    double *a = d + 1;
+    double *b = d + 6;
+    return (int)(b - a);
+}
+"#,
+        5,
+    );
+}
+
+#[test]
+fn compound_assign_through_pointer() {
+    check_ret(
+        r#"
+int main() {
+    int a[3];
+    a[0] = 1; a[1] = 2; a[2] = 3;
+    int *p = a + 1;
+    *p *= 10;
+    p[1] += 5;
+    return a[0] + a[1] + a[2];
+}
+"#,
+        1 + 20 + 8,
+    );
+}
+
+#[test]
+fn incdec_pre_post() {
+    check_ret(
+        r#"
+int main() {
+    int i = 5;
+    int a = i++;
+    int b = ++i;
+    int c = i--;
+    int d = --i;
+    return a * 1000 + b * 100 + c * 10 + d;
+}
+"#,
+        5 * 1000 + 7 * 100 + 7 * 10 + 5,
+    );
+}
+
+#[test]
+fn char_narrowing() {
+    check_ret("int main() { char c = 300; return c; }", 44);
+}
+
+#[test]
+fn comma_and_casts() {
+    check_ret("int main() { int x = (1, 2, 3); double d = 7.9; return x + (int)d; }", 10);
+}
+
+#[test]
+fn omp_pragmas_ignored_sequentially() {
+    // Directly executing an OpenMP program = 1-thread semantics.
+    check_ret(
+        r#"
+int main() {
+    int s = 0;
+    #pragma omp parallel for reduction(+: s)
+    for (int i = 0; i < 10; i++)
+        s += i;
+    return s;
+}
+"#,
+        45,
+    );
+}
+
+#[test]
+fn evaluation_order_lvalue_before_rhs() {
+    check(
+        r#"
+int idx() { printf("i"); return 1; }
+int val() { printf("v"); return 9; }
+int main() {
+    int a[2];
+    a[0] = 0; a[1] = 0;
+    a[idx()] = val();
+    return a[1];
+}
+"#,
+        Value::I32(9),
+        "iv",
+    );
+}
+
+#[test]
+fn null_deref_traps() {
+    check_err("int main() { int *p = (int*)0; return *p; }");
+}
+
+#[test]
+fn null_index_traps() {
+    check_err("int main() { int *p = (int*)0; return p[3]; }");
+}
+
+#[test]
+fn division_by_zero_traps() {
+    check_err("int main() { int z = 0; return 4 / z; }");
+}
+
+#[test]
+fn deep_recursion_traps() {
+    // The VM runs guest calls on an explicit frame stack and traps within
+    // any host thread; the walker oracle recurses on the host stack, whose
+    // unoptimized frames outgrow the default 2 MiB test thread before the
+    // guest's 200-frame limit — give the comparison room.
+    std::thread::Builder::new()
+        .stack_size(32 << 20)
+        .spawn(|| check_err("int f(int n) { return f(n + 1); } int main() { return f(0); }"))
+        .unwrap()
+        .join()
+        .unwrap();
+}
+
+#[test]
+fn unknown_function_traps() {
+    check_err("int main() { return nosuchfn(1); }");
+}
+
+#[test]
+fn negative_vla_extent_traps() {
+    check_err("int main() { int n = -3; return (int)sizeof(int[n]); }");
+}
+
+#[test]
+fn hooks_receive_unknown_calls() {
+    struct H;
+    impl Hooks for H {
+        fn call(&self, name: &str, args: &[Value], _ctx: &HookCtx<'_>) -> IResult<Option<Value>> {
+            if name == "magic" {
+                Ok(Some(Value::I32(args[0].as_i32() * 10)))
+            } else {
+                Ok(None)
+            }
+        }
+    }
+    for e in ENGINES {
+        let m = Machine::from_source("int main() { return magic(4); }").unwrap();
+        m.set_engine(e);
+        let mut i = Interp::new(m, Arc::new(H)).unwrap();
+        assert_eq!(i.run_main().unwrap(), Value::I32(40));
+    }
+}
+
+#[test]
+fn hook_can_reenter_guest() {
+    struct H;
+    impl Hooks for H {
+        fn call(&self, name: &str, _args: &[Value], ctx: &HookCtx<'_>) -> IResult<Option<Value>> {
+            if name == "call_twice" {
+                let a = ctx.call_guest("work", &[Value::I32(1)])?;
+                let b = ctx.call_guest("work", &[Value::I32(2)])?;
+                Ok(Some(Value::I32(a.as_i32() + b.as_i32())))
+            } else {
+                Ok(None)
+            }
+        }
+    }
+    for e in ENGINES {
+        let m = Machine::from_source(
+            "int work(int x) { return x * 100; } int main() { return call_twice(); }",
+        )
+        .unwrap();
+        m.set_engine(e);
+        let mut i = Interp::new(m, Arc::new(H)).unwrap();
+        assert_eq!(i.run_main().unwrap(), Value::I32(300));
+    }
+}
+
+#[test]
+fn dim3_variables() {
+    check_ret("int main() { dim3 b(32, 8); return b.x + b.y + b.z; }", 41);
+}
+
+#[test]
+fn concurrent_interps_share_memory() {
+    for e in ENGINES {
+        let m = Machine::from_source(
+            "int counter; void bump() { counter = counter + 1; } int main() { return 0; }",
+        )
+        .unwrap();
+        m.set_engine(e);
+        let g = m.global_addr("counter").unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    let mut i = Interp::new(m, Arc::new(NoHooks)).unwrap();
+                    i.call("bump", &[]).unwrap();
+                });
+            }
+        });
+        // At least one bump landed; memory is shared and valid.
+        let v = m.mem.load_u32(vmcommon::addr::offset(g)).unwrap();
+        assert!((1..=4).contains(&v));
+    }
+}
+
+#[test]
+fn sizeof_expressions() {
+    check_ret(
+        "int main() { float x[10]; return (int)(sizeof(x) + sizeof(long) + sizeof(float*)); }",
+        40 + 8 + 8,
+    );
+}
+
+#[test]
+fn frontend_errors_are_typed() {
+    // Satellite fix: parse/sema failures surface stage + position instead
+    // of a flattened trap string.
+    let e = Machine::from_source("int main() { return 1 +; }").err().expect("must fail");
+    let s = e.to_string();
+    assert!(s.starts_with("parse error at 1:"), "got: {s}");
+    let e = Machine::from_source("int main() { return nope; }x").err().expect("must fail");
+    assert!(e.to_string().contains("error at"), "got: {e}");
+    match Machine::from_source(
+        "int f() { return 0; } int f(int x) { return x; } int main() { int y = f(1); return y; }",
+    ) {
+        Ok(_) => {}
+        Err(e) => panic!("shadowed redefinition should still load: {e}"),
+    }
+}

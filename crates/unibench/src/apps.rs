@@ -16,6 +16,9 @@ pub struct App {
     pub paper_sizes: &'static [u32],
     /// Small size used by the functional validation tests.
     pub test_size: u32,
+    /// Size used by the fig4 host-sequential perf-trajectory series
+    /// (large enough that engine dispatch dominates, small enough for CI).
+    pub bench_size: u32,
     /// Relative-error tolerance for validation.
     pub tolerance: f32,
     /// Bytes of guest memory needed at size n.
@@ -79,6 +82,7 @@ fn gemm() -> App {
         cuda_src: include_str!("apps/gemm_cuda.c"),
         paper_sizes: &[128, 256, 512, 1024, 2048],
         test_size: 40,
+        bench_size: 128,
         tolerance: 2e-4,
         footprint: |n| 3 * (n as u64 * n as u64 * 4) + (n as u64 * n as u64 * 4),
         setup: |m, n| {
@@ -113,6 +117,7 @@ fn atax() -> App {
         cuda_src: include_str!("apps/atax_cuda.c"),
         paper_sizes: &[512, 1024, 2048, 4096, 8192],
         test_size: 96,
+        bench_size: 1024,
         tolerance: 1e-4,
         footprint: |n| 2 * (n as u64 * n as u64 * 4) + 16 * n as u64,
         setup: |m, n| {
@@ -161,6 +166,7 @@ fn bicg() -> App {
         cuda_src: include_str!("apps/bicg_cuda.c"),
         paper_sizes: &[512, 1024, 2048, 4096, 8192],
         test_size: 96,
+        bench_size: 1024,
         tolerance: 1e-4,
         footprint: |n| 2 * (n as u64 * n as u64 * 4) + 24 * n as u64,
         setup: |m, n| {
@@ -218,6 +224,7 @@ fn mvt() -> App {
         cuda_src: include_str!("apps/mvt_cuda.c"),
         paper_sizes: &[512, 1024, 2048, 4096, 8192],
         test_size: 96,
+        bench_size: 1024,
         tolerance: 1e-4,
         footprint: |n| 2 * (n as u64 * n as u64 * 4) + 32 * n as u64,
         setup: |m, n| {
@@ -273,6 +280,7 @@ fn conv3d() -> App {
         cuda_src: include_str!("apps/conv3d_cuda.c"),
         paper_sizes: &[32, 64, 128, 256, 384],
         test_size: 16,
+        bench_size: 64,
         tolerance: 1e-5,
         footprint: |n| 2 * (n as u64 * n as u64 * n as u64 * 4),
         setup: |m, n| {
@@ -329,6 +337,7 @@ fn gramschmidt() -> App {
         cuda_src: include_str!("apps/gramschmidt_cuda.c"),
         paper_sizes: &[128, 256, 512, 1024, 2048],
         test_size: 24,
+        bench_size: 96,
         tolerance: 5e-2,
         footprint: |n| 6 * (n as u64 * n as u64 * 4),
         setup: |m, n| {

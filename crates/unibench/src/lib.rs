@@ -12,8 +12,10 @@
 //! (kernels) and `gramschmidt` (solver) — "typical GPU workloads" from the
 //! linear-algebra and stencil categories.
 
+use std::sync::Arc;
+
 use gpusim::ExecMode;
-use minic::interp::{IResult, Machine};
+use minic::interp::{IResult, Interp, Machine, NoHooks};
 use ompi_core::{CudaCc, Ompicc, Runner, RunnerConfig};
 use vmcommon::{addr, Value};
 
@@ -85,12 +87,36 @@ pub fn compile_cuda(app: &App, work_dir: &std::path::Path) -> ompi_core::Compile
 /// returns the outputs. Buffers are freed afterwards so repeated
 /// measurements (Criterion iterations) do not exhaust the guest heap.
 pub fn run_once(app: &App, runner: &Runner, n: u32) -> IResult<Vec<f32>> {
-    let args = (app.setup)(&runner.machine, n)?;
-    let ran = runner.call("run", &args);
-    let out = ran.and_then(|_| (app.outputs)(&runner.machine, &args, n));
+    run_entry(app, &runner.machine, n, |args| runner.call("run", args))
+}
+
+/// Build a machine that executes an app's untranslated OpenMP source
+/// directly on the host (directives get 1-thread semantics).
+pub fn host_machine(app: &App, n: u32) -> IResult<Arc<Machine>> {
+    let slack = 96u64 << 20;
+    Machine::from_source_with_mem(app.omp_src, ((app.footprint)(n) + slack) as usize)
+}
+
+/// Run an app's guest `run(...)` host-sequentially on `m`'s current engine
+/// (no OMPi translation, no device hooks). Same buffer discipline as
+/// [`run_once`].
+pub fn run_host_once(app: &App, m: &Arc<Machine>, n: u32) -> IResult<Vec<f32>> {
+    let mut i = Interp::new(m.clone(), Arc::new(NoHooks))?;
+    run_entry(app, m, n, |args| i.call("run", args))
+}
+
+fn run_entry(
+    app: &App,
+    m: &Arc<Machine>,
+    n: u32,
+    mut call: impl FnMut(&[Value]) -> IResult<Value>,
+) -> IResult<Vec<f32>> {
+    let args = (app.setup)(m, n)?;
+    let ran = call(&args);
+    let out = ran.and_then(|_| (app.outputs)(m, &args, n));
     for a in &args[1..] {
         if let Value::Ptr(p) = a {
-            let _ = runner.machine.heap.lock().free(addr::offset(*p));
+            let _ = m.heap.lock().free(addr::offset(*p));
         }
     }
     out

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_fig4.json against the committed baseline.
+
+Usage: bench_compare.py BASELINE CURRENT [--max-ratio R]
+
+Two gates, per (app, variant, n) series point present in both files:
+
+* **checksum** — must match bit-exactly. The guest programs are
+  deterministic IEEE-754, so checksums are machine-independent; any
+  drift means an execution-semantics change, not noise.
+* **wall clock** — `wall_s` may not exceed `max-ratio` (default 2.0)
+  times the baseline. Only `host-seq` rows are gated: they measure raw
+  engine throughput, while device rows are dominated by the simulator
+  and carry more scheduling noise. Absolute times differ across
+  machines; the 2x headroom absorbs that, and sustained regressions
+  (e.g. the VM silently falling back to the tree-walker) blow well
+  past it.
+
+Exit status 0 = pass, 1 = regression, 2 = usage/shape error.
+"""
+
+import json
+import sys
+
+
+def key(row):
+    return (row["app"], row["variant"], row["n"])
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    max_ratio = 2.0
+    if "--max-ratio" in argv:
+        max_ratio = float(argv[argv.index("--max-ratio") + 1])
+    with open(argv[1]) as f:
+        base = {key(r): r for r in json.load(f)["series"]}
+    with open(argv[2]) as f:
+        cur = json.load(f)
+    if cur.get("schema") != "ompi-nano/fig4/v1":
+        print(f"unexpected schema: {cur.get('schema')}", file=sys.stderr)
+        return 2
+
+    failures = []
+    compared = 0
+    for row in cur["series"]:
+        b = base.get(key(row))
+        if b is None:
+            continue
+        compared += 1
+        tag = "{}/{}/n={}".format(*key(row))
+        if row["checksum"] != b["checksum"]:
+            failures.append(
+                f"{tag}: checksum {row['checksum']} != baseline {b['checksum']}"
+            )
+        if row["variant"] == "host-seq" and b["wall_s"] > 0:
+            ratio = row["wall_s"] / b["wall_s"]
+            mark = " REGRESSION" if ratio > max_ratio else ""
+            print(
+                f"{tag}: wall {row['wall_s']:.3f}s vs baseline "
+                f"{b['wall_s']:.3f}s ({ratio:.2f}x){mark}"
+            )
+            if ratio > max_ratio:
+                failures.append(f"{tag}: {ratio:.2f}x > {max_ratio}x wall-clock budget")
+    if compared == 0:
+        print("no comparable series points between baseline and current", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {compared} series points within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,11 +5,24 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== module size ratchet (crates/core/src + crates/obs/src, 900 lines) =="
+echo "== module size ratchet (core, obs, minic execution engine; 900 lines) =="
 # The transform monolith was split into a pass pipeline; keep it split.
 # The obs crate starts split (trace/metrics/profile/json); keep it that way.
+# The minic execution engine starts split too (interp facade / walker
+# oracle / bytecode / compile/{mod,expr} / vm / rt); keep each layer under
+# the cap rather than letting the VM regrow into a monolith. (The parser
+# predates the ratchet and is exempt until it gets the same treatment.)
+minic_engine="
+crates/minic/src/interp.rs
+crates/minic/src/walker.rs
+crates/minic/src/bytecode.rs
+crates/minic/src/compile/mod.rs
+crates/minic/src/compile/expr.rs
+crates/minic/src/vm.rs
+crates/minic/src/rt.rs
+"
 oversized=0
-for f in $(find crates/core/src crates/obs/src -name '*.rs'); do
+for f in $(find crates/core/src crates/obs/src -name '*.rs') $minic_engine; do
     lines=$(wc -l < "$f")
     if [ "$lines" -gt 900 ]; then
         echo "FAIL: $f has $lines lines (limit 900)"

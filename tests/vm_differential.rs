@@ -1,0 +1,68 @@
+//! Differential test: the bytecode VM against the tree-walker oracle.
+//!
+//! Every UniBench app is executed by both engines and the outputs are
+//! asserted **bit-identical** — not within tolerance. The two engines run
+//! the same guest source on separately constructed machines, so any
+//! divergence in arithmetic order, conversion, or memory layout shows up
+//! as a checksum mismatch.
+//!
+//! One offloaded case additionally runs the full OMPi pipeline (translate,
+//! JIT, simulated device) under each engine and compares results plus the
+//! simulated device clock, which must not depend on host execution speed.
+
+use minic::interp::Engine;
+use ompi_nano::unibench::{
+    all_apps, app_by_name, compile_omp, host_machine, output_checksum, run_host_once, run_once,
+    runner_config, App,
+};
+use ompi_nano::{ExecMode, Runner};
+
+/// Host-sequential outputs of `app` at size `n` under `engine`.
+fn host_outputs(app: &App, engine: Engine, n: u32) -> Vec<f32> {
+    let m = host_machine(app, n).unwrap();
+    m.set_engine(engine);
+    run_host_once(app, &m, n).unwrap_or_else(|e| panic!("{} under {engine:?}: {e}", app.name))
+}
+
+#[test]
+fn all_apps_bit_identical_on_host() {
+    for app in all_apps() {
+        let n = app.test_size;
+        let vm = host_outputs(&app, Engine::Vm, n);
+        let walker = host_outputs(&app, Engine::Walker, n);
+        assert_eq!(vm.len(), walker.len(), "{}: output length differs", app.name);
+        let (cv, cw) = (output_checksum(&vm), output_checksum(&walker));
+        assert_eq!(cv, cw, "{}: vm 0x{cv:016x} != walker 0x{cw:016x}", app.name);
+        for (i, (a, b)) in vm.iter().zip(&walker).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{}: output[{i}] differs: vm {a} walker {b}",
+                app.name
+            );
+        }
+    }
+}
+
+#[test]
+fn offloaded_run_bit_identical_between_engines() {
+    let app = app_by_name("gemm").unwrap();
+    let n = app.test_size;
+    let dir = std::env::temp_dir().join(format!("ompinano-vmdiff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let compiled = compile_omp(&app, &dir);
+    let cfg = runner_config((app.footprint)(n), ExecMode::Functional, false);
+
+    let mut results = Vec::new();
+    for engine in [Engine::Vm, Engine::Walker] {
+        let runner = Runner::new(&compiled, &cfg).unwrap();
+        runner.machine.set_engine(engine);
+        let out = run_once(&app, &runner, n).unwrap();
+        results.push((engine, output_checksum(&out), runner.dev_clock().total_s()));
+    }
+    let (_, vm_sum, vm_clock) = results[0];
+    let (_, wk_sum, wk_clock) = results[1];
+    assert_eq!(vm_sum, wk_sum, "offloaded gemm checksum differs between engines");
+    assert_eq!(vm_clock, wk_clock, "simulated device clock differs between engines");
+    let _ = std::fs::remove_dir_all(&dir);
+}
