@@ -4,7 +4,7 @@
 //!
 //! Usage:
 //!   fig4 [--app NAME] [--sizes a,b,c] [--full] [--max-blocks N]
-//!        [--trace PATH] [--profile] [--mem SIZE] [--async]
+//!        [--trace PATH] [--profile] [--hotspots] [--mem SIZE] [--async]
 //!        [--chaos-seed N] [--engine vm|walker] [--json PATH] [--quick]
 //!
 //! `--engine` selects the minic execution engine for every machine in the
@@ -46,6 +46,15 @@
 //! Chrome trace-event JSON of every run (load in Perfetto / chrome://tracing)
 //! and `--profile` prints the per-device simulated-time profile table after
 //! each measurement.
+//!
+//! `--hotspots` prints each app's guest-source "hot lines" table: VM
+//! instruction/dispatch counters attributed to source lines through the
+//! compiler's pc→line tables. The attribution always comes from a
+//! dedicated host-sequential pass on the bytecode VM (at the app's test
+//! size), regardless of `--engine` — the walker executes the same
+//! statements but dispatches no bytecode, so the VM's table is *the*
+//! hotspot table for both engines and `--engine vm` / `--engine walker`
+//! print identical output.
 
 use std::sync::Arc;
 
@@ -77,6 +86,7 @@ fn main() {
     let mut max_blocks = 4u32;
     let mut trace_path: Option<std::path::PathBuf> = None;
     let mut profile = false;
+    let mut hotspots = false;
     let mut mem_cap: Option<u64> = None;
     let mut async_streams = false;
     let mut chaos_seed: Option<u64> = None;
@@ -109,6 +119,10 @@ fn main() {
             }
             "--profile" => {
                 profile = true;
+                i += 1;
+            }
+            "--hotspots" => {
+                hotspots = true;
                 i += 1;
             }
             "--mem" => {
@@ -287,6 +301,9 @@ fn main() {
                 vm_instructions: m.drain_vm_counters().instructions,
             });
         }
+        if hotspots {
+            print!("{}", hotspot_table(&app));
+        }
         println!();
     }
 
@@ -309,6 +326,12 @@ fn main() {
             }
         }
     }
+
+    // End-of-run flight dump (`OMPI_FLIGHT_DUMP`, no-op without it). The
+    // runners share this explicit sink and therefore skip their own
+    // drop-time trigger; a device latch or watchdog timeout mid-run
+    // already dumped and wins over this one.
+    obs.flight.post_mortem("fig4 exit");
 }
 
 /// Hand-rolled JSON for the `BENCH_fig4.json` perf-trajectory artifact —
@@ -339,6 +362,30 @@ fn render_json(engine: &str, mode: &str, rows: &[JsonRow]) -> String {
     }
     s.push_str("  ]\n}\n");
     s
+}
+
+/// The guest-source hotspot table for one app: a dedicated attribution
+/// pass on the bytecode VM (host-sequential, at the app's test size). The
+/// VM is forced regardless of `--engine`, so the table is identical under
+/// `--engine vm` and `--engine walker` by construction.
+fn hotspot_table(app: &unibench::App) -> String {
+    let n = app.test_size;
+    let m = host_machine(app, n).unwrap_or_else(|e| panic!("{} hotspots: {e}", app.name));
+    m.set_engine(minic::interp::Engine::Vm);
+    m.set_hotspots(true);
+    run_host_once(app, &m, n)
+        .unwrap_or_else(|e| panic!("{} hotspot pass failed at n={n}: {e}", app.name));
+    let rows: Vec<obs::HotLine> = m
+        .line_profile()
+        .into_iter()
+        .map(|h| obs::HotLine {
+            func: h.func,
+            line: h.line,
+            instructions: h.instructions,
+            dispatch: h.dispatch,
+        })
+        .collect();
+    obs::render_hotspots(&format!("{} n={n} (vm attribution)", app.name), &rows)
 }
 
 /// Export the combined trace of every run. Runners named their own device

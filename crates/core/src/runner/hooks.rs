@@ -48,6 +48,11 @@ pub struct OmpiHooks {
     /// has no cycle model; its elapsed time becomes simulated fallback
     /// time — documented substitution).
     fb_start: Mutex<Option<std::time::Instant>>,
+    /// `(device idx, simulated begin time)` of the target region currently
+    /// open — feeds the per-region offload-latency histogram. One slot is
+    /// enough: target regions execute sequentially on the host thread (see
+    /// `region_commits`).
+    region_start: Mutex<Option<(usize, f64)>>,
 }
 
 impl OmpiHooks {
@@ -66,6 +71,7 @@ impl OmpiHooks {
             obs,
             fb_oom: std::sync::atomic::AtomicBool::new(false),
             fb_start: Mutex::new(None),
+            region_start: Mutex::new(None),
         }
     }
 
@@ -213,28 +219,38 @@ impl Hooks for OmpiHooks {
                     dev.stream_region_begin();
                 }
                 self.obs.metrics.incr(idx as u64, "target_regions", 1);
-                if self.obs.tracer.is_enabled() {
-                    self.obs.tracer.begin(
-                        idx as u64,
-                        0,
-                        &construct,
-                        "region",
-                        self.sim_now(idx),
-                        vec![("device", (idx as u64).into())],
-                    );
-                }
+                let t0 = self.sim_now(idx);
+                *self.region_start.lock() = Some((idx, t0));
+                // Unconditional (no `is_enabled` gate): a disabled tracer
+                // drops the span at one atomic load, but the flight ring
+                // still captures it for post-mortems.
+                self.obs.tracer.begin(
+                    idx as u64,
+                    0,
+                    &construct,
+                    "region",
+                    t0,
+                    vec![("device", (idx as u64).into())],
+                );
                 Ok(Some(Value::I32(0)))
             }
             "__dev_region_end" => {
                 let idx = self.registry.resolve_id(a(0).as_i64());
-                if self.obs.tracer.is_enabled() {
-                    self.obs.tracer.end_track(idx as u64, 0, self.sim_now(idx));
-                }
+                self.obs.tracer.end_track(idx as u64, 0, self.sim_now(idx));
                 // A synchronization point unless the region was marked
                 // `nowait` (the span end above reads only flushed time, so
                 // it does not force a drain either way).
                 if let Some(dev) = self.registry.device(idx) {
                     dev.stream_region_end();
+                }
+                // Region latency (µs of simulated time, begin→after-sync)
+                // into the per-device histogram the profile table
+                // summarizes as p50/p95/p99.
+                if let Some((bidx, t0)) = self.region_start.lock().take() {
+                    if bidx == idx {
+                        let dt_us = ((self.sim_now(idx) - t0) * 1e6).max(0.0) as u64;
+                        self.obs.metrics.observe(idx as u64, "region_latency_us", dt_us);
+                    }
                 }
                 Ok(Some(Value::I32(0)))
             }
@@ -257,16 +273,14 @@ impl Hooks for OmpiHooks {
                 let reason = if oom { "oom" } else { "device_lost" };
                 self.obs.metrics.incr(host_pid, "fallbacks", 1);
                 self.obs.metrics.incr(host_pid, &format!("fallbacks.{reason}"), 1);
-                if self.obs.tracer.is_enabled() {
-                    self.obs.tracer.begin(
-                        host_pid,
-                        0,
-                        "host fallback",
-                        "fallback",
-                        self.sim_now(host_pid as usize),
-                        vec![("from_device", (from as u64).into()), ("reason", reason.into())],
-                    );
-                }
+                self.obs.tracer.begin(
+                    host_pid,
+                    0,
+                    "host fallback",
+                    "fallback",
+                    self.sim_now(host_pid as usize),
+                    vec![("from_device", (from as u64).into()), ("reason", reason.into())],
+                );
                 Ok(Some(Value::I32(0)))
             }
             "__dev_fb_end" => {
@@ -279,9 +293,7 @@ impl Hooks for OmpiHooks {
                 if let Some(t0) = self.fb_start.lock().take() {
                     self.registry.host().record_fallback(t0.elapsed().as_secs_f64());
                 }
-                if self.obs.tracer.is_enabled() {
-                    self.obs.tracer.end_track(host_pid, 0, self.sim_now(host_pid as usize));
-                }
+                self.obs.tracer.end_track(host_pid, 0, self.sim_now(host_pid as usize));
                 Ok(Some(Value::I32(0)))
             }
 

@@ -94,16 +94,36 @@ struct ObsSetup {
     trace_path: Option<std::path::PathBuf>,
     /// Print the profile table to stderr on drop (env-var mode only).
     profile: bool,
+    /// Print the guest-source hotspot table to stderr on drop
+    /// (`OMPI_HOTSPOTS=1`; env-var mode only).
+    hotspots: bool,
+    /// The runner owns this sink (env-var mode): it may fire the
+    /// last-chance flight post-mortem at drop. An explicit shared sink
+    /// must not — a short-lived runner would consume the one dump out
+    /// from under longer-lived ones (first-trigger-wins).
+    env_owned: bool,
 }
 
 impl ObsSetup {
     fn resolve(cfg: &RunnerConfig) -> ObsSetup {
         if let Some(o) = &cfg.obs {
-            return ObsSetup { obs: o.clone(), trace_path: None, profile: false };
+            return ObsSetup {
+                obs: o.clone(),
+                trace_path: None,
+                profile: false,
+                hotspots: false,
+                env_owned: false,
+            };
         }
         let env = obs::ObsEnv::from_env();
         let obs = if env.trace_path.is_some() { obs::Obs::enabled() } else { obs::Obs::disabled() };
-        ObsSetup { obs, trace_path: env.trace_path, profile: env.profile }
+        ObsSetup {
+            obs,
+            trace_path: env.trace_path,
+            profile: env.profile,
+            hotspots: env.hotspots,
+            env_owned: true,
+        }
     }
 }
 
@@ -116,6 +136,10 @@ pub struct Runner {
     trace_path: Option<std::path::PathBuf>,
     /// Print the profile table on drop (`OMPI_PROFILE` mode).
     profile_on_drop: bool,
+    /// Print the hotspot table on drop (`OMPI_HOTSPOTS` mode).
+    hotspots_on_drop: bool,
+    /// Fire the last-chance flight post-mortem on drop (env-var mode).
+    flight_on_drop: bool,
 }
 
 impl Runner {
@@ -188,6 +212,8 @@ impl Runner {
             hooks_dyn,
             trace_path: setup.trace_path,
             profile_on_drop: setup.profile,
+            hotspots_on_drop: setup.hotspots,
+            flight_on_drop: setup.env_owned,
         })
     }
 
@@ -324,8 +350,39 @@ impl Runner {
     }
 
     /// The per-device profile table (simulated time by phase), rendered.
+    /// The latency columns come from each device's `region_latency_us`
+    /// histogram (pid = row index; the host shim's row comes last and
+    /// stays zero — fallbacks are charged to the originating device's
+    /// region span).
     pub fn profile_table(&self) -> String {
-        obs::render_profile(&self.hooks.registry.profile_rows())
+        let mut rows = self.hooks.registry.profile_rows();
+        for (pid, row) in rows.iter_mut().enumerate() {
+            if let Some(h) = self.hooks.obs.metrics.hist(pid as u64, "region_latency_us") {
+                row.lat_p50_us = h.percentile(50.0);
+                row.lat_p95_us = h.percentile(95.0);
+                row.lat_p99_us = h.percentile(99.0);
+            }
+        }
+        obs::render_profile(&rows)
+    }
+
+    /// The guest-source hotspot table: VM dispatch attributed to source
+    /// lines through the compiler's pc→line tables. Empty (with a hint)
+    /// unless the machine collected attribution (`OMPI_HOTSPOTS=1` or
+    /// [`Machine::set_hotspots`]).
+    pub fn hotspot_table(&self) -> String {
+        let rows: Vec<obs::HotLine> = self
+            .machine
+            .line_profile()
+            .into_iter()
+            .map(|h| obs::HotLine {
+                func: h.func,
+                line: h.line,
+                instructions: h.instructions,
+                dispatch: h.dispatch,
+            })
+            .collect();
+        obs::render_hotspots("guest vm", &rows)
     }
 
     /// Make sure every trace "process" carries a human-readable name
@@ -347,8 +404,9 @@ impl Runner {
 
 impl Drop for Runner {
     /// Env-var mode export: `OMPI_TRACE` writes the trace JSON,
-    /// `OMPI_PROFILE` prints the profile table to stderr. Explicit
-    /// `RunnerConfig::obs` sinks skip both (the caller owns export).
+    /// `OMPI_PROFILE` prints the profile table to stderr, `OMPI_HOTSPOTS`
+    /// the guest-source hotspot table. Explicit `RunnerConfig::obs` sinks
+    /// skip all three (the caller owns export).
     fn drop(&mut self) {
         if let Some(path) = self.trace_path.take() {
             if let Err(e) = self.write_trace(&path) {
@@ -357,6 +415,16 @@ impl Drop for Runner {
         }
         if self.profile_on_drop {
             eprintln!("{}", self.profile_table());
+        }
+        if self.hotspots_on_drop {
+            eprintln!("{}", self.hotspot_table());
+        }
+        // Last-chance flight dump (`OMPI_FLIGHT_DUMP` with no fault this
+        // run): a no-op without a dump path, and first-trigger-wins if a
+        // latch or watchdog already dumped. Env-var mode only — with an
+        // explicit shared sink the caller owns the end-of-run trigger.
+        if self.flight_on_drop {
+            self.hooks.obs.flight.post_mortem("runner drop");
         }
     }
 }

@@ -182,6 +182,9 @@ impl DevClock {
             launches: self.launches,
             retries: self.retries,
             fallbacks: self.fallbacks,
+            // Latency percentiles come from the metrics histograms, which
+            // the clock does not see; the runner fills them in.
+            ..obs::ProfileRow::default()
         }
     }
 }
@@ -555,6 +558,10 @@ impl CudaDev {
             );
             self.cfg.obs.metrics.incr(self.pid(), "broken", 1);
             self.set_breaker(BreakerState::Latched);
+            // A latched device is exactly what the flight ring exists for:
+            // dump the tail (first trigger wins) before fallback rewrites
+            // the recent history.
+            self.cfg.obs.flight.post_mortem("device latched broken");
         }
         self.mark_broken();
     }

@@ -133,6 +133,7 @@ impl CudaDev {
         );
         obs.metrics.incr(self.pid(), &format!("timeouts.{site}"), 1);
         obs.metrics.observe(self.pid(), "watchdog_wait_ms", deadline.as_millis() as u64);
+        obs.flight.post_mortem("watchdog timeout");
     }
 
     /// Drive a terminal failure through the breaker state machine until

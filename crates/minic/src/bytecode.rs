@@ -331,6 +331,9 @@ pub struct Chunk {
     /// slot (matching a typed load from zeroed frame memory).
     pub zero_init: Vec<(R, TyK)>,
     pub code: Vec<Op>,
+    /// Index into [`CompiledProgram::line_tables`] — the pc→source-line
+    /// map for this chunk.
+    pub line_table: u32,
 }
 
 /// The whole program in bytecode form, plus its pools.
@@ -344,6 +347,21 @@ pub struct CompiledProgram {
     pub init_chunk: Option<u32>,
     pub consts: Vec<Value>,
     pub strs: Vec<String>,
+    /// Run-length-encoded pc→line tables: `(pc_start, line)` pairs sorted
+    /// by `pc_start`; an entry covers pcs up to the next entry. Tables are
+    /// bit-exact-deduplicated like the constant pool (two chunks compiled
+    /// from identical line shapes share one table).
+    pub line_tables: Vec<Vec<(u32, u32)>>,
+}
+
+/// Source line for a pc given a chunk's RLE line table (binary search on
+/// the run starts). Returns 0 for an empty table.
+pub fn line_for_pc(table: &[(u32, u32)], pc: u32) -> u32 {
+    match table.binary_search_by_key(&pc, |&(start, _)| start) {
+        Ok(i) => table[i].1,
+        Err(0) => 0,
+        Err(i) => table[i - 1].1,
+    }
 }
 
 /// Dispatch categories for the `vm.dispatch.*` observability counters.

@@ -38,6 +38,8 @@ pub(super) fn compile_fn(cx: &mut Cx<'_>, fd: &FuncDef) -> Chunk {
         max_reg: next,
         code: Vec::new(),
         loops: Vec::new(),
+        cur_line: fd.sig.pos.line,
+        lines: Vec::new(),
     };
 
     // Parameter binding specs (in declaration order, like the walker).
@@ -67,6 +69,8 @@ pub(super) fn compile_fn(cx: &mut Cx<'_>, fd: &FuncDef) -> Chunk {
     let out = f.conv_ret(z);
     f.emit(Op::Ret { src: out });
 
+    let lines = std::mem::take(&mut f.lines);
+    let line_table = f.cx.line_table(lines);
     Chunk {
         name: fd.sig.name.clone(),
         nregs: f.max_reg,
@@ -74,6 +78,7 @@ pub(super) fn compile_fn(cx: &mut Cx<'_>, fd: &FuncDef) -> Chunk {
         params,
         zero_init,
         code: f.code,
+        line_table,
     }
 }
 
@@ -102,6 +107,8 @@ pub(super) fn compile_global_init(cx: &mut Cx<'_>) -> Option<Chunk> {
         max_reg: 0,
         code: Vec::new(),
         loops: Vec::new(),
+        cur_line: 0,
+        lines: Vec::new(),
     };
     for (base, ty, init) in &inits {
         f.tmp = 0;
@@ -109,6 +116,8 @@ pub(super) fn compile_global_init(cx: &mut Cx<'_>) -> Option<Chunk> {
     }
     let z = f.const_into(Value::I32(0));
     f.emit(Op::Ret { src: z });
+    let lines = std::mem::take(&mut f.lines);
+    let line_table = f.cx.line_table(lines);
     Some(Chunk {
         name: "<global-init>".into(),
         nregs: f.max_reg,
@@ -116,6 +125,7 @@ pub(super) fn compile_global_init(cx: &mut Cx<'_>) -> Option<Chunk> {
         params: Vec::new(),
         zero_init: Vec::new(),
         code: f.code,
+        line_table,
     })
 }
 
@@ -244,6 +254,7 @@ impl FnCx<'_, '_> {
             Stmt::Omp(o) => {
                 // Directives execute their body sequentially, exactly as
                 // in the walker (a legal 1-thread OpenMP execution).
+                self.set_line(o.pos);
                 if let Some(b) = &o.body {
                     self.stmt(b);
                 }
@@ -263,6 +274,7 @@ impl FnCx<'_, '_> {
     }
 
     fn decl(&mut self, d: &VarDecl) {
+        self.set_line(d.pos);
         let Some(init) = &d.init else { return };
         let slot = &self.frame.slots[d.slot as usize];
         let (ty, off) = (slot.ty.clone(), slot.offset as u32);
@@ -337,6 +349,7 @@ impl FnCx<'_, '_> {
     // ------------------------------------------------------- expressions
 
     pub(super) fn rvalue(&mut self, e: &Expr) -> R {
+        self.set_line(e.pos);
         match &e.kind {
             ExprKind::IntLit(v) => self.const_into(Value::I32(*v as i32)),
             ExprKind::FloatLit(v, true) => self.const_into(Value::F32(*v as f32)),

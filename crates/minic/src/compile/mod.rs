@@ -44,6 +44,8 @@ pub fn compile(m: &Machine) -> CompiledProgram {
         strs: Vec::new(),
         str_map: HashMap::new(),
         fn_chunk: HashMap::new(),
+        line_tables: Vec::new(),
+        line_map: HashMap::new(),
     };
     let defs: Vec<&FuncDef> = m
         .prog
@@ -67,7 +69,14 @@ pub fn compile(m: &Machine) -> CompiledProgram {
         chunks.push(c);
         (chunks.len() - 1) as u32
     });
-    CompiledProgram { chunks, fn_chunk: cx.fn_chunk, init_chunk, consts: cx.consts, strs: cx.strs }
+    CompiledProgram {
+        chunks,
+        fn_chunk: cx.fn_chunk,
+        init_chunk,
+        consts: cx.consts,
+        strs: cx.strs,
+        line_tables: cx.line_tables,
+    }
 }
 
 /// Program-wide compile state (pools).
@@ -77,6 +86,8 @@ struct Cx<'m> {
     strs: Vec<String>,
     str_map: HashMap<String, u32>,
     fn_chunk: HashMap<String, u32>,
+    line_tables: Vec<Vec<(u32, u32)>>,
+    line_map: HashMap<Vec<(u32, u32)>, u32>,
 }
 
 impl Cx<'_> {
@@ -95,6 +106,18 @@ impl Cx<'_> {
         }
         self.consts.push(v);
         (self.consts.len() - 1) as u32
+    }
+
+    /// Intern a pc→line table, deduplicating bit-exactly like the
+    /// constant pool (chunks with identical line shapes share one table).
+    fn line_table(&mut self, t: Vec<(u32, u32)>) -> u32 {
+        if let Some(&i) = self.line_map.get(&t) {
+            return i;
+        }
+        self.line_tables.push(t.clone());
+        let i = (self.line_tables.len() - 1) as u32;
+        self.line_map.insert(t, i);
+        i
     }
 
     fn string(&mut self, s: &str) -> u32 {
@@ -239,6 +262,11 @@ struct FnCx<'c, 'm> {
     max_reg: u16,
     code: Vec<Op>,
     loops: Vec<Loop>,
+    /// Source line attributed to the ops emitted next (0 = unknown).
+    cur_line: u32,
+    /// RLE pc→line runs, appended by [`FnCx::emit`] in lockstep with
+    /// `code`. Purely additional metadata: the op stream is unchanged.
+    lines: Vec<(u32, u32)>,
 }
 
 impl FnCx<'_, '_> {
@@ -257,8 +285,19 @@ impl FnCx<'_, '_> {
     }
 
     fn emit(&mut self, op: Op) -> usize {
+        if self.lines.last().map(|&(_, l)| l) != Some(self.cur_line) {
+            self.lines.push((self.code.len() as u32, self.cur_line));
+        }
         self.code.push(op);
         self.code.len() - 1
+    }
+
+    /// Attribute subsequently emitted ops to `pos`'s line (keeps the
+    /// previous attribution for synthetic positions).
+    fn set_line(&mut self, pos: crate::token::Pos) {
+        if pos.line != 0 {
+            self.cur_line = pos.line;
+        }
     }
 
     fn here(&self) -> u32 {

@@ -204,6 +204,20 @@ impl VmCounters {
     }
 }
 
+/// VM instruction counts attributed to one guest source line (see
+/// [`Machine::line_profile`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LineHit {
+    /// Function (chunk) name.
+    pub func: String,
+    /// 1-based source line (0 = no line info).
+    pub line: u32,
+    /// Instructions dispatched on this line.
+    pub instructions: u64,
+    /// Per-category breakdown, indexed like [`crate::bytecode::OP_CATS`].
+    pub dispatch: [u64; 6],
+}
+
 /// A linked, executable program image plus its guest memory.
 pub struct Machine {
     pub prog: Program,
@@ -227,6 +241,12 @@ pub struct Machine {
     compiled: OnceLock<CompiledProgram>,
     /// VM observability: instructions dispatched, then per-category counts.
     vm_counters: [AtomicU64; 7],
+    /// Attribute VM dispatch to source lines (costs one branch per op
+    /// when off, a counter bump when on).
+    hotspots: AtomicBool,
+    /// Accumulated per-(chunk, line) dispatch counts, folded in by
+    /// [`crate::vm::Vm`] once per top-level call.
+    line_hits: Mutex<HashMap<(u32, u32), [u64; 6]>>,
 }
 
 /// Per-interp stack size (bytes).
@@ -279,6 +299,8 @@ impl Machine {
             Ok("walker") => Engine::Walker,
             _ => Engine::Vm,
         };
+        let hotspots = matches!(std::env::var("OMPI_HOTSPOTS").as_deref(),
+                                Ok(v) if !v.is_empty() && v != "0");
 
         Ok(Arc::new(Machine {
             prog,
@@ -294,6 +316,8 @@ impl Machine {
             engine: AtomicU8::new(engine as u8),
             compiled: OnceLock::new(),
             vm_counters: Default::default(),
+            hotspots: AtomicBool::new(hotspots),
+            line_hits: Mutex::new(HashMap::new()),
         }))
     }
 
@@ -366,6 +390,54 @@ impl Machine {
             *out = slot.swap(0, Ordering::Relaxed);
         }
         c
+    }
+
+    /// Is guest-source hotspot attribution on? (Set by the
+    /// `OMPI_HOTSPOTS` environment variable or [`Machine::set_hotspots`].)
+    pub fn hotspots_enabled(&self) -> bool {
+        self.hotspots.load(Ordering::Relaxed)
+    }
+
+    /// Enable/disable hotspot attribution for [`Interp`]s created after
+    /// the call.
+    pub fn set_hotspots(&self, on: bool) {
+        self.hotspots.store(on, Ordering::Relaxed);
+    }
+
+    /// Fold one chunk's per-pc hit counts into the per-line accumulator
+    /// (flushed once per top-level guest call by the VM).
+    pub(crate) fn add_line_hits(&self, chunk: u32, pc_hits: &[u64]) {
+        let prog = self.compiled();
+        let ch = &prog.chunks[chunk as usize];
+        let table = &prog.line_tables[ch.line_table as usize];
+        let mut hits = self.line_hits.lock();
+        for (pc, &n) in pc_hits.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let line = crate::bytecode::line_for_pc(table, pc as u32);
+            let cat = ch.code[pc].cat() as usize;
+            hits.entry((chunk, line)).or_insert([0; 6])[cat] += n;
+        }
+    }
+
+    /// The accumulated hotspot profile: VM dispatch counts per
+    /// (function, source line), sorted by function name then line.
+    /// Empty unless hotspot attribution was enabled during execution.
+    pub fn line_profile(&self) -> Vec<LineHit> {
+        let prog = self.compiled();
+        let hits = self.line_hits.lock();
+        let mut rows: Vec<LineHit> = hits
+            .iter()
+            .map(|(&(chunk, line), d)| LineHit {
+                func: prog.chunks[chunk as usize].name.clone(),
+                line,
+                instructions: d.iter().sum(),
+                dispatch: *d,
+            })
+            .collect();
+        rows.sort_by(|a, b| a.func.cmp(&b.func).then(a.line.cmp(&b.line)));
+        rows
     }
 
     /// Install a live output sink for `printf` (output is captured too).

@@ -38,6 +38,11 @@ pub struct Vm {
     instructions: u64,
     /// Dispatch counts by [`crate::bytecode::OpCat`].
     dispatch: [u64; 6],
+    /// Attribute dispatch to source lines (snapshot of the machine flag;
+    /// one predictable branch per op when off).
+    hot: bool,
+    /// Per-chunk, per-pc hit counts (allocated lazily per chunk entered).
+    pc_hits: Vec<Vec<u64>>,
 }
 
 impl Vm {
@@ -45,6 +50,7 @@ impl Vm {
     /// global initializers on first creation per machine.
     pub fn new(machine: Arc<Machine>, hooks: Arc<dyn Hooks>) -> IResult<Vm> {
         let stack_block = machine.heap.lock().alloc(STACK_SIZE)?;
+        let hot = machine.hotspots_enabled();
         let mut vm = Vm {
             machine,
             hooks,
@@ -53,6 +59,8 @@ impl Vm {
             depth: 0,
             instructions: 0,
             dispatch: [0; 6],
+            hot,
+            pc_hits: Vec::new(),
         };
         vm.init_globals_once()?;
         Ok(vm)
@@ -95,6 +103,14 @@ impl Vm {
             self.machine.add_vm_counters(self.instructions, &self.dispatch);
             self.instructions = 0;
             self.dispatch = [0; 6];
+        }
+        if self.hot {
+            for (chunk, hits) in self.pc_hits.iter_mut().enumerate() {
+                if hits.iter().any(|&n| n != 0) {
+                    self.machine.add_line_hits(chunk as u32, hits);
+                    hits.iter_mut().for_each(|n| *n = 0);
+                }
+            }
         }
     }
 
@@ -165,8 +181,17 @@ impl Vm {
         let machine = self.machine.clone();
         let mem = &machine.mem;
         'frame: loop {
-            let chunk = &prog.chunks[cur.chunk as usize];
+            let ci = cur.chunk as usize;
+            let chunk = &prog.chunks[ci];
             let code = &chunk.code;
+            if self.hot {
+                if self.pc_hits.len() < prog.chunks.len() {
+                    self.pc_hits.resize(prog.chunks.len(), Vec::new());
+                }
+                if self.pc_hits[ci].len() < code.len() {
+                    self.pc_hits[ci] = vec![0; code.len()];
+                }
+            }
             let frame_off = addr::offset(cur.base);
             let mut pc = cur.pc;
             let regs = &mut cur.regs;
@@ -174,6 +199,9 @@ impl Vm {
                 let op = &code[pc];
                 self.instructions += 1;
                 self.dispatch[op.cat() as usize] += 1;
+                if self.hot {
+                    self.pc_hits[ci][pc] += 1;
+                }
                 match op {
                     Op::Const { dst, idx } => {
                         regs[*dst as usize] = prog.consts[*idx as usize];

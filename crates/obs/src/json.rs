@@ -52,6 +52,26 @@ impl Json {
     }
 }
 
+/// Append `s` to `out` as a JSON string literal (quotes included).
+/// Control characters become `\u00XX` escapes; everything else is written
+/// as raw UTF-8, which [`parse`] round-trips exactly. Shared by the trace
+/// exporter and the flight recorder.
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
 /// Parse a complete JSON document; trailing garbage is an error.
 pub fn parse(text: &str) -> Result<Json, String> {
     let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
@@ -185,16 +205,37 @@ impl Parser<'_> {
                         b'r' => out.push('\r'),
                         b't' => out.push('\t'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or("bad \\u escape")?;
-                            let cp = u32::from_str_radix(hex, 16)
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            self.pos += 4;
-                            // Surrogates are not needed for our own output.
-                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            let cp = self.hex4()?;
+                            // A high surrogate must pair with a following
+                            // `\uDC00..DFFF` low surrogate (astral chars in
+                            // event names, e.g. guest trap strings). Lone
+                            // surrogates fold to U+FFFD rather than erroring,
+                            // so we can still load traces from sloppier
+                            // writers.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        let combined =
+                                            0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                        char::from_u32(combined).unwrap_or('\u{fffd}')
+                                    } else {
+                                        // Not a low surrogate: emit U+FFFD
+                                        // for the lone high half, then the
+                                        // second escape on its own.
+                                        out.push('\u{fffd}');
+                                        char::from_u32(lo).unwrap_or('\u{fffd}')
+                                    }
+                                } else {
+                                    '\u{fffd}'
+                                }
+                            } else {
+                                char::from_u32(cp).unwrap_or('\u{fffd}')
+                            };
+                            out.push(c);
                         }
                         _ => return Err(format!("bad escape at byte {}", self.pos)),
                     }
@@ -209,6 +250,18 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    /// Four hex digits of a `\u` escape (cursor already past the `u`).
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or("bad \\u escape")?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos += 4;
+        Ok(cp)
     }
 
     fn number(&mut self) -> Result<Json, String> {
@@ -245,6 +298,53 @@ mod tests {
     fn rejects_malformed_documents() {
         for bad in ["", "{", "[1,", "{\"a\" 1}", "[1] extra", "nul", "\"open"] {
             assert!(parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_combine() {
+        // `\\ud83d\\ude00` is the surrogate pair for U+1F600.
+        let v = parse("\"\\ud83d\\ude00!\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}!"));
+        // Lone halves fold to U+FFFD instead of erroring.
+        assert_eq!(parse(r#""\ud83dx""#).unwrap().as_str(), Some("\u{fffd}x"));
+        assert_eq!(parse(r#""\ude00""#).unwrap().as_str(), Some("\u{fffd}"));
+        // High surrogate followed by a non-surrogate escape keeps both.
+        assert_eq!(parse(r#""\ud83dA""#).unwrap().as_str(), Some("\u{fffd}A"));
+    }
+
+    #[test]
+    fn control_chars_round_trip() {
+        let s: String = (0u8..0x20).map(|b| b as char).chain("\"\\/end".chars()).collect();
+        let mut lit = String::new();
+        escape_into(&mut lit, &s);
+        assert_eq!(parse(&lit).unwrap().as_str(), Some(s.as_str()));
+    }
+
+    #[test]
+    fn fuzzed_strings_round_trip_through_escape() {
+        // Deterministic xorshift64* driving a grab-bag alphabet of the
+        // characters most likely to break naive escaping.
+        let alphabet: Vec<char> = ('\u{0}'..='\u{1f}')
+            .chain(['"', '\\', '/', 'a', 'é', '\u{7f}', '\u{2028}', '\u{fffd}'])
+            .chain(['\u{1F600}', '\u{10FFFF}', '\u{d7ff}', '\u{e000}'])
+            .collect();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x2545F4914F6CDD1D);
+            state
+        };
+        for _ in 0..200 {
+            let len = (next() % 24) as usize;
+            let s: String =
+                (0..len).map(|_| alphabet[(next() % alphabet.len() as u64) as usize]).collect();
+            let mut lit = String::new();
+            escape_into(&mut lit, &s);
+            let parsed = parse(&lit).unwrap_or_else(|e| panic!("`{lit}` failed to parse: {e}"));
+            assert_eq!(parsed.as_str(), Some(s.as_str()), "round-trip mismatch for {s:?}");
         }
     }
 }

@@ -22,8 +22,13 @@
 //! Runtime control is environment-driven, parallel to `OMPI_FAULT_PLAN`:
 //! `OMPI_TRACE=path.json` enables the tracer and writes the trace when the
 //! runner is dropped; `OMPI_PROFILE=1` prints the per-device profile table
-//! (see [`profile::render_profile`]) to stderr.
+//! (see [`profile::render_profile`]) to stderr; `OMPI_HOTSPOTS=1` prints
+//! the guest-source hotspot table (see [`hotspots::render_hotspots`]);
+//! and `OMPI_FLIGHT_DUMP=path.jsonl` arms the always-on [`FlightRecorder`]
+//! ring's post-mortem dump.
 
+pub mod flight;
+pub mod hotspots;
 pub mod json;
 pub mod metrics;
 pub mod profile;
@@ -33,6 +38,8 @@ use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+pub use flight::{FlightEvent, FlightRecorder, FLIGHT_CAPACITY};
+pub use hotspots::{render_hotspots, HotLine};
 pub use json::Json;
 pub use metrics::{Hist, Metrics};
 pub use profile::{render_profile, ProfileRow};
@@ -42,18 +49,32 @@ pub use trace::{ArgValue, Phase, SpanId, TraceEvent, Tracer};
 pub struct Obs {
     pub tracer: Tracer,
     pub metrics: Metrics,
+    /// Always-on post-mortem ring, shared with (and fed by) both
+    /// recorders above. Its dump path comes from `OMPI_FLIGHT_DUMP`,
+    /// read once here at construction.
+    pub flight: Arc<FlightRecorder>,
 }
 
 impl Obs {
     /// A no-op handle: events are dropped at an atomic-load gate, metrics
-    /// still count (they are cheap and power the profile table).
+    /// still count (they are cheap and power the profile table), and the
+    /// flight ring keeps the most recent events for post-mortems.
     pub fn disabled() -> Arc<Obs> {
-        Arc::new(Obs { tracer: Tracer::new(false), metrics: Metrics::default() })
+        Obs::with_tracing(false)
     }
 
     /// A recording handle.
     pub fn enabled() -> Arc<Obs> {
-        Arc::new(Obs { tracer: Tracer::new(true), metrics: Metrics::default() })
+        Obs::with_tracing(true)
+    }
+
+    fn with_tracing(tracing: bool) -> Arc<Obs> {
+        let flight = Arc::new(FlightRecorder::from_env());
+        Arc::new(Obs {
+            tracer: Tracer::with_flight(tracing, flight.clone()),
+            metrics: Metrics::with_flight(flight.clone()),
+            flight,
+        })
     }
 }
 
@@ -73,16 +94,21 @@ pub struct ObsEnv {
     pub trace_path: Option<PathBuf>,
     /// `OMPI_PROFILE=1`: print the per-device profile table on runner drop.
     pub profile: bool,
+    /// `OMPI_HOTSPOTS=1`: print the guest-source hotspot table on runner
+    /// drop (the VM collects attribution when the machine sees the same
+    /// variable).
+    pub hotspots: bool,
 }
 
 impl ObsEnv {
-    /// Read `OMPI_TRACE` / `OMPI_PROFILE` from the process environment.
+    /// Read `OMPI_TRACE` / `OMPI_PROFILE` / `OMPI_HOTSPOTS` from the
+    /// process environment.
     pub fn from_env() -> ObsEnv {
+        let flag = |name: &str| {
+            std::env::var(name).map(|v| !v.trim().is_empty() && v.trim() != "0").unwrap_or(false)
+        };
         let trace_path =
             std::env::var("OMPI_TRACE").ok().filter(|s| !s.trim().is_empty()).map(PathBuf::from);
-        let profile = std::env::var("OMPI_PROFILE")
-            .map(|v| !v.trim().is_empty() && v.trim() != "0")
-            .unwrap_or(false);
-        ObsEnv { trace_path, profile }
+        ObsEnv { trace_path, profile: flag("OMPI_PROFILE"), hotspots: flag("OMPI_HOTSPOTS") }
     }
 }

@@ -3,11 +3,20 @@
 //! Keys are `(pid, name)` where `pid` matches the trace process numbering
 //! (device number; host shim = `num_devices`). Histograms use log2 buckets
 //! — bucket `i` counts values with bit-length `i` — which is plenty for the
-//! quantities tracked here (bytes per transfer, cycles per launch).
+//! quantities tracked here (bytes per transfer, cycles per launch), and
+//! supports deterministic percentile summaries ([`Hist::percentile`]): a
+//! reported percentile is the inclusive upper bound of the bucket the
+//! target rank falls in (`2^i - 1`; bucket 0 reports 0).
+//!
+//! Every delta is also mirrored into the shared [`FlightRecorder`] ring,
+//! so a post-mortem dump shows the metric activity interleaved with spans.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use vmcommon::sync::Mutex;
+
+use crate::flight::FlightRecorder;
 
 /// A log2-bucket histogram.
 #[derive(Clone, Debug)]
@@ -42,25 +51,63 @@ impl Hist {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `p`-th percentile (0 < p ≤ 100) as the inclusive upper bound of
+    /// the log2 bucket holding the target rank: bucket 0 reports 0, bucket
+    /// `i` reports `2^i - 1`. Deterministic, and an upper bound on the true
+    /// percentile (never an underestimate). An empty histogram reports 0.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            }
+        }
+        u64::MAX // unreachable: buckets sum to count
+    }
 }
 
 /// The metrics registry. Always-on: a counter bump is one short critical
 /// section on a `BTreeMap`, far off every hot path that matters here.
-#[derive(Default)]
 pub struct Metrics {
     counters: Mutex<BTreeMap<(u64, String), u64>>,
     hists: Mutex<BTreeMap<(u64, String), Hist>>,
+    /// Shared post-mortem ring; deltas are mirrored here.
+    flight: Arc<FlightRecorder>,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::with_flight(Arc::new(FlightRecorder::default()))
+    }
 }
 
 impl Metrics {
+    /// A registry mirroring its deltas into a shared flight ring (the
+    /// [`crate::Obs`] constructors pass the tracer's ring).
+    pub fn with_flight(flight: Arc<FlightRecorder>) -> Metrics {
+        Metrics {
+            counters: Mutex::new(BTreeMap::new()),
+            hists: Mutex::new(BTreeMap::new()),
+            flight,
+        }
+    }
+
     pub fn incr(&self, pid: u64, name: &str, by: u64) {
         if by == 0 {
             return;
         }
+        self.flight.record("ctr", pid, 0, 0.0, name, "metric", format!("+{by}"));
         *self.counters.lock().entry((pid, name.to_string())).or_insert(0) += by;
     }
 
     pub fn observe(&self, pid: u64, name: &str, value: u64) {
+        self.flight.record("obs", pid, 0, 0.0, name, "metric", format!("={value}"));
         self.hists.lock().entry((pid, name.to_string())).or_default().observe(value);
     }
 
@@ -83,17 +130,22 @@ impl Metrics {
     }
 
     /// Plain-text dump of every counter and histogram, for reports.
-    pub fn render(&self) -> String {
+    /// Deterministically ordered: counters first, then histograms, each
+    /// sorted by `(pid, name)` (the `BTreeMap` key order).
+    pub fn dump(&self) -> String {
         let mut out = String::new();
         for ((pid, name), v) in self.counters.lock().iter() {
             out.push_str(&format!("dev{pid} {name} = {v}\n"));
         }
         for ((pid, name), h) in self.hists.lock().iter() {
             out.push_str(&format!(
-                "dev{pid} {name}: count={} sum={} mean={:.1}\n",
+                "dev{pid} {name}: count={} sum={} mean={:.1} p50={} p95={} p99={}\n",
                 h.count,
                 h.sum,
-                h.mean()
+                h.mean(),
+                h.percentile(50.0),
+                h.percentile(95.0),
+                h.percentile(99.0)
             ));
         }
         out
@@ -130,5 +182,67 @@ mod tests {
         assert_eq!(h.buckets[3], 1); // 7
         assert_eq!(h.buckets[13], 1); // 4096
         assert!(m.hist(0, "other").is_none());
+    }
+
+    #[test]
+    fn percentiles_on_hand_built_buckets() {
+        // 10 zeros (bucket 0), 80 values of bit-length 4 (bucket 4,
+        // upper bound 15), 10 of bit-length 10 (bucket 10, bound 1023).
+        let mut h = Hist { count: 100, ..Hist::default() };
+        h.buckets[0] = 10;
+        h.buckets[4] = 80;
+        h.buckets[10] = 10;
+        assert_eq!(h.percentile(5.0), 0); // rank 5 → bucket 0
+        assert_eq!(h.percentile(10.0), 0); // rank 10, still bucket 0
+        assert_eq!(h.percentile(50.0), 15); // rank 50 → bucket 4
+        assert_eq!(h.percentile(90.0), 15); // rank 90, last of bucket 4
+        assert_eq!(h.percentile(95.0), 1023); // rank 95 → bucket 10
+        assert_eq!(h.percentile(99.0), 1023);
+        assert_eq!(h.percentile(100.0), 1023);
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        let h = Hist::default();
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn percentile_single_observation() {
+        let mut h = Hist::default();
+        h.observe(4096); // bucket 13, upper bound 8191
+        for p in [1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 8191);
+        }
+    }
+
+    #[test]
+    fn dump_order_is_deterministic() {
+        let build = |order: &[(u64, &str, u64)]| {
+            let m = Metrics::default();
+            for &(pid, name, v) in order {
+                m.incr(pid, name, v);
+            }
+            m.observe(1, "lat", 7);
+            m.observe(0, "lat", 100);
+            m.dump()
+        };
+        let a = build(&[(1, "b", 2), (0, "z", 1), (0, "a", 3)]);
+        let b = build(&[(0, "a", 3), (0, "z", 1), (1, "b", 2)]);
+        assert_eq!(a, b, "dump must not depend on insertion order");
+        // Counters sorted by (pid, name), then histograms.
+        let lines: Vec<&str> = a.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "dev0 a = 3",
+                "dev0 z = 1",
+                "dev1 b = 2",
+                "dev0 lat: count=1 sum=100 mean=100.0 p50=127 p95=127 p99=127",
+                "dev1 lat: count=1 sum=7 mean=7.0 p50=7 p95=7 p99=7",
+            ]
+        );
     }
 }

@@ -21,6 +21,12 @@ pub struct ProfileRow {
     pub launches: u64,
     pub retries: u64,
     pub fallbacks: u64,
+    /// Offload region latency percentiles in simulated microseconds, from
+    /// the `region_latency_us` histogram ([`crate::Hist::percentile`]).
+    /// Zero when the device ran no regions (e.g. the host-fallback row).
+    pub lat_p50_us: u64,
+    pub lat_p95_us: u64,
+    pub lat_p99_us: u64,
 }
 
 impl ProfileRow {
@@ -54,6 +60,9 @@ pub fn render_profile(rows: &[ProfileRow]) -> String {
         "launches",
         "retries",
         "fallbacks",
+        "p50us",
+        "p95us",
+        "p99us",
     ];
     let mut table: Vec<Vec<String>> = vec![cols.iter().map(|s| s.to_string()).collect()];
     for r in rows {
@@ -71,6 +80,9 @@ pub fn render_profile(rows: &[ProfileRow]) -> String {
             r.launches.to_string(),
             r.retries.to_string(),
             r.fallbacks.to_string(),
+            r.lat_p50_us.to_string(),
+            r.lat_p95_us.to_string(),
+            r.lat_p99_us.to_string(),
         ]);
     }
     let widths: Vec<usize> =
@@ -131,7 +143,15 @@ mod tests {
     #[test]
     fn render_includes_every_phase_column_and_row_label() {
         let rows = vec![
-            ProfileRow { label: "dev0".into(), kernel_s: 0.001, launches: 3, ..Default::default() },
+            ProfileRow {
+                label: "dev0".into(),
+                kernel_s: 0.001,
+                launches: 3,
+                lat_p50_us: 511,
+                lat_p95_us: 2047,
+                lat_p99_us: 2047,
+                ..Default::default()
+            },
             ProfileRow {
                 label: "host".into(),
                 fallback_s: 0.002,
@@ -140,14 +160,17 @@ mod tests {
             },
         ];
         let text = render_profile(&rows);
-        for col in
-            ["init", "modload", "h2d", "kernel", "d2h", "retry", "fallback", "overlap", "total"]
-        {
+        for col in [
+            "init", "modload", "h2d", "kernel", "d2h", "retry", "fallback", "overlap", "total",
+            "p50us", "p95us", "p99us",
+        ] {
             assert!(text.contains(col), "missing column {col}:\n{text}");
         }
         assert!(text.contains("dev0"));
         assert!(text.contains("host"));
         assert!(text.contains("1.000"), "kernel ms:\n{text}");
         assert!(text.contains("2.000"), "fallback ms:\n{text}");
+        assert!(text.contains("511"), "p50 column:\n{text}");
+        assert!(text.contains("2047"), "p95/p99 columns:\n{text}");
     }
 }

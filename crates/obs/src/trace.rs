@@ -11,8 +11,13 @@
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use vmcommon::sync::Mutex;
+
+use crate::flight::FlightRecorder;
+// JSON string escaping is shared with the flight recorder's JSONL dump.
+use crate::json::escape_into as write_json_str;
 
 /// Event phase, mirroring the Chrome trace-event `ph` field.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -120,15 +125,25 @@ pub struct Tracer {
     events: Mutex<Vec<TraceEvent>>,
     named_pids: Mutex<BTreeSet<u64>>,
     named_tids: Mutex<BTreeSet<(u64, u64)>>,
+    /// Always-on post-mortem ring: every non-metadata event is mirrored
+    /// here *before* the enabled gate, so disabled runs still keep a tail.
+    flight: Arc<FlightRecorder>,
 }
 
 impl Tracer {
     pub fn new(enabled: bool) -> Tracer {
+        Tracer::with_flight(enabled, Arc::new(FlightRecorder::default()))
+    }
+
+    /// A tracer mirroring events into a shared flight ring (the
+    /// [`crate::Obs`] constructors pass the metrics registry's ring).
+    pub fn with_flight(enabled: bool, flight: Arc<FlightRecorder>) -> Tracer {
         Tracer {
             enabled: AtomicBool::new(enabled),
             events: Mutex::new(Vec::new()),
             named_pids: Mutex::new(BTreeSet::new()),
             named_tids: Mutex::new(BTreeSet::new()),
+            flight,
         }
     }
 
@@ -145,6 +160,18 @@ impl Tracer {
     }
 
     fn push(&self, ev: TraceEvent) {
+        let mut detail = String::new();
+        for (i, (k, v)) in ev.args.iter().enumerate() {
+            if i > 0 {
+                detail.push(' ');
+            }
+            match v {
+                ArgValue::U64(n) => detail.push_str(&format!("{k}={n}")),
+                ArgValue::F64(x) => detail.push_str(&format!("{k}={}", fmt_f64(*x))),
+                ArgValue::Str(s) => detail.push_str(&format!("{k}={s}")),
+            }
+        }
+        self.flight.record(ev.ph.code(), ev.pid, ev.tid, ev.ts_s, &ev.name, ev.cat, detail);
         if self.is_enabled() {
             self.events.lock().push(ev);
         }
@@ -379,22 +406,6 @@ fn fmt_f64(x: f64) -> String {
     } else {
         s.to_string()
     }
-}
-
-fn write_json_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
 }
 
 #[cfg(test)]

@@ -3,11 +3,16 @@
 
 Usage: bench_compare.py BASELINE CURRENT [--max-ratio R]
 
-Two gates, per (app, variant, n) series point present in both files:
+Three gates, per (app, variant, n) series point present in both files:
 
 * **checksum** — must match bit-exactly. The guest programs are
   deterministic IEEE-754, so checksums are machine-independent; any
   drift means an execution-semantics change, not noise.
+* **vm_instructions** — must match bit-exactly. The instruction count is
+  a deterministic function of the guest program and the emitted op
+  stream; drift means the compiler changed what it emits (or the VM
+  changed how it counts), which is a semantics-facing change that must
+  be a deliberate baseline update, never an accident.
 * **wall clock** — `wall_s` may not exceed `max-ratio` (default 2.0)
   times the baseline. Only `host-seq` rows are gated: they measure raw
   engine throughput, while device rows are dominated by the simulator
@@ -54,6 +59,15 @@ def main(argv):
             failures.append(
                 f"{tag}: checksum {row['checksum']} != baseline {b['checksum']}"
             )
+        if "vm_instructions" in row and "vm_instructions" in b:
+            if row["vm_instructions"] != b["vm_instructions"]:
+                failures.append(
+                    f"{tag}: vm_instructions {row['vm_instructions']} != baseline "
+                    f"{b['vm_instructions']} "
+                    f"(drift {row['vm_instructions'] - b['vm_instructions']:+d}; "
+                    "instruction counts are bit-deterministic — an intentional "
+                    "compiler change needs a baseline refresh)"
+                )
         if row["variant"] == "host-seq" and b["wall_s"] > 0:
             ratio = row["wall_s"] / b["wall_s"]
             mark = " REGRESSION" if ratio > max_ratio else ""

@@ -1,0 +1,184 @@
+//! PR-8 observability integration: guest-source hotspot attribution,
+//! the flight recorder's post-mortem dump on a device latch, and the
+//! profile table's offload-latency percentiles.
+
+use std::sync::Arc;
+
+use minic::interp::Engine;
+use ompi_nano::unibench::{
+    app_by_name, compile_omp, host_machine, run_host_once, run_once, runner_config,
+};
+use ompi_nano::{ExecMode, Runner};
+
+fn work(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("ompinano-obs-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// The fig4 `--hotspots` attribution pass: a dedicated host-sequential
+/// run with the VM engine and per-pc counting forced, regardless of what
+/// engine the caller had selected.
+fn gemm_attribution(ambient: Engine) -> Vec<minic::interp::LineHit> {
+    let app = app_by_name("gemm").expect("gemm");
+    let n = app.test_size;
+    let m = host_machine(&app, n).unwrap();
+    m.set_engine(ambient); // what `--engine` picked...
+    m.set_engine(Engine::Vm); // ...and what the attribution pass forces
+    m.set_hotspots(true);
+    run_host_once(&app, &m, n).unwrap_or_else(|e| panic!("gemm hotspot pass: {e}"));
+    m.line_profile()
+}
+
+/// The acceptance bar for the profiler: on gemm, at least 80% of all VM
+/// instructions must attribute to the kernel loop-nest lines of
+/// `gemm_omp.c` (lines 8–15: the i/j/k loops and the accumulate/store
+/// body), and the table must be identical whichever engine the harness
+/// was otherwise running.
+#[test]
+fn gemm_hotspots_attribute_kernel_loop_nest() {
+    let under_vm = gemm_attribution(Engine::Vm);
+    let under_walker = gemm_attribution(Engine::Walker);
+    assert_eq!(under_vm, under_walker, "hotspot attribution must not depend on the ambient engine");
+
+    let total: u64 = under_vm.iter().map(|h| h.instructions).sum();
+    assert!(total > 0, "no instructions attributed — hotspot collection is off");
+    let loop_nest: u64 =
+        under_vm.iter().filter(|h| (8..=15).contains(&h.line)).map(|h| h.instructions).sum();
+    let share = loop_nest as f64 / total as f64;
+    assert!(
+        share >= 0.80,
+        "loop nest (lines 8-15) holds {loop_nest}/{total} = {:.1}% of instructions, want >= 80%",
+        100.0 * share
+    );
+
+    // Per-line category counts must be internally consistent: the six-way
+    // dispatch split sums to the line's instruction count.
+    for h in &under_vm {
+        assert_eq!(
+            h.dispatch.iter().sum::<u64>(),
+            h.instructions,
+            "{}:{}: dispatch categories disagree with the total",
+            h.func,
+            h.line
+        );
+    }
+}
+
+/// The walker records no attribution (it dispatches no bytecode), so a
+/// hotspot table from a walker run renders the "no attribution" hint —
+/// which is why fig4 forces the VM for its attribution pass.
+#[test]
+fn walker_records_no_attribution() {
+    let app = app_by_name("gemm").expect("gemm");
+    let n = app.test_size;
+    let m = host_machine(&app, n).unwrap();
+    m.set_engine(Engine::Walker);
+    m.set_hotspots(true);
+    run_host_once(&app, &m, n).unwrap();
+    assert!(m.line_profile().is_empty());
+}
+
+/// A latching chaos run must leave a usable post-mortem: the flight dump
+/// exists, is non-empty, parses line-by-line as JSON with strictly
+/// increasing sequence numbers, and its tail covers the recovery story
+/// that killed the device (recovery spans, the breaker reaching
+/// `latched`) before the `flight.dump` trigger marker.
+#[test]
+fn flight_recorder_dumps_on_device_latch() {
+    let app = app_by_name("atax").expect("atax");
+    let n = app.test_size;
+    let compiled = compile_omp(&app, &work("flight"));
+    let dump = std::env::temp_dir().join(format!("ompinano-flight-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&dump);
+
+    // Explicit sink so the dump path needs no environment mutation (env
+    // vars race across the parallel test harness).
+    let flight = Arc::new(obs::FlightRecorder::with_path(Some(dump.clone())));
+    let sink = Arc::new(obs::Obs {
+        tracer: obs::Tracer::with_flight(false, flight.clone()),
+        metrics: obs::Metrics::with_flight(flight.clone()),
+        flight,
+    });
+    let mut cfg = runner_config((app.footprint)(n), ExecMode::Functional, false);
+    // Seed 45: every allocation fails terminally — the breaker spends its
+    // reset budget and latches; the run completes on the host.
+    cfg.fault_spec = Some("chaos:45".into());
+    cfg.obs = Some(sink.clone());
+    let runner = Runner::new(&compiled, &cfg).unwrap();
+    run_once(&app, &runner, n).unwrap_or_else(|e| panic!("atax chaos:45 errored: {e}"));
+    assert!(runner.device_broken(), "seed 45 must latch device 0");
+
+    let text = std::fs::read_to_string(&dump).expect("flight dump written on latch");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "flight dump is empty");
+    let events: Vec<obs::Json> = lines
+        .iter()
+        .map(|l| obs::json::parse(l).unwrap_or_else(|e| panic!("bad JSONL line `{l}`: {e}")))
+        .collect();
+
+    let mut prev_seq = -1.0;
+    for ev in &events {
+        let seq = ev.get("seq").and_then(|v| v.as_f64()).expect("seq field");
+        assert!(seq > prev_seq, "sequence numbers must strictly increase");
+        prev_seq = seq;
+        for field in ["kind", "name", "cat", "detail"] {
+            assert!(ev.get(field).is_some(), "missing `{field}` in {ev:?}");
+        }
+    }
+
+    let last = events.last().unwrap();
+    assert_eq!(last.get("name").unwrap().as_str(), Some("flight.dump"));
+    assert!(
+        last.get("detail").unwrap().as_str().unwrap().contains("device latched broken"),
+        "the latch, not runner drop, must have triggered the dump"
+    );
+    let cat = |ev: &obs::Json| ev.get("cat").unwrap().as_str().unwrap().to_string();
+    assert!(
+        events.iter().any(|e| cat(e) == "recovery"),
+        "dump tail must include the recovery spans leading to the latch"
+    );
+    assert!(
+        events.iter().any(|e| {
+            e.get("name").unwrap().as_str() == Some("breaker")
+                && e.get("detail").unwrap().as_str().unwrap().contains("latched")
+        }),
+        "dump tail must show the breaker latching"
+    );
+
+    // First-trigger-wins: the runner-drop post-mortem must not rewrite
+    // the latch dump.
+    let before = std::fs::metadata(&dump).unwrap().len();
+    drop(runner);
+    drop(sink);
+    assert_eq!(std::fs::metadata(&dump).unwrap().len(), before);
+    let _ = std::fs::remove_file(&dump);
+}
+
+/// A fault-free offloaded run populates the per-device offload-latency
+/// histogram, and the profile table surfaces its percentiles.
+#[test]
+fn profile_table_reports_region_latency_percentiles() {
+    let app = app_by_name("gemm").expect("gemm");
+    let n = app.test_size;
+    let compiled = compile_omp(&app, &work("latency"));
+    let sink = obs::Obs::enabled();
+    let mut cfg = runner_config((app.footprint)(n), ExecMode::Functional, false);
+    cfg.obs = Some(sink.clone());
+    let runner = Runner::new(&compiled, &cfg).unwrap();
+    run_once(&app, &runner, n).unwrap();
+
+    let h = sink.metrics.hist(0, "region_latency_us").expect("device 0 must record region latency");
+    assert!(h.count >= 1, "at least one target region timed");
+    let (p50, p95, p99) = (h.percentile(50.0), h.percentile(95.0), h.percentile(99.0));
+    assert!(p50 > 0, "a gemm region takes simulated time");
+    assert!(p50 <= p95 && p95 <= p99, "percentiles must be monotone");
+
+    let table = runner.profile_table();
+    assert!(table.contains("p50us"), "missing latency columns:\n{table}");
+    let dev0 = table.lines().find(|l| l.starts_with("dev0")).expect("dev0 row");
+    assert!(
+        dev0.contains(&p50.to_string()) && dev0.contains(&p99.to_string()),
+        "dev0 row must carry the histogram's percentiles:\n{table}"
+    );
+}
