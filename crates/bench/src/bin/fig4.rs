@@ -5,7 +5,8 @@
 //! Usage:
 //!   fig4 [--app NAME] [--sizes a,b,c] [--full] [--max-blocks N]
 //!        [--trace PATH] [--profile] [--hotspots] [--mem SIZE] [--async]
-//!        [--chaos-seed N] [--engine vm|walker] [--json PATH] [--quick]
+//!        [--fuel N] [--job-timeout-ms N] [--chaos-seed N]
+//!        [--engine vm|walker] [--json PATH] [--quick]
 //!
 //! `--engine` selects the minic execution engine for every machine in the
 //! run (guest `run()` driver, host-fallback, replay): the register
@@ -26,6 +27,12 @@
 //! `recovery.reset` and `breaker.probe` events on the timeline. The CUDA
 //! baseline is left un-faulted — it has no recovery runtime to degrade
 //! through.
+//!
+//! `--fuel N` and `--job-timeout-ms N` arm the guest resource governor on
+//! the OMPi variant (instruction budget / wall-clock deadline per `run()`
+//! call — see the "Guest limits" section in the README). A tripped limit
+//! surfaces as a typed error from the runner instead of a hang; the CUDA
+//! baseline has no guest interpreter to govern and runs unlimited.
 //!
 //! `--mem 32M` caps the OMPi variant's device arena below the working set,
 //! driving the memory governor's evict → stage → tile → fallback ladder
@@ -88,6 +95,8 @@ fn main() {
     let mut profile = false;
     let mut hotspots = false;
     let mut mem_cap: Option<u64> = None;
+    let mut fuel: Option<u64> = None;
+    let mut job_timeout_ms: Option<u64> = None;
     let mut async_streams = false;
     let mut chaos_seed: Option<u64> = None;
     let mut engine = "vm".to_string();
@@ -128,6 +137,20 @@ fn main() {
             "--mem" => {
                 mem_cap = Some(vmcommon::fmt::parse_size(&args[i + 1]).unwrap_or_else(|e| {
                     eprintln!("--mem: {e}");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
+            "--fuel" => {
+                fuel = Some(args[i + 1].parse().unwrap_or_else(|_| {
+                    eprintln!("--fuel: expected an instruction budget, got `{}`", args[i + 1]);
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
+            "--job-timeout-ms" => {
+                job_timeout_ms = Some(args[i + 1].parse().unwrap_or_else(|_| {
+                    eprintln!("--job-timeout-ms: expected milliseconds, got `{}`", args[i + 1]);
                     std::process::exit(2);
                 }));
                 i += 2;
@@ -206,6 +229,8 @@ fn main() {
                     if let Some(seed) = chaos_seed {
                         cfg.fault_spec = Some(format!("chaos:{seed}"));
                     }
+                    cfg.fuel = fuel;
+                    cfg.job_timeout = job_timeout_ms.map(std::time::Duration::from_millis);
                 }
                 let built = build_variant_cfg(&app, variant, &work, &cfg);
                 // Runner::call drains the machine's VM counters into obs

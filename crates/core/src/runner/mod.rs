@@ -58,6 +58,20 @@ pub struct RunnerConfig {
     /// How many consecutive reset-and-replay attempts may fail before a
     /// device latches permanently broken (`OMPI_MAX_RESETS`).
     pub max_resets: u32,
+    /// Guest instruction budget per machine (`OMPI_GUEST_FUEL`): a hostile
+    /// `while(1);` returns [`minic::limits::GuestLimitError::FuelExhausted`]
+    /// instead of hanging the process. `None` = unlimited.
+    pub fuel: Option<u64>,
+    /// Guest heap + stack-frame byte ceiling (`OMPI_GUEST_MEM`). `None` =
+    /// unlimited (bounded only by the host arena).
+    pub guest_mem: Option<u64>,
+    /// Guest call-depth limit in frames (`OMPI_GUEST_STACK`). `None`
+    /// keeps the historical default of 200.
+    pub guest_stack: Option<u32>,
+    /// Wall-clock deadline for each guest job (`OMPI_JOB_TIMEOUT_MS`),
+    /// armed at every [`Runner::call`] and checked at the engines'
+    /// fuel-check boundary. `None` = no deadline.
+    pub job_timeout: Option<std::time::Duration>,
     /// Explicit observability sink (tracer + metrics). `None` resolves the
     /// `OMPI_TRACE` / `OMPI_PROFILE` environment variables: a set
     /// `OMPI_TRACE` makes the runner write Chrome trace-event JSON there on
@@ -82,6 +96,10 @@ impl Default for RunnerConfig {
             retry: RetryPolicy::default(),
             launch_timeout: std::time::Duration::from_millis(250),
             max_resets: 3,
+            fuel: None,
+            guest_mem: None,
+            guest_stack: None,
+            job_timeout: None,
             obs: None,
         }
     }
@@ -140,6 +158,8 @@ pub struct Runner {
     hotspots_on_drop: bool,
     /// Fire the last-chance flight post-mortem on drop (env-var mode).
     flight_on_drop: bool,
+    /// Wall-clock deadline armed on the machine at every guest call.
+    job_timeout: Option<std::time::Duration>,
 }
 
 impl Runner {
@@ -204,6 +224,29 @@ impl Runner {
         setup: ObsSetup,
     ) -> IResult<Runner> {
         let machine = Machine::new(host, host_info, cfg.host_mem)?;
+        // Explicit config overrides whatever `Machine::new` read from the
+        // `OMPI_GUEST_*` environment.
+        if let Some(f) = cfg.fuel {
+            machine.limits().set_fuel(Some(f));
+        }
+        if let Some(m) = cfg.guest_mem {
+            machine.limits().set_mem_limit(Some(m));
+        }
+        if let Some(s) = cfg.guest_stack {
+            machine.limits().set_stack_limit(s);
+        }
+        let job_timeout = match std::env::var("OMPI_JOB_TIMEOUT_MS") {
+            // The env var loses to an explicit config (same precedence as
+            // the limits above).
+            Ok(s) if cfg.job_timeout.is_none() => {
+                let ms: u64 = s
+                    .trim()
+                    .parse()
+                    .map_err(|_| InterpError::Trap(format!("OMPI_JOB_TIMEOUT_MS: `{s}`")))?;
+                Some(std::time::Duration::from_millis(ms))
+            }
+            _ => cfg.job_timeout,
+        };
         let hooks = Arc::new(OmpiHooks::new(registry, cuda_module, setup.obs));
         let hooks_dyn: Arc<dyn Hooks> = hooks.clone();
         Ok(Runner {
@@ -214,6 +257,7 @@ impl Runner {
             profile_on_drop: setup.profile,
             hotspots_on_drop: setup.hotspots,
             flight_on_drop: setup.env_owned,
+            job_timeout,
         })
     }
 
@@ -265,12 +309,50 @@ impl Runner {
         )
     }
 
-    /// Call a guest function.
+    /// Call a guest function. A guest that exceeds a configured resource
+    /// limit (fuel, memory ceiling, stack depth, job deadline) returns the
+    /// typed [`InterpError::Limit`] — never a panic or a hang — with device
+    /// state salvaged for the next job (see `on_guest_limit`).
     pub fn call(&self, name: &str, args: &[Value]) -> IResult<Value> {
+        self.machine.limits().arm_deadline(self.job_timeout);
         let mut i = Interp::new(self.machine.clone(), self.hooks_dyn.clone())?;
         let r = i.call(name, args);
+        self.machine.limits().arm_deadline(None);
         self.record_vm_counters();
+        if let Err(InterpError::Limit(l)) = &r {
+            self.on_guest_limit(l);
+        }
         r
+    }
+
+    /// Clean-up after a guest hit a resource limit. The *guest* misbehaved
+    /// — the device did not — so this must leave the device ready for the
+    /// next job and must not touch the recovery breaker:
+    /// 1. drain queued async work (the streams' `drain_and_clear` path),
+    /// 2. release the aborted job's device mappings (its buffers will
+    ///    never be read again),
+    /// 3. record `guest_limit.<kind>` + a `limit` trace instant, and give
+    ///    the flight recorder its post-mortem trigger.
+    fn on_guest_limit(&self, l: &minic::limits::GuestLimitError) {
+        let registry = &self.hooks.registry;
+        registry.sync_streams();
+        for i in 0..registry.num_devices() {
+            if let Some(d) = registry.device(i) {
+                d.release_mappings();
+            }
+        }
+        let pid = self.hooks.host_pid();
+        let obs = self.obs();
+        obs.metrics.incr(pid, &format!("guest_limit.{}", l.kind()), 1);
+        obs.tracer.instant(
+            pid,
+            0,
+            "limit",
+            "limit",
+            registry.clock_of(pid as usize).unwrap_or_default().total_s(),
+            vec![("kind", l.kind().into()), ("error", l.to_string().into())],
+        );
+        obs.flight.post_mortem(&format!("guest limit: {l}"));
     }
 
     /// Drain the machine's VM dispatch counters into the obs metrics
@@ -358,9 +440,9 @@ impl Runner {
         let mut rows = self.hooks.registry.profile_rows();
         for (pid, row) in rows.iter_mut().enumerate() {
             if let Some(h) = self.hooks.obs.metrics.hist(pid as u64, "region_latency_us") {
-                row.lat_p50_us = h.percentile(50.0);
-                row.lat_p95_us = h.percentile(95.0);
-                row.lat_p99_us = h.percentile(99.0);
+                row.lat_p50_us = h.percentile(50.0).unwrap_or(0);
+                row.lat_p95_us = h.percentile(95.0).unwrap_or(0);
+                row.lat_p99_us = h.percentile(99.0).unwrap_or(0);
             }
         }
         obs::render_profile(&rows)

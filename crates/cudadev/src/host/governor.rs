@@ -358,6 +358,32 @@ impl CudaDev {
         }
     }
 
+    /// Drop every live mapping without copy-back, freeing the device
+    /// buffers. The runtime calls this when a guest job was aborted by a
+    /// resource limit: nothing will ever read those buffers again, but the
+    /// device itself is healthy and must stay usable for the next job —
+    /// so driver errors here are swallowed, never latched.
+    pub fn release_mappings(&self) -> usize {
+        let entries: Vec<_> = {
+            let mut maps = self.maps.lock();
+            std::mem::take(&mut *maps).into_values().collect()
+        };
+        let n = entries.len();
+        if let Ok(device) = self.try_device() {
+            for e in entries {
+                if !e.pending {
+                    // Raw free, not `free_dev`: a driver error here only
+                    // leaks simulated DRAM and must not reach `latch`.
+                    let _ = device.mem_free(e.dev_ptr);
+                }
+            }
+        }
+        if n > 0 {
+            self.cfg.obs.metrics.incr(self.pid(), "maps_released", n as u64);
+        }
+        n
+    }
+
     /// Does any of these host addresses have a pending (buffer-less)
     /// mapping?
     pub fn has_pending(&self, host_addrs: &[u64]) -> bool {

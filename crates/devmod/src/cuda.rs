@@ -76,6 +76,10 @@ impl DeviceModule for CudaDev {
         CudaDev::mark_all_host_dirty(self)
     }
 
+    fn release_mappings(&self) -> usize {
+        CudaDev::release_mappings(self)
+    }
+
     fn refresh_args(&self, host_mem: &MemArena, host_addrs: &[u64]) -> Result<(), CudadevError> {
         CudaDev::refresh_args(self, host_mem, host_addrs)
     }

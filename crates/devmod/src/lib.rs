@@ -111,6 +111,14 @@ pub trait DeviceModule: Send + Sync {
     /// rewrote the host copies under an enclosing `target data`.
     fn mark_all_host_dirty(&self) {}
 
+    /// Drop every live mapping without copy-back, freeing the device
+    /// buffers; returns how many mappings were released. Used when a guest
+    /// job is aborted by a resource limit: its buffers will never be read
+    /// again, but the device is healthy and must stay usable.
+    fn release_mappings(&self) -> usize {
+        0
+    }
+
     /// Re-upload stale (host-dirty) device buffers among `host_addrs`
     /// before a launch reads them.
     fn refresh_args(&self, _host_mem: &MemArena, _host_addrs: &[u64]) -> Result<(), CudadevError> {

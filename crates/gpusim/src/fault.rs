@@ -209,6 +209,9 @@ pub enum FaultPlanError {
     DuplicateRule { part: String, site: FaultSite, device: u32 },
     /// A `chaos:<seed>` plan whose seed is not an unsigned integer.
     BadChaosSeed { seed: String },
+    /// A `chaos:<seed>` part mixed into a comma-separated rule list: chaos
+    /// must be the entire plan, it cannot be combined with explicit rules.
+    ChaosNotAlone { part: String },
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -243,6 +246,13 @@ impl std::fmt::Display for FaultPlanError {
             }
             FaultPlanError::BadChaosSeed { seed } => {
                 write!(f, "fault plan `chaos:{seed}`: seed must be an unsigned integer")
+            }
+            FaultPlanError::ChaosNotAlone { part } => {
+                write!(
+                    f,
+                    "fault plan part `{part}`: `chaos:<seed>` must be the whole plan, \
+                     not one rule in a list"
+                )
             }
         }
     }
@@ -290,6 +300,16 @@ impl FaultPlan {
         let mut rules = Vec::new();
         let mut seen: Vec<(u32, FaultSite)> = Vec::new();
         for part in text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            // A `chaos:` part inside a rule list used to fall through to
+            // the `devN:` prefix parser and report a misleading "bad
+            // device prefix `chaos:`" — name the real problem instead.
+            if let Some(seed) = part.strip_prefix("chaos:") {
+                let seed = seed.trim();
+                if seed.parse::<u64>().is_err() {
+                    return Err(FaultPlanError::BadChaosSeed { seed: seed.into() });
+                }
+                return Err(FaultPlanError::ChaosNotAlone { part: part.into() });
+            }
             let (scope, rule) = parse_scoped_rule(part)?;
             // Two rules for the same (device, site) would race on one call
             // counter with no defined precedence — reject the plan.
@@ -609,6 +629,24 @@ mod tests {
             FaultPlan::parse("chaos:pi").unwrap_err(),
             FaultPlanError::BadChaosSeed { seed: "pi".into() }
         );
+    }
+
+    /// A `chaos:` token buried in a rule list must name the chaos token,
+    /// not pattern-match it as a `devN:` device prefix.
+    #[test]
+    fn chaos_token_in_rule_list_is_reported_as_chaos() {
+        assert_eq!(
+            FaultPlan::parse("launch@1,chaos:3").unwrap_err(),
+            FaultPlanError::ChaosNotAlone { part: "chaos:3".into() }
+        );
+        // Malformed seed mid-list still reports the seed problem.
+        assert_eq!(
+            FaultPlan::parse("launch@1, chaos:pi").unwrap_err(),
+            FaultPlanError::BadChaosSeed { seed: "pi".into() }
+        );
+        let msg = FaultPlan::parse("h2d@2,chaos:7,launch@1").unwrap_err().to_string();
+        assert!(msg.contains("chaos:7") && msg.contains("whole plan"), "got: {msg}");
+        assert!(!msg.contains("device prefix"), "must not misreport as devN:, got: {msg}");
     }
 
     /// Chaos plans are deterministic per (seed, device) and only contain

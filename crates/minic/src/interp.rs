@@ -40,6 +40,7 @@ use vmcommon::{BlockAllocator, MemArena, MemError, Value};
 
 use crate::ast::*;
 use crate::bytecode::CompiledProgram;
+use crate::limits::{GuestLimitError, GuestLimits};
 use crate::sema::ProgramInfo;
 
 pub use crate::rt::convert;
@@ -92,6 +93,10 @@ pub enum InterpError {
     Frontend(FrontendError),
     /// Any other guest misbehaviour (unknown function, bad cast, …).
     Trap(String),
+    /// A configured resource limit stopped the program (fuel, memory
+    /// ceiling, stack depth, job deadline). Recoverable by construction:
+    /// the guest misbehaved, the host and device did not.
+    Limit(GuestLimitError),
 }
 
 impl std::fmt::Display for InterpError {
@@ -101,6 +106,7 @@ impl std::fmt::Display for InterpError {
             InterpError::Alloc(e) => write!(f, "allocation fault: {e}"),
             InterpError::Frontend(e) => write!(f, "{e}"),
             InterpError::Trap(m) => write!(f, "trap: {m}"),
+            InterpError::Limit(e) => write!(f, "guest limit: {e}"),
         }
     }
 }
@@ -122,6 +128,12 @@ impl From<AllocError> for InterpError {
 impl From<FrontendError> for InterpError {
     fn from(e: FrontendError) -> Self {
         InterpError::Frontend(e)
+    }
+}
+
+impl From<GuestLimitError> for InterpError {
+    fn from(e: GuestLimitError) -> Self {
+        InterpError::Limit(e)
     }
 }
 
@@ -247,6 +259,9 @@ pub struct Machine {
     /// Accumulated per-(chunk, line) dispatch counts, folded in by
     /// [`crate::vm::Vm`] once per top-level call.
     line_hits: Mutex<HashMap<(u32, u32), [u64; 6]>>,
+    /// Guest resource governor: fuel, memory ceiling, stack depth,
+    /// deadline. Shared by both engines and the runtime builtins.
+    pub(crate) limits: GuestLimits,
 }
 
 /// Per-interp stack size (bytes).
@@ -318,6 +333,7 @@ impl Machine {
             vm_counters: Default::default(),
             hotspots: AtomicBool::new(hotspots),
             line_hits: Mutex::new(HashMap::new()),
+            limits: GuestLimits::from_env().map_err(InterpError::Trap)?,
         }))
     }
 
@@ -438,6 +454,14 @@ impl Machine {
             .collect();
         rows.sort_by(|a, b| a.func.cmp(&b.func).then(a.line.cmp(&b.line)));
         rows
+    }
+
+    /// The guest resource governor (fuel, memory ceiling, stack depth,
+    /// deadline). Read the `OMPI_GUEST_*` environment at machine build;
+    /// the runner overrides from [`RunnerConfig`]-style settings via the
+    /// setters on [`GuestLimits`].
+    pub fn limits(&self) -> &GuestLimits {
+        &self.limits
     }
 
     /// Install a live output sink for `printf` (output is captured too).

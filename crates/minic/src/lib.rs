@@ -20,8 +20,10 @@
 pub mod ast;
 pub mod bytecode;
 pub mod compile;
+pub mod fuzzgen;
 pub mod interp;
 pub mod lexer;
+pub mod limits;
 pub mod omp;
 pub mod parser;
 pub mod pretty;

@@ -213,13 +213,39 @@ pub fn call_builtin(m: &Machine, which: u16, args: &[Value]) -> IResult<Value> {
         "abs" => Value::I32(a0().as_i32().wrapping_abs()),
         "malloc" => {
             let size = a0().as_i64().max(0) as u64;
-            let off = m.heap.lock().alloc(size)?;
+            // Charge the governor before touching the arena: a rejected
+            // request must not disturb the allocator, and a failed
+            // allocation must not leave a phantom charge.
+            m.limits.charge_heap(size)?;
+            let off = match m.heap.lock().alloc(size) {
+                Ok(off) => off,
+                Err(e) => {
+                    m.limits.credit_heap(size);
+                    return Err(e.into());
+                }
+            };
+            // The allocator may round the block up; grow the charge to the
+            // actual size so the credit on `free` stays symmetric.
+            if let Some(actual) = m.heap.lock().block_size(off) {
+                if actual > size {
+                    m.limits.charge_heap_unchecked(actual - size);
+                }
+            }
             Value::Ptr(addr::make(Space::Host, off))
         }
         "free" => {
             let p = a0().as_ptr();
             if p != 0 {
-                m.heap.lock().free(addr::offset(p))?;
+                let off = addr::offset(p);
+                let mut heap = m.heap.lock();
+                let size = heap.block_size(off);
+                heap.free(off)?;
+                drop(heap);
+                // Credit only what was actually freed (a bad pointer has
+                // already errored out above).
+                if let Some(size) = size {
+                    m.limits.credit_heap(size);
+                }
             }
             Value::I32(0)
         }

@@ -12,7 +12,8 @@
 //! stack frame identical to the walker's for address-taken and aggregate
 //! locals, and guest-to-guest calls on an explicit [`Frame`] stack —
 //! guest recursion must not consume host stack, whose debug-build frames
-//! would overflow well before the guest's 200-frame limit. Dispatch and
+//! would overflow well before the guest's configurable frame limit
+//! (`OMPI_GUEST_STACK`, default 200). Dispatch and
 //! instruction counts accumulate locally and flush to the machine's
 //! atomic counters when the top-level call returns (see `obs`'s `vm.*`
 //! metrics).
@@ -25,6 +26,7 @@ use vmcommon::{MemArena, MemError, Value};
 use crate::ast::BinOp;
 use crate::bytecode::{CompiledProgram, Op, ParamSpec, TyK};
 use crate::interp::{HookCtx, Hooks, IResult, InterpError, Machine, STACK_SIZE};
+use crate::limits::{GuestLimitError, FUEL_CHECK_INTERVAL};
 use crate::rt;
 
 /// An execution context: one per OS thread, with its own guest stack.
@@ -36,6 +38,10 @@ pub struct Vm {
     depth: u32,
     /// Instructions retired since the last flush.
     instructions: u64,
+    /// Instructions since the last fuel/deadline checkpoint; billed to the
+    /// machine's fuel pool every [`FUEL_CHECK_INTERVAL`] ops and drained
+    /// (without trapping) at flush.
+    unbilled: u64,
     /// Dispatch counts by [`crate::bytecode::OpCat`].
     dispatch: [u64; 6],
     /// Attribute dispatch to source lines (snapshot of the machine flag;
@@ -58,6 +64,7 @@ impl Vm {
             sp: stack_block,
             depth: 0,
             instructions: 0,
+            unbilled: 0,
             dispatch: [0; 6],
             hot,
             pc_hits: Vec::new(),
@@ -99,6 +106,10 @@ impl Vm {
     }
 
     fn flush_counters(&mut self) {
+        // Bill the partial fuel interval without trapping: a drained pool
+        // then traps at the first checkpoint of the next call.
+        self.machine.limits.drain_fuel(self.unbilled);
+        self.unbilled = 0;
         if self.instructions != 0 {
             self.machine.add_vm_counters(self.instructions, &self.dispatch);
             self.instructions = 0;
@@ -137,9 +148,11 @@ impl Vm {
         args: &[Value],
         ret_dst: u16,
     ) -> IResult<Frame> {
-        // Same order as the walker's `call_def`: depth first, then argc.
-        if self.depth > 200 {
-            return Err(InterpError::Trap("guest stack overflow (recursion too deep)".into()));
+        // Same order as the walker's `call_def`: depth first, then argc,
+        // then the hard stack block, then the governor's byte ceiling.
+        let stack_limit = self.machine.limits.stack_limit();
+        if self.depth > stack_limit {
+            return Err(GuestLimitError::StackOverflow { limit: stack_limit }.into());
         }
         let chunk = &prog.chunks[idx as usize];
         if args.len() != chunk.params.len() {
@@ -155,6 +168,9 @@ impl Vm {
         if base + chunk.frame_size > self.stack_block + STACK_SIZE {
             return Err(InterpError::Trap("guest stack exhausted".into()));
         }
+        // Stack usage derives from `sp`, so unwinding needs no credits;
+        // identical frame layouts keep this check engine-agnostic.
+        self.machine.limits.check_footprint(base + chunk.frame_size - self.stack_block)?;
         self.sp = base + chunk.frame_size;
         self.depth += 1;
 
@@ -199,6 +215,11 @@ impl Vm {
                 let op = &code[pc];
                 self.instructions += 1;
                 self.dispatch[op.cat() as usize] += 1;
+                self.unbilled += 1;
+                if self.unbilled >= FUEL_CHECK_INTERVAL {
+                    machine.limits.checkpoint(self.unbilled)?;
+                    self.unbilled = 0;
+                }
                 if self.hot {
                     self.pc_hits[ci][pc] += 1;
                 }

@@ -15,6 +15,7 @@ use vmcommon::{MemArena, MemError, Value};
 
 use crate::ast::*;
 use crate::interp::{HookCtx, Hooks, IResult, InterpError, Machine, STACK_SIZE};
+use crate::limits::{GuestLimitError, FUEL_CHECK_INTERVAL};
 use crate::rt::{self, convert};
 use crate::types::{ArrayLen, Ty};
 
@@ -36,6 +37,11 @@ pub struct TreeWalker {
     /// Slot offsets of the current function's frame.
     frame: *const crate::sema::FrameInfo,
     depth: u32,
+    /// Walker steps (statements + expressions) since the last
+    /// fuel/deadline checkpoint. The step granularity differs from the
+    /// VM's, so fuel traps are compared as "both terminated", never
+    /// byte-for-byte (see [`crate::limits`]).
+    unbilled: u64,
 }
 
 // SAFETY: `frame` points into `machine.prog`, which is kept alive by the
@@ -55,6 +61,7 @@ impl TreeWalker {
             frame_base: stack_block,
             frame: std::ptr::null(),
             depth: 0,
+            unbilled: 0,
         };
         it.init_globals_once()?;
         Ok(it)
@@ -111,12 +118,37 @@ impl TreeWalker {
         // SAFETY: see `TreeWalker::frame` field comment — borrows from the
         // Arc'd immutable program.
         let fd: &'static FuncDef = unsafe { std::mem::transmute::<&FuncDef, &FuncDef>(fd) };
-        self.call_def(fd, args)
+        let r = self.call_def(fd, args);
+        // Bill the partial fuel interval (mirrors the VM's counter flush) —
+        // but only at the true top-level boundary. `eval_call` re-enters
+        // here for guest→guest calls, and draining there would reset the
+        // interval on every call, letting call-heavy loops dodge the
+        // checkpoint forever.
+        if self.depth == 0 {
+            self.machine.limits.drain_fuel(self.unbilled);
+            self.unbilled = 0;
+        }
+        r
+    }
+
+    /// Fuel + deadline accounting, charged once per statement executed and
+    /// once per expression evaluated.
+    #[inline]
+    fn tick(&mut self) -> IResult<()> {
+        self.unbilled += 1;
+        if self.unbilled >= FUEL_CHECK_INTERVAL {
+            self.machine.limits.checkpoint(self.unbilled)?;
+            self.unbilled = 0;
+        }
+        Ok(())
     }
 
     fn call_def(&mut self, fd: &FuncDef, args: &[Value]) -> IResult<Value> {
-        if self.depth > 200 {
-            return Err(InterpError::Trap("guest stack overflow (recursion too deep)".into()));
+        // Same order as the VM's `new_frame`: depth first, then argc, then
+        // the hard stack block, then the governor's byte ceiling.
+        let stack_limit = self.machine.limits.stack_limit();
+        if self.depth > stack_limit {
+            return Err(GuestLimitError::StackOverflow { limit: stack_limit }.into());
         }
         if args.len() != fd.sig.params.len() {
             return Err(InterpError::Trap(format!(
@@ -133,30 +165,38 @@ impl TreeWalker {
         if base + fd.frame.size > self.stack_block + STACK_SIZE {
             return Err(InterpError::Trap("guest stack exhausted".into()));
         }
+        // Stack usage derives from `sp`, so unwinding needs no credits;
+        // identical frame layouts keep this check engine-agnostic.
+        self.machine.limits.check_footprint(base + fd.frame.size - self.stack_block)?;
         self.frame_base = base;
         self.sp = base + fd.frame.size;
         self.frame = &fd.frame;
         self.depth += 1;
 
-        for (p, v) in fd.sig.params.iter().zip(args) {
-            let slot = &fd.frame.slots[p.slot as usize];
-            let a = addr::offset(self.frame_base) + slot.offset;
-            let a = addr::make(Space::Host, a);
-            self.store_typed(a, &slot.ty, *v)?;
-        }
-
+        let r = (|| {
+            for (p, v) in fd.sig.params.iter().zip(args) {
+                let slot = &fd.frame.slots[p.slot as usize];
+                let a = addr::offset(self.frame_base) + slot.offset;
+                let a = addr::make(Space::Host, a);
+                self.store_typed(a, &slot.ty, *v)?;
+            }
+            self.exec_block_stmts(&fd.body.stmts)
+        })();
+        // Restore the frame whether the body returned or trapped, so an
+        // aborted call (e.g. a limit trap) unwinds the guest stack level
+        // by level — mirroring the VM's wholesale restore in `call_chunk`.
+        self.depth -= 1;
+        self.sp = saved_sp;
+        self.frame_base = saved_base;
+        self.frame = saved_frame;
         let mut ret = Value::I32(0);
-        match self.exec_block_stmts(&fd.body.stmts)? {
+        match r? {
             Flow::Return(v) => ret = v,
             Flow::Normal => {}
             Flow::Break | Flow::Continue => {
                 return Err(InterpError::Trap("break/continue escaped function body".into()))
             }
         }
-        self.depth -= 1;
-        self.sp = saved_sp;
-        self.frame_base = saved_base;
-        self.frame = saved_frame;
         // Convert the return value to the declared type.
         Ok(convert(ret, &fd.sig.ret))
     }
@@ -184,6 +224,7 @@ impl TreeWalker {
     }
 
     fn exec(&mut self, s: &Stmt) -> IResult<Flow> {
+        self.tick()?;
         match s {
             Stmt::Block(b) => self.exec_block_stmts(&b.stmts),
             Stmt::Empty => Ok(Flow::Normal),
@@ -289,6 +330,7 @@ impl TreeWalker {
     // ------------------------------------------------------ expressions
 
     fn eval(&mut self, e: &Expr) -> IResult<Value> {
+        self.tick()?;
         match &e.kind {
             ExprKind::IntLit(v) => Ok(Value::I32(*v as i32)),
             ExprKind::FloatLit(v, true) => Ok(Value::F32(*v as f32)),

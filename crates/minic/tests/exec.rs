@@ -444,6 +444,54 @@ fn sizeof_expressions() {
     );
 }
 
+/// Assert `main` fails with EXACTLY `want` under both engines, after
+/// `configure` has set the governor limits on the fresh machine. Limit
+/// traps are part of the engine contract: the message names only the
+/// configured ceiling (never a consumed count), so both engines must
+/// produce it byte for byte even though they meter at different
+/// granularities.
+fn check_limit_err(src: &str, configure: fn(&Machine), want: &str) {
+    for e in ENGINES {
+        let m = Machine::from_source(src).unwrap();
+        m.set_engine(e);
+        configure(&m);
+        let mut i = Interp::new(m, Arc::new(NoHooks)).unwrap();
+        let got = i.run_main().unwrap_err().to_string();
+        assert_eq!(got, want, "limit trap under {e:?}");
+    }
+}
+
+#[test]
+fn fuel_exhaustion_message_is_engine_identical() {
+    check_limit_err(
+        "int main() { int i = 0; while (1) { i = i + 1; } return i; }",
+        |m| m.limits().set_fuel(Some(5000)),
+        "guest limit: guest fuel exhausted (budget 5000 instructions)",
+    );
+}
+
+#[test]
+fn stack_limit_message_is_engine_identical() {
+    // A host thread big enough for the walker to recurse 25 guest frames
+    // is the default test stack; no spawn needed at this shallow limit.
+    check_limit_err(
+        "int f(int n) { return f(n + 1); } int main() { return f(0); }",
+        |m| m.limits().set_stack_limit(25),
+        "guest limit: guest stack overflow (recursion deeper than 25 frames)",
+    );
+}
+
+#[test]
+fn guest_mem_limit_message_is_engine_identical() {
+    // Leak allocations until the governor's ceiling trips; the ceiling is
+    // far below the heap arena, so only the governor can be the trapper.
+    check_limit_err(
+        "int main() { while (1) { void* p = malloc(4096); } return 0; }",
+        |m| m.limits().set_mem_limit(Some(65536)),
+        "guest limit: guest memory limit exceeded (65536-byte ceiling)",
+    );
+}
+
 #[test]
 fn frontend_errors_are_typed() {
     // Satellite fix: parse/sema failures surface stage + position instead

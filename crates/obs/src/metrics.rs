@@ -52,23 +52,28 @@ impl Hist {
         }
     }
 
-    /// The `p`-th percentile (0 < p ≤ 100) as the inclusive upper bound of
-    /// the log2 bucket holding the target rank: bucket 0 reports 0, bucket
-    /// `i` reports `2^i - 1`. Deterministic, and an upper bound on the true
-    /// percentile (never an underestimate). An empty histogram reports 0.
-    pub fn percentile(&self, p: f64) -> u64 {
+    /// The `p`-th percentile as the inclusive upper bound of the log2
+    /// bucket holding the target rank: bucket 0 reports 0, bucket `i`
+    /// reports `2^i - 1`. Deterministic, and an upper bound on the true
+    /// percentile (never an underestimate).
+    ///
+    /// `p` is clamped to `[0, 100]`: `p = 0` reports the minimum bucket
+    /// bound, `p = 100` (or anything above) the maximum. An empty histogram
+    /// has no percentiles and reports `None`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
+        let p = p.clamp(0.0, 100.0);
         let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut cum = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             cum += c;
             if cum >= target {
-                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return Some(if i == 0 { 0 } else { (1u64 << i) - 1 });
             }
         }
-        u64::MAX // unreachable: buckets sum to count
+        unreachable!("buckets sum to count")
     }
 }
 
@@ -143,9 +148,9 @@ impl Metrics {
                 h.count,
                 h.sum,
                 h.mean(),
-                h.percentile(50.0),
-                h.percentile(95.0),
-                h.percentile(99.0)
+                h.percentile(50.0).unwrap_or(0),
+                h.percentile(95.0).unwrap_or(0),
+                h.percentile(99.0).unwrap_or(0)
             ));
         }
         out
@@ -192,20 +197,20 @@ mod tests {
         h.buckets[0] = 10;
         h.buckets[4] = 80;
         h.buckets[10] = 10;
-        assert_eq!(h.percentile(5.0), 0); // rank 5 → bucket 0
-        assert_eq!(h.percentile(10.0), 0); // rank 10, still bucket 0
-        assert_eq!(h.percentile(50.0), 15); // rank 50 → bucket 4
-        assert_eq!(h.percentile(90.0), 15); // rank 90, last of bucket 4
-        assert_eq!(h.percentile(95.0), 1023); // rank 95 → bucket 10
-        assert_eq!(h.percentile(99.0), 1023);
-        assert_eq!(h.percentile(100.0), 1023);
+        assert_eq!(h.percentile(5.0), Some(0)); // rank 5 → bucket 0
+        assert_eq!(h.percentile(10.0), Some(0)); // rank 10, still bucket 0
+        assert_eq!(h.percentile(50.0), Some(15)); // rank 50 → bucket 4
+        assert_eq!(h.percentile(90.0), Some(15)); // rank 90, last of bucket 4
+        assert_eq!(h.percentile(95.0), Some(1023)); // rank 95 → bucket 10
+        assert_eq!(h.percentile(99.0), Some(1023));
+        assert_eq!(h.percentile(100.0), Some(1023));
     }
 
     #[test]
-    fn percentile_of_empty_histogram_is_zero() {
+    fn percentile_of_empty_histogram_is_none() {
         let h = Hist::default();
-        assert_eq!(h.percentile(50.0), 0);
-        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.percentile(99.0), None);
         assert_eq!(h.mean(), 0.0);
     }
 
@@ -213,9 +218,28 @@ mod tests {
     fn percentile_single_observation() {
         let mut h = Hist::default();
         h.observe(4096); // bucket 13, upper bound 8191
-        for p in [1.0, 50.0, 99.0, 100.0] {
-            assert_eq!(h.percentile(p), 8191);
+                         // Every percentile of a single observation is that observation's
+                         // bucket bound, including both clamp edges.
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(8191));
         }
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p() {
+        let mut h = Hist { count: 100, ..Hist::default() };
+        h.buckets[0] = 10;
+        h.buckets[4] = 90;
+        // p below 0 → minimum bucket bound; above 100 → maximum. Neither
+        // may fall off the bucket scan (the old code returned u64::MAX for
+        // p > 100).
+        assert_eq!(h.percentile(-5.0), Some(0));
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert_eq!(h.percentile(100.0), Some(15));
+        assert_eq!(h.percentile(250.0), Some(15));
+        // NaN survives the clamp but the rank floor of 1 still applies, so
+        // it degrades to the minimum instead of panicking or escaping.
+        assert_eq!(h.percentile(f64::NAN), Some(0));
     }
 
     #[test]

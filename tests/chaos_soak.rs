@@ -58,6 +58,36 @@ fn chaos_soak_is_bit_identical_across_apps_and_seeds() {
     }
 }
 
+/// Chaos faults and the resource governor compose: a run under an active
+/// fault plan AND a fuel budget far below the app's real cost must stop at
+/// the budget with the typed limit error — not hang in a retry loop, not
+/// panic, and not latch the device breaker (a limit is the guest's fault,
+/// never the device's).
+#[test]
+fn tight_fuel_under_chaos_trips_cleanly() {
+    // gramschmidt is the one app whose guest `run()` does real host-side
+    // work between offloads (~11k VM instructions at test size) — the
+    // others drive everything from a few hundred instructions of launch
+    // glue, which never spans a fuel checkpoint.
+    let app = app_by_name("gramschmidt").expect("gramschmidt");
+    let n = app.test_size;
+    let compiled = compile_omp(&app, &work("gs-fuel"));
+    let obs = obs::Obs::enabled();
+    let mut cfg = runner_config((app.footprint)(n), ExecMode::Functional, false);
+    cfg.fault_spec = Some("chaos:3".into());
+    cfg.fuel = Some(2000); // gramschmidt needs ~11k
+    cfg.obs = Some(obs.clone());
+    let runner = Runner::new(&compiled, &cfg).unwrap();
+    let err = run_once(&app, &runner, n).expect_err("2k instructions cannot finish gramschmidt");
+    assert_eq!(
+        err.to_string(),
+        "guest limit: guest fuel exhausted (budget 2000 instructions)",
+        "the governor, not a fault or a panic, must be what stops the run"
+    );
+    assert_eq!(obs.metrics.counter(runner.registry().num_devices() as u64, "guest_limit.fuel"), 1);
+    assert!(!runner.device_broken(), "a guest limit must never latch the breaker");
+}
+
 /// A hang-heavy seed (3 -> `hang@launch,...`) must actually exercise the
 /// recovery machinery, not just happen to pass: the soak asserts at least
 /// one device reset was performed and the run stayed on the device.
