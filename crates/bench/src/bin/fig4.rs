@@ -223,9 +223,10 @@ fn main() {
                 cfg.obs = Some(obs.clone());
                 if variant == Variant::OmpiCudadev {
                     if let Some(cap) = mem_cap {
-                        cfg.device_mem = (cap as usize).min(cfg.device_mem);
+                        let base = cfg.device_mem.unwrap_or(usize::MAX);
+                        cfg.device_mem = Some((cap as usize).min(base));
                     }
-                    cfg.async_streams = async_streams;
+                    cfg.async_streams = Some(async_streams);
                     if let Some(seed) = chaos_seed {
                         cfg.fault_spec = Some(format!("chaos:{seed}"));
                     }

@@ -14,7 +14,7 @@ use std::path::PathBuf;
 use minic::Program;
 use nvccsim::BinMode;
 
-use crate::transform::{translate, KernelFile, Translation};
+use crate::transform::{KernelFile, Pipeline, Translation};
 
 /// Driver error.
 #[derive(Debug)]
@@ -77,15 +77,26 @@ pub struct Ompicc {
     /// Working directory: kernel sources land in `<dir>/src`, binaries in
     /// `<dir>/kernels`.
     pub work_dir: PathBuf,
+    /// Prefix for outlined kernel module names. Empty for standalone
+    /// compiles; the batch server compiles every tenant program into one
+    /// shared kernel directory and prefixes each with a unique program id
+    /// so two programs' `k0_main` modules cannot collide.
+    pub module_prefix: String,
 }
 
 impl Ompicc {
     pub fn new(work_dir: impl Into<PathBuf>) -> Ompicc {
-        Ompicc { mode: BinMode::Cubin, work_dir: work_dir.into() }
+        Ompicc { mode: BinMode::Cubin, work_dir: work_dir.into(), module_prefix: String::new() }
     }
 
     pub fn with_mode(mut self, mode: BinMode) -> Ompicc {
         self.mode = mode;
+        self
+    }
+
+    /// Namespace this compile's kernel modules (`<prefix>k0_main`, ...).
+    pub fn with_module_prefix(mut self, prefix: impl Into<String>) -> Ompicc {
+        self.module_prefix = prefix.into();
         self
     }
 
@@ -100,7 +111,8 @@ impl Ompicc {
         minic::analyze(&mut prog).map_err(|e| OmpiccError::Frontend(e.to_string()))?;
 
         // Transformation.
-        let Translation { mut host, kernels } = translate(&prog)?;
+        let pipeline = Pipeline::new().with_module_prefix(self.module_prefix.clone());
+        let (Translation { mut host, kernels }, _) = pipeline.run(&prog)?;
 
         // Re-analyze the lowered host program.
         let host_info = minic::analyze(&mut host)

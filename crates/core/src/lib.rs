@@ -18,7 +18,10 @@ pub mod transform;
 
 pub use analyze::TransError;
 pub use driver::{CompiledApp, CompiledCudaApp, CudaCc, Ompicc, OmpiccError};
-pub use runner::{OmpiHooks, Runner, RunnerConfig};
+pub use runner::{
+    ConfigError, OmpiHooks, ResolvedConfig, Runner, RunnerConfig, DEFAULT_DEVICE_MEM,
+    DEFAULT_LAUNCH_TIMEOUT, DEFAULT_MAX_RESETS,
+};
 pub use transform::{
     translate, translate_traced, KernelFile, PassInfo, PassTrace, Pipeline, TraceEntry,
     TransformSet, Translation, PASSES,

@@ -76,9 +76,11 @@ impl OmpiHooks {
     }
 
     /// Trace pid of the host shim (one Chrome-trace "process" per device;
-    /// the initial device comes after the offload devices).
+    /// the initial device comes after the offload devices — unless the
+    /// registry pinned it elsewhere, as the batch server's per-job
+    /// single-device fleet views do).
     pub(super) fn host_pid(&self) -> u64 {
-        self.registry.num_devices() as u64
+        self.registry.host_pid()
     }
 
     /// Simulated time on device `idx` right now (`idx == num_devices()`

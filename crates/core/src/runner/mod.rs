@@ -18,17 +18,29 @@ use vmcommon::Value;
 
 use crate::driver::{CompiledApp, CompiledCudaApp};
 
+mod config;
 mod hooks;
 
+pub use config::{
+    ConfigError, ResolvedConfig, DEFAULT_DEVICE_MEM, DEFAULT_LAUNCH_TIMEOUT, DEFAULT_MAX_RESETS,
+};
 pub use hooks::OmpiHooks;
 
 /// Runner configuration.
+///
+/// The four device knobs that also have `OMPI_*` env vars are `Option`s:
+/// `None` means "not set here — let the env var, then the default, apply";
+/// `Some` always wins over the environment. (Historically the env vars
+/// silently *overrode* explicit fields, the exact bug a long-running
+/// server cannot live with.) See [`ResolvedConfig::resolve`] for the full
+/// precedence contract.
 #[derive(Clone, Debug)]
 pub struct RunnerConfig {
     /// Host guest-memory size.
     pub host_mem: usize,
-    /// Device DRAM size (per device).
-    pub device_mem: usize,
+    /// Device DRAM size (per device). `None` defers to `OMPI_DEV_MEM`,
+    /// then [`DEFAULT_DEVICE_MEM`].
+    pub device_mem: Option<usize>,
     /// Grid simulation mode.
     pub exec_mode: ExecMode,
     /// JIT cache directory (PTX mode), shared across devices.
@@ -40,7 +52,8 @@ pub struct RunnerConfig {
     /// Async command streams: transfers and launches are scheduled on
     /// per-region streams whose copy and compute engines overlap on the
     /// simulated clock (results stay bit-identical — execution is eager).
-    pub async_streams: bool,
+    /// `None` defers to `OMPI_ASYNC` (strict boolean), then `false`.
+    pub async_streams: Option<bool>,
     /// Deterministic fault-injection plan for device 0 (tests). `None`
     /// falls back to the `OMPI_FAULT_PLAN` environment variable, whose
     /// `devN:`-prefixed rules scope to device `N`. For programmatic
@@ -53,11 +66,13 @@ pub struct RunnerConfig {
     pub retry: RetryPolicy,
     /// Watchdog deadline for kernels and transfers: a hung operation is
     /// declared timed out after this much simulated waiting and handed to
-    /// the recovery manager (`OMPI_LAUNCH_TIMEOUT_MS`).
-    pub launch_timeout: std::time::Duration,
+    /// the recovery manager. `None` defers to `OMPI_LAUNCH_TIMEOUT_MS`,
+    /// then [`DEFAULT_LAUNCH_TIMEOUT`].
+    pub launch_timeout: Option<std::time::Duration>,
     /// How many consecutive reset-and-replay attempts may fail before a
-    /// device latches permanently broken (`OMPI_MAX_RESETS`).
-    pub max_resets: u32,
+    /// device latches permanently broken. `None` defers to
+    /// `OMPI_MAX_RESETS`, then [`DEFAULT_MAX_RESETS`].
+    pub max_resets: Option<u32>,
     /// Guest instruction budget per machine (`OMPI_GUEST_FUEL`): a hostile
     /// `while(1);` returns [`minic::limits::GuestLimitError::FuelExhausted`]
     /// instead of hanging the process. `None` = unlimited.
@@ -85,17 +100,17 @@ impl Default for RunnerConfig {
     fn default() -> Self {
         RunnerConfig {
             host_mem: 256 << 20,
-            device_mem: 512 << 20,
+            device_mem: None,
             exec_mode: ExecMode::Functional,
             jit_cache_dir: std::env::temp_dir().join("ompi-jitcache"),
             launch_sampling: false,
             num_devices: 1,
-            async_streams: false,
+            async_streams: None,
             fault_plan: None,
             fault_spec: None,
             retry: RetryPolicy::default(),
-            launch_timeout: std::time::Duration::from_millis(250),
-            max_resets: 3,
+            launch_timeout: None,
+            max_resets: None,
             fuel: None,
             guest_mem: None,
             guest_stack: None,
@@ -123,7 +138,7 @@ struct ObsSetup {
 }
 
 impl ObsSetup {
-    fn resolve(cfg: &RunnerConfig) -> ObsSetup {
+    fn resolve(cfg: &ResolvedConfig) -> ObsSetup {
         if let Some(o) = &cfg.obs {
             return ObsSetup {
                 obs: o.clone(),
@@ -168,7 +183,7 @@ impl Runner {
     /// device-scoped fault plan.
     fn build_registry(
         kernel_dir: &std::path::Path,
-        cfg: &RunnerConfig,
+        cfg: &ResolvedConfig,
         obs: &Arc<obs::Obs>,
     ) -> IResult<Arc<DeviceRegistry>> {
         // Validate `OMPI_FAULT_PLAN` eagerly: lazy device initialization
@@ -220,33 +235,12 @@ impl Runner {
         host_info: minic::sema::ProgramInfo,
         registry: Arc<DeviceRegistry>,
         cuda_module: Option<String>,
-        cfg: &RunnerConfig,
+        cfg: &ResolvedConfig,
         setup: ObsSetup,
     ) -> IResult<Runner> {
-        let machine = Machine::new(host, host_info, cfg.host_mem)?;
-        // Explicit config overrides whatever `Machine::new` read from the
-        // `OMPI_GUEST_*` environment.
-        if let Some(f) = cfg.fuel {
-            machine.limits().set_fuel(Some(f));
-        }
-        if let Some(m) = cfg.guest_mem {
-            machine.limits().set_mem_limit(Some(m));
-        }
-        if let Some(s) = cfg.guest_stack {
-            machine.limits().set_stack_limit(s);
-        }
-        let job_timeout = match std::env::var("OMPI_JOB_TIMEOUT_MS") {
-            // The env var loses to an explicit config (same precedence as
-            // the limits above).
-            Ok(s) if cfg.job_timeout.is_none() => {
-                let ms: u64 = s
-                    .trim()
-                    .parse()
-                    .map_err(|_| InterpError::Trap(format!("OMPI_JOB_TIMEOUT_MS: `{s}`")))?;
-                Some(std::time::Duration::from_millis(ms))
-            }
-            _ => cfg.job_timeout,
-        };
+        // Guest limits come from the snapshot — `Machine` must not re-read
+        // `OMPI_GUEST_*` per job in a long-running server.
+        let machine = Machine::new_with_limits(host, host_info, cfg.host_mem, cfg.guest_limits())?;
         let hooks = Arc::new(OmpiHooks::new(registry, cuda_module, setup.obs));
         let hooks_dyn: Arc<dyn Hooks> = hooks.clone();
         Ok(Runner {
@@ -257,54 +251,50 @@ impl Runner {
             profile_on_drop: setup.profile,
             hotspots_on_drop: setup.hotspots,
             flight_on_drop: setup.env_owned,
-            job_timeout,
+            job_timeout: cfg.job_timeout,
         })
     }
 
     /// Instantiate a compiled OpenMP application.
     ///
-    /// `OMPI_DEV_MEM=64M`-style values cap the per-device arena below the
-    /// configured [`RunnerConfig::device_mem`], exercising the memory
-    /// governor's degradation ladder (OpenMP path only — the CUDA baseline
-    /// manages raw device memory itself and would just crash).
+    /// Env vars apply only to fields the config leaves unset (see
+    /// [`ResolvedConfig::resolve`]): with no explicit
+    /// [`RunnerConfig::device_mem`], `OMPI_DEV_MEM=64M`-style values cap
+    /// the per-device arena, exercising the memory governor's degradation
+    /// ladder (OpenMP path only — the CUDA baseline manages raw device
+    /// memory itself and would just crash).
     pub fn new(app: &CompiledApp, cfg: &RunnerConfig) -> IResult<Runner> {
-        let mut cfg = cfg.clone();
-        if let Ok(s) = std::env::var("OMPI_DEV_MEM") {
-            let bytes = vmcommon::fmt::parse_size(&s)
-                .map_err(|e| InterpError::Trap(format!("OMPI_DEV_MEM: {e}")))?;
-            cfg.device_mem = bytes as usize;
-        }
-        if let Ok(s) = std::env::var("OMPI_ASYNC") {
-            cfg.async_streams = s != "0" && !s.is_empty();
-        }
-        if let Ok(s) = std::env::var("OMPI_LAUNCH_TIMEOUT_MS") {
-            let ms: u64 = s
-                .trim()
-                .parse()
-                .map_err(|_| InterpError::Trap(format!("OMPI_LAUNCH_TIMEOUT_MS: `{s}`")))?;
-            cfg.launch_timeout = std::time::Duration::from_millis(ms);
-        }
-        if let Ok(s) = std::env::var("OMPI_MAX_RESETS") {
-            cfg.max_resets = s
-                .trim()
-                .parse()
-                .map_err(|_| InterpError::Trap(format!("OMPI_MAX_RESETS: `{s}`")))?;
-        }
-        let setup = ObsSetup::resolve(&cfg);
-        let registry = Self::build_registry(&app.kernel_dir, &cfg, &setup.obs)?;
-        Self::with_registry(app.host.clone(), app.host_info.clone(), registry, None, &cfg, setup)
+        let rc = ResolvedConfig::resolve(cfg).map_err(|e| InterpError::Trap(e.to_string()))?;
+        let setup = ObsSetup::resolve(&rc);
+        let registry = Self::build_registry(&app.kernel_dir, &rc, &setup.obs)?;
+        Self::with_registry(app.host.clone(), app.host_info.clone(), registry, None, &rc, setup)
+    }
+
+    /// Instantiate a compiled OpenMP application against a caller-owned
+    /// registry and a pre-resolved config snapshot. This is the batch
+    /// server's path: the scheduler owns the device fleet and hands each
+    /// job the device(s) it placed it on; nothing here reads the
+    /// environment.
+    pub fn with_shared_registry(
+        app: &CompiledApp,
+        registry: Arc<DeviceRegistry>,
+        cfg: &ResolvedConfig,
+    ) -> IResult<Runner> {
+        let setup = ObsSetup::resolve(cfg);
+        Self::with_registry(app.host.clone(), app.host_info.clone(), registry, None, cfg, setup)
     }
 
     /// Instantiate a compiled pure-CUDA application.
     pub fn new_cuda(app: &CompiledCudaApp, cfg: &RunnerConfig) -> IResult<Runner> {
-        let setup = ObsSetup::resolve(cfg);
-        let registry = Self::build_registry(&app.kernel_dir, cfg, &setup.obs)?;
+        let rc = ResolvedConfig::resolve_cuda(cfg).map_err(|e| InterpError::Trap(e.to_string()))?;
+        let setup = ObsSetup::resolve(&rc);
+        let registry = Self::build_registry(&app.kernel_dir, &rc, &setup.obs)?;
         Self::with_registry(
             app.host.clone(),
             app.host_info.clone(),
             registry,
             Some(app.module_name.clone()),
-            cfg,
+            &rc,
             setup,
         )
     }

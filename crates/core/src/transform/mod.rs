@@ -197,16 +197,27 @@ const SETS: [&dyn TransformSet; 2] = [&CudaTransformSet, &GeneralPurposeTransfor
 /// pass metadata of [`PASSES`].
 pub struct Pipeline {
     trace: bool,
+    /// Prepended to every outlined kernel's module name. Empty for
+    /// standalone compiles; the batch server compiles many tenants'
+    /// programs into one shared kernel directory, where `k0_main` from two
+    /// programs must not collide.
+    module_prefix: String,
 }
 
 impl Pipeline {
     pub fn new() -> Pipeline {
-        Pipeline { trace: false }
+        Pipeline { trace: false, module_prefix: String::new() }
     }
 
     /// Record pretty-printed snapshots at every pass boundary.
     pub fn traced() -> Pipeline {
-        Pipeline { trace: true }
+        Pipeline { trace: true, module_prefix: String::new() }
+    }
+
+    /// Namespace the outlined kernel modules (`<prefix>k0_main`, ...).
+    pub fn with_module_prefix(mut self, prefix: impl Into<String>) -> Pipeline {
+        self.module_prefix = prefix.into();
+        self
     }
 
     pub fn passes(&self) -> &'static [PassInfo] {
@@ -223,6 +234,7 @@ impl Pipeline {
             next_hostfn: 0,
             next_tmp: 0,
             critical_ids: HashMap::new(),
+            module_prefix: self.module_prefix.clone(),
             trace: if self.trace { Some(PassTrace::default()) } else { None },
         };
         let mut items = Vec::new();
@@ -307,6 +319,7 @@ pub struct Translator<'p> {
     pub(crate) next_hostfn: u32,
     pub(crate) next_tmp: u32,
     pub(crate) critical_ids: HashMap<String, i64>,
+    pub(crate) module_prefix: String,
     pub(crate) trace: Option<PassTrace>,
 }
 

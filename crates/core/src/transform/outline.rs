@@ -107,7 +107,7 @@ impl<'p> Translator<'p> {
 
         let kid = self.next_kernel;
         self.next_kernel += 1;
-        let module_name = format!("k{}_{}", kid, ctx.fname);
+        let module_name = format!("{}k{}_{}", self.module_prefix, kid, ctx.fname);
         let kernel_fn = format!("_kernelFunc{}_{}", kid, ctx.fname);
 
         // Which lowering does this region need?

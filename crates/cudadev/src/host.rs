@@ -32,7 +32,7 @@ mod governor;
 mod recovery;
 mod stream;
 
-pub use governor::{PressureOutcome, TileParam};
+pub use governor::{MemPressure, PressureOutcome, TileParam};
 pub use recovery::BreakerState;
 pub use stream::STREAM_TRACK_BASE;
 
@@ -319,6 +319,10 @@ pub struct CudaDev {
     /// operation fails fast with [`CudadevError::Broken`] so the runtime
     /// skips the dead device and runs on the host instead.
     broken: AtomicBool,
+    /// Lifetime count of memory-governor ladder rungs taken (evictions,
+    /// pending maps, tiled launches, OOM fallbacks) — the scalar pressure
+    /// signal behind [`CudaDev::mem_pressure`].
+    pressure_events: std::sync::atomic::AtomicU64,
 }
 
 impl CudaDev {
@@ -337,6 +341,7 @@ impl CudaDev {
             streams: stream::AsyncState::default(),
             recovery: Mutex::new(recovery::RecoveryCtl::default()),
             broken: AtomicBool::new(false),
+            pressure_events: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -835,6 +840,10 @@ impl CudaDev {
     /// the kernel directory.
     pub fn load_module(&self, name: &str) -> Result<Arc<sptx::Module>, CudadevError> {
         if let Some(m) = self.modules.lock().get(name) {
+            // In-memory hit: the module survived from an earlier job on
+            // this device — the signal the batch server's affinity
+            // placement is chasing.
+            self.cfg.obs.metrics.incr(self.pid(), "modload.mem_hit", 1);
             return Ok(m.clone());
         }
         let load_err =

@@ -61,6 +61,20 @@ pub enum PressureOutcome {
     Declined,
 }
 
+/// A device's memory standing, exported for admission control: how big
+/// the arena is, how much is free right now, how much of the used space is
+/// merely LRU-cached (reclaimable by eviction), and how many governor
+/// ladder rungs this device has ever had to take. A scheduler reading
+/// `free_bytes + cached_bytes` gets the bytes a new job could claim
+/// without degrading anyone.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemPressure {
+    pub total_bytes: u64,
+    pub free_bytes: u64,
+    pub cached_bytes: u64,
+    pub pressure_events: u64,
+}
+
 /// One cached (unmapped but not yet freed) device buffer.
 #[derive(Clone, Debug)]
 pub(super) struct CacheEntry {
@@ -104,10 +118,29 @@ struct SliceStream {
 impl CudaDev {
     /// Emit one `pressure` trace instant + counter for a ladder rung.
     pub(super) fn pressure(&self, rung: &str, mut args: Vec<(&'static str, obs::ArgValue)>) {
+        self.pressure_events.fetch_add(1, Ordering::Relaxed);
         let obs = &self.cfg.obs;
         args.insert(0, ("rung", rung.into()));
         obs.tracer.instant(self.pid(), 0, "pressure", "pressure", self.now(), args);
         obs.metrics.incr(self.pid(), &format!("pressure.{rung}"), 1);
+    }
+
+    /// Memory-pressure snapshot for admission control. Deliberately does
+    /// *not* force lazy init: an untouched device reports its configured
+    /// arena as fully free, and a broken one reports zero free bytes.
+    pub fn mem_pressure(&self) -> MemPressure {
+        let total = self.cfg.global_mem as u64;
+        let free = if !self.is_initialized() {
+            total
+        } else {
+            self.try_device().map(|d| d.mem_free_bytes()).unwrap_or(0)
+        };
+        MemPressure {
+            total_bytes: total,
+            free_bytes: free,
+            cached_bytes: self.cached_bytes(),
+            pressure_events: self.pressure_events.load(Ordering::Relaxed),
+        }
     }
 
     /// Free a device buffer, surfacing driver rejection as the typed

@@ -17,6 +17,6 @@ pub use devlib::{
 };
 pub use error::CudadevError;
 pub use host::{
-    BreakerState, CudaDev, CudaDevConfig, DevClock, MapKind, PressureOutcome, RetryPolicy,
-    TileParam,
+    BreakerState, CudaDev, CudaDevConfig, DevClock, MapKind, MemPressure, PressureOutcome,
+    RetryPolicy, TileParam,
 };

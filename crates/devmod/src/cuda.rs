@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use cudadev::{CudaDev, CudadevError, DevClock, MapKind, PressureOutcome, TileParam};
+use cudadev::{CudaDev, CudadevError, DevClock, MapKind, MemPressure, PressureOutcome, TileParam};
 use gpusim::LaunchStats;
 use vmcommon::MemArena;
 
@@ -98,6 +98,10 @@ impl DeviceModule for CudaDev {
         CudaDev::offload_pressured(
             self, host_mem, module, kernel, tileable, total, grid, block, params,
         )
+    }
+
+    fn mem_pressure(&self) -> Option<MemPressure> {
+        Some(CudaDev::mem_pressure(self))
     }
 
     fn load_module(&self, name: &str) -> Result<Arc<sptx::Module>, CudadevError> {

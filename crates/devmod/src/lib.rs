@@ -20,7 +20,9 @@
 
 use std::sync::Arc;
 
-use cudadev::{BreakerState, CudadevError, DevClock, MapKind, PressureOutcome, TileParam};
+use cudadev::{
+    BreakerState, CudadevError, DevClock, MapKind, MemPressure, PressureOutcome, TileParam,
+};
 use gpusim::LaunchStats;
 use vmcommon::MemArena;
 
@@ -142,6 +144,15 @@ pub trait DeviceModule: Send + Sync {
         _params: &[TileParam],
     ) -> Result<PressureOutcome, CudadevError> {
         Ok(PressureOutcome::Declined)
+    }
+
+    /// Memory-pressure snapshot for admission control: how full is this
+    /// device's arena, and how often has its governor had to degrade?
+    /// `None` for modules without a memory governor (the host shim) — an
+    /// admission controller treats those as "no signal", not "no
+    /// pressure".
+    fn mem_pressure(&self) -> Option<MemPressure> {
+        None
     }
 
     /// Loading phase: find and load the kernel module `name`.

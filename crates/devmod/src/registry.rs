@@ -20,6 +20,11 @@ pub struct DeviceRegistry {
     host: Arc<HostDevice>,
     /// The `default-device-var` ICV (`omp_get/set_default_device`).
     default_dev: AtomicI64,
+    /// Trace/metrics pid for the host shim. Defaults to `num_devices()`
+    /// (the initial-device number); a scheduler placing jobs on registries
+    /// that view a slice of a larger fleet overrides it so host-shim
+    /// metrics do not collide with another fleet device's pid.
+    host_pid: u64,
 }
 
 impl DeviceRegistry {
@@ -27,11 +32,26 @@ impl DeviceRegistry {
     /// device; the default device starts at 0 (or the host if there are no
     /// offload devices).
     pub fn new(devices: Vec<Arc<dyn DeviceModule>>) -> DeviceRegistry {
+        let host_pid = devices.len() as u64;
+        Self::with_host_pid(devices, host_pid)
+    }
+
+    /// A registry whose host shim records metrics under an explicit pid
+    /// instead of `num_devices()`. The batch server hands each job a
+    /// single-device view of the fleet; without this, every job's host
+    /// shim would land on pid 1 — a real fleet device.
+    pub fn with_host_pid(devices: Vec<Arc<dyn DeviceModule>>, host_pid: u64) -> DeviceRegistry {
         DeviceRegistry {
             devices,
             host: Arc::new(HostDevice::new()),
             default_dev: AtomicI64::new(0),
+            host_pid,
         }
+    }
+
+    /// The pid host-shim metrics and traces are recorded under.
+    pub fn host_pid(&self) -> u64 {
+        self.host_pid
     }
 
     /// Number of offload-capable devices (the host is not counted, per
@@ -250,6 +270,17 @@ mod tests {
         // Default device redirected past the end also lands on the host.
         reg.set_default_device(7);
         assert_eq!(reg.resolve_id(-1), 2);
+    }
+
+    #[test]
+    fn host_pid_defaults_to_num_devices_and_can_be_overridden() {
+        let reg = two_dev_registry();
+        assert_eq!(reg.host_pid(), 2);
+        // A single-device view of a larger fleet: device numbering is
+        // still 0-based locally, but the host shim's pid is pinned.
+        let reg = DeviceRegistry::with_host_pid(vec![FakeDev::new(1.0)], 8);
+        assert_eq!(reg.host_pid(), 8);
+        assert_eq!(reg.initial_device_id(), 1);
     }
 
     #[test]

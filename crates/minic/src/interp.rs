@@ -272,6 +272,21 @@ impl Machine {
     /// memory. Global variables and string literals are laid out
     /// immediately; initializers run on the first [`Interp`] creation.
     pub fn new(prog: Program, info: ProgramInfo, mem_bytes: usize) -> IResult<Arc<Machine>> {
+        let limits = GuestLimits::from_env().map_err(InterpError::Trap)?;
+        Self::new_with_limits(prog, info, mem_bytes, limits)
+    }
+
+    /// Build a machine with pre-resolved guest limits, skipping the
+    /// `OMPI_GUEST_*` environment read entirely. Long-running hosts (the
+    /// batch server) snapshot the environment once at startup and must not
+    /// re-read it per job — a `setenv` mid-soak would silently reconfigure
+    /// every tenant.
+    pub fn new_with_limits(
+        prog: Program,
+        info: ProgramInfo,
+        mem_bytes: usize,
+        limits: GuestLimits,
+    ) -> IResult<Arc<Machine>> {
         let mem = MemArena::new(mem_bytes);
         // Reserve the first 256 bytes so offset 0 stays an unmapped "null".
         let mut cursor: u64 = 256;
@@ -333,7 +348,7 @@ impl Machine {
             vm_counters: Default::default(),
             hotspots: AtomicBool::new(hotspots),
             line_hits: Mutex::new(HashMap::new()),
-            limits: GuestLimits::from_env().map_err(InterpError::Trap)?,
+            limits,
         }))
     }
 

@@ -78,6 +78,19 @@ impl Obs {
     }
 }
 
+/// Strict boolean parsing for `OMPI_*` env vars: `1/true/on/yes` and
+/// `0/false/off/no` (case-insensitive, whitespace-trimmed) are the only
+/// recognized spellings; anything else is `None` so callers can reject it
+/// with a typed error instead of guessing. The historical "non-empty and
+/// not `0` means true" rule silently read `OMPI_ASYNC=off` as *enabled*.
+pub fn parse_bool(s: &str) -> Option<bool> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "0" | "false" | "off" | "no" => Some(false),
+        _ => None,
+    }
+}
+
 impl fmt::Debug for Obs {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Obs")
@@ -104,11 +117,35 @@ impl ObsEnv {
     /// Read `OMPI_TRACE` / `OMPI_PROFILE` / `OMPI_HOTSPOTS` from the
     /// process environment.
     pub fn from_env() -> ObsEnv {
-        let flag = |name: &str| {
-            std::env::var(name).map(|v| !v.trim().is_empty() && v.trim() != "0").unwrap_or(false)
-        };
+        // Display flags stay forgiving (an unrecognized value is just
+        // "off"), but route through the one strict vocabulary so
+        // `OMPI_PROFILE=off` can never mean "on".
+        let flag =
+            |name: &str| std::env::var(name).ok().and_then(|v| parse_bool(&v)).unwrap_or(false);
         let trace_path =
             std::env::var("OMPI_TRACE").ok().filter(|s| !s.trim().is_empty()).map(PathBuf::from);
         ObsEnv { trace_path, profile: flag("OMPI_PROFILE"), hotspots: flag("OMPI_HOTSPOTS") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_bool;
+
+    #[test]
+    fn parse_bool_recognizes_both_vocabularies() {
+        for v in ["1", "true", "TRUE", " on ", "Yes"] {
+            assert_eq!(parse_bool(v), Some(true), "{v:?}");
+        }
+        for v in ["0", "false", "False", "off", " NO "] {
+            assert_eq!(parse_bool(v), Some(false), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn parse_bool_rejects_everything_else() {
+        for v in ["", "2", "enable", "y", "n", "tru"] {
+            assert_eq!(parse_bool(v), None, "{v:?}");
+        }
     }
 }

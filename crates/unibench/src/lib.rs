@@ -62,7 +62,7 @@ pub fn runner_config(bytes_needed: u64, exec_mode: ExecMode, sampling: bool) -> 
     let slack = 96u64 << 20;
     RunnerConfig {
         host_mem: (bytes_needed + slack) as usize,
-        device_mem: (bytes_needed + slack) as usize,
+        device_mem: Some((bytes_needed + slack) as usize),
         exec_mode,
         jit_cache_dir: std::env::temp_dir().join("ompi-jitcache"),
         launch_sampling: sampling,

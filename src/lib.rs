@@ -18,6 +18,7 @@
 //! | [`cudadev`]  | the OMPi device module: host part + device runtime library |
 //! | [`hostomp`]  | the host OpenMP runtime (thread teams, worksharing) |
 //! | [`ompi_core`]| the translator, `ompicc` driver and application runner |
+//! | [`serve`]    | the multi-tenant batch server over the device fleet |
 //! | [`unibench`] | the paper's evaluation applications |
 //!
 //! ## Quickstart
@@ -49,6 +50,7 @@ pub use hostomp;
 pub use minic;
 pub use nvccsim;
 pub use ompi_core;
+pub use serve;
 pub use sptx;
 pub use unibench;
 pub use vmcommon;
@@ -58,5 +60,7 @@ pub use devmod::{DeviceKind, DeviceModule, DeviceRegistry, HostDevice};
 pub use gpusim::ExecMode;
 pub use gpusim::{FaultKind, FaultPlan, FaultPlanError, FaultRule, FaultSite};
 pub use nvccsim::BinMode;
-pub use ompi_core::{CompiledApp, CudaCc, Ompicc, Runner, RunnerConfig};
+pub use ompi_core::{
+    CompiledApp, ConfigError, CudaCc, Ompicc, ResolvedConfig, Runner, RunnerConfig,
+};
 pub use vmcommon::Value;

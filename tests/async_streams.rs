@@ -23,8 +23,8 @@ fn run_atax(async_streams: bool, tag: &str) -> (Measurement, Vec<(String, u64)>,
     let obs = obs::Obs::enabled();
     let mut cfg = runner_config((app.footprint)(n), ExecMode::Sampled { max_blocks: 4 }, true);
     cfg.obs = Some(obs.clone());
-    cfg.device_mem = 3 << 20;
-    cfg.async_streams = async_streams;
+    cfg.device_mem = Some(3 << 20);
+    cfg.async_streams = Some(async_streams);
     let built = build_variant_cfg(&app, Variant::OmpiCudadev, &work, &cfg);
     let m = measure(&app, &built, n);
 
@@ -175,7 +175,8 @@ fn compile_nowait(tag: &str) -> ompi_nano::CompiledApp {
 fn nowait_regions_overlap_on_separate_streams() {
     let app = compile_nowait("async");
     let obs = obs::Obs::enabled();
-    let cfg = RunnerConfig { async_streams: true, obs: Some(obs.clone()), ..Default::default() };
+    let cfg =
+        RunnerConfig { async_streams: Some(true), obs: Some(obs.clone()), ..Default::default() };
     let runner = Runner::new(&app, &cfg).unwrap();
     assert_eq!(runner.run_main().unwrap(), Value::I32(0), "nowait must not change results");
 

@@ -240,7 +240,7 @@ fn persistent_hang_exhausts_reset_budget_and_latches() {
     assert_eq!(runner.dev_clock().launches, 0, "no launch ever completed");
     assert_eq!(
         obs.metrics.counter(0, "recovery.reset"),
-        u64::from(RunnerConfig::default().max_resets),
+        u64::from(ompi_nano::ompi_core::DEFAULT_MAX_RESETS),
         "the full reset budget must be spent before latching"
     );
     assert!(obs.metrics.counter(0, "breaker.state.latched") >= 1);
@@ -325,8 +325,11 @@ int main() {
     // Launch #1 (first region) succeeds; from launch #2 on, the device is
     // lost — every reset probe re-fires the fault, so the breaker latches
     // with region 1's stream work still queued on the virtual timeline.
-    let cfg =
-        RunnerConfig { async_streams: true, fault_plan: plan("launch@2x*"), ..Default::default() };
+    let cfg = RunnerConfig {
+        async_streams: Some(true),
+        fault_plan: plan("launch@2x*"),
+        ..Default::default()
+    };
     let runner = Runner::new(&app, &cfg).unwrap();
     assert_eq!(runner.run_main().unwrap(), Value::I32(0), "both regions must still be correct");
     assert!(runner.device_broken());

@@ -23,7 +23,7 @@ fn run_with_arena(app: &App, n: u32, device_mem: Option<usize>) -> (Vec<f32>, Ve
     let mut cfg = runner_config((app.footprint)(n), ExecMode::Functional, false);
     cfg.obs = Some(obs.clone());
     if let Some(m) = device_mem {
-        cfg.device_mem = m;
+        cfg.device_mem = Some(m);
     }
     let built = build_variant_cfg(app, Variant::OmpiCudadev, &work, &cfg);
     let out = run_once(app, &built.runner, n)
@@ -123,7 +123,7 @@ fn trace_names_the_resolving_rung() {
     let obs = obs::Obs::enabled();
     let mut cfg = runner_config((app.footprint)(n), ExecMode::Functional, false);
     cfg.obs = Some(obs.clone());
-    cfg.device_mem = 2 << 20;
+    cfg.device_mem = Some(2 << 20);
     let built = build_variant_cfg(&app, Variant::OmpiCudadev, &work, &cfg);
     run_once(&app, &built.runner, n).expect("capped atax run");
 
